@@ -1,0 +1,81 @@
+// Ablation for the hash matcher's design choices (Section VI-C).  The paper
+// fixes Jenkins' 6-shift hash and a 5:1 primary:secondary ratio and defers
+// alternatives to future work ("Future work might further investigate
+// various combinations of hash functions and collision resolution
+// policies") — this bench explores that axis.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "matching/hash_matcher.hpp"
+#include "matching/workload.hpp"
+
+namespace {
+
+using namespace simtmsg;
+
+struct Outcome {
+  double mps = 0.0;
+  int iterations = 0;
+};
+
+Outcome run_once(util::HashKind hash, double ratio, bool duplicates) {
+  matching::WorkloadSpec spec;
+  spec.pairs = 1024;
+  if (duplicates) {
+    spec.sources = 8;
+    spec.tags = 8;  // 64 distinct tuples: heavy duplication.
+  } else {
+    spec.unique_tuples = true;
+    spec.sources = 256;
+    spec.tags = 256;
+  }
+  spec.seed = 6000;
+  const auto w = matching::make_workload(spec);
+
+  matching::HashMatcher::Options opt;
+  opt.hash = hash;
+  opt.table_ratio = ratio;
+  const matching::HashMatcher matcher(simt::pascal_gtx1080(), opt);
+  const auto s = matcher.match(w.messages, w.requests);
+  return {s.matches_per_second(), s.iterations};
+}
+
+int run() {
+  bench::print_header("ablation_hash",
+                      "Section VI-C design choices (hash function, table ratio)");
+
+  std::cout << "hash function sweep (1024 elements, GTX 1080):\n";
+  util::AsciiTable t1({"hash", "unique tuples", "iters", "duplicated tuples", "iters"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"hash", "unique_mps", "unique_iters", "dup_mps", "dup_iters"});
+  for (const auto kind :
+       {util::HashKind::kJenkins, util::HashKind::kMurmur3Fmix, util::HashKind::kFnv1a,
+        util::HashKind::kIdentity}) {
+    const auto u = run_once(kind, 5.0, /*duplicates=*/false);
+    const auto d = run_once(kind, 5.0, /*duplicates=*/true);
+    t1.add_row({std::string(util::hash_name(kind)), util::AsciiTable::rate_mps(u.mps),
+                std::to_string(u.iterations), util::AsciiTable::rate_mps(d.mps),
+                std::to_string(d.iterations)});
+    csv.push_back({std::string(util::hash_name(kind)),
+                   util::AsciiTable::num(u.mps / 1e6, 1), std::to_string(u.iterations),
+                   util::AsciiTable::num(d.mps / 1e6, 1), std::to_string(d.iterations)});
+  }
+  t1.print(std::cout);
+
+  std::cout << "\nprimary:secondary ratio sweep (Jenkins, unique tuples):\n";
+  util::AsciiTable t2({"ratio", "rate", "iterations"});
+  for (const double ratio : {2.0, 3.0, 5.0, 8.0}) {
+    const auto u = run_once(util::HashKind::kJenkins, ratio, false);
+    t2.add_row({util::AsciiTable::num(ratio, 0) + ":1", util::AsciiTable::rate_mps(u.mps),
+                std::to_string(u.iterations)});
+  }
+  t2.print(std::cout);
+  std::cout << "\npaper choice: Jenkins 6-shift, 5:1 ratio.  The identity 'hash'\n"
+               "shows the collision sensitivity the strong mixers avoid.\n";
+  bench::print_csv(csv);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

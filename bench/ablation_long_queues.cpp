@@ -1,0 +1,88 @@
+// Ablation for the Section V-B long-queue claim: "Queues that contain more
+// than 1024 elements require multiple iterations and the performance drops
+// accordingly.  At this point, the order of the receive requests matters.
+// While an ordered queue would yield the same performance as shown in the
+// graph, a reversed queue would decrease performance."
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "matching/matrix_matcher.hpp"
+#include "matching/workload.hpp"
+
+namespace {
+
+using namespace simtmsg;
+
+struct Outcome {
+  double mps = 0.0;
+  int iterations = 0;
+};
+
+Outcome run_case(std::size_t len, bool reversed) {
+  matching::WorkloadSpec spec;
+  spec.pairs = len;
+  spec.unique_tuples = true;  // Unique tuples make request order decisive.
+  spec.sources = 256;
+  spec.tags = 256;
+  spec.seed = 8000 + len;
+  auto w = matching::make_workload(spec);
+
+  // "Ordered" = receive requests posted in message-arrival order;
+  // "reversed" = the pathological opposite (late messages wanted first).
+  std::vector<matching::RecvRequest> reqs;
+  reqs.reserve(len);
+  for (const auto& m : w.messages) {
+    matching::RecvRequest r;
+    r.env = m.env;
+    reqs.push_back(r);
+  }
+  if (reversed) std::reverse(reqs.begin(), reqs.end());
+
+  const matching::MatrixMatcher matcher(simt::pascal_gtx1080());
+  matching::MessageQueue mq;
+  matching::RecvQueue rq;
+  for (const auto& m : w.messages) mq.push(m);
+  for (const auto& r : reqs) rq.push(r);
+  const auto s = matcher.match_queues(mq, rq);
+  if (s.result.matched() != len) {
+    std::cerr << "FATAL: drain incomplete at " << len << "\n";
+    std::exit(1);
+  }
+  return {s.matches_per_second(), s.iterations};
+}
+
+int run() {
+  bench::print_header("ablation_long_queues",
+                      "Section V-B: request order beyond the 1024-element window");
+
+  util::AsciiTable table({"queue length", "ordered (M/s)", "iters", "reversed (M/s)",
+                          "iters", "slowdown"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"length", "ordered_mps", "ordered_iters", "reversed_mps",
+                 "reversed_iters"});
+
+  for (const std::size_t len : {512u, 1024u, 2048u, 4096u, 8192u}) {
+    const auto ord = run_case(len, false);
+    const auto rev = run_case(len, true);
+    table.add_row({std::to_string(len), util::AsciiTable::num(ord.mps / 1e6, 2),
+                   std::to_string(ord.iterations),
+                   util::AsciiTable::num(rev.mps / 1e6, 2),
+                   std::to_string(rev.iterations),
+                   util::AsciiTable::num(ord.mps / rev.mps, 2) + "x"});
+    csv.push_back({std::to_string(len), util::AsciiTable::num(ord.mps / 1e6, 2),
+                   std::to_string(ord.iterations),
+                   util::AsciiTable::num(rev.mps / 1e6, 2),
+                   std::to_string(rev.iterations)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: within one window (<=1024) request order has no effect;\n"
+               "beyond it, reversed requests force extra iterations and the rate\n"
+               "drops (the trace analysis shows most real queues stay below 1024).\n";
+  bench::print_csv(csv);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,60 @@
+// Ablation for the paper's multi-SM remark (Section VI-A): "If multiple
+// SMs were used, the performance would be increasing linearly since all
+// CTAs would be running in parallel, however, less resources would be
+// available to execute the application."
+//
+// Partitioned matching with 32 queues over a large total queue, spreading
+// waves across 1..8 SMs of the GTX 1080 model.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "matching/partitioned_matcher.hpp"
+#include "matching/workload.hpp"
+
+namespace {
+
+using namespace simtmsg;
+
+int run() {
+  bench::print_header("ablation_multi_sm",
+                      "Section VI-A: multi-SM scaling of partitioned matching");
+
+  matching::WorkloadSpec spec;
+  spec.pairs = 16384;  // 32 queues x 512 entries.
+  spec.sources = 64;
+  spec.tags = 64;
+  spec.seed = 9000;
+  const auto w = matching::make_workload(spec);
+
+  util::AsciiTable table({"SMs", "rate (M/s)", "speedup vs 1 SM"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"sms", "mps", "speedup"});
+
+  double base = 0.0;
+  for (const int sms : {1, 2, 4, 8}) {
+    matching::PartitionedMatcher::Options opt;
+    opt.partitions = 32;
+    opt.sms = sms;
+    const matching::PartitionedMatcher matcher(simt::pascal_gtx1080(), opt);
+    const auto s = matcher.match(w.messages, w.requests);
+    if (s.result.matched() != spec.pairs) {
+      std::cerr << "FATAL: incomplete match\n";
+      return 1;
+    }
+    const double mps = s.matches_per_second();
+    if (sms == 1) base = mps;
+    table.add_row({std::to_string(sms), util::AsciiTable::num(mps / 1e6, 1),
+                   util::AsciiTable::num(mps / base, 2) + "x"});
+    csv.push_back({std::to_string(sms), util::AsciiTable::num(mps / 1e6, 2),
+                   util::AsciiTable::num(mps / base, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper remark: near-linear until waves run out; the cost is SMs\n"
+               "taken away from the application's compute grid.\n";
+  bench::print_csv(csv);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,78 @@
+// Ablation for the paper's architectural wish list (Section VII-C): "We
+// endorse new architectural features like variable warp sizes, which helps
+// with the matching of shorter queues."
+//
+// The matrix matcher runs with logical warp widths 8/16/32 across queue
+// lengths: narrower warps give short queues more independently scheduled
+// warps (better latency hiding), while long queues pay the extra issued
+// instructions — the crossover quantifies when variable warp sizing pays.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "matching/matrix_matcher.hpp"
+#include "matching/workload.hpp"
+
+namespace {
+
+using namespace simtmsg;
+
+double rate(std::size_t len, int width) {
+  matching::WorkloadSpec spec;
+  spec.pairs = len;
+  spec.sources = 32;
+  spec.tags = 32;
+  spec.seed = 7000 + len;
+  const auto w = matching::make_workload(spec);
+
+  matching::MatrixMatcher::Options opt;
+  opt.warp_width = width;
+  const matching::MatrixMatcher matcher(simt::pascal_gtx1080(), opt);
+  matching::MessageQueue mq;
+  matching::RecvQueue rq;
+  matching::fill_queues(w, mq, rq);
+  return matcher.match_queues(mq, rq).matches_per_second();
+}
+
+int run() {
+  bench::print_header("ablation_warp_size",
+                      "Section VII-C: variable warp sizes for short queues");
+
+  const std::vector<std::size_t> lengths = {16, 32, 64, 128, 256, 512, 1024};
+  const std::vector<int> widths = {8, 16, 32};
+
+  util::AsciiTable table({"queue length", "width 8 (M/s)", "width 16 (M/s)",
+                          "width 32 (M/s)", "best"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"length", "w8_mps", "w16_mps", "w32_mps"});
+
+  for (const auto len : lengths) {
+    std::vector<std::string> row = {std::to_string(len)};
+    std::vector<std::string> csv_row = {std::to_string(len)};
+    double best = 0.0;
+    int best_width = 0;
+    for (const auto width : widths) {
+      const double r = rate(len, width);
+      row.push_back(util::AsciiTable::num(r / 1e6, 2));
+      csv_row.push_back(util::AsciiTable::num(r / 1e6, 3));
+      if (r > best) {
+        best = r;
+        best_width = width;
+      }
+    }
+    row.push_back("w" + std::to_string(best_width));
+    table.add_row(row);
+    csv.push_back(csv_row);
+  }
+
+  std::cout << "GTX 1080 model, fully MPI-compliant matrix matching:\n";
+  table.print(std::cout);
+  std::cout << "\npaper hypothesis: variable warp sizes help short queues; the\n"
+               "crossover above shows where the extra issue bandwidth of narrow\n"
+               "warps stops paying for the improved latency hiding.\n";
+  bench::print_csv(csv);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,27 @@
+// Shared helpers for the reproduction benches.  Every binary prints (a) the
+// paper-shaped table and (b) a machine-readable CSV block, so EXPERIMENTS.md
+// can quote either.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "simt/device_spec.hpp"
+#include "util/table.hpp"
+
+namespace simtmsg::bench {
+
+inline void print_header(const std::string& experiment, const std::string& paper_ref) {
+  std::cout << "\n=== " << experiment << " ===\n"
+            << "reproduces: " << paper_ref << "\n\n";
+}
+
+inline void print_csv(const std::vector<std::vector<std::string>>& rows) {
+  std::cout << "\n--- csv ---\n";
+  util::CsvWriter csv(std::cout);
+  for (const auto& r : rows) csv.row(r);
+  std::cout << "--- end csv ---\n";
+}
+
+}  // namespace simtmsg::bench

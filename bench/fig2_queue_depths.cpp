@@ -1,0 +1,72 @@
+// Figure 2: "Length of the unexpected message queue (UMQ)" — per-rank
+// maximum UMQ depth distribution at any matching attempt, reconstructed by
+// queue replay (Section IV-A).  The PRQ is printed too; the paper omits its
+// figure "due to their similarity".
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "trace/apps/apps.hpp"
+#include "trace/replay.hpp"
+
+namespace {
+
+using namespace simtmsg;
+
+int run() {
+  bench::print_header("fig2_queue_depths", "Figure 2 (Section IV-A)");
+
+  trace::apps::AppParams params;
+  params.ranks = 64;
+  params.iterations = 2;
+
+  util::AsciiTable table({"app", "UMQ mean", "UMQ median", "UMQ max", "PRQ mean",
+                          "PRQ median", "unexpected %", "avg search"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"app", "umq_mean", "umq_median", "umq_q1", "umq_q3", "umq_max",
+                 "prq_mean", "prq_median", "unexpected_pct"});
+
+  for (const auto& app : trace::apps::all_apps()) {
+    const auto t = app.generate(params);
+    const auto r = trace::replay_queues(t);
+    const auto umq = r.umq_max_summary();
+    const auto prq = r.prq_max_summary();
+    const double unexpected_pct =
+        r.total_messages() > 0
+            ? 100.0 * static_cast<double>(r.total_unexpected()) /
+                  static_cast<double>(r.total_messages())
+            : 0.0;
+    double search_sum = 0.0;
+    for (const auto& rank : r.per_rank) search_sum += rank.avg_search_length;
+    const double avg_search =
+        r.per_rank.empty() ? 0.0 : search_sum / static_cast<double>(r.per_rank.size());
+    table.add_row({std::string(app.name), util::AsciiTable::num(umq.mean, 0),
+                   util::AsciiTable::num(umq.median, 0),
+                   util::AsciiTable::num(umq.max, 0),
+                   util::AsciiTable::num(prq.mean, 0),
+                   util::AsciiTable::num(prq.median, 0),
+                   util::AsciiTable::num(unexpected_pct, 1),
+                   util::AsciiTable::num(avg_search, 2)});
+    csv.push_back({std::string(app.name), util::AsciiTable::num(umq.mean, 1),
+                   util::AsciiTable::num(umq.median, 1),
+                   util::AsciiTable::num(umq.q1, 1), util::AsciiTable::num(umq.q3, 1),
+                   util::AsciiTable::num(umq.max, 1),
+                   util::AsciiTable::num(prq.mean, 1),
+                   util::AsciiTable::num(prq.median, 1),
+                   util::AsciiTable::num(unexpected_pct, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout <<
+      "\npaper reference (Figure 2 / Section IV): most applications stay\n"
+      "below 512 entries; EXACT MultiGrid ~2,000 mean (median 1,500) and\n"
+      "CESAR NEKBONE ~4,000 mean (median 1,800) are the outliers; UMQ and\n"
+      "PRQ show similar lengths.  Related work (Brightwell/Goudy, Section\n"
+      "III) reports average search lengths always below 30 entries - the\n"
+      "'avg search' column shows the skeletons share that property.\n";
+  bench::print_csv(csv);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

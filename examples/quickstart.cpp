@@ -1,0 +1,51 @@
+// Quickstart: the two halves of the library in ~60 lines.
+//
+//  1. The matching engine directly: pick a Table II semantics row, match a
+//     batch of messages against receive requests, read the modelled rate.
+//  2. The cluster runtime: simulated GPU endpoints exchanging messages
+//     through the GAS, with the communication kernel doing the matching.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "matching/engine.hpp"
+#include "matching/workload.hpp"
+#include "runtime/endpoint.hpp"
+
+int main() {
+  using namespace simtmsg;
+
+  // ---- 1. Direct matching -------------------------------------------------
+  // Fully MPI-compliant semantics (wildcards + ordering + unexpected
+  // messages) on the Pascal GTX 1080 model.
+  const matching::MatchEngine engine(simt::pascal_gtx1080(), matching::SemanticsConfig{});
+
+  // A fully matching 512-element workload, like the paper's Figure 4 setup.
+  matching::WorkloadSpec spec;
+  spec.pairs = 512;
+  const auto workload = matching::make_workload(spec);
+
+  const auto stats = engine.match(workload.messages, workload.requests);
+  std::cout << "matched " << stats.result.matched() << "/512 messages with the '"
+            << engine.algorithm() << "' algorithm\n"
+            << "modelled rate: " << stats.matches_per_second() / 1e6
+            << " M matches/s (paper, Figure 4: ~6 M matches/s)\n\n";
+
+  // ---- 2. The cluster runtime ---------------------------------------------
+  runtime::ClusterConfig cfg;
+  cfg.nodes = 2;
+  runtime::Cluster cluster(cfg);
+
+  // Node 1 posts a wildcard receive; node 0 sends.
+  const auto handle = cluster.irecv(/*node=*/1, matching::kAnySource, /*tag=*/7);
+  cluster.send(/*from=*/0, /*to=*/1, /*tag=*/7, /*payload=*/0xC0FFEE);
+
+  const auto r = cluster.wait(handle);
+  std::cout << "node 1 received payload 0x" << std::hex << r.payload << std::dec
+            << " from node " << r.src << " (tag " << r.tag << ")\n";
+
+  const auto cs = cluster.stats();
+  std::cout << "cluster: " << cs.messages_sent << " message(s), " << cs.matches
+            << " match(es), " << cs.virtual_time_us << " us virtual time\n";
+  return 0;
+}

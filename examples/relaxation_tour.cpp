@@ -1,0 +1,63 @@
+// Relaxation tour: walk the paper's Table II ladder on one workload and
+// watch the matching rate climb as guarantees are dropped — the paper's
+// core story in one runnable program.
+//
+// Build & run:  ./build/examples/relaxation_tour [elements]
+#include <cstdlib>
+#include <iostream>
+
+#include "matching/engine.hpp"
+#include "matching/workload.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace simtmsg;
+
+  std::size_t elements = 1024;
+  if (argc > 1) elements = std::strtoull(argv[1], nullptr, 10);
+
+  matching::WorkloadSpec spec;
+  spec.pairs = elements;
+  spec.unique_tuples = true;
+  spec.sources = static_cast<int>(std::max<std::size_t>(64, elements / 8));
+  spec.tags = spec.sources;
+  spec.seed = 123;
+  const auto w = matching::make_workload(spec);
+
+  const char* stories[6] = {
+      "full MPI semantics: the matrix scan/reduce, sequential reduce bound",
+      "pre-posted receives: the compaction pass disappears",
+      "no src wildcard: the rank space splits into parallel queues",
+      "both relaxations: partitioned and compaction-free",
+      "no ordering: the two-level hash table takes over",
+      "everything relaxed: the paper's ~80x headline",
+  };
+
+  std::cout << "Relaxation tour -- " << elements
+            << " fully matching unique tuples, GTX 1080 model\n\n";
+
+  util::AsciiTable table({"row", "semantics", "algorithm", "rate", "speedup", "note"});
+  double baseline = 0.0;
+  int row_no = 1;
+  for (const auto& row : matching::table2_rows()) {
+    const matching::MatchEngine engine(simt::pascal_gtx1080(), row);
+    const auto stats = engine.match(w.messages, w.requests);
+    if (stats.result.matched() != elements) {
+      std::cerr << "row " << row_no << " failed to match everything\n";
+      return 1;
+    }
+    const double rate = stats.matches_per_second();
+    if (row_no == 1) baseline = rate;
+    table.add_row({std::to_string(row_no), matching::describe(row),
+                   std::string(engine.algorithm()), util::AsciiTable::rate_mps(rate),
+                   util::AsciiTable::num(rate / baseline, 1) + "x",
+                   stories[row_no - 1]});
+    ++row_no;
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper (conclusion): 10x from prohibiting wildcards, 80x from\n"
+               "out-of-order delivery; most proxy applications never use the\n"
+               "wildcards these rows give up (Table I).\n";
+  return 0;
+}

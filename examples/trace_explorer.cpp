@@ -1,0 +1,117 @@
+// Trace explorer: generate, save, load, and analyze proxy-application
+// traces — the Section IV methodology as a command-line tool.
+//
+//   ./build/examples/trace_explorer                 # list applications
+//   ./build/examples/trace_explorer NEKBONE         # analyze one app
+//   ./build/examples/trace_explorer LULESH 128 4    # ranks, iterations
+//   ./build/examples/trace_explorer AMG --save t.smtr   # write binary trace
+//   ./build/examples/trace_explorer --load t.smtr       # analyze a file
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "trace/analyzer.hpp"
+#include "trace/apps/apps.hpp"
+#include "trace/replay.hpp"
+#include "trace/trace_io.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace simtmsg;
+
+void list_apps() {
+  util::AsciiTable table({"app", "suite", "paper ranks", "skeleton"});
+  for (const auto& app : trace::apps::all_apps()) {
+    table.add_row({std::string(app.name), std::string(app.suite),
+                   std::to_string(app.paper_ranks), std::string(app.skeleton)});
+  }
+  table.print(std::cout);
+  std::cout << "\nusage: trace_explorer <app> [ranks] [iterations] [--save file]\n"
+               "       trace_explorer --load <file>\n";
+}
+
+void report(const trace::Trace& t) {
+  const auto c = trace::analyze(t);
+  const auto r = trace::replay_queues(t);
+  const auto umq = r.umq_max_summary();
+  const auto prq = r.prq_max_summary();
+
+  std::cout << "app: " << t.app_name << " (" << t.suite << "), ranks " << t.ranks
+            << ", events " << t.events.size() << "\n\n";
+
+  util::AsciiTable table({"metric", "value"});
+  table.add_row({"sends", std::to_string(c.sends)});
+  table.add_row({"receives", std::to_string(c.recvs)});
+  table.add_row({"src wildcards", std::to_string(c.src_wildcards)});
+  table.add_row({"tag wildcards", std::to_string(c.tag_wildcards)});
+  table.add_row({"communicators", std::to_string(c.communicators)});
+  table.add_row({"avg peers/rank", util::AsciiTable::num(c.avg_peers, 1)});
+  table.add_row({"max peers", std::to_string(c.max_peers)});
+  table.add_row({"distinct tags", std::to_string(c.distinct_tags)});
+  table.add_row({"tags fit 16 bits", c.tags_fit_16bit() ? "yes" : "no"});
+  table.add_row({"UMQ max depth (mean/median/max)",
+                 util::AsciiTable::num(umq.mean, 0) + " / " +
+                     util::AsciiTable::num(umq.median, 0) + " / " +
+                     util::AsciiTable::num(umq.max, 0)});
+  table.add_row({"PRQ max depth (mean/median/max)",
+                 util::AsciiTable::num(prq.mean, 0) + " / " +
+                     util::AsciiTable::num(prq.median, 0) + " / " +
+                     util::AsciiTable::num(prq.max, 0)});
+  table.add_row({"dominant tuple share (avg %)",
+                 util::AsciiTable::num(c.tuple_max_share_avg, 1)});
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      list_apps();
+      return 0;
+    }
+
+    if (std::strcmp(argv[1], "--load") == 0) {
+      if (argc < 3) {
+        std::cerr << "--load needs a file\n";
+        return 1;
+      }
+      report(trace::read_binary_file(argv[2]));
+      return 0;
+    }
+
+    const auto* app = trace::apps::find_app(argv[1]);
+    if (app == nullptr) {
+      std::cerr << "unknown app: " << argv[1] << "\n\n";
+      list_apps();
+      return 1;
+    }
+
+    trace::apps::AppParams params;
+    std::string save_path;
+    int positional = 0;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+        save_path = argv[++i];
+      } else if (positional == 0) {
+        params.ranks = static_cast<std::uint32_t>(std::stoul(argv[i]));
+        ++positional;
+      } else {
+        params.iterations = std::stoi(argv[i]);
+        ++positional;
+      }
+    }
+
+    const auto t = app->generate(params);
+    if (!save_path.empty()) {
+      trace::write_binary_file(t, save_path);
+      std::cout << "wrote " << t.events.size() << " events to " << save_path << "\n\n";
+    }
+    report(t);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

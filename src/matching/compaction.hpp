@@ -1,0 +1,51 @@
+// Queue compaction (Section V-A): after a matching pass, matched elements
+// are removed and the head pointer advanced — "composed of a prefix scan
+// and memory move operations".  Section VI-B quantifies the cost at about
+// 10 % of the matching rate; bench/ablation_unexpected reproduces that.
+//
+// The cost model charges, per 32-element group: one coalesced flag load, a
+// warp shuffle-scan (log2(32) steps), and — for groups containing movers —
+// coalesced header+payload loads and stores.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "matching/queue.hpp"
+#include "simt/device_spec.hpp"
+#include "simt/event_counters.hpp"
+#include "simt/timing_model.hpp"
+
+namespace simtmsg::matching {
+
+class Compactor {
+ public:
+  explicit Compactor(const simt::DeviceSpec& spec) noexcept : spec_(&spec) {}
+
+  struct Stats {
+    simt::EventCounters events;
+    double cycles = 0.0;
+    std::size_t removed = 0;
+  };
+
+  /// Event/cycle cost of compacting a queue of `n_elements` from which
+  /// `n_removed` are being dropped (the survivors move).
+  [[nodiscard]] Stats cost(std::size_t n_elements, std::size_t n_removed) const;
+
+  /// Compact `q` (drop every element whose flag is non-zero) and return the
+  /// modelled device cost of doing so.
+  template <typename T>
+  Stats compact(MatchQueue<T>& q, std::span<const std::uint8_t> matched) const {
+    std::size_t removed = 0;
+    for (const auto f : matched) removed += (f != 0);
+    Stats stats = cost(q.size(), removed);
+    const std::size_t actually_removed = q.compact(matched);
+    stats.removed = actually_removed;
+    return stats;
+  }
+
+ private:
+  const simt::DeviceSpec* spec_;
+};
+
+}  // namespace simtmsg::matching

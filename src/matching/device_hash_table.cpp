@@ -1,0 +1,176 @@
+#include "matching/device_hash_table.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+
+namespace simtmsg::matching {
+
+DeviceHashTable::DeviceHashTable(std::size_t expected_elements, double table_ratio,
+                                 util::HashKind hash)
+    : hash_(hash) {
+  // Secondary sized to half the expected batch (it only absorbs primary
+  // collisions); primary = ratio x secondary, giving ~2.5x headroom over
+  // the batch for the paper's ratio of 5.
+  const std::size_t secondary =
+      util::next_pow2(std::max<std::size_t>(16, expected_elements / 2));
+  const auto primary = static_cast<std::size_t>(
+      static_cast<double>(secondary) * std::max(1.0, table_ratio));
+  primary_.assign(primary, 0);
+  secondary_.assign(secondary, 0);
+}
+
+std::size_t DeviceHashTable::primary_slot(std::uint32_t key) const noexcept {
+  return util::hash32(hash_, key) % primary_.size();
+}
+
+std::size_t DeviceHashTable::secondary_slot(std::uint32_t key) const noexcept {
+  // Decorrelate the two levels by salting the key before hashing.
+  return util::hash32(hash_, key ^ 0x9e3779b9u) % secondary_.size();
+}
+
+int DeviceHashTable::hash_cost(util::HashKind kind) noexcept {
+  switch (kind) {
+    case util::HashKind::kJenkins: return 12;      // 6 shift/add/xor pairs.
+    case util::HashKind::kFnv1a: return 10;
+    case util::HashKind::kMurmur3Fmix: return 6;
+    case util::HashKind::kIdentity: return 1;
+  }
+  return 12;
+}
+
+void DeviceHashTable::insert(simt::WarpContext& warp, const simt::LaneU32& keys,
+                             const simt::LaneU32& values, simt::LaneBool& inserted) {
+  const simt::LaneMask entry_mask = warp.active();
+
+  // Level 1: hash + CAS into the primary table.
+  simt::LaneSize slots;
+  warp.lanes([&](int lane) { slots[lane] = primary_slot(keys[lane]); },
+             hash_cost(hash_) + 1);
+  simt::LaneU64 desired;
+  warp.lanes([&](int lane) { desired[lane] = pack_entry(keys[lane], values[lane]); }, 2);
+  const auto prev1 =
+      warp.atomic_cas(std::span<std::uint64_t>(primary_), slots, simt::LaneU64(0), desired);
+
+  simt::LaneMask collided = 0;
+  for (int lane = 0; lane < simt::kWarpSize; ++lane) {
+    if (!warp.lane_active(lane)) continue;
+    inserted[lane] = (prev1[lane] == 0);
+    if (!inserted[lane]) collided = util::set_bit(collided, lane);
+  }
+  warp.count_branch(collided != 0 && collided != entry_mask);
+  if (collided == 0) return;
+
+  // Level 2: colliding lanes retry in the secondary table.
+  warp.set_active(collided);
+  warp.lanes([&](int lane) { slots[lane] = secondary_slot(keys[lane]); },
+             hash_cost(hash_) + 1);
+  const auto prev2 =
+      warp.atomic_cas(std::span<std::uint64_t>(secondary_), slots, simt::LaneU64(0), desired);
+  for (int lane = 0; lane < simt::kWarpSize; ++lane) {
+    if (!util::test_bit(collided, lane)) continue;
+    inserted[lane] = (prev2[lane] == 0);
+  }
+  warp.set_active(entry_mask);
+}
+
+void DeviceHashTable::probe_claim(simt::WarpContext& warp, const simt::LaneU32& keys,
+                                  simt::LaneU32& values, simt::LaneBool& found,
+                                  const Verifier& verify) {
+  const simt::LaneMask entry_mask = warp.active();
+
+  const auto try_level = [&](std::vector<std::uint64_t>& table, bool primary_level) {
+    simt::LaneSize slots;
+    warp.lanes(
+        [&](int lane) {
+          slots[lane] = primary_level ? primary_slot(keys[lane]) : secondary_slot(keys[lane]);
+        },
+        hash_cost(hash_) + 1);
+    const auto seen = warp.load_global(std::span<const std::uint64_t>(table), slots);
+
+    // Lanes whose slot holds their key attempt to claim it by CAS-to-empty.
+    simt::LaneMask want = 0;
+    for (int lane = 0; lane < simt::kWarpSize; ++lane) {
+      if (!warp.lane_active(lane)) continue;
+      if (seen[lane] != 0 &&
+          static_cast<std::uint32_t>(seen[lane] >> 32) == keys[lane]) {
+        want = util::set_bit(want, lane);
+      }
+    }
+    warp.count_alu(2);
+    warp.count_branch(want != 0 && want != warp.active());
+    if (want == 0) return;
+
+    // Full-entry verification before claiming: aliased keys must not evict
+    // the genuine owner's entry.
+    if (verify) {
+      warp.counters().global_load_requests += 1;
+      warp.counters().global_transactions += static_cast<std::uint64_t>(
+          util::popc(want));
+      warp.count_alu(2);
+      for (int lane = 0; lane < simt::kWarpSize; ++lane) {
+        if (!util::test_bit(want, lane)) continue;
+        const auto value =
+            static_cast<std::uint32_t>(seen[lane] & 0xFFFF'FFFFu) - 1;
+        if (!verify(lane, value)) want = util::clear_bit(want, lane);
+      }
+      if (want == 0) return;
+    }
+
+    const simt::LaneMask prev_active = warp.set_active(want);
+    const auto prev =
+        warp.atomic_cas(std::span<std::uint64_t>(table), slots, seen, simt::LaneU64(0));
+    for (int lane = 0; lane < simt::kWarpSize; ++lane) {
+      if (!util::test_bit(want, lane)) continue;
+      if (prev[lane] == seen[lane]) {
+        found[lane] = true;
+        values[lane] = static_cast<std::uint32_t>(seen[lane] & 0xFFFF'FFFFu) - 1;
+      }
+    }
+    warp.set_active(prev_active);
+  };
+
+  for (int lane = 0; lane < simt::kWarpSize; ++lane) found[lane] = false;
+
+  try_level(primary_, /*primary_level=*/true);
+
+  // Unresolved lanes fall through to the secondary table.
+  simt::LaneMask unresolved = 0;
+  for (int lane = 0; lane < simt::kWarpSize; ++lane) {
+    if (warp.lane_active(lane) && !found[lane]) unresolved = util::set_bit(unresolved, lane);
+  }
+  if (unresolved != 0) {
+    warp.set_active(unresolved);
+    try_level(secondary_, /*primary_level=*/false);
+  }
+  warp.set_active(entry_mask);
+}
+
+bool DeviceHashTable::reinsert_host(std::uint32_t key, std::uint32_t value) {
+  const std::uint64_t entry = pack_entry(key, value);
+  auto& p = primary_[primary_slot(key)];
+  if (p == 0) {
+    p = entry;
+    return true;
+  }
+  auto& s = secondary_[secondary_slot(key)];
+  if (s == 0) {
+    s = entry;
+    return true;
+  }
+  return false;
+}
+
+std::size_t DeviceHashTable::occupancy() const noexcept {
+  std::size_t n = 0;
+  for (const auto e : primary_) n += (e != 0);
+  for (const auto e : secondary_) n += (e != 0);
+  return n;
+}
+
+void DeviceHashTable::clear() {
+  std::fill(primary_.begin(), primary_.end(), 0);
+  std::fill(secondary_.begin(), secondary_.end(), 0);
+}
+
+}  // namespace simtmsg::matching

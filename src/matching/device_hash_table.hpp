@@ -1,0 +1,82 @@
+// Two-level device hash table (Section VI-C).
+//
+// "We implemented a two-level hash table with the primary table being five
+// times larger than the secondary table."  Receive requests are inserted
+// with a warp-wide CAS; on a primary collision the entry goes to the
+// secondary table; on a second collision the owning thread holds the
+// request for the next iteration.  Probes try primary then secondary and
+// *claim* a matching entry by CAS-ing it back to empty, which is what makes
+// concurrent matching race-free.
+//
+// Entries are single 64-bit words: (key << 32) | (value + 1); 0 = empty.
+// The default hash is Robert Jenkins' 32-bit 6-shift function — the paper's
+// choice — selectable for the ablation study the paper defers to future
+// work.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "simt/warp.hpp"
+#include "util/hash.hpp"
+
+namespace simtmsg::matching {
+
+class DeviceHashTable {
+ public:
+  /// A table able to hold about `expected_elements` entries. `table_ratio`
+  /// is the primary:secondary size ratio (paper: 5).
+  DeviceHashTable(std::size_t expected_elements, double table_ratio = 5.0,
+                  util::HashKind hash = util::HashKind::kJenkins);
+
+  /// Warp-cooperative insert of (key, value) per active lane.
+  /// inserted[lane] = false means both levels collided and the lane must
+  /// retry next iteration.
+  void insert(simt::WarpContext& warp, const simt::LaneU32& keys,
+              const simt::LaneU32& values, simt::LaneBool& inserted);
+
+  /// Full-entry verification callback: given the probing lane and the
+  /// candidate entry's value, decide whether the entry really matches.
+  /// Guards against 32-bit key aliasing *before* the claim, so an aliased
+  /// entry is never removed (removing and re-inserting would starve the
+  /// genuine owner).  Charged as one extra global load per verified group.
+  using Verifier = std::function<bool(int lane, std::uint32_t value)>;
+
+  /// Warp-cooperative probe-and-claim per active lane.  When found[lane],
+  /// values[lane] holds the claimed entry's value and the entry has been
+  /// removed from the table.  Entries failing `verify` are left in place.
+  void probe_claim(simt::WarpContext& warp, const simt::LaneU32& keys,
+                   simt::LaneU32& values, simt::LaneBool& found,
+                   const Verifier& verify = nullptr);
+
+  /// Host-side (un-counted) insert used to undo an erroneous claim after a
+  /// full-envelope verification failure (32-bit key aliasing).
+  bool reinsert_host(std::uint32_t key, std::uint32_t value);
+
+  [[nodiscard]] std::size_t primary_size() const noexcept { return primary_.size(); }
+  [[nodiscard]] std::size_t secondary_size() const noexcept { return secondary_.size(); }
+  [[nodiscard]] std::size_t occupancy() const noexcept;  ///< Live entries.
+  [[nodiscard]] util::HashKind hash_kind() const noexcept { return hash_; }
+
+  void clear();
+
+  /// Approximate warp-instruction cost of evaluating the selected hash
+  /// function once (charged by insert/probe for each level probed).
+  [[nodiscard]] static int hash_cost(util::HashKind kind) noexcept;
+
+ private:
+  [[nodiscard]] std::size_t primary_slot(std::uint32_t key) const noexcept;
+  [[nodiscard]] std::size_t secondary_slot(std::uint32_t key) const noexcept;
+
+  static constexpr std::uint64_t pack_entry(std::uint32_t key, std::uint32_t value) noexcept {
+    return (static_cast<std::uint64_t>(key) << 32) |
+           (static_cast<std::uint64_t>(value) + 1);
+  }
+
+  std::vector<std::uint64_t> primary_;
+  std::vector<std::uint64_t> secondary_;
+  util::HashKind hash_;
+};
+
+}  // namespace simtmsg::matching

@@ -1,0 +1,183 @@
+#include "matching/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "matching/hash_matcher.hpp"
+#include "matching/matrix_matcher.hpp"
+#include "matching/partitioned_matcher.hpp"
+#include "matching/queue.hpp"
+
+namespace simtmsg::matching {
+
+struct MatchEngine::Impl {
+  std::unique_ptr<MatrixMatcher> matrix;
+  std::unique_ptr<PartitionedMatcher> partitioned;
+  std::unique_ptr<HashMatcher> hash;
+};
+
+MatchEngine::MatchEngine(const simt::DeviceSpec& spec, SemanticsConfig cfg)
+    : spec_(&spec), cfg_(cfg), impl_(std::make_unique<Impl>()) {
+  if (!valid(cfg_)) {
+    throw std::invalid_argument("inconsistent semantics: " + describe(cfg_));
+  }
+  if (hashable(cfg_)) {
+    HashMatcher::Options opt;
+    // Partitioning the rank space across CTAs is the hash analogue of the
+    // multi-queue layout.
+    opt.ctas = std::max(1, cfg_.partitions > 1 ? cfg_.partitions / 4 : 1);
+    impl_->hash = std::make_unique<HashMatcher>(spec, opt);
+  } else if (cfg_.partitions > 1) {
+    PartitionedMatcher::Options opt;
+    opt.partitions = cfg_.partitions;
+    opt.matrix.compact = cfg_.unexpected;
+    impl_->partitioned = std::make_unique<PartitionedMatcher>(spec, opt);
+  } else {
+    MatrixMatcher::Options opt;
+    opt.compact = cfg_.unexpected;
+    impl_->matrix = std::make_unique<MatrixMatcher>(spec, opt);
+  }
+}
+
+MatchEngine::~MatchEngine() = default;
+MatchEngine::MatchEngine(MatchEngine&&) noexcept = default;
+MatchEngine& MatchEngine::operator=(MatchEngine&&) noexcept = default;
+
+std::string_view MatchEngine::algorithm() const noexcept {
+  if (impl_->hash) return "hash-table";
+  if (impl_->partitioned) return "partitioned-matrix";
+  return "matrix";
+}
+
+namespace {
+
+/// Distinct communicators in first-appearance order.
+std::vector<CommId> comms_of(std::span<const Message> msgs,
+                             std::span<const RecvRequest> reqs) {
+  std::vector<CommId> comms;
+  const auto note = [&comms](CommId c) {
+    for (const auto seen : comms) {
+      if (seen == c) return;
+    }
+    comms.push_back(c);
+  };
+  for (const auto& m : msgs) note(m.env.comm);
+  for (const auto& r : reqs) note(r.env.comm);
+  return comms;
+}
+
+}  // namespace
+
+SimtMatchStats MatchEngine::match_single_comm(std::span<const Message> msgs,
+                                              std::span<const RecvRequest> reqs) const {
+  if (impl_->hash) return impl_->hash->match(msgs, reqs);
+  if (impl_->partitioned) return impl_->partitioned->match(msgs, reqs);
+  MessageQueue mq;
+  RecvQueue rq;
+  for (const auto& m : msgs) mq.push_raw(m);
+  for (const auto& r : reqs) rq.push_raw(r);
+  return impl_->matrix->match_queues(mq, rq);
+}
+
+SimtMatchStats MatchEngine::match(std::span<const Message> msgs,
+                                  std::span<const RecvRequest> reqs) const {
+  if (!cfg_.wildcards) {
+    for (const auto& r : reqs) {
+      if (has_wildcard(r.env)) {
+        throw std::invalid_argument("wildcards are prohibited by the configured semantics");
+      }
+    }
+  }
+
+  // "The top level partitions among communicators, as there exist no
+  // dependencies" (Section VI): one matching engine per communicator.
+  // Multi-comm batches are split exactly; the per-comm engines would run
+  // concurrently on distinct SMs, but we charge them serialized on one SM
+  // (conservative).
+  const auto comms = comms_of(msgs, reqs);
+  SimtMatchStats stats;
+  if (comms.size() <= 1) {
+    stats = match_single_comm(msgs, reqs);
+  } else {
+    stats.result.request_match.assign(reqs.size(), kNoMatch);
+    for (const auto comm : comms) {
+      std::vector<Message> sub_msgs;
+      std::vector<std::uint32_t> msg_map;
+      for (std::size_t i = 0; i < msgs.size(); ++i) {
+        if (msgs[i].env.comm == comm) {
+          sub_msgs.push_back(msgs[i]);
+          msg_map.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+      std::vector<RecvRequest> sub_reqs;
+      std::vector<std::uint32_t> req_map;
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (reqs[i].env.comm == comm) {
+          sub_reqs.push_back(reqs[i]);
+          req_map.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+      const auto sub = match_single_comm(sub_msgs, sub_reqs);
+      for (std::size_t r = 0; r < sub.result.request_match.size(); ++r) {
+        const auto m = sub.result.request_match[r];
+        if (m == kNoMatch) continue;
+        stats.result.request_match[req_map[r]] =
+            static_cast<std::int32_t>(msg_map[static_cast<std::size_t>(m)]);
+      }
+      stats.scan_events += sub.scan_events;
+      stats.reduce_events += sub.reduce_events;
+      stats.compact_events += sub.compact_events;
+      stats.cycles += sub.cycles;
+      stats.seconds += sub.seconds;
+      stats.iterations += sub.iterations;
+      stats.warps_used = std::max(stats.warps_used, sub.warps_used);
+      stats.ctas_used = std::max(stats.ctas_used, sub.ctas_used);
+    }
+  }
+
+  if (!cfg_.unexpected && stats.result.matched() != msgs.size()) {
+    throw std::runtime_error(
+        "unexpected message encountered, but the configured semantics prohibit "
+        "unexpected messages (pre-post all receives or enable `unexpected`)");
+  }
+  return stats;
+}
+
+SimtMatchStats MatchEngine::match_queues(MessageQueue& mq, RecvQueue& rq) const {
+  if (!cfg_.wildcards) {
+    for (const auto& r : rq.view()) {
+      if (has_wildcard(r.env)) {
+        throw std::invalid_argument("wildcards are prohibited by the configured semantics");
+      }
+    }
+  }
+
+  const auto comms = comms_of(mq.view(), rq.view());
+  const bool single_comm = comms.size() <= 1;
+
+  if (single_comm && impl_->matrix) return impl_->matrix->match_queues(mq, rq);
+  if (single_comm && impl_->hash) return impl_->hash->match_queues(mq, rq);
+
+  // Multi-comm or partitioned: batch-match (match() splits communicators),
+  // then compact both queues.
+  SimtMatchStats stats;
+  if (single_comm && impl_->partitioned) {
+    stats = impl_->partitioned->match(mq.view(), rq.view());
+  } else {
+    stats = match(mq.view(), rq.view());
+  }
+  std::vector<std::uint8_t> msg_flags(mq.size(), 0);
+  std::vector<std::uint8_t> req_flags(rq.size(), 0);
+  for (std::size_t r = 0; r < stats.result.request_match.size(); ++r) {
+    const auto m = stats.result.request_match[r];
+    if (m == kNoMatch) continue;
+    req_flags[r] = 1;
+    msg_flags[static_cast<std::size_t>(m)] = 1;
+  }
+  (void)mq.compact(msg_flags);
+  (void)rq.compact(req_flags);
+  return stats;
+}
+
+}  // namespace simtmsg::matching

@@ -1,0 +1,62 @@
+// MatchEngine: the public facade.  Given a SemanticsConfig (a row of
+// Table II), it selects the appropriate algorithm and data structure:
+//
+//   wildcards  ordering  unexpected  -> algorithm          (Table II)
+//   yes        yes       yes/no      -> matrix, single queue
+//   no         yes       yes/no      -> matrix, rank-partitioned queues
+//   no         no        yes/no      -> two-level hash table
+//
+// Prohibiting unexpected messages removes the compaction pass (Section
+// VI-B) — with every message guaranteed to match, queues drain completely
+// and head pointers simply reset.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "matching/envelope.hpp"
+#include "matching/queue.hpp"
+#include "matching/semantics.hpp"
+#include "matching/simt_stats.hpp"
+#include "simt/device_spec.hpp"
+
+namespace simtmsg::matching {
+
+class MatchEngine {
+ public:
+  MatchEngine(const simt::DeviceSpec& spec, SemanticsConfig cfg);
+  ~MatchEngine();
+
+  MatchEngine(MatchEngine&&) noexcept;
+  MatchEngine& operator=(MatchEngine&&) noexcept;
+  MatchEngine(const MatchEngine&) = delete;
+  MatchEngine& operator=(const MatchEngine&) = delete;
+
+  /// Batch-match.  Enforces the configured semantics: wildcard receives are
+  /// rejected (std::invalid_argument) when wildcards are prohibited, and
+  /// unmatched messages are rejected when unexpected messages are
+  /// prohibited (every message must find a request).
+  [[nodiscard]] SimtMatchStats match(std::span<const Message> msgs,
+                                     std::span<const RecvRequest> reqs) const;
+
+  /// Drain two live queues: match as much as possible and remove matched
+  /// elements.  Result indices refer to the queues' contents *before* the
+  /// call.  Unlike match(), leftovers are not an error — the caller (the
+  /// runtime's progress engine) decides how to treat unexpected messages.
+  [[nodiscard]] SimtMatchStats match_queues(MessageQueue& mq, RecvQueue& rq) const;
+
+  [[nodiscard]] const SemanticsConfig& semantics() const noexcept { return cfg_; }
+  [[nodiscard]] std::string_view algorithm() const noexcept;  ///< "matrix" | "partitioned-matrix" | "hash-table"
+
+ private:
+  SimtMatchStats match_single_comm(std::span<const Message> msgs,
+                                   std::span<const RecvRequest> reqs) const;
+
+  struct Impl;
+  const simt::DeviceSpec* spec_;
+  SemanticsConfig cfg_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace simtmsg::matching

@@ -1,0 +1,50 @@
+#include "matching/envelope.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace simtmsg::matching {
+
+std::uint64_t pack(const Envelope& e) {
+  if (e.src < 0 || e.tag < 0 || e.tag > 0xFFFF || e.comm < 0 || e.comm > 0xFFFF) {
+    throw std::invalid_argument("envelope not packable: " + to_string(e));
+  }
+  return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(e.comm)) << 48) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.src)) << 16) |
+         static_cast<std::uint64_t>(static_cast<std::uint16_t>(e.tag));
+}
+
+Envelope unpack(std::uint64_t word) noexcept {
+  Envelope e;
+  e.tag = static_cast<Tag>(word & 0xFFFFu);
+  e.src = static_cast<Rank>((word >> 16) & 0xFFFF'FFFFu);
+  e.comm = static_cast<CommId>((word >> 48) & 0xFFFFu);
+  return e;
+}
+
+std::uint32_t match_key(const Envelope& e) noexcept {
+  return (static_cast<std::uint32_t>(e.src) << 16) ^
+         static_cast<std::uint32_t>(static_cast<std::uint16_t>(e.tag));
+}
+
+std::string to_string(const Envelope& e) {
+  std::ostringstream ss;
+  ss << "{src=";
+  if (e.src == kAnySource) {
+    ss << "ANY";
+  } else {
+    ss << e.src;
+  }
+  ss << ", tag=";
+  if (e.tag == kAnyTag) {
+    ss << "ANY";
+  } else {
+    ss << e.tag;
+  }
+  ss << ", comm=" << e.comm << "}";
+  return ss.str();
+}
+
+}  // namespace simtmsg::matching

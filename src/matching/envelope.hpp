@@ -1,0 +1,77 @@
+// Message envelopes and the MPI matching rule.
+//
+// Matching is based on the tuple {source, tag, communicator} (paper
+// Section II-B).  Receive requests may wildcard the source
+// (MPI_ANY_SOURCE) and/or the tag (MPI_ANY_TAG); messages never carry
+// wildcards.  Section IV observes that no analyzed application needs tags
+// wider than 16 bits, so "the entire header could fit into a single 64-bit
+// word" — pack()/unpack() implement exactly that layout.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace simtmsg::matching {
+
+using Rank = std::int32_t;
+using Tag = std::int32_t;
+using CommId = std::int32_t;
+
+/// MPI_ANY_SOURCE analogue.
+inline constexpr Rank kAnySource = -1;
+/// MPI_ANY_TAG analogue.
+inline constexpr Tag kAnyTag = -1;
+
+struct Envelope {
+  Rank src = 0;
+  Tag tag = 0;
+  CommId comm = 0;
+
+  friend auto operator<=>(const Envelope&, const Envelope&) = default;
+};
+
+/// True if the envelope contains any wildcard (only meaningful on receives).
+[[nodiscard]] constexpr bool has_wildcard(const Envelope& e) noexcept {
+  return e.src == kAnySource || e.tag == kAnyTag;
+}
+
+/// The MPI matching rule: does receive request `recv` accept message `msg`?
+[[nodiscard]] constexpr bool matches(const Envelope& recv, const Envelope& msg) noexcept {
+  return recv.comm == msg.comm &&
+         (recv.src == kAnySource || recv.src == msg.src) &&
+         (recv.tag == kAnyTag || recv.tag == msg.tag);
+}
+
+/// 64-bit packed header: [63:48] comm (16 bits) | [47:16] src (32 bits) |
+/// [15:0] tag (16 bits).  Wildcards are not packable (headers describe
+/// messages on the wire, which never carry wildcards).
+[[nodiscard]] std::uint64_t pack(const Envelope& e);
+[[nodiscard]] Envelope unpack(std::uint64_t word) noexcept;
+
+/// 32-bit key for hash-based matching: mixes src and tag (the communicator
+/// is implicit — "we presume one matching engine per communicator", §V-A).
+[[nodiscard]] std::uint32_t match_key(const Envelope& e) noexcept;
+
+[[nodiscard]] std::string to_string(const Envelope& e);
+
+/// A message sitting in the (unified) message queue.  `seq` is the arrival
+/// sequence number, which encodes the per-pair ordering MPI guarantees.
+struct Message {
+  Envelope env;
+  std::uint64_t seq = 0;
+  std::uint64_t payload = 0;  ///< Opaque user data (pointer/handle stand-in).
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// A posted receive request in the receive request queue.
+struct RecvRequest {
+  Envelope env;  ///< May contain kAnySource / kAnyTag.
+  std::uint64_t seq = 0;
+  std::uint64_t user_data = 0;
+
+  friend bool operator==(const RecvRequest&, const RecvRequest&) = default;
+};
+
+}  // namespace simtmsg::matching

@@ -1,0 +1,202 @@
+#include "matching/hash_matcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "matching/device_hash_table.hpp"
+#include "simt/cta.hpp"
+#include "simt/timing_model.hpp"
+#include "util/bits.hpp"
+
+namespace simtmsg::matching {
+namespace {
+
+[[nodiscard]] std::uint64_t raw_word(const Envelope& e) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.src)) << 32) |
+         static_cast<std::uint32_t>(e.tag);
+}
+
+}  // namespace
+
+HashMatcher::HashMatcher(const simt::DeviceSpec& spec, Options opt)
+    : spec_(&spec), opt_(opt) {
+  opt_.ctas = std::max(1, opt_.ctas);
+  opt_.max_warps = std::clamp(opt_.max_warps, 1, spec.max_warps_per_cta);
+  opt_.max_iterations = std::max(1, opt_.max_iterations);
+}
+
+SimtMatchStats HashMatcher::match(std::span<const Message> msgs,
+                                  std::span<const RecvRequest> reqs) const {
+  for (const auto& r : reqs) {
+    if (has_wildcard(r.env)) {
+      throw std::invalid_argument("HashMatcher requires wildcard-free receives");
+    }
+  }
+
+  SimtMatchStats stats;
+  stats.result.request_match.assign(reqs.size(), kNoMatch);
+  stats.ctas_used = opt_.ctas;
+  if (msgs.empty() || reqs.empty()) return stats;
+
+  // Device-resident words (only src and tag are read, as in the matrix
+  // matcher; the communicator is implicit).
+  std::vector<std::uint64_t> msg_words(msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) msg_words[i] = raw_word(msgs[i].env);
+  std::vector<std::uint64_t> req_words(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) req_words[i] = raw_word(reqs[i].env);
+
+  DeviceHashTable table(std::max(msgs.size(), reqs.size()), opt_.table_ratio, opt_.hash);
+
+  std::vector<std::uint32_t> pending_reqs(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) pending_reqs[i] = static_cast<std::uint32_t>(i);
+  std::vector<std::uint32_t> pending_msgs(msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) pending_msgs[i] = static_cast<std::uint32_t>(i);
+
+  const simt::TimingModel model(*spec_);
+  double total_cycles = 0.0;
+
+  for (int iter = 0; iter < opt_.max_iterations; ++iter) {
+    if (pending_msgs.empty() || (pending_reqs.empty() && table.occupancy() == 0)) break;
+    stats.iterations = iter + 1;
+
+    // Slice the pending work across CTAs.
+    const std::size_t work = std::max(pending_reqs.size(), pending_msgs.size());
+    const auto ctas = static_cast<std::size_t>(opt_.ctas);
+    const std::size_t per_cta = util::ceil_div(work, ctas);
+    const int warps_per_cta = static_cast<int>(std::clamp<std::size_t>(
+        util::ceil_div(per_cta, simt::kWarpSize), 1, static_cast<std::size_t>(opt_.max_warps)));
+
+    std::vector<simt::EventCounters> per_cta_events;
+    per_cta_events.reserve(ctas);
+
+    std::vector<std::uint32_t> deferred_reqs;
+    std::vector<std::uint32_t> deferred_msgs;
+    std::size_t inserted_total = 0;
+    std::size_t matched_total = 0;
+
+    for (std::size_t cta_id = 0; cta_id < ctas; ++cta_id) {
+      simt::CtaContext cta(static_cast<int>(cta_id), warps_per_cta, spec_->shared_mem_per_sm);
+
+      // ---- Phase 1: insert this CTA's slice of pending receive requests.
+      const std::size_t rq_begin = std::min(cta_id * per_cta, pending_reqs.size());
+      const std::size_t rq_end = std::min(rq_begin + per_cta, pending_reqs.size());
+      for (std::size_t g = rq_begin; g < rq_end; g += simt::kWarpSize) {
+        const int live = static_cast<int>(
+            std::min<std::size_t>(simt::kWarpSize, rq_end - g));
+        auto& warp = cta.warp(static_cast<int>((g / simt::kWarpSize) %
+                                               static_cast<std::size_t>(warps_per_cta)));
+        warp.set_active(util::low_mask(live));
+
+        simt::LaneSize idx;
+        for (int lane = 0; lane < live; ++lane) idx[lane] = pending_reqs[g + lane];
+        const auto words =
+            warp.load_global(std::span<const std::uint64_t>(req_words), idx);
+
+        // Key = (src << 16) ^ tag, the raw packed tuple: srcs and tags are
+        // 16-bit-scale in practice (Section IV), so the fold is injective
+        // on the trace-realistic domain; a full-envelope check after each
+        // claim guards the general case.
+        simt::LaneU32 keys, values;
+        warp.lanes(
+            [&](int lane) {
+              keys[lane] = (static_cast<std::uint32_t>(words[lane] >> 32) << 16) ^
+                           static_cast<std::uint32_t>(words[lane] & 0xFFFF'FFFFu);
+              values[lane] = static_cast<std::uint32_t>(idx[lane]);
+            },
+            3);
+
+        simt::LaneBool inserted;
+        table.insert(warp, keys, values, inserted);
+        for (int lane = 0; lane < live; ++lane) {
+          if (inserted[lane]) {
+            ++inserted_total;
+          } else {
+            deferred_reqs.push_back(pending_reqs[g + lane]);
+          }
+        }
+      }
+
+      // ---- Phase 2: probe with this CTA's slice of pending messages.
+      const std::size_t mq_begin = std::min(cta_id * per_cta, pending_msgs.size());
+      const std::size_t mq_end = std::min(mq_begin + per_cta, pending_msgs.size());
+      for (std::size_t g = mq_begin; g < mq_end; g += simt::kWarpSize) {
+        const int live = static_cast<int>(
+            std::min<std::size_t>(simt::kWarpSize, mq_end - g));
+        auto& warp = cta.warp(static_cast<int>((g / simt::kWarpSize) %
+                                               static_cast<std::size_t>(warps_per_cta)));
+        warp.set_active(util::low_mask(live));
+
+        simt::LaneSize idx;
+        for (int lane = 0; lane < live; ++lane) idx[lane] = pending_msgs[g + lane];
+        const auto words =
+            warp.load_global(std::span<const std::uint64_t>(msg_words), idx);
+
+        simt::LaneU32 keys, values;
+        warp.lanes(
+            [&](int lane) {
+              keys[lane] = (static_cast<std::uint32_t>(words[lane] >> 32) << 16) ^
+                           static_cast<std::uint32_t>(words[lane] & 0xFFFF'FFFFu);
+            },
+            2);
+
+        // Pre-claim verification: aliased 32-bit keys must not evict the
+        // genuine owner's entry (claim-then-reinsert would starve it).
+        const auto verify = [&](int lane, std::uint32_t req_idx) {
+          return matches(reqs[req_idx].env, msgs[pending_msgs[g + lane]].env);
+        };
+        simt::LaneBool found;
+        table.probe_claim(warp, keys, values, found, verify);
+
+        for (int lane = 0; lane < live; ++lane) {
+          const std::uint32_t msg_idx = pending_msgs[g + lane];
+          if (!found[lane]) {
+            deferred_msgs.push_back(msg_idx);
+            continue;
+          }
+          const std::uint32_t req_idx = values[lane];
+          stats.result.request_match[req_idx] = static_cast<std::int32_t>(msg_idx);
+          ++matched_total;
+        }
+      }
+
+      per_cta_events.push_back(cta.counters());
+      stats.scan_events += cta.counters();
+    }
+
+    simt::LaunchConfig launch;
+    launch.ctas = opt_.ctas;
+    launch.warps_per_cta = warps_per_cta;
+    launch.mlp_per_warp = opt_.kernel_mlp;
+    const auto est = model.estimate(per_cta_events, launch);
+    total_cycles += est.cycles + opt_.iteration_overhead_cycles;
+    stats.warps_used = std::max(stats.warps_used, warps_per_cta);
+
+    pending_reqs.swap(deferred_reqs);
+    pending_msgs.swap(deferred_msgs);
+
+    if (inserted_total == 0 && matched_total == 0) break;  // No progress.
+  }
+
+  stats.cycles = total_cycles;
+  stats.seconds = model.seconds_from_cycles(total_cycles);
+  return stats;
+}
+
+SimtMatchStats HashMatcher::match_queues(MessageQueue& mq, RecvQueue& rq) const {
+  SimtMatchStats stats = match(mq.view(), rq.view());
+
+  std::vector<std::uint8_t> msg_flags(mq.size(), 0);
+  std::vector<std::uint8_t> req_flags(rq.size(), 0);
+  for (std::size_t r = 0; r < stats.result.request_match.size(); ++r) {
+    const auto m = stats.result.request_match[r];
+    if (m == kNoMatch) continue;
+    req_flags[r] = 1;
+    msg_flags[static_cast<std::size_t>(m)] = 1;
+  }
+  (void)mq.compact(msg_flags);
+  (void)rq.compact(req_flags);
+  return stats;
+}
+
+}  // namespace simtmsg::matching

@@ -1,0 +1,56 @@
+// HashMatcher: out-of-order matching via the two-level device hash table
+// (Section VI-C, Figure 6b) — the paper's most aggressive relaxation.
+//
+// Preconditions (Table II rows 5/6): no wildcards, no ordering guarantee.
+// Each iteration has two phases: (1) every thread inserts one pending
+// receive request into the table, (2) every thread probes the table with
+// one pending message's key and claims the matching entry.  Collisions
+// defer work to the next iteration ("The more collisions occur, the more
+// iterations are required to match all elements").
+#pragma once
+
+#include <span>
+
+#include "matching/envelope.hpp"
+#include "matching/queue.hpp"
+#include "matching/simt_stats.hpp"
+#include "simt/device_spec.hpp"
+#include "util/hash.hpp"
+
+namespace simtmsg::matching {
+
+class HashMatcher {
+ public:
+  struct Options {
+    double table_ratio = 5.0;  ///< Primary:secondary size ratio (paper: 5).
+    util::HashKind hash = util::HashKind::kJenkins;
+    int ctas = 1;              ///< Elements are split across CTAs (Fig. 6b series).
+    int max_warps = 32;
+    int max_iterations = 128;  ///< Safety valve for pathological hashes.
+    double iteration_overhead_cycles = 400.0;
+    /// Hash probes are independent per-thread accesses: one warp keeps many
+    /// requests in flight, unlike the matrix scan's serialized loop.
+    double kernel_mlp = 8.0;
+  };
+
+  explicit HashMatcher(const simt::DeviceSpec& spec) : HashMatcher(spec, Options{}) {}
+  HashMatcher(const simt::DeviceSpec& spec, Options opt);
+
+  /// Match messages against receive requests with unordered semantics.
+  /// The pairing is arbitrary among equal tuples (this is the point of the
+  /// relaxation); the multiset of matched tuples is maximal for the given
+  /// iteration budget.  Throws std::invalid_argument on wildcard requests.
+  [[nodiscard]] SimtMatchStats match(std::span<const Message> msgs,
+                                     std::span<const RecvRequest> reqs) const;
+
+  /// Drain queues: match and remove matched elements.
+  [[nodiscard]] SimtMatchStats match_queues(MessageQueue& mq, RecvQueue& rq) const;
+
+  [[nodiscard]] const Options& options() const noexcept { return opt_; }
+
+ private:
+  const simt::DeviceSpec* spec_;
+  Options opt_;
+};
+
+}  // namespace simtmsg::matching

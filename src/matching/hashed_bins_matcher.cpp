@@ -1,0 +1,139 @@
+#include "matching/hashed_bins_matcher.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace simtmsg::matching {
+
+HashedBinsMatcher::HashedBinsMatcher(int bins, util::HashKind hash) : hash_(hash) {
+  if (bins < 1) throw std::invalid_argument("bins must be >= 1");
+  umq_.resize(static_cast<std::size_t>(bins));
+  prq_.resize(static_cast<std::size_t>(bins));
+}
+
+std::optional<RecvRequest> HashedBinsMatcher::arrive(const Message& msg) {
+  auto& bin = prq_[bin_of(msg.env)];
+
+  auto bin_it = bin.end();
+  for (auto it = bin.begin(); it != bin.end(); ++it) {
+    ++search_steps_;
+    if (matches(it->req.env, msg.env)) {
+      bin_it = it;
+      break;
+    }
+  }
+  auto wild_it = wildcard_prq_.end();
+  for (auto it = wildcard_prq_.begin(); it != wildcard_prq_.end(); ++it) {
+    ++search_steps_;
+    if (matches(it->req.env, msg.env)) {
+      wild_it = it;
+      break;
+    }
+  }
+
+  const std::uint64_t bin_seq =
+      bin_it == bin.end() ? std::numeric_limits<std::uint64_t>::max() : bin_it->seq;
+  const std::uint64_t wild_seq = wild_it == wildcard_prq_.end()
+                                     ? std::numeric_limits<std::uint64_t>::max()
+                                     : wild_it->seq;
+
+  if (bin_it != bin.end() && bin_seq < wild_seq) {
+    RecvRequest hit = bin_it->req;
+    bin.erase(bin_it);
+    return hit;
+  }
+  if (wild_it != wildcard_prq_.end()) {
+    RecvRequest hit = wild_it->req;
+    wildcard_prq_.erase(wild_it);
+    return hit;
+  }
+
+  umq_[bin_of(msg.env)].push_back({msg, next_seq_++, next_msg_index_++});
+  return std::nullopt;
+}
+
+std::optional<Message> HashedBinsMatcher::post(const RecvRequest& req) {
+  std::uint32_t index_unused = 0;
+  return post_indexed(req, index_unused);
+}
+
+std::optional<Message> HashedBinsMatcher::post_indexed(const RecvRequest& req,
+                                                       std::uint32_t& index) {
+  if (!has_wildcard(req.env)) {
+    auto& bin = umq_[bin_of(req.env)];
+    for (auto it = bin.begin(); it != bin.end(); ++it) {
+      ++search_steps_;
+      if (matches(req.env, it->msg.env)) {
+        Message hit = it->msg;
+        index = it->index;
+        bin.erase(it);
+        return hit;
+      }
+    }
+    prq_[bin_of(req.env)].push_back({req, next_seq_++});
+    return std::nullopt;
+  }
+
+  // Any wildcard (src or tag): the bin address is unknown, so every bin is
+  // scanned for the earliest matching arrival (the marker-restored global
+  // order).
+  std::list<UmqEntry>* best_list = nullptr;
+  std::list<UmqEntry>::iterator best_it;
+  std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+  for (auto& bin : umq_) {
+    for (auto it = bin.begin(); it != bin.end(); ++it) {
+      ++search_steps_;
+      if (matches(req.env, it->msg.env) && it->seq < best_seq) {
+        best_seq = it->seq;
+        best_list = &bin;
+        best_it = it;
+      }
+    }
+  }
+  if (best_list != nullptr) {
+    Message hit = best_it->msg;
+    index = best_it->index;
+    best_list->erase(best_it);
+    return hit;
+  }
+  wildcard_prq_.push_back({req, next_seq_++});
+  return std::nullopt;
+}
+
+std::size_t HashedBinsMatcher::umq_depth() const noexcept {
+  std::size_t n = 0;
+  for (const auto& bin : umq_) n += bin.size();
+  return n;
+}
+
+std::size_t HashedBinsMatcher::prq_depth() const noexcept {
+  std::size_t n = wildcard_prq_.size();
+  for (const auto& bin : prq_) n += bin.size();
+  return n;
+}
+
+void HashedBinsMatcher::clear() {
+  for (auto& bin : umq_) bin.clear();
+  for (auto& bin : prq_) bin.clear();
+  wildcard_prq_.clear();
+  next_seq_ = 0;
+  search_steps_ = 0;
+  next_msg_index_ = 0;
+}
+
+MatchResult HashedBinsMatcher::match(std::span<const Message> msgs,
+                                     std::span<const RecvRequest> reqs, int bins) {
+  HashedBinsMatcher m(bins);
+  for (const auto& msg : msgs) (void)m.arrive(msg);
+
+  MatchResult result;
+  result.request_match.assign(reqs.size(), kNoMatch);
+  for (std::size_t r = 0; r < reqs.size(); ++r) {
+    std::uint32_t index = 0;
+    const auto hit = m.post_indexed(reqs[r], index);
+    if (hit.has_value()) result.request_match[r] = static_cast<std::int32_t>(index);
+  }
+  return result;
+}
+
+}  // namespace simtmsg::matching

@@ -1,0 +1,78 @@
+// HashedBinsMatcher: the Flajslik et al. approach from the paper's related
+// work (Section III): "use hashes to address multiple queues and insert
+// so-called marker entries to restore order and support wildcards.  Their
+// approach yields 3.5x better performance than traditional, list-based
+// matching algorithms for the Fire Dynamics Simulator."
+//
+// Host-side CPU matcher: UMQ and PRQ are split into K bins addressed by
+// hash{src, tag}; concrete lookups touch exactly one bin.  Wildcard
+// receives live in a side list, ordered against binned entries by global
+// sequence numbers (the role Flajslik's markers play).  Unlike the
+// rank-partitioned scheme, bins also spread load for applications whose
+// traffic concentrates on few sources but many tags (PARTISN, MOCFE).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "matching/envelope.hpp"
+#include "matching/match_result.hpp"
+#include "util/hash.hpp"
+
+namespace simtmsg::matching {
+
+class HashedBinsMatcher {
+ public:
+  explicit HashedBinsMatcher(int bins = 64,
+                             util::HashKind hash = util::HashKind::kJenkins);
+
+  /// Incoming message: consult its {src, tag} bin's PRQ and the wildcard
+  /// list; the earlier-posted request wins.
+  std::optional<RecvRequest> arrive(const Message& msg);
+
+  /// Posted receive: a concrete receive searches one UMQ bin; a receive
+  /// with any wildcard must scan all bins for the earliest arrival.
+  std::optional<Message> post(const RecvRequest& req);
+
+  [[nodiscard]] int bins() const noexcept { return static_cast<int>(umq_.size()); }
+  [[nodiscard]] std::size_t umq_depth() const noexcept;
+  [[nodiscard]] std::size_t prq_depth() const noexcept;
+  [[nodiscard]] std::uint64_t search_steps() const noexcept { return search_steps_; }
+
+  void clear();
+
+  /// Batch interface mirroring ListMatcher::match for cross-validation.
+  [[nodiscard]] static MatchResult match(std::span<const Message> msgs,
+                                         std::span<const RecvRequest> reqs,
+                                         int bins = 64);
+
+ private:
+  struct UmqEntry {
+    Message msg;
+    std::uint64_t seq;
+    std::uint32_t index;
+  };
+  struct PrqEntry {
+    RecvRequest req;
+    std::uint64_t seq;
+  };
+
+  std::optional<Message> post_indexed(const RecvRequest& req, std::uint32_t& index);
+
+  [[nodiscard]] std::size_t bin_of(const Envelope& e) const noexcept {
+    return util::hash32(hash_, match_key(e)) % umq_.size();
+  }
+
+  std::vector<std::list<UmqEntry>> umq_;
+  std::vector<std::list<PrqEntry>> prq_;
+  std::list<PrqEntry> wildcard_prq_;
+  util::HashKind hash_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t search_steps_ = 0;
+  std::uint32_t next_msg_index_ = 0;
+};
+
+}  // namespace simtmsg::matching

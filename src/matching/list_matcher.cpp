@@ -1,0 +1,57 @@
+#include "matching/list_matcher.hpp"
+
+namespace simtmsg::matching {
+
+std::optional<RecvRequest> ListMatcher::arrive(const Message& msg) {
+  for (auto it = prq_.begin(); it != prq_.end(); ++it) {
+    ++search_steps_;
+    if (matches(it->env, msg.env)) {
+      RecvRequest hit = *it;
+      prq_.erase(it);
+      return hit;
+    }
+  }
+  umq_.push_back({msg, next_msg_index_++});
+  return std::nullopt;
+}
+
+std::optional<Message> ListMatcher::post(const RecvRequest& req) {
+  for (auto it = umq_.begin(); it != umq_.end(); ++it) {
+    ++search_steps_;
+    if (matches(req.env, it->msg.env)) {
+      Message hit = it->msg;
+      umq_.erase(it);
+      return hit;
+    }
+  }
+  prq_.push_back(req);
+  return std::nullopt;
+}
+
+void ListMatcher::clear() {
+  umq_.clear();
+  prq_.clear();
+  search_steps_ = 0;
+  next_msg_index_ = 0;
+}
+
+MatchResult ListMatcher::match(std::span<const Message> msgs,
+                               std::span<const RecvRequest> reqs) {
+  ListMatcher lm;
+  for (const auto& m : msgs) (void)lm.arrive(m);
+
+  MatchResult result;
+  result.request_match.assign(reqs.size(), kNoMatch);
+  for (std::size_t r = 0; r < reqs.size(); ++r) {
+    for (auto it = lm.umq_.begin(); it != lm.umq_.end(); ++it) {
+      if (matches(reqs[r].env, it->msg.env)) {
+        result.request_match[r] = static_cast<std::int32_t>(it->index);
+        lm.umq_.erase(it);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace simtmsg::matching

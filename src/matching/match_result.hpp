@@ -1,0 +1,47 @@
+// The result of one matching pass: for every receive request, the index of
+// the message it matched (or kNoMatch).  This mirrors the paper's
+// description: "The result of the matching algorithm is a vector that
+// indicates the position of the matched message for every receive request"
+// (Section V-A), possibly containing no-matches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace simtmsg::matching {
+
+inline constexpr std::int32_t kNoMatch = -1;
+
+struct MatchPair {
+  std::uint32_t msg_index;
+  std::uint32_t req_index;
+
+  friend bool operator==(const MatchPair&, const MatchPair&) = default;
+  friend auto operator<=>(const MatchPair&, const MatchPair&) = default;
+};
+
+struct MatchResult {
+  /// request_match[i] = index of the message matched by receive request i,
+  /// or kNoMatch.
+  std::vector<std::int32_t> request_match;
+
+  [[nodiscard]] std::size_t matched() const noexcept {
+    std::size_t n = 0;
+    for (const auto m : request_match) n += (m != kNoMatch);
+    return n;
+  }
+
+  [[nodiscard]] std::vector<MatchPair> pairs() const {
+    std::vector<MatchPair> out;
+    out.reserve(request_match.size());
+    for (std::size_t i = 0; i < request_match.size(); ++i) {
+      if (request_match[i] != kNoMatch) {
+        out.push_back({static_cast<std::uint32_t>(request_match[i]),
+                       static_cast<std::uint32_t>(i)});
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace simtmsg::matching

@@ -1,0 +1,352 @@
+#include "matching/matrix_matcher.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "matching/compaction.hpp"
+#include "simt/cta.hpp"
+#include "simt/timing_model.hpp"
+#include "util/bits.hpp"
+
+namespace simtmsg::matching {
+namespace {
+
+// The kernels read only src and tag of each element ("Instead of reading
+// the entire message or receive request, only src and tag are being read",
+// Algorithm 1): one 64-bit word per element, wildcards representable as
+// 0xFFFFFFFF halves.
+[[nodiscard]] std::uint64_t raw_word(Rank src, Tag tag) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+
+[[nodiscard]] Rank word_src(std::uint64_t w) noexcept {
+  return static_cast<Rank>(static_cast<std::uint32_t>(w >> 32));
+}
+
+[[nodiscard]] Tag word_tag(std::uint64_t w) noexcept {
+  return static_cast<Tag>(static_cast<std::uint32_t>(w));
+}
+
+/// Does the receive word accept the message word (wildcards on the receive
+/// side only)?
+[[nodiscard]] bool word_matches(std::uint64_t recv, std::uint64_t msg) noexcept {
+  const Rank rsrc = word_src(recv);
+  const Tag rtag = word_tag(recv);
+  return (rsrc == kAnySource || rsrc == word_src(msg)) &&
+         (rtag == kAnyTag || rtag == word_tag(msg));
+}
+
+[[nodiscard]] simt::EventCounters delta(const simt::EventCounters& now,
+                                        const simt::EventCounters& before) noexcept {
+  simt::EventCounters d = now;
+  d.alu_instructions -= before.alu_instructions;
+  d.ballot_instructions -= before.ballot_instructions;
+  d.shuffle_instructions -= before.shuffle_instructions;
+  d.branch_instructions -= before.branch_instructions;
+  d.divergent_branches -= before.divergent_branches;
+  d.shared_transactions -= before.shared_transactions;
+  d.global_transactions -= before.global_transactions;
+  d.global_load_requests -= before.global_load_requests;
+  d.global_store_requests -= before.global_store_requests;
+  d.atomic_operations -= before.atomic_operations;
+  d.stall_cycles -= before.stall_cycles;
+  d.warp_syncs -= before.warp_syncs;
+  d.cta_barriers -= before.cta_barriers;
+  return d;
+}
+
+}  // namespace
+
+MatrixMatcher::MatrixMatcher(const simt::DeviceSpec& spec, Options opt)
+    : spec_(&spec), opt_(opt) {
+  opt_.max_warps = std::clamp(opt_.max_warps, 1, spec.max_warps_per_cta);
+  opt_.column_chunk = std::max(1, opt_.column_chunk);
+  opt_.request_window = std::max(1, opt_.request_window);
+  opt_.warp_width = std::clamp(opt_.warp_width, 1, simt::kWarpSize);
+}
+
+SimtMatchStats MatrixMatcher::match_window(std::span<const Message> msgs,
+                                           std::span<const RecvRequest> reqs) const {
+  SimtMatchStats stats;
+  stats.result.request_match.assign(reqs.size(), kNoMatch);
+  stats.iterations = 1;
+
+  const std::size_t n_msgs = std::min(msgs.size(), static_cast<std::size_t>(capacity()));
+  const std::size_t n_reqs =
+      std::min(reqs.size(), static_cast<std::size_t>(opt_.request_window));
+  if (n_msgs == 0 || n_reqs == 0) return stats;
+
+  // Device-resident element words (global memory).
+  std::vector<std::uint64_t> msg_words(n_msgs);
+  for (std::size_t i = 0; i < n_msgs; ++i) {
+    msg_words[i] = raw_word(msgs[i].env.src, msgs[i].env.tag);
+  }
+  std::vector<std::uint64_t> req_words(n_reqs);
+  for (std::size_t i = 0; i < n_reqs; ++i) {
+    req_words[i] = raw_word(reqs[i].env.src, reqs[i].env.tag);
+  }
+
+  const simt::TimingModel model(*spec_);
+
+  const auto width = static_cast<std::size_t>(opt_.warp_width);
+  if (n_msgs <= width) {
+    // ----- Single-warp fast path: no vote matrix ("queues with less than
+    // 64 elements are scanned by a single warp and no matrix is generated").
+    simt::CtaContext cta(0, 1, spec_->shared_mem_per_sm);
+    auto& warp = cta.warp(0);
+    warp.set_active(util::low_mask(static_cast<int>(n_msgs)));
+
+    // Each lane loads its message word once (coalesced).
+    const auto msg_w = warp.load_global(std::span<const std::uint64_t>(msg_words),
+                                        simt::LaneSize::iota());
+    std::uint32_t consumed = 0;
+    for (std::size_t col = 0; col < n_reqs; ++col) {
+      const std::uint64_t req_w =
+          warp.load_global_broadcast(std::span<const std::uint64_t>(req_words), col);
+      simt::LaneBool pred;
+      warp.lanes([&](int lane) { pred[lane] = word_matches(req_w, msg_w[lane]); },
+                 /*instructions=*/3);
+      const std::uint32_t vote = warp.ballot(pred);
+      const std::uint32_t eligible = vote & ~consumed;
+      warp.count_alu(1);
+      warp.count_branch(eligible != 0);
+      warp.count_stall(static_cast<std::uint64_t>(opt_.reduce_chain_cycles));
+      if (eligible != 0) {
+        const int pos = util::ffs(eligible) - 1;
+        consumed = util::set_bit(consumed, pos);
+        warp.count_alu(2);
+        warp.counters().global_store_requests += 1;
+        warp.counters().global_transactions += 1;
+        stats.result.request_match[col] = pos;
+      }
+    }
+    stats.scan_events = cta.counters();
+    stats.warps_used = 1;
+    stats.cycles = model.cycles(stats.scan_events, /*resident_warps=*/1) +
+                   opt_.iteration_overhead_cycles;
+    stats.seconds = model.seconds_from_cycles(stats.cycles);
+    return stats;
+  }
+
+  // ----- General path: multi-warp scan (Algorithm 1) + single-warp reduce
+  // (Algorithm 2), chunked over columns so the vote matrix chunk fits in
+  // shared memory and the two phases can be pipelined.
+  const int warps_used = static_cast<int>(util::ceil_div(n_msgs, width));
+  const std::size_t chunk_cols = static_cast<std::size_t>(opt_.column_chunk);
+
+  simt::CtaContext scan_cta(0, warps_used, spec_->shared_mem_per_sm);
+  simt::CtaContext reduce_cta(1, 1, spec_->shared_mem_per_sm);
+  auto vote_chunk = scan_cta.alloc_shared<std::uint32_t>(
+      static_cast<std::size_t>(warps_used) * chunk_cols);
+
+  // Per-warp message registers, loaded once per iteration.
+  std::vector<simt::LaneU64> msg_regs(static_cast<std::size_t>(warps_used));
+  std::vector<simt::LaneMask> warp_active(static_cast<std::size_t>(warps_used));
+  for (int w = 0; w < warps_used; ++w) {
+    auto& warp = scan_cta.warp(w);
+    const std::size_t base = static_cast<std::size_t>(w) * width;
+    const int lanes_live = static_cast<int>(std::min(width, n_msgs - base));
+    warp_active[static_cast<std::size_t>(w)] = util::low_mask(lanes_live);
+    warp.set_active(warp_active[static_cast<std::size_t>(w)]);
+    simt::LaneSize idx;
+    for (int lane = 0; lane < lanes_live; ++lane) idx[lane] = base + static_cast<std::size_t>(lane);
+    msg_regs[static_cast<std::size_t>(w)] =
+        warp.load_global(std::span<const std::uint64_t>(msg_words), idx);
+  }
+
+  // Reduce state persisting across chunks: thread t owns vote row t and a
+  // mask of its not-yet-consumed messages (Algorithm 2 line 1).
+  simt::LaneU32 row_mask(0xFFFF'FFFFu);
+
+  double scan_finish = 0.0;
+  double reduce_finish = 0.0;
+  double total_scan_cycles = 0.0;
+  double total_reduce_cycles = 0.0;
+
+  const bool pipelined = opt_.pipelined && warps_used < opt_.max_warps;
+  const int scan_resident = warps_used;
+  const int reduce_resident = pipelined ? warps_used + 1 : 1;
+
+  simt::EventCounters scan_before;   // zero
+  simt::EventCounters reduce_before; // zero
+
+  for (std::size_t chunk_begin = 0; chunk_begin < n_reqs; chunk_begin += chunk_cols) {
+    const std::size_t cols = std::min(chunk_cols, n_reqs - chunk_begin);
+
+    // --- Scan phase (Algorithm 1) for this chunk.
+    // With variable warp sizing (warp_width < 32), logical warps sharing a
+    // physical warp also share its instruction fetch and L1 access: only
+    // the first slice pays the global broadcast load; the others hit the
+    // slice-shared L1 (modelled at shared-memory cost).
+    const int slices_per_physical = simt::kWarpSize / std::max(1, opt_.warp_width);
+    for (int w = 0; w < warps_used; ++w) {
+      auto& warp = scan_cta.warp(w);
+      warp.set_active(warp_active[static_cast<std::size_t>(w)]);
+      const auto& msg_w = msg_regs[static_cast<std::size_t>(w)];
+      const bool leading_slice = (w % std::max(1, slices_per_physical)) == 0;
+      for (std::size_t c = 0; c < cols; ++c) {
+        std::uint64_t req_w;
+        if (leading_slice) {
+          req_w = warp.load_global_broadcast(std::span<const std::uint64_t>(req_words),
+                                             chunk_begin + c);
+        } else {
+          req_w = req_words[chunk_begin + c];
+          warp.counters().shared_transactions += 1;
+        }
+        simt::LaneBool pred;
+        warp.lanes([&](int lane) { pred[lane] = word_matches(req_w, msg_w[lane]); },
+                   /*instructions=*/3);
+        const std::uint32_t vote = warp.ballot(pred);
+        // voteMatrix[warp_id * window + i] = vote (Algorithm 1 line 5); the
+        // chunk is staged in shared memory for the reduce warp.
+        vote_chunk[static_cast<std::size_t>(w) * chunk_cols + c] = vote;
+        warp.count_alu(1);
+        warp.counters().shared_transactions += 1;
+      }
+    }
+    scan_cta.barrier();
+    const simt::EventCounters scan_now = scan_cta.counters();
+    const simt::EventCounters scan_delta = delta(scan_now, scan_before);
+    scan_before = scan_now;
+    const double scan_cycles = model.cycles(scan_delta, scan_resident);
+
+    // --- Reduce phase (Algorithm 2) for this chunk: one warp, thread t
+    // reads row t of the vote matrix.
+    auto& rwarp = reduce_cta.warp(0);
+    rwarp.set_active(util::low_mask(warps_used));
+    for (std::size_t c = 0; c < cols; ++c) {
+      simt::LaneU32 vote;
+      {
+        simt::LaneSize idx;
+        for (int t = 0; t < warps_used; ++t) {
+          idx[t] = static_cast<std::size_t>(t) * chunk_cols + c;
+        }
+        vote = rwarp.load_shared(std::span<const std::uint32_t>(vote_chunk.data(),
+                                                                vote_chunk.size()),
+                                 idx);
+      }
+      simt::LaneBool bids;
+      rwarp.lanes([&](int t) { bids[t] = (vote[t] & row_mask[t]) != 0; },
+                  /*instructions=*/2);
+      const std::uint32_t bidders = rwarp.ballot(bids);  // Algorithm 2 line 5.
+      rwarp.count_branch(bidders != 0);
+      rwarp.count_stall(static_cast<std::uint64_t>(opt_.reduce_chain_cycles));
+      if (bidders != 0) {
+        // Lowest thread id wins ("lower IDs have higher priority due to
+        // ordering", line 6), lowest set bit of its masked vote is the
+        // earliest message (line 7).
+        const int winner = util::ffs(bidders) - 1;
+        const std::uint32_t eligible = vote[winner] & row_mask[winner];
+        const int match_bit = util::ffs(eligible) - 1;
+        row_mask[winner] = util::clear_bit(row_mask[winner], match_bit);
+        rwarp.count_alu(3);
+        rwarp.counters().global_store_requests += 1;
+        rwarp.counters().global_transactions += 1;
+        stats.result.request_match[chunk_begin + c] =
+            static_cast<std::int32_t>(winner * static_cast<int>(width) + match_bit);
+      }
+    }
+    const simt::EventCounters reduce_now = reduce_cta.counters();
+    const simt::EventCounters reduce_delta = delta(reduce_now, reduce_before);
+    reduce_before = reduce_now;
+    const double reduce_cycles = model.cycles(reduce_delta, reduce_resident);
+
+    // Pipeline ledger: the reduce of chunk k can only start once its scan
+    // finished and the previous reduce drained.
+    scan_finish += scan_cycles;
+    reduce_finish = std::max(scan_finish, reduce_finish) + reduce_cycles;
+    total_scan_cycles += scan_cycles;
+    total_reduce_cycles += reduce_cycles;
+  }
+
+  stats.scan_events = scan_cta.counters();
+  stats.reduce_events = reduce_cta.counters();
+  stats.warps_used = warps_used;
+  stats.cycles = (pipelined ? reduce_finish : total_scan_cycles + total_reduce_cycles) +
+                 opt_.iteration_overhead_cycles;
+  stats.seconds = model.seconds_from_cycles(stats.cycles);
+  return stats;
+}
+
+SimtMatchStats MatrixMatcher::match_queues(MessageQueue& mq, RecvQueue& rq) const {
+  SimtMatchStats total;
+  total.result.request_match.assign(rq.size(), kNoMatch);
+
+  // Track original positions through compactions.
+  std::vector<std::uint32_t> msg_orig(mq.size());
+  for (std::size_t i = 0; i < msg_orig.size(); ++i) msg_orig[i] = static_cast<std::uint32_t>(i);
+  std::vector<std::uint32_t> req_orig(rq.size());
+  for (std::size_t i = 0; i < req_orig.size(); ++i) req_orig[i] = static_cast<std::uint32_t>(i);
+
+  const Compactor compactor(*spec_);
+  const auto cap = static_cast<std::size_t>(capacity());
+  const auto req_win = static_cast<std::size_t>(opt_.request_window);
+  const simt::TimingModel model(*spec_);
+
+  std::size_t rw = 0;
+  while (rw < rq.size() && !mq.empty()) {
+    // Process this request window against all message chunks, restarting
+    // from the first chunk after every successful (compacted) pass so that
+    // requests sliding into the window still see messages in arrival order.
+    std::size_t mc = 0;
+    while (mc < mq.size() && rw < rq.size()) {
+      const std::size_t msg_take = std::min(cap, mq.size() - mc);
+      const std::size_t req_take = std::min(req_win, rq.size() - rw);
+      const auto msgs = std::span<const Message>(mq.view()).subspan(mc, msg_take);
+      const auto reqs = std::span<const RecvRequest>(rq.view()).subspan(rw, req_take);
+
+      SimtMatchStats pass = match_window(msgs, reqs);
+      total.scan_events += pass.scan_events;
+      total.reduce_events += pass.reduce_events;
+      total.cycles += pass.cycles;
+      total.iterations += 1;
+      total.warps_used = std::max(total.warps_used, pass.warps_used);
+
+      const std::size_t matched = pass.result.matched();
+      if (matched == 0) {
+        mc += msg_take;
+        continue;
+      }
+
+      std::vector<std::uint8_t> msg_flags(mq.size(), 0);
+      std::vector<std::uint8_t> req_flags(rq.size(), 0);
+      for (std::size_t j = 0; j < pass.result.request_match.size(); ++j) {
+        const auto m = pass.result.request_match[j];
+        if (m == kNoMatch) continue;
+        const std::size_t msg_at = mc + static_cast<std::size_t>(m);
+        const std::size_t req_at = rw + j;
+        total.result.request_match[req_orig[req_at]] =
+            static_cast<std::int32_t>(msg_orig[msg_at]);
+        msg_flags[msg_at] = 1;
+        req_flags[req_at] = 1;
+      }
+
+      const auto mstat = compactor.compact(mq, msg_flags);
+      const auto rstat = compactor.compact(rq, req_flags);
+      if (opt_.compact) {
+        total.compact_events += mstat.events;
+        total.compact_events += rstat.events;
+        total.cycles += mstat.cycles + rstat.cycles;
+      }
+      const auto drop_flagged = [](std::vector<std::uint32_t>& v,
+                                   const std::vector<std::uint8_t>& flags) {
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < v.size(); ++i) {
+          if (flags[i] == 0) v[kept++] = v[i];
+        }
+        v.resize(kept);
+      };
+      drop_flagged(msg_orig, msg_flags);
+      drop_flagged(req_orig, req_flags);
+      mc = 0;
+    }
+    rw += std::min(req_win, rq.size() - rw);
+  }
+
+  total.seconds = model.seconds_from_cycles(total.cycles);
+  return total;
+}
+
+}  // namespace simtmsg::matching

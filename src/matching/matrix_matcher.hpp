@@ -1,0 +1,86 @@
+// MatrixMatcher: the paper's fully MPI-compliant GPU matching algorithm
+// (Section V, Algorithms 1 and 2, Figure 3).
+//
+// Phase 1, "scan" (Algorithm 1): every thread holds one message; for each
+// receive request (a *column*), each warp votes via `ballot` whether its
+// messages match, and the 32-bit vote word is written to the vote matrix
+// (one row per warp).  The scan is parallel across up to 32 warps = 1024
+// messages per iteration.
+//
+// Phase 2, "reduce" (Algorithm 2): a single warp walks the columns in
+// posted order.  Thread t owns vote-matrix row t and a 32-bit mask of its
+// still-unconsumed messages.  A second ballot finds the rows bidding for
+// the column; `ffs` picks the lowest row, and `ffs` on that row's masked
+// vote picks the earliest message — preserving MPI's ordering guarantee.
+// The mask update serializes columns, which is the algorithm's bottleneck.
+//
+// Columns are processed in shared-memory-sized chunks so scan and reduce
+// can be pipelined ("both phases can be pipelined to overlap execution");
+// at 1024 messages all 32 warps are needed for the scan and the overlap
+// disappears — the performance drop visible at the right edge of Figure 4.
+//
+// Queues with at most 32 messages take a matrix-free single-warp fast path
+// ("queues with less than 64 elements are scanned by a single warp and no
+// matrix is generated").
+#pragma once
+
+#include <span>
+
+#include "matching/envelope.hpp"
+#include "matching/queue.hpp"
+#include "matching/simt_stats.hpp"
+#include "simt/device_spec.hpp"
+
+namespace simtmsg::matching {
+
+class MatrixMatcher {
+ public:
+  struct Options {
+    bool pipelined = true;   ///< Overlap scan and reduce across column chunks.
+    bool compact = true;     ///< Charge the compaction pass (§VI-B: ~10 %).
+    int column_chunk = 64;   ///< Receive requests buffered in shared memory.
+    int max_warps = 32;      ///< Scan warps per CTA (hardware limit: 32).
+    int request_window = 1024;  ///< Receive requests examined per iteration.
+    /// Logical warp width in lanes (1..32).  32 is today's hardware; the
+    /// narrower settings model the "variable warp sizes" architecture the
+    /// paper endorses for short queues (Section VII-C): each logical warp
+    /// holds warp_width messages and is scheduled independently, so short
+    /// queues get more concurrent warps (better latency hiding) at the
+    /// price of more issued instructions per column.
+    int warp_width = 32;
+    /// Serialized dependent latency per reduced column (shared-memory load +
+    /// ballot + mask update chain a single warp cannot overlap).
+    double reduce_chain_cycles = 40.0;
+    /// Fixed per-iteration bookkeeping (head/tail pointer maintenance).
+    double iteration_overhead_cycles = 600.0;
+  };
+
+  explicit MatrixMatcher(const simt::DeviceSpec& spec) : MatrixMatcher(spec, Options{}) {}
+  MatrixMatcher(const simt::DeviceSpec& spec, Options opt);
+
+  /// One matching iteration: up to max_warps*32 messages against up to
+  /// `reqs.size()` receive requests.  Indices in the result refer to the
+  /// spans passed in.  Fully MPI-compliant (wildcards + ordering).
+  [[nodiscard]] SimtMatchStats match_window(std::span<const Message> msgs,
+                                            std::span<const RecvRequest> reqs) const;
+
+  /// Drain two queues: iterate match_window over message chunks and request
+  /// windows (in order, preserving MPI semantics), compacting after each
+  /// pass, until no further progress.  Matched elements are removed from
+  /// the queues.  The returned result maps every *original* request index
+  /// to its *original* message index.
+  [[nodiscard]] SimtMatchStats match_queues(MessageQueue& mq, RecvQueue& rq) const;
+
+  [[nodiscard]] const Options& options() const noexcept { return opt_; }
+  [[nodiscard]] const simt::DeviceSpec& device() const noexcept { return *spec_; }
+
+  /// Messages one iteration can process (max_warps logical warps of
+  /// warp_width lanes each).
+  [[nodiscard]] int capacity() const noexcept { return opt_.max_warps * opt_.warp_width; }
+
+ private:
+  const simt::DeviceSpec* spec_;
+  Options opt_;
+};
+
+}  // namespace simtmsg::matching

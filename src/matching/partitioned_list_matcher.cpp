@@ -1,0 +1,146 @@
+#include "matching/partitioned_list_matcher.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace simtmsg::matching {
+
+PartitionedListMatcher::PartitionedListMatcher(int partitions) {
+  if (partitions < 1) throw std::invalid_argument("partitions must be >= 1");
+  umq_.resize(static_cast<std::size_t>(partitions));
+  prq_.resize(static_cast<std::size_t>(partitions));
+}
+
+std::optional<RecvRequest> PartitionedListMatcher::arrive(const Message& msg) {
+  // Earliest-posted matching request across the source's partition and the
+  // wildcard queue (sequence numbers arbitrate, as in Zounmevo's design).
+  auto& part = prq_[partition_of(msg.env.src)];
+
+  auto part_it = part.end();
+  for (auto it = part.begin(); it != part.end(); ++it) {
+    ++search_steps_;
+    if (matches(it->req.env, msg.env)) {
+      part_it = it;
+      break;
+    }
+  }
+  auto wild_it = wildcard_prq_.end();
+  for (auto it = wildcard_prq_.begin(); it != wildcard_prq_.end(); ++it) {
+    ++search_steps_;
+    if (matches(it->req.env, msg.env)) {
+      wild_it = it;
+      break;
+    }
+  }
+
+  const std::uint64_t part_seq =
+      part_it == part.end() ? std::numeric_limits<std::uint64_t>::max() : part_it->seq;
+  const std::uint64_t wild_seq = wild_it == wildcard_prq_.end()
+                                     ? std::numeric_limits<std::uint64_t>::max()
+                                     : wild_it->seq;
+
+  if (part_it != part.end() && part_seq < wild_seq) {
+    RecvRequest hit = part_it->req;
+    part.erase(part_it);
+    return hit;
+  }
+  if (wild_it != wildcard_prq_.end()) {
+    RecvRequest hit = wild_it->req;
+    wildcard_prq_.erase(wild_it);
+    return hit;
+  }
+
+  umq_[partition_of(msg.env.src)].push_back({msg, next_seq_++, next_msg_index_++});
+  return std::nullopt;
+}
+
+std::optional<Message> PartitionedListMatcher::post(const RecvRequest& req) {
+  std::uint32_t index_unused = 0;
+  return post_indexed(req, index_unused);
+}
+
+std::optional<Message> PartitionedListMatcher::post_indexed(const RecvRequest& req,
+                                                            std::uint32_t& index) {
+  if (req.env.src != kAnySource) {
+    auto& part = umq_[partition_of(req.env.src)];
+    for (auto it = part.begin(); it != part.end(); ++it) {
+      ++search_steps_;
+      if (matches(req.env, it->msg.env)) {
+        Message hit = it->msg;
+        index = it->index;
+        part.erase(it);
+        return hit;
+      }
+    }
+    prq_[partition_of(req.env.src)].push_back({req, next_seq_++});
+    return std::nullopt;
+  }
+
+  // Wildcard source: every partition must be consulted; the earliest
+  // arrival (smallest sequence number) wins — this is exactly the case
+  // rank partitioning cannot accelerate (paper Section VI: partitioning
+  // "is impossible due to wildcards").
+  std::list<UmqEntry>* best_list = nullptr;
+  std::list<UmqEntry>::iterator best_it;
+  std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+  for (auto& part : umq_) {
+    for (auto it = part.begin(); it != part.end(); ++it) {
+      ++search_steps_;
+      if (matches(req.env, it->msg.env)) {
+        if (it->seq < best_seq) {
+          best_seq = it->seq;
+          best_list = &part;
+          best_it = it;
+        }
+        break;  // Within a partition, list order is arrival order.
+      }
+    }
+  }
+  if (best_list != nullptr) {
+    Message hit = best_it->msg;
+    index = best_it->index;
+    best_list->erase(best_it);
+    return hit;
+  }
+  wildcard_prq_.push_back({req, next_seq_++});
+  return std::nullopt;
+}
+
+std::size_t PartitionedListMatcher::umq_depth() const noexcept {
+  std::size_t n = 0;
+  for (const auto& part : umq_) n += part.size();
+  return n;
+}
+
+std::size_t PartitionedListMatcher::prq_depth() const noexcept {
+  std::size_t n = wildcard_prq_.size();
+  for (const auto& part : prq_) n += part.size();
+  return n;
+}
+
+void PartitionedListMatcher::clear() {
+  for (auto& part : umq_) part.clear();
+  for (auto& part : prq_) part.clear();
+  wildcard_prq_.clear();
+  next_seq_ = 0;
+  search_steps_ = 0;
+  next_msg_index_ = 0;
+}
+
+MatchResult PartitionedListMatcher::match(std::span<const Message> msgs,
+                                          std::span<const RecvRequest> reqs,
+                                          int partitions) {
+  PartitionedListMatcher m(partitions);
+  for (const auto& msg : msgs) (void)m.arrive(msg);
+
+  MatchResult result;
+  result.request_match.assign(reqs.size(), kNoMatch);
+  for (std::size_t r = 0; r < reqs.size(); ++r) {
+    std::uint32_t index = 0;
+    const auto hit = m.post_indexed(reqs[r], index);
+    if (hit.has_value()) result.request_match[r] = static_cast<std::int32_t>(index);
+  }
+  return result;
+}
+
+}  // namespace simtmsg::matching

@@ -1,0 +1,11 @@
+#include "matching/queue.hpp"
+
+// MatchQueue is a template; this TU instantiates the two queue types used
+// throughout the library so their code is emitted once.
+
+namespace simtmsg::matching {
+
+template class MatchQueue<Message>;
+template class MatchQueue<RecvRequest>;
+
+}  // namespace simtmsg::matching

@@ -1,0 +1,83 @@
+// Device-side match queues.
+//
+// Section V: "While CPUs keep message and receive request queues separated
+// from UMQ and PRQ, we unify them in our GPU implementation.  The UMQ is
+// placed at the head of the message queue and the PRQ at the head of the
+// receive request queue."  MatchQueue implements that unified layout: a
+// contiguous buffer in (simulated) global memory whose head region holds
+// the not-yet-matched elements, with new arrivals appended at the tail.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "matching/envelope.hpp"
+
+namespace simtmsg::matching {
+
+template <typename T>
+class MatchQueue {
+ public:
+  MatchQueue() = default;
+  explicit MatchQueue(std::vector<T> initial) : items_(std::move(initial)) {}
+
+  /// Append a new arrival at the tail, stamping its sequence number.
+  void push(T item) {
+    item.seq = next_seq_++;
+    items_.push_back(std::move(item));
+  }
+
+  /// Append preserving the item's existing sequence number.
+  void push_raw(T item) {
+    next_seq_ = std::max(next_seq_, item.seq + 1);
+    items_.push_back(std::move(item));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+
+  [[nodiscard]] const T& operator[](std::size_t i) const { return items_[i]; }
+  [[nodiscard]] T& operator[](std::size_t i) { return items_[i]; }
+
+  /// Raw storage — this is what the SIMT kernels read as "global memory".
+  [[nodiscard]] std::span<const T> view() const noexcept { return items_; }
+  [[nodiscard]] std::span<T> view() noexcept { return items_; }
+
+  /// First `n` elements (the window an iteration works on).
+  [[nodiscard]] std::span<const T> window(std::size_t n) const noexcept {
+    return std::span<const T>(items_).subspan(0, std::min(n, items_.size()));
+  }
+
+  /// Remove the elements whose indices have `matched[i] != 0`, preserving
+  /// the relative order of survivors (the paper's compaction step:
+  /// "compact the queues to advance the head pointer").  Returns the number
+  /// of removed elements.
+  std::size_t compact(std::span<const std::uint8_t> matched) {
+    std::size_t kept = 0;
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      const bool remove = i < matched.size() && matched[i] != 0;
+      if (remove) {
+        ++removed;
+      } else {
+        if (kept != i) items_[kept] = std::move(items_[i]);
+        ++kept;
+      }
+    }
+    items_.resize(kept);
+    return removed;
+  }
+
+  void clear() noexcept { items_.clear(); }
+
+ private:
+  std::vector<T> items_;
+  std::uint64_t next_seq_ = 0;
+};
+
+using MessageQueue = MatchQueue<Message>;
+using RecvQueue = MatchQueue<RecvRequest>;
+
+}  // namespace simtmsg::matching

@@ -1,0 +1,49 @@
+#include "matching/reference_matcher.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace simtmsg::matching {
+
+MatchResult ReferenceMatcher::match(std::span<const Message> msgs,
+                                    std::span<const RecvRequest> reqs) {
+  MatchResult result;
+  result.request_match.assign(reqs.size(), kNoMatch);
+  std::vector<bool> consumed(msgs.size(), false);
+
+  for (std::size_t r = 0; r < reqs.size(); ++r) {
+    for (std::size_t m = 0; m < msgs.size(); ++m) {
+      if (!consumed[m] && matches(reqs[r].env, msgs[m].env)) {
+        consumed[m] = true;
+        result.request_match[r] = static_cast<std::int32_t>(m);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::size_t ReferenceMatcher::pairable_count(std::span<const Message> msgs,
+                                             std::span<const RecvRequest> reqs) {
+  std::map<Envelope, std::size_t> msg_counts;
+  for (const auto& m : msgs) ++msg_counts[m.env];
+
+  std::map<Envelope, std::size_t> req_counts;
+  for (const auto& r : reqs) {
+    if (has_wildcard(r.env)) {
+      throw std::invalid_argument("pairable_count requires wildcard-free requests");
+    }
+    ++req_counts[r.env];
+  }
+
+  std::size_t pairable = 0;
+  for (const auto& [env, n_req] : req_counts) {
+    const auto it = msg_counts.find(env);
+    if (it != msg_counts.end()) pairable += std::min(n_req, it->second);
+  }
+  return pairable;
+}
+
+}  // namespace simtmsg::matching

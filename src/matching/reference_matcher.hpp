@@ -1,0 +1,32 @@
+// ReferenceMatcher: the semantic oracle.
+//
+// A direct, obviously-correct transcription of MPI matching semantics used
+// to validate every production matcher: receive requests are processed in
+// posted order; each takes the earliest-arrived message that satisfies the
+// matching rule (including wildcards) and has not been consumed yet.
+// Exactly-one matching is guaranteed by construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "matching/envelope.hpp"
+#include "matching/match_result.hpp"
+
+namespace simtmsg::matching {
+
+class ReferenceMatcher {
+ public:
+  /// Batch-match `reqs` (posted order) against `msgs` (arrival order).
+  [[nodiscard]] static MatchResult match(std::span<const Message> msgs,
+                                         std::span<const RecvRequest> reqs);
+
+  /// Maximum number of pairable (message, request) pairs when matching on
+  /// exact tuple equality (no wildcards): sum over distinct envelopes of
+  /// min(#messages, #requests).  This is the invariant an *unordered*
+  /// matcher must reach.  Requests containing wildcards are rejected.
+  [[nodiscard]] static std::size_t pairable_count(std::span<const Message> msgs,
+                                                  std::span<const RecvRequest> reqs);
+};
+
+}  // namespace simtmsg::matching

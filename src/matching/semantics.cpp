@@ -1,0 +1,45 @@
+#include "matching/semantics.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace simtmsg::matching {
+
+bool valid(const SemanticsConfig& cfg) noexcept {
+  if (cfg.partitions < 1) return false;
+  // Rank partitioning is only sound once the source wildcard is prohibited
+  // (Section VI: "The next level could partition among ranks, but this is
+  // impossible due to wildcards").
+  if (cfg.partitions > 1 && cfg.wildcards) return false;
+  return true;
+}
+
+bool hashable(const SemanticsConfig& cfg) noexcept {
+  return !cfg.wildcards && !cfg.ordering;
+}
+
+std::span<const SemanticsConfig> table2_rows() noexcept {
+  // Table II: {wildcards, ordering, unexpected, partitions}.  Partitioned
+  // rows use 16 queues as a representative configuration (the paper's
+  // feasibility analysis allows "roughly 20 queues" for most applications).
+  static constexpr std::array<SemanticsConfig, 6> kRows = {{
+      {.wildcards = true, .ordering = true, .unexpected = true, .partitions = 1},
+      {.wildcards = true, .ordering = true, .unexpected = false, .partitions = 1},
+      {.wildcards = false, .ordering = true, .unexpected = true, .partitions = 16},
+      {.wildcards = false, .ordering = true, .unexpected = false, .partitions = 16},
+      {.wildcards = false, .ordering = false, .unexpected = true, .partitions = 16},
+      {.wildcards = false, .ordering = false, .unexpected = false, .partitions = 16},
+  }};
+  return kRows;
+}
+
+std::string describe(const SemanticsConfig& cfg) {
+  std::ostringstream ss;
+  ss << "wildcards=" << (cfg.wildcards ? "yes" : "no")
+     << " ordering=" << (cfg.ordering ? "yes" : "no")
+     << " unexpected=" << (cfg.unexpected ? "yes" : "no")
+     << " partitions=" << cfg.partitions;
+  return ss.str();
+}
+
+}  // namespace simtmsg::matching

@@ -1,0 +1,38 @@
+// SemanticsConfig: the three relaxation axes of the paper (Section VI and
+// Table II) — wildcards, ordering, unexpected messages — plus the rank
+// partitioning that prohibiting the source wildcard enables.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace simtmsg::matching {
+
+struct SemanticsConfig {
+  bool wildcards = true;    ///< src/tag wildcards permitted in receives.
+  bool ordering = true;     ///< Per-(src, comm) in-order matching guaranteed.
+  bool unexpected = true;   ///< Messages may arrive before their receive is posted.
+
+  /// Number of per-source-partition queues (only legal without the source
+  /// wildcard; 1 = single queue).  Section VI-A.
+  int partitions = 1;
+
+  friend bool operator==(const SemanticsConfig&, const SemanticsConfig&) = default;
+};
+
+/// Whether the configuration is internally consistent (e.g. partitioning
+/// requires prohibiting the source wildcard).
+[[nodiscard]] bool valid(const SemanticsConfig& cfg) noexcept;
+
+/// Whether a hash-table matcher may be used (requires no ordering and no
+/// wildcards — Table II rows 5/6).
+[[nodiscard]] bool hashable(const SemanticsConfig& cfg) noexcept;
+
+/// The six rows of Table II, in paper order.
+[[nodiscard]] std::span<const SemanticsConfig> table2_rows() noexcept;
+
+/// Short label like "wc=yes ord=yes unexp=yes part=no".
+[[nodiscard]] std::string describe(const SemanticsConfig& cfg);
+
+}  // namespace simtmsg::matching

@@ -1,0 +1,28 @@
+// Common result + cost bundle returned by the SIMT matchers.
+#pragma once
+
+#include "matching/match_result.hpp"
+#include "simt/event_counters.hpp"
+
+namespace simtmsg::matching {
+
+struct SimtMatchStats {
+  MatchResult result;
+
+  simt::EventCounters scan_events;     ///< Algorithm 1 (or hash insert phase).
+  simt::EventCounters reduce_events;   ///< Algorithm 2 (or hash probe phase).
+  simt::EventCounters compact_events;  ///< Queue compaction.
+
+  double cycles = 0.0;   ///< Modelled device cycles for the whole operation.
+  double seconds = 0.0;  ///< cycles / device clock.
+  int iterations = 0;    ///< Matching passes executed.
+  int warps_used = 0;    ///< Scan warps of the widest iteration.
+  int ctas_used = 1;
+
+  [[nodiscard]] double matches_per_second() const noexcept {
+    const auto matched = static_cast<double>(result.matched());
+    return seconds > 0.0 ? matched / seconds : 0.0;
+  }
+};
+
+}  // namespace simtmsg::matching

@@ -1,0 +1,76 @@
+#include "matching/workload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace simtmsg::matching {
+
+Workload make_workload(const WorkloadSpec& spec) {
+  if (spec.sources < 1 || spec.tags < 1) {
+    throw std::invalid_argument("workload needs at least one source and tag");
+  }
+  if (spec.unique_tuples &&
+      static_cast<std::uint64_t>(spec.sources) * static_cast<std::uint64_t>(spec.tags) <
+          spec.pairs) {
+    throw std::invalid_argument("tuple space too small for unique_tuples");
+  }
+
+  util::Rng rng(spec.seed);
+  Workload w;
+  w.messages.reserve(spec.pairs);
+  w.requests.reserve(spec.pairs);
+
+  std::unordered_set<std::uint64_t> used;
+  for (std::size_t i = 0; i < spec.pairs; ++i) {
+    Envelope env;
+    do {
+      env.src = static_cast<Rank>(rng.below(static_cast<std::uint64_t>(spec.sources)));
+      env.tag = static_cast<Tag>(rng.below(static_cast<std::uint64_t>(spec.tags)));
+      env.comm = spec.comm;
+    } while (spec.unique_tuples &&
+             !used.insert((static_cast<std::uint64_t>(env.src) << 32) |
+                          static_cast<std::uint32_t>(env.tag))
+                  .second);
+
+    const bool pairable =
+        spec.match_fraction >= 1.0 || rng.uniform() < spec.match_fraction;
+
+    Message m;
+    m.env = env;
+    m.payload = i;
+    RecvRequest r;
+    r.env = env;
+    if (!pairable) {
+      // Unpairable filler on both sides: disjoint tag spaces keep the
+      // queues full while preventing any match.
+      m.env.tag += spec.tags;          // Message tag in [tags, 2*tags).
+      r.env.tag += 2 * spec.tags;      // Request tag in [2*tags, 3*tags).
+    } else {
+      if (spec.src_wildcard_prob > 0.0 && rng.chance(spec.src_wildcard_prob)) {
+        r.env.src = kAnySource;
+      }
+      if (spec.tag_wildcard_prob > 0.0 && rng.chance(spec.tag_wildcard_prob)) {
+        r.env.tag = kAnyTag;
+      }
+    }
+    r.user_data = i;
+    w.messages.push_back(m);
+    w.requests.push_back(r);
+  }
+
+  rng.shuffle(w.messages);
+  rng.shuffle(w.requests);
+  for (std::size_t i = 0; i < w.messages.size(); ++i) w.messages[i].seq = i;
+  for (std::size_t i = 0; i < w.requests.size(); ++i) w.requests[i].seq = i;
+  return w;
+}
+
+void fill_queues(const Workload& w, MessageQueue& mq, RecvQueue& rq) {
+  for (const auto& m : w.messages) mq.push(m);
+  for (const auto& r : w.requests) rq.push(r);
+}
+
+}  // namespace simtmsg::matching

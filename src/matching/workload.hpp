@@ -1,0 +1,51 @@
+// Synthetic matching workloads for benchmarks and property tests.
+//
+// The paper's micro-benchmarks use "random tuples in random order, but all
+// tuples of the message queue match with tuples in the receive queue"
+// (Section V-B) and, for the hash experiments, "random values for the
+// {src, tag} tuple" (Section VI-C).  WorkloadSpec generalizes both and adds
+// the knobs the relaxation ablations need (wildcard density, match
+// fraction, tuple uniqueness).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matching/envelope.hpp"
+#include "matching/queue.hpp"
+
+namespace simtmsg::matching {
+
+struct WorkloadSpec {
+  std::size_t pairs = 1024;       ///< Matching (message, request) pairs.
+  int sources = 16;               ///< Distinct source ranks drawn from [0, sources).
+  int tags = 16;                  ///< Distinct tags drawn from [0, tags).
+  CommId comm = 0;
+  double src_wildcard_prob = 0.0; ///< P(receive uses MPI_ANY_SOURCE).
+  double tag_wildcard_prob = 0.0; ///< P(receive uses MPI_ANY_TAG).
+  /// Fraction of pairable (message, request) pairs.  The remainder become
+  /// an unmatchable message *and* an unmatchable request (disjoint tag
+  /// spaces), so both queues stay at `pairs` entries while only
+  /// match_fraction of them can pair — the Section VI-B scenario where
+  /// "non-matching messages still propagate through the entire receive
+  /// request queue without any progress" and the rate degrades linearly
+  /// with the matched fraction.
+  double match_fraction = 1.0;
+  /// Draw distinct {src, tag} tuples (the hash micro-benchmark's regime).
+  bool unique_tuples = false;
+  std::uint64_t seed = 1;
+};
+
+struct Workload {
+  std::vector<Message> messages;   ///< Arrival order (seq stamped 0..n-1).
+  std::vector<RecvRequest> requests;  ///< Posted order.
+};
+
+/// Generate a workload.  Every request is guaranteed to have at least one
+/// matching message; messages beyond match_fraction have no request.
+[[nodiscard]] Workload make_workload(const WorkloadSpec& spec);
+
+/// Convenience: move a workload into queues.
+void fill_queues(const Workload& w, MessageQueue& mq, RecvQueue& rq);
+
+}  // namespace simtmsg::matching

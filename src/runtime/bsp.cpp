@@ -1,0 +1,26 @@
+#include "runtime/bsp.hpp"
+
+#include <stdexcept>
+
+namespace simtmsg::runtime {
+
+matching::Tag BspSession::tag(matching::Tag user_tag) const {
+  if (user_tag < 0 || user_tag >= tags_per_step_) {
+    throw std::invalid_argument("user tag outside the superstep budget");
+  }
+  // Two alternating epochs suffice: after a barrier, no superstep-(k) tag
+  // can still be in flight, so epoch k+2 may reuse them.
+  const matching::Tag epoch = static_cast<matching::Tag>(step_ % 2);
+  const matching::Tag mapped = epoch * tags_per_step_ + user_tag;
+  if (mapped > 0xFFFF) {
+    throw std::invalid_argument("superstep tag epoch exceeds the 16-bit tag budget");
+  }
+  return mapped;
+}
+
+void BspSession::sync() {
+  cluster_->barrier();
+  ++step_;
+}
+
+}  // namespace simtmsg::runtime

@@ -1,0 +1,47 @@
+// BspSession: Bulk Synchronous Parallel structure on top of the cluster
+// (Valiant's BSP, paper Section VI: "in a strict Bulk Synchronous Parallel
+// model, tags can be reused after synchronization").
+//
+// Supersteps give the relaxed (unordered) semantics a safe discipline: the
+// session derives a per-superstep tag epoch, so user tags are unique within
+// a superstep and may be reused after the barrier — exactly the restoration
+// of ordering "at the user level" the paper describes (Section VII-B).
+#pragma once
+
+#include "runtime/endpoint.hpp"
+
+namespace simtmsg::runtime {
+
+class BspSession {
+ public:
+  /// tags_per_step bounds the distinct user tags used inside a superstep.
+  explicit BspSession(Cluster& cluster, matching::Tag tags_per_step = 1024)
+      : cluster_(&cluster), tags_per_step_(tags_per_step) {}
+
+  [[nodiscard]] int superstep() const noexcept { return step_; }
+
+  /// Map a user tag into this superstep's epoch.  Throws when the user tag
+  /// exceeds the per-step budget or the epoch would overflow 16-bit tags
+  /// (the packed-header limit of Section IV).
+  [[nodiscard]] matching::Tag tag(matching::Tag user_tag) const;
+
+  /// Superstep-scoped send/recv.
+  void send(int from, int to, matching::Tag user_tag, std::uint64_t payload,
+            std::size_t bytes = 8) {
+    cluster_->send(from, to, tag(user_tag), payload, /*comm=*/0, bytes);
+  }
+
+  [[nodiscard]] RecvHandle irecv(int node, matching::Rank src, matching::Tag user_tag) {
+    return cluster_->irecv(node, src, tag(user_tag));
+  }
+
+  /// End the superstep: quiesce the cluster and advance the tag epoch.
+  void sync();
+
+ private:
+  Cluster* cluster_;
+  matching::Tag tags_per_step_;
+  int step_ = 0;
+};
+
+}  // namespace simtmsg::runtime

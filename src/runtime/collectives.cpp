@@ -1,0 +1,214 @@
+#include "runtime/collectives.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace simtmsg::runtime {
+namespace {
+
+/// Rounds of a log2 schedule covering p participants.
+[[nodiscard]] int log2_rounds(int p) {
+  int rounds = 0;
+  while ((1 << rounds) < p) ++rounds;
+  return rounds;
+}
+
+constexpr int kMaxRoundsPerOp = 64;
+
+}  // namespace
+
+Collectives::Collectives(Cluster& cluster, matching::CommId comm)
+    : cluster_(&cluster), comm_(comm) {}
+
+matching::Tag Collectives::tag(int round) const {
+  // Two alternating epochs suffice (everything quiesces between ops).
+  const matching::Tag mapped = static_cast<matching::Tag>(
+      (epoch_ % 2) * kMaxRoundsPerOp + round);
+  return mapped;
+}
+
+void Collectives::next_epoch() { ++epoch_; }
+
+void Collectives::send(int from, int to, int round, std::uint64_t payload) {
+  cluster_->send(from, to, tag(round), payload, comm_);
+  ++messages_;
+}
+
+RecvHandle Collectives::irecv(int at, int src, int round) {
+  return cluster_->irecv(at, src, tag(round), comm_);
+}
+
+std::vector<std::uint64_t> Collectives::broadcast(int root, std::uint64_t value) {
+  const int p = cluster_->nodes();
+  if (root < 0 || root >= p) throw std::out_of_range("broadcast root out of range");
+  std::vector<std::uint64_t> values(static_cast<std::size_t>(p), 0);
+  values[static_cast<std::size_t>(root)] = value;
+  std::vector<bool> has(static_cast<std::size_t>(p), false);
+  has[static_cast<std::size_t>(root)] = true;
+
+  // Binomial tree in the rank space rotated so the root is rank 0.
+  const auto rel = [&](int node) { return (node - root + p) % p; };
+  const auto abs = [&](int r) { return (r + root) % p; };
+
+  const int rounds = log2_rounds(p);
+  for (int round = 0; round < rounds; ++round) {
+    const int stride = 1 << round;
+    struct Pending {
+      RecvHandle h;
+      int node;
+    };
+    std::vector<Pending> pending;
+    // Receivers pre-post, senders fire, then one quiescence drive.
+    for (int r = 0; r < p; ++r) {
+      if (r >= stride && r < 2 * stride && !has[static_cast<std::size_t>(abs(r))]) {
+        const int from = abs(r - stride);
+        pending.push_back({irecv(abs(r), from, round), abs(r)});
+      }
+    }
+    for (int r = 0; r < stride && r < p; ++r) {
+      const int to_rel = r + stride;
+      if (to_rel < p && has[static_cast<std::size_t>(abs(r))]) {
+        send(abs(r), abs(to_rel), round, values[static_cast<std::size_t>(abs(r))]);
+      }
+    }
+    cluster_->run_until_quiescent();
+    for (const auto& pend : pending) {
+      const auto res = cluster_->result(pend.h);
+      if (!res) throw std::runtime_error("broadcast round incomplete");
+      values[static_cast<std::size_t>(pend.node)] = res->payload;
+      has[static_cast<std::size_t>(pend.node)] = true;
+    }
+    (void)rel;
+  }
+  next_epoch();
+  return values;
+}
+
+std::uint64_t Collectives::reduce(int root, std::span<const std::uint64_t> contributions,
+                                  const ReduceOp& op) {
+  const int p = cluster_->nodes();
+  if (static_cast<int>(contributions.size()) != p) {
+    throw std::invalid_argument("reduce needs one contribution per node");
+  }
+  if (root < 0 || root >= p) throw std::out_of_range("reduce root out of range");
+
+  std::vector<std::uint64_t> acc(contributions.begin(), contributions.end());
+  const auto abs = [&](int r) { return (r + root) % p; };
+
+  // Mirror of the broadcast tree: in round k (descending), relative ranks
+  // in [stride, 2*stride) send their partial into rank r - stride.
+  const int rounds = log2_rounds(p);
+  for (int round = rounds - 1; round >= 0; --round) {
+    const int stride = 1 << round;
+    struct Pending {
+      RecvHandle h;
+      int node;
+    };
+    std::vector<Pending> pending;
+    for (int r = 0; r < stride; ++r) {
+      const int from_rel = r + stride;
+      if (from_rel < p) pending.push_back({irecv(abs(r), abs(from_rel), round), abs(r)});
+    }
+    for (int r = stride; r < 2 * stride && r < p; ++r) {
+      send(abs(r), abs(r - stride), round, acc[static_cast<std::size_t>(abs(r))]);
+    }
+    cluster_->run_until_quiescent();
+    for (const auto& pend : pending) {
+      const auto res = cluster_->result(pend.h);
+      if (!res) throw std::runtime_error("reduce round incomplete");
+      auto& a = acc[static_cast<std::size_t>(pend.node)];
+      a = op(a, res->payload);
+    }
+  }
+  next_epoch();
+  return acc[static_cast<std::size_t>(root)];
+}
+
+std::uint64_t Collectives::reduce_sum(int root,
+                                      std::span<const std::uint64_t> contributions) {
+  return reduce(root, contributions,
+                [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+std::vector<std::uint64_t> Collectives::allreduce(
+    std::span<const std::uint64_t> contributions, const ReduceOp& op) {
+  const int p = cluster_->nodes();
+  if (static_cast<int>(contributions.size()) != p) {
+    throw std::invalid_argument("allreduce needs one contribution per node");
+  }
+
+  std::vector<std::uint64_t> acc(contributions.begin(), contributions.end());
+
+  if (std::has_single_bit(static_cast<unsigned>(p))) {
+    // Recursive doubling: in round k every node exchanges with its
+    // partner at XOR distance 2^k and combines.
+    const int rounds = log2_rounds(p);
+    for (int round = 0; round < rounds; ++round) {
+      const int stride = 1 << round;
+      std::vector<RecvHandle> handles(static_cast<std::size_t>(p));
+      for (int n = 0; n < p; ++n) handles[static_cast<std::size_t>(n)] = irecv(n, n ^ stride, round);
+      for (int n = 0; n < p; ++n) send(n, n ^ stride, round, acc[static_cast<std::size_t>(n)]);
+      cluster_->run_until_quiescent();
+      for (int n = 0; n < p; ++n) {
+        const auto res = cluster_->result(handles[static_cast<std::size_t>(n)]);
+        if (!res) throw std::runtime_error("allreduce round incomplete");
+        auto& a = acc[static_cast<std::size_t>(n)];
+        a = op(a, res->payload);
+      }
+    }
+    next_epoch();
+    return acc;
+  }
+
+  // Non-power-of-two: reduce to 0, then broadcast (both handle any p).
+  const std::uint64_t total = reduce(0, acc, op);
+  return broadcast(0, total);
+}
+
+std::vector<std::uint64_t> Collectives::allreduce_sum(
+    std::span<const std::uint64_t> contributions) {
+  return allreduce(contributions,
+                   [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+std::vector<std::vector<std::uint64_t>> Collectives::allgather(
+    std::span<const std::uint64_t> contributions) {
+  const int p = cluster_->nodes();
+  if (static_cast<int>(contributions.size()) != p) {
+    throw std::invalid_argument("allgather needs one contribution per node");
+  }
+
+  std::vector<std::vector<std::uint64_t>> out(
+      static_cast<std::size_t>(p), std::vector<std::uint64_t>(static_cast<std::size_t>(p), 0));
+  for (int n = 0; n < p; ++n) {
+    out[static_cast<std::size_t>(n)][static_cast<std::size_t>(n)] =
+        contributions[static_cast<std::size_t>(n)];
+  }
+  if (p == 1) return out;
+
+  // Ring: in round k node n forwards the block it received in round k-1.
+  for (int round = 0; round < p - 1; ++round) {
+    std::vector<RecvHandle> handles(static_cast<std::size_t>(p));
+    for (int n = 0; n < p; ++n) {
+      const int left = (n - 1 + p) % p;
+      handles[static_cast<std::size_t>(n)] = irecv(n, left, round % kMaxRoundsPerOp);
+    }
+    for (int n = 0; n < p; ++n) {
+      const int right = (n + 1) % p;
+      const int block = (n - round + p) % p;
+      send(n, right, round % kMaxRoundsPerOp,
+           out[static_cast<std::size_t>(n)][static_cast<std::size_t>(block)]);
+    }
+    cluster_->run_until_quiescent();
+    for (int n = 0; n < p; ++n) {
+      const auto res = cluster_->result(handles[static_cast<std::size_t>(n)]);
+      if (!res) throw std::runtime_error("allgather round incomplete");
+      const int block = (n - 1 - round + 2 * p) % p;
+      out[static_cast<std::size_t>(n)][static_cast<std::size_t>(block)] = res->payload;
+    }
+  }
+  next_epoch();
+  return out;
+}
+
+}  // namespace simtmsg::runtime

@@ -1,0 +1,70 @@
+// Collective operations over the simulated GPU cluster.
+//
+// The paper closes with the open question of "whether send/recv,
+// collectives, put/get, (partitioned) global address spaces (GAS), or some
+// other paradigm is most suitable" for autonomous accelerators.  This layer
+// builds the classic collectives from the send/recv primitive so that the
+// question can be explored on top of any Table II semantics row:
+//   - broadcast: binomial tree, ceil(log2 p) rounds,
+//   - reduce:    binomial tree (mirror of broadcast),
+//   - allreduce: recursive doubling, ceil(log2 p) rounds,
+//   - allgather: ring, p-1 rounds,
+//   - barrier:   delegated to the cluster's quiescence barrier.
+//
+// All operations run on a dedicated communicator and advance a tag epoch
+// per call, so they compose with unordered (hash) matching semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "runtime/endpoint.hpp"
+
+namespace simtmsg::runtime {
+
+class Collectives {
+ public:
+  /// Reduction operator on payload words (default: sum).
+  using ReduceOp = std::function<std::uint64_t(std::uint64_t, std::uint64_t)>;
+
+  /// `comm` must not collide with application communicators.
+  explicit Collectives(Cluster& cluster, matching::CommId comm = 0x7F);
+
+  /// Root's `value` ends up on every node; returns the per-node values.
+  std::vector<std::uint64_t> broadcast(int root, std::uint64_t value);
+
+  /// Reduce contributions[i] (owned by node i) onto `root`.
+  std::uint64_t reduce(int root, std::span<const std::uint64_t> contributions,
+                       const ReduceOp& op);
+  std::uint64_t reduce_sum(int root, std::span<const std::uint64_t> contributions);
+
+  /// Every node obtains op-combination of all contributions.
+  std::vector<std::uint64_t> allreduce(std::span<const std::uint64_t> contributions,
+                                       const ReduceOp& op);
+  std::vector<std::uint64_t> allreduce_sum(std::span<const std::uint64_t> contributions);
+
+  /// Every node obtains every contribution, indexed by rank.
+  std::vector<std::vector<std::uint64_t>> allgather(
+      std::span<const std::uint64_t> contributions);
+
+  void barrier() { cluster_->barrier(); }
+
+  /// Messages injected by collectives so far (complexity checks).
+  [[nodiscard]] std::uint64_t messages_used() const noexcept { return messages_; }
+
+ private:
+  /// Fresh per-operation tag (epoch * stride + round), 16-bit safe.
+  [[nodiscard]] matching::Tag tag(int round) const;
+  void next_epoch();
+  void send(int from, int to, int round, std::uint64_t payload);
+  [[nodiscard]] RecvHandle irecv(int at, int src, int round);
+
+  Cluster* cluster_;
+  matching::CommId comm_;
+  int epoch_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace simtmsg::runtime

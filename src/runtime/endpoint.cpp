@@ -1,0 +1,120 @@
+#include "runtime/endpoint.hpp"
+
+#include <stdexcept>
+
+namespace simtmsg::runtime {
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(cfg), gas_(cfg.nodes, cfg.network) {
+  if (cfg_.nodes < 1) throw std::invalid_argument("cluster needs at least one node");
+  if (!matching::valid(cfg_.semantics)) {
+    throw std::invalid_argument("inconsistent semantics: " +
+                                matching::describe(cfg_.semantics));
+  }
+  const auto& device = simt::device(cfg_.device);
+  engines_.reserve(static_cast<std::size_t>(cfg_.nodes));
+  posted_.resize(static_cast<std::size_t>(cfg_.nodes));
+  for (int n = 0; n < cfg_.nodes; ++n) engines_.emplace_back(device, cfg_.semantics);
+}
+
+void Cluster::send(int from, int to, matching::Tag tag, std::uint64_t payload,
+                   matching::CommId comm, std::size_t bytes) {
+  if (from < 0 || from >= cfg_.nodes) throw std::out_of_range("sender out of range");
+  if (tag < 0) throw std::invalid_argument("send tag must be concrete");
+  matching::Envelope env{.src = from, .tag = tag, .comm = comm};
+  (void)gas_.remote_enqueue(from, to, env, payload, bytes, now_us_);
+  ++sends_;
+}
+
+RecvHandle Cluster::irecv(int node, matching::Rank src, matching::Tag tag,
+                          matching::CommId comm) {
+  if (node < 0 || node >= cfg_.nodes) throw std::out_of_range("node out of range");
+  matching::Envelope env{.src = src, .tag = tag, .comm = comm};
+  if (!cfg_.semantics.wildcards && matching::has_wildcard(env)) {
+    throw std::invalid_argument("wildcards are prohibited by the cluster semantics");
+  }
+  matching::RecvRequest req;
+  req.env = env;
+  req.user_data = next_handle_;
+  posted_[static_cast<std::size_t>(node)].push(req);
+  ++posts_;
+  return {node, next_handle_++};
+}
+
+bool Cluster::test(const RecvHandle& h) const { return completed_.contains(h.id); }
+
+std::optional<RecvResult> Cluster::result(const RecvHandle& h) const {
+  const auto it = completed_.find(h.id);
+  if (it == completed_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t Cluster::progress() {
+  // Advance the clock to the next arrival (if any) and deliver.
+  const double next = gas_.next_arrival();
+  if (next >= 0.0) {
+    now_us_ = std::max(now_us_, next);
+    (void)gas_.deliver_until(now_us_);
+  }
+
+  // Run every node's communication kernel once.
+  std::vector<Completion> completions;
+  std::size_t matched = 0;
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    matched += engines_[static_cast<std::size_t>(n)].step(
+        gas_.incoming(n), posted_[static_cast<std::size_t>(n)], completions);
+  }
+  for (const auto& c : completions) {
+    completed_[c.handle] =
+        RecvResult{c.msg_env.src, c.msg_env.tag, c.payload};
+  }
+  return matched;
+}
+
+void Cluster::run_until_quiescent() {
+  for (;;) {
+    const std::size_t matched = progress();
+    if (matched == 0 && gas_.idle()) return;
+  }
+}
+
+void Cluster::barrier() {
+  run_until_quiescent();
+  if (!cfg_.semantics.unexpected) {
+    std::vector<Completion> sink;
+    for (int n = 0; n < cfg_.nodes; ++n) {
+      (void)engines_[static_cast<std::size_t>(n)].step(
+          gas_.incoming(n), posted_[static_cast<std::size_t>(n)], sink,
+          /*enforce_expected=*/true);
+    }
+  }
+}
+
+RecvResult Cluster::wait(const RecvHandle& h) {
+  for (;;) {
+    if (const auto r = result(h)) return *r;
+    const std::size_t matched = progress();
+    if (matched == 0 && gas_.idle()) {
+      if (const auto r = result(h)) return *r;
+      throw std::runtime_error("wait(): cluster quiescent, receive cannot complete");
+    }
+  }
+}
+
+ClusterStats Cluster::stats() const {
+  ClusterStats s;
+  s.messages_sent = sends_;
+  s.receives_posted = posts_;
+  s.virtual_time_us = now_us_;
+  for (const auto& e : engines_) {
+    s.matches += e.matches();
+    s.matching_seconds += e.matching_seconds();
+  }
+  return s;
+}
+
+double Cluster::node_matching_seconds(int node) const {
+  return engines_[static_cast<std::size_t>(node)].matching_seconds();
+}
+
+}  // namespace simtmsg::runtime

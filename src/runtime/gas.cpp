@@ -1,0 +1,47 @@
+#include "runtime/gas.hpp"
+
+#include <stdexcept>
+
+namespace simtmsg::runtime {
+
+GlobalAddressSpace::GlobalAddressSpace(int nodes, NetworkConfig net_cfg)
+    : network_(net_cfg), incoming_(static_cast<std::size_t>(nodes)) {
+  if (nodes < 1) throw std::invalid_argument("GAS needs at least one node");
+}
+
+double GlobalAddressSpace::remote_enqueue(int from, int to,
+                                          const matching::Envelope& env,
+                                          std::uint64_t payload, std::size_t bytes,
+                                          double now_us) {
+  if (to < 0 || to >= nodes()) throw std::out_of_range("destination node out of range");
+  Packet p;
+  p.from = from;
+  p.to = to;
+  p.env = env;
+  p.payload = payload;
+  p.bytes = bytes;
+  p.arrival_us = network_.arrival_time(now_us, bytes);
+  p.sequence = sequence_++;
+  in_flight_.push(p);
+  return p.arrival_us;
+}
+
+std::size_t GlobalAddressSpace::deliver_until(double until_us) {
+  std::size_t delivered = 0;
+  while (!in_flight_.empty() && in_flight_.top().arrival_us <= until_us) {
+    const Packet p = in_flight_.top();
+    in_flight_.pop();
+    matching::Message m;
+    m.env = p.env;
+    m.payload = p.payload;
+    incoming_[static_cast<std::size_t>(p.to)].push(m);
+    ++delivered;
+  }
+  return delivered;
+}
+
+double GlobalAddressSpace::next_arrival() const noexcept {
+  return in_flight_.empty() ? -1.0 : in_flight_.top().arrival_us;
+}
+
+}  // namespace simtmsg::runtime

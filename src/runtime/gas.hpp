@@ -1,0 +1,64 @@
+// GlobalAddressSpace: the paper's communication substrate (Section II-C):
+// "NVLink and PCIe systems allow GPUs to address a peer's memory directly
+// by spanning a virtual global address space (GAS) across the network.
+// 'Send' operations write messages to queues in remote memory and 'Receive'
+// operations query the local queue for new messages."
+//
+// Each node owns an incoming message queue in its (simulated) device
+// memory; remote_enqueue models the one-sided write a send performs.
+// In-flight packets are delivered in arrival-time order (per-pair FIFO is
+// preserved by construction when jitter is zero).
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "matching/queue.hpp"
+#include "runtime/network.hpp"
+
+namespace simtmsg::runtime {
+
+class GlobalAddressSpace {
+ public:
+  GlobalAddressSpace(int nodes, NetworkConfig net_cfg);
+
+  [[nodiscard]] int nodes() const noexcept { return static_cast<int>(incoming_.size()); }
+
+  /// One-sided remote write of a message header+payload into `to`'s queue.
+  /// Returns the packet's arrival time.
+  double remote_enqueue(int from, int to, const matching::Envelope& env,
+                        std::uint64_t payload, std::size_t bytes, double now_us);
+
+  /// Move every packet with arrival <= `until_us` into its destination's
+  /// incoming queue (arrival order).  Returns the number delivered.
+  std::size_t deliver_until(double until_us);
+
+  /// Earliest in-flight arrival, or a negative value when nothing is in
+  /// flight.
+  [[nodiscard]] double next_arrival() const noexcept;
+
+  [[nodiscard]] bool idle() const noexcept { return in_flight_.empty(); }
+
+  /// Node-local incoming message queue (what the communication kernel
+  /// matches against).
+  [[nodiscard]] matching::MessageQueue& incoming(int node) {
+    return incoming_[static_cast<std::size_t>(node)];
+  }
+
+  [[nodiscard]] std::uint64_t total_injected() const noexcept { return sequence_; }
+
+ private:
+  struct Later {
+    bool operator()(const Packet& a, const Packet& b) const noexcept {
+      if (a.arrival_us != b.arrival_us) return a.arrival_us > b.arrival_us;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  Network network_;
+  std::priority_queue<Packet, std::vector<Packet>, Later> in_flight_;
+  std::vector<matching::MessageQueue> incoming_;
+  std::uint64_t sequence_ = 0;
+};
+
+}  // namespace simtmsg::runtime

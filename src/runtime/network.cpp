@@ -1,0 +1,9 @@
+#include "runtime/network.hpp"
+
+// Network is header-only (hot path); this TU anchors it into the library.
+
+namespace simtmsg::runtime {
+
+static_assert(sizeof(Packet) > 0);
+
+}  // namespace simtmsg::runtime

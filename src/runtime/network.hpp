@@ -1,0 +1,51 @@
+// Network model for the simulated GPU cluster: NVLink-class links with a
+// fixed per-message latency, a bandwidth term, and optional jitter (which
+// produces out-of-order delivery between different pairs, like a real
+// multi-path fabric; per-pair ordering is preserved, as NVLink and
+// lossless HPC fabrics guarantee and MPI's ordering rule presumes).
+#pragma once
+
+#include <cstdint>
+
+#include "matching/envelope.hpp"
+#include "util/rng.hpp"
+
+namespace simtmsg::runtime {
+
+struct NetworkConfig {
+  double latency_us = 1.3;       ///< Per-message one-way latency.
+  double bandwidth_gbs = 40.0;   ///< Link bandwidth, GB/s (NVLink-class).
+  double jitter_us = 0.0;        ///< Uniform extra delay in [0, jitter].
+  std::uint64_t seed = 1;
+};
+
+/// A message in flight between two endpoints.
+struct Packet {
+  int from = 0;
+  int to = 0;
+  matching::Envelope env;
+  std::uint64_t payload = 0;
+  std::size_t bytes = 8;
+  double arrival_us = 0.0;
+  std::uint64_t sequence = 0;  ///< Global injection order (tie-break).
+};
+
+class Network {
+ public:
+  explicit Network(NetworkConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  /// Arrival time for `bytes` injected at `now_us`.
+  [[nodiscard]] double arrival_time(double now_us, std::size_t bytes) noexcept {
+    const double wire = static_cast<double>(bytes) / (cfg_.bandwidth_gbs * 1e3);  // us.
+    const double jitter = cfg_.jitter_us > 0.0 ? rng_.uniform() * cfg_.jitter_us : 0.0;
+    return now_us + cfg_.latency_us + wire + jitter;
+  }
+
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return cfg_; }
+
+ private:
+  NetworkConfig cfg_;
+  util::Rng rng_;
+};
+
+}  // namespace simtmsg::runtime

@@ -1,0 +1,51 @@
+#include "runtime/progress_engine.hpp"
+
+#include <stdexcept>
+
+namespace simtmsg::runtime {
+
+ProgressEngine::ProgressEngine(const simt::DeviceSpec& device,
+                               matching::SemanticsConfig semantics)
+    : engine_(device, semantics), semantics_(semantics) {}
+
+std::size_t ProgressEngine::step(matching::MessageQueue& incoming,
+                                 matching::RecvQueue& posted,
+                                 std::vector<Completion>& out, bool enforce_expected) {
+  ++steps_;
+  if (incoming.empty() || posted.empty()) {
+    if (enforce_expected && !semantics_.unexpected && !incoming.empty()) {
+      throw std::runtime_error(
+          "unexpected message at quiescence under no-unexpected semantics");
+    }
+    return 0;
+  }
+
+  // Snapshot: result indices refer to pre-compaction queue contents.
+  std::vector<matching::Message> msgs(incoming.view().begin(), incoming.view().end());
+  std::vector<matching::RecvRequest> reqs(posted.view().begin(), posted.view().end());
+
+  const auto stats = engine_.match_queues(incoming, posted);
+  seconds_ += stats.seconds;
+  cycles_ += stats.cycles;
+
+  std::size_t matched = 0;
+  for (std::size_t r = 0; r < stats.result.request_match.size(); ++r) {
+    const auto m = stats.result.request_match[r];
+    if (m == matching::kNoMatch) continue;
+    ++matched;
+    Completion c;
+    c.handle = reqs[r].user_data;
+    c.msg_env = msgs[static_cast<std::size_t>(m)].env;
+    c.payload = msgs[static_cast<std::size_t>(m)].payload;
+    out.push_back(c);
+  }
+  matches_ += matched;
+
+  if (enforce_expected && !semantics_.unexpected && !incoming.empty()) {
+    throw std::runtime_error(
+        "unexpected message at quiescence under no-unexpected semantics");
+  }
+  return matched;
+}
+
+}  // namespace simtmsg::runtime

@@ -1,0 +1,59 @@
+// ProgressEngine: the per-node "communication kernel" of Section II-C —
+// "there is one communication kernel running on a single GPU streaming
+// multiprocessor (SM) while other SMs are executing the application's grid
+// ... The matching and other communication tasks are performed in the
+// background by the communication kernel."
+//
+// Each step drains the node's incoming GAS queue against its posted
+// receive queue through a MatchEngine configured with the cluster's
+// semantics, and reports completions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "matching/engine.hpp"
+#include "matching/queue.hpp"
+
+namespace simtmsg::runtime {
+
+struct Completion {
+  std::uint64_t handle = 0;    ///< The receive's user handle.
+  matching::Envelope msg_env;  ///< The concrete matched message envelope.
+  std::uint64_t payload = 0;
+};
+
+class ProgressEngine {
+ public:
+  ProgressEngine(const simt::DeviceSpec& device, matching::SemanticsConfig semantics);
+
+  /// One matching pass over (incoming, posted).  Matched elements are
+  /// removed from both queues; completions are appended to `out`.
+  /// Returns the number of new matches.  Throws std::runtime_error when a
+  /// message remains unmatched although the semantics prohibit unexpected
+  /// messages and `enforce_expected` is set (used at quiescence points —
+  /// mid-flight a message may legitimately precede its receive's arrival
+  /// into the queue by one progress step).
+  std::size_t step(matching::MessageQueue& incoming, matching::RecvQueue& posted,
+                   std::vector<Completion>& out, bool enforce_expected = false);
+
+  /// Modelled device time spent matching so far (seconds on the configured
+  /// device) and total matches.
+  [[nodiscard]] double matching_seconds() const noexcept { return seconds_; }
+  [[nodiscard]] double matching_cycles() const noexcept { return cycles_; }
+  [[nodiscard]] std::uint64_t matches() const noexcept { return matches_; }
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+  [[nodiscard]] const matching::MatchEngine& engine() const noexcept { return engine_; }
+
+ private:
+  matching::MatchEngine engine_;
+  matching::SemanticsConfig semantics_;
+  double seconds_ = 0.0;
+  double cycles_ = 0.0;
+  std::uint64_t matches_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace simtmsg::runtime

@@ -1,0 +1,28 @@
+#include "simt/cta.hpp"
+
+#include <stdexcept>
+
+namespace simtmsg::simt {
+
+CtaContext::CtaContext(int cta_id, int num_warps, std::size_t shared_mem_limit)
+    : cta_id_(cta_id), num_warps_(num_warps), shared_limit_(shared_mem_limit) {
+  if (num_warps < 1 || num_warps > 32) {
+    throw std::invalid_argument("CTA must have 1..32 warps");
+  }
+  warps_.reserve(static_cast<std::size_t>(num_warps));
+  for (int w = 0; w < num_warps; ++w) warps_.emplace_back(w, counters_);
+}
+
+WarpContext& CtaContext::warp(int w) {
+  if (w < 0 || w >= num_warps_) throw std::out_of_range("warp id out of range");
+  return warps_[static_cast<std::size_t>(w)];
+}
+
+void CtaContext::for_each_warp(const std::function<void(WarpContext&)>& fn) {
+  for (auto& w : warps_) {
+    w.set_active(kFullMask);
+    fn(w);
+  }
+}
+
+}  // namespace simtmsg::simt

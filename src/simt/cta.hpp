@@ -1,0 +1,75 @@
+// CtaContext: one cooperative thread array (thread block).
+//
+// The simulator executes warp-synchronous kernels: a kernel is expressed as
+// a sequence of per-warp phases separated by CTA barriers.  Because the
+// matching kernels (like most HPC GPU kernels) only exchange data across
+// warps through shared/global memory at barrier boundaries, executing the
+// warps of a phase sequentially on the host is functionally equivalent to
+// the concurrent hardware execution; the TimingModel accounts for the
+// concurrency when converting events to cycles.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "simt/event_counters.hpp"
+#include "simt/warp.hpp"
+
+namespace simtmsg::simt {
+
+class CtaContext {
+ public:
+  /// A CTA with `num_warps` warps (1..32) and a shared-memory budget.
+  CtaContext(int cta_id, int num_warps, std::size_t shared_mem_limit = 48 * 1024);
+
+  [[nodiscard]] int cta_id() const noexcept { return cta_id_; }
+  [[nodiscard]] int num_warps() const noexcept { return num_warps_; }
+  [[nodiscard]] int num_threads() const noexcept { return num_warps_ * kWarpSize; }
+
+  /// Access warp `w`'s context.  All warps share the CTA's counters.
+  [[nodiscard]] WarpContext& warp(int w);
+
+  /// Run `fn(warp)` for every warp of the CTA (one kernel phase).
+  void for_each_warp(const std::function<void(WarpContext&)>& fn);
+
+  /// CTA-wide barrier (CUDA __syncthreads); counted for the cost model.
+  void barrier() noexcept { counters_.cta_barriers += 1; }
+
+  /// Allocate `n` elements of CTA shared memory; throws if the kernel
+  /// exceeds the device's shared-memory budget (this is what limits
+  /// occupancy — "due to the SM's limited resources the execution of
+  /// multiple CTAs is serialized").
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc_shared(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (shared_used_ + bytes > shared_limit_) {
+      throw std::runtime_error("CTA shared memory budget exceeded");
+    }
+    shared_used_ += bytes;
+    auto storage = std::make_unique<std::vector<std::byte>>(bytes);
+    T* base = reinterpret_cast<T*>(storage->data());
+    for (std::size_t i = 0; i < n; ++i) new (base + i) T{};
+    shared_arenas_.push_back(std::move(storage));
+    return {base, n};
+  }
+
+  [[nodiscard]] std::size_t shared_bytes_used() const noexcept { return shared_used_; }
+
+  [[nodiscard]] const EventCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] EventCounters& counters() noexcept { return counters_; }
+
+ private:
+  int cta_id_;
+  int num_warps_;
+  std::size_t shared_limit_;
+  std::size_t shared_used_ = 0;
+  EventCounters counters_;
+  std::vector<WarpContext> warps_;
+  std::vector<std::unique_ptr<std::vector<std::byte>>> shared_arenas_;
+};
+
+}  // namespace simtmsg::simt

@@ -1,0 +1,87 @@
+#include "simt/device_spec.hpp"
+
+#include <array>
+
+namespace simtmsg::simt {
+namespace {
+
+// Calibration notes
+// -----------------
+// clock_ghz: published boost clocks (K80 875 MHz per GPU, M40 1114 MHz,
+// GTX1080 1733 MHz).  The paper's Figure 4 rates (3 / 3.5 / 6 M matches/s)
+// track these clocks almost exactly and the paper attributes generation
+// differences to clock alone for the latency-bound matrix matcher
+// (Section VII-C), so gmem_latency and max_outstanding are generation-
+// independent and clock carries the Figure 4 ratios.
+//
+// gmem_cost / atomic_cost: the hash matcher is bound by scattered memory
+// transactions and atomics.  The paper reports 110 M matches/s on Kepler vs
+// ~500 M on Pascal at 1024 elements — a 3.3x gain, i.e. ~1.65x beyond the
+// clock ratio — attributed to Pascal's memory system.  Kepler's atomic and
+// scattered-transaction costs are set correspondingly higher.
+//
+// alu_cpi: Maxwell carries a small issue-efficiency penalty so that the
+// clock-driven estimate lands on the reported 3.5 M rather than 3.9 M.
+constexpr std::array<DeviceSpec, 3> kDevices = {{
+    {
+        .generation = Generation::kKepler,
+        .name = "Tesla K80",
+        .arch = "Kepler",
+        .clock_ghz = 0.875,
+        .sm_count = 13,
+        .max_resident_warps = 64,
+        .shared_mem_per_sm = 48 * 1024,
+        .issue_width = 4.0,
+        .alu_cpi = 1.0,
+        .smem_cost = 1.0,
+        .gmem_cost = 0.85,
+        .gmem_latency = 370.0,
+        .atomic_cost = 0.9,
+        .mlp_per_warp = 1.5,
+        .max_outstanding = 128.0,
+    },
+    {
+        .generation = Generation::kMaxwell,
+        .name = "Tesla M40",
+        .arch = "Maxwell",
+        .clock_ghz = 1.114,
+        .sm_count = 24,
+        .max_resident_warps = 64,
+        .shared_mem_per_sm = 96 * 1024,
+        .issue_width = 4.0,
+        .alu_cpi = 1.09,
+        .smem_cost = 1.0,
+        .gmem_cost = 0.7,
+        .gmem_latency = 370.0,
+        .atomic_cost = 0.14,
+        .mlp_per_warp = 1.5,
+        .max_outstanding = 192.0,
+    },
+    {
+        .generation = Generation::kPascal,
+        .name = "GTX 1080",
+        .arch = "Pascal",
+        .clock_ghz = 1.733,
+        .sm_count = 20,
+        .max_resident_warps = 64,
+        .shared_mem_per_sm = 96 * 1024,
+        .issue_width = 4.0,
+        .alu_cpi = 1.0,
+        .smem_cost = 1.0,
+        .gmem_cost = 0.32,
+        .gmem_latency = 370.0,
+        .atomic_cost = 0.14,
+        .mlp_per_warp = 1.5,
+        .max_outstanding = 256.0,
+    },
+}};
+
+}  // namespace
+
+const DeviceSpec& device(Generation gen) noexcept {
+  return kDevices[static_cast<std::size_t>(gen)];
+}
+
+std::span<const DeviceSpec> all_devices() noexcept { return kDevices; }
+
+}  // namespace simtmsg::simt

@@ -1,0 +1,58 @@
+// Device descriptors for the three GPU generations the paper evaluates
+// (Section II-C, footnotes 1-3) plus the derived timing parameters of the
+// simulator's cost model.
+//
+// The paper attributes cross-generation differences almost entirely to clock
+// rate ("Newer GPU generations show better performance, but only due to
+// higher clock frequencies", Section VII-C), with one exception: the Pascal
+// part shows a super-clock 3.3x gain on the memory-bound hash matcher,
+// reflecting its improved memory system.  The cost-model parameters below
+// encode exactly that: published clocks, equal issue widths, and a lower
+// global-memory cost for Pascal.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+namespace simtmsg::simt {
+
+enum class Generation { kKepler, kMaxwell, kPascal };
+
+struct DeviceSpec {
+  Generation generation{};
+  std::string_view name;   ///< e.g. "Tesla K80".
+  std::string_view arch;   ///< e.g. "Kepler".
+
+  // Published hardware facts.
+  double clock_ghz = 1.0;          ///< Boost clock of the evaluated part.
+  int sm_count = 1;                ///< Informational; experiments use one SM.
+  int warp_size = 32;
+  int max_warps_per_cta = 32;      ///< "all NVIDIA GPUs only support 32 warps per CTA".
+  int max_resident_warps = 64;     ///< Per SM.
+  int max_resident_ctas = 16;      ///< "A single SM is able to schedule warps from up to 16 CTAs".
+  std::size_t shared_mem_per_sm = 48 * 1024;
+
+  // Cost-model calibration (cycles / event); see simt/timing_model.hpp.
+  double issue_width = 4.0;        ///< Warp instructions issued per cycle per SM.
+  double alu_cpi = 1.0;            ///< Cycles consumed per issued warp instruction.
+  double smem_cost = 1.0;          ///< Throughput cycles per shared-memory transaction.
+  double gmem_cost = 1.2;          ///< Throughput cycles per 128B global transaction.
+  double gmem_latency = 400.0;     ///< Round-trip latency of a global request, cycles.
+  double atomic_cost = 1.0;        ///< Throughput cycles per global atomic.
+  double mlp_per_warp = 1.5;       ///< Outstanding global requests one warp sustains.
+  double max_outstanding = 256.0;  ///< Requests the memory system overlaps SM-wide.
+};
+
+/// Descriptor for one generation (Table II / figures reference these parts).
+[[nodiscard]] const DeviceSpec& device(Generation gen) noexcept;
+
+/// Kepler K80, Maxwell M40, Pascal GTX1080 — the paper's evaluation set.
+[[nodiscard]] std::span<const DeviceSpec> all_devices() noexcept;
+
+/// Shorthand accessors.
+[[nodiscard]] inline const DeviceSpec& kepler_k80() noexcept { return device(Generation::kKepler); }
+[[nodiscard]] inline const DeviceSpec& maxwell_m40() noexcept { return device(Generation::kMaxwell); }
+[[nodiscard]] inline const DeviceSpec& pascal_gtx1080() noexcept { return device(Generation::kPascal); }
+
+}  // namespace simtmsg::simt

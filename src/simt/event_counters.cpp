@@ -1,0 +1,33 @@
+#include "simt/event_counters.hpp"
+
+namespace simtmsg::simt {
+
+EventCounters& EventCounters::operator+=(const EventCounters& o) noexcept {
+  alu_instructions += o.alu_instructions;
+  ballot_instructions += o.ballot_instructions;
+  shuffle_instructions += o.shuffle_instructions;
+  branch_instructions += o.branch_instructions;
+  divergent_branches += o.divergent_branches;
+  shared_transactions += o.shared_transactions;
+  global_transactions += o.global_transactions;
+  global_load_requests += o.global_load_requests;
+  global_store_requests += o.global_store_requests;
+  atomic_operations += o.atomic_operations;
+  stall_cycles += o.stall_cycles;
+  warp_syncs += o.warp_syncs;
+  cta_barriers += o.cta_barriers;
+  return *this;
+}
+
+EventCounters EventCounters::operator+(const EventCounters& o) const noexcept {
+  EventCounters r = *this;
+  r += o;
+  return r;
+}
+
+std::uint64_t EventCounters::issued_instructions() const noexcept {
+  return alu_instructions + ballot_instructions + shuffle_instructions +
+         branch_instructions + warp_syncs;
+}
+
+}  // namespace simtmsg::simt

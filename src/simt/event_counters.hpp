@@ -1,0 +1,45 @@
+// Event counters accumulated while a kernel executes on the functional SIMT
+// engine.  The TimingModel turns these into cycle estimates; they are also
+// useful on their own for reasoning about algorithm structure (e.g. how the
+// scan phase's instruction count grows with the window size).
+#pragma once
+
+#include <cstdint>
+
+namespace simtmsg::simt {
+
+struct EventCounters {
+  // Warp-granularity instruction issue events (one event = one instruction
+  // issued for a whole warp, regardless of how many lanes are active).
+  std::uint64_t alu_instructions = 0;      ///< Integer/compare/bit ops.
+  std::uint64_t ballot_instructions = 0;   ///< Warp votes (ballot/any/all).
+  std::uint64_t shuffle_instructions = 0;  ///< Intra-warp data exchange.
+  std::uint64_t branch_instructions = 0;   ///< Control flow decisions.
+  std::uint64_t divergent_branches = 0;    ///< Branches splitting the warp.
+
+  // Memory system events.
+  std::uint64_t shared_transactions = 0;   ///< Shared-memory accesses (bank-conflict-free groups).
+  std::uint64_t global_transactions = 0;   ///< 128-byte global segments touched.
+  std::uint64_t global_load_requests = 0;  ///< Warp-level loads (incur round-trip latency).
+  std::uint64_t global_store_requests = 0; ///< Warp-level stores (write-buffered, throughput only).
+  std::uint64_t atomic_operations = 0;     ///< Global atomics (hash-table inserts).
+
+  // Cycles of unhideable serialized latency annotated by kernels for
+  // dependent chains a single warp cannot overlap (e.g. the sequential
+  // reduce's per-column mask dependency).
+  std::uint64_t stall_cycles = 0;
+
+  // Synchronization events.
+  std::uint64_t warp_syncs = 0;
+  std::uint64_t cta_barriers = 0;
+
+  EventCounters& operator+=(const EventCounters& o) noexcept;
+  [[nodiscard]] EventCounters operator+(const EventCounters& o) const noexcept;
+
+  /// Total instructions issued (everything the SM front end must dispatch).
+  [[nodiscard]] std::uint64_t issued_instructions() const noexcept;
+
+  void reset() noexcept { *this = EventCounters{}; }
+};
+
+}  // namespace simtmsg::simt

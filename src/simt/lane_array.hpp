@@ -1,0 +1,56 @@
+// A LaneArray<T> is one SIMT register: 32 lanes holding one T each.
+//
+// The functional part of the simulator executes warp instructions as
+// lane-wise operations over LaneArrays, with inactive lanes masked off
+// exactly like diverged threads on real hardware ("results from diverging
+// threads are simply masked off", paper Section II-A).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <type_traits>
+
+namespace simtmsg::simt {
+
+inline constexpr int kWarpSize = 32;
+
+/// Active-lane mask; bit i corresponds to lane i (LSB = lane 0), matching
+/// the CUDA ballot convention described in the paper.
+using LaneMask = std::uint32_t;
+
+inline constexpr LaneMask kFullMask = 0xFFFF'FFFFu;
+
+template <typename T>
+class LaneArray {
+ public:
+  constexpr LaneArray() = default;
+
+  /// Broadcast a scalar to all lanes.
+  explicit constexpr LaneArray(const T& v) { lanes_.fill(v); }
+
+  [[nodiscard]] constexpr T& operator[](int lane) { return lanes_[static_cast<std::size_t>(lane)]; }
+  [[nodiscard]] constexpr const T& operator[](int lane) const {
+    return lanes_[static_cast<std::size_t>(lane)];
+  }
+
+  [[nodiscard]] static constexpr int size() { return kWarpSize; }
+
+  /// Lane-index register (0, 1, ..., 31): CUDA's threadIdx within a warp.
+  [[nodiscard]] static constexpr LaneArray<T> iota() {
+    static_assert(std::is_integral_v<T>);
+    LaneArray<T> out;
+    for (int lane = 0; lane < kWarpSize; ++lane) out[lane] = static_cast<T>(lane);
+    return out;
+  }
+
+ private:
+  std::array<T, kWarpSize> lanes_{};
+};
+
+using LaneU32 = LaneArray<std::uint32_t>;
+using LaneU64 = LaneArray<std::uint64_t>;
+using LaneI32 = LaneArray<std::int32_t>;
+using LaneBool = LaneArray<bool>;
+using LaneSize = LaneArray<std::size_t>;
+
+}  // namespace simtmsg::simt

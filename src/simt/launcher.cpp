@@ -1,0 +1,24 @@
+#include "simt/launcher.hpp"
+
+#include <vector>
+
+namespace simtmsg::simt {
+
+KernelRun launch(const DeviceSpec& spec, const LaunchConfig& cfg, const KernelFn& kernel) {
+  KernelRun run;
+  std::vector<EventCounters> per_cta;
+  per_cta.reserve(static_cast<std::size_t>(cfg.ctas));
+
+  for (int cta = 0; cta < cfg.ctas; ++cta) {
+    CtaContext ctx(cta, cfg.warps_per_cta, spec.shared_mem_per_sm);
+    kernel(ctx);
+    per_cta.push_back(ctx.counters());
+    run.counters += ctx.counters();
+  }
+
+  const TimingModel model(spec);
+  run.timing = model.estimate(per_cta, cfg);
+  return run;
+}
+
+}  // namespace simtmsg::simt

@@ -1,0 +1,26 @@
+// Launcher: runs a kernel (a callable over CtaContext) for every CTA of a
+// launch configuration on the functional engine and produces the combined
+// timing estimate.  This is the simulator's analogue of
+// `kernel<<<grid, block>>>(...)` followed by reading the device clock.
+#pragma once
+
+#include <functional>
+
+#include "simt/cta.hpp"
+#include "simt/device_spec.hpp"
+#include "simt/timing_model.hpp"
+
+namespace simtmsg::simt {
+
+using KernelFn = std::function<void(CtaContext&)>;
+
+struct KernelRun {
+  EventCounters counters;  ///< Summed over all CTAs.
+  TimingEstimate timing;
+};
+
+/// Execute `kernel` once per CTA and estimate its execution time on `spec`.
+[[nodiscard]] KernelRun launch(const DeviceSpec& spec, const LaunchConfig& cfg,
+                               const KernelFn& kernel);
+
+}  // namespace simtmsg::simt

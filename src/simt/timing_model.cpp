@@ -1,0 +1,66 @@
+#include "simt/timing_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simtmsg::simt {
+
+int TimingModel::concurrent_ctas(const LaunchConfig& cfg) const noexcept {
+  int limit = spec_->max_resident_ctas;
+  limit = std::min(limit, std::max(1, spec_->max_resident_warps / std::max(1, cfg.warps_per_cta)));
+  if (cfg.shared_bytes_per_cta > 0) {
+    const auto by_shared =
+        static_cast<int>(spec_->shared_mem_per_sm / cfg.shared_bytes_per_cta);
+    limit = std::min(limit, std::max(1, by_shared));
+  }
+  if (cfg.max_concurrent_ctas > 0) limit = std::min(limit, cfg.max_concurrent_ctas);
+  return std::max(1, std::min(limit, std::max(1, cfg.ctas)));
+}
+
+double TimingModel::cycles(const EventCounters& e, int resident_warps,
+                           double mlp_per_warp) const noexcept {
+  const double issue =
+      static_cast<double>(e.issued_instructions()) * spec_->alu_cpi / spec_->issue_width;
+  const double shared = static_cast<double>(e.shared_transactions) * spec_->smem_cost;
+  const double global = static_cast<double>(e.global_transactions) * spec_->gmem_cost;
+  const double atomics = static_cast<double>(e.atomic_operations) * spec_->atomic_cost;
+  const double barriers = static_cast<double>(e.cta_barriers) * kBarrierCost;
+
+  const double warps = std::max(1, resident_warps);
+  const double mlp = mlp_per_warp > 0.0 ? mlp_per_warp : spec_->mlp_per_warp;
+  const double in_flight = std::clamp(warps * mlp, 1.0, spec_->max_outstanding);
+  const double latency =
+      static_cast<double>(e.global_load_requests) * spec_->gmem_latency / in_flight;
+  const double stalls = static_cast<double>(e.stall_cycles);
+
+  return issue + shared + global + atomics + barriers + latency + stalls;
+}
+
+TimingEstimate TimingModel::estimate(const EventCounters& per_cta,
+                                     const LaunchConfig& cfg) const noexcept {
+  std::vector<EventCounters> all(static_cast<std::size_t>(std::max(1, cfg.ctas)), per_cta);
+  return estimate(all, cfg);
+}
+
+TimingEstimate TimingModel::estimate(const std::vector<EventCounters>& per_cta,
+                                     const LaunchConfig& cfg) const noexcept {
+  TimingEstimate out;
+  out.concurrent_ctas = concurrent_ctas(cfg);
+  const std::size_t n = per_cta.size();
+  const auto per_wave = static_cast<std::size_t>(out.concurrent_ctas);
+  out.waves = static_cast<int>((n + per_wave - 1) / per_wave);
+
+  double total = 0.0;
+  for (std::size_t begin = 0; begin < n; begin += per_wave) {
+    const std::size_t end = std::min(begin + per_wave, n);
+    EventCounters wave;
+    for (std::size_t i = begin; i < end; ++i) wave += per_cta[i];
+    const int resident = static_cast<int>(end - begin) * cfg.warps_per_cta;
+    total += cycles(wave, resident, cfg.mlp_per_warp);
+  }
+  out.cycles = total;
+  out.seconds = seconds_from_cycles(total);
+  return out;
+}
+
+}  // namespace simtmsg::simt

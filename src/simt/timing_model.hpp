@@ -1,0 +1,101 @@
+// TimingModel: converts EventCounters into cycle and wall-time estimates
+// for a given device generation and launch configuration.
+//
+// The model is deliberately structural rather than micro-architectural: the
+// paper's performance story is carried by (1) how many warp instructions an
+// algorithm must issue (the sequential reduce vs the parallel scan), (2) how
+// many memory transactions it makes (hash probes), (3) the device clock, and
+// (4) occupancy-driven serialization of CTAs on a single SM.  Those four
+// effects are modelled; cache hierarchies and instruction fusion are not.
+//
+//   issue      = issued_instructions * alu_cpi / issue_width
+//   shared     = shared_transactions * smem_cost
+//   global     = global_transactions * gmem_cost
+//   atomics    = atomic_operations   * atomic_cost
+//   barriers   = cta_barriers        * kBarrierCost
+//   latency    = global_load_requests * gmem_latency
+//                / clamp(resident_warps * mlp_per_warp, 1, max_outstanding)
+//   cycles     = issue + shared + global + atomics + barriers + latency
+//                + stall_cycles
+//
+// The latency term models memory-level parallelism: each resident warp can
+// keep ~mlp_per_warp global requests in flight, capped by the SM-wide
+// max_outstanding.  It is what makes the fully compliant matrix matcher
+// latency-bound (steady matches/s across queue lengths, Figure 4) while the
+// hash matcher is throughput/atomic-bound (Figure 6b).
+//
+// CTAs beyond the occupancy limit execute in additional "waves"
+// (serialized), reproducing the paper's observation that "more CTAs leads
+// to serialization and performance is reduced".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/device_spec.hpp"
+#include "simt/event_counters.hpp"
+
+namespace simtmsg::simt {
+
+struct LaunchConfig {
+  int ctas = 1;
+  int warps_per_cta = 32;
+  std::size_t shared_bytes_per_cta = 0;
+  /// Optional cap on concurrently resident CTAs (e.g. the paper's occupancy
+  /// calculator reports 2 for the matrix-matching kernel).  0 = derive from
+  /// device limits only.
+  int max_concurrent_ctas = 0;
+  /// Kernel memory-level parallelism: outstanding global loads one warp of
+  /// this kernel sustains.  0 = the device default (spec.mlp_per_warp).
+  /// Kernels with independent per-thread accesses (hash probes) sustain far
+  /// more than loops with serialized dependencies (the matrix scan).
+  double mlp_per_warp = 0.0;
+};
+
+struct TimingEstimate {
+  double cycles = 0.0;
+  double seconds = 0.0;
+  int concurrent_ctas = 1;  ///< CTAs resident per wave.
+  int waves = 1;            ///< Serialized waves executed.
+};
+
+class TimingModel {
+ public:
+  explicit TimingModel(const DeviceSpec& spec) noexcept : spec_(&spec) {}
+
+  [[nodiscard]] const DeviceSpec& spec() const noexcept { return *spec_; }
+
+  /// CTAs that can be resident simultaneously on one SM for this launch.
+  [[nodiscard]] int concurrent_ctas(const LaunchConfig& cfg) const noexcept;
+
+  /// Cycles to execute `events` with `resident_warps` warps sharing the SM.
+  /// `mlp_per_warp` overrides the device default when non-zero.
+  [[nodiscard]] double cycles(const EventCounters& events, int resident_warps,
+                              double mlp_per_warp = 0.0) const noexcept;
+
+  /// Cycles for two pipelined phases that overlap execution (the paper's
+  /// scan/reduce pipelining): the longer phase hides the shorter one.
+  [[nodiscard]] static double overlapped(double phase_a_cycles, double phase_b_cycles) noexcept {
+    return phase_a_cycles > phase_b_cycles ? phase_a_cycles : phase_b_cycles;
+  }
+
+  /// Full estimate for `ctas` homogeneous CTAs each producing `per_cta`.
+  [[nodiscard]] TimingEstimate estimate(const EventCounters& per_cta,
+                                        const LaunchConfig& cfg) const noexcept;
+
+  /// Estimate when CTAs produced different event counts.
+  [[nodiscard]] TimingEstimate estimate(const std::vector<EventCounters>& per_cta,
+                                        const LaunchConfig& cfg) const noexcept;
+
+  [[nodiscard]] double seconds_from_cycles(double cycles) const noexcept {
+    return cycles / (spec_->clock_ghz * 1e9);
+  }
+
+  /// Cost charged per CTA-wide barrier, in cycles.
+  static constexpr double kBarrierCost = 30.0;
+
+ private:
+  const DeviceSpec* spec_;
+};
+
+}  // namespace simtmsg::simt

@@ -1,0 +1,11 @@
+#include "simt/warp.hpp"
+
+// WarpContext is header-only (hot path, fully inlined); this translation
+// unit only pins the vtable-free class into the library and hosts small
+// non-template helpers.
+
+namespace simtmsg::simt {
+
+static_assert(kWarpSize == 32, "paper's algorithms assume 32-lane warps");
+
+}  // namespace simtmsg::simt

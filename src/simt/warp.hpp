@@ -1,0 +1,227 @@
+// WarpContext: the device-side programming surface of the simulator.
+//
+// Kernels (e.g. the scan and reduce phases of the matrix matcher) are
+// written against this API in the same warp-synchronous style as the
+// paper's Algorithms 1 and 2: ballots, ffs over vote words, predicated
+// lane-wise arithmetic, and explicit shared/global memory accesses.  Every
+// operation both (a) computes the functional result over the 32 lanes and
+// (b) records issue/memory events in the owning EventCounters, from which
+// the TimingModel later derives cycles.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+#include "simt/event_counters.hpp"
+#include "simt/lane_array.hpp"
+#include "util/bits.hpp"
+
+namespace simtmsg::simt {
+
+class WarpContext {
+ public:
+  WarpContext(int warp_id, EventCounters& counters) noexcept
+      : warp_id_(warp_id), counters_(&counters) {}
+
+  [[nodiscard]] int warp_id() const noexcept { return warp_id_; }
+  [[nodiscard]] LaneMask active() const noexcept { return active_; }
+
+  /// Replace the active mask (warp-level predication).  Returns the old
+  /// mask so callers can restore it after a divergent region.
+  LaneMask set_active(LaneMask mask) noexcept {
+    const LaneMask old = active_;
+    active_ = mask;
+    return old;
+  }
+
+  [[nodiscard]] bool lane_active(int lane) const noexcept {
+    return util::test_bit(active_, lane);
+  }
+
+  /// Account for `n` plain integer/compare/bit warp instructions.
+  void count_alu(std::uint64_t n = 1) noexcept { counters_->alu_instructions += n; }
+
+  /// Account for a (possibly divergent) branch decision.
+  void count_branch(bool divergent = false) noexcept {
+    counters_->branch_instructions += 1;
+    if (divergent) counters_->divergent_branches += 1;
+  }
+
+  // --- Warp vote / data exchange intrinsics ------------------------------
+
+  /// CUDA __ballot: bit i of the result is pred[i] for active lanes, 0 for
+  /// inactive lanes ("the LSB represents the first thread of the warp").
+  [[nodiscard]] std::uint32_t ballot(const LaneBool& pred) noexcept {
+    counters_->ballot_instructions += 1;
+    std::uint32_t word = 0;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (lane_active(lane) && pred[lane]) word = util::set_bit(word, lane);
+    }
+    return word;
+  }
+
+  [[nodiscard]] bool any(const LaneBool& pred) noexcept { return ballot(pred) != 0; }
+
+  [[nodiscard]] bool all(const LaneBool& pred) noexcept {
+    return ballot(pred) == active_;
+  }
+
+  /// CUDA __shfl: every active lane reads `v` from lane `src_lane`.
+  template <typename T>
+  [[nodiscard]] LaneArray<T> shfl(const LaneArray<T>& v, int src_lane) noexcept {
+    counters_->shuffle_instructions += 1;
+    return LaneArray<T>(v[src_lane]);
+  }
+
+  /// Warp-level synchronization point (CUDA __syncwarp).
+  void syncwarp() noexcept { counters_->warp_syncs += 1; }
+
+  // --- Lane-wise compute --------------------------------------------------
+
+  /// Run `fn(lane)` on every active lane, charging `instructions` issued
+  /// warp instructions for the whole construct.  This is the generic
+  /// "vector ALU op" of the simulator.
+  template <typename Fn>
+  void lanes(Fn&& fn, std::uint64_t instructions = 1) {
+    counters_->alu_instructions += instructions;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (lane_active(lane)) fn(lane);
+    }
+  }
+
+  // --- Global memory ------------------------------------------------------
+  //
+  // Global accesses are described by a span plus per-lane element indices.
+  // The simulator counts one warp-level request plus as many 128-byte
+  // transactions as distinct segments are touched by active lanes — the
+  // standard coalescing model.
+
+  template <typename T>
+  [[nodiscard]] LaneArray<T> load_global(std::span<const T> mem, const LaneSize& idx) {
+    count_global_access<T>(idx, /*is_load=*/true);
+    LaneArray<T> out;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (lane_active(lane)) {
+        assert(idx[lane] < mem.size());
+        out[lane] = mem[idx[lane]];
+      }
+    }
+    return out;
+  }
+
+  template <typename T>
+  void store_global(std::span<T> mem, const LaneSize& idx, const LaneArray<T>& val) {
+    count_global_access<T>(idx, /*is_load=*/false);
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (lane_active(lane)) {
+        assert(idx[lane] < mem.size());
+        mem[idx[lane]] = val[lane];
+      }
+    }
+  }
+
+  /// All lanes read the same element: a single transaction (broadcast).
+  template <typename T>
+  [[nodiscard]] T load_global_broadcast(std::span<const T> mem, std::size_t idx) {
+    assert(idx < mem.size());
+    counters_->global_load_requests += 1;
+    counters_->global_transactions += 1;
+    return mem[idx];
+  }
+
+  /// Annotate `cycles` of serialized dependent latency this warp cannot
+  /// overlap (per-column dependency chains in the sequential reduce).
+  void count_stall(std::uint64_t cycles) noexcept { counters_->stall_cycles += cycles; }
+
+  /// Atomic compare-and-swap on a global word, one per active lane.  Returns
+  /// per-lane previous values.  Used by the device hash table inserts.
+  [[nodiscard]] LaneU64 atomic_cas(std::span<std::uint64_t> mem, const LaneSize& idx,
+                                   const LaneU64& expected, const LaneU64& desired) {
+    count_global_access<std::uint64_t>(idx, /*is_load=*/true);
+    counters_->atomic_operations += static_cast<std::uint64_t>(util::popc(active_));
+    LaneU64 prev;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (!lane_active(lane)) continue;
+      assert(idx[lane] < mem.size());
+      prev[lane] = mem[idx[lane]];
+      if (mem[idx[lane]] == expected[lane]) mem[idx[lane]] = desired[lane];
+    }
+    return prev;
+  }
+
+  // --- Shared memory ------------------------------------------------------
+  //
+  // Shared accesses count one transaction per access group; we do not model
+  // bank conflicts beyond a flat per-access cost (the matching kernels use
+  // conflict-free layouts).
+
+  template <typename T>
+  [[nodiscard]] LaneArray<T> load_shared(std::span<const T> mem, const LaneSize& idx) {
+    counters_->shared_transactions += 1;
+    LaneArray<T> out;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (lane_active(lane)) {
+        assert(idx[lane] < mem.size());
+        out[lane] = mem[idx[lane]];
+      }
+    }
+    return out;
+  }
+
+  template <typename T>
+  void store_shared(std::span<T> mem, const LaneSize& idx, const LaneArray<T>& val) {
+    counters_->shared_transactions += 1;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (lane_active(lane)) {
+        assert(idx[lane] < mem.size());
+        mem[idx[lane]] = val[lane];
+      }
+    }
+  }
+
+  [[nodiscard]] EventCounters& counters() noexcept { return *counters_; }
+
+ private:
+  template <typename T>
+  void count_global_access(const LaneSize& idx, bool is_load) noexcept {
+    if (is_load) {
+      counters_->global_load_requests += 1;
+    } else {
+      counters_->global_store_requests += 1;
+    }
+    counters_->global_transactions += coalesced_segments<T>(idx, active_);
+  }
+
+  /// Number of distinct 128-byte segments touched by the active lanes.
+  template <typename T>
+  [[nodiscard]] static std::uint64_t coalesced_segments(const LaneSize& idx,
+                                                        LaneMask active) noexcept {
+    constexpr std::size_t kSegment = 128;
+    std::uint64_t segments = 0;
+    std::size_t seen[kWarpSize];
+    int n_seen = 0;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (!util::test_bit(active, lane)) continue;
+      const std::size_t seg = (idx[lane] * sizeof(T)) / kSegment;
+      bool found = false;
+      for (int i = 0; i < n_seen; ++i) {
+        if (seen[i] == seg) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        seen[n_seen++] = seg;
+        ++segments;
+      }
+    }
+    return segments;
+  }
+
+  int warp_id_;
+  LaneMask active_ = kFullMask;
+  EventCounters* counters_;
+};
+
+}  // namespace simtmsg::simt

@@ -1,0 +1,69 @@
+#include "trace/analyzer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "matching/envelope.hpp"
+#include "util/stats.hpp"
+
+namespace simtmsg::trace {
+
+TraceCharacteristics analyze(const Trace& trace) {
+  TraceCharacteristics c;
+  c.app_name = trace.app_name;
+  c.suite = trace.suite;
+  c.ranks = trace.ranks;
+
+  std::set<std::int32_t> comms;
+  std::set<std::int32_t> tags;
+  std::vector<std::set<std::int32_t>> peers_of(trace.ranks);
+  // Per-destination {src, tag} histograms (Figure 6a).
+  std::vector<util::Histogram> tuples_to(trace.ranks);
+
+  for (const auto& e : trace.events) {
+    comms.insert(e.comm);
+    if (e.type == EventType::kSend) {
+      c.sends += 1;
+      tags.insert(e.tag);
+      c.max_tag = std::max(c.max_tag, e.tag);
+      peers_of[e.rank].insert(e.peer);
+      const auto key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.rank)) << 32) |
+                       static_cast<std::uint32_t>(e.tag);
+      tuples_to[static_cast<std::size_t>(e.peer)].add(key);
+    } else {
+      c.recvs += 1;
+      c.src_wildcards += (e.peer == matching::kAnySource);
+      c.tag_wildcards += (e.tag == matching::kAnyTag);
+    }
+  }
+
+  c.communicators = comms.size();
+  c.distinct_tags = tags.size();
+
+  std::size_t senders = 0;
+  std::size_t peer_sum = 0;
+  for (const auto& p : peers_of) {
+    if (p.empty()) continue;
+    ++senders;
+    peer_sum += p.size();
+    c.max_peers = std::max(c.max_peers, p.size());
+  }
+  c.avg_peers = senders > 0 ? static_cast<double>(peer_sum) / static_cast<double>(senders) : 0.0;
+
+  double share_sum = 0.0;
+  std::size_t destinations = 0;
+  for (const auto& h : tuples_to) {
+    if (h.total() == 0) continue;
+    ++destinations;
+    const double share = h.max_share_percent();
+    share_sum += share;
+    c.tuple_max_share_worst = std::max(c.tuple_max_share_worst, share);
+  }
+  c.tuple_max_share_avg =
+      destinations > 0 ? share_sum / static_cast<double>(destinations) : 0.0;
+
+  return c;
+}
+
+}  // namespace simtmsg::trace

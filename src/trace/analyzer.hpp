@@ -1,0 +1,42 @@
+// TraceAnalyzer: the static communication characteristics of Section IV —
+// the columns of Table I (wildcard usage, communicator count, peers per
+// rank, distinct tags) and the Figure 6a tuple-uniqueness metric.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace simtmsg::trace {
+
+struct TraceCharacteristics {
+  std::string app_name;
+  std::string suite;
+  std::uint32_t ranks = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+
+  // Table I columns.
+  std::uint64_t src_wildcards = 0;    ///< Receives using MPI_ANY_SOURCE.
+  std::uint64_t tag_wildcards = 0;    ///< Receives using MPI_ANY_TAG.
+  std::size_t communicators = 0;      ///< Distinct comms in point-to-point traffic.
+  double avg_peers = 0.0;             ///< Mean distinct destinations per sending rank.
+  std::size_t max_peers = 0;
+  std::size_t distinct_tags = 0;      ///< Distinct send tags.
+  std::int32_t max_tag = 0;
+
+  // Figure 6a: share of the most frequent {src, tag} tuple among all
+  // messages to a destination, averaged over destinations (and the worst
+  // destination).  Low values favour hash tables.
+  double tuple_max_share_avg = 0.0;   ///< Percent.
+  double tuple_max_share_worst = 0.0; ///< Percent.
+
+  /// Paper Section IV: "none of the applications needs tag values longer
+  /// than 16 bits" — true when max_tag fits.
+  [[nodiscard]] bool tags_fit_16bit() const noexcept { return max_tag <= 0xFFFF; }
+};
+
+[[nodiscard]] TraceCharacteristics analyze(const Trace& trace);
+
+}  // namespace simtmsg::trace

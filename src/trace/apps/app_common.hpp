@@ -1,0 +1,168 @@
+// Shared building blocks for the proxy-application skeleton generators.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "util/rng.hpp"
+
+namespace simtmsg::trace::apps {
+
+/// A periodic 3D process grid (the layout of every stencil proxy app).
+struct Grid3 {
+  int nx = 1, ny = 1, nz = 1;
+
+  /// Largest near-cubic grid with nx*ny*nz <= ranks.
+  static Grid3 fit(std::uint32_t ranks) {
+    Grid3 g;
+    const int side = std::max(1, static_cast<int>(std::cbrt(static_cast<double>(ranks))));
+    g.nx = g.ny = g.nz = side;
+    // Greedily grow dimensions while the product still fits.
+    while (static_cast<std::uint32_t>((g.nx + 1) * g.ny * g.nz) <= ranks) ++g.nx;
+    while (static_cast<std::uint32_t>(g.nx * (g.ny + 1) * g.nz) <= ranks) ++g.ny;
+    return g;
+  }
+
+  [[nodiscard]] std::uint32_t ranks() const {
+    return static_cast<std::uint32_t>(nx * ny * nz);
+  }
+
+  [[nodiscard]] int rank_of(int x, int y, int z) const {
+    const auto wrap = [](int v, int n) { return ((v % n) + n) % n; };
+    return (wrap(z, nz) * ny + wrap(y, ny)) * nx + wrap(x, nx);
+  }
+
+  /// Chebyshev-ball neighbours of `rank` within `radius` (excluding self).
+  /// radius 1 = the 26-point halo (LULESH); radius 1 with faces_only = the
+  /// 6-point halo (MiniFE); radius 2 widens toward CNS's ~70 peers.
+  [[nodiscard]] std::vector<int> neighbors(int rank, int radius,
+                                           bool faces_only = false) const {
+    const int x = rank % nx;
+    const int y = (rank / nx) % ny;
+    const int z = rank / (nx * ny);
+    std::vector<int> out;
+    for (int dz = -radius; dz <= radius; ++dz) {
+      for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          if (faces_only && (std::abs(dx) + std::abs(dy) + std::abs(dz)) != 1) continue;
+          const int n = rank_of(x + dx, y + dy, z + dz);
+          if (n == rank) continue;  // Periodic wrap collapsed on tiny grids.
+          out.push_back(n);
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+};
+
+/// Event-emission cursor: keeps the logical clock and appends records.
+class Emitter {
+ public:
+  explicit Emitter(Trace& trace) : trace_(&trace) {}
+
+  void send(std::uint32_t from, int to, int tag, int comm = 0) {
+    trace_->events.push_back({time_, from, EventType::kSend, to, tag, comm});
+  }
+
+  void recv(std::uint32_t at, int src, int tag, int comm = 0) {
+    trace_->events.push_back({time_, at, EventType::kRecvPost, src, tag, comm});
+  }
+
+  /// Advance the logical clock (a new phase: everything emitted before
+  /// happens-before everything emitted after).
+  void tick() { ++time_; }
+
+  [[nodiscard]] std::uint64_t now() const { return time_; }
+
+ private:
+  Trace* trace_;
+  std::uint64_t time_ = 0;
+};
+
+/// A pre-posted halo exchange step: receives first (time t), sends after
+/// (time t+1) — the discipline LULESH uses ("already posts the vast
+/// majority of receive requests in advance", Section VII-B).
+inline void halo_step_preposted(Emitter& em, const Grid3& grid, int radius,
+                                bool faces_only, std::span<const int> tags,
+                                int msgs_per_tag = 1) {
+  for (std::uint32_t r = 0; r < grid.ranks(); ++r) {
+    for (const int n : grid.neighbors(static_cast<int>(r), radius, faces_only)) {
+      for (const int tag : tags) {
+        for (int m = 0; m < msgs_per_tag; ++m) em.recv(r, n, tag);
+      }
+    }
+  }
+  em.tick();
+  for (std::uint32_t r = 0; r < grid.ranks(); ++r) {
+    for (const int n : grid.neighbors(static_cast<int>(r), radius, faces_only)) {
+      for (const int tag : tags) {
+        for (int m = 0; m < msgs_per_tag; ++m) em.send(r, n, tag);
+      }
+    }
+  }
+  em.tick();
+}
+
+/// A late-posted exchange step: all sends land first, receives are posted
+/// afterwards *in arrival order* — the discipline that builds deep UMQs
+/// (NEKBONE, EXACT MultiGrid in Figure 2).
+inline void burst_step_late(Emitter& em, const Grid3& grid, int radius,
+                            bool faces_only, int msgs_per_peer, int tag_base) {
+  for (std::uint32_t r = 0; r < grid.ranks(); ++r) {
+    for (const int n : grid.neighbors(static_cast<int>(r), radius, faces_only)) {
+      for (int m = 0; m < msgs_per_peer; ++m) em.send(r, n, tag_base + m);
+    }
+  }
+  em.tick();
+  for (std::uint32_t r = 0; r < grid.ranks(); ++r) {
+    for (const int n : grid.neighbors(static_cast<int>(r), radius, faces_only)) {
+      for (int m = 0; m < msgs_per_peer; ++m) em.recv(r, n, tag_base + m);
+    }
+  }
+  em.tick();
+}
+
+/// Right-skewed per-destination burst volumes (few hot ranks own many
+/// elements): multiplier with mean ~1 and median ~0.5, matching Figure 2's
+/// spread (NEKBONE: mean max ~4,000 but median ~1,800 across ranks).
+[[nodiscard]] inline std::vector<double> skewed_volume_factors(std::uint32_t ranks,
+                                                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> f(ranks);
+  for (auto& v : f) {
+    const double u = rng.uniform();
+    v = std::min(0.25 / (1.02 - u), 6.0);  // Pareto-ish tail, capped.
+  }
+  return f;
+}
+
+/// burst_step_late with per-destination volume scaling.
+inline void burst_step_late_skewed(Emitter& em, const Grid3& grid, int radius,
+                                   bool faces_only, int base_msgs, int tag_base,
+                                   std::span<const double> dst_factor) {
+  const auto msgs_to = [&](int dst) {
+    return std::max(1, static_cast<int>(static_cast<double>(base_msgs) *
+                                        dst_factor[static_cast<std::size_t>(dst)]));
+  };
+  for (std::uint32_t r = 0; r < grid.ranks(); ++r) {
+    for (const int n : grid.neighbors(static_cast<int>(r), radius, faces_only)) {
+      for (int m = 0; m < msgs_to(n); ++m) em.send(r, n, tag_base + m);
+    }
+  }
+  em.tick();
+  for (std::uint32_t r = 0; r < grid.ranks(); ++r) {
+    for (const int n : grid.neighbors(static_cast<int>(r), radius, faces_only)) {
+      // Receiver r picks up exactly the volume each neighbour sent it.
+      for (int m = 0; m < msgs_to(static_cast<int>(r)); ++m) em.recv(r, n, tag_base + m);
+    }
+  }
+  em.tick();
+}
+
+}  // namespace simtmsg::trace::apps

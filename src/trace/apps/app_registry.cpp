@@ -1,0 +1,59 @@
+#include <array>
+#include <cctype>
+
+#include "trace/apps/apps.hpp"
+
+namespace simtmsg::trace::apps {
+namespace {
+
+constexpr std::array<AppInfo, 13> kApps = {{
+    {"LULESH", "EXMATEX", "3D 27-point halo, 3 tags, pre-posted receives", 1000,
+     false, &lulesh},
+    {"CMC", "EXMATEX", "Monte Carlo particle streaming, 6-point halo, late receives",
+     1024, false, &cmc},
+    {"AMG", "Design Forward", "multigrid V-cycle, strided peers (~79), <4 tags",
+     13824, false, &amg},
+    {"MiniFE", "Design Forward", "CG halo + ANY_SOURCE residual pickup at rank 0",
+     1152, true, &minife},
+    {"MiniDFT", "Design Forward", "7 communicators, transpose rings, thousands of tags",
+     1200, true, &minidft},
+    {"PARTISN", "Design Forward", "KBA sweeps, 4 peers, thousands of tags", 1024,
+     false, &partisn},
+    {"SNAP", "Design Forward", "KBA sweeps, 4 peers, hundreds of tags", 1024, false,
+     &snap},
+    {"AMR Boxlib", "Design Forward", "irregular box exchange, hub-skewed peers", 1728,
+     false, &amr_boxlib},
+    {"BigFFT", "Design Forward", "all-to-all transpose, single tag", 1024, false,
+     &bigfft},
+    {"NEKBONE", "CESAR", "gather-scatter bursts, UMQ ~4000, 2 communicators", 1024,
+     false, &nekbone},
+    {"MOCFE", "CESAR", "angular sweeps, thousands of (angle, group) tags", 1024,
+     false, &mocfe},
+    {"CNS", "EXACT", "radius-2 stencil, ~72 peers, 3 tags", 1728, false, &exact_cns},
+    {"MultiGrid", "EXACT", "fine-level smoother bursts, UMQ ~2000", 1728, false,
+     &exact_multigrid},
+}};
+
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::span<const AppInfo> all_apps() { return kApps; }
+
+const AppInfo* find_app(std::string_view name) {
+  for (const auto& app : kApps) {
+    if (iequals(app.name, name)) return &app;
+  }
+  return nullptr;
+}
+
+}  // namespace simtmsg::trace::apps

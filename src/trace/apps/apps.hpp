@@ -1,0 +1,64 @@
+// Synthetic DOE exascale proxy applications (Section IV, Table I).
+//
+// The real DOE Design Forward / CESAR / EXMATEX / EXACT DUMPI traces are
+// not redistributable with this repository, so each proxy application is
+// reproduced as a *communication skeleton generator*: the peer topology,
+// tag usage, wildcard usage, communicator count, posting discipline
+// (pre-posted vs late) and message volume are parameterized to the
+// characteristics the paper reports (Table I, Figure 2, Figure 6a).  The
+// analyses (analyzer.hpp, replay.hpp) consume these traces through exactly
+// the code path a DUMPI reader would feed.
+//
+// DESIGN.md §2 documents this substitution and why it preserves the
+// analyses' behaviour.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "trace/record.hpp"
+
+namespace simtmsg::trace::apps {
+
+struct AppParams {
+  std::uint32_t ranks = 64;  ///< Requested scale; generators may round down.
+  int iterations = 3;        ///< Timesteps / solver iterations.
+  std::uint64_t seed = 1;
+  /// Scale factor on per-iteration message volume (1.0 = calibrated
+  /// defaults that land the paper's Figure 2 queue depths).
+  double volume_scale = 1.0;
+};
+
+using Generator = Trace (*)(const AppParams&);
+
+struct AppInfo {
+  std::string_view name;
+  std::string_view suite;
+  std::string_view skeleton;    ///< One-line communication pattern summary.
+  std::uint32_t paper_ranks;    ///< Scale of the DOE trace the paper analyzed.
+  bool uses_src_wildcard;       ///< Table I: MPI_ANY_SOURCE usage.
+  Generator generate;
+};
+
+/// All thirteen proxy applications, in suite order.
+[[nodiscard]] std::span<const AppInfo> all_apps();
+
+/// Case-insensitive lookup; nullptr when unknown.
+[[nodiscard]] const AppInfo* find_app(std::string_view name);
+
+// Individual generators (exposed for targeted tests).
+[[nodiscard]] Trace lulesh(const AppParams&);        // EXMATEX
+[[nodiscard]] Trace cmc(const AppParams&);           // EXMATEX
+[[nodiscard]] Trace amg(const AppParams&);           // Design Forward
+[[nodiscard]] Trace minife(const AppParams&);        // Design Forward
+[[nodiscard]] Trace minidft(const AppParams&);       // Design Forward
+[[nodiscard]] Trace partisn(const AppParams&);       // Design Forward
+[[nodiscard]] Trace snap(const AppParams&);          // Design Forward
+[[nodiscard]] Trace amr_boxlib(const AppParams&);    // Design Forward
+[[nodiscard]] Trace bigfft(const AppParams&);        // Design Forward
+[[nodiscard]] Trace nekbone(const AppParams&);       // CESAR
+[[nodiscard]] Trace mocfe(const AppParams&);         // CESAR
+[[nodiscard]] Trace exact_cns(const AppParams&);     // EXACT
+[[nodiscard]] Trace exact_multigrid(const AppParams&);  // EXACT
+
+}  // namespace simtmsg::trace::apps

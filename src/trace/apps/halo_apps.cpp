@@ -1,0 +1,158 @@
+// Stencil / halo-exchange proxy apps: LULESH, MiniFE, EXACT CNS, CMC.
+#include "trace/apps/app_common.hpp"
+#include "trace/apps/apps.hpp"
+
+namespace simtmsg::trace::apps {
+
+// EXMATEX LULESH: shock hydrodynamics on a 3D 27-point halo — 26 peers,
+// three distinct tags (Table I: "less than four different tags"), no
+// wildcards, receives pre-posted (Section VII-B).  Shallow queues.
+Trace lulesh(const AppParams& p) {
+  Trace t;
+  t.app_name = "LULESH";
+  t.suite = "EXMATEX";
+  const Grid3 grid = Grid3::fit(p.ranks);
+  t.ranks = grid.ranks();
+
+  Emitter em(t);
+  const int msgs = std::max(1, static_cast<int>(1 * p.volume_scale));
+  const int tags[3] = {1024, 1025, 1026};  // Position, velocity, force phases.
+  for (int it = 0; it < p.iterations; ++it) {
+    halo_step_preposted(em, grid, /*radius=*/1, /*faces_only=*/false, tags, msgs);
+  }
+  sort_events(t);
+  return t;
+}
+
+// Design Forward MiniFE: unstructured implicit finite elements (CG solve).
+// 6-point face halo per iteration plus a src-wildcard reduction pickup —
+// MiniFE is one of only two Table I apps using MPI_ANY_SOURCE.
+Trace minife(const AppParams& p) {
+  Trace t;
+  t.app_name = "MiniFE";
+  t.suite = "Design Forward";
+  const Grid3 grid = Grid3::fit(p.ranks);
+  t.ranks = grid.ranks();
+
+  Emitter em(t);
+  const int msgs = std::max(1, static_cast<int>(2 * p.volume_scale));
+  const int tags[2] = {0, 1};  // Halo and dot-product phases.
+  for (int it = 0; it < p.iterations; ++it) {
+    halo_step_preposted(em, grid, /*radius=*/1, /*faces_only=*/true, tags, msgs);
+
+    // Residual collection at rank 0 via MPI_ANY_SOURCE.
+    for (std::uint32_t r = 1; r < t.ranks; ++r) {
+      em.recv(0, matching::kAnySource, 2);
+    }
+    em.tick();
+    for (std::uint32_t r = 1; r < t.ranks; ++r) em.send(r, 0, 2);
+    em.tick();
+  }
+  sort_events(t);
+  return t;
+}
+
+// EXACT CNS: compressible Navier-Stokes with a wide anisotropic stencil
+// (radius 2 in x/y, radius 1 in z: 5x5x3-1 = 74 peers) — the Table I
+// outlier spreading messages across ~72 peers.  Few tags.
+Trace exact_cns(const AppParams& p) {
+  Trace t;
+  t.app_name = "CNS";
+  t.suite = "EXACT";
+  const Grid3 grid = Grid3::fit(std::max<std::uint32_t>(p.ranks, 125));
+  t.ranks = grid.ranks();
+
+  const auto wide_neighbors = [&](int rank) {
+    const int x = rank % grid.nx;
+    const int y = (rank / grid.nx) % grid.ny;
+    const int z = rank / (grid.nx * grid.ny);
+    std::vector<int> out;
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -2; dy <= 2; ++dy) {
+        for (int dx = -2; dx <= 2; ++dx) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          const int n = grid.rank_of(x + dx, y + dy, z + dz);
+          if (n != rank) out.push_back(n);
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  };
+
+  Emitter em(t);
+  const int msgs = std::max(1, static_cast<int>(1 * p.volume_scale));
+  const int tags[3] = {7, 8, 9};  // Hyperbolic, diffusive, correction terms.
+  for (int it = 0; it < p.iterations; ++it) {
+    for (std::uint32_t r = 0; r < t.ranks; ++r) {
+      for (const int n : wide_neighbors(static_cast<int>(r))) {
+        for (const int tag : tags) {
+          for (int m = 0; m < msgs; ++m) em.recv(r, n, tag);
+        }
+      }
+    }
+    em.tick();
+    for (std::uint32_t r = 0; r < t.ranks; ++r) {
+      for (const int n : wide_neighbors(static_cast<int>(r))) {
+        for (const int tag : tags) {
+          for (int m = 0; m < msgs; ++m) em.send(r, n, tag);
+        }
+      }
+    }
+    em.tick();
+  }
+  sort_events(t);
+  return t;
+}
+
+// EXMATEX CMC (Monte Carlo proxy): particles stream to the 6 face
+// neighbours; receivers cannot know the count in advance, so receives are
+// posted late with modest per-peer volume — mid-depth UMQs, single tag.
+Trace cmc(const AppParams& p) {
+  Trace t;
+  t.app_name = "CMC";
+  t.suite = "EXMATEX";
+  const Grid3 grid = Grid3::fit(p.ranks);
+  t.ranks = grid.ranks();
+
+  util::Rng rng(p.seed);
+  Emitter em(t);
+  constexpr int kParticleTag = 3;
+  for (int it = 0; it < p.iterations; ++it) {
+    // Particle counts vary per (sender, neighbour) pair: 4..20 messages.
+    // The same counts drive both sides so every particle is eventually
+    // received.
+    std::vector<std::vector<int>> counts(t.ranks);
+    for (std::uint32_t r = 0; r < t.ranks; ++r) {
+      const auto neigh = grid.neighbors(static_cast<int>(r), 1, /*faces_only=*/true);
+      counts[r].resize(neigh.size());
+      for (std::size_t i = 0; i < neigh.size(); ++i) {
+        counts[r][i] = 4 + static_cast<int>(rng.below(
+                               static_cast<std::uint64_t>(17 * p.volume_scale) + 1));
+      }
+      for (std::size_t i = 0; i < neigh.size(); ++i) {
+        for (int m = 0; m < counts[r][i]; ++m) em.send(r, neigh[i], kParticleTag);
+      }
+    }
+    em.tick();
+    // Receivers post after arrival (particle counts are data-dependent).
+    for (std::uint32_t r = 0; r < t.ranks; ++r) {
+      const auto neigh = grid.neighbors(static_cast<int>(r), 1, /*faces_only=*/true);
+      for (std::size_t i = 0; i < neigh.size(); ++i) {
+        // Mirror the sender's draw: neighbour lists are symmetric on a
+        // periodic grid, so find r in the neighbour's list.
+        const auto& back = grid.neighbors(neigh[i], 1, /*faces_only=*/true);
+        std::size_t j = 0;
+        while (j < back.size() && back[j] != static_cast<int>(r)) ++j;
+        const int particles = counts[static_cast<std::size_t>(neigh[i])][j];
+        for (int m = 0; m < particles; ++m) em.recv(r, neigh[i], kParticleTag);
+      }
+    }
+    em.tick();
+  }
+  sort_events(t);
+  return t;
+}
+
+}  // namespace simtmsg::trace::apps

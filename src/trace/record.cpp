@@ -1,0 +1,49 @@
+#include "trace/record.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace simtmsg::trace {
+
+std::size_t Trace::sends() const noexcept {
+  std::size_t n = 0;
+  for (const auto& e : events) n += (e.type == EventType::kSend);
+  return n;
+}
+
+std::size_t Trace::recvs() const noexcept {
+  std::size_t n = 0;
+  for (const auto& e : events) n += (e.type == EventType::kRecvPost);
+  return n;
+}
+
+void sort_events(Trace& trace) {
+  std::stable_sort(trace.events.begin(), trace.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.rank < b.rank;
+                   });
+}
+
+void validate(const Trace& trace) {
+  if (trace.ranks == 0) throw std::invalid_argument("trace has zero ranks");
+  for (const auto& e : trace.events) {
+    if (e.rank >= trace.ranks) throw std::invalid_argument("event rank out of range");
+    if (e.type == EventType::kSend) {
+      if (e.peer < 0 || static_cast<std::uint32_t>(e.peer) >= trace.ranks) {
+        throw std::invalid_argument("send destination out of range");
+      }
+      if (e.tag < 0) throw std::invalid_argument("send tag must be concrete");
+    } else {
+      const bool wild = e.peer == matching::kAnySource;
+      if (!wild && (e.peer < 0 || static_cast<std::uint32_t>(e.peer) >= trace.ranks)) {
+        throw std::invalid_argument("recv source out of range");
+      }
+      if (e.tag < 0 && e.tag != matching::kAnyTag) {
+        throw std::invalid_argument("recv tag must be concrete or wildcard");
+      }
+    }
+  }
+}
+
+}  // namespace simtmsg::trace

@@ -1,0 +1,49 @@
+// Communication-trace records (DUMPI-like, reduced to the fields the
+// matching analyses need: Section II-C "General statistics are collected by
+// parsing the trace files, while others require message queues to be
+// restored any time a matching is attempted").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matching/envelope.hpp"
+
+namespace simtmsg::trace {
+
+enum class EventType : std::uint8_t {
+  kSend = 0,      ///< Point-to-point send (MPI_Send/Isend).
+  kRecvPost = 1,  ///< Receive request posted (MPI_Recv/Irecv).
+};
+
+struct TraceEvent {
+  std::uint64_t time = 0;   ///< Logical timestamp; events replay in time order.
+  std::uint32_t rank = 0;   ///< Executing rank.
+  EventType type = EventType::kSend;
+  /// kSend: destination rank.  kRecvPost: source rank or kAnySource.
+  std::int32_t peer = 0;
+  std::int32_t tag = 0;     ///< kRecvPost may carry kAnyTag.
+  std::int32_t comm = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+struct Trace {
+  std::string app_name;
+  std::string suite;        ///< e.g. "Design Forward", "CESAR".
+  std::uint32_t ranks = 0;
+  std::vector<TraceEvent> events;  ///< Sorted by (time, rank).
+
+  [[nodiscard]] std::size_t sends() const noexcept;
+  [[nodiscard]] std::size_t recvs() const noexcept;
+};
+
+/// Stable sort events by (time, rank, original order).
+void sort_events(Trace& trace);
+
+/// Validate invariants: ranks in range, recv peers in range or wildcard,
+/// send peers never wildcard.  Throws std::invalid_argument on violation.
+void validate(const Trace& trace);
+
+}  // namespace simtmsg::trace

@@ -1,0 +1,127 @@
+#include "trace/replay.hpp"
+
+#include <list>
+
+#include "matching/envelope.hpp"
+
+namespace simtmsg::trace {
+namespace {
+
+using matching::Envelope;
+using matching::matches;
+
+/// Per-rank replay state: plain UMQ/PRQ lists plus depth accounting.
+struct RankState {
+  std::list<Envelope> umq;
+  std::list<Envelope> prq;
+  RankQueueStats stats;
+  std::uint64_t depth_accum_umq = 0;
+  std::uint64_t depth_accum_prq = 0;
+  std::uint64_t search_accum = 0;
+
+  void observe_depths() {
+    stats.match_attempts += 1;
+    stats.umq_max = std::max(stats.umq_max, umq.size());
+    stats.prq_max = std::max(stats.prq_max, prq.size());
+    depth_accum_umq += umq.size();
+    depth_accum_prq += prq.size();
+  }
+
+  void arrive(const Envelope& msg) {
+    observe_depths();
+    std::uint64_t steps = 0;
+    for (auto it = prq.begin(); it != prq.end(); ++it) {
+      ++steps;
+      if (matches(*it, msg)) {
+        prq.erase(it);
+        search_accum += steps;
+        stats.expected_messages += 1;
+        return;
+      }
+    }
+    search_accum += steps;
+    umq.push_back(msg);
+    stats.umq_max = std::max(stats.umq_max, umq.size());
+    stats.unexpected_messages += 1;
+  }
+
+  void post(const Envelope& recv) {
+    observe_depths();
+    std::uint64_t steps = 0;
+    for (auto it = umq.begin(); it != umq.end(); ++it) {
+      ++steps;
+      if (matches(recv, *it)) {
+        umq.erase(it);
+        search_accum += steps;
+        return;
+      }
+    }
+    search_accum += steps;
+    prq.push_back(recv);
+    stats.prq_max = std::max(stats.prq_max, prq.size());
+  }
+
+  void finalize() {
+    if (stats.match_attempts > 0) {
+      stats.umq_mean = static_cast<double>(depth_accum_umq) /
+                       static_cast<double>(stats.match_attempts);
+      stats.prq_mean = static_cast<double>(depth_accum_prq) /
+                       static_cast<double>(stats.match_attempts);
+      stats.avg_search_length = static_cast<double>(search_accum) /
+                                static_cast<double>(stats.match_attempts);
+    }
+  }
+};
+
+}  // namespace
+
+ReplayResult replay_queues(const Trace& trace) {
+  std::vector<RankState> states(trace.ranks);
+
+  for (const auto& e : trace.events) {
+    if (e.type == EventType::kSend) {
+      // Delivered instantly to the destination's matching engine.
+      auto& dst = states[static_cast<std::size_t>(e.peer)];
+      dst.arrive({.src = static_cast<matching::Rank>(e.rank), .tag = e.tag, .comm = e.comm});
+    } else {
+      auto& at = states[e.rank];
+      at.post({.src = e.peer, .tag = e.tag, .comm = e.comm});
+    }
+  }
+
+  ReplayResult result;
+  result.per_rank.reserve(states.size());
+  for (auto& s : states) {
+    s.finalize();
+    result.per_rank.push_back(s.stats);
+  }
+  return result;
+}
+
+util::Summary ReplayResult::umq_max_summary() const {
+  std::vector<double> maxima;
+  maxima.reserve(per_rank.size());
+  for (const auto& r : per_rank) maxima.push_back(static_cast<double>(r.umq_max));
+  return util::summarize(std::span<const double>(maxima));
+}
+
+util::Summary ReplayResult::prq_max_summary() const {
+  std::vector<double> maxima;
+  maxima.reserve(per_rank.size());
+  for (const auto& r : per_rank) maxima.push_back(static_cast<double>(r.prq_max));
+  return util::summarize(std::span<const double>(maxima));
+}
+
+std::uint64_t ReplayResult::total_unexpected() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& r : per_rank) n += r.unexpected_messages;
+  return n;
+}
+
+std::uint64_t ReplayResult::total_messages() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& r : per_rank) n += r.unexpected_messages + r.expected_messages;
+  return n;
+}
+
+}  // namespace simtmsg::trace

@@ -1,0 +1,41 @@
+// Queue replay: reconstruct each rank's UMQ and PRQ at every matching
+// attempt, the paper's Figure 2 methodology ("Based on the trace files, we
+// reconstruct the queues to assess their maximum length at any matching
+// attempt").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "util/stats.hpp"
+
+namespace simtmsg::trace {
+
+struct RankQueueStats {
+  std::uint64_t match_attempts = 0;
+  std::size_t umq_max = 0;
+  std::size_t prq_max = 0;
+  double umq_mean = 0.0;  ///< Mean depth observed at match attempts.
+  double prq_mean = 0.0;
+  std::uint64_t unexpected_messages = 0;  ///< Messages that waited in the UMQ.
+  std::uint64_t expected_messages = 0;    ///< Messages matched on arrival.
+  double avg_search_length = 0.0;          ///< Mean list positions traversed.
+};
+
+struct ReplayResult {
+  std::vector<RankQueueStats> per_rank;
+
+  /// Distribution of per-rank maximum UMQ depth — what Figure 2 plots.
+  [[nodiscard]] util::Summary umq_max_summary() const;
+  [[nodiscard]] util::Summary prq_max_summary() const;
+
+  [[nodiscard]] std::uint64_t total_unexpected() const noexcept;
+  [[nodiscard]] std::uint64_t total_messages() const noexcept;
+};
+
+/// Replay a (time-sorted) trace through per-rank UMQ/PRQ list matchers.
+/// Sends are delivered to the destination instantly (logical time).
+[[nodiscard]] ReplayResult replay_queues(const Trace& trace);
+
+}  // namespace simtmsg::trace

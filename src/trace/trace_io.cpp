@@ -1,0 +1,112 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace simtmsg::trace {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'M', 'T', 'R'};
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] T get(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("trace stream truncated");
+  return v;
+}
+
+void put_string(std::ostream& os, const std::string& s) {
+  put(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+[[nodiscard]] std::string get_string(std::istream& is) {
+  const auto len = get<std::uint32_t>(is);
+  if (len > (1u << 20)) throw std::runtime_error("unreasonable string length in trace");
+  std::string s(len, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  if (!is) throw std::runtime_error("trace stream truncated in string");
+  return s;
+}
+
+}  // namespace
+
+void write_binary(const Trace& trace, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  put(os, kTraceFormatVersion);
+  put(os, trace.ranks);
+  put_string(os, trace.app_name);
+  put_string(os, trace.suite);
+  put(os, static_cast<std::uint64_t>(trace.events.size()));
+  for (const auto& e : trace.events) {
+    put(os, e.time);
+    put(os, e.rank);
+    put(os, static_cast<std::uint8_t>(e.type));
+    put(os, e.peer);
+    put(os, e.tag);
+    put(os, e.comm);
+  }
+  if (!os) throw std::runtime_error("trace write failed");
+}
+
+void write_binary_file(const Trace& trace, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  write_binary(trace, os);
+}
+
+Trace read_binary(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not a simt-match trace (bad magic)");
+  }
+  const auto version = get<std::uint32_t>(is);
+  if (version != kTraceFormatVersion) {
+    throw std::runtime_error("unsupported trace version " + std::to_string(version));
+  }
+
+  Trace t;
+  t.ranks = get<std::uint32_t>(is);
+  t.app_name = get_string(is);
+  t.suite = get_string(is);
+  const auto count = get<std::uint64_t>(is);
+  t.events.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceEvent e;
+    e.time = get<std::uint64_t>(is);
+    e.rank = get<std::uint32_t>(is);
+    e.type = static_cast<EventType>(get<std::uint8_t>(is));
+    e.peer = get<std::int32_t>(is);
+    e.tag = get<std::int32_t>(is);
+    e.comm = get<std::int32_t>(is);
+    t.events.push_back(e);
+  }
+  return t;
+}
+
+Trace read_binary_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return read_binary(is);
+}
+
+void write_text(const Trace& trace, std::ostream& os) {
+  os << "# app=" << trace.app_name << " suite=" << trace.suite
+     << " ranks=" << trace.ranks << " events=" << trace.events.size() << "\n";
+  for (const auto& e : trace.events) {
+    os << e.time << ' ' << e.rank << ' '
+       << (e.type == EventType::kSend ? "send" : "recv") << ' ' << e.peer << ' '
+       << e.tag << ' ' << e.comm << '\n';
+  }
+}
+
+}  // namespace simtmsg::trace

@@ -1,0 +1,31 @@
+// Binary trace serialization (a compact stand-in for the DUMPI format the
+// DOE traces ship in) plus a human-readable text dump.
+//
+// Layout (little-endian):
+//   magic "SMTR" | u32 version | u32 ranks |
+//   u32 name_len | name bytes | u32 suite_len | suite bytes |
+//   u64 event_count | events (packed: u64 time, u32 rank, u8 type,
+//                             i32 peer, i32 tag, i32 comm)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace simtmsg::trace {
+
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/// Serialize to a stream / file.  Throws std::runtime_error on I/O failure.
+void write_binary(const Trace& trace, std::ostream& os);
+void write_binary_file(const Trace& trace, const std::string& path);
+
+/// Deserialize.  Throws std::runtime_error on corrupt or mismatched input.
+[[nodiscard]] Trace read_binary(std::istream& is);
+[[nodiscard]] Trace read_binary_file(const std::string& path);
+
+/// One-line-per-event text dump for debugging and the trace_explorer example.
+void write_text(const Trace& trace, std::ostream& os);
+
+}  // namespace simtmsg::trace

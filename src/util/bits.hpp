@@ -1,0 +1,80 @@
+// Bit-manipulation helpers mirroring the CUDA intrinsics the paper's
+// algorithms rely on (__ffs, __popc, __clz) plus generic mask utilities.
+//
+// CUDA's __ffs(x) returns the 1-based position of the least-significant set
+// bit, or 0 when x == 0.  Algorithms 1 and 2 of the paper use exactly this
+// convention ("ffs(bidders) - 1"), so we keep it instead of the C++20
+// 0-based std::countr_zero convention.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace simtmsg::util {
+
+/// CUDA-style find-first-set: 1-based index of the lowest set bit; 0 if none.
+[[nodiscard]] constexpr int ffs(std::uint32_t x) noexcept {
+  return x == 0 ? 0 : std::countr_zero(x) + 1;
+}
+
+/// CUDA-style find-first-set on 64-bit values.
+[[nodiscard]] constexpr int ffsll(std::uint64_t x) noexcept {
+  return x == 0 ? 0 : std::countr_zero(x) + 1;
+}
+
+/// Population count (number of set bits), as CUDA __popc.
+[[nodiscard]] constexpr int popc(std::uint32_t x) noexcept {
+  return std::popcount(x);
+}
+
+/// Count leading zeros, as CUDA __clz (returns 32 for x == 0).
+[[nodiscard]] constexpr int clz(std::uint32_t x) noexcept {
+  return std::countl_zero(x);
+}
+
+/// Mask with the lowest `n` bits set; n may be 0..32.
+[[nodiscard]] constexpr std::uint32_t low_mask(int n) noexcept {
+  return n >= 32 ? 0xFFFF'FFFFu : (n <= 0 ? 0u : ((1u << n) - 1u));
+}
+
+/// True if exactly zero or one bit is set.
+[[nodiscard]] constexpr bool at_most_one_bit(std::uint32_t x) noexcept {
+  return (x & (x - 1)) == 0;
+}
+
+/// Clear bit `pos` (0-based) of `x`.
+[[nodiscard]] constexpr std::uint32_t clear_bit(std::uint32_t x, int pos) noexcept {
+  return x & ~(1u << pos);
+}
+
+/// Set bit `pos` (0-based) of `x`.
+[[nodiscard]] constexpr std::uint32_t set_bit(std::uint32_t x, int pos) noexcept {
+  return x | (1u << pos);
+}
+
+/// Test bit `pos` (0-based) of `x`.
+[[nodiscard]] constexpr bool test_bit(std::uint32_t x, int pos) noexcept {
+  return (x >> pos) & 1u;
+}
+
+/// Round `v` up to the next multiple of `m` (m > 0).
+[[nodiscard]] constexpr std::size_t round_up(std::size_t v, std::size_t m) noexcept {
+  return ((v + m - 1) / m) * m;
+}
+
+/// Integer ceiling division.
+[[nodiscard]] constexpr std::size_t ceil_div(std::size_t a, std::size_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Smallest power of two >= v (v >= 1).
+[[nodiscard]] constexpr std::uint64_t next_pow2(std::uint64_t v) noexcept {
+  return std::bit_ceil(v);
+}
+
+/// True if v is a power of two (v > 0).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && std::has_single_bit(v);
+}
+
+}  // namespace simtmsg::util

@@ -1,0 +1,61 @@
+#include "util/hash.hpp"
+
+namespace simtmsg::util {
+
+std::uint32_t jenkins32(std::uint32_t a) noexcept {
+  a = (a + 0x7ed55d16u) + (a << 12);
+  a = (a ^ 0xc761c23cu) ^ (a >> 19);
+  a = (a + 0x165667b1u) + (a << 5);
+  a = (a + 0xd3a2646cu) ^ (a << 9);
+  a = (a + 0xfd7046c5u) + (a << 3);
+  a = (a ^ 0xb55a4f09u) ^ (a >> 16);
+  return a;
+}
+
+std::uint32_t fnv1a32(std::uint32_t a) noexcept {
+  std::uint32_t h = 0x811c9dc5u;
+  for (int i = 0; i < 4; ++i) {
+    h ^= (a >> (8 * i)) & 0xFFu;
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+std::uint32_t murmur3_fmix32(std::uint32_t a) noexcept {
+  a ^= a >> 16;
+  a *= 0x85ebca6bu;
+  a ^= a >> 13;
+  a *= 0xc2b2ae35u;
+  a ^= a >> 16;
+  return a;
+}
+
+std::uint32_t identity32(std::uint32_t a) noexcept { return a; }
+
+std::uint32_t mix64to32(std::uint64_t v) noexcept {
+  const auto lo = static_cast<std::uint32_t>(v);
+  const auto hi = static_cast<std::uint32_t>(v >> 32);
+  return jenkins32(lo ^ murmur3_fmix32(hi));
+}
+
+std::uint32_t hash32(HashKind kind, std::uint32_t a) noexcept {
+  switch (kind) {
+    case HashKind::kJenkins: return jenkins32(a);
+    case HashKind::kFnv1a: return fnv1a32(a);
+    case HashKind::kMurmur3Fmix: return murmur3_fmix32(a);
+    case HashKind::kIdentity: return identity32(a);
+  }
+  return jenkins32(a);
+}
+
+std::string_view hash_name(HashKind kind) noexcept {
+  switch (kind) {
+    case HashKind::kJenkins: return "jenkins-6shift";
+    case HashKind::kFnv1a: return "fnv1a";
+    case HashKind::kMurmur3Fmix: return "murmur3-fmix";
+    case HashKind::kIdentity: return "identity";
+  }
+  return "unknown";
+}
+
+}  // namespace simtmsg::util

@@ -1,0 +1,45 @@
+// Hash functions for the relaxed (out-of-order) matching data structures.
+//
+// The paper (Section VI-C) uses "Robert Jenkin's 32-bit (6-shifts) hash
+// function" for its two-level device hash table and leaves other hash
+// functions to future work.  We provide Jenkins as the default plus FNV-1a
+// and the Murmur3 finalizer so that bench/ablation_hash can explore that
+// future-work axis.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace simtmsg::util {
+
+/// Robert Jenkins' 32-bit integer hash, the classic 6-shift variant.
+[[nodiscard]] std::uint32_t jenkins32(std::uint32_t a) noexcept;
+
+/// FNV-1a over the 4 bytes of `a` (little-endian order).
+[[nodiscard]] std::uint32_t fnv1a32(std::uint32_t a) noexcept;
+
+/// MurmurHash3 32-bit finalizer (fmix32) — strong avalanche, very cheap.
+[[nodiscard]] std::uint32_t murmur3_fmix32(std::uint32_t a) noexcept;
+
+/// Identity "hash" — pathological baseline for the ablation study.
+[[nodiscard]] std::uint32_t identity32(std::uint32_t a) noexcept;
+
+/// 64 -> 32 bit mixing: hash both halves and combine.  Used to hash the
+/// packed {src, tag, comm} header word.
+[[nodiscard]] std::uint32_t mix64to32(std::uint64_t v) noexcept;
+
+/// Selectable hash function for ablation studies.
+enum class HashKind : std::uint8_t {
+  kJenkins,       ///< Paper's choice (Section VI-C).
+  kFnv1a,
+  kMurmur3Fmix,
+  kIdentity,      ///< Deliberately bad; shows collision sensitivity.
+};
+
+/// Dispatch on HashKind.
+[[nodiscard]] std::uint32_t hash32(HashKind kind, std::uint32_t a) noexcept;
+
+/// Human-readable name for reports.
+[[nodiscard]] std::string_view hash_name(HashKind kind) noexcept;
+
+}  // namespace simtmsg::util

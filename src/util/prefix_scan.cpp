@@ -1,0 +1,29 @@
+#include "util/prefix_scan.hpp"
+
+#include <cassert>
+
+namespace simtmsg::util {
+
+std::uint64_t exclusive_scan(std::span<const std::uint32_t> in,
+                             std::span<std::uint32_t> out) {
+  assert(out.size() >= in.size());
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = static_cast<std::uint32_t>(acc);
+    acc += in[i];
+  }
+  return acc;
+}
+
+std::uint64_t inclusive_scan(std::span<const std::uint32_t> in,
+                             std::span<std::uint32_t> out) {
+  assert(out.size() >= in.size());
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc += in[i];
+    out[i] = static_cast<std::uint32_t>(acc);
+  }
+  return acc;
+}
+
+}  // namespace simtmsg::util

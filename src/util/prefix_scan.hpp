@@ -1,0 +1,32 @@
+// Prefix-scan primitives used by the queue compaction step (Section V-A:
+// "The compaction is composed of a prefix scan and memory move operations").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace simtmsg::util {
+
+/// Exclusive prefix sum: out[i] = sum of in[0..i-1]; returns the total.
+std::uint64_t exclusive_scan(std::span<const std::uint32_t> in,
+                             std::span<std::uint32_t> out);
+
+/// Inclusive prefix sum: out[i] = sum of in[0..i]; returns the total.
+std::uint64_t inclusive_scan(std::span<const std::uint32_t> in,
+                             std::span<std::uint32_t> out);
+
+/// Stream-compact: copy in[i] to the output for every i with keep[i] != 0,
+/// preserving relative order.  Returns the compacted vector.
+template <typename T>
+[[nodiscard]] std::vector<T> compact(std::span<const T> in,
+                                     std::span<const std::uint32_t> keep) {
+  std::vector<T> out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (keep[i] != 0) out.push_back(in[i]);
+  }
+  return out;
+}
+
+}  // namespace simtmsg::util

@@ -1,0 +1,64 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simtmsg::util {
+
+double percentile(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q1 = percentile(sorted, 25.0);
+  s.median = percentile(sorted, 50.0);
+  s.q3 = percentile(sorted, 75.0);
+
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+
+  double var = 0.0;
+  for (double v : sorted) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(sorted.size()));
+  return s;
+}
+
+Summary summarize(std::span<const std::uint64_t> sample) {
+  std::vector<double> d(sample.begin(), sample.end());
+  return summarize(std::span<const double>(d));
+}
+
+void Histogram::add(std::uint64_t key, std::uint64_t weight) {
+  counts_[key] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::count_of(std::uint64_t key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double Histogram::max_share_percent() const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t best = 0;
+  for (const auto& [key, count] : counts_) best = std::max(best, count);
+  return 100.0 * static_cast<double>(best) / static_cast<double>(total_);
+}
+
+}  // namespace simtmsg::util

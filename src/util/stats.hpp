@@ -1,0 +1,54 @@
+// Descriptive statistics for the trace analyses (Figure 2 reports mean and
+// median UMQ depth across ranks; Figure 6a reports tuple-share percentages).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace simtmsg::util {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q1 = 0.0;      ///< 25th percentile (linear interpolation).
+  double median = 0.0;  ///< 50th percentile.
+  double q3 = 0.0;      ///< 75th percentile.
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Population standard deviation.
+};
+
+/// Compute a Summary; an empty sample yields an all-zero Summary.
+[[nodiscard]] Summary summarize(std::span<const double> sample);
+[[nodiscard]] Summary summarize(std::span<const std::uint64_t> sample);
+
+/// Percentile with linear interpolation, p in [0, 100].  Empty -> 0.
+[[nodiscard]] double percentile(std::span<const double> sample, double p);
+
+/// Frequency histogram over arbitrary integer keys.
+class Histogram {
+ public:
+  void add(std::uint64_t key, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t distinct() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count_of(std::uint64_t key) const;
+
+  /// Largest single-key share of the total, in percent (0 when empty).
+  /// This is exactly the Figure 6a "uniqueness" metric: the share of the
+  /// most frequent {src, tag} tuple among all messages to a destination.
+  [[nodiscard]] double max_share_percent() const;
+
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace simtmsg::util

@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace simtmsg::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() <= headers_.size());
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+         << (c < row.size() ? row[c] : "") << " |";
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string AsciiTable::num(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string AsciiTable::num(std::uint64_t v) { return std::to_string(v); }
+
+std::string AsciiTable::rate_mps(double matches_per_sec) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(1) << matches_per_sec / 1e6 << " M/s";
+  return ss.str();
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) os_ << ',';
+    os_ << cells[i];
+  }
+  os_ << '\n';
+}
+
+}  // namespace simtmsg::util

@@ -1,0 +1,45 @@
+// Plain-text table and CSV emitters used by every bench binary so that the
+// reproduced tables/figures print in a uniform, diffable format.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace simtmsg::util {
+
+/// Right-pads / aligns cells and draws an ASCII table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Append a row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column separators and a header rule.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Formatting helpers for numeric cells.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string rate_mps(double matches_per_sec);  ///< e.g. "6.1 M/s"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer (no quoting needed for our numeric output).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace simtmsg::util

@@ -1,0 +1,55 @@
+#include "matching/compaction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simtmsg::matching {
+namespace {
+
+const simt::DeviceSpec& pascal() { return simt::pascal_gtx1080(); }
+
+TEST(Compactor, NoRemovalNoCost) {
+  const Compactor c(pascal());
+  const auto s = c.cost(1024, 0);
+  EXPECT_EQ(s.cycles, 0.0);
+  EXPECT_EQ(s.removed, 0u);
+}
+
+TEST(Compactor, EmptyQueueNoCost) {
+  const Compactor c(pascal());
+  EXPECT_EQ(c.cost(0, 0).cycles, 0.0);
+}
+
+TEST(Compactor, CostGrowsWithQueueLength) {
+  const Compactor c(pascal());
+  EXPECT_LT(c.cost(128, 64).cycles, c.cost(4096, 64).cycles);
+}
+
+TEST(Compactor, CompactRemovesAndReports) {
+  const Compactor c(pascal());
+  MessageQueue q;
+  for (int i = 0; i < 100; ++i) {
+    Message m;
+    m.payload = static_cast<std::uint64_t>(i);
+    q.push(m);
+  }
+  std::vector<std::uint8_t> flags(100, 0);
+  for (int i = 0; i < 100; i += 2) flags[static_cast<std::size_t>(i)] = 1;
+  const auto s = c.compact(q, flags);
+  EXPECT_EQ(s.removed, 50u);
+  EXPECT_EQ(q.size(), 50u);
+  EXPECT_EQ(q[0].payload, 1u);  // Odd payloads survive.
+  EXPECT_GT(s.cycles, 0.0);
+}
+
+TEST(Compactor, CostIsSmallFractionOfMatching) {
+  // Section VI-B: compaction reduces the matching rate by about 10%, so its
+  // cost must be a small fraction of a 1024-element matching pass
+  // (~300k cycles on the Pascal model).
+  const Compactor c(pascal());
+  const auto s = c.cost(2048, 1024);  // Both queues of a 1024 match.
+  EXPECT_GT(s.cycles, 100.0);
+  EXPECT_LT(s.cycles, 100000.0);
+}
+
+}  // namespace
+}  // namespace simtmsg::matching

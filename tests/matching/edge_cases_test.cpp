@@ -1,0 +1,225 @@
+// Edge cases and failure-injection across the matching module.
+#include <gtest/gtest.h>
+
+#include "matching/engine.hpp"
+#include "matching/hash_matcher.hpp"
+#include "matching/matrix_matcher.hpp"
+#include "matching/reference_matcher.hpp"
+#include "matching/workload.hpp"
+
+namespace simtmsg::matching {
+namespace {
+
+const simt::DeviceSpec& pascal() { return simt::pascal_gtx1080(); }
+
+Message msg(Rank src, Tag tag) {
+  Message m;
+  m.env = {.src = src, .tag = tag, .comm = 0};
+  return m;
+}
+
+RecvRequest req(Rank src, Tag tag) {
+  RecvRequest r;
+  r.env = {.src = src, .tag = tag, .comm = 0};
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Hash matcher: 32-bit key aliasing.  The fold key (src << 16) ^ tag is
+// injective only for 16-bit-scale sources; wider sources can alias and must
+// be caught by the full-envelope verification (claim is undone, message
+// deferred, correctness preserved).
+
+TEST(HashAliasing, AliasedKeysNeverMisMatch) {
+  // (0x10001 << 16) ^ 0x10 == (0x1 << 16) ^ 0x10 in 32 bits.
+  const std::vector<Message> msgs = {msg(0x10001, 0x10)};
+  const std::vector<RecvRequest> reqs = {req(0x1, 0x10)};
+  const HashMatcher matcher(pascal());
+  const auto s = matcher.match(msgs, reqs);
+  EXPECT_EQ(s.result.matched(), 0u);  // Aliased but different envelopes.
+}
+
+TEST(HashAliasing, RealPairStillMatchesNextToAlias) {
+  // The aliasing message must not consume the request; the true partner
+  // arriving later in the batch must still get it.
+  const std::vector<Message> msgs = {msg(0x10001, 0x10), msg(0x1, 0x10)};
+  const std::vector<RecvRequest> reqs = {req(0x1, 0x10)};
+  const HashMatcher matcher(pascal());
+  const auto s = matcher.match(msgs, reqs);
+  EXPECT_EQ(s.result.matched(), 1u);
+  EXPECT_EQ(s.result.request_match[0], 1);  // The genuine source.
+}
+
+TEST(HashAliasing, SymmetricAliasPairBothMatch) {
+  const std::vector<Message> msgs = {msg(0x10001, 0x10), msg(0x1, 0x10)};
+  const std::vector<RecvRequest> reqs = {req(0x10001, 0x10), req(0x1, 0x10)};
+  const HashMatcher matcher(pascal());
+  const auto s = matcher.match(msgs, reqs);
+  EXPECT_EQ(s.result.matched(), 2u);
+  EXPECT_EQ(s.result.request_match[0], 0);
+  EXPECT_EQ(s.result.request_match[1], 1);
+}
+
+// ---------------------------------------------------------------------------
+// Matrix matcher option sweeps: cost knobs must never change results.
+
+TEST(MatrixOptions, ColumnChunkDoesNotChangeResults) {
+  WorkloadSpec spec;
+  spec.pairs = 300;
+  spec.sources = 8;
+  spec.tags = 4;
+  spec.src_wildcard_prob = 0.2;
+  spec.seed = 61;
+  const auto w = make_workload(spec);
+
+  std::vector<std::vector<std::int32_t>> results;
+  for (const int chunk : {1, 7, 64, 1024}) {
+    MatrixMatcher::Options opt;
+    opt.column_chunk = chunk;
+    const auto s = MatrixMatcher(pascal(), opt).match_window(w.messages, w.requests);
+    results.push_back(s.result.request_match);
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) EXPECT_EQ(results[i], results[0]);
+}
+
+TEST(MatrixOptions, RequestWindowChangesCostNotOutcome) {
+  WorkloadSpec spec;
+  spec.pairs = 400;
+  spec.sources = 10;
+  spec.tags = 10;
+  spec.seed = 62;
+  const auto w = make_workload(spec);
+  const auto ref = ReferenceMatcher::match(w.messages, w.requests);
+
+  for (const int window : {16, 100, 1024}) {
+    MatrixMatcher::Options opt;
+    opt.request_window = window;
+    MessageQueue mq;
+    RecvQueue rq;
+    fill_queues(w, mq, rq);
+    const auto s = MatrixMatcher(pascal(), opt).match_queues(mq, rq);
+    EXPECT_EQ(s.result.request_match, ref.request_match) << "window=" << window;
+  }
+}
+
+TEST(MatrixOptions, CompactFlagAffectsOnlyCycles) {
+  WorkloadSpec spec;
+  spec.pairs = 256;
+  spec.match_fraction = 0.5;  // Leftovers make compaction non-trivial.
+  spec.sources = 32;
+  spec.tags = 32;
+  spec.seed = 63;
+  const auto w = make_workload(spec);
+
+  MatrixMatcher::Options on;
+  on.compact = true;
+  MatrixMatcher::Options off;
+  off.compact = false;
+  MessageQueue mq1, mq2;
+  RecvQueue rq1, rq2;
+  fill_queues(w, mq1, rq1);
+  fill_queues(w, mq2, rq2);
+  const auto s_on = MatrixMatcher(pascal(), on).match_queues(mq1, rq1);
+  const auto s_off = MatrixMatcher(pascal(), off).match_queues(mq2, rq2);
+  EXPECT_EQ(s_on.result.request_match, s_off.result.request_match);
+  EXPECT_GT(s_on.cycles, s_off.cycles);  // Charged vs tolerated bubbles.
+  EXPECT_EQ(mq1.size(), mq2.size());     // Functional state identical.
+}
+
+// ---------------------------------------------------------------------------
+// Engine queue variant.
+
+TEST(EngineQueues, LeftoversRemainAndAreOrdered) {
+  const MatchEngine engine(pascal(), SemanticsConfig{});
+  MessageQueue mq;
+  RecvQueue rq;
+  mq.push(msg(0, 1));
+  mq.push(msg(0, 2));
+  mq.push(msg(0, 3));
+  rq.push(req(0, 2));
+  const auto s = engine.match_queues(mq, rq);
+  EXPECT_EQ(s.result.matched(), 1u);
+  ASSERT_EQ(mq.size(), 2u);
+  EXPECT_EQ(mq[0].env.tag, 1);  // Relative order preserved.
+  EXPECT_EQ(mq[1].env.tag, 3);
+  EXPECT_TRUE(rq.empty());
+}
+
+TEST(EngineQueues, HashRowDrainsQueues) {
+  SemanticsConfig cfg;
+  cfg.wildcards = false;
+  cfg.ordering = false;
+  cfg.partitions = 4;
+  const MatchEngine engine(pascal(), cfg);
+  WorkloadSpec spec;
+  spec.pairs = 128;
+  spec.unique_tuples = true;
+  spec.sources = 32;
+  spec.tags = 32;
+  spec.seed = 64;
+  const auto w = make_workload(spec);
+  MessageQueue mq;
+  RecvQueue rq;
+  fill_queues(w, mq, rq);
+  (void)engine.match_queues(mq, rq);
+  EXPECT_TRUE(mq.empty());
+  EXPECT_TRUE(rq.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate shapes.
+
+TEST(EdgeShapes, OneMessageManyRequests) {
+  const MatrixMatcher matcher(pascal());
+  const std::vector<Message> msgs = {msg(1, 1)};
+  std::vector<RecvRequest> reqs(500, req(1, 1));
+  const auto s = matcher.match_window(msgs, reqs);
+  EXPECT_EQ(s.result.matched(), 1u);
+  EXPECT_EQ(s.result.request_match[0], 0);
+}
+
+TEST(EdgeShapes, ManyMessagesOneRequest) {
+  const MatrixMatcher matcher(pascal());
+  std::vector<Message> msgs;
+  for (int i = 0; i < 500; ++i) msgs.push_back(msg(1, 1));
+  const std::vector<RecvRequest> reqs = {req(1, 1)};
+  const auto s = matcher.match_window(msgs, reqs);
+  EXPECT_EQ(s.result.request_match[0], 0);  // Earliest message.
+}
+
+TEST(EdgeShapes, AllWildcardsAllDuplicates) {
+  // The maximal-dependency stress: everything matches everything.
+  const MatrixMatcher matcher(pascal());
+  std::vector<Message> msgs;
+  std::vector<RecvRequest> reqs;
+  for (int i = 0; i < 100; ++i) {
+    msgs.push_back(msg(5, 5));
+    reqs.push_back(req(kAnySource, kAnyTag));
+  }
+  const auto s = matcher.match_window(msgs, reqs);
+  // Ordering: request i must take message i.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(s.result.request_match[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EdgeShapes, ExactWindowBoundary) {
+  // 1024 and 1025 messages straddle the one-iteration capacity.
+  for (const std::size_t n : {1024u, 1025u}) {
+    WorkloadSpec spec;
+    spec.pairs = n;
+    spec.sources = 64;
+    spec.tags = 64;
+    spec.seed = n;
+    const auto w = make_workload(spec);
+    MessageQueue mq;
+    RecvQueue rq;
+    fill_queues(w, mq, rq);
+    const auto s = MatrixMatcher(pascal()).match_queues(mq, rq);
+    EXPECT_EQ(s.result.matched(), n);
+    EXPECT_EQ(s.iterations, n <= 1024 ? 1 : 2);
+  }
+}
+
+}  // namespace
+}  // namespace simtmsg::matching

@@ -1,0 +1,84 @@
+#include "matching/envelope.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simtmsg::matching {
+namespace {
+
+TEST(Envelope, ExactMatch) {
+  const Envelope recv{.src = 3, .tag = 7, .comm = 1};
+  EXPECT_TRUE(matches(recv, {.src = 3, .tag = 7, .comm = 1}));
+  EXPECT_FALSE(matches(recv, {.src = 4, .tag = 7, .comm = 1}));
+  EXPECT_FALSE(matches(recv, {.src = 3, .tag = 8, .comm = 1}));
+  EXPECT_FALSE(matches(recv, {.src = 3, .tag = 7, .comm = 2}));
+}
+
+TEST(Envelope, SourceWildcardMatchesAnySource) {
+  const Envelope recv{.src = kAnySource, .tag = 7, .comm = 0};
+  EXPECT_TRUE(matches(recv, {.src = 0, .tag = 7, .comm = 0}));
+  EXPECT_TRUE(matches(recv, {.src = 999, .tag = 7, .comm = 0}));
+  EXPECT_FALSE(matches(recv, {.src = 0, .tag = 8, .comm = 0}));
+}
+
+TEST(Envelope, TagWildcardMatchesAnyTag) {
+  const Envelope recv{.src = 2, .tag = kAnyTag, .comm = 0};
+  EXPECT_TRUE(matches(recv, {.src = 2, .tag = 0, .comm = 0}));
+  EXPECT_TRUE(matches(recv, {.src = 2, .tag = 65535, .comm = 0}));
+  EXPECT_FALSE(matches(recv, {.src = 3, .tag = 0, .comm = 0}));
+}
+
+TEST(Envelope, DoubleWildcardOnlyChecksComm) {
+  const Envelope recv{.src = kAnySource, .tag = kAnyTag, .comm = 5};
+  EXPECT_TRUE(matches(recv, {.src = 1, .tag = 2, .comm = 5}));
+  EXPECT_FALSE(matches(recv, {.src = 1, .tag = 2, .comm = 6}));
+}
+
+TEST(Envelope, CommunicatorNeverWildcards) {
+  // MPI has no MPI_ANY_COMM: the communicator always participates.
+  const Envelope recv{.src = kAnySource, .tag = kAnyTag, .comm = 0};
+  EXPECT_FALSE(matches(recv, {.src = 0, .tag = 0, .comm = 1}));
+}
+
+TEST(Envelope, HasWildcardDetection) {
+  EXPECT_FALSE(has_wildcard({.src = 0, .tag = 0, .comm = 0}));
+  EXPECT_TRUE(has_wildcard({.src = kAnySource, .tag = 0, .comm = 0}));
+  EXPECT_TRUE(has_wildcard({.src = 0, .tag = kAnyTag, .comm = 0}));
+}
+
+TEST(Envelope, PackUnpackRoundTrip) {
+  // Section IV: 16-bit tag + 32-bit src + comm bits fit one 64-bit word.
+  const Envelope e{.src = 123456, .tag = 65535, .comm = 17};
+  EXPECT_EQ(unpack(pack(e)), e);
+}
+
+TEST(Envelope, PackRoundTripExtremes) {
+  const Envelope zero{.src = 0, .tag = 0, .comm = 0};
+  EXPECT_EQ(unpack(pack(zero)), zero);
+  const Envelope big{.src = 0x7FFFFFFF, .tag = 0xFFFF, .comm = 0xFFFF};
+  EXPECT_EQ(unpack(pack(big)), big);
+}
+
+TEST(Envelope, PackRejectsWildcardsAndOverflow) {
+  EXPECT_THROW((void)pack({.src = kAnySource, .tag = 0, .comm = 0}), std::invalid_argument);
+  EXPECT_THROW((void)pack({.src = 0, .tag = kAnyTag, .comm = 0}), std::invalid_argument);
+  EXPECT_THROW((void)pack({.src = 0, .tag = 0x1'0000, .comm = 0}), std::invalid_argument);
+  EXPECT_THROW((void)pack({.src = 0, .tag = 0, .comm = 0x1'0000}), std::invalid_argument);
+}
+
+TEST(Envelope, MatchKeyDistinguishesSmallTuples) {
+  // Injective on the trace-realistic domain (src, tag < 2^16).
+  EXPECT_NE(match_key({.src = 1, .tag = 0, .comm = 0}),
+            match_key({.src = 0, .tag = 1, .comm = 0}));
+  EXPECT_NE(match_key({.src = 1, .tag = 2, .comm = 0}),
+            match_key({.src = 2, .tag = 1, .comm = 0}));
+}
+
+TEST(Envelope, ToStringShowsWildcards) {
+  EXPECT_EQ(to_string({.src = kAnySource, .tag = 3, .comm = 0}),
+            "{src=ANY, tag=3, comm=0}");
+  EXPECT_EQ(to_string({.src = 1, .tag = kAnyTag, .comm = 2}),
+            "{src=1, tag=ANY, comm=2}");
+}
+
+}  // namespace
+}  // namespace simtmsg::matching

@@ -1,0 +1,153 @@
+#include "matching/device_hash_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simt/cta.hpp"
+#include "util/bits.hpp"
+
+namespace simtmsg::matching {
+namespace {
+
+class HashTableTest : public ::testing::Test {
+ protected:
+  simt::EventCounters counters_;
+  simt::WarpContext warp_{0, counters_};
+};
+
+TEST_F(HashTableTest, SizingFollowsRatio) {
+  const DeviceHashTable t(1000, 5.0);
+  EXPECT_EQ(t.secondary_size(), 512u);  // next_pow2(500).
+  EXPECT_EQ(t.primary_size(), 5u * 512u);
+}
+
+TEST_F(HashTableTest, InsertThenProbeRoundTrip) {
+  DeviceHashTable t(64);
+  simt::LaneU32 keys, values;
+  for (int lane = 0; lane < 32; ++lane) {
+    keys[lane] = static_cast<std::uint32_t>(lane) << 16;
+    values[lane] = static_cast<std::uint32_t>(lane) + 100;
+  }
+  simt::LaneBool inserted;
+  t.insert(warp_, keys, values, inserted);
+  for (int lane = 0; lane < 32; ++lane) EXPECT_TRUE(inserted[lane]) << lane;
+  EXPECT_EQ(t.occupancy(), 32u);
+
+  simt::LaneU32 out;
+  simt::LaneBool found;
+  t.probe_claim(warp_, keys, out, found);
+  for (int lane = 0; lane < 32; ++lane) {
+    EXPECT_TRUE(found[lane]) << lane;
+    EXPECT_EQ(out[lane], static_cast<std::uint32_t>(lane) + 100);
+  }
+  EXPECT_EQ(t.occupancy(), 0u);  // Claims remove entries.
+}
+
+TEST_F(HashTableTest, ProbeMissingKeyFails) {
+  DeviceHashTable t(64);
+  simt::LaneU32 keys(12345u), out;
+  simt::LaneBool found;
+  warp_.set_active(1u);
+  t.probe_claim(warp_, keys, out, found);
+  EXPECT_FALSE(found[0]);
+}
+
+TEST_F(HashTableTest, DuplicateKeysSecondLaneSpills) {
+  // Two lanes with the same key: one goes to primary, the other collides
+  // into secondary; a third holder defers ("the thread holds on to the
+  // request for the next iteration").
+  DeviceHashTable t(64);
+  simt::LaneU32 keys(777u), values;
+  for (int lane = 0; lane < 32; ++lane) values[lane] = static_cast<std::uint32_t>(lane);
+  warp_.set_active(0b111u);
+  simt::LaneBool inserted;
+  t.insert(warp_, keys, values, inserted);
+  const int ok = inserted[0] + inserted[1] + inserted[2];
+  EXPECT_EQ(ok, 2);  // Primary + secondary.
+  EXPECT_EQ(t.occupancy(), 2u);
+}
+
+TEST_F(HashTableTest, ClaimIsExclusiveAmongDuplicateProbes) {
+  DeviceHashTable t(64);
+  simt::LaneU32 keys(42u), values(7u);
+  warp_.set_active(1u);
+  simt::LaneBool inserted;
+  t.insert(warp_, keys, values, inserted);
+  ASSERT_TRUE(inserted[0]);
+
+  // Two lanes probe the same key; exactly one may claim the single entry.
+  warp_.set_active(0b11u);
+  simt::LaneU32 out;
+  simt::LaneBool found;
+  t.probe_claim(warp_, keys, out, found);
+  EXPECT_EQ(found[0] + found[1], 1);
+}
+
+TEST_F(HashTableTest, ReinsertHostRestoresEntry) {
+  DeviceHashTable t(64);
+  EXPECT_TRUE(t.reinsert_host(9u, 3u));
+  EXPECT_EQ(t.occupancy(), 1u);
+  simt::LaneU32 keys(9u), out;
+  simt::LaneBool found;
+  warp_.set_active(1u);
+  t.probe_claim(warp_, keys, out, found);
+  EXPECT_TRUE(found[0]);
+  EXPECT_EQ(out[0], 3u);
+}
+
+TEST_F(HashTableTest, ClearEmptiesBothLevels) {
+  DeviceHashTable t(64);
+  (void)t.reinsert_host(1u, 1u);
+  (void)t.reinsert_host(2u, 2u);
+  t.clear();
+  EXPECT_EQ(t.occupancy(), 0u);
+}
+
+TEST_F(HashTableTest, InsertCountsAtomics) {
+  DeviceHashTable t(64);
+  simt::LaneU32 keys, values;
+  for (int lane = 0; lane < 32; ++lane) keys[lane] = static_cast<std::uint32_t>(lane * 9901);
+  simt::LaneBool inserted;
+  t.insert(warp_, keys, values, inserted);
+  EXPECT_GE(counters_.atomic_operations, 32u);
+  EXPECT_GT(counters_.alu_instructions, 0u);
+}
+
+TEST_F(HashTableTest, IdentityHashStillCorrect) {
+  // The pathological hash must stay functionally correct (just slower).
+  DeviceHashTable t(64, 5.0, util::HashKind::kIdentity);
+  simt::LaneU32 keys, values;
+  for (int lane = 0; lane < 32; ++lane) {
+    keys[lane] = static_cast<std::uint32_t>(lane);
+    values[lane] = static_cast<std::uint32_t>(lane);
+  }
+  simt::LaneBool inserted;
+  t.insert(warp_, keys, values, inserted);
+  simt::LaneU32 out;
+  simt::LaneBool found;
+  t.probe_claim(warp_, keys, out, found);
+  for (int lane = 0; lane < 32; ++lane) {
+    EXPECT_TRUE(found[lane]);
+    EXPECT_EQ(out[lane], static_cast<std::uint32_t>(lane));
+  }
+}
+
+TEST_F(HashTableTest, HashCostRanking) {
+  EXPECT_GT(DeviceHashTable::hash_cost(util::HashKind::kJenkins),
+            DeviceHashTable::hash_cost(util::HashKind::kMurmur3Fmix));
+  EXPECT_GT(DeviceHashTable::hash_cost(util::HashKind::kMurmur3Fmix),
+            DeviceHashTable::hash_cost(util::HashKind::kIdentity));
+}
+
+TEST_F(HashTableTest, ActiveMaskRestoredAfterOps) {
+  DeviceHashTable t(64);
+  warp_.set_active(0xFFu);
+  simt::LaneU32 keys(5u), values(1u), out;
+  simt::LaneBool inserted, found;
+  t.insert(warp_, keys, values, inserted);
+  EXPECT_EQ(warp_.active(), 0xFFu);
+  t.probe_claim(warp_, keys, out, found);
+  EXPECT_EQ(warp_.active(), 0xFFu);
+}
+
+}  // namespace
+}  // namespace simtmsg::matching

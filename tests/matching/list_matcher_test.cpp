@@ -1,0 +1,110 @@
+#include "matching/list_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/reference_matcher.hpp"
+#include "matching/workload.hpp"
+
+namespace simtmsg::matching {
+namespace {
+
+Message msg(Rank src, Tag tag) {
+  Message m;
+  m.env = {.src = src, .tag = tag, .comm = 0};
+  return m;
+}
+
+RecvRequest req(Rank src, Tag tag) {
+  RecvRequest r;
+  r.env = {.src = src, .tag = tag, .comm = 0};
+  return r;
+}
+
+TEST(ListMatcher, UnexpectedMessageLandsInUmq) {
+  ListMatcher lm;
+  EXPECT_FALSE(lm.arrive(msg(0, 1)).has_value());
+  EXPECT_EQ(lm.umq_depth(), 1u);
+  EXPECT_EQ(lm.prq_depth(), 0u);
+}
+
+TEST(ListMatcher, PostedReceiveLandsInPrq) {
+  ListMatcher lm;
+  EXPECT_FALSE(lm.post(req(0, 1)).has_value());
+  EXPECT_EQ(lm.prq_depth(), 1u);
+}
+
+TEST(ListMatcher, PostConsumesUnexpectedMessage) {
+  ListMatcher lm;
+  (void)lm.arrive(msg(2, 3));
+  const auto hit = lm.post(req(2, 3));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->env.src, 2);
+  EXPECT_EQ(lm.umq_depth(), 0u);
+  EXPECT_EQ(lm.prq_depth(), 0u);
+}
+
+TEST(ListMatcher, ArriveConsumesPostedReceive) {
+  ListMatcher lm;
+  (void)lm.post(req(2, 3));
+  const auto hit = lm.arrive(msg(2, 3));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(lm.prq_depth(), 0u);
+  EXPECT_EQ(lm.umq_depth(), 0u);
+}
+
+TEST(ListMatcher, UmqSearchIsArrivalOrder) {
+  ListMatcher lm;
+  (void)lm.arrive(msg(1, 7));
+  (void)lm.arrive(msg(1, 7));
+  const auto hit = lm.post(req(1, 7));
+  ASSERT_TRUE(hit.has_value());
+  // The remaining unexpected message is the later one.
+  EXPECT_EQ(lm.umq_depth(), 1u);
+}
+
+TEST(ListMatcher, PrqSearchIsPostedOrder) {
+  ListMatcher lm;
+  (void)lm.post(req(kAnySource, kAnyTag));
+  (void)lm.post(req(5, 5));
+  const auto hit = lm.arrive(msg(5, 5));
+  ASSERT_TRUE(hit.has_value());
+  // The wildcard (posted first) must win.
+  EXPECT_TRUE(has_wildcard(hit->env));
+  EXPECT_EQ(lm.prq_depth(), 1u);
+}
+
+TEST(ListMatcher, SearchStepsCountTraversals) {
+  ListMatcher lm;
+  for (int i = 0; i < 10; ++i) (void)lm.arrive(msg(i, 0));
+  (void)lm.post(req(9, 0));  // Must traverse all 10 entries.
+  EXPECT_EQ(lm.search_steps(), 10u);
+}
+
+TEST(ListMatcher, ClearResetsEverything) {
+  ListMatcher lm;
+  (void)lm.arrive(msg(0, 0));
+  (void)lm.post(req(1, 1));
+  lm.clear();
+  EXPECT_EQ(lm.umq_depth(), 0u);
+  EXPECT_EQ(lm.prq_depth(), 0u);
+  EXPECT_EQ(lm.search_steps(), 0u);
+}
+
+TEST(ListMatcher, BatchAgreesWithReferenceOnRandomWorkloads) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    WorkloadSpec spec;
+    spec.pairs = 200;
+    spec.sources = 8;
+    spec.tags = 4;
+    spec.src_wildcard_prob = 0.1;
+    spec.tag_wildcard_prob = 0.1;
+    spec.seed = seed;
+    const auto w = make_workload(spec);
+    const auto ours = ListMatcher::match(w.messages, w.requests);
+    const auto ref = ReferenceMatcher::match(w.messages, w.requests);
+    EXPECT_EQ(ours.request_match, ref.request_match) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace simtmsg::matching

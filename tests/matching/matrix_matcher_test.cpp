@@ -1,0 +1,224 @@
+#include "matching/matrix_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/reference_matcher.hpp"
+#include "matching/workload.hpp"
+
+namespace simtmsg::matching {
+namespace {
+
+const simt::DeviceSpec& pascal() { return simt::pascal_gtx1080(); }
+
+Message msg(Rank src, Tag tag) {
+  Message m;
+  m.env = {.src = src, .tag = tag, .comm = 0};
+  return m;
+}
+
+RecvRequest req(Rank src, Tag tag) {
+  RecvRequest r;
+  r.env = {.src = src, .tag = tag, .comm = 0};
+  return r;
+}
+
+TEST(MatrixMatcher, FastPathSimplePairs) {
+  const MatrixMatcher matcher(pascal());
+  const std::vector<Message> msgs = {msg(0, 1), msg(0, 2), msg(1, 1)};
+  const std::vector<RecvRequest> reqs = {req(1, 1), req(0, 2), req(0, 1)};
+  const auto s = matcher.match_window(msgs, reqs);
+  EXPECT_EQ(s.result.request_match, (std::vector<std::int32_t>{2, 1, 0}));
+  EXPECT_EQ(s.warps_used, 1);
+}
+
+TEST(MatrixMatcher, FastPathOrderingDuplicates) {
+  const MatrixMatcher matcher(pascal());
+  const std::vector<Message> msgs = {msg(1, 5), msg(1, 5), msg(1, 5)};
+  const std::vector<RecvRequest> reqs = {req(1, 5), req(1, 5)};
+  const auto s = matcher.match_window(msgs, reqs);
+  // Earliest messages must go to earliest requests (MPI ordering).
+  EXPECT_EQ(s.result.request_match, (std::vector<std::int32_t>{0, 1}));
+}
+
+TEST(MatrixMatcher, FastPathWildcards) {
+  const MatrixMatcher matcher(pascal());
+  const std::vector<Message> msgs = {msg(7, 3), msg(2, 3)};
+  const std::vector<RecvRequest> reqs = {req(kAnySource, 3), req(kAnySource, kAnyTag)};
+  const auto s = matcher.match_window(msgs, reqs);
+  EXPECT_EQ(s.result.request_match, (std::vector<std::int32_t>{0, 1}));
+}
+
+TEST(MatrixMatcher, GeneralPathUsesMultipleWarps) {
+  const MatrixMatcher matcher(pascal());
+  WorkloadSpec spec;
+  spec.pairs = 100;  // > 32 messages: matrix path.
+  spec.seed = 3;
+  const auto w = make_workload(spec);
+  const auto s = matcher.match_window(w.messages, w.requests);
+  EXPECT_EQ(s.warps_used, 4);  // ceil(100 / 32).
+  EXPECT_EQ(s.result.matched(), 100u);
+}
+
+TEST(MatrixMatcher, GeneralPathAgreesWithReference) {
+  const MatrixMatcher matcher(pascal());
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    WorkloadSpec spec;
+    spec.pairs = 300;
+    spec.sources = 12;
+    spec.tags = 6;
+    spec.src_wildcard_prob = 0.15;
+    spec.tag_wildcard_prob = 0.1;
+    spec.seed = seed;
+    const auto w = make_workload(spec);
+    const auto ours = matcher.match_window(w.messages, w.requests);
+    const auto ref = ReferenceMatcher::match(w.messages, w.requests);
+    EXPECT_EQ(ours.result.request_match, ref.request_match) << "seed=" << seed;
+  }
+}
+
+TEST(MatrixMatcher, WindowCapsAtCapacity) {
+  MatrixMatcher::Options opt;
+  opt.max_warps = 2;  // Capacity 64 messages.
+  const MatrixMatcher matcher(pascal(), opt);
+  EXPECT_EQ(matcher.capacity(), 64);
+  WorkloadSpec spec;
+  spec.pairs = 100;
+  spec.unique_tuples = true;
+  spec.sources = 64;
+  spec.tags = 64;
+  const auto w = make_workload(spec);
+  const auto s = matcher.match_window(w.messages, w.requests);
+  // Only the first 64 messages participate in a single window.
+  EXPECT_LE(s.result.matched(), 64u);
+}
+
+TEST(MatrixMatcher, MatchQueuesDrainsBeyondCapacity) {
+  const MatrixMatcher matcher(pascal());
+  WorkloadSpec spec;
+  spec.pairs = 2500;  // > 1024: multiple iterations required.
+  spec.sources = 40;
+  spec.tags = 40;
+  spec.seed = 9;
+  const auto w = make_workload(spec);
+  MessageQueue mq;
+  RecvQueue rq;
+  fill_queues(w, mq, rq);
+  const auto s = matcher.match_queues(mq, rq);
+  EXPECT_EQ(s.result.matched(), 2500u);
+  EXPECT_TRUE(mq.empty());
+  EXPECT_TRUE(rq.empty());
+  EXPECT_GT(s.iterations, 1);
+}
+
+TEST(MatrixMatcher, MatchQueuesAgreesWithReferenceAcrossWindows) {
+  // Wildcards + duplicates + queues longer than one window: the hardest
+  // ordering case (requests sliding across window boundaries).
+  MatrixMatcher::Options opt;
+  opt.max_warps = 2;        // Small capacity to force many windows.
+  opt.request_window = 48;  // Smaller than the queue.
+  const MatrixMatcher matcher(pascal(), opt);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    WorkloadSpec spec;
+    spec.pairs = 300;
+    spec.sources = 6;
+    spec.tags = 3;
+    spec.src_wildcard_prob = 0.2;
+    spec.tag_wildcard_prob = 0.1;
+    spec.seed = seed;
+    const auto w = make_workload(spec);
+
+    MessageQueue mq;
+    RecvQueue rq;
+    fill_queues(w, mq, rq);
+    const auto ours = matcher.match_queues(mq, rq);
+    const auto ref = ReferenceMatcher::match(w.messages, w.requests);
+    EXPECT_EQ(ours.result.request_match, ref.request_match) << "seed=" << seed;
+  }
+}
+
+TEST(MatrixMatcher, UnmatchedElementsStayInQueues) {
+  const MatrixMatcher matcher(pascal());
+  MessageQueue mq;
+  RecvQueue rq;
+  mq.push(msg(0, 0));
+  mq.push(msg(1, 1));
+  rq.push(req(0, 0));
+  rq.push(req(9, 9));  // Never matches.
+  const auto s = matcher.match_queues(mq, rq);
+  EXPECT_EQ(s.result.matched(), 1u);
+  EXPECT_EQ(mq.size(), 1u);
+  EXPECT_EQ(rq.size(), 1u);
+  EXPECT_EQ(mq[0].env.src, 1);
+  EXPECT_EQ(rq[0].env.src, 9);
+}
+
+TEST(MatrixMatcher, EmptyInputsAreSafe) {
+  const MatrixMatcher matcher(pascal());
+  const auto s = matcher.match_window({}, {});
+  EXPECT_TRUE(s.result.request_match.empty());
+  MessageQueue mq;
+  RecvQueue rq;
+  const auto q = matcher.match_queues(mq, rq);
+  EXPECT_EQ(q.result.matched(), 0u);
+}
+
+TEST(MatrixMatcher, CyclesGrowWithWindow) {
+  const MatrixMatcher matcher(pascal());
+  WorkloadSpec small, large;
+  small.pairs = 128;
+  large.pairs = 1024;
+  const auto ws = make_workload(small);
+  const auto wl = make_workload(large);
+  const auto ss = matcher.match_window(ws.messages, ws.requests);
+  const auto sl = matcher.match_window(wl.messages, wl.requests);
+  EXPECT_GT(sl.cycles, ss.cycles);
+}
+
+TEST(MatrixMatcher, PipeliningReducesCycles) {
+  // With fewer warps than the maximum, scan and reduce overlap.
+  WorkloadSpec spec;
+  spec.pairs = 512;
+  const auto w = make_workload(spec);
+
+  MatrixMatcher::Options pipe;
+  pipe.pipelined = true;
+  MatrixMatcher::Options serial;
+  serial.pipelined = false;
+  const auto sp = MatrixMatcher(pascal(), pipe).match_window(w.messages, w.requests);
+  const auto ss = MatrixMatcher(pascal(), serial).match_window(w.messages, w.requests);
+  EXPECT_LT(sp.cycles, ss.cycles);
+  EXPECT_EQ(sp.result.request_match, ss.result.request_match);
+}
+
+TEST(MatrixMatcher, At1024AllWarpsBusyNoOverlap) {
+  // Figure 4's drop at 1024: the scan needs all 32 warps, so pipelining
+  // cannot help and per-match cost rises.
+  const MatrixMatcher matcher(pascal());
+  WorkloadSpec spec;
+  spec.pairs = 1024;
+  const auto w = make_workload(spec);
+  const auto s = matcher.match_window(w.messages, w.requests);
+  EXPECT_EQ(s.warps_used, 32);
+
+  WorkloadSpec spec768;
+  spec768.pairs = 768;
+  const auto w768 = make_workload(spec768);
+  const auto s768 = matcher.match_window(w768.messages, w768.requests);
+
+  const double per_match_1024 = s.cycles / 1024.0;
+  const double per_match_768 = s768.cycles / 768.0;
+  EXPECT_GT(per_match_1024, per_match_768);
+}
+
+TEST(MatrixMatcher, DeviceClockOrdersRuntime) {
+  WorkloadSpec spec;
+  spec.pairs = 256;
+  const auto w = make_workload(spec);
+  const auto k = MatrixMatcher(simt::kepler_k80()).match_window(w.messages, w.requests);
+  const auto p = MatrixMatcher(pascal()).match_window(w.messages, w.requests);
+  EXPECT_GT(k.seconds, p.seconds);
+  EXPECT_EQ(k.result.request_match, p.result.request_match);
+}
+
+}  // namespace
+}  // namespace simtmsg::matching

@@ -1,0 +1,73 @@
+// Multi-SM scaling of the partitioned matcher (Section VI-A remark).
+#include <gtest/gtest.h>
+
+#include "matching/partitioned_matcher.hpp"
+#include "matching/reference_matcher.hpp"
+#include "matching/workload.hpp"
+
+namespace simtmsg::matching {
+namespace {
+
+const simt::DeviceSpec& pascal() { return simt::pascal_gtx1080(); }
+
+Workload big_workload() {
+  WorkloadSpec spec;
+  spec.pairs = 8192;
+  spec.sources = 64;
+  spec.tags = 64;
+  spec.seed = 71;
+  return make_workload(spec);
+}
+
+TEST(MultiSm, ResultsIndependentOfSmCount) {
+  const auto w = big_workload();
+  const auto ref = ReferenceMatcher::match(w.messages, w.requests);
+  for (const int sms : {1, 4, 8}) {
+    PartitionedMatcher::Options opt;
+    opt.partitions = 32;
+    opt.sms = sms;
+    const auto s = PartitionedMatcher(pascal(), opt).match(w.messages, w.requests);
+    EXPECT_EQ(s.result.request_match, ref.request_match) << "sms=" << sms;
+  }
+}
+
+TEST(MultiSm, MoreSmsNeverSlower) {
+  const auto w = big_workload();
+  double prev = 0.0;
+  for (const int sms : {1, 2, 4, 8}) {
+    PartitionedMatcher::Options opt;
+    opt.partitions = 32;
+    opt.sms = sms;
+    const auto s = PartitionedMatcher(pascal(), opt).match(w.messages, w.requests);
+    if (sms > 1) {
+      EXPECT_LE(s.cycles, prev) << "sms=" << sms;
+    }
+    prev = s.cycles;
+  }
+}
+
+TEST(MultiSm, SpeedupRoughlyLinearWhileWavesRemain) {
+  const auto w = big_workload();
+  PartitionedMatcher::Options one;
+  one.partitions = 32;
+  one.sms = 1;
+  PartitionedMatcher::Options four;
+  four.partitions = 32;
+  four.sms = 4;
+  const auto s1 = PartitionedMatcher(pascal(), one).match(w.messages, w.requests);
+  const auto s4 = PartitionedMatcher(pascal(), four).match(w.messages, w.requests);
+  const double speedup = s1.cycles / s4.cycles;
+  EXPECT_GT(speedup, 2.0);  // "increasing linearly" (minus sync overheads).
+  EXPECT_LE(speedup, 4.2);
+}
+
+TEST(MultiSm, RejectsInvalidSmCounts) {
+  PartitionedMatcher::Options opt;
+  opt.sms = 0;
+  EXPECT_THROW(PartitionedMatcher(pascal(), opt), std::invalid_argument);
+  opt.sms = pascal().sm_count + 1;
+  EXPECT_THROW(PartitionedMatcher(pascal(), opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace simtmsg::matching

@@ -1,0 +1,187 @@
+// Property-based sweeps: every production matcher is validated against the
+// ReferenceMatcher oracle over a parameter grid of queue lengths, tuple
+// spaces, and wildcard densities (see DESIGN.md §6).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "matching/hash_matcher.hpp"
+#include "matching/list_matcher.hpp"
+#include "matching/matrix_matcher.hpp"
+#include "matching/partitioned_matcher.hpp"
+#include "matching/reference_matcher.hpp"
+#include "matching/workload.hpp"
+
+namespace simtmsg::matching {
+namespace {
+
+const simt::DeviceSpec& pascal() { return simt::pascal_gtx1080(); }
+
+// ---------------------------------------------------------------------------
+// Ordered matchers (matrix, list) must reproduce the reference pairing
+// exactly, wildcards included.
+
+using OrderedParams = std::tuple<std::size_t /*pairs*/, int /*sources*/, int /*tags*/,
+                                 double /*src_wc*/, double /*tag_wc*/, std::uint64_t /*seed*/>;
+
+class OrderedMatcherProperty : public ::testing::TestWithParam<OrderedParams> {
+ protected:
+  Workload make() const {
+    const auto& [pairs, sources, tags, src_wc, tag_wc, seed] = GetParam();
+    WorkloadSpec spec;
+    spec.pairs = pairs;
+    spec.sources = sources;
+    spec.tags = tags;
+    spec.src_wildcard_prob = src_wc;
+    spec.tag_wildcard_prob = tag_wc;
+    spec.seed = seed;
+    return make_workload(spec);
+  }
+};
+
+TEST_P(OrderedMatcherProperty, MatrixWindowEqualsReference) {
+  const auto w = make();
+  if (w.messages.size() > 1024) GTEST_SKIP() << "window test capped at 1024";
+  const auto ours = MatrixMatcher(pascal()).match_window(w.messages, w.requests);
+  const auto ref = ReferenceMatcher::match(w.messages, w.requests);
+  EXPECT_EQ(ours.result.request_match, ref.request_match);
+}
+
+TEST_P(OrderedMatcherProperty, MatrixQueuesEqualReference) {
+  const auto w = make();
+  MessageQueue mq;
+  RecvQueue rq;
+  fill_queues(w, mq, rq);
+  const auto ours = MatrixMatcher(pascal()).match_queues(mq, rq);
+  const auto ref = ReferenceMatcher::match(w.messages, w.requests);
+  EXPECT_EQ(ours.result.request_match, ref.request_match);
+}
+
+TEST_P(OrderedMatcherProperty, ListBatchEqualsReference) {
+  const auto w = make();
+  EXPECT_EQ(ListMatcher::match(w.messages, w.requests).request_match,
+            ReferenceMatcher::match(w.messages, w.requests).request_match);
+}
+
+TEST_P(OrderedMatcherProperty, ExactlyOneInvariant) {
+  const auto w = make();
+  const auto r = ReferenceMatcher::match(w.messages, w.requests);
+  std::vector<int> msg_hits(w.messages.size(), 0);
+  for (const auto m : r.request_match) {
+    if (m != kNoMatch) ++msg_hits[static_cast<std::size_t>(m)];
+  }
+  for (const auto hits : msg_hits) EXPECT_LE(hits, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueueLengthSweep, OrderedMatcherProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 31, 32, 33, 64, 200, 1024, 1500),
+                       ::testing::Values(8), ::testing::Values(8),
+                       ::testing::Values(0.0), ::testing::Values(0.0),
+                       ::testing::Values<std::uint64_t>(1)));
+
+INSTANTIATE_TEST_SUITE_P(
+    WildcardDensitySweep, OrderedMatcherProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(150), ::testing::Values(8),
+                       ::testing::Values(4),
+                       ::testing::Values(0.0, 0.25, 1.0),
+                       ::testing::Values(0.0, 0.25, 1.0),
+                       ::testing::Values<std::uint64_t>(2, 3)));
+
+INSTANTIATE_TEST_SUITE_P(
+    TupleSpaceSweep, OrderedMatcherProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(256),
+                       ::testing::Values(1, 2, 64),
+                       ::testing::Values(1, 2, 64),
+                       ::testing::Values(0.1), ::testing::Values(0.1),
+                       ::testing::Values<std::uint64_t>(4)));
+
+// ---------------------------------------------------------------------------
+// The partitioned matcher (no source wildcard) must also equal the
+// reference, for any partition count.
+
+using PartitionedParams = std::tuple<int /*partitions*/, std::size_t /*pairs*/,
+                                     int /*sources*/, std::uint64_t /*seed*/>;
+
+class PartitionedProperty : public ::testing::TestWithParam<PartitionedParams> {};
+
+TEST_P(PartitionedProperty, EqualsReference) {
+  const auto& [partitions, pairs, sources, seed] = GetParam();
+  WorkloadSpec spec;
+  spec.pairs = pairs;
+  spec.sources = sources;
+  spec.tags = 4;
+  spec.tag_wildcard_prob = 0.2;
+  spec.seed = seed;
+  const auto w = make_workload(spec);
+
+  PartitionedMatcher::Options opt;
+  opt.partitions = partitions;
+  const auto ours = PartitionedMatcher(pascal(), opt).match(w.messages, w.requests);
+  const auto ref = ReferenceMatcher::match(w.messages, w.requests);
+  EXPECT_EQ(ours.result.request_match, ref.request_match);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PartitionSweep, PartitionedProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 8, 32),
+                       ::testing::Values<std::size_t>(64, 500),
+                       ::testing::Values(5, 40),
+                       ::testing::Values<std::uint64_t>(11, 12)));
+
+// ---------------------------------------------------------------------------
+// The hash matcher (unordered) must produce a maximum matching over exact
+// tuples: same cardinality as the reference's pairable count, envelopes
+// equal pairwise, nothing matched twice.
+
+using HashParams = std::tuple<std::size_t /*pairs*/, int /*space*/, bool /*unique*/,
+                              util::HashKind, std::uint64_t /*seed*/>;
+
+class HashProperty : public ::testing::TestWithParam<HashParams> {};
+
+TEST_P(HashProperty, MaximumValidMatching) {
+  const auto& [pairs, space, unique, hash, seed] = GetParam();
+  WorkloadSpec spec;
+  spec.pairs = pairs;
+  spec.sources = space;
+  spec.tags = space;
+  spec.unique_tuples = unique;
+  spec.seed = seed;
+  const auto w = make_workload(spec);
+
+  HashMatcher::Options opt;
+  opt.hash = hash;
+  const auto s = HashMatcher(pascal(), opt).match(w.messages, w.requests);
+
+  EXPECT_EQ(s.result.matched(),
+            ReferenceMatcher::pairable_count(w.messages, w.requests));
+  std::vector<bool> used(w.messages.size(), false);
+  for (std::size_t r = 0; r < s.result.request_match.size(); ++r) {
+    const auto m = s.result.request_match[r];
+    if (m == kNoMatch) continue;
+    EXPECT_FALSE(used[static_cast<std::size_t>(m)]);
+    used[static_cast<std::size_t>(m)] = true;
+    EXPECT_EQ(w.requests[r].env, w.messages[static_cast<std::size_t>(m)].env);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HashSweep, HashProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(32, 256, 1024),
+                       ::testing::Values(64),
+                       ::testing::Values(false, true),
+                       ::testing::Values(util::HashKind::kJenkins,
+                                         util::HashKind::kFnv1a,
+                                         util::HashKind::kMurmur3Fmix),
+                       ::testing::Values<std::uint64_t>(31, 32)));
+
+INSTANTIATE_TEST_SUITE_P(
+    HashDuplicateStress, HashProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(512),
+                       ::testing::Values(2, 4),
+                       ::testing::Values(false),
+                       ::testing::Values(util::HashKind::kJenkins),
+                       ::testing::Values<std::uint64_t>(33)));
+
+}  // namespace
+}  // namespace simtmsg::matching

@@ -1,0 +1,90 @@
+#include "matching/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simtmsg::matching {
+namespace {
+
+TEST(MatchQueue, PushStampsMonotonicSequence) {
+  MessageQueue q;
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.env = {.src = i, .tag = 0, .comm = 0};
+    q.push(m);
+  }
+  for (std::size_t i = 0; i < q.size(); ++i) EXPECT_EQ(q[i].seq, i);
+}
+
+TEST(MatchQueue, PushRawPreservesSequence) {
+  MessageQueue q;
+  Message m;
+  m.seq = 42;
+  q.push_raw(m);
+  EXPECT_EQ(q[0].seq, 42u);
+  Message next;
+  q.push(next);
+  EXPECT_EQ(q[1].seq, 43u);  // Continues after the raw element.
+}
+
+TEST(MatchQueue, WindowClampsToSize) {
+  RecvQueue q;
+  for (int i = 0; i < 3; ++i) q.push(RecvRequest{});
+  EXPECT_EQ(q.window(2).size(), 2u);
+  EXPECT_EQ(q.window(10).size(), 3u);
+  EXPECT_EQ(q.window(0).size(), 0u);
+}
+
+TEST(MatchQueue, CompactRemovesFlaggedKeepsOrder) {
+  MessageQueue q;
+  for (int i = 0; i < 6; ++i) {
+    Message m;
+    m.payload = static_cast<std::uint64_t>(i);
+    q.push(m);
+  }
+  const std::vector<std::uint8_t> flags = {0, 1, 0, 1, 1, 0};
+  EXPECT_EQ(q.compact(flags), 3u);
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q[0].payload, 0u);
+  EXPECT_EQ(q[1].payload, 2u);
+  EXPECT_EQ(q[2].payload, 5u);
+}
+
+TEST(MatchQueue, CompactWithShortFlagVectorOnlyTouchesPrefix) {
+  MessageQueue q;
+  for (int i = 0; i < 4; ++i) {
+    Message m;
+    m.payload = static_cast<std::uint64_t>(i);
+    q.push(m);
+  }
+  const std::vector<std::uint8_t> flags = {1, 1};  // Only first two flagged.
+  EXPECT_EQ(q.compact(flags), 2u);
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q[0].payload, 2u);
+}
+
+TEST(MatchQueue, CompactNothingIsNoop) {
+  MessageQueue q;
+  q.push(Message{});
+  const std::vector<std::uint8_t> flags = {0};
+  EXPECT_EQ(q.compact(flags), 0u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(MatchQueue, ClearEmpties) {
+  RecvQueue q;
+  q.push(RecvRequest{});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MatchQueue, ViewExposesContiguousStorage) {
+  MessageQueue q;
+  for (int i = 0; i < 3; ++i) q.push(Message{});
+  const auto v = q.view();
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(&v[0], &q[0]);
+}
+
+}  // namespace
+}  // namespace simtmsg::matching

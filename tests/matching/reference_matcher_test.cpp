@@ -1,0 +1,100 @@
+#include "matching/reference_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simtmsg::matching {
+namespace {
+
+Message msg(Rank src, Tag tag, CommId comm = 0) {
+  Message m;
+  m.env = {.src = src, .tag = tag, .comm = comm};
+  return m;
+}
+
+RecvRequest req(Rank src, Tag tag, CommId comm = 0) {
+  RecvRequest r;
+  r.env = {.src = src, .tag = tag, .comm = comm};
+  return r;
+}
+
+TEST(ReferenceMatcher, SimplePairing) {
+  const std::vector<Message> msgs = {msg(0, 1), msg(0, 2)};
+  const std::vector<RecvRequest> reqs = {req(0, 2), req(0, 1)};
+  const auto r = ReferenceMatcher::match(msgs, reqs);
+  EXPECT_EQ(r.request_match, (std::vector<std::int32_t>{1, 0}));
+}
+
+TEST(ReferenceMatcher, OrderingEarliestMessageWins) {
+  // Two identical messages: the earlier one must satisfy the earlier recv.
+  const std::vector<Message> msgs = {msg(1, 5), msg(1, 5)};
+  const std::vector<RecvRequest> reqs = {req(1, 5), req(1, 5)};
+  const auto r = ReferenceMatcher::match(msgs, reqs);
+  EXPECT_EQ(r.request_match, (std::vector<std::int32_t>{0, 1}));
+}
+
+TEST(ReferenceMatcher, WildcardTakesEarliestEligible) {
+  const std::vector<Message> msgs = {msg(3, 9), msg(2, 9)};
+  const std::vector<RecvRequest> reqs = {req(kAnySource, 9)};
+  const auto r = ReferenceMatcher::match(msgs, reqs);
+  EXPECT_EQ(r.request_match[0], 0);
+}
+
+TEST(ReferenceMatcher, ExactlyOneMatchPerMessage) {
+  const std::vector<Message> msgs = {msg(1, 1)};
+  const std::vector<RecvRequest> reqs = {req(1, 1), req(1, 1)};
+  const auto r = ReferenceMatcher::match(msgs, reqs);
+  EXPECT_EQ(r.request_match[0], 0);
+  EXPECT_EQ(r.request_match[1], kNoMatch);
+}
+
+TEST(ReferenceMatcher, NoMatchAcrossCommunicators) {
+  const std::vector<Message> msgs = {msg(1, 1, /*comm=*/2)};
+  const std::vector<RecvRequest> reqs = {req(1, 1, /*comm=*/3)};
+  const auto r = ReferenceMatcher::match(msgs, reqs);
+  EXPECT_EQ(r.request_match[0], kNoMatch);
+}
+
+TEST(ReferenceMatcher, WildcardAndSpecificInterleave) {
+  // Posted order decides priority: the wildcard posted first steals the
+  // earliest message even if a later specific recv also wanted it.
+  const std::vector<Message> msgs = {msg(4, 0)};
+  const std::vector<RecvRequest> reqs = {req(kAnySource, kAnyTag), req(4, 0)};
+  const auto r = ReferenceMatcher::match(msgs, reqs);
+  EXPECT_EQ(r.request_match[0], 0);
+  EXPECT_EQ(r.request_match[1], kNoMatch);
+}
+
+TEST(ReferenceMatcher, EmptyInputs) {
+  EXPECT_TRUE(ReferenceMatcher::match({}, {}).request_match.empty());
+  const std::vector<Message> msgs = {msg(0, 0)};
+  EXPECT_TRUE(ReferenceMatcher::match(msgs, {}).request_match.empty());
+  const std::vector<RecvRequest> reqs = {req(0, 0)};
+  const auto r = ReferenceMatcher::match({}, reqs);
+  EXPECT_EQ(r.request_match[0], kNoMatch);
+}
+
+TEST(ReferenceMatcher, MatchedCountAndPairs) {
+  const std::vector<Message> msgs = {msg(0, 0), msg(0, 1)};
+  const std::vector<RecvRequest> reqs = {req(0, 1), req(9, 9)};
+  const auto r = ReferenceMatcher::match(msgs, reqs);
+  EXPECT_EQ(r.matched(), 1u);
+  const auto pairs = r.pairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].msg_index, 1u);
+  EXPECT_EQ(pairs[0].req_index, 0u);
+}
+
+TEST(ReferenceMatcher, PairableCountMinOfMultiplicities) {
+  const std::vector<Message> msgs = {msg(0, 0), msg(0, 0), msg(0, 1)};
+  const std::vector<RecvRequest> reqs = {req(0, 0), req(0, 1), req(0, 1)};
+  EXPECT_EQ(ReferenceMatcher::pairable_count(msgs, reqs), 2u);
+}
+
+TEST(ReferenceMatcher, PairableCountRejectsWildcards) {
+  const std::vector<Message> msgs = {msg(0, 0)};
+  const std::vector<RecvRequest> reqs = {req(kAnySource, 0)};
+  EXPECT_THROW((void)ReferenceMatcher::pairable_count(msgs, reqs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace simtmsg::matching

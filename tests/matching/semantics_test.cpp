@@ -1,0 +1,77 @@
+#include "matching/semantics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simtmsg::matching {
+namespace {
+
+TEST(Semantics, DefaultIsFullMpi) {
+  const SemanticsConfig cfg;
+  EXPECT_TRUE(cfg.wildcards);
+  EXPECT_TRUE(cfg.ordering);
+  EXPECT_TRUE(cfg.unexpected);
+  EXPECT_EQ(cfg.partitions, 1);
+  EXPECT_TRUE(valid(cfg));
+  EXPECT_FALSE(hashable(cfg));
+}
+
+TEST(Semantics, PartitioningRequiresNoSourceWildcard) {
+  // "The next level could partition among ranks, but this is impossible due
+  // to wildcards" (Section VI).
+  SemanticsConfig cfg;
+  cfg.partitions = 8;
+  EXPECT_FALSE(valid(cfg));
+  cfg.wildcards = false;
+  EXPECT_TRUE(valid(cfg));
+}
+
+TEST(Semantics, NonPositivePartitionsInvalid) {
+  SemanticsConfig cfg;
+  cfg.partitions = 0;
+  EXPECT_FALSE(valid(cfg));
+}
+
+TEST(Semantics, HashableNeedsNoWildcardsAndNoOrdering) {
+  SemanticsConfig cfg;
+  cfg.wildcards = false;
+  cfg.ordering = false;
+  EXPECT_TRUE(hashable(cfg));
+  cfg.ordering = true;
+  EXPECT_FALSE(hashable(cfg));
+  cfg.ordering = false;
+  cfg.wildcards = true;
+  EXPECT_FALSE(hashable(cfg));
+}
+
+TEST(Semantics, TableTwoHasSixValidRows) {
+  const auto rows = table2_rows();
+  ASSERT_EQ(rows.size(), 6u);
+  for (const auto& row : rows) EXPECT_TRUE(valid(row));
+}
+
+TEST(Semantics, TableTwoRowOrderMatchesPaper) {
+  const auto rows = table2_rows();
+  // Row 1: full MPI.  Row 5/6: hash rows.
+  EXPECT_TRUE(rows[0].wildcards);
+  EXPECT_TRUE(rows[0].ordering);
+  EXPECT_TRUE(rows[0].unexpected);
+  EXPECT_FALSE(rows[1].unexpected);
+  EXPECT_FALSE(rows[2].wildcards);
+  EXPECT_GT(rows[2].partitions, 1);
+  EXPECT_TRUE(hashable(rows[4]));
+  EXPECT_TRUE(hashable(rows[5]));
+  EXPECT_TRUE(rows[4].unexpected);
+  EXPECT_FALSE(rows[5].unexpected);
+}
+
+TEST(Semantics, DescribeIsHumanReadable) {
+  SemanticsConfig cfg;
+  cfg.wildcards = false;
+  cfg.partitions = 4;
+  const auto s = describe(cfg);
+  EXPECT_NE(s.find("wildcards=no"), std::string::npos);
+  EXPECT_NE(s.find("partitions=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simtmsg::matching

@@ -1,0 +1,153 @@
+#include "matching/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "matching/reference_matcher.hpp"
+
+namespace simtmsg::matching {
+namespace {
+
+TEST(Workload, SizesMatchSpec) {
+  WorkloadSpec spec;
+  spec.pairs = 100;
+  const auto w = make_workload(spec);
+  EXPECT_EQ(w.messages.size(), 100u);
+  EXPECT_EQ(w.requests.size(), 100u);
+}
+
+TEST(Workload, Deterministic) {
+  WorkloadSpec spec;
+  spec.pairs = 50;
+  spec.seed = 99;
+  const auto a = make_workload(spec);
+  const auto b = make_workload(spec);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.requests, b.requests);
+}
+
+TEST(Workload, FullyMatchingByConstruction) {
+  // Section V-B: "all tuples of the message queue match with tuples in the
+  // receive queue, thus no elements are left".
+  WorkloadSpec spec;
+  spec.pairs = 333;
+  spec.seed = 4;
+  const auto w = make_workload(spec);
+  const auto r = ReferenceMatcher::match(w.messages, w.requests);
+  EXPECT_EQ(r.matched(), 333u);
+}
+
+TEST(Workload, ValuesStayInConfiguredSpaces) {
+  WorkloadSpec spec;
+  spec.pairs = 500;
+  spec.sources = 7;
+  spec.tags = 3;
+  const auto w = make_workload(spec);
+  for (const auto& m : w.messages) {
+    EXPECT_GE(m.env.src, 0);
+    EXPECT_LT(m.env.src, 7);
+    EXPECT_GE(m.env.tag, 0);
+    EXPECT_LT(m.env.tag, 3);
+  }
+}
+
+TEST(Workload, UniqueTuplesAreUnique) {
+  WorkloadSpec spec;
+  spec.pairs = 256;
+  spec.unique_tuples = true;
+  spec.sources = 32;
+  spec.tags = 32;
+  const auto w = make_workload(spec);
+  std::set<std::pair<Rank, Tag>> seen;
+  for (const auto& m : w.messages) seen.insert({m.env.src, m.env.tag});
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Workload, UniqueTuplesRejectsTooSmallSpace) {
+  WorkloadSpec spec;
+  spec.pairs = 256;
+  spec.unique_tuples = true;
+  spec.sources = 4;
+  spec.tags = 4;
+  EXPECT_THROW(make_workload(spec), std::invalid_argument);
+}
+
+TEST(Workload, MatchFractionKeepsQueuesFullButUnpairable) {
+  WorkloadSpec spec;
+  spec.pairs = 1000;
+  spec.match_fraction = 0.5;
+  spec.seed = 8;
+  const auto w = make_workload(spec);
+  // Section VI-B scenario: both queues stay full...
+  EXPECT_EQ(w.messages.size(), 1000u);
+  EXPECT_EQ(w.requests.size(), 1000u);
+  // ...but only ~half the elements can pair.
+  const auto pairable = ReferenceMatcher::pairable_count(w.messages, w.requests);
+  EXPECT_GT(pairable, 350u);
+  EXPECT_LT(pairable, 650u);
+}
+
+TEST(Workload, FillerTagsLiveInDisjointSpaces) {
+  WorkloadSpec spec;
+  spec.pairs = 200;
+  spec.tags = 8;
+  spec.match_fraction = 0.0;  // Everything is filler.
+  const auto w = make_workload(spec);
+  for (const auto& m : w.messages) {
+    EXPECT_GE(m.env.tag, 8);
+    EXPECT_LT(m.env.tag, 16);
+  }
+  for (const auto& r : w.requests) {
+    EXPECT_GE(r.env.tag, 16);
+    EXPECT_LT(r.env.tag, 24);
+  }
+  EXPECT_EQ(ReferenceMatcher::match(w.messages, w.requests).matched(), 0u);
+}
+
+TEST(Workload, WildcardProbabilityProducesWildcards) {
+  WorkloadSpec spec;
+  spec.pairs = 500;
+  spec.src_wildcard_prob = 0.5;
+  spec.tag_wildcard_prob = 0.25;
+  spec.seed = 10;
+  const auto w = make_workload(spec);
+  std::size_t src_wc = 0, tag_wc = 0;
+  for (const auto& r : w.requests) {
+    src_wc += (r.env.src == kAnySource);
+    tag_wc += (r.env.tag == kAnyTag);
+  }
+  EXPECT_GT(src_wc, 150u);
+  EXPECT_LT(src_wc, 350u);
+  EXPECT_GT(tag_wc, 60u);
+  EXPECT_LT(tag_wc, 200u);
+}
+
+TEST(Workload, SequenceNumbersStampedInOrder) {
+  WorkloadSpec spec;
+  spec.pairs = 20;
+  const auto w = make_workload(spec);
+  for (std::size_t i = 0; i < w.messages.size(); ++i) EXPECT_EQ(w.messages[i].seq, i);
+  for (std::size_t i = 0; i < w.requests.size(); ++i) EXPECT_EQ(w.requests[i].seq, i);
+}
+
+TEST(Workload, FillQueuesCopiesEverything) {
+  WorkloadSpec spec;
+  spec.pairs = 15;
+  const auto w = make_workload(spec);
+  MessageQueue mq;
+  RecvQueue rq;
+  fill_queues(w, mq, rq);
+  EXPECT_EQ(mq.size(), 15u);
+  EXPECT_EQ(rq.size(), 15u);
+  EXPECT_EQ(mq[3].env, w.messages[3].env);
+}
+
+TEST(Workload, RejectsDegenerateSpaces) {
+  WorkloadSpec spec;
+  spec.sources = 0;
+  EXPECT_THROW(make_workload(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace simtmsg::matching

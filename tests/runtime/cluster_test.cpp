@@ -1,0 +1,232 @@
+#include "runtime/endpoint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simtmsg::runtime {
+namespace {
+
+ClusterConfig two_nodes() {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  return cfg;
+}
+
+TEST(Cluster, SendThenRecvCompletes) {
+  Cluster c(two_nodes());
+  const auto h = c.irecv(1, 0, 7);
+  c.send(0, 1, 7, 0xBEEF);
+  const auto r = c.wait(h);
+  EXPECT_EQ(r.payload, 0xBEEFu);
+  EXPECT_EQ(r.src, 0);
+  EXPECT_EQ(r.tag, 7);
+}
+
+TEST(Cluster, RecvBeforeSendAlsoCompletes) {
+  Cluster c(two_nodes());
+  c.send(0, 1, 3, 42);
+  const auto h = c.irecv(1, 0, 3);
+  EXPECT_EQ(c.wait(h).payload, 42u);
+}
+
+TEST(Cluster, TestIsNonBlocking) {
+  Cluster c(two_nodes());
+  const auto h = c.irecv(1, 0, 1);
+  EXPECT_FALSE(c.test(h));
+  c.send(0, 1, 1, 5);
+  c.run_until_quiescent();
+  EXPECT_TRUE(c.test(h));
+  EXPECT_EQ(c.result(h)->payload, 5u);
+}
+
+TEST(Cluster, WildcardRecvResolvesConcreteSource) {
+  Cluster c(two_nodes());
+  const auto h = c.irecv(1, matching::kAnySource, matching::kAnyTag);
+  c.send(0, 1, 9, 1);
+  const auto r = c.wait(h);
+  EXPECT_EQ(r.src, 0);
+  EXPECT_EQ(r.tag, 9);
+}
+
+TEST(Cluster, OrderingBetweenSamePair) {
+  // MPI guarantee: same-pair same-tag messages match posted receives in
+  // send order.
+  Cluster c(two_nodes());
+  const auto h1 = c.irecv(1, 0, 4);
+  const auto h2 = c.irecv(1, 0, 4);
+  c.send(0, 1, 4, 111);
+  c.send(0, 1, 4, 222);
+  EXPECT_EQ(c.wait(h1).payload, 111u);
+  EXPECT_EQ(c.wait(h2).payload, 222u);
+}
+
+TEST(Cluster, DeadlockIsDetected) {
+  Cluster c(two_nodes());
+  const auto h = c.irecv(1, 0, 5);
+  // No send: the wait must fail rather than spin forever.
+  EXPECT_THROW((void)c.wait(h), std::runtime_error);
+}
+
+TEST(Cluster, WrongTagDoesNotMatch) {
+  Cluster c(two_nodes());
+  const auto h = c.irecv(1, 0, 5);
+  c.send(0, 1, 6, 1);
+  EXPECT_THROW((void)c.wait(h), std::runtime_error);
+}
+
+TEST(Cluster, WildcardsRejectedWhenProhibited) {
+  ClusterConfig cfg = two_nodes();
+  cfg.semantics.wildcards = false;
+  cfg.semantics.partitions = 4;
+  Cluster c(cfg);
+  EXPECT_THROW((void)c.irecv(1, matching::kAnySource, 0), std::invalid_argument);
+  EXPECT_NO_THROW((void)c.irecv(1, 0, 0));
+}
+
+TEST(Cluster, InvalidConfigRejected) {
+  ClusterConfig bad = two_nodes();
+  bad.semantics.partitions = 4;  // Partitioning with wildcards: invalid.
+  EXPECT_THROW(Cluster{bad}, std::invalid_argument);
+  ClusterConfig none = two_nodes();
+  none.nodes = 0;
+  EXPECT_THROW(Cluster{none}, std::invalid_argument);
+}
+
+TEST(Cluster, BarrierDetectsUnexpectedUnderStrictSemantics) {
+  ClusterConfig cfg = two_nodes();
+  cfg.semantics.wildcards = false;
+  cfg.semantics.ordering = false;
+  cfg.semantics.unexpected = false;
+  cfg.semantics.partitions = 2;
+  Cluster c(cfg);
+  c.send(0, 1, 3, 1);  // No receive posted: illegal under these semantics.
+  EXPECT_THROW(c.barrier(), std::runtime_error);
+}
+
+TEST(Cluster, BarrierPassesWhenAllPrePosted) {
+  ClusterConfig cfg = two_nodes();
+  cfg.semantics.wildcards = false;
+  cfg.semantics.ordering = false;
+  cfg.semantics.unexpected = false;
+  cfg.semantics.partitions = 2;
+  Cluster c(cfg);
+  const auto h = c.irecv(1, 0, 3);
+  c.send(0, 1, 3, 77);
+  EXPECT_NO_THROW(c.barrier());
+  EXPECT_EQ(c.result(h)->payload, 77u);
+}
+
+TEST(Cluster, HashSemanticsDeliverAllPayloads) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.semantics.wildcards = false;
+  cfg.semantics.ordering = false;
+  cfg.semantics.partitions = 4;
+  Cluster c(cfg);
+
+  std::vector<RecvHandle> handles;
+  for (int src = 1; src < 4; ++src) {
+    for (int tag = 0; tag < 16; ++tag) handles.push_back(c.irecv(0, src, tag));
+  }
+  for (int src = 1; src < 4; ++src) {
+    for (int tag = 0; tag < 16; ++tag) {
+      c.send(src, 0, tag, static_cast<std::uint64_t>(src * 100 + tag));
+    }
+  }
+  c.run_until_quiescent();
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const auto r = c.result(handles[i]);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->payload, static_cast<std::uint64_t>(r->src * 100 + r->tag));
+  }
+}
+
+TEST(Cluster, StatsAccumulate) {
+  Cluster c(two_nodes());
+  const auto h = c.irecv(1, 0, 0);
+  c.send(0, 1, 0, 1);
+  (void)c.wait(h);
+  const auto s = c.stats();
+  EXPECT_EQ(s.messages_sent, 1u);
+  EXPECT_EQ(s.receives_posted, 1u);
+  EXPECT_EQ(s.matches, 1u);
+  EXPECT_GT(s.matching_seconds, 0.0);
+  EXPECT_GT(s.virtual_time_us, 0.0);
+}
+
+TEST(Cluster, ManyToOneFanIn) {
+  ClusterConfig cfg;
+  cfg.nodes = 8;
+  Cluster c(cfg);
+  std::vector<RecvHandle> handles;
+  for (int src = 1; src < 8; ++src) handles.push_back(c.irecv(0, src, 1));
+  for (int src = 1; src < 8; ++src) c.send(src, 0, 1, static_cast<std::uint64_t>(src));
+  c.run_until_quiescent();
+  for (int src = 1; src < 8; ++src) {
+    EXPECT_EQ(c.result(handles[static_cast<std::size_t>(src - 1)])->payload,
+              static_cast<std::uint64_t>(src));
+  }
+}
+
+TEST(Cluster, VirtualTimeAdvancesWithTraffic) {
+  Cluster c(two_nodes());
+  EXPECT_EQ(c.now_us(), 0.0);
+  const auto h = c.irecv(1, 0, 0);
+  c.send(0, 1, 0, 1);
+  (void)c.wait(h);
+  EXPECT_GE(c.now_us(), c.stats().virtual_time_us);
+  EXPECT_GT(c.now_us(), 1.0);  // At least the network latency.
+}
+
+
+TEST(Cluster, CommunicatorsIsolateTraffic) {
+  // Same {src, tag} on two communicators: each receive must take the
+  // message from its own communicator (the progress engine's MatchEngine
+  // splits per comm).
+  Cluster c(two_nodes());
+  const auto h_a = c.irecv(1, 0, 5, /*comm=*/1);
+  const auto h_b = c.irecv(1, 0, 5, /*comm=*/2);
+  c.send(0, 1, 5, /*payload=*/222, /*comm=*/2);
+  c.send(0, 1, 5, /*payload=*/111, /*comm=*/1);
+  c.run_until_quiescent();
+  EXPECT_EQ(c.result(h_a)->payload, 111u);
+  EXPECT_EQ(c.result(h_b)->payload, 222u);
+}
+
+TEST(Cluster, JitteredNetworkStillDeliversEverything) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.network.jitter_us = 2.0;  // Cross-pair reordering.
+  Cluster c(cfg);
+  std::vector<RecvHandle> handles;
+  for (int src = 1; src < 4; ++src) {
+    for (int t = 0; t < 8; ++t) handles.push_back(c.irecv(0, src, t));
+  }
+  for (int src = 1; src < 4; ++src) {
+    for (int t = 0; t < 8; ++t) {
+      c.send(src, 0, t, static_cast<std::uint64_t>(src * 10 + t));
+    }
+  }
+  c.run_until_quiescent();
+  for (const auto& h : handles) {
+    const auto r = c.result(h);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->payload, static_cast<std::uint64_t>(r->src * 10 + r->tag));
+  }
+}
+
+TEST(Cluster, SendRejectsBadArguments) {
+  Cluster c(two_nodes());
+  EXPECT_THROW(c.send(-1, 1, 0, 0), std::out_of_range);
+  EXPECT_THROW(c.send(0, 5, 0, 0), std::out_of_range);
+  EXPECT_THROW(c.send(0, 1, matching::kAnyTag, 0), std::invalid_argument);
+}
+
+TEST(Cluster, WaitReturnsImmediatelyWhenAlreadyComplete) {
+  Cluster c(two_nodes());
+  const auto h = c.irecv(1, 0, 2);
+  c.send(0, 1, 2, 9);
+  c.run_until_quiescent();
+  EXPECT_EQ(c.wait(h).payload, 9u);  // No further progress needed.
+}
+}  // namespace
+}  // namespace simtmsg::runtime

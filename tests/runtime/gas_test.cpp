@@ -1,0 +1,76 @@
+#include "runtime/gas.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simtmsg::runtime {
+namespace {
+
+NetworkConfig quiet_net() {
+  return {.latency_us = 1.0, .bandwidth_gbs = 40.0, .jitter_us = 0.0, .seed = 1};
+}
+
+TEST(Gas, RejectsEmptyCluster) {
+  EXPECT_THROW(GlobalAddressSpace(0, quiet_net()), std::invalid_argument);
+}
+
+TEST(Gas, RemoteEnqueueDeliversAfterLatency) {
+  GlobalAddressSpace gas(2, quiet_net());
+  const double arrival =
+      gas.remote_enqueue(0, 1, {.src = 0, .tag = 5, .comm = 0}, 99, 8, 0.0);
+  EXPECT_GT(arrival, 0.0);
+  EXPECT_EQ(gas.deliver_until(arrival - 0.001), 0u);  // Not yet.
+  EXPECT_EQ(gas.deliver_until(arrival), 1u);
+  ASSERT_EQ(gas.incoming(1).size(), 1u);
+  EXPECT_EQ(gas.incoming(1)[0].payload, 99u);
+  EXPECT_EQ(gas.incoming(1)[0].env.tag, 5);
+}
+
+TEST(Gas, OutOfRangeDestinationThrows) {
+  GlobalAddressSpace gas(2, quiet_net());
+  EXPECT_THROW(gas.remote_enqueue(0, 5, {}, 0, 8, 0.0), std::out_of_range);
+}
+
+TEST(Gas, PerPairFifoWithoutJitter) {
+  GlobalAddressSpace gas(2, quiet_net());
+  for (int i = 0; i < 10; ++i) {
+    gas.remote_enqueue(0, 1, {.src = 0, .tag = i, .comm = 0},
+                       static_cast<std::uint64_t>(i), 8, static_cast<double>(i) * 0.01);
+  }
+  (void)gas.deliver_until(1e9);
+  ASSERT_EQ(gas.incoming(1).size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(gas.incoming(1)[static_cast<std::size_t>(i)].env.tag, i);
+  }
+}
+
+TEST(Gas, SimultaneousArrivalsBreakTiesByInjectionOrder) {
+  GlobalAddressSpace gas(2, quiet_net());
+  gas.remote_enqueue(0, 1, {.src = 0, .tag = 1, .comm = 0}, 1, 8, 0.0);
+  gas.remote_enqueue(0, 1, {.src = 0, .tag = 2, .comm = 0}, 2, 8, 0.0);
+  (void)gas.deliver_until(1e9);
+  EXPECT_EQ(gas.incoming(1)[0].env.tag, 1);
+  EXPECT_EQ(gas.incoming(1)[1].env.tag, 2);
+}
+
+TEST(Gas, NextArrivalTracksEarliestPacket) {
+  GlobalAddressSpace gas(3, quiet_net());
+  EXPECT_LT(gas.next_arrival(), 0.0);
+  EXPECT_TRUE(gas.idle());
+  gas.remote_enqueue(0, 1, {}, 0, 0, 5.0);
+  gas.remote_enqueue(0, 2, {}, 0, 0, 1.0);
+  EXPECT_NEAR(gas.next_arrival(), 2.0, 1e-9);  // 1.0 + latency 1.0, no wire term.
+  EXPECT_FALSE(gas.idle());
+}
+
+TEST(Gas, MessagesQueueSeparatelyPerNode) {
+  GlobalAddressSpace gas(3, quiet_net());
+  gas.remote_enqueue(0, 1, {.src = 0, .tag = 1, .comm = 0}, 0, 8, 0.0);
+  gas.remote_enqueue(0, 2, {.src = 0, .tag = 2, .comm = 0}, 0, 8, 0.0);
+  (void)gas.deliver_until(1e9);
+  EXPECT_EQ(gas.incoming(1).size(), 1u);
+  EXPECT_EQ(gas.incoming(2).size(), 1u);
+  EXPECT_EQ(gas.incoming(0).size(), 0u);
+}
+
+}  // namespace
+}  // namespace simtmsg::runtime

@@ -1,0 +1,37 @@
+#include "runtime/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simtmsg::runtime {
+namespace {
+
+TEST(Network, LatencyAddsToInjectionTime) {
+  Network net({.latency_us = 2.0, .bandwidth_gbs = 40.0, .jitter_us = 0.0, .seed = 1});
+  const double t = net.arrival_time(10.0, 0);
+  EXPECT_DOUBLE_EQ(t, 12.0);
+}
+
+TEST(Network, BandwidthTermScalesWithBytes) {
+  Network net({.latency_us = 0.0, .bandwidth_gbs = 40.0, .jitter_us = 0.0, .seed = 1});
+  // 40 GB/s = 40e3 bytes/us: 40,000 bytes take 1 us.
+  EXPECT_NEAR(net.arrival_time(0.0, 40000), 1.0, 1e-12);
+  EXPECT_NEAR(net.arrival_time(0.0, 80000), 2.0, 1e-12);
+}
+
+TEST(Network, JitterBoundedAndNonNegative) {
+  Network net({.latency_us = 1.0, .bandwidth_gbs = 40.0, .jitter_us = 0.5, .seed = 7});
+  for (int i = 0; i < 1000; ++i) {
+    const double t = net.arrival_time(0.0, 0);
+    EXPECT_GE(t, 1.0);
+    EXPECT_LT(t, 1.5);
+  }
+}
+
+TEST(Network, ZeroJitterIsDeterministic) {
+  Network a({.latency_us = 1.0, .bandwidth_gbs = 10.0, .jitter_us = 0.0, .seed = 1});
+  Network b({.latency_us = 1.0, .bandwidth_gbs = 10.0, .jitter_us = 0.0, .seed = 2});
+  EXPECT_DOUBLE_EQ(a.arrival_time(5.0, 100), b.arrival_time(5.0, 100));
+}
+
+}  // namespace
+}  // namespace simtmsg::runtime

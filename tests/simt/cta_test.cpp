@@ -1,0 +1,80 @@
+#include "simt/cta.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simtmsg::simt {
+namespace {
+
+TEST(Cta, RejectsInvalidWarpCounts) {
+  EXPECT_THROW(CtaContext(0, 0), std::invalid_argument);
+  EXPECT_THROW(CtaContext(0, 33), std::invalid_argument);
+  EXPECT_NO_THROW(CtaContext(0, 1));
+  EXPECT_NO_THROW(CtaContext(0, 32));
+}
+
+TEST(Cta, ThreadCountDerivesFromWarps) {
+  CtaContext cta(3, 4);
+  EXPECT_EQ(cta.cta_id(), 3);
+  EXPECT_EQ(cta.num_warps(), 4);
+  EXPECT_EQ(cta.num_threads(), 128);
+}
+
+TEST(Cta, WarpsShareCounters) {
+  CtaContext cta(0, 2);
+  cta.warp(0).count_alu(3);
+  cta.warp(1).count_alu(4);
+  EXPECT_EQ(cta.counters().alu_instructions, 7u);
+}
+
+TEST(Cta, WarpOutOfRangeThrows) {
+  CtaContext cta(0, 2);
+  EXPECT_THROW((void)cta.warp(2), std::out_of_range);
+  EXPECT_THROW((void)cta.warp(-1), std::out_of_range);
+}
+
+TEST(Cta, ForEachWarpResetsActiveMask) {
+  CtaContext cta(0, 3);
+  cta.warp(1).set_active(0x1u);
+  int visited = 0;
+  cta.for_each_warp([&](WarpContext& w) {
+    EXPECT_EQ(w.active(), kFullMask);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(Cta, BarrierCounted) {
+  CtaContext cta(0, 1);
+  cta.barrier();
+  cta.barrier();
+  EXPECT_EQ(cta.counters().cta_barriers, 2u);
+}
+
+TEST(Cta, SharedAllocationTracksBudget) {
+  CtaContext cta(0, 1, 1024);
+  auto a = cta.alloc_shared<std::uint32_t>(128);  // 512 B.
+  EXPECT_EQ(a.size(), 128u);
+  EXPECT_EQ(cta.shared_bytes_used(), 512u);
+  auto b = cta.alloc_shared<std::uint32_t>(128);  // Exactly fills.
+  EXPECT_EQ(cta.shared_bytes_used(), 1024u);
+  EXPECT_THROW((void)cta.alloc_shared<std::uint32_t>(1), std::runtime_error);
+  (void)b;
+}
+
+TEST(Cta, SharedAllocationIsZeroed) {
+  CtaContext cta(0, 1);
+  auto s = cta.alloc_shared<std::uint64_t>(16);
+  for (const auto v : s) EXPECT_EQ(v, 0u);
+  s[3] = 7;
+  EXPECT_EQ(s[3], 7u);
+}
+
+TEST(Cta, VoteMatrixChunkFitsSharedBudget) {
+  // The matrix matcher's default chunk (32 warps x 64 columns x 4 B = 8 KiB)
+  // must fit the smallest device budget (Kepler: 48 KiB).
+  CtaContext cta(0, 32, 48 * 1024);
+  EXPECT_NO_THROW((void)cta.alloc_shared<std::uint32_t>(32 * 64));
+}
+
+}  // namespace
+}  // namespace simtmsg::simt

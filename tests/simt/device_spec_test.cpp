@@ -1,0 +1,50 @@
+#include "simt/device_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simtmsg::simt {
+namespace {
+
+TEST(DeviceSpec, ThreeGenerationsPresent) {
+  EXPECT_EQ(all_devices().size(), 3u);
+  EXPECT_EQ(kepler_k80().arch, "Kepler");
+  EXPECT_EQ(maxwell_m40().arch, "Maxwell");
+  EXPECT_EQ(pascal_gtx1080().arch, "Pascal");
+}
+
+TEST(DeviceSpec, PublishedClocks) {
+  EXPECT_DOUBLE_EQ(kepler_k80().clock_ghz, 0.875);
+  EXPECT_DOUBLE_EQ(maxwell_m40().clock_ghz, 1.114);
+  EXPECT_DOUBLE_EQ(pascal_gtx1080().clock_ghz, 1.733);
+}
+
+TEST(DeviceSpec, ClockOrderingDrivesFigure4) {
+  // Figure 4's cross-generation ordering comes from clock rate.
+  EXPECT_LT(kepler_k80().clock_ghz, maxwell_m40().clock_ghz);
+  EXPECT_LT(maxwell_m40().clock_ghz, pascal_gtx1080().clock_ghz);
+}
+
+TEST(DeviceSpec, PascalMemorySystemIsCheapest) {
+  // The hash matcher's 3.3x Pascal-over-Kepler gain (Figure 6b) requires
+  // Pascal's scattered-access and atomic costs to be the lowest.
+  EXPECT_LT(pascal_gtx1080().gmem_cost, kepler_k80().gmem_cost);
+  EXPECT_LT(pascal_gtx1080().atomic_cost, kepler_k80().atomic_cost);
+  EXPECT_LE(pascal_gtx1080().gmem_cost, maxwell_m40().gmem_cost);
+}
+
+TEST(DeviceSpec, HardwareLimitsMatchPaper) {
+  for (const auto& d : all_devices()) {
+    EXPECT_EQ(d.warp_size, 32);
+    EXPECT_EQ(d.max_warps_per_cta, 32);   // "all NVIDIA GPUs only support 32 warps per CTA"
+    EXPECT_EQ(d.max_resident_ctas, 16);   // "warps from up to 16 CTAs"
+    EXPECT_GE(d.shared_mem_per_sm, 48u * 1024u);
+  }
+}
+
+TEST(DeviceSpec, DeviceAccessorIsStable) {
+  EXPECT_EQ(&device(Generation::kPascal), &pascal_gtx1080());
+  EXPECT_EQ(device(Generation::kKepler).name, "Tesla K80");
+}
+
+}  // namespace
+}  // namespace simtmsg::simt

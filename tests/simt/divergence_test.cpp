@@ -1,0 +1,108 @@
+// Divergence and coalescing corner cases of the warp engine.
+#include <gtest/gtest.h>
+
+#include "simt/warp.hpp"
+#include "util/bits.hpp"
+
+namespace simtmsg::simt {
+namespace {
+
+class DivergenceTest : public ::testing::Test {
+ protected:
+  EventCounters counters_;
+  WarpContext warp_{0, counters_};
+};
+
+TEST_F(DivergenceTest, NestedPredicationRestores) {
+  // if (lane < 16) { if (lane < 8) {...} } — the classic reconvergence
+  // stack, expressed through save/restore of active masks.
+  const auto outer = warp_.set_active(util::low_mask(16));
+  EXPECT_EQ(outer, kFullMask);
+  {
+    const auto inner = warp_.set_active(util::low_mask(8));
+    EXPECT_EQ(inner, util::low_mask(16));
+    int executed = 0;
+    warp_.lanes([&](int) { ++executed; });
+    EXPECT_EQ(executed, 8);
+    warp_.set_active(inner);
+  }
+  int executed = 0;
+  warp_.lanes([&](int) { ++executed; });
+  EXPECT_EQ(executed, 16);
+  warp_.set_active(outer);
+  EXPECT_EQ(warp_.active(), kFullMask);
+}
+
+TEST_F(DivergenceTest, BallotUnderNestedMasks) {
+  warp_.set_active(0x0F0Fu);
+  LaneBool pred(true);
+  EXPECT_EQ(warp_.ballot(pred), 0x0F0Fu);
+  warp_.set_active(0xFFFFu);
+  pred = LaneBool(false);
+  for (int lane = 16; lane < 32; ++lane) pred[lane] = true;  // All inactive.
+  EXPECT_EQ(warp_.ballot(pred), 0u);
+}
+
+TEST_F(DivergenceTest, SingleLaneWarp) {
+  warp_.set_active(1u << 31);
+  LaneBool pred(true);
+  EXPECT_EQ(warp_.ballot(pred), 0x8000'0000u);
+  EXPECT_TRUE(warp_.all(pred));
+}
+
+TEST_F(DivergenceTest, CoalescingWithU64SpansTwoSegmentsPerWarp) {
+  // 32 consecutive 8-byte elements = 256 bytes = two 128-byte segments.
+  std::vector<std::uint64_t> mem(64, 1);
+  LaneSize idx;
+  for (int lane = 0; lane < kWarpSize; ++lane) idx[lane] = static_cast<std::size_t>(lane);
+  (void)warp_.load_global(std::span<const std::uint64_t>(mem), idx);
+  EXPECT_EQ(counters_.global_transactions, 2u);
+  EXPECT_EQ(counters_.global_load_requests, 1u);
+}
+
+TEST_F(DivergenceTest, StridedU32TouchesEverySegment) {
+  // Stride-32 4-byte accesses: each lane in its own 128-byte segment.
+  std::vector<std::uint32_t> mem(32 * 32, 0);
+  LaneSize idx;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    idx[lane] = static_cast<std::size_t>(lane) * 32;
+  }
+  (void)warp_.load_global(std::span<const std::uint32_t>(mem), idx);
+  EXPECT_EQ(counters_.global_transactions, 32u);
+}
+
+TEST_F(DivergenceTest, PartialWarpCoalescingCountsActiveOnly) {
+  std::vector<std::uint32_t> mem(1024, 0);
+  warp_.set_active(0b11u);  // Two lanes, adjacent addresses.
+  LaneSize idx;
+  idx[0] = 0;
+  idx[1] = 1;
+  // Inactive lanes carry garbage far addresses — they must not count.
+  for (int lane = 2; lane < kWarpSize; ++lane) idx[lane] = 900;
+  (void)warp_.load_global(std::span<const std::uint32_t>(mem), idx);
+  EXPECT_EQ(counters_.global_transactions, 1u);
+}
+
+TEST_F(DivergenceTest, SameAddressAllLanesIsOneTransaction) {
+  std::vector<std::uint32_t> mem(4, 7);
+  LaneSize idx;  // All zero.
+  const auto v = warp_.load_global(std::span<const std::uint32_t>(mem), idx);
+  EXPECT_EQ(v[31], 7u);
+  EXPECT_EQ(counters_.global_transactions, 1u);
+}
+
+TEST_F(DivergenceTest, ShflWorksOnSizeTypes) {
+  LaneSize v;
+  for (int lane = 0; lane < kWarpSize; ++lane) v[lane] = static_cast<std::size_t>(lane) * 100;
+  const auto out = warp_.shfl(v, 3);
+  for (int lane = 0; lane < kWarpSize; ++lane) EXPECT_EQ(out[lane], 300u);
+}
+
+TEST_F(DivergenceTest, SyncwarpCountsEvent) {
+  warp_.syncwarp();
+  EXPECT_EQ(counters_.warp_syncs, 1u);
+  EXPECT_EQ(counters_.issued_instructions(), 1u);
+}
+
+}  // namespace
+}  // namespace simtmsg::simt

@@ -1,0 +1,36 @@
+#include "simt/lane_array.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simtmsg::simt {
+namespace {
+
+TEST(LaneArray, DefaultZeroInitialized) {
+  LaneU32 a;
+  for (int lane = 0; lane < kWarpSize; ++lane) EXPECT_EQ(a[lane], 0u);
+}
+
+TEST(LaneArray, BroadcastConstructor) {
+  LaneU32 a(7u);
+  for (int lane = 0; lane < kWarpSize; ++lane) EXPECT_EQ(a[lane], 7u);
+}
+
+TEST(LaneArray, IotaIsLaneIndex) {
+  const auto a = LaneI32::iota();
+  for (int lane = 0; lane < kWarpSize; ++lane) EXPECT_EQ(a[lane], lane);
+}
+
+TEST(LaneArray, SizeIsWarpSize) {
+  EXPECT_EQ(LaneU64::size(), 32);
+  EXPECT_EQ(kWarpSize, 32);
+}
+
+TEST(LaneArray, ElementWrite) {
+  LaneBool b;
+  b[5] = true;
+  EXPECT_TRUE(b[5]);
+  EXPECT_FALSE(b[4]);
+}
+
+}  // namespace
+}  // namespace simtmsg::simt

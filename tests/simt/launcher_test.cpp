@@ -1,0 +1,65 @@
+#include "simt/launcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace simtmsg::simt {
+namespace {
+
+TEST(Launcher, RunsKernelOncePerCta) {
+  int runs = 0;
+  LaunchConfig cfg;
+  cfg.ctas = 5;
+  cfg.warps_per_cta = 2;
+  const auto run = launch(pascal_gtx1080(), cfg, [&](CtaContext& cta) {
+    EXPECT_EQ(cta.num_warps(), 2);
+    ++runs;
+  });
+  EXPECT_EQ(runs, 5);
+  EXPECT_GE(run.timing.waves, 1);
+}
+
+TEST(Launcher, AggregatesCountersAcrossCtas) {
+  LaunchConfig cfg;
+  cfg.ctas = 3;
+  cfg.warps_per_cta = 1;
+  const auto run = launch(pascal_gtx1080(), cfg, [](CtaContext& cta) {
+    cta.warp(0).count_alu(10);
+  });
+  EXPECT_EQ(run.counters.alu_instructions, 30u);
+}
+
+TEST(Launcher, CtaIdsAreSequential) {
+  std::vector<int> ids;
+  LaunchConfig cfg;
+  cfg.ctas = 4;
+  cfg.warps_per_cta = 1;
+  (void)launch(kepler_k80(), cfg, [&](CtaContext& cta) { ids.push_back(cta.cta_id()); });
+  EXPECT_EQ(ids, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Launcher, TimingUsesDeviceClock) {
+  LaunchConfig cfg;
+  cfg.ctas = 1;
+  cfg.warps_per_cta = 32;
+  const auto kernel = [](CtaContext& cta) { cta.warp(0).count_alu(4000); };
+  const auto kepler = launch(kepler_k80(), cfg, kernel);
+  const auto pascal = launch(pascal_gtx1080(), cfg, kernel);
+  EXPECT_NEAR(kepler.timing.seconds / pascal.timing.seconds,
+              pascal_gtx1080().clock_ghz / kepler_k80().clock_ghz, 1e-9);
+}
+
+TEST(Launcher, FullOccupancyKernelSerializes) {
+  LaunchConfig cfg;
+  cfg.ctas = 4;
+  cfg.warps_per_cta = 32;  // Only 2 fit concurrently.
+  const auto run = launch(pascal_gtx1080(), cfg, [](CtaContext& cta) {
+    cta.warp(0).count_alu(1);
+  });
+  EXPECT_EQ(run.timing.concurrent_ctas, 2);
+  EXPECT_EQ(run.timing.waves, 2);
+}
+
+}  // namespace
+}  // namespace simtmsg::simt

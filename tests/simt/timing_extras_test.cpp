@@ -1,0 +1,119 @@
+// Additional timing-model and event-accounting coverage.
+#include <gtest/gtest.h>
+
+#include "simt/timing_model.hpp"
+
+namespace simtmsg::simt {
+namespace {
+
+TEST(EventCounters, PlusAndPlusEqualAgree) {
+  EventCounters a, b;
+  a.alu_instructions = 10;
+  a.global_load_requests = 3;
+  a.stall_cycles = 7;
+  b.alu_instructions = 5;
+  b.ballot_instructions = 2;
+  b.atomic_operations = 9;
+
+  EventCounters c = a + b;
+  EventCounters d = a;
+  d += b;
+  EXPECT_EQ(c.alu_instructions, 15u);
+  EXPECT_EQ(c.ballot_instructions, 2u);
+  EXPECT_EQ(c.atomic_operations, 9u);
+  EXPECT_EQ(c.stall_cycles, 7u);
+  EXPECT_EQ(c.alu_instructions, d.alu_instructions);
+  EXPECT_EQ(c.global_load_requests, d.global_load_requests);
+}
+
+TEST(EventCounters, IssuedInstructionsSumsFrontEndWork) {
+  EventCounters e;
+  e.alu_instructions = 10;
+  e.ballot_instructions = 4;
+  e.shuffle_instructions = 3;
+  e.branch_instructions = 2;
+  e.warp_syncs = 1;
+  e.global_load_requests = 99;  // Memory events are not front-end issues.
+  EXPECT_EQ(e.issued_instructions(), 20u);
+}
+
+TEST(EventCounters, ResetZeroesEverything) {
+  EventCounters e;
+  e.alu_instructions = 1;
+  e.stall_cycles = 2;
+  e.cta_barriers = 3;
+  e.reset();
+  EXPECT_EQ(e.issued_instructions(), 0u);
+  EXPECT_EQ(e.stall_cycles, 0u);
+  EXPECT_EQ(e.cta_barriers, 0u);
+}
+
+TEST(TimingExtras, KernelMlpOverrideChangesLatencyOnly) {
+  const TimingModel model(pascal_gtx1080());
+  EventCounters e;
+  e.global_load_requests = 1000;
+
+  const double default_mlp = model.cycles(e, 8);
+  const double high_mlp = model.cycles(e, 8, /*mlp_per_warp=*/8.0);
+  EXPECT_GT(default_mlp, high_mlp);
+
+  // Pure-ALU work is MLP-independent.
+  EventCounters alu;
+  alu.alu_instructions = 1000;
+  EXPECT_DOUBLE_EQ(model.cycles(alu, 8), model.cycles(alu, 8, 8.0));
+}
+
+TEST(TimingExtras, MlpOverrideStillCappedByDevice) {
+  const auto& spec = pascal_gtx1080();
+  const TimingModel model(spec);
+  EventCounters e;
+  e.global_load_requests = 1000;
+  // With plenty of warps, a huge MLP override saturates at max_outstanding.
+  const double at_cap = model.cycles(e, 64, 1000.0);
+  const double expected =
+      1000.0 * spec.gmem_latency / spec.max_outstanding;
+  EXPECT_DOUBLE_EQ(at_cap, expected);
+}
+
+TEST(TimingExtras, BarriersCostFlatRate) {
+  const TimingModel model(kepler_k80());
+  EventCounters e;
+  e.cta_barriers = 10;
+  EXPECT_DOUBLE_EQ(model.cycles(e, 32), 10.0 * TimingModel::kBarrierCost);
+}
+
+TEST(TimingExtras, EstimateSingleCtaMatchesCycles) {
+  const TimingModel model(maxwell_m40());
+  EventCounters e;
+  e.alu_instructions = 1234;
+  e.global_load_requests = 56;
+  LaunchConfig cfg;
+  cfg.ctas = 1;
+  cfg.warps_per_cta = 4;
+  const auto est = model.estimate(e, cfg);
+  EXPECT_DOUBLE_EQ(est.cycles, model.cycles(e, 4));
+  EXPECT_EQ(est.waves, 1);
+}
+
+TEST(TimingExtras, SharedMemoryBoundOccupancy) {
+  const auto& spec = pascal_gtx1080();
+  const TimingModel model(spec);
+  LaunchConfig cfg;
+  cfg.ctas = 16;
+  cfg.warps_per_cta = 1;
+  cfg.shared_bytes_per_cta = spec.shared_mem_per_sm;  // One CTA fills it.
+  EXPECT_EQ(model.concurrent_ctas(cfg), 1);
+  const auto est = model.estimate(EventCounters{}, cfg);
+  EXPECT_EQ(est.waves, 16);
+}
+
+TEST(TimingExtras, EmptyHeterogeneousListIsSafe) {
+  const TimingModel model(pascal_gtx1080());
+  LaunchConfig cfg;
+  cfg.ctas = 0;
+  const auto est = model.estimate(std::vector<EventCounters>{}, cfg);
+  EXPECT_EQ(est.cycles, 0.0);
+}
+
+}  // namespace
+}  // namespace simtmsg::simt

@@ -1,0 +1,126 @@
+#include "simt/timing_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simtmsg::simt {
+namespace {
+
+class TimingModelTest : public ::testing::Test {
+ protected:
+  const DeviceSpec& spec_ = pascal_gtx1080();
+  TimingModel model_{spec_};
+};
+
+TEST_F(TimingModelTest, ZeroEventsZeroCycles) {
+  EXPECT_EQ(model_.cycles(EventCounters{}, 32), 0.0);
+}
+
+TEST_F(TimingModelTest, MoreWorkMoreCycles) {
+  EventCounters small, big;
+  small.alu_instructions = 100;
+  big.alu_instructions = 1000;
+  EXPECT_LT(model_.cycles(small, 32), model_.cycles(big, 32));
+}
+
+TEST_F(TimingModelTest, MoreResidentWarpsHideLatency) {
+  EventCounters e;
+  e.global_load_requests = 1000;
+  EXPECT_GT(model_.cycles(e, 1), model_.cycles(e, 32));
+}
+
+TEST_F(TimingModelTest, LatencyHidingSaturates) {
+  EventCounters e;
+  e.global_load_requests = 1000;
+  // Beyond max_outstanding / mlp_per_warp warps there is nothing to gain.
+  const int saturation =
+      static_cast<int>(spec_.max_outstanding / spec_.mlp_per_warp) + 1;
+  EXPECT_DOUBLE_EQ(model_.cycles(e, saturation), model_.cycles(e, saturation * 2));
+}
+
+TEST_F(TimingModelTest, StallCyclesPassThrough) {
+  EventCounters e;
+  e.stall_cycles = 12345;
+  EXPECT_DOUBLE_EQ(model_.cycles(e, 32), 12345.0);
+}
+
+TEST_F(TimingModelTest, IssueScalesWithWidth) {
+  EventCounters e;
+  e.alu_instructions = 400;
+  EXPECT_DOUBLE_EQ(model_.cycles(e, 32), 400.0 * spec_.alu_cpi / spec_.issue_width);
+}
+
+TEST_F(TimingModelTest, SecondsUseClock) {
+  const double cycles = 1.733e9;
+  EXPECT_NEAR(model_.seconds_from_cycles(cycles), 1.0, 1e-12);
+}
+
+TEST_F(TimingModelTest, OccupancyLimitsByWarps) {
+  LaunchConfig cfg;
+  cfg.ctas = 8;
+  cfg.warps_per_cta = 32;
+  // 64 resident warps / 32 per CTA = 2 concurrent CTAs (the paper's
+  // occupancy-calculator result for the matrix kernel).
+  EXPECT_EQ(model_.concurrent_ctas(cfg), 2);
+}
+
+TEST_F(TimingModelTest, OccupancyLimitsBySharedMemory) {
+  LaunchConfig cfg;
+  cfg.ctas = 16;
+  cfg.warps_per_cta = 2;
+  cfg.shared_bytes_per_cta = spec_.shared_mem_per_sm / 3;
+  EXPECT_EQ(model_.concurrent_ctas(cfg), 3);
+}
+
+TEST_F(TimingModelTest, OccupancyRespectsExplicitCap) {
+  LaunchConfig cfg;
+  cfg.ctas = 8;
+  cfg.warps_per_cta = 1;
+  cfg.max_concurrent_ctas = 2;
+  EXPECT_EQ(model_.concurrent_ctas(cfg), 2);
+}
+
+TEST_F(TimingModelTest, ExcessCtasSerializeIntoWaves) {
+  EventCounters per_cta;
+  per_cta.alu_instructions = 1000;
+  LaunchConfig cfg;
+  cfg.warps_per_cta = 32;
+
+  cfg.ctas = 2;
+  const auto two = model_.estimate(per_cta, cfg);
+  EXPECT_EQ(two.waves, 1);
+
+  cfg.ctas = 8;
+  const auto eight = model_.estimate(per_cta, cfg);
+  EXPECT_EQ(eight.waves, 4);
+  EXPECT_GT(eight.cycles, two.cycles);
+}
+
+TEST_F(TimingModelTest, HeterogeneousCtasSumPerWave) {
+  EventCounters a, b;
+  a.alu_instructions = 100;
+  b.alu_instructions = 300;
+  LaunchConfig cfg;
+  cfg.ctas = 2;
+  cfg.warps_per_cta = 16;
+  const auto est = model_.estimate(std::vector<EventCounters>{a, b}, cfg);
+  EXPECT_EQ(est.waves, 1);
+  EXPECT_DOUBLE_EQ(est.cycles, 400.0 * spec_.alu_cpi / spec_.issue_width);
+}
+
+TEST_F(TimingModelTest, OverlapTakesLongerPhase) {
+  EXPECT_DOUBLE_EQ(TimingModel::overlapped(100.0, 250.0), 250.0);
+  EXPECT_DOUBLE_EQ(TimingModel::overlapped(300.0, 50.0), 300.0);
+}
+
+TEST_F(TimingModelTest, KeplerSlowerThanPascalSameEvents) {
+  EventCounters e;
+  e.alu_instructions = 10000;
+  e.global_transactions = 5000;
+  const TimingModel kepler(kepler_k80());
+  const double k_sec = kepler.seconds_from_cycles(kepler.cycles(e, 32));
+  const double p_sec = model_.seconds_from_cycles(model_.cycles(e, 32));
+  EXPECT_GT(k_sec, p_sec);
+}
+
+}  // namespace
+}  // namespace simtmsg::simt

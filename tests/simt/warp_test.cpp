@@ -1,0 +1,161 @@
+#include "simt/warp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace simtmsg::simt {
+namespace {
+
+class WarpTest : public ::testing::Test {
+ protected:
+  EventCounters counters_;
+  WarpContext warp_{0, counters_};
+};
+
+TEST_F(WarpTest, BallotLsbIsLaneZero) {
+  // "the least significant bit (LSB) represents the first thread of the
+  // warp and is set if the condition evaluates to true" (Section II-A).
+  LaneBool pred;
+  pred[0] = true;
+  pred[31] = true;
+  const auto word = warp_.ballot(pred);
+  EXPECT_EQ(word, 0x8000'0001u);
+  EXPECT_EQ(counters_.ballot_instructions, 1u);
+}
+
+TEST_F(WarpTest, BallotMasksInactiveLanes) {
+  LaneBool pred(true);
+  warp_.set_active(0x0000'00FFu);
+  EXPECT_EQ(warp_.ballot(pred), 0x0000'00FFu);
+}
+
+TEST_F(WarpTest, AnyAllSemantics) {
+  LaneBool none(false), all(true), one(false);
+  one[13] = true;
+  EXPECT_FALSE(warp_.any(none));
+  EXPECT_TRUE(warp_.any(one));
+  EXPECT_TRUE(warp_.all(all));
+  EXPECT_FALSE(warp_.all(one));
+}
+
+TEST_F(WarpTest, AllRespectsActiveMask) {
+  LaneBool pred(false);
+  pred[0] = pred[1] = true;
+  warp_.set_active(0b11u);
+  EXPECT_TRUE(warp_.all(pred));
+}
+
+TEST_F(WarpTest, ShflBroadcastsSourceLane) {
+  LaneU32 v;
+  for (int lane = 0; lane < kWarpSize; ++lane) v[lane] = static_cast<std::uint32_t>(lane * 10);
+  const auto out = warp_.shfl(v, 7);
+  for (int lane = 0; lane < kWarpSize; ++lane) EXPECT_EQ(out[lane], 70u);
+  EXPECT_EQ(counters_.shuffle_instructions, 1u);
+}
+
+TEST_F(WarpTest, SetActiveReturnsOldMask) {
+  const auto old = warp_.set_active(0xFFu);
+  EXPECT_EQ(old, kFullMask);
+  EXPECT_EQ(warp_.active(), 0xFFu);
+}
+
+TEST_F(WarpTest, CoalescedLoadSingleSegment) {
+  // 32 consecutive 4-byte elements span exactly one 128-byte segment.
+  std::vector<std::uint32_t> mem(64, 5);
+  LaneSize idx;
+  for (int lane = 0; lane < kWarpSize; ++lane) idx[lane] = static_cast<std::size_t>(lane);
+  const auto v = warp_.load_global(std::span<const std::uint32_t>(mem), idx);
+  EXPECT_EQ(v[31], 5u);
+  EXPECT_EQ(counters_.global_load_requests, 1u);
+  EXPECT_EQ(counters_.global_transactions, 1u);
+}
+
+TEST_F(WarpTest, ScatteredLoadManySegments) {
+  std::vector<std::uint32_t> mem(32 * 64);
+  LaneSize idx;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    idx[lane] = static_cast<std::size_t>(lane) * 64;  // 256 B apart.
+  }
+  (void)warp_.load_global(std::span<const std::uint32_t>(mem), idx);
+  EXPECT_EQ(counters_.global_transactions, 32u);
+}
+
+TEST_F(WarpTest, StoreCountsAsStoreRequest) {
+  std::vector<std::uint32_t> mem(32, 0);
+  LaneSize idx;
+  for (int lane = 0; lane < kWarpSize; ++lane) idx[lane] = static_cast<std::size_t>(lane);
+  warp_.store_global(std::span<std::uint32_t>(mem), idx, LaneU32(9u));
+  EXPECT_EQ(mem[0], 9u);
+  EXPECT_EQ(mem[31], 9u);
+  EXPECT_EQ(counters_.global_store_requests, 1u);
+  EXPECT_EQ(counters_.global_load_requests, 0u);
+}
+
+TEST_F(WarpTest, InactiveLanesDoNotTouchMemory) {
+  std::vector<std::uint32_t> mem(32, 0);
+  warp_.set_active(0b1u);
+  LaneSize idx;  // All zero: every lane points at mem[0].
+  warp_.store_global(std::span<std::uint32_t>(mem), idx, LaneU32(3u));
+  EXPECT_EQ(mem[0], 3u);
+  for (int i = 1; i < 32; ++i) EXPECT_EQ(mem[i], 0u);
+  EXPECT_EQ(counters_.global_transactions, 1u);
+}
+
+TEST_F(WarpTest, BroadcastLoadIsOneTransaction) {
+  std::vector<std::uint64_t> mem = {11, 22, 33};
+  EXPECT_EQ(warp_.load_global_broadcast(std::span<const std::uint64_t>(mem), 1), 22u);
+  EXPECT_EQ(counters_.global_load_requests, 1u);
+  EXPECT_EQ(counters_.global_transactions, 1u);
+}
+
+TEST_F(WarpTest, AtomicCasClaimsOncePerSlot) {
+  std::vector<std::uint64_t> mem(8, 0);
+  LaneSize idx;  // Lanes 0 and 1 race for slot 0.
+  idx[0] = 0;
+  idx[1] = 0;
+  warp_.set_active(0b11u);
+  LaneU64 desired;
+  desired[0] = 100;
+  desired[1] = 200;
+  const auto prev = warp_.atomic_cas(std::span<std::uint64_t>(mem), idx, LaneU64(0), desired);
+  EXPECT_EQ(prev[0], 0u);    // Lane 0 won.
+  EXPECT_EQ(prev[1], 100u);  // Lane 1 saw lane 0's value.
+  EXPECT_EQ(mem[0], 100u);
+  EXPECT_EQ(counters_.atomic_operations, 2u);
+}
+
+TEST_F(WarpTest, LanesChargesInstructionsOnce) {
+  int executed = 0;
+  warp_.set_active(0xFu);
+  warp_.lanes([&](int) { ++executed; }, 3);
+  EXPECT_EQ(executed, 4);
+  EXPECT_EQ(counters_.alu_instructions, 3u);
+}
+
+TEST_F(WarpTest, SharedAccessesCountTransactions) {
+  std::vector<std::uint32_t> smem(64, 1);
+  LaneSize idx;
+  for (int lane = 0; lane < kWarpSize; ++lane) idx[lane] = static_cast<std::size_t>(lane);
+  (void)warp_.load_shared(std::span<const std::uint32_t>(smem), idx);
+  warp_.store_shared(std::span<std::uint32_t>(smem), idx, LaneU32(2u));
+  EXPECT_EQ(counters_.shared_transactions, 2u);
+}
+
+TEST_F(WarpTest, StallAnnotationAccumulates) {
+  warp_.count_stall(40);
+  warp_.count_stall(40);
+  EXPECT_EQ(counters_.stall_cycles, 80u);
+}
+
+TEST_F(WarpTest, DivergentBranchCounted) {
+  warp_.count_branch(true);
+  warp_.count_branch(false);
+  EXPECT_EQ(counters_.branch_instructions, 2u);
+  EXPECT_EQ(counters_.divergent_branches, 1u);
+}
+
+}  // namespace
+}  // namespace simtmsg::simt

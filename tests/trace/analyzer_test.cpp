@@ -1,0 +1,96 @@
+#include "trace/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simtmsg::trace {
+namespace {
+
+TEST(Analyzer, CountsWildcards) {
+  Trace t;
+  t.ranks = 4;
+  t.events = {
+      {0, 0, EventType::kRecvPost, matching::kAnySource, 1, 0},
+      {0, 1, EventType::kRecvPost, 0, matching::kAnyTag, 0},
+      {0, 2, EventType::kRecvPost, 0, 1, 0},
+      {1, 0, EventType::kSend, 1, 1, 0},
+  };
+  const auto c = analyze(t);
+  EXPECT_EQ(c.src_wildcards, 1u);
+  EXPECT_EQ(c.tag_wildcards, 1u);
+  EXPECT_EQ(c.recvs, 3u);
+  EXPECT_EQ(c.sends, 1u);
+}
+
+TEST(Analyzer, DistinctCommunicatorsAndTags) {
+  Trace t;
+  t.ranks = 2;
+  t.events = {
+      {0, 0, EventType::kSend, 1, 10, 0},
+      {1, 0, EventType::kSend, 1, 11, 1},
+      {2, 0, EventType::kSend, 1, 10, 1},
+  };
+  const auto c = analyze(t);
+  EXPECT_EQ(c.communicators, 2u);
+  EXPECT_EQ(c.distinct_tags, 2u);
+  EXPECT_EQ(c.max_tag, 11);
+  EXPECT_TRUE(c.tags_fit_16bit());
+}
+
+TEST(Analyzer, TagsOver16BitDetected) {
+  Trace t;
+  t.ranks = 2;
+  t.events = {{0, 0, EventType::kSend, 1, 0x12345, 0}};
+  EXPECT_FALSE(analyze(t).tags_fit_16bit());
+}
+
+TEST(Analyzer, PeerCountsPerSender) {
+  Trace t;
+  t.ranks = 4;
+  // Rank 0 sends to 3 peers; rank 1 to 1 peer; ranks 2/3 silent.
+  t.events = {
+      {0, 0, EventType::kSend, 1, 0, 0}, {0, 0, EventType::kSend, 2, 0, 0},
+      {0, 0, EventType::kSend, 3, 0, 0}, {0, 0, EventType::kSend, 1, 0, 0},
+      {0, 1, EventType::kSend, 0, 0, 0},
+  };
+  const auto c = analyze(t);
+  EXPECT_EQ(c.max_peers, 3u);
+  EXPECT_DOUBLE_EQ(c.avg_peers, 2.0);  // (3 + 1) / 2 senders.
+}
+
+TEST(Analyzer, TupleShareIsFig6aMetric) {
+  Trace t;
+  t.ranks = 2;
+  // Destination 1 receives 4 messages: 2x {src0, tag7}, 1x {src0, tag8},
+  // 1x {src0, tag9} -> dominant tuple share 50%.
+  t.events = {
+      {0, 0, EventType::kSend, 1, 7, 0},
+      {1, 0, EventType::kSend, 1, 7, 0},
+      {2, 0, EventType::kSend, 1, 8, 0},
+      {3, 0, EventType::kSend, 1, 9, 0},
+  };
+  const auto c = analyze(t);
+  EXPECT_DOUBLE_EQ(c.tuple_max_share_avg, 50.0);
+  EXPECT_DOUBLE_EQ(c.tuple_max_share_worst, 50.0);
+}
+
+TEST(Analyzer, UniformTuplesGiveLowShare) {
+  Trace t;
+  t.ranks = 2;
+  for (int tag = 0; tag < 100; ++tag) {
+    t.events.push_back({static_cast<std::uint64_t>(tag), 0, EventType::kSend, 1, tag, 0});
+  }
+  const auto c = analyze(t);
+  EXPECT_DOUBLE_EQ(c.tuple_max_share_avg, 1.0);
+}
+
+TEST(Analyzer, EmptyTraceIsAllZero) {
+  Trace t;
+  t.ranks = 4;
+  const auto c = analyze(t);
+  EXPECT_EQ(c.sends, 0u);
+  EXPECT_EQ(c.avg_peers, 0.0);
+  EXPECT_EQ(c.tuple_max_share_avg, 0.0);
+}
+
+}  // namespace
+}  // namespace simtmsg::trace

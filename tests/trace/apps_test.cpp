@@ -1,0 +1,216 @@
+// Validates that every synthetic proxy application reproduces the Table I /
+// Figure 2 characteristics the paper reports for it.
+#include "trace/apps/apps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/analyzer.hpp"
+#include "trace/replay.hpp"
+
+namespace simtmsg::trace::apps {
+namespace {
+
+AppParams quick_params() {
+  AppParams p;
+  p.ranks = 64;
+  p.iterations = 2;
+  return p;
+}
+
+class EveryApp : public ::testing::TestWithParam<AppInfo> {};
+
+TEST_P(EveryApp, GeneratesAValidTrace) {
+  const auto& info = GetParam();
+  const auto t = info.generate(quick_params());
+  EXPECT_EQ(t.app_name, info.name);
+  EXPECT_EQ(t.suite, info.suite);
+  EXPECT_GT(t.ranks, 0u);
+  EXPECT_GT(t.events.size(), 0u);
+  EXPECT_NO_THROW(validate(t));
+}
+
+TEST_P(EveryApp, EventsAreTimeSorted) {
+  const auto t = GetParam().generate(quick_params());
+  for (std::size_t i = 1; i < t.events.size(); ++i) {
+    EXPECT_LE(t.events[i - 1].time, t.events[i].time);
+  }
+}
+
+TEST_P(EveryApp, WildcardUsageMatchesTable1) {
+  const auto& info = GetParam();
+  const auto c = analyze(info.generate(quick_params()));
+  if (info.uses_src_wildcard) {
+    EXPECT_GT(c.src_wildcards, 0u) << info.name;
+  } else {
+    EXPECT_EQ(c.src_wildcards, 0u) << info.name;
+  }
+  // "none of the analyzed applications uses the tag wildcard" (Section IV).
+  EXPECT_EQ(c.tag_wildcards, 0u) << info.name;
+}
+
+TEST_P(EveryApp, TagsFit16Bits) {
+  // Section IV: "none of the applications needs tag values longer than 16
+  // bits" — the packed 64-bit header depends on this.
+  const auto c = analyze(GetParam().generate(quick_params()));
+  EXPECT_TRUE(c.tags_fit_16bit()) << GetParam().name;
+}
+
+TEST_P(EveryApp, EverySendIsEventuallyReceived) {
+  // All skeletons are complete exchanges: after replay no message is
+  // orphaned (receives exist for every send).
+  const auto t = GetParam().generate(quick_params());
+  const auto r = replay_queues(t);
+  std::uint64_t final_umq = 0;
+  for (const auto& rank : r.per_rank) {
+    final_umq += rank.unexpected_messages;  // Entered UMQ...
+  }
+  // ...but every message must have been consumed: total matched = sends.
+  std::uint64_t posts = t.recvs();
+  EXPECT_EQ(t.sends(), posts) << GetParam().name;
+}
+
+TEST_P(EveryApp, DeterministicForSameSeed) {
+  const auto& info = GetParam();
+  const auto a = info.generate(quick_params());
+  const auto b = info.generate(quick_params());
+  EXPECT_EQ(a.events, b.events) << info.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, EveryApp, ::testing::ValuesIn([] {
+                           std::vector<AppInfo> apps;
+                           for (const auto& a : all_apps()) apps.push_back(a);
+                           return apps;
+                         }()),
+                         [](const ::testing::TestParamInfo<AppInfo>& info) {
+                           std::string name(info.param.name);
+                           for (auto& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(AppRegistry, ThirteenAppsRegistered) {
+  EXPECT_EQ(all_apps().size(), 13u);
+}
+
+TEST(AppRegistry, FindIsCaseInsensitive) {
+  EXPECT_NE(find_app("lulesh"), nullptr);
+  EXPECT_NE(find_app("LULESH"), nullptr);
+  EXPECT_NE(find_app("NekBone"), nullptr);
+  EXPECT_EQ(find_app("NoSuchApp"), nullptr);
+}
+
+TEST(AppCharacteristics, OnlyTwoAppsUseSourceWildcard) {
+  // Table I: "only two applications (Design Forward MiniDFT and MiniFE)
+  // apply the src wildcard".
+  int with_wildcard = 0;
+  for (const auto& app : all_apps()) with_wildcard += app.uses_src_wildcard;
+  EXPECT_EQ(with_wildcard, 2);
+}
+
+TEST(AppCharacteristics, LuleshHas26PeersAnd3Tags) {
+  AppParams p;
+  p.ranks = 64;  // 4x4x4 grid.
+  const auto c = analyze(lulesh(p));
+  EXPECT_EQ(c.max_peers, 26u);
+  EXPECT_EQ(c.distinct_tags, 3u);
+  EXPECT_EQ(c.communicators, 1u);
+}
+
+TEST(AppCharacteristics, CnsSpreadsAcrossSeventyishPeers) {
+  AppParams p;
+  p.ranks = 125;
+  const auto c = analyze(exact_cns(p));
+  EXPECT_GE(c.max_peers, 70u);
+  EXPECT_LE(c.max_peers, 80u);
+}
+
+TEST(AppCharacteristics, MiniDftUsesSevenCommunicators) {
+  const auto c = analyze(minidft(quick_params()));
+  EXPECT_EQ(c.communicators, 7u);
+  EXPECT_GT(c.distinct_tags, 150u);  // Thousands at full scale.
+}
+
+TEST(AppCharacteristics, NekboneUsesTwoCommunicators) {
+  const auto c = analyze(nekbone(quick_params()));
+  EXPECT_EQ(c.communicators, 2u);
+}
+
+TEST(AppCharacteristics, PartisnHasFourPeersManyTags) {
+  AppParams p;
+  p.ranks = 64;
+  const auto c = analyze(partisn(p));
+  EXPECT_LE(c.max_peers, 4u);
+  EXPECT_GT(c.distinct_tags, 90u);
+}
+
+TEST(AppCharacteristics, BigFftTalksToEveryone) {
+  AppParams p;
+  p.ranks = 16;
+  const auto c = analyze(bigfft(p));
+  EXPECT_EQ(c.max_peers, 15u);
+  EXPECT_EQ(c.distinct_tags, 1u);
+}
+
+TEST(QueueDepths, NekboneReachesThousands) {
+  // Figure 2: NEKBONE's mean per-rank max UMQ ~= 4000.
+  AppParams p;
+  p.ranks = 32;
+  p.iterations = 1;
+  const auto r = replay_queues(nekbone(p));
+  const auto s = r.umq_max_summary();
+  EXPECT_GT(s.mean, 3000.0);
+  EXPECT_LT(s.mean, 5000.0);
+}
+
+TEST(QueueDepths, MultigridReachesTwoThousand) {
+  // Figure 2: EXACT MultiGrid mean ~= 2000.
+  AppParams p;
+  p.ranks = 64;
+  p.iterations = 1;
+  const auto r = replay_queues(exact_multigrid(p));
+  const auto s = r.umq_max_summary();
+  EXPECT_GT(s.mean, 1500.0);
+  EXPECT_LT(s.mean, 2600.0);
+}
+
+TEST(QueueDepths, MostAppsStayUnder512) {
+  // Section IV: "Most of the applications' queues range below 512 entries."
+  AppParams p;
+  p.ranks = 64;
+  p.iterations = 2;
+  int under_512 = 0;
+  int total = 0;
+  for (const auto& app : all_apps()) {
+    const auto r = replay_queues(app.generate(p));
+    ++total;
+    under_512 += (r.umq_max_summary().mean < 512.0);
+  }
+  EXPECT_GE(under_512, total - 2);  // All but NEKBONE and MultiGrid.
+}
+
+TEST(QueueDepths, LuleshPrePostsSoUmqIsShallow) {
+  AppParams p;
+  p.ranks = 64;
+  const auto r = replay_queues(lulesh(p));
+  EXPECT_LT(r.umq_max_summary().max, 32.0);
+  EXPECT_GT(r.prq_max_summary().mean, 0.0);
+}
+
+TEST(TupleUniqueness, MostAppsSingleDigit) {
+  // Figure 6a: "most applications range in single digit percentages".
+  AppParams p;
+  p.ranks = 64;
+  p.iterations = 2;
+  int single_digit = 0;
+  int total = 0;
+  for (const auto& app : all_apps()) {
+    const auto c = analyze(app.generate(p));
+    ++total;
+    single_digit += (c.tuple_max_share_avg < 10.0);
+  }
+  EXPECT_GE(single_digit, total - 3);
+}
+
+}  // namespace
+}  // namespace simtmsg::trace::apps

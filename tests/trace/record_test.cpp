@@ -1,0 +1,86 @@
+#include "trace/record.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simtmsg::trace {
+namespace {
+
+Trace small_trace() {
+  Trace t;
+  t.app_name = "toy";
+  t.ranks = 4;
+  t.events = {
+      {2, 0, EventType::kSend, 1, 5, 0},
+      {1, 1, EventType::kRecvPost, 0, 5, 0},
+      {1, 0, EventType::kSend, 2, 6, 0},
+  };
+  return t;
+}
+
+TEST(TraceRecord, SendRecvCounts) {
+  const auto t = small_trace();
+  EXPECT_EQ(t.sends(), 2u);
+  EXPECT_EQ(t.recvs(), 1u);
+}
+
+TEST(TraceRecord, SortOrdersByTimeThenRank) {
+  auto t = small_trace();
+  sort_events(t);
+  EXPECT_EQ(t.events[0].time, 1u);
+  EXPECT_EQ(t.events[0].rank, 0u);  // time 1, rank 0 before rank 1.
+  EXPECT_EQ(t.events[1].rank, 1u);
+  EXPECT_EQ(t.events[2].time, 2u);
+}
+
+TEST(TraceRecord, SortIsStableWithinSameKey) {
+  Trace t;
+  t.ranks = 1;
+  t.events = {
+      {0, 0, EventType::kSend, 0, 1, 0},
+      {0, 0, EventType::kSend, 0, 2, 0},
+  };
+  sort_events(t);
+  EXPECT_EQ(t.events[0].tag, 1);
+  EXPECT_EQ(t.events[1].tag, 2);
+}
+
+TEST(TraceRecord, ValidateAcceptsGoodTrace) {
+  auto t = small_trace();
+  EXPECT_NO_THROW(validate(t));
+}
+
+TEST(TraceRecord, ValidateAcceptsWildcardRecv) {
+  Trace t;
+  t.ranks = 2;
+  t.events = {{0, 0, EventType::kRecvPost, matching::kAnySource, matching::kAnyTag, 0}};
+  EXPECT_NO_THROW(validate(t));
+}
+
+TEST(TraceRecord, ValidateRejectsZeroRanks) {
+  Trace t;
+  EXPECT_THROW(validate(t), std::invalid_argument);
+}
+
+TEST(TraceRecord, ValidateRejectsOutOfRangeRank) {
+  Trace t;
+  t.ranks = 2;
+  t.events = {{0, 5, EventType::kSend, 0, 0, 0}};
+  EXPECT_THROW(validate(t), std::invalid_argument);
+}
+
+TEST(TraceRecord, ValidateRejectsWildcardSend) {
+  Trace t;
+  t.ranks = 2;
+  t.events = {{0, 0, EventType::kSend, matching::kAnySource, 0, 0}};
+  EXPECT_THROW(validate(t), std::invalid_argument);
+}
+
+TEST(TraceRecord, ValidateRejectsNegativeSendTag) {
+  Trace t;
+  t.ranks = 2;
+  t.events = {{0, 0, EventType::kSend, 1, -3, 0}};
+  EXPECT_THROW(validate(t), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace simtmsg::trace

@@ -1,0 +1,119 @@
+#include "trace/replay.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simtmsg::trace {
+namespace {
+
+TEST(Replay, ExpectedMessageMatchesOnArrival) {
+  Trace t;
+  t.ranks = 2;
+  t.events = {
+      {0, 1, EventType::kRecvPost, 0, 5, 0},  // Rank 1 pre-posts.
+      {1, 0, EventType::kSend, 1, 5, 0},      // Rank 0 sends.
+  };
+  const auto r = replay_queues(t);
+  EXPECT_EQ(r.per_rank[1].expected_messages, 1u);
+  EXPECT_EQ(r.per_rank[1].unexpected_messages, 0u);
+  EXPECT_EQ(r.per_rank[1].prq_max, 1u);
+  EXPECT_EQ(r.per_rank[1].umq_max, 0u);
+}
+
+TEST(Replay, UnexpectedMessageWaitsInUmq) {
+  Trace t;
+  t.ranks = 2;
+  t.events = {
+      {0, 0, EventType::kSend, 1, 5, 0},      // Arrives first.
+      {1, 1, EventType::kRecvPost, 0, 5, 0},  // Posted after.
+  };
+  const auto r = replay_queues(t);
+  EXPECT_EQ(r.per_rank[1].unexpected_messages, 1u);
+  EXPECT_EQ(r.per_rank[1].umq_max, 1u);
+}
+
+TEST(Replay, UmqDepthPeaksAtBurstSize) {
+  // N messages before any receive: the UMQ must reach exactly N.
+  constexpr int kN = 100;
+  Trace t;
+  t.ranks = 2;
+  for (int i = 0; i < kN; ++i) {
+    t.events.push_back({0, 0, EventType::kSend, 1, i, 0});
+  }
+  for (int i = 0; i < kN; ++i) {
+    t.events.push_back({1, 1, EventType::kRecvPost, 0, i, 0});
+  }
+  const auto r = replay_queues(t);
+  EXPECT_EQ(r.per_rank[1].umq_max, static_cast<std::size_t>(kN));
+  // Posting in arrival order drains with head hits: the mean traversal per
+  // attempt stays at most one step despite the 100-deep queue.
+  EXPECT_LE(r.per_rank[1].avg_search_length, 1u);
+}
+
+TEST(Replay, WildcardRecvConsumesFromUmq) {
+  Trace t;
+  t.ranks = 3;
+  t.events = {
+      {0, 0, EventType::kSend, 2, 7, 0},
+      {1, 1, EventType::kSend, 2, 7, 0},
+      {2, 2, EventType::kRecvPost, matching::kAnySource, matching::kAnyTag, 0},
+      {3, 2, EventType::kRecvPost, matching::kAnySource, matching::kAnyTag, 0},
+  };
+  const auto r = replay_queues(t);
+  EXPECT_EQ(r.per_rank[2].unexpected_messages, 2u);
+  EXPECT_EQ(r.per_rank[2].prq_max, 0u);  // Both recvs matched immediately.
+}
+
+TEST(Replay, MatchAttemptsCounted) {
+  Trace t;
+  t.ranks = 2;
+  t.events = {
+      {0, 0, EventType::kSend, 1, 1, 0},
+      {1, 1, EventType::kRecvPost, 0, 1, 0},
+      {2, 1, EventType::kRecvPost, 0, 2, 0},  // Never satisfied.
+  };
+  const auto r = replay_queues(t);
+  EXPECT_EQ(r.per_rank[1].match_attempts, 3u);
+  EXPECT_EQ(r.per_rank[1].prq_max, 1u);  // The unsatisfied recv lingers.
+}
+
+TEST(Replay, SummariesAggregatePerRankMaxima) {
+  Trace t;
+  t.ranks = 3;
+  // Rank 1 gets 2 unexpected, rank 2 gets 4.
+  for (int i = 0; i < 2; ++i) t.events.push_back({0, 0, EventType::kSend, 1, i, 0});
+  for (int i = 0; i < 4; ++i) t.events.push_back({0, 0, EventType::kSend, 2, i, 0});
+  const auto r = replay_queues(t);
+  const auto s = r.umq_max_summary();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.median, 2.0);
+}
+
+TEST(Replay, TotalsAreConsistent) {
+  Trace t;
+  t.ranks = 2;
+  t.events = {
+      {0, 0, EventType::kSend, 1, 1, 0},
+      {1, 1, EventType::kRecvPost, 0, 1, 0},
+      {2, 0, EventType::kSend, 1, 9, 0},
+  };
+  const auto r = replay_queues(t);
+  EXPECT_EQ(r.total_messages(), 2u);
+  EXPECT_EQ(r.total_unexpected(), 2u);  // Both sends arrived before a post.
+}
+
+TEST(Replay, CommunicatorsIsolateMatching) {
+  Trace t;
+  t.ranks = 2;
+  t.events = {
+      {0, 1, EventType::kRecvPost, 0, 5, /*comm=*/1},
+      {1, 0, EventType::kSend, 1, 5, /*comm=*/2},  // Other communicator.
+  };
+  const auto r = replay_queues(t);
+  EXPECT_EQ(r.per_rank[1].unexpected_messages, 1u);
+  EXPECT_EQ(r.per_rank[1].prq_max, 1u);
+}
+
+}  // namespace
+}  // namespace simtmsg::trace

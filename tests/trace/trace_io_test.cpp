@@ -1,0 +1,87 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace simtmsg::trace {
+namespace {
+
+Trace sample() {
+  Trace t;
+  t.app_name = "io-sample";
+  t.suite = "Test Suite";
+  t.ranks = 8;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    t.events.push_back({i, static_cast<std::uint32_t>(i % 8),
+                        i % 2 == 0 ? EventType::kSend : EventType::kRecvPost,
+                        static_cast<std::int32_t>((i + 1) % 8),
+                        static_cast<std::int32_t>(i % 17), 0});
+  }
+  return t;
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+  const auto t = sample();
+  std::stringstream ss;
+  write_binary(t, ss);
+  const auto back = read_binary(ss);
+  EXPECT_EQ(back.app_name, t.app_name);
+  EXPECT_EQ(back.suite, t.suite);
+  EXPECT_EQ(back.ranks, t.ranks);
+  EXPECT_EQ(back.events, t.events);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrip) {
+  Trace t;
+  t.app_name = "empty";
+  t.ranks = 1;
+  std::stringstream ss;
+  write_binary(t, ss);
+  const auto back = read_binary(ss);
+  EXPECT_TRUE(back.events.empty());
+  EXPECT_EQ(back.app_name, "empty");
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "NOPE garbage";
+  EXPECT_THROW((void)read_binary(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedStream) {
+  const auto t = sample();
+  std::stringstream ss;
+  write_binary(t, ss);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)read_binary(cut), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto t = sample();
+  const std::string path = ::testing::TempDir() + "/simtmsg_io_test.smtr";
+  write_binary_file(t, path);
+  const auto back = read_binary_file(path);
+  EXPECT_EQ(back.events, t.events);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_binary_file("/nonexistent/definitely/missing.smtr"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, TextDumpContainsEvents) {
+  Trace t;
+  t.app_name = "texty";
+  t.ranks = 2;
+  t.events = {{3, 1, EventType::kSend, 0, 42, 0}};
+  std::ostringstream os;
+  write_text(t, os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("app=texty"), std::string::npos);
+  EXPECT_NE(s.find("3 1 send 0 42 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simtmsg::trace

@@ -1,0 +1,87 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simtmsg::util {
+namespace {
+
+TEST(Bits, FfsMatchesCudaConvention) {
+  // CUDA __ffs is 1-based and returns 0 for 0 — Algorithm 2 relies on this.
+  EXPECT_EQ(ffs(0u), 0);
+  EXPECT_EQ(ffs(1u), 1);
+  EXPECT_EQ(ffs(0b1000u), 4);
+  EXPECT_EQ(ffs(0x8000'0000u), 32);
+  EXPECT_EQ(ffs(0xFFFF'FFFFu), 1);
+}
+
+TEST(Bits, Ffsll) {
+  EXPECT_EQ(ffsll(0ull), 0);
+  EXPECT_EQ(ffsll(1ull << 63), 64);
+  EXPECT_EQ(ffsll(0b10100ull), 3);
+}
+
+TEST(Bits, Popc) {
+  EXPECT_EQ(popc(0u), 0);
+  EXPECT_EQ(popc(0xFFFF'FFFFu), 32);
+  EXPECT_EQ(popc(0b1011u), 3);
+}
+
+TEST(Bits, Clz) {
+  EXPECT_EQ(clz(0u), 32);
+  EXPECT_EQ(clz(1u), 31);
+  EXPECT_EQ(clz(0x8000'0000u), 0);
+}
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(5), 0b11111u);
+  EXPECT_EQ(low_mask(32), 0xFFFF'FFFFu);
+  EXPECT_EQ(low_mask(40), 0xFFFF'FFFFu);
+  EXPECT_EQ(low_mask(-3), 0u);
+}
+
+TEST(Bits, SetClearTest) {
+  std::uint32_t x = 0;
+  x = set_bit(x, 7);
+  EXPECT_TRUE(test_bit(x, 7));
+  EXPECT_FALSE(test_bit(x, 6));
+  x = clear_bit(x, 7);
+  EXPECT_EQ(x, 0u);
+}
+
+TEST(Bits, AtMostOneBit) {
+  EXPECT_TRUE(at_most_one_bit(0u));
+  EXPECT_TRUE(at_most_one_bit(0x10u));
+  EXPECT_FALSE(at_most_one_bit(0x11u));
+}
+
+TEST(Bits, RoundingHelpers) {
+  EXPECT_EQ(round_up(0, 32), 0u);
+  EXPECT_EQ(round_up(1, 32), 32u);
+  EXPECT_EQ(round_up(32, 32), 32u);
+  EXPECT_EQ(round_up(33, 32), 64u);
+  EXPECT_EQ(ceil_div(0, 32), 0u);
+  EXPECT_EQ(ceil_div(1, 32), 1u);
+  EXPECT_EQ(ceil_div(1024, 32), 32u);
+  EXPECT_EQ(ceil_div(1025, 32), 33u);
+}
+
+TEST(Bits, Pow2Helpers) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(65));
+  EXPECT_FALSE(is_pow2(0));
+}
+
+TEST(Bits, FfsIsConstexpr) {
+  static_assert(ffs(0b100u) == 3);
+  static_assert(popc(0xFu) == 4);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace simtmsg::util

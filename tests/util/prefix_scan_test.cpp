@@ -1,0 +1,61 @@
+#include "util/prefix_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace simtmsg::util {
+namespace {
+
+TEST(PrefixScan, ExclusiveBasic) {
+  const std::vector<std::uint32_t> in = {1, 2, 3, 4};
+  std::vector<std::uint32_t> out(4);
+  const auto total = exclusive_scan(in, out);
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1, 3, 6}));
+}
+
+TEST(PrefixScan, InclusiveBasic) {
+  const std::vector<std::uint32_t> in = {1, 2, 3, 4};
+  std::vector<std::uint32_t> out(4);
+  const auto total = inclusive_scan(in, out);
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1, 3, 6, 10}));
+}
+
+TEST(PrefixScan, EmptyInput) {
+  std::vector<std::uint32_t> out;
+  EXPECT_EQ(exclusive_scan({}, out), 0u);
+  EXPECT_EQ(inclusive_scan({}, out), 0u);
+}
+
+TEST(PrefixScan, ExclusivePlusSelfEqualsInclusive) {
+  std::vector<std::uint32_t> in(257);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = static_cast<std::uint32_t>(i % 7);
+  std::vector<std::uint32_t> ex(in.size()), inc(in.size());
+  exclusive_scan(in, ex);
+  inclusive_scan(in, inc);
+  for (std::size_t i = 0; i < in.size(); ++i) EXPECT_EQ(ex[i] + in[i], inc[i]);
+}
+
+TEST(PrefixScan, CompactKeepsFlaggedInOrder) {
+  const std::vector<int> in = {10, 20, 30, 40, 50};
+  const std::vector<std::uint32_t> keep = {1, 0, 1, 0, 1};
+  const auto out = compact(std::span<const int>(in), std::span<const std::uint32_t>(keep));
+  EXPECT_EQ(out, (std::vector<int>{10, 30, 50}));
+}
+
+TEST(PrefixScan, CompactAllOrNothing) {
+  const std::vector<int> in = {1, 2, 3};
+  EXPECT_TRUE(compact(std::span<const int>(in),
+                      std::span<const std::uint32_t>(std::vector<std::uint32_t>{0, 0, 0}))
+                  .empty());
+  EXPECT_EQ(compact(std::span<const int>(in),
+                    std::span<const std::uint32_t>(std::vector<std::uint32_t>{1, 1, 1}))
+                .size(),
+            3u);
+}
+
+}  // namespace
+}  // namespace simtmsg::util

@@ -1,0 +1,99 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace simtmsg::util {
+namespace {
+
+TEST(Stats, EmptySampleIsAllZero) {
+  const auto s = summarize(std::span<const double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(Stats, SingleElement) {
+  const std::vector<double> v = {42.0};
+  const auto s = summarize(std::span<const double>(v));
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 42.0);
+  EXPECT_EQ(s.max, 42.0);
+  EXPECT_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.median, 42.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, KnownQuartiles) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  const auto s = summarize(std::span<const double>(v));
+  EXPECT_EQ(s.median, 3.0);
+  EXPECT_EQ(s.q1, 2.0);
+  EXPECT_EQ(s.q3, 4.0);
+  EXPECT_EQ(s.mean, 3.0);
+}
+
+TEST(Stats, MedianInterpolatesEvenCount) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  const auto s = summarize(std::span<const double>(v));
+  EXPECT_EQ(s.median, 2.5);
+}
+
+TEST(Stats, UnsortedInputHandled) {
+  const std::vector<double> v = {5, 1, 4, 2, 3};
+  const auto s = summarize(std::span<const double>(v));
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.median, 3.0);
+}
+
+TEST(Stats, IntegerOverloadAgrees) {
+  const std::vector<std::uint64_t> v = {10, 20, 30};
+  const auto s = summarize(std::span<const std::uint64_t>(v));
+  EXPECT_EQ(s.mean, 20.0);
+  EXPECT_EQ(s.median, 20.0);
+}
+
+TEST(Stats, PercentileEdges) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Histogram, TotalsAndDistinct) {
+  Histogram h;
+  h.add(1);
+  h.add(1);
+  h.add(2, 3);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.distinct(), 2u);
+  EXPECT_EQ(h.count_of(1), 2u);
+  EXPECT_EQ(h.count_of(2), 3u);
+  EXPECT_EQ(h.count_of(3), 0u);
+}
+
+TEST(Histogram, MaxSharePercentIsFig6aMetric) {
+  // 50% means one tuple appears in half of all messages — the paper's "bad
+  // case for hash tables".
+  Histogram h;
+  h.add(7, 50);
+  h.add(8, 25);
+  h.add(9, 25);
+  EXPECT_DOUBLE_EQ(h.max_share_percent(), 50.0);
+}
+
+TEST(Histogram, EmptyShareIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.max_share_percent(), 0.0);
+}
+
+TEST(Histogram, UniformTuplesGiveLowShare) {
+  Histogram h;
+  for (std::uint64_t k = 0; k < 100; ++k) h.add(k);
+  EXPECT_DOUBLE_EQ(h.max_share_percent(), 1.0);
+}
+
+}  // namespace
+}  // namespace simtmsg::util

@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace simtmsg::util {
+namespace {
+
+TEST(AsciiTable, RendersHeaderRuleAndRows) {
+  AsciiTable t({"app", "ranks"});
+  t.add_row({"LULESH", "1000"});
+  t.add_row({"AMG", "8"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("app"), std::string::npos);
+  EXPECT_NE(s.find("LULESH"), std::string::npos);
+  EXPECT_NE(s.find("|----"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(AsciiTable, PadsToWidestCell) {
+  AsciiTable t({"x"});
+  t.add_row({"longer-cell"});
+  std::ostringstream os;
+  t.print(os);
+  // Header line must be as wide as the data line.
+  std::istringstream is(os.str());
+  std::string header, rule, row;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row);
+  EXPECT_EQ(header.size(), row.size());
+  EXPECT_EQ(header.size(), rule.size());
+}
+
+TEST(AsciiTable, MissingCellsRenderEmpty) {
+  AsciiTable t({"a", "b", "c"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NE(os.str().find("1"), std::string::npos);
+}
+
+TEST(AsciiTable, NumFormatting) {
+  EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::num(3.0, 0), "3");
+  EXPECT_EQ(AsciiTable::num(std::uint64_t{12345}), "12345");
+}
+
+TEST(AsciiTable, RateFormatting) {
+  EXPECT_EQ(AsciiTable::rate_mps(6.04e6), "6.0 M/s");
+  EXPECT_EQ(AsciiTable::rate_mps(500e6), "500.0 M/s");
+}
+
+TEST(CsvWriter, CommaSeparatedRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"a", "b"});
+  csv.row({"1", "2"});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace simtmsg::util
