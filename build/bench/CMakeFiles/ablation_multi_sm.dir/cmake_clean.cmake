@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multi_sm.dir/ablation_multi_sm.cpp.o"
+  "CMakeFiles/ablation_multi_sm.dir/ablation_multi_sm.cpp.o.d"
+  "ablation_multi_sm"
+  "ablation_multi_sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multi_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

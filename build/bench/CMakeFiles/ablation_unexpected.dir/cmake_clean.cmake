@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unexpected.dir/ablation_unexpected.cpp.o"
+  "CMakeFiles/ablation_unexpected.dir/ablation_unexpected.cpp.o.d"
+  "ablation_unexpected"
+  "ablation_unexpected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unexpected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

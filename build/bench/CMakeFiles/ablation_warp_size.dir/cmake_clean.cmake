@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_warp_size.dir/ablation_warp_size.cpp.o"
+  "CMakeFiles/ablation_warp_size.dir/ablation_warp_size.cpp.o.d"
+  "ablation_warp_size"
+  "ablation_warp_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_warp_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

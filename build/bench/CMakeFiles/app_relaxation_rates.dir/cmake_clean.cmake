@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_relaxation_rates.dir/app_relaxation_rates.cpp.o"
+  "CMakeFiles/app_relaxation_rates.dir/app_relaxation_rates.cpp.o.d"
+  "app_relaxation_rates"
+  "app_relaxation_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_relaxation_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

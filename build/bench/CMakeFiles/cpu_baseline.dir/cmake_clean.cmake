@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_baseline.dir/cpu_baseline.cpp.o"
+  "CMakeFiles/cpu_baseline.dir/cpu_baseline.cpp.o.d"
+  "cpu_baseline"
+  "cpu_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

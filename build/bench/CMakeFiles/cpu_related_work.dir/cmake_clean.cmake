@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_related_work.dir/cpu_related_work.cpp.o"
+  "CMakeFiles/cpu_related_work.dir/cpu_related_work.cpp.o.d"
+  "cpu_related_work"
+  "cpu_related_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

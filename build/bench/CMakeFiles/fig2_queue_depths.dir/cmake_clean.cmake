@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_queue_depths.dir/fig2_queue_depths.cpp.o"
+  "CMakeFiles/fig2_queue_depths.dir/fig2_queue_depths.cpp.o.d"
+  "fig2_queue_depths"
+  "fig2_queue_depths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_queue_depths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_matrix_rate.dir/fig4_matrix_rate.cpp.o"
+  "CMakeFiles/fig4_matrix_rate.dir/fig4_matrix_rate.cpp.o.d"
+  "fig4_matrix_rate"
+  "fig4_matrix_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_matrix_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_partitioned.dir/fig5_partitioned.cpp.o"
+  "CMakeFiles/fig5_partitioned.dir/fig5_partitioned.cpp.o.d"
+  "fig5_partitioned"
+  "fig5_partitioned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_uniqueness.dir/fig6a_uniqueness.cpp.o"
+  "CMakeFiles/fig6a_uniqueness.dir/fig6a_uniqueness.cpp.o.d"
+  "fig6a_uniqueness"
+  "fig6a_uniqueness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_uniqueness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

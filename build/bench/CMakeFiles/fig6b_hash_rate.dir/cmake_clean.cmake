@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_hash_rate.dir/fig6b_hash_rate.cpp.o"
+  "CMakeFiles/fig6b_hash_rate.dir/fig6b_hash_rate.cpp.o.d"
+  "fig6b_hash_rate"
+  "fig6b_hash_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_hash_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_pagerank.dir/bsp_pagerank.cpp.o"
+  "CMakeFiles/bsp_pagerank.dir/bsp_pagerank.cpp.o.d"
+  "bsp_pagerank"
+  "bsp_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

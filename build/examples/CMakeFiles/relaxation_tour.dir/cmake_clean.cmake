@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relaxation_tour.dir/relaxation_tour.cpp.o"
+  "CMakeFiles/relaxation_tour.dir/relaxation_tour.cpp.o.d"
+  "relaxation_tour"
+  "relaxation_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relaxation_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/compaction.cpp" "src/CMakeFiles/simtmsg_matching.dir/matching/compaction.cpp.o" "gcc" "src/CMakeFiles/simtmsg_matching.dir/matching/compaction.cpp.o.d"
+  "/root/repo/src/matching/device_hash_table.cpp" "src/CMakeFiles/simtmsg_matching.dir/matching/device_hash_table.cpp.o" "gcc" "src/CMakeFiles/simtmsg_matching.dir/matching/device_hash_table.cpp.o.d"
+  "/root/repo/src/matching/engine.cpp" "src/CMakeFiles/simtmsg_matching.dir/matching/engine.cpp.o" "gcc" "src/CMakeFiles/simtmsg_matching.dir/matching/engine.cpp.o.d"
+  "/root/repo/src/matching/envelope.cpp" "src/CMakeFiles/simtmsg_matching.dir/matching/envelope.cpp.o" "gcc" "src/CMakeFiles/simtmsg_matching.dir/matching/envelope.cpp.o.d"
+  "/root/repo/src/matching/hash_matcher.cpp" "src/CMakeFiles/simtmsg_matching.dir/matching/hash_matcher.cpp.o" "gcc" "src/CMakeFiles/simtmsg_matching.dir/matching/hash_matcher.cpp.o.d"
+  "/root/repo/src/matching/hashed_bins_matcher.cpp" "src/CMakeFiles/simtmsg_matching.dir/matching/hashed_bins_matcher.cpp.o" "gcc" "src/CMakeFiles/simtmsg_matching.dir/matching/hashed_bins_matcher.cpp.o.d"
+  "/root/repo/src/matching/list_matcher.cpp" "src/CMakeFiles/simtmsg_matching.dir/matching/list_matcher.cpp.o" "gcc" "src/CMakeFiles/simtmsg_matching.dir/matching/list_matcher.cpp.o.d"
+  "/root/repo/src/matching/matrix_matcher.cpp" "src/CMakeFiles/simtmsg_matching.dir/matching/matrix_matcher.cpp.o" "gcc" "src/CMakeFiles/simtmsg_matching.dir/matching/matrix_matcher.cpp.o.d"
+  "/root/repo/src/matching/partitioned_list_matcher.cpp" "src/CMakeFiles/simtmsg_matching.dir/matching/partitioned_list_matcher.cpp.o" "gcc" "src/CMakeFiles/simtmsg_matching.dir/matching/partitioned_list_matcher.cpp.o.d"
+  "/root/repo/src/matching/partitioned_matcher.cpp" "src/CMakeFiles/simtmsg_matching.dir/matching/partitioned_matcher.cpp.o" "gcc" "src/CMakeFiles/simtmsg_matching.dir/matching/partitioned_matcher.cpp.o.d"
+  "/root/repo/src/matching/queue.cpp" "src/CMakeFiles/simtmsg_matching.dir/matching/queue.cpp.o" "gcc" "src/CMakeFiles/simtmsg_matching.dir/matching/queue.cpp.o.d"
+  "/root/repo/src/matching/reference_matcher.cpp" "src/CMakeFiles/simtmsg_matching.dir/matching/reference_matcher.cpp.o" "gcc" "src/CMakeFiles/simtmsg_matching.dir/matching/reference_matcher.cpp.o.d"
+  "/root/repo/src/matching/semantics.cpp" "src/CMakeFiles/simtmsg_matching.dir/matching/semantics.cpp.o" "gcc" "src/CMakeFiles/simtmsg_matching.dir/matching/semantics.cpp.o.d"
+  "/root/repo/src/matching/workload.cpp" "src/CMakeFiles/simtmsg_matching.dir/matching/workload.cpp.o" "gcc" "src/CMakeFiles/simtmsg_matching.dir/matching/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simtmsg_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtmsg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtmsg_matching.dir/matching/compaction.cpp.o"
+  "CMakeFiles/simtmsg_matching.dir/matching/compaction.cpp.o.d"
+  "CMakeFiles/simtmsg_matching.dir/matching/device_hash_table.cpp.o"
+  "CMakeFiles/simtmsg_matching.dir/matching/device_hash_table.cpp.o.d"
+  "CMakeFiles/simtmsg_matching.dir/matching/engine.cpp.o"
+  "CMakeFiles/simtmsg_matching.dir/matching/engine.cpp.o.d"
+  "CMakeFiles/simtmsg_matching.dir/matching/envelope.cpp.o"
+  "CMakeFiles/simtmsg_matching.dir/matching/envelope.cpp.o.d"
+  "CMakeFiles/simtmsg_matching.dir/matching/hash_matcher.cpp.o"
+  "CMakeFiles/simtmsg_matching.dir/matching/hash_matcher.cpp.o.d"
+  "CMakeFiles/simtmsg_matching.dir/matching/hashed_bins_matcher.cpp.o"
+  "CMakeFiles/simtmsg_matching.dir/matching/hashed_bins_matcher.cpp.o.d"
+  "CMakeFiles/simtmsg_matching.dir/matching/list_matcher.cpp.o"
+  "CMakeFiles/simtmsg_matching.dir/matching/list_matcher.cpp.o.d"
+  "CMakeFiles/simtmsg_matching.dir/matching/matrix_matcher.cpp.o"
+  "CMakeFiles/simtmsg_matching.dir/matching/matrix_matcher.cpp.o.d"
+  "CMakeFiles/simtmsg_matching.dir/matching/partitioned_list_matcher.cpp.o"
+  "CMakeFiles/simtmsg_matching.dir/matching/partitioned_list_matcher.cpp.o.d"
+  "CMakeFiles/simtmsg_matching.dir/matching/partitioned_matcher.cpp.o"
+  "CMakeFiles/simtmsg_matching.dir/matching/partitioned_matcher.cpp.o.d"
+  "CMakeFiles/simtmsg_matching.dir/matching/queue.cpp.o"
+  "CMakeFiles/simtmsg_matching.dir/matching/queue.cpp.o.d"
+  "CMakeFiles/simtmsg_matching.dir/matching/reference_matcher.cpp.o"
+  "CMakeFiles/simtmsg_matching.dir/matching/reference_matcher.cpp.o.d"
+  "CMakeFiles/simtmsg_matching.dir/matching/semantics.cpp.o"
+  "CMakeFiles/simtmsg_matching.dir/matching/semantics.cpp.o.d"
+  "CMakeFiles/simtmsg_matching.dir/matching/workload.cpp.o"
+  "CMakeFiles/simtmsg_matching.dir/matching/workload.cpp.o.d"
+  "libsimtmsg_matching.a"
+  "libsimtmsg_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtmsg_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

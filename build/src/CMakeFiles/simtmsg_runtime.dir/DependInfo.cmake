@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/bsp.cpp" "src/CMakeFiles/simtmsg_runtime.dir/runtime/bsp.cpp.o" "gcc" "src/CMakeFiles/simtmsg_runtime.dir/runtime/bsp.cpp.o.d"
+  "/root/repo/src/runtime/collectives.cpp" "src/CMakeFiles/simtmsg_runtime.dir/runtime/collectives.cpp.o" "gcc" "src/CMakeFiles/simtmsg_runtime.dir/runtime/collectives.cpp.o.d"
+  "/root/repo/src/runtime/endpoint.cpp" "src/CMakeFiles/simtmsg_runtime.dir/runtime/endpoint.cpp.o" "gcc" "src/CMakeFiles/simtmsg_runtime.dir/runtime/endpoint.cpp.o.d"
+  "/root/repo/src/runtime/gas.cpp" "src/CMakeFiles/simtmsg_runtime.dir/runtime/gas.cpp.o" "gcc" "src/CMakeFiles/simtmsg_runtime.dir/runtime/gas.cpp.o.d"
+  "/root/repo/src/runtime/network.cpp" "src/CMakeFiles/simtmsg_runtime.dir/runtime/network.cpp.o" "gcc" "src/CMakeFiles/simtmsg_runtime.dir/runtime/network.cpp.o.d"
+  "/root/repo/src/runtime/progress_engine.cpp" "src/CMakeFiles/simtmsg_runtime.dir/runtime/progress_engine.cpp.o" "gcc" "src/CMakeFiles/simtmsg_runtime.dir/runtime/progress_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simtmsg_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtmsg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtmsg_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

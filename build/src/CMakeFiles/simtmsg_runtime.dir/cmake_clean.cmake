@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtmsg_runtime.dir/runtime/bsp.cpp.o"
+  "CMakeFiles/simtmsg_runtime.dir/runtime/bsp.cpp.o.d"
+  "CMakeFiles/simtmsg_runtime.dir/runtime/collectives.cpp.o"
+  "CMakeFiles/simtmsg_runtime.dir/runtime/collectives.cpp.o.d"
+  "CMakeFiles/simtmsg_runtime.dir/runtime/endpoint.cpp.o"
+  "CMakeFiles/simtmsg_runtime.dir/runtime/endpoint.cpp.o.d"
+  "CMakeFiles/simtmsg_runtime.dir/runtime/gas.cpp.o"
+  "CMakeFiles/simtmsg_runtime.dir/runtime/gas.cpp.o.d"
+  "CMakeFiles/simtmsg_runtime.dir/runtime/network.cpp.o"
+  "CMakeFiles/simtmsg_runtime.dir/runtime/network.cpp.o.d"
+  "CMakeFiles/simtmsg_runtime.dir/runtime/progress_engine.cpp.o"
+  "CMakeFiles/simtmsg_runtime.dir/runtime/progress_engine.cpp.o.d"
+  "libsimtmsg_runtime.a"
+  "libsimtmsg_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtmsg_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

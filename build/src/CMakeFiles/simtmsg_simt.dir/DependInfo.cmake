@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/cta.cpp" "src/CMakeFiles/simtmsg_simt.dir/simt/cta.cpp.o" "gcc" "src/CMakeFiles/simtmsg_simt.dir/simt/cta.cpp.o.d"
+  "/root/repo/src/simt/device_spec.cpp" "src/CMakeFiles/simtmsg_simt.dir/simt/device_spec.cpp.o" "gcc" "src/CMakeFiles/simtmsg_simt.dir/simt/device_spec.cpp.o.d"
+  "/root/repo/src/simt/event_counters.cpp" "src/CMakeFiles/simtmsg_simt.dir/simt/event_counters.cpp.o" "gcc" "src/CMakeFiles/simtmsg_simt.dir/simt/event_counters.cpp.o.d"
+  "/root/repo/src/simt/launcher.cpp" "src/CMakeFiles/simtmsg_simt.dir/simt/launcher.cpp.o" "gcc" "src/CMakeFiles/simtmsg_simt.dir/simt/launcher.cpp.o.d"
+  "/root/repo/src/simt/timing_model.cpp" "src/CMakeFiles/simtmsg_simt.dir/simt/timing_model.cpp.o" "gcc" "src/CMakeFiles/simtmsg_simt.dir/simt/timing_model.cpp.o.d"
+  "/root/repo/src/simt/warp.cpp" "src/CMakeFiles/simtmsg_simt.dir/simt/warp.cpp.o" "gcc" "src/CMakeFiles/simtmsg_simt.dir/simt/warp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simtmsg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtmsg_simt.dir/simt/cta.cpp.o"
+  "CMakeFiles/simtmsg_simt.dir/simt/cta.cpp.o.d"
+  "CMakeFiles/simtmsg_simt.dir/simt/device_spec.cpp.o"
+  "CMakeFiles/simtmsg_simt.dir/simt/device_spec.cpp.o.d"
+  "CMakeFiles/simtmsg_simt.dir/simt/event_counters.cpp.o"
+  "CMakeFiles/simtmsg_simt.dir/simt/event_counters.cpp.o.d"
+  "CMakeFiles/simtmsg_simt.dir/simt/launcher.cpp.o"
+  "CMakeFiles/simtmsg_simt.dir/simt/launcher.cpp.o.d"
+  "CMakeFiles/simtmsg_simt.dir/simt/timing_model.cpp.o"
+  "CMakeFiles/simtmsg_simt.dir/simt/timing_model.cpp.o.d"
+  "CMakeFiles/simtmsg_simt.dir/simt/warp.cpp.o"
+  "CMakeFiles/simtmsg_simt.dir/simt/warp.cpp.o.d"
+  "libsimtmsg_simt.a"
+  "libsimtmsg_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtmsg_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

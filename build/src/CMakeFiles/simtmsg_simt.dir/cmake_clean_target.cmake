@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimtmsg_simt.a"
+)

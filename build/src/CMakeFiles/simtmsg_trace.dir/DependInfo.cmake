@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analyzer.cpp" "src/CMakeFiles/simtmsg_trace.dir/trace/analyzer.cpp.o" "gcc" "src/CMakeFiles/simtmsg_trace.dir/trace/analyzer.cpp.o.d"
+  "/root/repo/src/trace/apps/app_registry.cpp" "src/CMakeFiles/simtmsg_trace.dir/trace/apps/app_registry.cpp.o" "gcc" "src/CMakeFiles/simtmsg_trace.dir/trace/apps/app_registry.cpp.o.d"
+  "/root/repo/src/trace/apps/halo_apps.cpp" "src/CMakeFiles/simtmsg_trace.dir/trace/apps/halo_apps.cpp.o" "gcc" "src/CMakeFiles/simtmsg_trace.dir/trace/apps/halo_apps.cpp.o.d"
+  "/root/repo/src/trace/apps/multigrid_apps.cpp" "src/CMakeFiles/simtmsg_trace.dir/trace/apps/multigrid_apps.cpp.o" "gcc" "src/CMakeFiles/simtmsg_trace.dir/trace/apps/multigrid_apps.cpp.o.d"
+  "/root/repo/src/trace/apps/spectral_apps.cpp" "src/CMakeFiles/simtmsg_trace.dir/trace/apps/spectral_apps.cpp.o" "gcc" "src/CMakeFiles/simtmsg_trace.dir/trace/apps/spectral_apps.cpp.o.d"
+  "/root/repo/src/trace/apps/sweep_apps.cpp" "src/CMakeFiles/simtmsg_trace.dir/trace/apps/sweep_apps.cpp.o" "gcc" "src/CMakeFiles/simtmsg_trace.dir/trace/apps/sweep_apps.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/CMakeFiles/simtmsg_trace.dir/trace/record.cpp.o" "gcc" "src/CMakeFiles/simtmsg_trace.dir/trace/record.cpp.o.d"
+  "/root/repo/src/trace/replay.cpp" "src/CMakeFiles/simtmsg_trace.dir/trace/replay.cpp.o" "gcc" "src/CMakeFiles/simtmsg_trace.dir/trace/replay.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/simtmsg_trace.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/simtmsg_trace.dir/trace/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simtmsg_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtmsg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtmsg_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtmsg_trace.dir/trace/analyzer.cpp.o"
+  "CMakeFiles/simtmsg_trace.dir/trace/analyzer.cpp.o.d"
+  "CMakeFiles/simtmsg_trace.dir/trace/apps/app_registry.cpp.o"
+  "CMakeFiles/simtmsg_trace.dir/trace/apps/app_registry.cpp.o.d"
+  "CMakeFiles/simtmsg_trace.dir/trace/apps/halo_apps.cpp.o"
+  "CMakeFiles/simtmsg_trace.dir/trace/apps/halo_apps.cpp.o.d"
+  "CMakeFiles/simtmsg_trace.dir/trace/apps/multigrid_apps.cpp.o"
+  "CMakeFiles/simtmsg_trace.dir/trace/apps/multigrid_apps.cpp.o.d"
+  "CMakeFiles/simtmsg_trace.dir/trace/apps/spectral_apps.cpp.o"
+  "CMakeFiles/simtmsg_trace.dir/trace/apps/spectral_apps.cpp.o.d"
+  "CMakeFiles/simtmsg_trace.dir/trace/apps/sweep_apps.cpp.o"
+  "CMakeFiles/simtmsg_trace.dir/trace/apps/sweep_apps.cpp.o.d"
+  "CMakeFiles/simtmsg_trace.dir/trace/record.cpp.o"
+  "CMakeFiles/simtmsg_trace.dir/trace/record.cpp.o.d"
+  "CMakeFiles/simtmsg_trace.dir/trace/replay.cpp.o"
+  "CMakeFiles/simtmsg_trace.dir/trace/replay.cpp.o.d"
+  "CMakeFiles/simtmsg_trace.dir/trace/trace_io.cpp.o"
+  "CMakeFiles/simtmsg_trace.dir/trace/trace_io.cpp.o.d"
+  "libsimtmsg_trace.a"
+  "libsimtmsg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtmsg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

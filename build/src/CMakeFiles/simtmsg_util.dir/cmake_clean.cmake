@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtmsg_util.dir/util/hash.cpp.o"
+  "CMakeFiles/simtmsg_util.dir/util/hash.cpp.o.d"
+  "CMakeFiles/simtmsg_util.dir/util/prefix_scan.cpp.o"
+  "CMakeFiles/simtmsg_util.dir/util/prefix_scan.cpp.o.d"
+  "CMakeFiles/simtmsg_util.dir/util/stats.cpp.o"
+  "CMakeFiles/simtmsg_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/simtmsg_util.dir/util/table.cpp.o"
+  "CMakeFiles/simtmsg_util.dir/util/table.cpp.o.d"
+  "libsimtmsg_util.a"
+  "libsimtmsg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtmsg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/matching/compaction_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/compaction_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/compaction_test.cpp.o.d"
+  "/root/repo/tests/matching/cpu_matchers_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/cpu_matchers_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/cpu_matchers_test.cpp.o.d"
+  "/root/repo/tests/matching/edge_cases_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/matching/engine_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/engine_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/engine_test.cpp.o.d"
+  "/root/repo/tests/matching/envelope_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/envelope_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/envelope_test.cpp.o.d"
+  "/root/repo/tests/matching/figure3_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/figure3_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/figure3_test.cpp.o.d"
+  "/root/repo/tests/matching/hash_matcher_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/hash_matcher_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/hash_matcher_test.cpp.o.d"
+  "/root/repo/tests/matching/hash_table_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/hash_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/hash_table_test.cpp.o.d"
+  "/root/repo/tests/matching/list_matcher_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/list_matcher_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/list_matcher_test.cpp.o.d"
+  "/root/repo/tests/matching/matrix_matcher_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/matrix_matcher_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/matrix_matcher_test.cpp.o.d"
+  "/root/repo/tests/matching/multi_comm_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/multi_comm_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/multi_comm_test.cpp.o.d"
+  "/root/repo/tests/matching/multi_sm_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/multi_sm_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/multi_sm_test.cpp.o.d"
+  "/root/repo/tests/matching/partitioned_matcher_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/partitioned_matcher_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/partitioned_matcher_test.cpp.o.d"
+  "/root/repo/tests/matching/property_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/property_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/property_test.cpp.o.d"
+  "/root/repo/tests/matching/queue_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/queue_test.cpp.o.d"
+  "/root/repo/tests/matching/reference_matcher_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/reference_matcher_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/reference_matcher_test.cpp.o.d"
+  "/root/repo/tests/matching/semantics_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/semantics_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/semantics_test.cpp.o.d"
+  "/root/repo/tests/matching/warp_width_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/warp_width_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/warp_width_test.cpp.o.d"
+  "/root/repo/tests/matching/workload_test.cpp" "tests/CMakeFiles/test_matching.dir/matching/workload_test.cpp.o" "gcc" "tests/CMakeFiles/test_matching.dir/matching/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simtmsg_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtmsg_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtmsg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/bsp_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/bsp_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/bsp_test.cpp.o.d"
+  "/root/repo/tests/runtime/cluster_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/cluster_test.cpp.o.d"
+  "/root/repo/tests/runtime/collectives_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/collectives_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/collectives_test.cpp.o.d"
+  "/root/repo/tests/runtime/gas_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/gas_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/gas_test.cpp.o.d"
+  "/root/repo/tests/runtime/network_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/network_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/network_test.cpp.o.d"
+  "/root/repo/tests/runtime/progress_engine_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/progress_engine_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/progress_engine_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simtmsg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtmsg_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtmsg_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtmsg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

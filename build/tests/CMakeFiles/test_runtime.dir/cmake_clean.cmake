@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/bsp_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/bsp_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/cluster_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/cluster_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/collectives_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/collectives_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/gas_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/gas_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/network_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/network_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/progress_engine_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/progress_engine_test.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simt/cta_test.cpp" "tests/CMakeFiles/test_simt.dir/simt/cta_test.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/cta_test.cpp.o.d"
+  "/root/repo/tests/simt/device_spec_test.cpp" "tests/CMakeFiles/test_simt.dir/simt/device_spec_test.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/device_spec_test.cpp.o.d"
+  "/root/repo/tests/simt/divergence_test.cpp" "tests/CMakeFiles/test_simt.dir/simt/divergence_test.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/divergence_test.cpp.o.d"
+  "/root/repo/tests/simt/lane_array_test.cpp" "tests/CMakeFiles/test_simt.dir/simt/lane_array_test.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/lane_array_test.cpp.o.d"
+  "/root/repo/tests/simt/launcher_test.cpp" "tests/CMakeFiles/test_simt.dir/simt/launcher_test.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/launcher_test.cpp.o.d"
+  "/root/repo/tests/simt/timing_extras_test.cpp" "tests/CMakeFiles/test_simt.dir/simt/timing_extras_test.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/timing_extras_test.cpp.o.d"
+  "/root/repo/tests/simt/timing_model_test.cpp" "tests/CMakeFiles/test_simt.dir/simt/timing_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/timing_model_test.cpp.o.d"
+  "/root/repo/tests/simt/warp_test.cpp" "tests/CMakeFiles/test_simt.dir/simt/warp_test.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/warp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simtmsg_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtmsg_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtmsg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt.dir/simt/cta_test.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/cta_test.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/device_spec_test.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/device_spec_test.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/divergence_test.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/divergence_test.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/lane_array_test.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/lane_array_test.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/launcher_test.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/launcher_test.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/timing_extras_test.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/timing_extras_test.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/timing_model_test.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/timing_model_test.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/warp_test.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/warp_test.cpp.o.d"
+  "test_simt"
+  "test_simt.pdb"
+  "test_simt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/analyzer_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/analyzer_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/analyzer_test.cpp.o.d"
+  "/root/repo/tests/trace/app_scaling_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/app_scaling_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/app_scaling_test.cpp.o.d"
+  "/root/repo/tests/trace/apps_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/apps_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/apps_test.cpp.o.d"
+  "/root/repo/tests/trace/record_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/record_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/record_test.cpp.o.d"
+  "/root/repo/tests/trace/replay_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/replay_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/replay_test.cpp.o.d"
+  "/root/repo/tests/trace/trace_io_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/trace_io_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simtmsg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtmsg_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtmsg_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtmsg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
