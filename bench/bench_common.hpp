@@ -1,13 +1,20 @@
 // Shared helpers for the reproduction benches.  Every binary prints (a) the
 // paper-shaped table and (b) a machine-readable CSV block, so EXPERIMENTS.md
-// can quote either.
+// can quote either.  With `--json <path>` a bench additionally writes a
+// schema-versioned JSON report (see docs/telemetry.md) that
+// scripts/run_benches.sh merges into BENCH_matching.json.
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "simt/device_spec.hpp"
+#include "telemetry/json.hpp"
 #include "util/table.hpp"
 
 namespace simtmsg::bench {
@@ -23,5 +30,78 @@ inline void print_csv(const std::vector<std::vector<std::string>>& rows) {
   for (const auto& r : rows) csv.row(r);
   std::cout << "--- end csv ---\n";
 }
+
+/// Command line shared by every bench binary.  Unknown flags abort with
+/// usage so a typo'd `--jsno` cannot silently drop the report.
+struct Options {
+  std::string json_path;  ///< Empty unless `--json <path>` was given.
+
+  static Options parse(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        opt.json_path = argv[++i];
+      } else {
+        std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+        std::exit(2);
+      }
+    }
+    return opt;
+  }
+};
+
+/// Machine-readable bench result:
+///   { "schema_version": 1, "bench": ..., "paper_ref": ...,
+///     "rows": [ {...}, ... ], "headline": {...} }
+/// `rows` mirrors the printed CSV one object per measurement; `headline` is
+/// the single number (or small set) a downstream report would quote.
+class JsonReport {
+ public:
+  JsonReport(std::string bench, std::string paper_ref) {
+    doc_ = telemetry::Json::object();
+    doc_.set("schema_version", 1)
+        .set("bench", std::move(bench))
+        .set("paper_ref", std::move(paper_ref))
+        .set("rows", telemetry::Json::array())
+        .set("headline", telemetry::Json::object());
+  }
+
+  /// Append and return a fresh row object; fill it with set().
+  telemetry::Json& add_row() {
+    telemetry::Json& r = rows();
+    r.push(telemetry::Json::object());
+    return const_cast<telemetry::Json&>(std::as_const(r).at(r.size() - 1));
+  }
+
+  telemetry::Json& headline() { return member("headline"); }
+
+  /// Write the report; on I/O failure report to stderr and return false.
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "FATAL: cannot open " << path << " for writing\n";
+      return false;
+    }
+    doc_.dump(out, 2);
+    out << "\n";
+    return out.good();
+  }
+
+  /// Convenience: write only when the user asked for JSON.  Returns false
+  /// only on failed writes, so `return report.emit(opt) ? 0 : 1;` works.
+  [[nodiscard]] bool emit(const Options& opt) const {
+    return opt.json_path.empty() || write(opt.json_path);
+  }
+
+ private:
+  telemetry::Json& rows() { return member("rows"); }
+  telemetry::Json& member(std::string_view key) {
+    // Json only exposes const at(); the report owns doc_, so the cast is safe.
+    return const_cast<telemetry::Json&>(std::as_const(doc_).at(key));
+  }
+
+  telemetry::Json doc_;
+};
 
 }  // namespace simtmsg::bench

@@ -6,6 +6,7 @@
 // (Pascal GTX1080), steady across lengths with a drop at 1024 where the
 // scan needs all 32 warps and the reduce can no longer be overlapped.
 #include <iostream>
+#include <string_view>
 
 #include "bench_common.hpp"
 #include "matching/matrix_matcher.hpp"
@@ -15,8 +16,9 @@ namespace {
 
 using namespace simtmsg;
 
-int run() {
+int run(const bench::Options& opt) {
   bench::print_header("fig4_matrix_rate", "Figure 4 (Section V-B)");
+  bench::JsonReport report("fig4_matrix_rate", "Figure 4 (Section V-B)");
 
   const std::vector<std::size_t> lengths = {64, 128, 256, 384, 512, 640, 768, 896, 1024};
 
@@ -25,6 +27,7 @@ int run() {
   std::vector<std::vector<std::string>> csv;
   csv.push_back({"length", "kepler_mps", "maxwell_mps", "pascal_mps"});
 
+  double pascal_mps_at_1024 = 0.0;
   for (const auto len : lengths) {
     matching::WorkloadSpec spec;
     spec.pairs = len;
@@ -48,6 +51,13 @@ int run() {
       const double mps = s.matches_per_second() / 1e6;
       row.push_back(util::AsciiTable::num(mps, 2));
       csv_row.push_back(util::AsciiTable::num(mps, 3));
+      report.add_row()
+          .set("device", dev.name)
+          .set("length", len)
+          .set("matches_per_second", s.matches_per_second());
+      if (std::string_view(dev.name).find("1080") != std::string_view::npos) {
+        pascal_mps_at_1024 = s.matches_per_second();  // Last length wins: 1024.
+      }
     }
     table.add_row(row);
     csv.push_back(csv_row);
@@ -57,9 +67,14 @@ int run() {
   std::cout << "\npaper reference: K80 ~3 M/s, M40 ~3.5 M/s, GTX1080 ~6 M/s;\n"
                "steady across lengths, drop at 1024 (no scan/reduce overlap).\n";
   bench::print_csv(csv);
-  return 0;
+
+  report.headline()
+      .set("metric", "pascal_matches_per_second_at_1024")
+      .set("matches_per_second", pascal_mps_at_1024)
+      .set("paper_reference", "GTX1080 ~6 M matches/s");
+  return report.emit(opt) ? 0 : 1;
 }
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) { return run(bench::Options::parse(argc, argv)); }

@@ -33,8 +33,9 @@ double measure(const simt::DeviceSpec& dev, int queues, std::size_t total_len,
   return s.matches_per_second();
 }
 
-int run() {
+int run(const bench::Options& opt) {
   bench::print_header("fig5_partitioned", "Figure 5 (Section VI-A)");
+  bench::JsonReport report("fig5_partitioned", "Figure 5 (Section VI-A)");
 
   const std::vector<int> queue_counts = {1, 2, 4, 8, 16, 32};
   const std::vector<std::size_t> total_lengths = {256, 512, 1024, 2048, 4096, 8192};
@@ -47,10 +48,17 @@ int run() {
     std::vector<std::string> row = {std::to_string(len)};
     for (const auto q : queue_counts) {
       int ctas = 0;
-      const double mps = measure(simt::pascal_gtx1080(), q, len, &ctas) / 1e6;
+      const double raw = measure(simt::pascal_gtx1080(), q, len, &ctas);
+      const double mps = raw / 1e6;
       row.push_back(util::AsciiTable::num(mps, 1) + " (" + std::to_string(ctas) + ")");
       csv.push_back({std::to_string(len), std::to_string(q),
                      util::AsciiTable::num(mps, 2), std::to_string(ctas)});
+      report.add_row()
+          .set("device", "GTX 1080")
+          .set("total_length", len)
+          .set("queues", q)
+          .set("ctas", ctas)
+          .set("matches_per_second", raw);
     }
     table.add_row(row);
   }
@@ -73,9 +81,15 @@ int run() {
             << "x over M40 (paper: 1.56x)\n"
             << "paper reference: ~linear scaling to 4 queues, just below linear after.\n";
   bench::print_csv(csv);
-  return 0;
+
+  report.headline()
+      .set("metric", "pascal_speedup_over_k80")
+      .set("speedup_over_k80", sum_k / samples)
+      .set("speedup_over_m40", sum_m / samples)
+      .set("paper_reference", "2.12x over K80, 1.56x over M40");
+  return report.emit(opt) ? 0 : 1;
 }
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) { return run(bench::Options::parse(argc, argv)); }

@@ -4,7 +4,9 @@
 //
 // Paper result: Kepler 110 M matches/s @1024/1 CTA and 150 M @32 CTAs;
 // Pascal ~500 M matches/s (3.3x over Kepler).
+#include <algorithm>
 #include <iostream>
+#include <string_view>
 
 #include "bench_common.hpp"
 #include "matching/hash_matcher.hpp"
@@ -14,8 +16,9 @@ namespace {
 
 using namespace simtmsg;
 
-int run() {
+int run(const bench::Options& opt) {
   bench::print_header("fig6b_hash_rate", "Figure 6(b) (Section VI-C)");
+  bench::JsonReport report("fig6b_hash_rate", "Figure 6(b) (Section VI-C)");
 
   const std::vector<std::size_t> element_counts = {64, 128, 256, 512, 1024,
                                                    2048, 4096, 8192, 16384, 32768};
@@ -24,6 +27,7 @@ int run() {
   std::vector<std::vector<std::string>> csv;
   csv.push_back({"device", "elements", "ctas", "mps", "iterations"});
 
+  double pascal_best = 0.0;
   for (const auto& dev : simt::all_devices()) {
     util::AsciiTable table({"elements", "1 CTA (M/s)", "2 CTAs (M/s)", "4 CTAs (M/s)",
                             "32 CTAs (M/s)"});
@@ -50,6 +54,15 @@ int run() {
         row.push_back(util::AsciiTable::num(mps, 1));
         csv.push_back({std::string(dev.name), std::to_string(n), std::to_string(ctas),
                        util::AsciiTable::num(mps, 2), std::to_string(s.iterations)});
+        report.add_row()
+            .set("device", dev.name)
+            .set("elements", n)
+            .set("ctas", ctas)
+            .set("iterations", s.iterations)
+            .set("matches_per_second", s.matches_per_second());
+        if (std::string_view(dev.name).find("1080") != std::string_view::npos) {
+          pascal_best = std::max(pascal_best, s.matches_per_second());
+        }
       }
       table.add_row(row);
     }
@@ -61,9 +74,14 @@ int run() {
   std::cout << "paper reference: Kepler 110 M/s @1024 x 1 CTA, 150 M/s @32 CTAs;\n"
                "Pascal ~500 M/s (3.3x over Kepler).\n";
   bench::print_csv(csv);
-  return 0;
+
+  report.headline()
+      .set("metric", "pascal_peak_matches_per_second")
+      .set("matches_per_second", pascal_best)
+      .set("paper_reference", "Pascal ~500 M matches/s");
+  return report.emit(opt) ? 0 : 1;
 }
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) { return run(bench::Options::parse(argc, argv)); }

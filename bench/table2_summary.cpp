@@ -15,8 +15,9 @@ namespace {
 
 using namespace simtmsg;
 
-int run() {
+int run(const bench::Options& opt) {
   bench::print_header("table2_summary", "Table II (Section VII)");
+  bench::JsonReport report("table2_summary", "Table II (Section VII)");
 
   // The fully matching 1024-element workload every row can complete;
   // wildcard-free and unique so all six semantics apply.
@@ -46,25 +47,39 @@ int run() {
       std::cerr << "FATAL: row " << row_idx << " matched " << s.result.matched() << "\n";
       return 1;
     }
+    const matching::Algorithm algo = engine.algorithm_kind();
     const std::string structure =
-        engine.algorithm() == "hash-table" ? "Hash Table" : "Matrix";
+        algo == matching::Algorithm::kHashTable ? "Hash Table" : "Matrix";
     table.add_row({row.wildcards ? "yes" : "no", row.ordering ? "yes" : "no",
                    row.unexpected ? "yes" : "no", row.partitions > 1 ? "yes" : "no",
                    structure, util::AsciiTable::rate_mps(s.matches_per_second()),
                    paper_perf[row_idx], user_impl[row_idx]});
     csv.push_back({std::to_string(row_idx + 1), row.wildcards ? "1" : "0",
                    row.ordering ? "1" : "0", row.unexpected ? "1" : "0",
-                   std::to_string(row.partitions), std::string(engine.algorithm()),
+                   std::to_string(row.partitions), std::string(to_string(algo)),
                    util::AsciiTable::num(s.matches_per_second() / 1e6, 2)});
+    report.add_row()
+        .set("row", row_idx + 1)
+        .set("wildcards", row.wildcards)
+        .set("ordering", row.ordering)
+        .set("unexpected", row.unexpected)
+        .set("partitions", row.partitions)
+        .set("algorithm", to_string(algo))
+        .set("matches_per_second", s.matches_per_second())
+        .set("paper_reference", paper_perf[row_idx]);
+    report.headline().set("row" + std::to_string(row_idx + 1) + "_matches_per_second",
+                          s.matches_per_second());
     ++row_idx;
   }
 
   std::cout << "GTX 1080 model, 1024-element fully matching workload:\n";
   table.print(std::cout);
   bench::print_csv(csv);
-  return 0;
+
+  report.headline().set("metric", "table2_row_matches_per_second");
+  return report.emit(opt) ? 0 : 1;
 }
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) { return run(bench::Options::parse(argc, argv)); }

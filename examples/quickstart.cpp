@@ -27,7 +27,7 @@ int main() {
 
   const auto stats = engine.match(workload.messages, workload.requests);
   std::cout << "matched " << stats.result.matched() << "/512 messages with the '"
-            << engine.algorithm() << "' algorithm\n"
+            << to_string(engine.algorithm_kind()) << "' algorithm\n"
             << "modelled rate: " << stats.matches_per_second() / 1e6
             << " M matches/s (paper, Figure 4: ~6 M matches/s)\n\n";
 

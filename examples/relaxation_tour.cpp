@@ -49,7 +49,8 @@ int main(int argc, char** argv) {
     const double rate = stats.matches_per_second();
     if (row_no == 1) baseline = rate;
     table.add_row({std::to_string(row_no), matching::describe(row),
-                   std::string(engine.algorithm()), util::AsciiTable::rate_mps(rate),
+                   std::string(to_string(engine.algorithm_kind())),
+                   util::AsciiTable::rate_mps(rate),
                    util::AsciiTable::num(rate / baseline, 1) + "x",
                    stories[row_no - 1]});
     ++row_no;

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Build Release, run the headline reproduction benches with --json, and
+# merge the per-bench reports into BENCH_matching.json at the repo root
+# (schema: docs/telemetry.md).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build-release}"
+out_json="${repo_root}/BENCH_matching.json"
+json_dir="$(mktemp -d)"
+trap 'rm -rf "${json_dir}"' EXIT
+
+benches=(fig4_matrix_rate fig5_partitioned fig6b_hash_rate table2_summary)
+
+echo "== configuring ${build_dir} (Release)"
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release > /dev/null
+echo "== building benches"
+cmake --build "${build_dir}" -j --target "${benches[@]}" > /dev/null
+
+for b in "${benches[@]}"; do
+  echo "== running ${b}"
+  "${build_dir}/bench/${b}" --json "${json_dir}/${b}.json" > "${json_dir}/${b}.log"
+done
+
+echo "== merging into ${out_json}"
+python3 - "${json_dir}" "${out_json}" "${benches[@]}" <<'PY'
+import json, sys
+json_dir, out_path, *benches = sys.argv[1:]
+merged = {"schema_version": 1, "benches": {}}
+for b in benches:
+    with open(f"{json_dir}/{b}.json") as f:
+        report = json.load(f)
+    assert report["schema_version"] == 1, f"{b}: unexpected schema"
+    assert report["bench"] == b, f"{b}: bench name mismatch"
+    merged["benches"][b] = report
+# The headline of headlines: matches/s for all six Table II rows.
+t2 = merged["benches"]["table2_summary"]["headline"]
+merged["table2_matches_per_second"] = {
+    k: v for k, v in t2.items() if k.endswith("_matches_per_second")
+}
+assert len(merged["table2_matches_per_second"]) == 6, "expected six Table II rows"
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+PY

@@ -5,16 +5,46 @@
 #include <vector>
 
 #include "matching/hash_matcher.hpp"
+#include "matching/matcher.hpp"
 #include "matching/matrix_matcher.hpp"
 #include "matching/partitioned_matcher.hpp"
 #include "matching/queue.hpp"
 
 namespace simtmsg::matching {
 
+std::string_view to_string(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kMatrix: return "matrix";
+    case Algorithm::kPartitionedMatrix: return "partitioned-matrix";
+    case Algorithm::kHashTable: return "hash-table";
+  }
+  return "unknown";
+}
+
 struct MatchEngine::Impl {
-  std::unique_ptr<MatrixMatcher> matrix;
-  std::unique_ptr<PartitionedMatcher> partitioned;
-  std::unique_ptr<HashMatcher> hash;
+  std::unique_ptr<Matcher> matcher;
+  Algorithm algorithm = Algorithm::kMatrix;
+
+  // Totals behind snapshot() — accumulated once per public call.
+  std::uint64_t calls = 0;
+  std::uint64_t matches = 0;
+  double cycles = 0.0;
+  double seconds = 0.0;
+  std::uint64_t iterations = 0;
+  simt::EventCounters scan_events;
+  simt::EventCounters reduce_events;
+  simt::EventCounters compact_events;
+
+  void accumulate(const SimtMatchStats& s) noexcept {
+    ++calls;
+    matches += s.result.matched();
+    cycles += s.cycles;
+    seconds += s.seconds;
+    iterations += static_cast<std::uint64_t>(s.iterations);
+    scan_events += s.scan_events;
+    reduce_events += s.reduce_events;
+    compact_events += s.compact_events;
+  }
 };
 
 MatchEngine::MatchEngine(const simt::DeviceSpec& spec, SemanticsConfig cfg)
@@ -27,16 +57,19 @@ MatchEngine::MatchEngine(const simt::DeviceSpec& spec, SemanticsConfig cfg)
     // Partitioning the rank space across CTAs is the hash analogue of the
     // multi-queue layout.
     opt.ctas = std::max(1, cfg_.partitions > 1 ? cfg_.partitions / 4 : 1);
-    impl_->hash = std::make_unique<HashMatcher>(spec, opt);
+    impl_->matcher = std::make_unique<HashMatcher>(spec, opt);
+    impl_->algorithm = Algorithm::kHashTable;
   } else if (cfg_.partitions > 1) {
     PartitionedMatcher::Options opt;
     opt.partitions = cfg_.partitions;
     opt.matrix.compact = cfg_.unexpected;
-    impl_->partitioned = std::make_unique<PartitionedMatcher>(spec, opt);
+    impl_->matcher = std::make_unique<PartitionedMatcher>(spec, opt);
+    impl_->algorithm = Algorithm::kPartitionedMatrix;
   } else {
     MatrixMatcher::Options opt;
     opt.compact = cfg_.unexpected;
-    impl_->matrix = std::make_unique<MatrixMatcher>(spec, opt);
+    impl_->matcher = std::make_unique<MatrixMatcher>(spec, opt);
+    impl_->algorithm = Algorithm::kMatrix;
   }
 }
 
@@ -44,10 +77,23 @@ MatchEngine::~MatchEngine() = default;
 MatchEngine::MatchEngine(MatchEngine&&) noexcept = default;
 MatchEngine& MatchEngine::operator=(MatchEngine&&) noexcept = default;
 
+Algorithm MatchEngine::algorithm_kind() const noexcept { return impl_->algorithm; }
+
 std::string_view MatchEngine::algorithm() const noexcept {
-  if (impl_->hash) return "hash-table";
-  if (impl_->partitioned) return "partitioned-matrix";
-  return "matrix";
+  return to_string(impl_->algorithm);
+}
+
+telemetry::TelemetryReport MatchEngine::snapshot() const {
+  telemetry::TelemetryReport r;
+  r.calls = impl_->calls;
+  r.matches = impl_->matches;
+  r.cycles = impl_->cycles;
+  r.seconds = impl_->seconds;
+  r.iterations = impl_->iterations;
+  r.scan_events = impl_->scan_events;
+  r.reduce_events = impl_->reduce_events;
+  r.compact_events = impl_->compact_events;
+  return r;
 }
 
 namespace {
@@ -71,17 +117,11 @@ std::vector<CommId> comms_of(std::span<const Message> msgs,
 
 SimtMatchStats MatchEngine::match_single_comm(std::span<const Message> msgs,
                                               std::span<const RecvRequest> reqs) const {
-  if (impl_->hash) return impl_->hash->match(msgs, reqs);
-  if (impl_->partitioned) return impl_->partitioned->match(msgs, reqs);
-  MessageQueue mq;
-  RecvQueue rq;
-  for (const auto& m : msgs) mq.push_raw(m);
-  for (const auto& r : reqs) rq.push_raw(r);
-  return impl_->matrix->match_queues(mq, rq);
+  return impl_->matcher->match(msgs, reqs);
 }
 
-SimtMatchStats MatchEngine::match(std::span<const Message> msgs,
-                                  std::span<const RecvRequest> reqs) const {
+SimtMatchStats MatchEngine::match_impl(std::span<const Message> msgs,
+                                       std::span<const RecvRequest> reqs) const {
   if (!cfg_.wildcards) {
     for (const auto& r : reqs) {
       if (has_wildcard(r.env)) {
@@ -144,6 +184,13 @@ SimtMatchStats MatchEngine::match(std::span<const Message> msgs,
   return stats;
 }
 
+SimtMatchStats MatchEngine::match(std::span<const Message> msgs,
+                                  std::span<const RecvRequest> reqs) const {
+  SimtMatchStats stats = match_impl(msgs, reqs);
+  impl_->accumulate(stats);
+  return stats;
+}
+
 SimtMatchStats MatchEngine::match_queues(MessageQueue& mq, RecvQueue& rq) const {
   if (!cfg_.wildcards) {
     for (const auto& r : rq.view()) {
@@ -154,19 +201,18 @@ SimtMatchStats MatchEngine::match_queues(MessageQueue& mq, RecvQueue& rq) const 
   }
 
   const auto comms = comms_of(mq.view(), rq.view());
-  const bool single_comm = comms.size() <= 1;
 
-  if (single_comm && impl_->matrix) return impl_->matrix->match_queues(mq, rq);
-  if (single_comm && impl_->hash) return impl_->hash->match_queues(mq, rq);
-
-  // Multi-comm or partitioned: batch-match (match() splits communicators),
-  // then compact both queues.
-  SimtMatchStats stats;
-  if (single_comm && impl_->partitioned) {
-    stats = impl_->partitioned->match(mq.view(), rq.view());
-  } else {
-    stats = match(mq.view(), rq.view());
+  if (comms.size() <= 1) {
+    // Single communicator: every matcher drains live queues natively (or
+    // through the interface's default match-and-compact).
+    SimtMatchStats stats = impl_->matcher->match_queues(mq, rq);
+    impl_->accumulate(stats);
+    return stats;
   }
+
+  // Multi-comm: batch-match (match_impl splits communicators), then compact
+  // both queues.
+  SimtMatchStats stats = match_impl(mq.view(), rq.view());
   std::vector<std::uint8_t> msg_flags(mq.size(), 0);
   std::vector<std::uint8_t> req_flags(rq.size(), 0);
   for (std::size_t r = 0; r < stats.result.request_match.size(); ++r) {
@@ -177,6 +223,7 @@ SimtMatchStats MatchEngine::match_queues(MessageQueue& mq, RecvQueue& rq) const 
   }
   (void)mq.compact(msg_flags);
   (void)rq.compact(req_flags);
+  impl_->accumulate(stats);
   return stats;
 }
 

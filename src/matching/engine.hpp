@@ -20,8 +20,18 @@
 #include "matching/semantics.hpp"
 #include "matching/simt_stats.hpp"
 #include "simt/device_spec.hpp"
+#include "telemetry/report.hpp"
 
 namespace simtmsg::matching {
+
+/// The three data-structure regimes of Table II.
+enum class Algorithm {
+  kMatrix,             ///< Fully compliant vote-matrix matcher (rows 1-2).
+  kPartitionedMatrix,  ///< Rank-partitioned matrix queues (rows 3-4).
+  kHashTable,          ///< Two-level device hash table (rows 5-6).
+};
+
+[[nodiscard]] std::string_view to_string(Algorithm a) noexcept;
 
 class MatchEngine {
  public:
@@ -47,9 +57,22 @@ class MatchEngine {
   [[nodiscard]] SimtMatchStats match_queues(MessageQueue& mq, RecvQueue& rq) const;
 
   [[nodiscard]] const SemanticsConfig& semantics() const noexcept { return cfg_; }
-  [[nodiscard]] std::string_view algorithm() const noexcept;  ///< "matrix" | "partitioned-matrix" | "hash-table"
+
+  [[nodiscard]] Algorithm algorithm_kind() const noexcept;
+
+  /// Deprecated string form of algorithm_kind(); kept as a shim for one
+  /// release.  Compare against to_string(Algorithm::...) instead.
+  [[deprecated("use algorithm_kind() and to_string(Algorithm)")]]
+  [[nodiscard]] std::string_view algorithm() const noexcept;
+
+  /// Telemetry totals accumulated over every match()/match_queues() call on
+  /// this engine: calls, matches, modelled cycles/seconds, iterations, and
+  /// the per-phase event counters.  Replaces per-metric accessors.
+  [[nodiscard]] telemetry::TelemetryReport snapshot() const;
 
  private:
+  SimtMatchStats match_impl(std::span<const Message> msgs,
+                            std::span<const RecvRequest> reqs) const;
   SimtMatchStats match_single_comm(std::span<const Message> msgs,
                                    std::span<const RecvRequest> reqs) const;
 

@@ -7,6 +7,7 @@
 #include "matching/device_hash_table.hpp"
 #include "simt/cta.hpp"
 #include "simt/timing_model.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/bits.hpp"
 
 namespace simtmsg::matching {
@@ -180,22 +181,12 @@ SimtMatchStats HashMatcher::match(std::span<const Message> msgs,
 
   stats.cycles = total_cycles;
   stats.seconds = model.seconds_from_cycles(total_cycles);
-  return stats;
-}
-
-SimtMatchStats HashMatcher::match_queues(MessageQueue& mq, RecvQueue& rq) const {
-  SimtMatchStats stats = match(mq.view(), rq.view());
-
-  std::vector<std::uint8_t> msg_flags(mq.size(), 0);
-  std::vector<std::uint8_t> req_flags(rq.size(), 0);
-  for (std::size_t r = 0; r < stats.result.request_match.size(); ++r) {
-    const auto m = stats.result.request_match[r];
-    if (m == kNoMatch) continue;
-    req_flags[r] = 1;
-    msg_flags[static_cast<std::size_t>(m)] = 1;
-  }
-  (void)mq.compact(msg_flags);
-  (void)rq.compact(req_flags);
+  record_attempt(stats, msgs.size(), reqs.size());
+  // Probe traffic is the hash matcher's defining cost (collisions defer
+  // work); expose it alongside the generic per-attempt instruments.
+  telemetry::observe("matcher.hash-table.probes",
+                     stats.scan_events.global_load_requests +
+                         stats.reduce_events.global_load_requests);
   return stats;
 }
 

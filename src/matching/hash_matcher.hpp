@@ -12,6 +12,7 @@
 #include <span>
 
 #include "matching/envelope.hpp"
+#include "matching/matcher.hpp"
 #include "matching/queue.hpp"
 #include "matching/simt_stats.hpp"
 #include "simt/device_spec.hpp"
@@ -19,7 +20,7 @@
 
 namespace simtmsg::matching {
 
-class HashMatcher {
+class HashMatcher : public Matcher {
  public:
   struct Options {
     double table_ratio = 5.0;  ///< Primary:secondary size ratio (paper: 5).
@@ -41,10 +42,13 @@ class HashMatcher {
   /// relaxation); the multiset of matched tuples is maximal for the given
   /// iteration budget.  Throws std::invalid_argument on wildcard requests.
   [[nodiscard]] SimtMatchStats match(std::span<const Message> msgs,
-                                     std::span<const RecvRequest> reqs) const;
+                                     std::span<const RecvRequest> reqs) const override;
 
-  /// Drain queues: match and remove matched elements.
-  [[nodiscard]] SimtMatchStats match_queues(MessageQueue& mq, RecvQueue& rq) const;
+  [[nodiscard]] std::string_view name() const noexcept override { return "hash-table"; }
+
+  [[nodiscard]] Traits traits() const noexcept override {
+    return Traits{.ordered = false, .tag_wildcards = false, .source_wildcards = false};
+  }
 
   [[nodiscard]] const Options& options() const noexcept { return opt_; }
 

@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace simtmsg::matching {
 
 HashedBinsMatcher::HashedBinsMatcher(int bins, util::HashKind hash) : hash_(hash) {
@@ -121,19 +123,22 @@ void HashedBinsMatcher::clear() {
   next_msg_index_ = 0;
 }
 
-MatchResult HashedBinsMatcher::match(std::span<const Message> msgs,
-                                     std::span<const RecvRequest> reqs, int bins) {
-  HashedBinsMatcher m(bins);
+SimtMatchStats HashedBinsMatcher::match(std::span<const Message> msgs,
+                                        std::span<const RecvRequest> reqs) const {
+  HashedBinsMatcher m(bins(), hash_);
   for (const auto& msg : msgs) (void)m.arrive(msg);
 
-  MatchResult result;
-  result.request_match.assign(reqs.size(), kNoMatch);
+  SimtMatchStats stats;
+  stats.iterations = 1;
+  stats.result.request_match.assign(reqs.size(), kNoMatch);
   for (std::size_t r = 0; r < reqs.size(); ++r) {
     std::uint32_t index = 0;
     const auto hit = m.post_indexed(reqs[r], index);
-    if (hit.has_value()) result.request_match[r] = static_cast<std::int32_t>(index);
+    if (hit.has_value()) stats.result.request_match[r] = static_cast<std::int32_t>(index);
   }
-  return result;
+  record_attempt(stats, msgs.size(), reqs.size());
+  telemetry::observe("matcher.hashed-bins.search_steps", m.search_steps());
+  return stats;
 }
 
 }  // namespace simtmsg::matching

@@ -20,11 +20,12 @@
 
 #include "matching/envelope.hpp"
 #include "matching/match_result.hpp"
+#include "matching/matcher.hpp"
 #include "util/hash.hpp"
 
 namespace simtmsg::matching {
 
-class HashedBinsMatcher {
+class HashedBinsMatcher : public Matcher {
  public:
   explicit HashedBinsMatcher(int bins = 64,
                              util::HashKind hash = util::HashKind::kJenkins);
@@ -44,10 +45,12 @@ class HashedBinsMatcher {
 
   void clear();
 
-  /// Batch interface mirroring ListMatcher::match for cross-validation.
-  [[nodiscard]] static MatchResult match(std::span<const Message> msgs,
-                                         std::span<const RecvRequest> reqs,
-                                         int bins = 64);
+  /// Batch interface (Matcher) mirroring ListMatcher::match for
+  /// cross-validation; uses this instance's bin count on a scratch instance.
+  [[nodiscard]] SimtMatchStats match(std::span<const Message> msgs,
+                                     std::span<const RecvRequest> reqs) const override;
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "hashed-bins"; }
 
  private:
   struct UmqEntry {

@@ -1,5 +1,7 @@
 #include "matching/list_matcher.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace simtmsg::matching {
 
 std::optional<RecvRequest> ListMatcher::arrive(const Message& msg) {
@@ -35,23 +37,27 @@ void ListMatcher::clear() {
   next_msg_index_ = 0;
 }
 
-MatchResult ListMatcher::match(std::span<const Message> msgs,
-                               std::span<const RecvRequest> reqs) {
+SimtMatchStats ListMatcher::match(std::span<const Message> msgs,
+                                  std::span<const RecvRequest> reqs) const {
   ListMatcher lm;
   for (const auto& m : msgs) (void)lm.arrive(m);
 
-  MatchResult result;
-  result.request_match.assign(reqs.size(), kNoMatch);
+  SimtMatchStats stats;
+  stats.iterations = 1;
+  stats.result.request_match.assign(reqs.size(), kNoMatch);
   for (std::size_t r = 0; r < reqs.size(); ++r) {
     for (auto it = lm.umq_.begin(); it != lm.umq_.end(); ++it) {
+      ++lm.search_steps_;
       if (matches(reqs[r].env, it->msg.env)) {
-        result.request_match[r] = static_cast<std::int32_t>(it->index);
+        stats.result.request_match[r] = static_cast<std::int32_t>(it->index);
         lm.umq_.erase(it);
         break;
       }
     }
   }
-  return result;
+  record_attempt(stats, msgs.size(), reqs.size());
+  telemetry::observe("matcher.list.search_steps", lm.search_steps_);
+  return stats;
 }
 
 }  // namespace simtmsg::matching

@@ -16,10 +16,11 @@
 
 #include "matching/envelope.hpp"
 #include "matching/match_result.hpp"
+#include "matching/matcher.hpp"
 
 namespace simtmsg::matching {
 
-class ListMatcher {
+class ListMatcher : public Matcher {
  public:
   /// An incoming message searches the PRQ (posted order).  On a match the
   /// satisfied request is removed and returned; otherwise the message is
@@ -41,11 +42,16 @@ class ListMatcher {
 
   void clear();
 
-  /// Batch interface with the same observable semantics as the SIMT
-  /// matchers: enqueue all messages first, then post all requests.
-  /// (Used for cross-validation against ReferenceMatcher.)
-  [[nodiscard]] static MatchResult match(std::span<const Message> msgs,
-                                         std::span<const RecvRequest> reqs);
+  /// Batch interface (Matcher) with the same observable semantics as the
+  /// SIMT matchers: enqueue all messages first, then post all requests.
+  /// Runs on a scratch instance; this matcher's incremental state is
+  /// untouched.  Host-side baseline: no modelled device time is charged
+  /// (cycles/seconds stay 0); traversal cost lands in the
+  /// `matcher.list.search_steps` telemetry histogram.
+  [[nodiscard]] SimtMatchStats match(std::span<const Message> msgs,
+                                     std::span<const RecvRequest> reqs) const override;
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "list"; }
 
  private:
   struct UmqEntry {

@@ -1,0 +1,51 @@
+#include "matching/matcher.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
+namespace simtmsg::matching {
+
+Matcher::~Matcher() = default;
+
+SimtMatchStats Matcher::match_queues(MessageQueue& mq, RecvQueue& rq) const {
+  SimtMatchStats stats = match(mq.view(), rq.view());
+  std::vector<std::uint8_t> msg_flags(mq.size(), 0);
+  std::vector<std::uint8_t> req_flags(rq.size(), 0);
+  for (std::size_t r = 0; r < stats.result.request_match.size(); ++r) {
+    const auto m = stats.result.request_match[r];
+    if (m == kNoMatch) continue;
+    req_flags[r] = 1;
+    msg_flags[static_cast<std::size_t>(m)] = 1;
+  }
+  (void)mq.compact(msg_flags);
+  (void)rq.compact(req_flags);
+  return stats;
+}
+
+void Matcher::record_attempt(const SimtMatchStats& stats, std::size_t msgs,
+                             std::size_t reqs) const {
+  if constexpr (telemetry::kEnabled) {
+    const std::string prefix = "matcher." + std::string(name());
+    auto& reg = telemetry::Registry::global();
+    reg.counter(prefix + ".calls").add(1);
+    reg.counter(prefix + ".matches").add(stats.result.matched());
+    reg.histogram(prefix + ".queue_depth").record(std::max(msgs, reqs));
+    reg.histogram(prefix + ".iterations")
+        .record(static_cast<std::uint64_t>(stats.iterations));
+    reg.histogram(prefix + ".divergent_branches")
+        .record(stats.scan_events.divergent_branches +
+                stats.reduce_events.divergent_branches +
+                stats.compact_events.divergent_branches);
+    auto& phase = reg.phase(prefix);
+    ++phase.calls;
+    phase.device_cycles += stats.cycles;
+  } else {
+    (void)stats;
+    (void)msgs;
+    (void)reqs;
+  }
+}
+
+}  // namespace simtmsg::matching

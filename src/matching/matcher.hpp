@@ -1,0 +1,60 @@
+// Matcher: the common interface every matching algorithm in this repo
+// implements — the three SIMT matchers the paper proposes (matrix,
+// partitioned matrix, two-level hash table) and the three host-side
+// baselines from its related-work section (single list, rank-partitioned
+// lists, hashed bins).  MatchEngine::Impl, the benches, and the conformance
+// tests program against this interface instead of special-casing each
+// concrete type.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "matching/envelope.hpp"
+#include "matching/queue.hpp"
+#include "matching/simt_stats.hpp"
+
+namespace simtmsg::matching {
+
+class Matcher {
+ public:
+  /// What a matcher guarantees / tolerates; drives workload generation and
+  /// result comparison in the generic conformance sweep.
+  struct Traits {
+    bool ordered = true;           ///< MPI posted-order matching preserved.
+    bool tag_wildcards = true;     ///< MPI_ANY_TAG receives accepted.
+    bool source_wildcards = true;  ///< MPI_ANY_SOURCE receives accepted.
+  };
+
+  virtual ~Matcher();
+
+  /// Batch-match `reqs` (posted order) against `msgs` (arrival order).
+  /// Indices in the result refer to the spans passed in.
+  [[nodiscard]] virtual SimtMatchStats match(std::span<const Message> msgs,
+                                             std::span<const RecvRequest> reqs) const = 0;
+
+  /// Stable identifier ("matrix", "hash-table", "list", ...), used as the
+  /// telemetry key prefix `matcher.<name>.*`.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  [[nodiscard]] virtual Traits traits() const noexcept { return Traits{}; }
+
+  /// Drain two live queues: match as much as possible and remove matched
+  /// elements from both.  Result indices refer to the queues' contents
+  /// *before* the call.  The default implementation batch-matches the queue
+  /// views and compacts; matchers with a native incremental drain (matrix,
+  /// hash table) override it.
+  [[nodiscard]] virtual SimtMatchStats match_queues(MessageQueue& mq, RecvQueue& rq) const;
+
+ protected:
+  /// Record the per-attempt telemetry every matcher emits:
+  ///   matcher.<name>.calls / .matches            (counters)
+  ///   matcher.<name>.queue_depth / .iterations
+  ///     / .divergent_branches                    (histograms)
+  ///   matcher.<name>                             (phase, modelled cycles)
+  /// Compiles to nothing when telemetry is off.
+  void record_attempt(const SimtMatchStats& stats, std::size_t msgs,
+                      std::size_t reqs) const;
+};
+
+}  // namespace simtmsg::matching

@@ -270,7 +270,18 @@ SimtMatchStats MatrixMatcher::match_window(std::span<const Message> msgs,
   return stats;
 }
 
+SimtMatchStats MatrixMatcher::match(std::span<const Message> msgs,
+                                    std::span<const RecvRequest> reqs) const {
+  MessageQueue mq;
+  RecvQueue rq;
+  for (const auto& m : msgs) mq.push_raw(m);
+  for (const auto& r : reqs) rq.push_raw(r);
+  return match_queues(mq, rq);
+}
+
 SimtMatchStats MatrixMatcher::match_queues(MessageQueue& mq, RecvQueue& rq) const {
+  const std::size_t in_msgs = mq.size();
+  const std::size_t in_reqs = rq.size();
   SimtMatchStats total;
   total.result.request_match.assign(rq.size(), kNoMatch);
 
@@ -346,6 +357,7 @@ SimtMatchStats MatrixMatcher::match_queues(MessageQueue& mq, RecvQueue& rq) cons
   }
 
   total.seconds = model.seconds_from_cycles(total.cycles);
+  record_attempt(total, in_msgs, in_reqs);
   return total;
 }
 

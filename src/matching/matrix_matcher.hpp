@@ -27,13 +27,14 @@
 #include <span>
 
 #include "matching/envelope.hpp"
+#include "matching/matcher.hpp"
 #include "matching/queue.hpp"
 #include "matching/simt_stats.hpp"
 #include "simt/device_spec.hpp"
 
 namespace simtmsg::matching {
 
-class MatrixMatcher {
+class MatrixMatcher : public Matcher {
  public:
   struct Options {
     bool pipelined = true;   ///< Overlap scan and reduce across column chunks.
@@ -64,12 +65,19 @@ class MatrixMatcher {
   [[nodiscard]] SimtMatchStats match_window(std::span<const Message> msgs,
                                             std::span<const RecvRequest> reqs) const;
 
+  /// Batch interface (Matcher): drains copies of the inputs through
+  /// match_queues.
+  [[nodiscard]] SimtMatchStats match(std::span<const Message> msgs,
+                                     std::span<const RecvRequest> reqs) const override;
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "matrix"; }
+
   /// Drain two queues: iterate match_window over message chunks and request
   /// windows (in order, preserving MPI semantics), compacting after each
   /// pass, until no further progress.  Matched elements are removed from
   /// the queues.  The returned result maps every *original* request index
   /// to its *original* message index.
-  [[nodiscard]] SimtMatchStats match_queues(MessageQueue& mq, RecvQueue& rq) const;
+  [[nodiscard]] SimtMatchStats match_queues(MessageQueue& mq, RecvQueue& rq) const override;
 
   [[nodiscard]] const Options& options() const noexcept { return opt_; }
   [[nodiscard]] const simt::DeviceSpec& device() const noexcept { return *spec_; }

@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace simtmsg::matching {
 
 PartitionedListMatcher::PartitionedListMatcher(int partitions) {
@@ -127,20 +129,22 @@ void PartitionedListMatcher::clear() {
   next_msg_index_ = 0;
 }
 
-MatchResult PartitionedListMatcher::match(std::span<const Message> msgs,
-                                          std::span<const RecvRequest> reqs,
-                                          int partitions) {
-  PartitionedListMatcher m(partitions);
+SimtMatchStats PartitionedListMatcher::match(std::span<const Message> msgs,
+                                             std::span<const RecvRequest> reqs) const {
+  PartitionedListMatcher m(partitions());
   for (const auto& msg : msgs) (void)m.arrive(msg);
 
-  MatchResult result;
-  result.request_match.assign(reqs.size(), kNoMatch);
+  SimtMatchStats stats;
+  stats.iterations = 1;
+  stats.result.request_match.assign(reqs.size(), kNoMatch);
   for (std::size_t r = 0; r < reqs.size(); ++r) {
     std::uint32_t index = 0;
     const auto hit = m.post_indexed(reqs[r], index);
-    if (hit.has_value()) result.request_match[r] = static_cast<std::int32_t>(index);
+    if (hit.has_value()) stats.result.request_match[r] = static_cast<std::int32_t>(index);
   }
-  return result;
+  record_attempt(stats, msgs.size(), reqs.size());
+  telemetry::observe("matcher.partitioned-list.search_steps", m.search_steps());
+  return stats;
 }
 
 }  // namespace simtmsg::matching

@@ -19,10 +19,11 @@
 
 #include "matching/envelope.hpp"
 #include "matching/match_result.hpp"
+#include "matching/matcher.hpp"
 
 namespace simtmsg::matching {
 
-class PartitionedListMatcher {
+class PartitionedListMatcher : public Matcher {
  public:
   explicit PartitionedListMatcher(int partitions = 8);
 
@@ -45,10 +46,15 @@ class PartitionedListMatcher {
 
   void clear();
 
-  /// Batch interface mirroring ListMatcher::match for cross-validation.
-  [[nodiscard]] static MatchResult match(std::span<const Message> msgs,
-                                         std::span<const RecvRequest> reqs,
-                                         int partitions = 8);
+  /// Batch interface (Matcher) mirroring ListMatcher::match for
+  /// cross-validation; uses this instance's partition count on a scratch
+  /// instance.
+  [[nodiscard]] SimtMatchStats match(std::span<const Message> msgs,
+                                     std::span<const RecvRequest> reqs) const override;
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "partitioned-list";
+  }
 
  private:
   struct UmqEntry {

@@ -115,6 +115,7 @@ SimtMatchStats PartitionedMatcher::match(std::span<const Message> msgs,
   total.ctas_used = busy_partitions;
   total.cycles = cycles;
   total.seconds = model.seconds_from_cycles(cycles);
+  record_attempt(total, msgs.size(), reqs.size());
   return total;
 }
 

@@ -17,13 +17,14 @@
 #include <span>
 
 #include "matching/envelope.hpp"
+#include "matching/matcher.hpp"
 #include "matching/matrix_matcher.hpp"
 #include "matching/simt_stats.hpp"
 #include "simt/device_spec.hpp"
 
 namespace simtmsg::matching {
 
-class PartitionedMatcher {
+class PartitionedMatcher : public Matcher {
  public:
   struct Options {
     int partitions = 4;
@@ -45,7 +46,15 @@ class PartitionedMatcher {
   /// Match with partitioned queues.  Requests must not use the source
   /// wildcard (throws std::invalid_argument); tag wildcards stay legal.
   [[nodiscard]] SimtMatchStats match(std::span<const Message> msgs,
-                                     std::span<const RecvRequest> reqs) const;
+                                     std::span<const RecvRequest> reqs) const override;
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "partitioned-matrix";
+  }
+
+  [[nodiscard]] Traits traits() const noexcept override {
+    return Traits{.ordered = true, .tag_wildcards = true, .source_wildcards = false};
+  }
 
   [[nodiscard]] const Options& options() const noexcept { return opt_; }
 

@@ -107,14 +107,21 @@ ClusterStats Cluster::stats() const {
   s.receives_posted = posts_;
   s.virtual_time_us = now_us_;
   for (const auto& e : engines_) {
-    s.matches += e.matches();
-    s.matching_seconds += e.matching_seconds();
+    const auto r = e.snapshot();
+    s.matches += r.matches;
+    s.matching_seconds += r.seconds;
   }
   return s;
 }
 
+telemetry::TelemetryReport Cluster::snapshot() const {
+  telemetry::TelemetryReport total;
+  for (const auto& e : engines_) total.merge(e.snapshot());
+  return total;
+}
+
 double Cluster::node_matching_seconds(int node) const {
-  return engines_[static_cast<std::size_t>(node)].matching_seconds();
+  return engines_[static_cast<std::size_t>(node)].snapshot().seconds;
 }
 
 }  // namespace simtmsg::runtime

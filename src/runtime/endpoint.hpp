@@ -93,6 +93,9 @@ class Cluster {
 
   [[nodiscard]] ClusterStats stats() const;
 
+  /// Cluster-wide telemetry: every node engine's snapshot() merged.
+  [[nodiscard]] telemetry::TelemetryReport snapshot() const;
+
   /// Per-node modelled matching time (seconds on the configured device).
   [[nodiscard]] double node_matching_seconds(int node) const;
 

@@ -8,6 +8,14 @@ ProgressEngine::ProgressEngine(const simt::DeviceSpec& device,
                                matching::SemanticsConfig semantics)
     : engine_(device, semantics), semantics_(semantics) {}
 
+telemetry::TelemetryReport ProgressEngine::snapshot() const {
+  telemetry::TelemetryReport r = engine_.snapshot();
+  // A progress step that found an empty queue pair never reaches the match
+  // engine; report steps, not engine calls.
+  r.calls = steps_;
+  return r;
+}
+
 std::size_t ProgressEngine::step(matching::MessageQueue& incoming,
                                  matching::RecvQueue& posted,
                                  std::vector<Completion>& out, bool enforce_expected) {

@@ -15,6 +15,7 @@
 
 #include "matching/engine.hpp"
 #include "matching/queue.hpp"
+#include "telemetry/report.hpp"
 
 namespace simtmsg::runtime {
 
@@ -38,11 +39,20 @@ class ProgressEngine {
   std::size_t step(matching::MessageQueue& incoming, matching::RecvQueue& posted,
                    std::vector<Completion>& out, bool enforce_expected = false);
 
-  /// Modelled device time spent matching so far (seconds on the configured
-  /// device) and total matches.
+  /// Telemetry totals for this engine: `calls` counts progress steps,
+  /// `matches`/`cycles`/`seconds`/`iterations` and the event-counter phases
+  /// come from the underlying MatchEngine.  Replaces the deprecated
+  /// per-metric accessors below.
+  [[nodiscard]] telemetry::TelemetryReport snapshot() const;
+
+  /// Deprecated shims over snapshot(); kept for one release.
+  [[deprecated("use snapshot().seconds")]]
   [[nodiscard]] double matching_seconds() const noexcept { return seconds_; }
+  [[deprecated("use snapshot().cycles")]]
   [[nodiscard]] double matching_cycles() const noexcept { return cycles_; }
+  [[deprecated("use snapshot().matches")]]
   [[nodiscard]] std::uint64_t matches() const noexcept { return matches_; }
+  [[deprecated("use snapshot().calls")]]
   [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
 
   [[nodiscard]] const matching::MatchEngine& engine() const noexcept { return engine_; }

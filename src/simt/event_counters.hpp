@@ -33,11 +33,36 @@ struct EventCounters {
   std::uint64_t warp_syncs = 0;
   std::uint64_t cta_barriers = 0;
 
-  EventCounters& operator+=(const EventCounters& o) noexcept;
-  [[nodiscard]] EventCounters operator+(const EventCounters& o) const noexcept;
+  // Header-only so layers below simt (telemetry) can aggregate counters
+  // without linking against the simt library.
+  EventCounters& operator+=(const EventCounters& o) noexcept {
+    alu_instructions += o.alu_instructions;
+    ballot_instructions += o.ballot_instructions;
+    shuffle_instructions += o.shuffle_instructions;
+    branch_instructions += o.branch_instructions;
+    divergent_branches += o.divergent_branches;
+    shared_transactions += o.shared_transactions;
+    global_transactions += o.global_transactions;
+    global_load_requests += o.global_load_requests;
+    global_store_requests += o.global_store_requests;
+    atomic_operations += o.atomic_operations;
+    stall_cycles += o.stall_cycles;
+    warp_syncs += o.warp_syncs;
+    cta_barriers += o.cta_barriers;
+    return *this;
+  }
+
+  [[nodiscard]] EventCounters operator+(const EventCounters& o) const noexcept {
+    EventCounters r = *this;
+    r += o;
+    return r;
+  }
 
   /// Total instructions issued (everything the SM front end must dispatch).
-  [[nodiscard]] std::uint64_t issued_instructions() const noexcept;
+  [[nodiscard]] std::uint64_t issued_instructions() const noexcept {
+    return alu_instructions + ballot_instructions + shuffle_instructions +
+           branch_instructions + warp_syncs;
+  }
 
   void reset() noexcept { *this = EventCounters{}; }
 };

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
+
 namespace simtmsg::simt {
 
 KernelRun launch(const DeviceSpec& spec, const LaunchConfig& cfg, const KernelFn& kernel) {
@@ -18,6 +20,15 @@ KernelRun launch(const DeviceSpec& spec, const LaunchConfig& cfg, const KernelFn
 
   const TimingModel model(spec);
   run.timing = model.estimate(per_cta, cfg);
+
+  // Launch-level span keyed to the modelled cycles the timing model just
+  // produced, plus structural histograms (compiled out with telemetry off).
+  telemetry::charge_phase("simt.launch", run.timing.cycles);
+  telemetry::observe("simt.launch.ctas", static_cast<std::uint64_t>(cfg.ctas));
+  telemetry::observe("simt.launch.waves", static_cast<std::uint64_t>(run.timing.waves));
+  telemetry::observe("simt.launch.divergent_branches", run.counters.divergent_branches);
+  telemetry::observe("simt.launch.issued_instructions",
+                     run.counters.issued_instructions());
   return run;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
+
 namespace simtmsg::simt {
 
 int TimingModel::concurrent_ctas(const LaunchConfig& cfg) const noexcept {
@@ -60,6 +62,15 @@ TimingEstimate TimingModel::estimate(const std::vector<EventCounters>& per_cta,
   }
   out.cycles = total;
   out.seconds = seconds_from_cycles(total);
+
+  // Per-estimate span: the modelled cycles this launch configuration was
+  // charged, plus the stall share (serialized-latency diagnosability).
+  if constexpr (telemetry::kEnabled) {
+    telemetry::charge_phase("simt.timing.estimate", out.cycles);
+    EventCounters sum;
+    for (const auto& e : per_cta) sum += e;
+    telemetry::observe("simt.timing.stall_cycles", sum.stall_cycles);
+  }
   return out;
 }
 

@@ -1,0 +1,88 @@
+// Minimal JSON document model used by the telemetry exporters and the bench
+// `--json` emitters.  Intentionally tiny: objects, arrays, strings, numbers,
+// booleans and null — everything the telemetry schema needs, nothing more.
+// Numbers are stored as double (every counter this repo emits fits in the
+// 2^53 exact-integer range); integral values are printed without a decimal
+// point so `"count": 42` round-trips textually.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simtmsg::telemetry {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() noexcept : kind_(Kind::kNull) {}
+  Json(std::nullptr_t) noexcept : kind_(Kind::kNull) {}
+  Json(bool b) noexcept : kind_(Kind::kBool), bool_(b) {}
+  Json(double v) noexcept : kind_(Kind::kNumber), num_(v) {}
+  Json(int v) noexcept : kind_(Kind::kNumber), num_(v) {}
+  Json(std::int64_t v) noexcept : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) noexcept : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  Json(std::string_view s) : kind_(Kind::kString), str_(s) {}
+
+  [[nodiscard]] static Json object();
+  [[nodiscard]] static Json array();
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::kString; }
+
+  /// Scalar accessors; throw std::logic_error on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Object access.  set() inserts or replaces; operator[] on a const object
+  /// throws std::out_of_range for missing keys; contains() probes.
+  Json& set(std::string key, Json value);
+  [[nodiscard]] bool contains(std::string_view key) const;
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Array access.
+  Json& push(Json value);
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const Json& at(std::size_t index) const;
+  [[nodiscard]] const std::vector<Json>& items() const;
+
+  /// Serialize.  indent < 0: compact single line; otherwise pretty-printed
+  /// with `indent` spaces per level.
+  void dump(std::ostream& os, int indent = 2) const;
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Parse a complete JSON document.  Throws std::runtime_error with a
+  /// character offset on malformed input or trailing garbage.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  void dump_impl(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  // Insertion-ordered object members (schema readability beats lookup speed
+  // at telemetry sizes).
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace simtmsg::telemetry

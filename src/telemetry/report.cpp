@@ -1,0 +1,195 @@
+#include "telemetry/report.hpp"
+
+#include <algorithm>
+
+namespace simtmsg::telemetry {
+
+HistogramSnapshot HistogramSnapshot::of(const Histogram& h) {
+  HistogramSnapshot s;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.min = h.min();
+  s.max = h.max();
+  s.p50 = h.percentile(50.0);
+  s.p99 = h.percentile(99.0);
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    if (h.bucket_count(b) > 0) {
+      s.buckets.emplace_back(Histogram::bucket_lower_bound(b), h.bucket_count(b));
+    }
+  }
+  return s;
+}
+
+namespace {
+
+void merge_histogram(HistogramSnapshot& into, const HistogramSnapshot& from) {
+  into.count += from.count;
+  into.sum += from.sum;
+  if (from.count > 0) {
+    into.min = into.count == from.count ? from.min : std::min(into.min, from.min);
+    into.max = std::max(into.max, from.max);
+  }
+  for (const auto& [lower, n] : from.buckets) {
+    bool found = false;
+    for (auto& [l, c] : into.buckets) {
+      if (l == lower) {
+        c += n;
+        found = true;
+        break;
+      }
+    }
+    if (!found) into.buckets.emplace_back(lower, n);
+  }
+  std::sort(into.buckets.begin(), into.buckets.end());
+  // Percentiles are not mergeable exactly; recompute the conservative
+  // bucket-based estimate from the merged buckets.
+  const auto estimate = [&into](double p) -> std::uint64_t {
+    const double target = p / 100.0 * static_cast<double>(into.count);
+    std::uint64_t cumulative = 0;
+    for (const auto& [lower, n] : into.buckets) {
+      cumulative += n;
+      if (static_cast<double>(cumulative) >= target) return lower;
+    }
+    return into.max;
+  };
+  if (into.count > 0) {
+    into.p50 = estimate(50.0);
+    into.p99 = estimate(99.0);
+  }
+}
+
+}  // namespace
+
+TelemetryReport& TelemetryReport::merge(const TelemetryReport& o) {
+  calls += o.calls;
+  matches += o.matches;
+  cycles += o.cycles;
+  seconds += o.seconds;
+  iterations += o.iterations;
+  scan_events += o.scan_events;
+  reduce_events += o.reduce_events;
+  compact_events += o.compact_events;
+  for (const auto& [name, v] : o.counters) counters[name] += v;
+  for (const auto& [name, v] : o.gauges) gauges[name] = v;
+  for (const auto& [name, h] : o.histograms) {
+    auto [it, inserted] = histograms.try_emplace(name, h);
+    if (!inserted) merge_histogram(it->second, h);
+  }
+  for (const auto& [name, p] : o.phases) phases[name] += p;
+  return *this;
+}
+
+void TelemetryReport::absorb(const Registry& registry) {
+  for (const auto& [name, c] : registry.counters()) counters[name] += c.value();
+  for (const auto& [name, g] : registry.gauges()) gauges[name] = g.value();
+  for (const auto& [name, h] : registry.histograms()) {
+    auto [it, inserted] = histograms.try_emplace(name, HistogramSnapshot::of(h));
+    if (!inserted) merge_histogram(it->second, HistogramSnapshot::of(h));
+  }
+  for (const auto& [name, p] : registry.phases()) phases[name] += p;
+}
+
+Json to_json(const simt::EventCounters& e) {
+  Json j = Json::object();
+  j.set("alu_instructions", e.alu_instructions)
+      .set("ballot_instructions", e.ballot_instructions)
+      .set("shuffle_instructions", e.shuffle_instructions)
+      .set("branch_instructions", e.branch_instructions)
+      .set("divergent_branches", e.divergent_branches)
+      .set("shared_transactions", e.shared_transactions)
+      .set("global_transactions", e.global_transactions)
+      .set("global_load_requests", e.global_load_requests)
+      .set("global_store_requests", e.global_store_requests)
+      .set("atomic_operations", e.atomic_operations)
+      .set("stall_cycles", e.stall_cycles)
+      .set("warp_syncs", e.warp_syncs)
+      .set("cta_barriers", e.cta_barriers);
+  return j;
+}
+
+namespace {
+
+Json histogram_json(const HistogramSnapshot& h) {
+  Json j = Json::object();
+  j.set("count", h.count)
+      .set("sum", h.sum)
+      .set("min", h.min)
+      .set("max", h.max)
+      .set("mean", h.mean())
+      .set("p50", h.p50)
+      .set("p99", h.p99);
+  Json buckets = Json::array();
+  for (const auto& [lower, n] : h.buckets) {
+    Json b = Json::object();
+    b.set("ge", lower).set("count", n);
+    buckets.push(std::move(b));
+  }
+  j.set("buckets", std::move(buckets));
+  return j;
+}
+
+Json phase_json(const PhaseStats& p) {
+  Json j = Json::object();
+  j.set("calls", p.calls)
+      .set("device_cycles", p.device_cycles)
+      .set("wall_seconds", p.wall_seconds);
+  return j;
+}
+
+}  // namespace
+
+Json TelemetryReport::to_json() const {
+  Json j = Json::object();
+  j.set("calls", calls)
+      .set("matches", matches)
+      .set("cycles", cycles)
+      .set("seconds", seconds)
+      .set("iterations", iterations)
+      .set("matches_per_second", matches_per_second());
+
+  Json events = Json::object();
+  events.set("scan", telemetry::to_json(scan_events))
+      .set("reduce", telemetry::to_json(reduce_events))
+      .set("compact", telemetry::to_json(compact_events));
+  j.set("events", std::move(events));
+
+  Json cs = Json::object();
+  for (const auto& [name, v] : counters) cs.set(name, v);
+  j.set("counters", std::move(cs));
+
+  Json gs = Json::object();
+  for (const auto& [name, v] : gauges) gs.set(name, v);
+  j.set("gauges", std::move(gs));
+
+  Json hs = Json::object();
+  for (const auto& [name, h] : histograms) hs.set(name, histogram_json(h));
+  j.set("histograms", std::move(hs));
+
+  Json ps = Json::object();
+  for (const auto& [name, p] : phases) ps.set(name, phase_json(p));
+  j.set("phases", std::move(ps));
+  return j;
+}
+
+void TelemetryReport::write_csv(std::ostream& os) const {
+  os << "metric,value\n";
+  os << "calls," << calls << "\n";
+  os << "matches," << matches << "\n";
+  os << "cycles," << cycles << "\n";
+  os << "seconds," << seconds << "\n";
+  os << "iterations," << iterations << "\n";
+  os << "matches_per_second," << matches_per_second() << "\n";
+  for (const auto& [name, v] : counters) os << name << "," << v << "\n";
+  for (const auto& [name, v] : gauges) os << name << "," << v << "\n";
+  for (const auto& [name, h] : histograms) {
+    os << name << ".count," << h.count << "\n";
+    os << name << ".mean," << h.mean() << "\n";
+    os << name << ".p99," << h.p99 << "\n";
+  }
+  for (const auto& [name, p] : phases) {
+    os << name << ".calls," << p.calls << "\n";
+    os << name << ".device_cycles," << p.device_cycles << "\n";
+  }
+}
+
+}  // namespace simtmsg::telemetry

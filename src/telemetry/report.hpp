@@ -1,0 +1,81 @@
+// TelemetryReport: the structured snapshot every instrumented component
+// (MatchEngine, ProgressEngine, Cluster) returns from `snapshot()`.  It
+// replaces the ad-hoc per-class accessor quartets (matching_seconds(),
+// matching_cycles(), matches(), steps()) with one mergeable value type that
+// exports to JSON and CSV.
+//
+// Headline totals (calls/matches/cycles/seconds/iterations and the three
+// event-counter phases) are maintained *unconditionally* — they are the
+// public performance API and cost a few adds per match call.  The named
+// counter/gauge/histogram/phase maps carry whatever the build's
+// instrumentation hooks recorded; with SIMTMSG_TELEMETRY=OFF they are empty.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simt/event_counters.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace simtmsg::telemetry {
+
+/// Immutable copy of a Histogram for export.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+  /// Sparse non-empty buckets: (lower bound, count).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+
+  [[nodiscard]] static HistogramSnapshot of(const Histogram& h);
+};
+
+struct TelemetryReport {
+  // Headline matching totals (always populated).
+  std::uint64_t calls = 0;    ///< match()/match_queues() invocations, or progress steps.
+  std::uint64_t matches = 0;
+  double cycles = 0.0;        ///< Modelled device cycles.
+  double seconds = 0.0;       ///< cycles / device clock.
+  std::uint64_t iterations = 0;
+
+  simt::EventCounters scan_events;
+  simt::EventCounters reduce_events;
+  simt::EventCounters compact_events;
+
+  // Named instruments (populated only when telemetry is compiled in).
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, PhaseStats> phases;
+
+  [[nodiscard]] double matches_per_second() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(matches) / seconds : 0.0;
+  }
+
+  /// Sum another report into this one (cluster-level aggregation).
+  TelemetryReport& merge(const TelemetryReport& o);
+
+  /// Copy every named instrument out of a registry into this report.
+  void absorb(const Registry& registry);
+
+  [[nodiscard]] Json to_json() const;
+  /// Flat `metric,value` CSV of the headline totals and named counters.
+  void write_csv(std::ostream& os) const;
+};
+
+/// JSON encoding of raw event counters (shared with the bench emitters).
+[[nodiscard]] Json to_json(const simt::EventCounters& e);
+
+}  // namespace simtmsg::telemetry

@@ -1,0 +1,90 @@
+#include "telemetry/telemetry.hpp"
+
+#include <bit>
+
+namespace simtmsg::telemetry {
+
+int Histogram::bucket_of(std::uint64_t v) noexcept {
+  return v == 0 ? 0 : std::bit_width(v);
+}
+
+void Histogram::record(std::uint64_t v) noexcept {
+  ++buckets_[bucket_of(v)];
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+std::uint64_t Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0;
+  if (p > 100.0) p = 100.0;
+  if (p < 0.0) p = 0.0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += buckets_[b];
+    if (static_cast<double>(cumulative) >= target && buckets_[b] > 0) {
+      return bucket_lower_bound(b);
+    }
+  }
+  return bucket_lower_bound(kBuckets - 1);
+}
+
+Histogram& Histogram::operator+=(const Histogram& o) noexcept {
+  for (int b = 0; b < kBuckets; ++b) buckets_[b] += o.buckets_[b];
+  count_ += o.count_;
+  sum_ += o.sum_;
+  if (o.count_ > 0) {
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+  return *this;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), Histogram{}).first->second;
+}
+
+PhaseStats& Registry::phase(std::string_view name) {
+  const auto it = phases_.find(name);
+  if (it != phases_.end()) return it->second;
+  return phases_.emplace(std::string(name), PhaseStats{}).first->second;
+}
+
+void Registry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  phases_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Span::~Span() {
+  const auto elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_);
+  auto& p = registry_->phase(phase_);
+  ++p.calls;
+  p.device_cycles += cycles_;
+  p.wall_seconds += elapsed.count();
+}
+
+}  // namespace simtmsg::telemetry

@@ -1,0 +1,193 @@
+// Telemetry core: named counters, gauges, log-scale histograms, and
+// phase-scoped span timers, collected in a Registry.
+//
+// Two layers with different compile-time guarantees:
+//
+//  * The *classes* (Counter, Gauge, Histogram, Registry, Span) are always
+//    compiled and fully functional — tests and exporters rely on them.
+//  * The *instrumentation hooks* sprinkled through the matchers and the SIMT
+//    launcher go through the inline helpers below (`count()`, `observe()`,
+//    `set_gauge()`, `Span` on the global registry), which are `if constexpr`
+//    gated on `kEnabled`.  Configuring with -DSIMTMSG_TELEMETRY=OFF compiles
+//    every hook to nothing: no registry lookup, no branch, no symbol.
+//
+// Spans are keyed to *modelled device cycles* (fed from TimingModel
+// estimates), not host wall time: the quantity the paper reasons about is
+// simulated GPU time.  Host wall seconds are recorded alongside as a
+// harness-cost diagnostic.
+//
+// The registry is deliberately not thread-safe: the simulator is
+// single-threaded by design (one functional engine stepping warps in
+// program order).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#ifndef SIMTMSG_TELEMETRY_ENABLED
+#define SIMTMSG_TELEMETRY_ENABLED 1
+#endif
+
+namespace simtmsg::telemetry {
+
+inline constexpr bool kEnabled = SIMTMSG_TELEMETRY_ENABLED != 0;
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log2-bucketed histogram for counts spanning orders of magnitude (queue
+/// depths, iteration counts, hash probes).  Bucket 0 holds the value 0;
+/// bucket i >= 1 holds [2^(i-1), 2^i).  64 buckets cover every uint64_t.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void record(std::uint64_t v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return count_ > 0 ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  [[nodiscard]] std::uint64_t bucket_count(int bucket) const noexcept {
+    return buckets_[bucket];
+  }
+  /// Smallest value that lands in `bucket`.
+  [[nodiscard]] static std::uint64_t bucket_lower_bound(int bucket) noexcept {
+    return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+  }
+  [[nodiscard]] static int bucket_of(std::uint64_t v) noexcept;
+
+  /// Upper-bound estimate of the p-th percentile (0 < p <= 100): the lower
+  /// bound of the first bucket whose cumulative count reaches p% — exact for
+  /// values that are powers of two, otherwise within one bucket.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+
+  Histogram& operator+=(const Histogram& o) noexcept;
+  void reset() noexcept { *this = Histogram{}; }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+/// Accumulated cost of one named phase across all its spans.
+struct PhaseStats {
+  std::uint64_t calls = 0;
+  double device_cycles = 0.0;  ///< Modelled cycles charged via Span::add_cycles.
+  double wall_seconds = 0.0;   ///< Host time inside the span (harness cost).
+
+  PhaseStats& operator+=(const PhaseStats& o) noexcept {
+    calls += o.calls;
+    device_cycles += o.device_cycles;
+    wall_seconds += o.wall_seconds;
+    return *this;
+  }
+};
+
+class Registry {
+ public:
+  /// Look up or create.  References stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+  PhaseStats& phase(std::string_view name);
+
+  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge, std::less<>>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram, std::less<>>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+  [[nodiscard]] const std::map<std::string, PhaseStats, std::less<>>& phases()
+      const noexcept {
+    return phases_;
+  }
+
+  void reset();
+
+  /// Process-wide registry the instrumentation hooks feed.
+  static Registry& global();
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, PhaseStats, std::less<>> phases_;
+};
+
+/// RAII phase timer.  Wall time runs from construction to destruction;
+/// modelled device cycles are charged explicitly (the simulator knows them
+/// only after the timing model runs).
+class Span {
+ public:
+  Span(Registry& registry, std::string_view phase)
+      : registry_(&registry), phase_(phase), start_(std::chrono::steady_clock::now()) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  void add_cycles(double cycles) noexcept { cycles_ += cycles; }
+
+ private:
+  Registry* registry_;
+  std::string phase_;
+  std::chrono::steady_clock::time_point start_;
+  double cycles_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Instrumentation hooks (compile to nothing with SIMTMSG_TELEMETRY=OFF).
+
+inline void count(std::string_view name, std::uint64_t n = 1) {
+  if constexpr (kEnabled) Registry::global().counter(name).add(n);
+}
+
+inline void observe(std::string_view name, std::uint64_t v) {
+  if constexpr (kEnabled) Registry::global().histogram(name).record(v);
+}
+
+inline void set_gauge(std::string_view name, double v) {
+  if constexpr (kEnabled) Registry::global().gauge(name).set(v);
+}
+
+inline void charge_phase(std::string_view name, double device_cycles,
+                         std::uint64_t calls = 1) {
+  if constexpr (kEnabled) {
+    auto& p = Registry::global().phase(name);
+    p.calls += calls;
+    p.device_cycles += device_cycles;
+  }
+}
+
+}  // namespace simtmsg::telemetry

@@ -108,7 +108,7 @@ TEST_P(TraceMatchingIntegration, ListMatcherFullyDrainsAppTraffic) {
   for (const auto& [rank, msgs] : b.msgs) {
     const auto it = b.reqs.find(rank);
     ASSERT_NE(it, b.reqs.end()) << "rank " << rank << " received but never posted";
-    const auto result = matching::ListMatcher::match(msgs, it->second);
+    const auto result = matching::ListMatcher{}.match(msgs, it->second).result;
     EXPECT_EQ(result.matched(), msgs.size()) << app->name << " rank " << rank;
   }
 }

@@ -178,13 +178,15 @@ class CpuMatcherProperty : public ::testing::TestWithParam<CpuParams> {
 
 TEST_P(CpuMatcherProperty, PartitionedListEqualsReference) {
   const auto w = make();
-  EXPECT_EQ(PartitionedListMatcher::match(w.messages, w.requests, queues()).request_match,
+  EXPECT_EQ(PartitionedListMatcher(queues()).match(w.messages, w.requests)
+                .result.request_match,
             ReferenceMatcher::match(w.messages, w.requests).request_match);
 }
 
 TEST_P(CpuMatcherProperty, HashedBinsEqualsReference) {
   const auto w = make();
-  EXPECT_EQ(HashedBinsMatcher::match(w.messages, w.requests, queues()).request_match,
+  EXPECT_EQ(HashedBinsMatcher(queues()).match(w.messages, w.requests)
+                .result.request_match,
             ReferenceMatcher::match(w.messages, w.requests).request_match);
 }
 

@@ -12,18 +12,32 @@ const simt::DeviceSpec& pascal() { return simt::pascal_gtx1080(); }
 
 TEST(MatchEngine, AlgorithmSelectionFollowsTable2) {
   SemanticsConfig full;  // Row 1.
-  EXPECT_EQ(MatchEngine(pascal(), full).algorithm(), "matrix");
+  EXPECT_EQ(MatchEngine(pascal(), full).algorithm_kind(), Algorithm::kMatrix);
 
   SemanticsConfig part;  // Row 3.
   part.wildcards = false;
   part.partitions = 16;
-  EXPECT_EQ(MatchEngine(pascal(), part).algorithm(), "partitioned-matrix");
+  EXPECT_EQ(MatchEngine(pascal(), part).algorithm_kind(), Algorithm::kPartitionedMatrix);
 
   SemanticsConfig hash;  // Row 5.
   hash.wildcards = false;
   hash.ordering = false;
   hash.partitions = 16;
-  EXPECT_EQ(MatchEngine(pascal(), hash).algorithm(), "hash-table");
+  EXPECT_EQ(MatchEngine(pascal(), hash).algorithm_kind(), Algorithm::kHashTable);
+}
+
+TEST(MatchEngine, AlgorithmToString) {
+  EXPECT_EQ(to_string(Algorithm::kMatrix), "matrix");
+  EXPECT_EQ(to_string(Algorithm::kPartitionedMatrix), "partitioned-matrix");
+  EXPECT_EQ(to_string(Algorithm::kHashTable), "hash-table");
+}
+
+TEST(MatchEngine, DeprecatedAlgorithmShimStillWorks) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const MatchEngine engine(pascal(), SemanticsConfig{});
+  EXPECT_EQ(engine.algorithm(), to_string(engine.algorithm_kind()));
+#pragma GCC diagnostic pop
 }
 
 TEST(MatchEngine, RejectsInconsistentSemantics) {
@@ -109,7 +123,7 @@ TEST(MatchEngine, RelaxationsAreMonotonicallyFaster) {
 TEST(MatchEngine, MoveSemantics) {
   MatchEngine a(pascal(), SemanticsConfig{});
   MatchEngine b = std::move(a);
-  EXPECT_EQ(b.algorithm(), "matrix");
+  EXPECT_EQ(b.algorithm_kind(), Algorithm::kMatrix);
 }
 
 }  // namespace

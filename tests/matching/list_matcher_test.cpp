@@ -100,7 +100,7 @@ TEST(ListMatcher, BatchAgreesWithReferenceOnRandomWorkloads) {
     spec.tag_wildcard_prob = 0.1;
     spec.seed = seed;
     const auto w = make_workload(spec);
-    const auto ours = ListMatcher::match(w.messages, w.requests);
+    const auto ours = ListMatcher{}.match(w.messages, w.requests).result;
     const auto ref = ReferenceMatcher::match(w.messages, w.requests);
     EXPECT_EQ(ours.request_match, ref.request_match) << "seed=" << seed;
   }

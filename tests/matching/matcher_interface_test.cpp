@@ -1,0 +1,136 @@
+// Interface conformance: every production Matcher implementation — the
+// three SIMT matchers and the three CPU baselines — runs through one shared
+// randomized sweep driven only by the base-class interface, with its
+// traits() deciding the workload shape and the comparison mode against the
+// ReferenceMatcher oracle.
+#include "matching/matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "matching/hash_matcher.hpp"
+#include "matching/hashed_bins_matcher.hpp"
+#include "matching/list_matcher.hpp"
+#include "matching/matrix_matcher.hpp"
+#include "matching/partitioned_list_matcher.hpp"
+#include "matching/partitioned_matcher.hpp"
+#include "matching/reference_matcher.hpp"
+#include "matching/workload.hpp"
+
+namespace simtmsg::matching {
+namespace {
+
+std::vector<std::unique_ptr<Matcher>> all_matchers() {
+  const auto& dev = simt::pascal_gtx1080();
+  std::vector<std::unique_ptr<Matcher>> out;
+  out.push_back(std::make_unique<MatrixMatcher>(dev));
+  PartitionedMatcher::Options popt;
+  popt.partitions = 8;
+  out.push_back(std::make_unique<PartitionedMatcher>(dev, popt));
+  out.push_back(std::make_unique<HashMatcher>(dev));
+  out.push_back(std::make_unique<ListMatcher>());
+  out.push_back(std::make_unique<PartitionedListMatcher>(8));
+  out.push_back(std::make_unique<HashedBinsMatcher>(16));
+  return out;
+}
+
+Workload workload_for(const Matcher::Traits& t, std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.pairs = 300;
+  spec.src_wildcard_prob = t.source_wildcards ? 0.2 : 0.0;
+  spec.tag_wildcard_prob = t.tag_wildcards ? 0.2 : 0.0;
+  // Unordered matchers pair exact tuples only; keep every tuple matchable
+  // (and give unique_tuples a tuple space larger than `pairs`).
+  spec.unique_tuples = !t.ordered;
+  spec.sources = spec.unique_tuples ? 32 : 16;
+  spec.tags = spec.sources;
+  spec.seed = seed;
+  return make_workload(spec);
+}
+
+TEST(MatcherInterface, NamesAreUniqueAndStable) {
+  std::set<std::string> names;
+  for (const auto& m : all_matchers()) {
+    EXPECT_FALSE(m->name().empty());
+    EXPECT_TRUE(names.insert(std::string(m->name())).second)
+        << "duplicate matcher name " << m->name();
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(MatcherInterface, EveryMatcherAgreesWithReferenceOnRandomSweep) {
+  for (const auto& matcher : all_matchers()) {
+    const auto traits = matcher->traits();
+    for (std::uint64_t seed = 81; seed <= 84; ++seed) {
+      const auto w = workload_for(traits, seed);
+      const auto s = matcher->match(w.messages, w.requests);
+      const std::string where =
+          std::string(matcher->name()) + " seed=" + std::to_string(seed);
+
+      if (traits.ordered) {
+        // Ordered matchers must reproduce the oracle pairing exactly.
+        const auto ref = ReferenceMatcher::match(w.messages, w.requests);
+        EXPECT_EQ(s.result.request_match, ref.request_match) << where;
+      } else {
+        // Unordered matchers must produce a maximum valid matching over
+        // exact tuples: same cardinality, envelopes equal, nothing reused.
+        EXPECT_EQ(s.result.matched(),
+                  ReferenceMatcher::pairable_count(w.messages, w.requests))
+            << where;
+        std::vector<bool> used(w.messages.size(), false);
+        for (std::size_t r = 0; r < s.result.request_match.size(); ++r) {
+          const auto m = s.result.request_match[r];
+          if (m == kNoMatch) continue;
+          ASSERT_FALSE(used[static_cast<std::size_t>(m)]) << where;
+          used[static_cast<std::size_t>(m)] = true;
+          EXPECT_EQ(w.requests[r].env, w.messages[static_cast<std::size_t>(m)].env)
+              << where;
+        }
+      }
+      EXPECT_GE(s.seconds, 0.0) << where;
+    }
+  }
+}
+
+TEST(MatcherInterface, DefaultMatchQueuesDrainsMatchedEntries) {
+  // The base-class match_queues() (used by the CPU baselines) must remove
+  // matched elements from both queues, like the SIMT overrides do.
+  for (const auto& matcher : all_matchers()) {
+    const auto w = workload_for(matcher->traits(), 91);
+    MessageQueue mq;
+    RecvQueue rq;
+    fill_queues(w, mq, rq);
+    const auto s = matcher->match_queues(mq, rq);
+    const std::string where(matcher->name());
+    EXPECT_EQ(mq.size(), w.messages.size() - s.result.matched()) << where;
+    EXPECT_EQ(rq.size(), w.requests.size() - s.result.matched()) << where;
+  }
+}
+
+TEST(MatcherInterface, TraitsMatchDocumentedSemantics) {
+  for (const auto& m : all_matchers()) {
+    const auto t = m->traits();
+    const std::string_view name = m->name();
+    if (name == "partitioned-matrix") {
+      EXPECT_FALSE(t.source_wildcards);
+      EXPECT_TRUE(t.ordered);
+    } else if (name == "hash-table") {
+      EXPECT_FALSE(t.ordered);
+      EXPECT_FALSE(t.tag_wildcards);
+      EXPECT_FALSE(t.source_wildcards);
+    } else {
+      // Matrix and the three CPU list baselines implement full MPI
+      // semantics.
+      EXPECT_TRUE(t.ordered) << name;
+      EXPECT_TRUE(t.tag_wildcards) << name;
+      EXPECT_TRUE(t.source_wildcards) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simtmsg::matching

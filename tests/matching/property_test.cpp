@@ -59,7 +59,7 @@ TEST_P(OrderedMatcherProperty, MatrixQueuesEqualReference) {
 
 TEST_P(OrderedMatcherProperty, ListBatchEqualsReference) {
   const auto w = make();
-  EXPECT_EQ(ListMatcher::match(w.messages, w.requests).request_match,
+  EXPECT_EQ(ListMatcher{}.match(w.messages, w.requests).result.request_match,
             ReferenceMatcher::match(w.messages, w.requests).request_match);
 }
 

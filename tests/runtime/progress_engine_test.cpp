@@ -30,7 +30,7 @@ class ProgressEngineTest : public ::testing::Test {
 TEST_F(ProgressEngineTest, EmptyQueuesNoMatch) {
   EXPECT_EQ(engine_.step(incoming_, posted_, out_), 0u);
   EXPECT_TRUE(out_.empty());
-  EXPECT_EQ(engine_.steps(), 1u);
+  EXPECT_EQ(engine_.snapshot().calls, 1u);
 }
 
 TEST_F(ProgressEngineTest, MatchProducesCompletion) {
@@ -60,9 +60,25 @@ TEST_F(ProgressEngineTest, AccumulatesModelledTime) {
     posted_.push(req(0, i, static_cast<std::uint64_t>(i)));
   }
   (void)engine_.step(incoming_, posted_, out_);
-  EXPECT_EQ(engine_.matches(), 8u);
-  EXPECT_GT(engine_.matching_seconds(), 0.0);
-  EXPECT_GT(engine_.matching_cycles(), 0.0);
+  const auto report = engine_.snapshot();
+  EXPECT_EQ(report.matches, 8u);
+  EXPECT_GT(report.seconds, 0.0);
+  EXPECT_GT(report.cycles, 0.0);
+  EXPECT_GT(report.matches_per_second(), 0.0);
+}
+
+TEST_F(ProgressEngineTest, DeprecatedAccessorsMirrorSnapshot) {
+  incoming_.push(msg(0, 5, 123));
+  posted_.push(req(0, 5, 42));
+  (void)engine_.step(incoming_, posted_, out_);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto report = engine_.snapshot();
+  EXPECT_EQ(engine_.steps(), report.calls);
+  EXPECT_EQ(engine_.matches(), report.matches);
+  EXPECT_EQ(engine_.matching_seconds(), report.seconds);
+  EXPECT_EQ(engine_.matching_cycles(), report.cycles);
+#pragma GCC diagnostic pop
 }
 
 TEST_F(ProgressEngineTest, WildcardCompletionReportsConcreteEnvelope) {

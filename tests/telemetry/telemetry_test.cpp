@@ -1,0 +1,313 @@
+// Telemetry subsystem: primitive arithmetic, JSON round-trips, and the
+// snapshot() consistency contract — an engine's TelemetryReport totals must
+// equal the sum of the per-call SimtMatchStats it handed out.
+#include "telemetry/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "matching/engine.hpp"
+#include "matching/workload.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/report.hpp"
+
+namespace simtmsg::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitives.
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, HoldsLastValue) {
+  Gauge g;
+  g.set(1.5);
+  g.set(-3.0);
+  EXPECT_EQ(g.value(), -3.0);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 64);
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_lower_bound(b)), b) << b;
+  }
+}
+
+TEST(Histogram, Moments) {
+  Histogram h;
+  EXPECT_EQ(h.min(), 0u);  // Empty histogram reports 0, not 2^64-1.
+  for (const std::uint64_t v : {4u, 8u, 12u}) h.record(v);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 24u);
+  EXPECT_EQ(h.min(), 4u);
+  EXPECT_EQ(h.max(), 12u);
+  EXPECT_DOUBLE_EQ(h.mean(), 8.0);
+}
+
+TEST(Histogram, PercentileIsBucketUpperBoundEstimate) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.record(1);
+  h.record(1024);
+  EXPECT_EQ(h.percentile(50.0), 1u);
+  EXPECT_EQ(h.percentile(100.0), 1024u);
+}
+
+TEST(Histogram, MergePreservesMoments) {
+  Histogram a, b;
+  a.record(1);
+  a.record(100);
+  b.record(7);
+  a += b;
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 108u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 100u);
+}
+
+TEST(Registry, LookupOrCreateReturnsStableInstruments) {
+  Registry r;
+  r.counter("x").add(2);
+  r.counter("x").add(3);
+  EXPECT_EQ(r.counter("x").value(), 5u);
+  r.histogram("h").record(9);
+  EXPECT_EQ(r.histograms().at("h").count(), 1u);
+  r.reset();
+  EXPECT_TRUE(r.counters().empty());
+  EXPECT_TRUE(r.histograms().empty());
+}
+
+TEST(Span, CommitsPhaseOnDestruction) {
+  Registry r;
+  {
+    Span s(r, "phase.a");
+    s.add_cycles(100.0);
+    s.add_cycles(20.0);
+  }
+  const auto& p = r.phases().at("phase.a");
+  EXPECT_EQ(p.calls, 1u);
+  EXPECT_DOUBLE_EQ(p.device_cycles, 120.0);
+  EXPECT_GE(p.wall_seconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// JSON.
+
+TEST(Json, RoundTripsThroughText) {
+  Json doc = Json::object();
+  doc.set("name", "bench")
+      .set("count", std::uint64_t{42})
+      .set("rate", 1.5)
+      .set("ok", true)
+      .set("nothing", nullptr);
+  Json arr = Json::array();
+  arr.push(1).push(2).push("three");
+  doc.set("items", std::move(arr));
+
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back, doc);
+  EXPECT_EQ(back.at("count").as_uint(), 42u);
+  EXPECT_EQ(back.at("items").at(2).as_string(), "three");
+}
+
+TEST(Json, IntegralNumbersPrintWithoutDecimalPoint) {
+  EXPECT_EQ(Json(std::uint64_t{42}).dump(-1), "42");
+  EXPECT_EQ(Json(1.5).dump(-1), "1.5");
+}
+
+TEST(Json, EscapesStrings) {
+  const Json j = std::string("a\"b\\c\nd");
+  const Json back = Json::parse(j.dump(-1));
+  EXPECT_EQ(back.as_string(), "a\"b\\c\nd");
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_THROW((void)Json::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("42 junk"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse(""), std::runtime_error);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json doc = Json::object();
+  doc.set("z", 1).set("a", 2);
+  EXPECT_EQ(doc.members()[0].first, "z");
+  EXPECT_EQ(doc.members()[1].first, "a");
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryReport.
+
+TEST(TelemetryReport, MergeSumsTotalsAndInstruments) {
+  TelemetryReport a, b;
+  a.calls = 1;
+  a.matches = 10;
+  a.cycles = 5.0;
+  a.counters["c"] = 1;
+  b.calls = 2;
+  b.matches = 20;
+  b.cycles = 7.0;
+  b.counters["c"] = 2;
+  b.counters["d"] = 9;
+  a.merge(b);
+  EXPECT_EQ(a.calls, 3u);
+  EXPECT_EQ(a.matches, 30u);
+  EXPECT_DOUBLE_EQ(a.cycles, 12.0);
+  EXPECT_EQ(a.counters["c"], 3u);
+  EXPECT_EQ(a.counters["d"], 9u);
+}
+
+TEST(TelemetryReport, AbsorbCopiesRegistryInstruments) {
+  Registry r;
+  r.counter("k").add(4);
+  r.histogram("h").record(2);
+  r.gauge("g").set(0.25);
+  TelemetryReport report;
+  report.absorb(r);
+  EXPECT_EQ(report.counters.at("k"), 4u);
+  EXPECT_EQ(report.histograms.at("h").count, 1u);
+  EXPECT_DOUBLE_EQ(report.gauges.at("g"), 0.25);
+}
+
+TEST(TelemetryReport, JsonExportRoundTripsHeadline) {
+  TelemetryReport r;
+  r.calls = 3;
+  r.matches = 7;
+  r.seconds = 0.5;
+  r.counters["matcher.matrix.calls"] = 3;
+  const Json j = Json::parse(r.to_json().dump());
+  EXPECT_EQ(j.at("calls").as_uint(), 3u);
+  EXPECT_EQ(j.at("matches").as_uint(), 7u);
+  EXPECT_DOUBLE_EQ(j.at("matches_per_second").as_number(), 14.0);
+  EXPECT_EQ(j.at("counters").at("matcher.matrix.calls").as_uint(), 3u);
+  EXPECT_TRUE(j.at("events").contains("scan"));
+}
+
+TEST(TelemetryReport, CsvExportListsHeadlineMetrics) {
+  TelemetryReport r;
+  r.calls = 2;
+  r.matches = 5;
+  std::ostringstream os;
+  r.write_csv(os);
+  EXPECT_NE(os.str().find("metric,value"), std::string::npos);
+  EXPECT_NE(os.str().find("matches,5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// snapshot() consistency: the engine's report totals must equal the sum of
+// the SimtMatchStats it returned — the core contract replacing the old
+// accessor quartet.
+
+TEST(SnapshotConsistency, EngineTotalsEqualSumOfPerCallStats) {
+  const matching::MatchEngine engine(simt::pascal_gtx1080(),
+                                     matching::SemanticsConfig{});
+  std::uint64_t matches = 0, iterations = 0;
+  double cycles = 0.0, seconds = 0.0;
+  std::uint64_t scan_branches = 0;
+  constexpr int kCalls = 5;
+  for (int i = 0; i < kCalls; ++i) {
+    matching::WorkloadSpec spec;
+    spec.pairs = 100 + static_cast<std::size_t>(i) * 50;
+    spec.seed = 700 + static_cast<std::uint64_t>(i);
+    const auto w = matching::make_workload(spec);
+    const auto s = engine.match(w.messages, w.requests);
+    matches += s.result.matched();
+    iterations += static_cast<std::uint64_t>(s.iterations);
+    cycles += s.cycles;
+    seconds += s.seconds;
+    scan_branches += s.scan_events.branch_instructions;
+  }
+
+  const TelemetryReport r = engine.snapshot();
+  EXPECT_EQ(r.calls, static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(r.matches, matches);
+  EXPECT_EQ(r.iterations, iterations);
+  EXPECT_DOUBLE_EQ(r.cycles, cycles);
+  EXPECT_DOUBLE_EQ(r.seconds, seconds);
+  EXPECT_EQ(r.scan_events.branch_instructions, scan_branches);
+}
+
+TEST(SnapshotConsistency, MatchQueuesAccumulatesLikeMatch) {
+  const matching::MatchEngine engine(simt::pascal_gtx1080(),
+                                     matching::SemanticsConfig{});
+  matching::WorkloadSpec spec;
+  spec.pairs = 64;
+  spec.seed = 99;
+  const auto w = matching::make_workload(spec);
+  matching::MessageQueue mq;
+  matching::RecvQueue rq;
+  matching::fill_queues(w, mq, rq);
+  const auto s = engine.match_queues(mq, rq);
+  const TelemetryReport r = engine.snapshot();
+  EXPECT_EQ(r.calls, 1u);
+  EXPECT_EQ(r.matches, s.result.matched());
+  EXPECT_DOUBLE_EQ(r.cycles, s.cycles);
+}
+
+TEST(SnapshotConsistency, HeadlineTotalsSurviveTelemetryOff) {
+  // Whatever SIMTMSG_TELEMETRY says, snapshot() must report the headline
+  // totals; only the named instrument maps are allowed to be empty.
+  const matching::MatchEngine engine(simt::pascal_gtx1080(),
+                                     matching::SemanticsConfig{});
+  matching::WorkloadSpec spec;
+  spec.pairs = 32;
+  const auto w = matching::make_workload(spec);
+  (void)engine.match(w.messages, w.requests);
+  const TelemetryReport r = engine.snapshot();
+  EXPECT_EQ(r.calls, 1u);
+  EXPECT_GT(r.matches, 0u);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Global instrumentation hooks (only observable when compiled in).
+
+TEST(GlobalHooks, MatchersFeedTheGlobalRegistry) {
+  if constexpr (!kEnabled) {
+    GTEST_SKIP() << "built with SIMTMSG_TELEMETRY=OFF";
+  } else {
+    Registry::global().reset();
+    const matching::MatchEngine engine(simt::pascal_gtx1080(),
+                                       matching::SemanticsConfig{});
+    matching::WorkloadSpec spec;
+    spec.pairs = 128;
+    const auto w = matching::make_workload(spec);
+    (void)engine.match(w.messages, w.requests);
+
+    const Registry& g = Registry::global();
+    EXPECT_EQ(g.counters().at("matcher.matrix.calls").value(), 1u);
+    EXPECT_GT(g.counters().at("matcher.matrix.matches").value(), 0u);
+    EXPECT_EQ(g.histograms().at("matcher.matrix.queue_depth").max(), 128u);
+    EXPECT_GT(g.phases().at("matcher.matrix").device_cycles, 0.0);
+    Registry::global().reset();
+  }
+}
+
+TEST(GlobalHooks, HooksAreNoOpsWhenDisabled) {
+  if constexpr (kEnabled) {
+    GTEST_SKIP() << "only meaningful with SIMTMSG_TELEMETRY=OFF";
+  } else {
+    count("should.not.exist");
+    observe("should.not.exist", 1);
+    set_gauge("should.not.exist", 1.0);
+    charge_phase("should.not.exist", 1.0);
+    EXPECT_TRUE(Registry::global().counters().empty());
+    EXPECT_TRUE(Registry::global().histograms().empty());
+  }
+}
+
+}  // namespace
+}  // namespace simtmsg::telemetry
