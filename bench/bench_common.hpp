@@ -5,6 +5,7 @@
 // scripts/run_benches.sh merges into BENCH_matching.json.
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "simt/device_spec.hpp"
+#include "simt/launcher.hpp"
 #include "telemetry/json.hpp"
 #include "util/table.hpp"
 
@@ -35,6 +37,11 @@ inline void print_csv(const std::vector<std::vector<std::string>>& rows) {
 /// usage so a typo'd `--jsno` cannot silently drop the report.
 struct Options {
   std::string json_path;  ///< Empty unless `--json <path>` was given.
+  /// Host threads for the emulation (`--threads N`; 0 = hardware
+  /// concurrency).  Changes only host wall-clock time: the modelled cycle
+  /// and rate numbers — and therefore the JSON report — are bit-identical
+  /// for every thread count, which scripts/run_benches.sh relies on.
+  int threads = 1;
 
   static Options parse(int argc, char** argv) {
     Options opt;
@@ -42,13 +49,46 @@ struct Options {
       const std::string_view arg = argv[i];
       if (arg == "--json" && i + 1 < argc) {
         opt.json_path = argv[++i];
+      } else if (arg == "--threads" && i + 1 < argc) {
+        opt.threads = std::atoi(argv[++i]);
+        if (opt.threads < 0) {
+          std::cerr << "--threads must be >= 0\n";
+          std::exit(2);
+        }
       } else {
-        std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+        std::cerr << "usage: " << argv[0] << " [--json <path>] [--threads <n>]\n";
         std::exit(2);
       }
     }
     return opt;
   }
+
+  [[nodiscard]] simt::ExecutionPolicy policy() const noexcept {
+    return simt::ExecutionPolicy{threads};
+  }
+};
+
+/// Wall-clock stopwatch for the host-side emulation cost.  Printed to
+/// stdout only — never written into the JSON report, which must stay
+/// byte-identical across `--threads` settings.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double seconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  /// "host wall time: 1.234 s (4 threads)"
+  void report(const Options& opt) const {
+    std::cout << "host wall time: " << seconds() << " s ("
+              << opt.policy().resolved_threads() << " thread"
+              << (opt.policy().resolved_threads() == 1 ? "" : "s") << ")\n";
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Machine-readable bench result:

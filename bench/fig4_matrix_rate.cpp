@@ -19,6 +19,7 @@ using namespace simtmsg;
 int run(const bench::Options& opt) {
   bench::print_header("fig4_matrix_rate", "Figure 4 (Section V-B)");
   bench::JsonReport report("fig4_matrix_rate", "Figure 4 (Section V-B)");
+  const bench::WallTimer timer;
 
   const std::vector<std::size_t> lengths = {64, 128, 256, 384, 512, 640, 768, 896, 1024};
 
@@ -39,7 +40,9 @@ int run(const bench::Options& opt) {
     std::vector<std::string> row = {std::to_string(len)};
     std::vector<std::string> csv_row = {std::to_string(len)};
     for (const auto& dev : simt::all_devices()) {
-      const matching::MatrixMatcher matcher(dev);
+      matching::MatrixMatcher::Options mopt;
+      mopt.policy = opt.policy();
+      const matching::MatrixMatcher matcher(dev, mopt);
       matching::MessageQueue mq;
       matching::RecvQueue rq;
       matching::fill_queues(w, mq, rq);
@@ -66,6 +69,7 @@ int run(const bench::Options& opt) {
   table.print(std::cout);
   std::cout << "\npaper reference: K80 ~3 M/s, M40 ~3.5 M/s, GTX1080 ~6 M/s;\n"
                "steady across lengths, drop at 1024 (no scan/reduce overlap).\n";
+  timer.report(opt);
   bench::print_csv(csv);
 
   report.headline()

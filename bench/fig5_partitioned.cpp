@@ -15,7 +15,7 @@ namespace {
 using namespace simtmsg;
 
 double measure(const simt::DeviceSpec& dev, int queues, std::size_t total_len,
-               int* ctas_out = nullptr) {
+               const simt::ExecutionPolicy& policy, int* ctas_out = nullptr) {
   matching::WorkloadSpec spec;
   spec.pairs = total_len;
   // Uniform source distribution over enough ranks to feed every queue (the
@@ -27,6 +27,7 @@ double measure(const simt::DeviceSpec& dev, int queues, std::size_t total_len,
 
   matching::PartitionedMatcher::Options opt;
   opt.partitions = queues;
+  opt.policy = policy;
   const matching::PartitionedMatcher matcher(dev, opt);
   const auto s = matcher.match(w.messages, w.requests);
   if (ctas_out != nullptr) *ctas_out = s.ctas_used;
@@ -36,6 +37,7 @@ double measure(const simt::DeviceSpec& dev, int queues, std::size_t total_len,
 int run(const bench::Options& opt) {
   bench::print_header("fig5_partitioned", "Figure 5 (Section VI-A)");
   bench::JsonReport report("fig5_partitioned", "Figure 5 (Section VI-A)");
+  const bench::WallTimer timer;
 
   const std::vector<int> queue_counts = {1, 2, 4, 8, 16, 32};
   const std::vector<std::size_t> total_lengths = {256, 512, 1024, 2048, 4096, 8192};
@@ -48,7 +50,7 @@ int run(const bench::Options& opt) {
     std::vector<std::string> row = {std::to_string(len)};
     for (const auto q : queue_counts) {
       int ctas = 0;
-      const double raw = measure(simt::pascal_gtx1080(), q, len, &ctas);
+      const double raw = measure(simt::pascal_gtx1080(), q, len, opt.policy(), &ctas);
       const double mps = raw / 1e6;
       row.push_back(util::AsciiTable::num(mps, 1) + " (" + std::to_string(ctas) + ")");
       csv.push_back({std::to_string(len), std::to_string(q),
@@ -70,9 +72,9 @@ int run(const bench::Options& opt) {
   int samples = 0;
   for (const auto q : queue_counts) {
     for (const auto len : total_lengths) {
-      const double p = measure(simt::pascal_gtx1080(), q, len);
-      sum_k += p / measure(simt::kepler_k80(), q, len);
-      sum_m += p / measure(simt::maxwell_m40(), q, len);
+      const double p = measure(simt::pascal_gtx1080(), q, len, opt.policy());
+      sum_k += p / measure(simt::kepler_k80(), q, len, opt.policy());
+      sum_m += p / measure(simt::maxwell_m40(), q, len, opt.policy());
       ++samples;
     }
   }
@@ -80,6 +82,7 @@ int run(const bench::Options& opt) {
             << "x over K80 (paper: 2.12x), " << util::AsciiTable::num(sum_m / samples, 2)
             << "x over M40 (paper: 1.56x)\n"
             << "paper reference: ~linear scaling to 4 queues, just below linear after.\n";
+  timer.report(opt);
   bench::print_csv(csv);
 
   report.headline()

@@ -18,6 +18,7 @@ using namespace simtmsg;
 int run(const bench::Options& opt) {
   bench::print_header("table2_summary", "Table II (Section VII)");
   bench::JsonReport report("table2_summary", "Table II (Section VII)");
+  const bench::WallTimer timer;
 
   // The fully matching 1024-element workload every row can complete;
   // wildcard-free and unique so all six semantics apply.
@@ -41,7 +42,7 @@ int run(const bench::Options& opt) {
 
   int row_idx = 0;
   for (const auto& row : matching::table2_rows()) {
-    const matching::MatchEngine engine(simt::pascal_gtx1080(), row);
+    const matching::MatchEngine engine(simt::pascal_gtx1080(), row, opt.policy());
     const auto s = engine.match(w.messages, w.requests);
     if (s.result.matched() != spec.pairs) {
       std::cerr << "FATAL: row " << row_idx << " matched " << s.result.matched() << "\n";
@@ -74,6 +75,7 @@ int run(const bench::Options& opt) {
 
   std::cout << "GTX 1080 model, 1024-element fully matching workload:\n";
   table.print(std::cout);
+  timer.report(opt);
   bench::print_csv(csv);
 
   report.headline().set("metric", "table2_row_matches_per_second");

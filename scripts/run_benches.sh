@@ -2,11 +2,21 @@
 # Build Release, run the headline reproduction benches with --json, and
 # merge the per-bench reports into BENCH_matching.json at the repo root
 # (schema: docs/telemetry.md).
+#
+# --threads N (or THREADS=N) runs the emulation on N host threads (0 = all
+# cores).  This only changes host wall-clock time, reported in each bench's
+# log: the modelled numbers, and therefore BENCH_matching.json, are
+# bit-identical for every thread count.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-${repo_root}/build-release}"
 out_json="${repo_root}/BENCH_matching.json"
+threads="${THREADS:-1}"
+if [[ "${1:-}" == "--threads" && -n "${2:-}" ]]; then
+  threads="$2"
+  shift 2
+fi
 json_dir="$(mktemp -d)"
 trap 'rm -rf "${json_dir}"' EXIT
 
@@ -18,8 +28,10 @@ echo "== building benches"
 cmake --build "${build_dir}" -j --target "${benches[@]}" > /dev/null
 
 for b in "${benches[@]}"; do
-  echo "== running ${b}"
-  "${build_dir}/bench/${b}" --json "${json_dir}/${b}.json" > "${json_dir}/${b}.log"
+  echo "== running ${b} (${threads} host thread(s))"
+  "${build_dir}/bench/${b}" --json "${json_dir}/${b}.json" --threads "${threads}" \
+    > "${json_dir}/${b}.log"
+  grep "^host wall time:" "${json_dir}/${b}.log" || true
 done
 
 echo "== merging into ${out_json}"

@@ -39,111 +39,175 @@ int DeviceHashTable::hash_cost(util::HashKind kind) noexcept {
   return 12;
 }
 
-void DeviceHashTable::insert(simt::WarpContext& warp, const simt::LaneU32& keys,
-                             const simt::LaneU32& values, simt::LaneBool& inserted) {
-  const simt::LaneMask entry_mask = warp.active();
+DeviceHashTable::InsertOutcome DeviceHashTable::insert_resolve(const simt::LaneU32& keys,
+                                                               const simt::LaneU32& values,
+                                                               simt::LaneMask active) {
+  InsertOutcome o;
+  o.attempted = active;
 
-  // Level 1: hash + CAS into the primary table.
+  // Level 1: CAS into the primary table.  Lane order is the CAS priority
+  // rule: when two lanes hash to the same slot, the lower lane wins and the
+  // higher lane sees its entry (exactly the functional behaviour of
+  // WarpContext::atomic_cas).
+  for (int lane = 0; lane < simt::kWarpSize; ++lane) {
+    if (!util::test_bit(active, lane)) continue;
+    auto& slot = primary_[primary_slot(keys[lane])];
+    if (slot == 0) {
+      slot = pack_entry(keys[lane], values[lane]);
+      o.inserted = util::set_bit(o.inserted, lane);
+    } else {
+      o.collided = util::set_bit(o.collided, lane);
+    }
+  }
+
+  // Level 2: colliding lanes retry in the secondary table.
+  for (int lane = 0; lane < simt::kWarpSize; ++lane) {
+    if (!util::test_bit(o.collided, lane)) continue;
+    auto& slot = secondary_[secondary_slot(keys[lane])];
+    if (slot == 0) {
+      slot = pack_entry(keys[lane], values[lane]);
+      o.inserted = util::set_bit(o.inserted, lane);
+    }
+  }
+  return o;
+}
+
+void DeviceHashTable::insert_charge(simt::WarpContext& warp, const simt::LaneU32& keys,
+                                    const InsertOutcome& o) const {
+  // Mirrors the fused operation's counter stream: hash + slot compute,
+  // entry packing, level-1 CAS; then for the colliding subset a second hash
+  // and CAS in the secondary table.
   simt::LaneSize slots;
   warp.lanes([&](int lane) { slots[lane] = primary_slot(keys[lane]); },
              hash_cost(hash_) + 1);
-  simt::LaneU64 desired;
-  warp.lanes([&](int lane) { desired[lane] = pack_entry(keys[lane], values[lane]); }, 2);
-  const auto prev1 =
-      warp.atomic_cas(std::span<std::uint64_t>(primary_), slots, simt::LaneU64(0), desired);
+  warp.count_alu(2);  // pack_entry of the desired words.
+  warp.count_atomic_cas(slots);
 
-  simt::LaneMask collided = 0;
-  for (int lane = 0; lane < simt::kWarpSize; ++lane) {
-    if (!warp.lane_active(lane)) continue;
-    inserted[lane] = (prev1[lane] == 0);
-    if (!inserted[lane]) collided = util::set_bit(collided, lane);
-  }
-  warp.count_branch(collided != 0 && collided != entry_mask);
-  if (collided == 0) return;
+  warp.count_branch(o.collided != 0 && o.collided != o.attempted);
+  if (o.collided == 0) return;
 
-  // Level 2: colliding lanes retry in the secondary table.
-  warp.set_active(collided);
+  warp.set_active(o.collided);
   warp.lanes([&](int lane) { slots[lane] = secondary_slot(keys[lane]); },
              hash_cost(hash_) + 1);
-  const auto prev2 =
-      warp.atomic_cas(std::span<std::uint64_t>(secondary_), slots, simt::LaneU64(0), desired);
-  for (int lane = 0; lane < simt::kWarpSize; ++lane) {
-    if (!util::test_bit(collided, lane)) continue;
-    inserted[lane] = (prev2[lane] == 0);
-  }
-  warp.set_active(entry_mask);
+  warp.count_atomic_cas(slots);
+  warp.set_active(o.attempted);
 }
 
-void DeviceHashTable::probe_claim(simt::WarpContext& warp, const simt::LaneU32& keys,
-                                  simt::LaneU32& values, simt::LaneBool& found,
-                                  const Verifier& verify) {
-  const simt::LaneMask entry_mask = warp.active();
+void DeviceHashTable::insert(simt::WarpContext& warp, const simt::LaneU32& keys,
+                             const simt::LaneU32& values, simt::LaneBool& inserted) {
+  const InsertOutcome o = insert_resolve(keys, values, warp.active());
+  insert_charge(warp, keys, o);
+  for (int lane = 0; lane < simt::kWarpSize; ++lane) {
+    if (!util::test_bit(o.attempted, lane)) continue;
+    inserted[lane] = util::test_bit(o.inserted, lane);
+  }
+}
 
-  const auto try_level = [&](std::vector<std::uint64_t>& table, bool primary_level) {
+DeviceHashTable::ProbeOutcome DeviceHashTable::probe_resolve(const simt::LaneU32& keys,
+                                                             simt::LaneMask active,
+                                                             const Verifier& verify) {
+  ProbeOutcome o;
+  o.attempted = active;
+
+  const auto try_level = [&](std::vector<std::uint64_t>& table, bool primary_level,
+                             simt::LaneMask lvl_active, int level) {
+    auto& lv = o.levels[level];
+    lv.reached = true;
+    lv.active = lvl_active;
+
+    std::size_t slots[simt::kWarpSize];
+    std::uint64_t seen[simt::kWarpSize];
+    for (int lane = 0; lane < simt::kWarpSize; ++lane) {
+      if (!util::test_bit(lvl_active, lane)) continue;
+      slots[lane] = primary_level ? primary_slot(keys[lane]) : secondary_slot(keys[lane]);
+      seen[lane] = table[slots[lane]];
+    }
+
+    // Lanes whose slot holds their key attempt to claim it by CAS-to-empty.
+    for (int lane = 0; lane < simt::kWarpSize; ++lane) {
+      if (!util::test_bit(lvl_active, lane)) continue;
+      if (seen[lane] != 0 &&
+          static_cast<std::uint32_t>(seen[lane] >> 32) == keys[lane]) {
+        lv.want = util::set_bit(lv.want, lane);
+      }
+    }
+    if (lv.want == 0) return;
+
+    // Full-entry verification before claiming: aliased keys must not evict
+    // the genuine owner's entry.
+    lv.verified = lv.want;
+    if (verify) {
+      lv.verify_ran = true;
+      for (int lane = 0; lane < simt::kWarpSize; ++lane) {
+        if (!util::test_bit(lv.want, lane)) continue;
+        const auto value = static_cast<std::uint32_t>(seen[lane] & 0xFFFF'FFFFu) - 1;
+        if (!verify(lane, value)) lv.verified = util::clear_bit(lv.verified, lane);
+      }
+      if (lv.verified == 0) return;
+    }
+
+    // CAS-to-empty claims in lane order: if two lanes race for the same
+    // entry, the lower lane claims it and the higher lane's CAS fails.
+    for (int lane = 0; lane < simt::kWarpSize; ++lane) {
+      if (!util::test_bit(lv.verified, lane)) continue;
+      if (table[slots[lane]] == seen[lane]) {
+        table[slots[lane]] = 0;
+        o.found = util::set_bit(o.found, lane);
+        o.values[lane] = static_cast<std::uint32_t>(seen[lane] & 0xFFFF'FFFFu) - 1;
+      }
+    }
+  };
+
+  try_level(primary_, /*primary_level=*/true, active, 0);
+
+  // Unresolved lanes fall through to the secondary table.
+  const simt::LaneMask unresolved = active & ~o.found;
+  if (unresolved != 0) try_level(secondary_, /*primary_level=*/false, unresolved, 1);
+  return o;
+}
+
+void DeviceHashTable::probe_charge(simt::WarpContext& warp, const simt::LaneU32& keys,
+                                   const ProbeOutcome& o) const {
+  const auto charge_level = [&](bool primary_level, const ProbeOutcome::Level& lv) {
+    warp.set_active(lv.active);
     simt::LaneSize slots;
     warp.lanes(
         [&](int lane) {
           slots[lane] = primary_level ? primary_slot(keys[lane]) : secondary_slot(keys[lane]);
         },
         hash_cost(hash_) + 1);
-    const auto seen = warp.load_global(std::span<const std::uint64_t>(table), slots);
-
-    // Lanes whose slot holds their key attempt to claim it by CAS-to-empty.
-    simt::LaneMask want = 0;
-    for (int lane = 0; lane < simt::kWarpSize; ++lane) {
-      if (!warp.lane_active(lane)) continue;
-      if (seen[lane] != 0 &&
-          static_cast<std::uint32_t>(seen[lane] >> 32) == keys[lane]) {
-        want = util::set_bit(want, lane);
-      }
-    }
+    warp.count_global_load<std::uint64_t>(slots);  // The `seen` snapshot.
     warp.count_alu(2);
-    warp.count_branch(want != 0 && want != warp.active());
-    if (want == 0) return;
+    warp.count_branch(lv.want != 0 && lv.want != lv.active);
+    if (lv.want == 0) return;
 
-    // Full-entry verification before claiming: aliased keys must not evict
-    // the genuine owner's entry.
-    if (verify) {
+    if (lv.verify_ran) {
       warp.counters().global_load_requests += 1;
-      warp.counters().global_transactions += static_cast<std::uint64_t>(
-          util::popc(want));
+      warp.counters().global_transactions +=
+          static_cast<std::uint64_t>(util::popc(lv.want));
       warp.count_alu(2);
-      for (int lane = 0; lane < simt::kWarpSize; ++lane) {
-        if (!util::test_bit(want, lane)) continue;
-        const auto value =
-            static_cast<std::uint32_t>(seen[lane] & 0xFFFF'FFFFu) - 1;
-        if (!verify(lane, value)) want = util::clear_bit(want, lane);
-      }
-      if (want == 0) return;
+      if (lv.verified == 0) return;
     }
 
-    const simt::LaneMask prev_active = warp.set_active(want);
-    const auto prev =
-        warp.atomic_cas(std::span<std::uint64_t>(table), slots, seen, simt::LaneU64(0));
-    for (int lane = 0; lane < simt::kWarpSize; ++lane) {
-      if (!util::test_bit(want, lane)) continue;
-      if (prev[lane] == seen[lane]) {
-        found[lane] = true;
-        values[lane] = static_cast<std::uint32_t>(seen[lane] & 0xFFFF'FFFFu) - 1;
-      }
-    }
-    warp.set_active(prev_active);
+    warp.set_active(lv.verified);
+    warp.count_atomic_cas(slots);
+    warp.set_active(lv.active);
   };
 
-  for (int lane = 0; lane < simt::kWarpSize; ++lane) found[lane] = false;
+  charge_level(/*primary_level=*/true, o.levels[0]);
+  if (o.levels[1].reached) charge_level(/*primary_level=*/false, o.levels[1]);
+  warp.set_active(o.attempted);
+}
 
-  try_level(primary_, /*primary_level=*/true);
-
-  // Unresolved lanes fall through to the secondary table.
-  simt::LaneMask unresolved = 0;
+void DeviceHashTable::probe_claim(simt::WarpContext& warp, const simt::LaneU32& keys,
+                                  simt::LaneU32& values, simt::LaneBool& found,
+                                  const Verifier& verify) {
+  const ProbeOutcome o = probe_resolve(keys, warp.active(), verify);
+  probe_charge(warp, keys, o);
   for (int lane = 0; lane < simt::kWarpSize; ++lane) {
-    if (warp.lane_active(lane) && !found[lane]) unresolved = util::set_bit(unresolved, lane);
+    found[lane] = util::test_bit(o.found, lane);
+    if (found[lane]) values[lane] = o.values[lane];
   }
-  if (unresolved != 0) {
-    warp.set_active(unresolved);
-    try_level(secondary_, /*primary_level=*/false);
-  }
-  warp.set_active(entry_mask);
 }
 
 bool DeviceHashTable::reinsert_host(std::uint32_t key, std::uint32_t value) {

@@ -50,6 +50,61 @@ class DeviceHashTable {
                    simt::LaneU32& values, simt::LaneBool& found,
                    const Verifier& verify = nullptr);
 
+  // --- Resolve / charge split --------------------------------------------
+  //
+  // insert() and probe_claim() above execute functionally and charge costs
+  // in one pass.  The parallel execution path of the HashMatcher needs the
+  // two concerns separated: the *resolve* step computes the functional
+  // outcome (and mutates the table) serially in warp-group order — cheap
+  // scalar work — while the *charge* step replays only the modelled cost of
+  // the operation against const table metadata, so the charges for
+  // different CTAs can run concurrently on a thread pool.  For any given
+  // outcome, charge emits a counter stream bit-identical to the fused
+  // operation; insert()/probe_claim() are implemented as resolve + charge,
+  // which is what guarantees the serial and parallel paths agree.
+
+  /// Functional outcome of one warp-wide insert.
+  struct InsertOutcome {
+    simt::LaneMask attempted = 0;  ///< Lanes that participated.
+    simt::LaneMask collided = 0;   ///< Level-1 losers that retried in the secondary.
+    simt::LaneMask inserted = 0;   ///< Lanes whose entry landed (either level).
+  };
+
+  /// Resolve a warp-wide insert in lane order (the CAS priority rule).
+  /// Mutates the table; performs no event counting.
+  [[nodiscard]] InsertOutcome insert_resolve(const simt::LaneU32& keys,
+                                             const simt::LaneU32& values,
+                                             simt::LaneMask active);
+
+  /// Charge the modelled cost of an insert with outcome `o`.  Const: safe
+  /// to call concurrently from multiple warps/CTAs.
+  void insert_charge(simt::WarpContext& warp, const simt::LaneU32& keys,
+                     const InsertOutcome& o) const;
+
+  /// Functional outcome of one warp-wide probe-and-claim.
+  struct ProbeOutcome {
+    simt::LaneMask attempted = 0;
+    simt::LaneMask found = 0;  ///< Lanes that claimed an entry.
+    simt::LaneU32 values;      ///< Claimed values (found lanes only).
+    struct Level {
+      simt::LaneMask active = 0;    ///< Lanes probing this level.
+      simt::LaneMask want = 0;      ///< Key-matched lanes before verification.
+      simt::LaneMask verified = 0;  ///< Lanes surviving verification.
+      bool reached = false;
+      bool verify_ran = false;      ///< Whether the verification load happened.
+    } levels[2];                    ///< [0] primary, [1] secondary.
+  };
+
+  /// Resolve a warp-wide probe-and-claim in lane order.  Mutates the table
+  /// (claims); performs no event counting.
+  [[nodiscard]] ProbeOutcome probe_resolve(const simt::LaneU32& keys, simt::LaneMask active,
+                                           const Verifier& verify = nullptr);
+
+  /// Charge the modelled cost of a probe with outcome `o`.  Const: safe to
+  /// call concurrently from multiple warps/CTAs.
+  void probe_charge(simt::WarpContext& warp, const simt::LaneU32& keys,
+                    const ProbeOutcome& o) const;
+
   /// Host-side (un-counted) insert used to undo an erroneous claim after a
   /// full-envelope verification failure (32-bit key aliasing).
   bool reinsert_host(std::uint32_t key, std::uint32_t value);

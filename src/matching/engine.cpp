@@ -48,6 +48,10 @@ struct MatchEngine::Impl {
 };
 
 MatchEngine::MatchEngine(const simt::DeviceSpec& spec, SemanticsConfig cfg)
+    : MatchEngine(spec, cfg, simt::ExecutionPolicy::serial()) {}
+
+MatchEngine::MatchEngine(const simt::DeviceSpec& spec, SemanticsConfig cfg,
+                         const simt::ExecutionPolicy& policy)
     : spec_(&spec), cfg_(cfg), impl_(std::make_unique<Impl>()) {
   if (!valid(cfg_)) {
     throw std::invalid_argument("inconsistent semantics: " + describe(cfg_));
@@ -57,17 +61,20 @@ MatchEngine::MatchEngine(const simt::DeviceSpec& spec, SemanticsConfig cfg)
     // Partitioning the rank space across CTAs is the hash analogue of the
     // multi-queue layout.
     opt.ctas = std::max(1, cfg_.partitions > 1 ? cfg_.partitions / 4 : 1);
+    opt.policy = policy;
     impl_->matcher = std::make_unique<HashMatcher>(spec, opt);
     impl_->algorithm = Algorithm::kHashTable;
   } else if (cfg_.partitions > 1) {
     PartitionedMatcher::Options opt;
     opt.partitions = cfg_.partitions;
     opt.matrix.compact = cfg_.unexpected;
+    opt.policy = policy;
     impl_->matcher = std::make_unique<PartitionedMatcher>(spec, opt);
     impl_->algorithm = Algorithm::kPartitionedMatrix;
   } else {
     MatrixMatcher::Options opt;
     opt.compact = cfg_.unexpected;
+    opt.policy = policy;
     impl_->matcher = std::make_unique<MatrixMatcher>(spec, opt);
     impl_->algorithm = Algorithm::kMatrix;
   }

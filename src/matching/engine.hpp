@@ -20,6 +20,7 @@
 #include "matching/semantics.hpp"
 #include "matching/simt_stats.hpp"
 #include "simt/device_spec.hpp"
+#include "simt/launcher.hpp"
 #include "telemetry/report.hpp"
 
 namespace simtmsg::matching {
@@ -36,6 +37,11 @@ enum class Algorithm {
 class MatchEngine {
  public:
   MatchEngine(const simt::DeviceSpec& spec, SemanticsConfig cfg);
+  /// As above, with an explicit host execution policy for the selected
+  /// matcher (CTAs / partitions scheduled onto host threads).  Modelled
+  /// results are policy-invariant; only host wall-clock time changes.
+  MatchEngine(const simt::DeviceSpec& spec, SemanticsConfig cfg,
+              const simt::ExecutionPolicy& policy);
   ~MatchEngine();
 
   MatchEngine(MatchEngine&&) noexcept;

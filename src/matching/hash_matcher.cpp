@@ -6,6 +6,7 @@
 
 #include "matching/device_hash_table.hpp"
 #include "simt/cta.hpp"
+#include "simt/launcher.hpp"
 #include "simt/timing_model.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/bits.hpp"
@@ -17,6 +18,19 @@ namespace {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.src)) << 32) |
          static_cast<std::uint32_t>(e.tag);
 }
+
+/// One warp-wide hash-table operation recorded by the plan pass: enough to
+/// replay the exact counter stream of the fused operation without touching
+/// the table.
+struct GroupPlan {
+  bool is_insert = false;
+  int warp = 0;  ///< Warp slot within the CTA.
+  int live = 0;  ///< Active lanes (low mask).
+  simt::LaneSize idx;  ///< Per-lane global element indices (load coalescing).
+  simt::LaneU32 keys;
+  DeviceHashTable::InsertOutcome ins;
+  DeviceHashTable::ProbeOutcome probe;
+};
 
 }  // namespace
 
@@ -68,54 +82,52 @@ SimtMatchStats HashMatcher::match(std::span<const Message> msgs,
     const int warps_per_cta = static_cast<int>(std::clamp<std::size_t>(
         util::ceil_div(per_cta, simt::kWarpSize), 1, static_cast<std::size_t>(opt_.max_warps)));
 
-    std::vector<simt::EventCounters> per_cta_events;
-    per_cta_events.reserve(ctas);
-
     std::vector<std::uint32_t> deferred_reqs;
     std::vector<std::uint32_t> deferred_msgs;
     std::size_t inserted_total = 0;
     std::size_t matched_total = 0;
 
+    // ---- Plan pass: resolve every hash-table operation serially, in the
+    // exact CTA/warp-group order the fused kernel used.  Lane order is the
+    // CAS priority rule, so resolving serially is what keeps the functional
+    // outcome (and the table state it leaves behind) identical for every
+    // execution policy.  The recorded outcomes drive the replay below.
+    std::vector<std::vector<GroupPlan>> plan(ctas);
     for (std::size_t cta_id = 0; cta_id < ctas; ++cta_id) {
-      simt::CtaContext cta(static_cast<int>(cta_id), warps_per_cta, spec_->shared_mem_per_sm);
-
       // ---- Phase 1: insert this CTA's slice of pending receive requests.
       const std::size_t rq_begin = std::min(cta_id * per_cta, pending_reqs.size());
       const std::size_t rq_end = std::min(rq_begin + per_cta, pending_reqs.size());
       for (std::size_t g = rq_begin; g < rq_end; g += simt::kWarpSize) {
         const int live = static_cast<int>(
             std::min<std::size_t>(simt::kWarpSize, rq_end - g));
-        auto& warp = cta.warp(static_cast<int>((g / simt::kWarpSize) %
-                                               static_cast<std::size_t>(warps_per_cta)));
-        warp.set_active(util::low_mask(live));
-
-        simt::LaneSize idx;
-        for (int lane = 0; lane < live; ++lane) idx[lane] = pending_reqs[g + lane];
-        const auto words =
-            warp.load_global(std::span<const std::uint64_t>(req_words), idx);
+        GroupPlan gp;
+        gp.is_insert = true;
+        gp.live = live;
+        gp.warp = static_cast<int>((g / simt::kWarpSize) %
+                                   static_cast<std::size_t>(warps_per_cta));
+        for (int lane = 0; lane < live; ++lane) gp.idx[lane] = pending_reqs[g + lane];
 
         // Key = (src << 16) ^ tag, the raw packed tuple: srcs and tags are
         // 16-bit-scale in practice (Section IV), so the fold is injective
         // on the trace-realistic domain; a full-envelope check after each
         // claim guards the general case.
-        simt::LaneU32 keys, values;
-        warp.lanes(
-            [&](int lane) {
-              keys[lane] = (static_cast<std::uint32_t>(words[lane] >> 32) << 16) ^
-                           static_cast<std::uint32_t>(words[lane] & 0xFFFF'FFFFu);
-              values[lane] = static_cast<std::uint32_t>(idx[lane]);
-            },
-            3);
-
-        simt::LaneBool inserted;
-        table.insert(warp, keys, values, inserted);
+        simt::LaneU32 values;
         for (int lane = 0; lane < live; ++lane) {
-          if (inserted[lane]) {
+          const std::uint64_t w = req_words[gp.idx[lane]];
+          gp.keys[lane] = (static_cast<std::uint32_t>(w >> 32) << 16) ^
+                          static_cast<std::uint32_t>(w & 0xFFFF'FFFFu);
+          values[lane] = static_cast<std::uint32_t>(gp.idx[lane]);
+        }
+
+        gp.ins = table.insert_resolve(gp.keys, values, util::low_mask(live));
+        for (int lane = 0; lane < live; ++lane) {
+          if (util::test_bit(gp.ins.inserted, lane)) {
             ++inserted_total;
           } else {
             deferred_reqs.push_back(pending_reqs[g + lane]);
           }
         }
+        plan[cta_id].push_back(gp);
       }
 
       // ---- Phase 2: probe with this CTA's slice of pending messages.
@@ -124,53 +136,68 @@ SimtMatchStats HashMatcher::match(std::span<const Message> msgs,
       for (std::size_t g = mq_begin; g < mq_end; g += simt::kWarpSize) {
         const int live = static_cast<int>(
             std::min<std::size_t>(simt::kWarpSize, mq_end - g));
-        auto& warp = cta.warp(static_cast<int>((g / simt::kWarpSize) %
-                                               static_cast<std::size_t>(warps_per_cta)));
-        warp.set_active(util::low_mask(live));
-
-        simt::LaneSize idx;
-        for (int lane = 0; lane < live; ++lane) idx[lane] = pending_msgs[g + lane];
-        const auto words =
-            warp.load_global(std::span<const std::uint64_t>(msg_words), idx);
-
-        simt::LaneU32 keys, values;
-        warp.lanes(
-            [&](int lane) {
-              keys[lane] = (static_cast<std::uint32_t>(words[lane] >> 32) << 16) ^
-                           static_cast<std::uint32_t>(words[lane] & 0xFFFF'FFFFu);
-            },
-            2);
+        GroupPlan gp;
+        gp.is_insert = false;
+        gp.live = live;
+        gp.warp = static_cast<int>((g / simt::kWarpSize) %
+                                   static_cast<std::size_t>(warps_per_cta));
+        for (int lane = 0; lane < live; ++lane) gp.idx[lane] = pending_msgs[g + lane];
+        for (int lane = 0; lane < live; ++lane) {
+          const std::uint64_t w = msg_words[gp.idx[lane]];
+          gp.keys[lane] = (static_cast<std::uint32_t>(w >> 32) << 16) ^
+                          static_cast<std::uint32_t>(w & 0xFFFF'FFFFu);
+        }
 
         // Pre-claim verification: aliased 32-bit keys must not evict the
         // genuine owner's entry (claim-then-reinsert would starve it).
         const auto verify = [&](int lane, std::uint32_t req_idx) {
           return matches(reqs[req_idx].env, msgs[pending_msgs[g + lane]].env);
         };
-        simt::LaneBool found;
-        table.probe_claim(warp, keys, values, found, verify);
+        gp.probe = table.probe_resolve(gp.keys, util::low_mask(live), verify);
 
         for (int lane = 0; lane < live; ++lane) {
           const std::uint32_t msg_idx = pending_msgs[g + lane];
-          if (!found[lane]) {
+          if (!util::test_bit(gp.probe.found, lane)) {
             deferred_msgs.push_back(msg_idx);
             continue;
           }
-          const std::uint32_t req_idx = values[lane];
+          const std::uint32_t req_idx = gp.probe.values[lane];
           stats.result.request_match[req_idx] = static_cast<std::int32_t>(msg_idx);
           ++matched_total;
         }
+        plan[cta_id].push_back(gp);
       }
-
-      per_cta_events.push_back(cta.counters());
-      stats.scan_events += cta.counters();
     }
 
+    // ---- Replay pass: charge the modelled cost of each CTA's operations
+    // through the launcher.  Each CTA reads only its own plan entries and
+    // const table metadata, so the CTAs can execute concurrently under the
+    // configured policy; the counter stream per CTA is bit-identical to the
+    // fused kernel's.
     simt::LaunchConfig launch;
     launch.ctas = opt_.ctas;
     launch.warps_per_cta = warps_per_cta;
     launch.mlp_per_warp = opt_.kernel_mlp;
-    const auto est = model.estimate(per_cta_events, launch);
-    total_cycles += est.cycles + opt_.iteration_overhead_cycles;
+    const simt::KernelRun run = simt::launch(
+        *spec_, launch,
+        [&](simt::CtaContext& cta) {
+          for (const GroupPlan& gp : plan[static_cast<std::size_t>(cta.cta_id())]) {
+            auto& warp = cta.warp(gp.warp);
+            warp.set_active(util::low_mask(gp.live));
+            warp.count_global_load<std::uint64_t>(gp.idx);
+            if (gp.is_insert) {
+              warp.lanes([](int) {}, 3);  // Key fold + value materialisation.
+              table.insert_charge(warp, gp.keys, gp.ins);
+            } else {
+              warp.lanes([](int) {}, 2);  // Key fold.
+              table.probe_charge(warp, gp.keys, gp.probe);
+            }
+          }
+        },
+        opt_.policy);
+
+    stats.scan_events += run.counters;
+    total_cycles += run.timing.cycles + opt_.iteration_overhead_cycles;
     stats.warps_used = std::max(stats.warps_used, warps_per_cta);
 
     pending_reqs.swap(deferred_reqs);

@@ -16,6 +16,7 @@
 #include "matching/queue.hpp"
 #include "matching/simt_stats.hpp"
 #include "simt/device_spec.hpp"
+#include "simt/launcher.hpp"
 #include "util/hash.hpp"
 
 namespace simtmsg::matching {
@@ -32,6 +33,11 @@ class HashMatcher : public Matcher {
     /// Hash probes are independent per-thread accesses: one warp keeps many
     /// requests in flight, unlike the matrix scan's serialized loop.
     double kernel_mlp = 8.0;
+    /// Host scheduling of the emulated CTAs.  Each iteration resolves the
+    /// hash-table outcomes serially (preserving the CAS priority order) and
+    /// replays the per-CTA cost model through simt::launch under this
+    /// policy; modelled results are bit-identical for every thread count.
+    simt::ExecutionPolicy policy = simt::ExecutionPolicy::serial();
   };
 
   explicit HashMatcher(const simt::DeviceSpec& spec) : HashMatcher(spec, Options{}) {}

@@ -28,7 +28,7 @@ void Matcher::record_attempt(const SimtMatchStats& stats, std::size_t msgs,
                              std::size_t reqs) const {
   if constexpr (telemetry::kEnabled) {
     const std::string prefix = "matcher." + std::string(name());
-    auto& reg = telemetry::Registry::global();
+    auto& reg = telemetry::sink();
     reg.counter(prefix + ".calls").add(1);
     reg.counter(prefix + ".matches").add(stats.result.matched());
     reg.histogram(prefix + ".queue_depth").record(std::max(msgs, reqs));

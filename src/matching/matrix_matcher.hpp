@@ -31,6 +31,7 @@
 #include "matching/queue.hpp"
 #include "matching/simt_stats.hpp"
 #include "simt/device_spec.hpp"
+#include "simt/launcher.hpp"
 
 namespace simtmsg::matching {
 
@@ -54,6 +55,13 @@ class MatrixMatcher : public Matcher {
     double reduce_chain_cycles = 40.0;
     /// Fixed per-iteration bookkeeping (head/tail pointer maintenance).
     double iteration_overhead_cycles = 600.0;
+    /// Host scheduling policy, accepted for interface uniformity with the
+    /// other SIMT matchers.  The matrix kernel is a dependent scan→reduce
+    /// pipeline over a shared vote matrix, so its emulation runs on the
+    /// calling thread regardless of the policy; host-side parallelism comes
+    /// from the layers above (partitions in the PartitionedMatcher, CTAs in
+    /// the HashMatcher).
+    simt::ExecutionPolicy policy = simt::ExecutionPolicy::serial();
   };
 
   explicit MatrixMatcher(const simt::DeviceSpec& spec) : MatrixMatcher(spec, Options{}) {}

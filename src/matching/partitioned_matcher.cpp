@@ -6,7 +6,9 @@
 
 #include "matching/queue.hpp"
 #include "simt/timing_model.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/bits.hpp"
+#include "util/thread_pool.hpp"
 
 namespace simtmsg::matching {
 
@@ -58,11 +60,38 @@ SimtMatchStats PartitionedMatcher::match(std::span<const Message> msgs,
   int max_iterations = 0;
   int busy_partitions = 0;
 
+  // Partitions own disjoint queue pairs, so the per-partition matrix
+  // matchers are independent: run them under the execution policy, staging
+  // each partition's stats and telemetry in isolation.  The serial merge in
+  // partition order below is what keeps results bit-identical for every
+  // thread count.
+  struct PartitionRun {
+    bool busy = false;
+    SimtMatchStats stats;
+  };
+  std::vector<PartitionRun> runs(p_count);
+  std::vector<telemetry::Registry> stages(telemetry::kEnabled ? p_count : 0);
+  util::ThreadPool::shared().run_indexed(
+      p_count, opt_.policy.resolved_threads(), [&](std::size_t p) {
+        if (part_msgs[p].empty() || part_reqs[p].empty()) return;
+        runs[p].busy = true;
+        if constexpr (telemetry::kEnabled) {
+          const telemetry::ScopedStage stage(stages[p]);
+          runs[p].stats = matcher.match_queues(part_msgs[p], part_reqs[p]);
+        } else {
+          runs[p].stats = matcher.match_queues(part_msgs[p], part_reqs[p]);
+        }
+      });
+  if constexpr (telemetry::kEnabled) {
+    auto& sink = telemetry::sink();
+    for (const auto& stage : stages) sink.merge_from(stage);
+  }
+
   for (std::size_t p = 0; p < p_count; ++p) {
-    if (part_msgs[p].empty() || part_reqs[p].empty()) continue;
+    if (!runs[p].busy) continue;
     ++busy_partitions;
 
-    SimtMatchStats part = matcher.match_queues(part_msgs[p], part_reqs[p]);
+    const SimtMatchStats& part = runs[p].stats;
     for (std::size_t r = 0; r < part.result.request_match.size(); ++r) {
       const auto m = part.result.request_match[r];
       if (m == kNoMatch) continue;

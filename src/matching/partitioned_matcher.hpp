@@ -21,6 +21,7 @@
 #include "matching/matrix_matcher.hpp"
 #include "matching/simt_stats.hpp"
 #include "simt/device_spec.hpp"
+#include "simt/launcher.hpp"
 
 namespace simtmsg::matching {
 
@@ -37,6 +38,11 @@ class PartitionedMatcher : public Matcher {
     /// linearly ... however, less resources would be available to execute
     /// the application".  Waves spread round-robin across SMs.
     int sms = 1;
+    /// Host scheduling of the per-partition matrix matchers.  Partitions
+    /// own disjoint queues, so they execute concurrently under this policy;
+    /// per-partition stats and telemetry are merged in partition order, so
+    /// modelled results are bit-identical for every thread count.
+    simt::ExecutionPolicy policy = simt::ExecutionPolicy::serial();
   };
 
   explicit PartitionedMatcher(const simt::DeviceSpec& spec)

@@ -1,22 +1,53 @@
 #include "simt/launcher.hpp"
 
+#include <thread>
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
+#include "util/thread_pool.hpp"
 
 namespace simtmsg::simt {
 
-KernelRun launch(const DeviceSpec& spec, const LaunchConfig& cfg, const KernelFn& kernel) {
-  KernelRun run;
-  std::vector<EventCounters> per_cta;
-  per_cta.reserve(static_cast<std::size_t>(cfg.ctas));
+int ExecutionPolicy::resolved_threads() const noexcept {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
 
-  for (int cta = 0; cta < cfg.ctas; ++cta) {
-    CtaContext ctx(cta, cfg.warps_per_cta, spec.shared_mem_per_sm);
-    kernel(ctx);
-    per_cta.push_back(ctx.counters());
-    run.counters += ctx.counters();
+KernelRun launch(const DeviceSpec& spec, const LaunchConfig& cfg, const KernelFn& kernel) {
+  return launch(spec, cfg, kernel, ExecutionPolicy::serial());
+}
+
+KernelRun launch(const DeviceSpec& spec, const LaunchConfig& cfg, const KernelFn& kernel,
+                 const ExecutionPolicy& policy) {
+  KernelRun run;
+  const auto n_ctas = static_cast<std::size_t>(cfg.ctas);
+  std::vector<EventCounters> per_cta(n_ctas);
+
+  // Telemetry emitted inside the kernel is staged per CTA and merged in CTA
+  // order below, so the accumulation order — including floating-point phase
+  // sums — is the same for every thread count.  The stages also make
+  // concurrent kernel execution race-free without locking the registry.
+  std::vector<telemetry::Registry> stages(telemetry::kEnabled ? n_ctas : 0);
+
+  const auto run_cta = [&](std::size_t cta) {
+    CtaContext ctx(static_cast<int>(cta), cfg.warps_per_cta, spec.shared_mem_per_sm);
+    if constexpr (telemetry::kEnabled) {
+      const telemetry::ScopedStage stage(stages[cta]);
+      kernel(ctx);
+    } else {
+      kernel(ctx);
+    }
+    per_cta[cta] = ctx.counters();
+  };
+
+  util::ThreadPool::shared().run_indexed(n_ctas, policy.resolved_threads(), run_cta);
+
+  if constexpr (telemetry::kEnabled) {
+    auto& sink = telemetry::sink();
+    for (const auto& stage : stages) sink.merge_from(stage);
   }
+  for (const auto& counters : per_cta) run.counters += counters;
 
   const TimingModel model(spec);
   run.timing = model.estimate(per_cta, cfg);

@@ -2,6 +2,16 @@
 // launch configuration on the functional engine and produces the combined
 // timing estimate.  This is the simulator's analogue of
 // `kernel<<<grid, block>>>(...)` followed by reading the device clock.
+//
+// CTAs of one launch are independent by contract — exactly the guarantee
+// real hardware gives a grid: a kernel may communicate across warps of its
+// own CTA, but not across CTAs.  An ExecutionPolicy therefore lets the
+// functional engine execute the CTAs of a launch concurrently on a host
+// thread pool.  The policy changes host wall-clock time only: per-CTA event
+// counters are accumulated in isolation and merged in CTA-index order, and
+// telemetry emitted inside the kernel is staged per CTA and merged the same
+// way, so counters, the TimingEstimate, and telemetry snapshots are
+// bit-identical for every thread count (docs/threading.md).
 #pragma once
 
 #include <functional>
@@ -14,13 +24,40 @@ namespace simtmsg::simt {
 
 using KernelFn = std::function<void(CtaContext&)>;
 
+/// How the functional engine schedules the CTAs of a launch onto host
+/// threads.  Purely a host-side wall-clock knob; modelled results are
+/// policy-invariant.
+struct ExecutionPolicy {
+  /// Host threads allowed to execute CTAs concurrently.  <= 1 executes every
+  /// CTA on the calling thread in CTA order; 0 is reserved for "use the
+  /// hardware concurrency" (resolved at launch time).
+  int num_threads = 1;
+
+  [[nodiscard]] static ExecutionPolicy serial() noexcept { return {1}; }
+  /// One thread per available hardware core.
+  [[nodiscard]] static ExecutionPolicy hardware() noexcept { return {0}; }
+
+  /// num_threads with the 0 = hardware-concurrency default applied.
+  [[nodiscard]] int resolved_threads() const noexcept;
+
+  friend bool operator==(const ExecutionPolicy&, const ExecutionPolicy&) = default;
+};
+
 struct KernelRun {
-  EventCounters counters;  ///< Summed over all CTAs.
+  EventCounters counters;  ///< Summed over all CTAs in CTA-index order.
   TimingEstimate timing;
 };
 
 /// Execute `kernel` once per CTA and estimate its execution time on `spec`.
+/// CTAs run serially on the calling thread.
 [[nodiscard]] KernelRun launch(const DeviceSpec& spec, const LaunchConfig& cfg,
                                const KernelFn& kernel);
+
+/// Execute `kernel` once per CTA under `policy`.  The kernel must treat its
+/// CtaContext as the only mutable state it owns (shared captures must be
+/// read-only or per-CTA-indexed) — the same data-race rule CUDA imposes on
+/// a grid.  Results are bit-identical for every policy.
+[[nodiscard]] KernelRun launch(const DeviceSpec& spec, const LaunchConfig& cfg,
+                               const KernelFn& kernel, const ExecutionPolicy& policy);
 
 }  // namespace simtmsg::simt

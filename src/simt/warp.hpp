@@ -150,6 +150,29 @@ class WarpContext {
     return prev;
   }
 
+  // --- Counting-only mirrors ----------------------------------------------
+  //
+  // Cost-replay code (the parallel execution path of the hash matcher)
+  // resolves functional outcomes ahead of time and then replays only the
+  // *cost* of each memory operation.  These mirrors charge exactly what the
+  // corresponding functional operation would, without touching memory, so a
+  // replay can run concurrently against shared read-only state.
+
+  /// Charge a warp-level global load of `T` at per-lane indices `idx`
+  /// (active lanes) without performing it.  Identical counting to
+  /// load_global.
+  template <typename T>
+  void count_global_load(const LaneSize& idx) noexcept {
+    count_global_access<T>(idx, /*is_load=*/true);
+  }
+
+  /// Charge a per-active-lane global atomic CAS at `idx` without performing
+  /// it.  Identical counting to atomic_cas.
+  void count_atomic_cas(const LaneSize& idx) noexcept {
+    count_global_access<std::uint64_t>(idx, /*is_load=*/true);
+    counters_->atomic_operations += static_cast<std::uint64_t>(util::popc(active_));
+  }
+
   // --- Shared memory ------------------------------------------------------
   //
   // Shared accesses count one transaction per access group; we do not model

@@ -73,6 +73,13 @@ void Registry::reset() {
   phases_.clear();
 }
 
+void Registry::merge_from(const Registry& o) {
+  for (const auto& [name, c] : o.counters_) counter(name).add(c.value());
+  for (const auto& [name, g] : o.gauges_) gauge(name).set(g.value());
+  for (const auto& [name, h] : o.histograms_) histogram(name) += h;
+  for (const auto& [name, p] : o.phases_) phase(name) += p;
+}
+
 Registry& Registry::global() {
   static Registry registry;
   return registry;

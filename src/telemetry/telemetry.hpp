@@ -16,9 +16,17 @@
 // simulated GPU time.  Host wall seconds are recorded alongside as a
 // harness-cost diagnostic.
 //
-// The registry is deliberately not thread-safe: the simulator is
-// single-threaded by design (one functional engine stepping warps in
-// program order).
+// Thread model (docs/threading.md): the Registry itself is not locked.
+// Instead, concurrency is handled by *per-thread staging*: code that runs
+// work items on pool threads (simt::launch, PartitionedMatcher) gives each
+// work item its own staging Registry via `ScopedStage`, and merges the
+// stages into the enclosing registry in work-item index order once all
+// items joined.  The hooks below therefore write to `sink()` — the current
+// thread's stage if one is installed, the process-global registry
+// otherwise.  Because the merge order is fixed by work-item index (not by
+// thread schedule), the registry contents after a parallel region are
+// bit-identical for every thread count, including the floating-point
+// accumulation order of PhaseStats.
 #pragma once
 
 #include <chrono>
@@ -136,6 +144,12 @@ class Registry {
 
   void reset();
 
+  /// Merge another registry into this one: counters and histograms add,
+  /// phase stats add, gauges take the other registry's (later) value.
+  /// Callers merging parallel stages must do so in work-item index order so
+  /// floating-point sums are schedule-independent.
+  void merge_from(const Registry& o);
+
   /// Process-wide registry the instrumentation hooks feed.
   static Registry& global();
 
@@ -167,24 +181,58 @@ class Span {
 };
 
 // ---------------------------------------------------------------------------
+// Per-thread staging.
+
+namespace detail {
+/// Slot holding the current thread's staging registry (null = use global).
+inline Registry*& stage_slot() noexcept {
+  thread_local Registry* stage = nullptr;
+  return stage;
+}
+}  // namespace detail
+
+/// The registry the instrumentation hooks write to on this thread: the
+/// installed stage if any, else the process-global registry.
+inline Registry& sink() noexcept {
+  Registry* stage = detail::stage_slot();
+  return stage != nullptr ? *stage : Registry::global();
+}
+
+/// RAII: route this thread's instrumentation into `stage` for the guard's
+/// lifetime.  Used around each parallel work item; the launcher merges the
+/// stages back in index order.  Nestable (restores the previous sink).
+class ScopedStage {
+ public:
+  explicit ScopedStage(Registry& stage) noexcept : prev_(detail::stage_slot()) {
+    detail::stage_slot() = &stage;
+  }
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+  ~ScopedStage() { detail::stage_slot() = prev_; }
+
+ private:
+  Registry* prev_;
+};
+
+// ---------------------------------------------------------------------------
 // Instrumentation hooks (compile to nothing with SIMTMSG_TELEMETRY=OFF).
 
 inline void count(std::string_view name, std::uint64_t n = 1) {
-  if constexpr (kEnabled) Registry::global().counter(name).add(n);
+  if constexpr (kEnabled) sink().counter(name).add(n);
 }
 
 inline void observe(std::string_view name, std::uint64_t v) {
-  if constexpr (kEnabled) Registry::global().histogram(name).record(v);
+  if constexpr (kEnabled) sink().histogram(name).record(v);
 }
 
 inline void set_gauge(std::string_view name, double v) {
-  if constexpr (kEnabled) Registry::global().gauge(name).set(v);
+  if constexpr (kEnabled) sink().gauge(name).set(v);
 }
 
 inline void charge_phase(std::string_view name, double device_cycles,
                          std::uint64_t calls = 1) {
   if constexpr (kEnabled) {
-    auto& p = Registry::global().phase(name);
+    auto& p = sink().phase(name);
     p.calls += calls;
     p.device_cycles += device_cycles;
   }

@@ -1,5 +1,6 @@
 #include "trace/trace_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <ostream>
@@ -79,15 +80,28 @@ Trace read_binary(std::istream& is) {
   t.app_name = get_string(is);
   t.suite = get_string(is);
   const auto count = get<std::uint64_t>(is);
-  t.events.reserve(count);
+  // A corrupt count must not drive allocation: reserve only a sane prefix
+  // and let push_back grow the rest — a bogus huge count hits the
+  // truncation check long before memory becomes a problem.
+  t.events.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(count, 1u << 20)));
   for (std::uint64_t i = 0; i < count; ++i) {
     TraceEvent e;
     e.time = get<std::uint64_t>(is);
     e.rank = get<std::uint32_t>(is);
-    e.type = static_cast<EventType>(get<std::uint8_t>(is));
+    const auto type = get<std::uint8_t>(is);
+    if (type > static_cast<std::uint8_t>(EventType::kRecvPost)) {
+      throw std::runtime_error("corrupt trace: unknown event type " +
+                               std::to_string(type));
+    }
+    e.type = static_cast<EventType>(type);
     e.peer = get<std::int32_t>(is);
     e.tag = get<std::int32_t>(is);
     e.comm = get<std::int32_t>(is);
+    if (t.ranks != 0 && e.rank >= t.ranks) {
+      throw std::runtime_error("corrupt trace: event rank " + std::to_string(e.rank) +
+                               " out of range for " + std::to_string(t.ranks) +
+                               " ranks");
+    }
     t.events.push_back(e);
   }
   return t;

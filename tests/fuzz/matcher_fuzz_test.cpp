@@ -1,0 +1,258 @@
+// Differential fuzz wall: every production Matcher implementation runs a
+// randomized sweep of workload shapes (queue length, wildcard density, tag
+// skew, unexpected ratio) and host execution policies, checked against the
+// ReferenceMatcher oracle.  Ordered matchers must reproduce the oracle's
+// pairing exactly; unordered matchers must reach the maximum pairable
+// cardinality with a valid matching.
+//
+// Every iteration derives its own seed, printed on failure together with a
+// replay recipe:
+//
+//   SIMTMSG_FUZZ_SEED=<seed> SIMTMSG_FUZZ_ITERS=1 ./test_fuzz
+//
+// reruns exactly the failing case.  SIMTMSG_FUZZ_ITERS (default 200) scales
+// the sweep; CI runs the default so every matcher sees >= 200 random
+// configurations per run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "matching/engine.hpp"
+#include "matching/hash_matcher.hpp"
+#include "matching/hashed_bins_matcher.hpp"
+#include "matching/list_matcher.hpp"
+#include "matching/matrix_matcher.hpp"
+#include "matching/partitioned_list_matcher.hpp"
+#include "matching/partitioned_matcher.hpp"
+#include "matching/reference_matcher.hpp"
+#include "matching/workload.hpp"
+
+namespace simtmsg::matching {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(v, &end, 10);
+  return end == v ? fallback : parsed;
+}
+
+std::uint64_t fuzz_base_seed() { return env_u64("SIMTMSG_FUZZ_SEED", 0xF12D5EEDu); }
+std::uint64_t fuzz_iterations() { return env_u64("SIMTMSG_FUZZ_ITERS", 200); }
+
+/// The replay recipe attached to every assertion of one iteration.
+std::string replay_hint(std::uint64_t seed) {
+  return "replay: SIMTMSG_FUZZ_SEED=" + std::to_string(seed) +
+         " SIMTMSG_FUZZ_ITERS=1 ./test_fuzz";
+}
+
+template <typename Rng, typename T>
+T pick(Rng& rng, std::initializer_list<T> choices) {
+  std::uniform_int_distribution<std::size_t> d(0, choices.size() - 1);
+  return *(choices.begin() + static_cast<std::ptrdiff_t>(d(rng)));
+}
+
+/// One random workload shape; per-matcher knobs the matcher cannot handle
+/// (wildcards, duplicate tuples) are masked off against its traits.
+struct FuzzShape {
+  std::size_t pairs;
+  int sources;
+  int tags;
+  double src_wildcard_prob;
+  double tag_wildcard_prob;
+  double match_fraction;
+  int threads;
+};
+
+template <typename Rng>
+FuzzShape random_shape(Rng& rng) {
+  FuzzShape s;
+  s.pairs = 1 + std::uniform_int_distribution<std::size_t>(0, 255)(rng);
+  // Small spaces skew tuples onto few keys (hash-collision pressure and
+  // long per-bin chains); large ones spread them thin.
+  s.sources = pick(rng, {1, 2, 4, 8, 16, 64, 256});
+  s.tags = pick(rng, {1, 2, 4, 8, 16, 64, 256});
+  s.src_wildcard_prob = pick(rng, {0.0, 0.05, 0.2, 0.5});
+  s.tag_wildcard_prob = pick(rng, {0.0, 0.05, 0.2, 0.5});
+  s.match_fraction = pick(rng, {1.0, 0.9, 0.6, 0.3});
+  s.threads = pick(rng, {1, 2, 4, 8});
+  return s;
+}
+
+WorkloadSpec spec_for(const FuzzShape& s, const Matcher::Traits& t,
+                      std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.pairs = s.pairs;
+  spec.sources = s.sources;
+  spec.tags = s.tags;
+  spec.src_wildcard_prob = t.source_wildcards ? s.src_wildcard_prob : 0.0;
+  spec.tag_wildcard_prob = t.tag_wildcards ? s.tag_wildcard_prob : 0.0;
+  spec.match_fraction = s.match_fraction;
+  // Unordered matchers pair exact tuples only; give unique_tuples a tuple
+  // space comfortably larger than `pairs`.
+  spec.unique_tuples = !t.ordered;
+  if (spec.unique_tuples) {
+    spec.sources = std::max(spec.sources, 32);
+    spec.tags = std::max(spec.tags, 32);
+  }
+  spec.seed = seed;
+  return spec;
+}
+
+/// Validity half of the unordered oracle: no message claimed twice, and
+/// every pairing joins byte-equal envelopes.
+void expect_valid_pairing(const MatchResult& result, const Workload& w,
+                          const std::string& where) {
+  std::vector<bool> used(w.messages.size(), false);
+  for (std::size_t r = 0; r < result.request_match.size(); ++r) {
+    const auto m = result.request_match[r];
+    if (m == kNoMatch) continue;
+    ASSERT_FALSE(used[static_cast<std::size_t>(m)]) << where;
+    used[static_cast<std::size_t>(m)] = true;
+    EXPECT_EQ(w.requests[r].env, w.messages[static_cast<std::size_t>(m)].env)
+        << where;
+  }
+}
+
+/// Cardinality half: unordered matchers must reach the maximum pairable
+/// count.  The SIMT hash-table matcher carries a documented exception: its
+/// no-progress safety valve may strand a few pairable tuples once unmatched
+/// filler requests saturate the table, so at partial match fractions it is
+/// held to "never over-match" instead of exact cardinality (mirrors the
+/// repo's own PartialMatchLeavesUnmatched test).
+void expect_max_cardinality(const MatchResult& result, const Workload& w,
+                            bool exhaustive, const std::string& where) {
+  const std::size_t pairable =
+      ReferenceMatcher::pairable_count(w.messages, w.requests);
+  if (exhaustive) {
+    EXPECT_EQ(result.matched(), pairable) << where;
+  } else {
+    EXPECT_LE(result.matched(), pairable) << where;
+  }
+}
+
+/// Check one matcher against the oracle; every failure carries `where`.
+void check_against_reference(const Matcher& matcher, const Workload& w,
+                             const WorkloadSpec& spec, const std::string& where) {
+  const auto s = matcher.match(w.messages, w.requests);
+  if (matcher.traits().ordered) {
+    const auto ref = ReferenceMatcher::match(w.messages, w.requests);
+    EXPECT_EQ(s.result.request_match, ref.request_match) << where;
+  } else {
+    const bool exhaustive =
+        matcher.name() != "hash-table" || spec.match_fraction >= 1.0;
+    expect_max_cardinality(s.result, w, exhaustive, where);
+    expect_valid_pairing(s.result, w, where);
+  }
+  EXPECT_GE(s.seconds, 0.0) << where;
+}
+
+std::vector<std::unique_ptr<Matcher>> matchers_for(const FuzzShape& s) {
+  const auto& dev = simt::pascal_gtx1080();
+  const simt::ExecutionPolicy policy{s.threads};
+  std::vector<std::unique_ptr<Matcher>> out;
+
+  MatrixMatcher::Options mopt;
+  mopt.policy = policy;
+  out.push_back(std::make_unique<MatrixMatcher>(dev, mopt));
+
+  PartitionedMatcher::Options popt;
+  popt.partitions = 8;
+  popt.policy = policy;
+  out.push_back(std::make_unique<PartitionedMatcher>(dev, popt));
+
+  HashMatcher::Options hopt;
+  hopt.ctas = 4;
+  hopt.policy = policy;
+  out.push_back(std::make_unique<HashMatcher>(dev, hopt));
+
+  out.push_back(std::make_unique<ListMatcher>());
+  out.push_back(std::make_unique<PartitionedListMatcher>(8));
+  out.push_back(std::make_unique<HashedBinsMatcher>(16));
+  return out;
+}
+
+TEST(MatcherFuzz, AllMatchersAgreeWithReferenceOnRandomConfigs) {
+  const std::uint64_t base = fuzz_base_seed();
+  const std::uint64_t iters = fuzz_iterations();
+
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = base + i;
+    std::mt19937_64 rng(seed);
+    const FuzzShape shape = random_shape(rng);
+
+    for (const auto& matcher : matchers_for(shape)) {
+      const auto spec = spec_for(shape, matcher->traits(), seed);
+      const auto w = make_workload(spec);
+      const std::string where =
+          std::string(matcher->name()) + " pairs=" + std::to_string(spec.pairs) +
+          " sources=" + std::to_string(spec.sources) +
+          " tags=" + std::to_string(spec.tags) +
+          " match_fraction=" + std::to_string(spec.match_fraction) +
+          " threads=" + std::to_string(shape.threads) + "\n" + replay_hint(seed);
+      check_against_reference(*matcher, w, spec, where);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(MatcherFuzz, EngineAgreesWithReferenceAcrossSemanticsRows) {
+  const std::uint64_t base = fuzz_base_seed();
+  const std::uint64_t iters = fuzz_iterations();
+  const auto rows = table2_rows();
+
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = base + i;
+    std::mt19937_64 rng(seed ^ 0x5E3A27C5D1B20943ULL);
+    const FuzzShape shape = random_shape(rng);
+    const SemanticsConfig cfg = rows[std::uniform_int_distribution<std::size_t>(
+        0, rows.size() - 1)(rng)];
+
+    WorkloadSpec spec;
+    spec.pairs = shape.pairs;
+    spec.sources = shape.sources;
+    spec.tags = shape.tags;
+    // Prohibiting unexpected messages makes leftovers an error: those rows
+    // need every message to find a posted receive under FCFS, which rules
+    // out both filler pairs and wildcards (a wildcard receive can steal
+    // another pair's message and strand a later arrival).
+    const bool must_drain = !cfg.unexpected;
+    spec.src_wildcard_prob =
+        (cfg.wildcards && !must_drain) ? shape.src_wildcard_prob : 0.0;
+    spec.tag_wildcard_prob =
+        (cfg.wildcards && !must_drain) ? shape.tag_wildcard_prob : 0.0;
+    spec.match_fraction = must_drain ? 1.0 : shape.match_fraction;
+    spec.unique_tuples = hashable(cfg);
+    if (spec.unique_tuples) {
+      spec.sources = std::max(spec.sources, 32);
+      spec.tags = std::max(spec.tags, 32);
+    }
+    spec.seed = seed;
+    const auto w = make_workload(spec);
+
+    const MatchEngine engine(simt::pascal_gtx1080(), cfg,
+                             simt::ExecutionPolicy{shape.threads});
+    const std::string where = describe(cfg) + " pairs=" + std::to_string(spec.pairs) +
+                              " threads=" + std::to_string(shape.threads) + "\n" +
+                              replay_hint(seed);
+
+    const auto s = engine.match(w.messages, w.requests);
+    if (engine.algorithm_kind() == Algorithm::kHashTable) {
+      expect_max_cardinality(s.result, w, spec.match_fraction >= 1.0, where);
+      expect_valid_pairing(s.result, w, where);
+    } else {
+      const auto ref = ReferenceMatcher::match(w.messages, w.requests);
+      EXPECT_EQ(s.result.request_match, ref.request_match) << where;
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace simtmsg::matching

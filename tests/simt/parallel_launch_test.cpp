@@ -1,0 +1,254 @@
+// Determinism wall for the multithreaded launcher: counters, timing, match
+// results, and telemetry must be bit-identical for every ExecutionPolicy
+// (and across repeated runs), because the policy is a host wall-clock knob
+// only.  Wall-time telemetry (PhaseStats::wall_seconds) is the one
+// deliberately nondeterministic field and is excluded from fingerprints.
+#include "simt/launcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <ios>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "matching/engine.hpp"
+#include "matching/hash_matcher.hpp"
+#include "matching/matrix_matcher.hpp"
+#include "matching/partitioned_matcher.hpp"
+#include "matching/workload.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace simtmsg::simt {
+namespace {
+
+/// Policies the wall sweeps: serial, small, oversubscribed, hardware.
+std::vector<ExecutionPolicy> sweep_policies() {
+  return {ExecutionPolicy{1}, ExecutionPolicy{2}, ExecutionPolicy{8},
+          ExecutionPolicy::hardware()};
+}
+
+/// Bit-exact textual fingerprint of a registry, excluding wall_seconds.
+std::string registry_fingerprint(const telemetry::Registry& r) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  for (const auto& [name, c] : r.counters()) os << "C " << name << ' ' << c.value() << '\n';
+  for (const auto& [name, g] : r.gauges()) os << "G " << name << ' ' << g.value() << '\n';
+  for (const auto& [name, h] : r.histograms()) {
+    os << "H " << name << ' ' << h.count() << ' ' << h.sum() << ' ' << h.min() << ' '
+       << h.max() << '\n';
+  }
+  for (const auto& [name, p] : r.phases()) {
+    os << "P " << name << ' ' << p.calls << ' ' << p.device_cycles << '\n';
+  }
+  return os.str();
+}
+
+std::string counters_fingerprint(const EventCounters& e) {
+  return telemetry::to_json(e).dump();
+}
+
+std::string timing_fingerprint(const TimingEstimate& t) {
+  std::ostringstream os;
+  os << std::hexfloat << t.cycles << ' ' << t.seconds << ' ' << t.concurrent_ctas << ' '
+     << t.waves;
+  return os.str();
+}
+
+/// A kernel with enough texture to catch merge-order bugs: per-CTA loads,
+/// divergent predicates, stalls, and telemetry emission.
+KernelFn test_kernel(const std::vector<std::uint64_t>& data) {
+  return [&data](CtaContext& cta) {
+    for (int w = 0; w < 4; ++w) {
+      auto& warp = cta.warp(w);
+      LaneSize idx;
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        idx[lane] = static_cast<std::size_t>(
+                        (cta.cta_id() * 131 + w * 37 + lane * 7)) %
+                    data.size();
+      }
+      const auto v = warp.load_global(std::span<const std::uint64_t>(data), idx);
+      LaneBool odd;
+      warp.lanes([&](int lane) { odd[lane] = (v[lane] & 1) != 0; }, 2);
+      const auto vote = warp.ballot(odd);
+      warp.count_branch(vote != 0 && vote != warp.active());
+      warp.count_stall(static_cast<std::uint64_t>(cta.cta_id() % 5));
+    }
+    cta.barrier();
+    telemetry::count("test.parallel.kernel_runs");
+    telemetry::observe("test.parallel.cta_id",
+                       static_cast<std::uint64_t>(cta.cta_id()));
+    telemetry::charge_phase("test.parallel.cta", 10.0 + cta.cta_id());
+  };
+}
+
+TEST(ParallelLaunch, RunIsBitIdenticalAcrossPoliciesAndRepeats) {
+  const auto& dev = pascal_gtx1080();
+  std::vector<std::uint64_t> data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = i * 2654435761u;
+
+  LaunchConfig cfg;
+  cfg.ctas = 32;
+  cfg.warps_per_cta = 4;
+
+  std::string counters_ref;
+  std::string timing_ref;
+  std::string telemetry_ref;
+  for (const auto& policy : sweep_policies()) {
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      telemetry::Registry stage;
+      KernelRun run;
+      {
+        const telemetry::ScopedStage scoped(stage);
+        run = launch(dev, cfg, test_kernel(data), policy);
+      }
+      const std::string where = "threads=" + std::to_string(policy.num_threads) +
+                                " repeat=" + std::to_string(repeat);
+      if (counters_ref.empty()) {
+        counters_ref = counters_fingerprint(run.counters);
+        timing_ref = timing_fingerprint(run.timing);
+        telemetry_ref = registry_fingerprint(stage);
+        continue;
+      }
+      EXPECT_EQ(counters_fingerprint(run.counters), counters_ref) << where;
+      EXPECT_EQ(timing_fingerprint(run.timing), timing_ref) << where;
+      EXPECT_EQ(registry_fingerprint(stage), telemetry_ref) << where;
+    }
+  }
+}
+
+TEST(ParallelLaunch, HardwarePolicyResolvesToAtLeastOneThread) {
+  EXPECT_GE(ExecutionPolicy::hardware().resolved_threads(), 1);
+  EXPECT_EQ(ExecutionPolicy::serial().resolved_threads(), 1);
+  EXPECT_EQ(ExecutionPolicy{7}.resolved_threads(), 7);
+}
+
+/// Shared fixture: one workload, matched under every policy; results and
+/// telemetry must agree with the serial reference bit for bit.
+template <typename MakeMatcher>
+void expect_matcher_policy_invariant(const MakeMatcher& make,
+                                     const matching::Workload& w) {
+  std::string result_ref;
+  std::string events_ref;
+  std::string telemetry_ref;
+  std::ostringstream cycles_ref;
+  for (const auto& policy : sweep_policies()) {
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      const auto matcher = make(policy);
+      telemetry::Registry stage;
+      matching::SimtMatchStats s;
+      {
+        const telemetry::ScopedStage scoped(stage);
+        s = matcher->match(w.messages, w.requests);
+      }
+      std::ostringstream os;
+      os << std::hexfloat << s.cycles << ' ' << s.seconds << ' ' << s.iterations;
+      for (const auto m : s.result.request_match) os << ' ' << m;
+      const std::string result = os.str();
+      const std::string events = counters_fingerprint(s.scan_events) +
+                                 counters_fingerprint(s.reduce_events) +
+                                 counters_fingerprint(s.compact_events);
+      const std::string telem = registry_fingerprint(stage);
+      const std::string where = std::string(matcher->name()) +
+                                " threads=" + std::to_string(policy.num_threads) +
+                                " repeat=" + std::to_string(repeat);
+      if (result_ref.empty()) {
+        result_ref = result;
+        events_ref = events;
+        telemetry_ref = telem;
+        continue;
+      }
+      EXPECT_EQ(result, result_ref) << where;
+      EXPECT_EQ(events, events_ref) << where;
+      EXPECT_EQ(telem, telemetry_ref) << where;
+    }
+  }
+}
+
+TEST(ParallelLaunch, HashMatcherIsPolicyInvariant) {
+  matching::WorkloadSpec spec;
+  spec.pairs = 512;
+  spec.unique_tuples = true;
+  spec.sources = 256;
+  spec.tags = 256;
+  spec.seed = 77;
+  const auto w = matching::make_workload(spec);
+  expect_matcher_policy_invariant(
+      [](const ExecutionPolicy& p) {
+        matching::HashMatcher::Options opt;
+        opt.ctas = 32;
+        opt.policy = p;
+        return std::make_unique<matching::HashMatcher>(pascal_gtx1080(), opt);
+      },
+      w);
+}
+
+TEST(ParallelLaunch, PartitionedMatcherIsPolicyInvariant) {
+  matching::WorkloadSpec spec;
+  spec.pairs = 512;
+  spec.sources = 64;
+  spec.tags = 32;
+  spec.seed = 78;
+  const auto w = matching::make_workload(spec);
+  expect_matcher_policy_invariant(
+      [](const ExecutionPolicy& p) {
+        matching::PartitionedMatcher::Options opt;
+        opt.partitions = 16;
+        opt.policy = p;
+        return std::make_unique<matching::PartitionedMatcher>(pascal_gtx1080(), opt);
+      },
+      w);
+}
+
+TEST(ParallelLaunch, MatrixMatcherIsPolicyInvariant) {
+  matching::WorkloadSpec spec;
+  spec.pairs = 256;
+  spec.sources = 32;
+  spec.tags = 32;
+  spec.tag_wildcard_prob = 0.2;
+  spec.seed = 79;
+  const auto w = matching::make_workload(spec);
+  expect_matcher_policy_invariant(
+      [](const ExecutionPolicy& p) {
+        matching::MatrixMatcher::Options opt;
+        opt.policy = p;
+        return std::make_unique<matching::MatrixMatcher>(pascal_gtx1080(), opt);
+      },
+      w);
+}
+
+TEST(ParallelLaunch, EngineSnapshotIsPolicyInvariant) {
+  matching::WorkloadSpec spec;
+  spec.pairs = 512;
+  spec.unique_tuples = true;
+  spec.sources = 64;
+  spec.tags = 64;
+  spec.seed = 80;
+  const auto w = matching::make_workload(spec);
+
+  matching::SemanticsConfig cfg;
+  cfg.wildcards = false;
+  cfg.ordering = false;
+  cfg.unexpected = true;
+
+  std::string snapshot_ref;
+  for (const auto& policy : sweep_policies()) {
+    const matching::MatchEngine engine(pascal_gtx1080(), cfg, policy);
+    telemetry::Registry stage;
+    {
+      const telemetry::ScopedStage scoped(stage);
+      (void)engine.match(w.messages, w.requests);
+    }
+    const std::string snap = engine.snapshot().to_json().dump();
+    if (snapshot_ref.empty()) {
+      snapshot_ref = snap;
+      continue;
+    }
+    EXPECT_EQ(snap, snapshot_ref) << "threads=" << policy.num_threads;
+  }
+}
+
+}  // namespace
+}  // namespace simtmsg::simt
