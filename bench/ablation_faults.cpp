@@ -1,0 +1,157 @@
+// Ablation: what an adversarial fabric costs the runtime (docs/faults.md).
+//
+// The paper's relaxations presume the lossless, ordered fabric NVLink-class
+// hardware provides; this bench measures what happens when that assumption
+// is relaxed too.  A fixed all-pairs traffic pattern runs over fault rates
+// from 0 to 20%, with the ack/retransmit reliability layer recovering
+// every loss, and reports the recovery cost: retransmissions per delivered
+// message and the stretch in simulated completion time.
+//
+// Usage: ablation_faults [--json <path>] [--threads <n>] [--faults <rate>]
+//   --faults adds one extra sweep point at the given drop rate.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runtime/endpoint.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace simtmsg;
+
+constexpr int kNodes = 8;
+constexpr int kRounds = 32;  // Messages per directed pair.
+
+struct Point {
+  double fault_rate = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t failures = 0;
+  double virtual_us = 0.0;
+};
+
+std::uint64_t counter(const telemetry::TelemetryReport& r, const std::string& name) {
+  const auto it = r.counters.find(name);
+  return it == r.counters.end() ? 0 : it->second;
+}
+
+Point run_point(double fault_rate, const bench::Options& opt) {
+  runtime::ClusterConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.policy = opt.policy();
+  cfg.network.seed = 0xAB1A7E;
+  cfg.network.jitter_us = 0.3;
+  cfg.network.faults.drop_prob = fault_rate;
+  cfg.network.faults.dup_prob = fault_rate / 2.0;
+  cfg.network.faults.corrupt_prob = fault_rate / 4.0;
+  cfg.network.faults.delay_spike_prob = fault_rate / 4.0;
+  cfg.network.faults.delay_spike_us = 20.0;
+  cfg.reliability.enabled = true;
+  cfg.reliability.timeout_us = 10.0;
+  cfg.reliability.max_attempts = 16;
+  runtime::Cluster cluster(cfg);
+
+  std::vector<runtime::RecvHandle> handles;
+  matching::Tag tag = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int from = 0; from < kNodes; ++from) {
+      for (int to = 0; to < kNodes; ++to) {
+        if (from == to) continue;
+        handles.push_back(cluster.irecv(to, from, tag));
+        cluster.send(from, to, tag,
+                     static_cast<std::uint64_t>(tag) * 1315423911u + 7u);
+        ++tag;
+      }
+    }
+  }
+  cluster.run_until_quiescent();
+
+  Point p;
+  p.fault_rate = fault_rate;
+  p.messages = cluster.stats().messages_sent;
+  p.virtual_us = cluster.stats().virtual_time_us;
+  p.failures = cluster.stats().delivery_failures;
+  const auto r = cluster.snapshot();
+  p.retransmits = counter(r, "runtime.reliability.retransmits");
+  p.dup_suppressed = counter(r, "runtime.reliability.duplicates_suppressed");
+  p.corruptions = counter(r, "runtime.reliability.corruptions_detected");
+
+  std::uint64_t completed = 0;
+  for (const auto& h : handles) completed += cluster.test(h) ? 1 : 0;
+  if (completed != handles.size()) {
+    std::cerr << "FATAL: " << (handles.size() - completed)
+              << " receives incomplete at fault rate " << fault_rate << "\n";
+    std::exit(1);
+  }
+  return p;
+}
+
+int run(const bench::Options& opt) {
+  bench::print_header("ablation_faults",
+                      "reliability-layer recovery cost vs per-packet fault rate "
+                      "(fabric-relaxation ablation, docs/faults.md)");
+
+  std::vector<double> rates = {0.0, 0.01, 0.02, 0.05, 0.1, 0.2};
+  if (opt.faults > 0.0) rates.push_back(opt.faults);
+
+  bench::WallTimer timer;
+  bench::JsonReport report("ablation_faults",
+                           "fault-rate sweep over the reliability protocol");
+  util::AsciiTable table({"drop rate", "retx / msg", "dups drop'd", "corrupt",
+                          "failures", "virtual us", "stretch"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"drop_rate", "messages", "retransmits", "retx_per_msg",
+                 "dup_suppressed", "corruptions", "failures", "virtual_us",
+                 "stretch"});
+
+  double base_us = 0.0;
+  for (const double rate : rates) {
+    const Point p = run_point(rate, opt);
+    if (rate == 0.0) base_us = p.virtual_us;
+    const double retx_per_msg =
+        static_cast<double>(p.retransmits) / static_cast<double>(p.messages);
+    const double stretch = base_us > 0.0 ? p.virtual_us / base_us : 1.0;
+
+    table.add_row({util::AsciiTable::num(rate, 2),
+                   util::AsciiTable::num(retx_per_msg, 3),
+                   std::to_string(p.dup_suppressed), std::to_string(p.corruptions),
+                   std::to_string(p.failures), util::AsciiTable::num(p.virtual_us, 1),
+                   util::AsciiTable::num(stretch, 2) + " x"});
+    csv.push_back({util::AsciiTable::num(rate, 2), std::to_string(p.messages),
+                   std::to_string(p.retransmits), util::AsciiTable::num(retx_per_msg, 4),
+                   std::to_string(p.dup_suppressed), std::to_string(p.corruptions),
+                   std::to_string(p.failures), util::AsciiTable::num(p.virtual_us, 2),
+                   util::AsciiTable::num(stretch, 3)});
+
+    auto& row = report.add_row();
+    row.set("drop_rate", rate)
+        .set("messages", p.messages)
+        .set("retransmits", p.retransmits)
+        .set("retx_per_msg", retx_per_msg)
+        .set("dup_suppressed", p.dup_suppressed)
+        .set("corruptions", p.corruptions)
+        .set("failures", p.failures)
+        .set("virtual_us", p.virtual_us)
+        .set("stretch", stretch);
+  }
+
+  table.print(std::cout);
+  std::cout << "every receive completed at every rate (reliability layer "
+               "recovers all losses;\nfailures column would flag retry-cap "
+               "exhaustion).\n";
+  bench::print_csv(csv);
+  timer.report(opt);
+
+  report.headline().set("nodes", kNodes).set("rounds", kRounds);
+  return report.emit(opt) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run(simtmsg::bench::Options::parse(argc, argv));
+}

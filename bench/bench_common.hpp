@@ -42,6 +42,10 @@ struct Options {
   /// and rate numbers — and therefore the JSON report — are bit-identical
   /// for every thread count, which scripts/run_benches.sh relies on.
   int threads = 1;
+  /// Per-packet fault rate for the runtime benches (`--faults <rate>` in
+  /// [0, 1]); applied as the drop probability, with the other fault knobs
+  /// scaled from it (docs/faults.md).  Ignored by the pure-matching benches.
+  double faults = 0.0;
 
   static Options parse(int argc, char** argv) {
     Options opt;
@@ -55,8 +59,15 @@ struct Options {
           std::cerr << "--threads must be >= 0\n";
           std::exit(2);
         }
+      } else if (arg == "--faults" && i + 1 < argc) {
+        opt.faults = std::atof(argv[++i]);
+        if (opt.faults < 0.0 || opt.faults > 1.0) {
+          std::cerr << "--faults must be in [0, 1]\n";
+          std::exit(2);
+        }
       } else {
-        std::cerr << "usage: " << argv[0] << " [--json <path>] [--threads <n>]\n";
+        std::cerr << "usage: " << argv[0]
+                  << " [--json <path>] [--threads <n>] [--faults <rate>]\n";
         std::exit(2);
       }
     }

@@ -1,0 +1,106 @@
+// A halo exchange over an adversarial fabric (docs/faults.md).
+//
+// The paper's relaxations presume the lossless, per-pair-ordered fabric of
+// NVLink-class links.  This example drops, duplicates, corrupts, and delays
+// packets on purpose and shows the reliability layer (per-pair sequence
+// numbers, acks, retransmission with exponential backoff, checksums)
+// recovering every message — then tightens the retry cap until delivery
+// genuinely fails and shows how the failure surfaces as a typed
+// DeliveryFailure instead of a hang or silent loss.
+//
+// Build & run:  ./build/examples/lossy_link
+#include <iostream>
+#include <vector>
+
+#include "runtime/endpoint.hpp"
+
+namespace {
+
+using namespace simtmsg;
+
+constexpr int kNodes = 4;
+constexpr int kRounds = 8;
+
+std::uint64_t counter(const telemetry::TelemetryReport& r, const std::string& name) {
+  const auto it = r.counters.find(name);
+  return it == r.counters.end() ? 0 : it->second;
+}
+
+/// Ring halo exchange: every round, each node sends to both neighbours.
+/// Returns the number of completed receives.
+std::size_t exchange(runtime::Cluster& cluster) {
+  std::vector<runtime::RecvHandle> handles;
+  matching::Tag tag = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int n = 0; n < kNodes; ++n) {
+      const int right = (n + 1) % kNodes;
+      const int left = (n + kNodes - 1) % kNodes;
+      handles.push_back(cluster.irecv(right, n, tag));
+      handles.push_back(cluster.irecv(left, n, tag + 1));
+      cluster.send(n, right, tag, static_cast<std::uint64_t>(n * 100 + round));
+      cluster.send(n, left, tag + 1, static_cast<std::uint64_t>(n * 100 + round));
+      tag += 2;
+    }
+  }
+  cluster.run_until_quiescent();
+  std::size_t done = 0;
+  for (const auto& h : handles) done += cluster.test(h) ? 1 : 0;
+  return done;
+}
+
+runtime::ClusterConfig lossy(int max_attempts) {
+  runtime::ClusterConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.network.seed = 2024;
+  cfg.network.jitter_us = 0.3;
+  cfg.network.faults.drop_prob = 0.2;
+  cfg.network.faults.dup_prob = 0.1;
+  cfg.network.faults.corrupt_prob = 0.05;
+  cfg.reliability.enabled = true;
+  cfg.reliability.timeout_us = 10.0;
+  cfg.reliability.backoff = 2.0;
+  cfg.reliability.max_attempts = max_attempts;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "-- lossy link: 20% drop, 10% duplication, 5% corruption --\n\n";
+
+  {
+    runtime::Cluster cluster(lossy(/*max_attempts=*/16));
+    const std::size_t done = exchange(cluster);
+    const auto r = cluster.snapshot();
+    std::cout << "generous retry cap (16 attempts):\n"
+              << "  receives completed     " << done << " / " << kNodes * kRounds * 2
+              << "\n  packets dropped        " << counter(r, "runtime.fault.drops")
+              << "\n  retransmissions        "
+              << counter(r, "runtime.reliability.retransmits")
+              << "\n  duplicates suppressed  "
+              << counter(r, "runtime.reliability.duplicates_suppressed")
+              << "\n  corruptions caught     "
+              << counter(r, "runtime.reliability.corruptions_detected")
+              << "\n  delivery failures      " << cluster.delivery_failures().size()
+              << "\n  simulated time         " << cluster.stats().virtual_time_us
+              << " us\n\n";
+  }
+
+  {
+    runtime::Cluster cluster(lossy(/*max_attempts=*/2));
+    const std::size_t done = exchange(cluster);
+    std::cout << "tight retry cap (2 attempts):\n"
+              << "  receives completed     " << done << " / " << kNodes * kRounds * 2
+              << "\n  delivery failures      " << cluster.delivery_failures().size()
+              << "\n";
+    if (!cluster.delivery_failures().empty()) {
+      std::cout << "  first failure          "
+                << to_string(cluster.delivery_failures().front()) << "\n";
+    }
+    std::cout << "\nevery undelivered message is accounted for: the cluster "
+                 "quiesces (no hang),\nthe receive stays incomplete (no "
+                 "corruption slips through), and the loss is\nreported as a "
+                 "typed DeliveryFailure.\n";
+  }
+  return 0;
+}

@@ -21,6 +21,15 @@ matching::Tag BspSession::tag(matching::Tag user_tag) const {
 void BspSession::sync() {
   cluster_->barrier();
   ++step_;
+  const std::size_t total = cluster_->delivery_failures().size();
+  last_losses_ = total - seen_failures_;
+  seen_failures_ = total;
+  if (fail_on_loss_ && last_losses_ > 0) {
+    throw std::runtime_error(
+        "superstep " + std::to_string(step_ - 1) + " lost " +
+        std::to_string(last_losses_) + " message(s): " +
+        to_string(cluster_->delivery_failures()[seen_failures_ - last_losses_]));
+  }
 }
 
 }  // namespace simtmsg::runtime

@@ -36,12 +36,29 @@ class BspSession {
   }
 
   /// End the superstep: quiesce the cluster and advance the tag epoch.
+  /// With fail_on_loss() set, throws std::runtime_error when the fabric
+  /// reported new DeliveryFailures during the superstep (a BSP superstep
+  /// presumes a complete exchange).
   void sync();
+
+  /// Opt into strict supersteps on a faulted fabric.  Off (default) the
+  /// failures stay queryable via Cluster::delivery_failures() and
+  /// losses_last_sync().
+  BspSession& fail_on_loss(bool on) noexcept {
+    fail_on_loss_ = on;
+    return *this;
+  }
+
+  /// Delivery failures detected during the most recent sync()'d superstep.
+  [[nodiscard]] std::size_t losses_last_sync() const noexcept { return last_losses_; }
 
  private:
   Cluster* cluster_;
   matching::Tag tags_per_step_;
   int step_ = 0;
+  std::size_t seen_failures_ = 0;
+  std::size_t last_losses_ = 0;
+  bool fail_on_loss_ = false;
 };
 
 }  // namespace simtmsg::runtime

@@ -15,6 +15,19 @@ namespace {
 
 constexpr int kMaxRoundsPerOp = 64;
 
+/// A collective round that cannot complete is fatal for the operation; on
+/// a faulted fabric, say why (the reliability layer reports every message
+/// it gave up on).
+[[noreturn]] void throw_incomplete(const Cluster& cluster, const char* op) {
+  std::string why = std::string(op) + " round incomplete";
+  const auto& failures = cluster.delivery_failures();
+  if (!failures.empty()) {
+    why += ": " + std::to_string(failures.size()) +
+           " delivery failure(s), first: " + to_string(failures.front());
+  }
+  throw std::runtime_error(why);
+}
+
 }  // namespace
 
 Collectives::Collectives(Cluster& cluster, matching::CommId comm)
@@ -74,7 +87,7 @@ std::vector<std::uint64_t> Collectives::broadcast(int root, std::uint64_t value)
     cluster_->run_until_quiescent();
     for (const auto& pend : pending) {
       const auto res = cluster_->result(pend.h);
-      if (!res) throw std::runtime_error("broadcast round incomplete");
+      if (!res) throw_incomplete(*cluster_, "broadcast");
       values[static_cast<std::size_t>(pend.node)] = res->payload;
       has[static_cast<std::size_t>(pend.node)] = true;
     }
@@ -115,7 +128,7 @@ std::uint64_t Collectives::reduce(int root, std::span<const std::uint64_t> contr
     cluster_->run_until_quiescent();
     for (const auto& pend : pending) {
       const auto res = cluster_->result(pend.h);
-      if (!res) throw std::runtime_error("reduce round incomplete");
+      if (!res) throw_incomplete(*cluster_, "reduce");
       auto& a = acc[static_cast<std::size_t>(pend.node)];
       a = op(a, res->payload);
     }
@@ -151,7 +164,7 @@ std::vector<std::uint64_t> Collectives::allreduce(
       cluster_->run_until_quiescent();
       for (int n = 0; n < p; ++n) {
         const auto res = cluster_->result(handles[static_cast<std::size_t>(n)]);
-        if (!res) throw std::runtime_error("allreduce round incomplete");
+        if (!res) throw_incomplete(*cluster_, "allreduce");
         auto& a = acc[static_cast<std::size_t>(n)];
         a = op(a, res->payload);
       }
@@ -202,7 +215,7 @@ std::vector<std::vector<std::uint64_t>> Collectives::allgather(
     cluster_->run_until_quiescent();
     for (int n = 0; n < p; ++n) {
       const auto res = cluster_->result(handles[static_cast<std::size_t>(n)]);
-      if (!res) throw std::runtime_error("allgather round incomplete");
+      if (!res) throw_incomplete(*cluster_, "allgather");
       const int block = (n - 1 - round + 2 * p) % p;
       out[static_cast<std::size_t>(n)][static_cast<std::size_t>(block)] = res->payload;
     }

@@ -5,7 +5,7 @@
 namespace simtmsg::runtime {
 
 Cluster::Cluster(ClusterConfig cfg)
-    : cfg_(cfg), gas_(cfg.nodes, cfg.network) {
+    : cfg_(std::move(cfg)), gas_(cfg_.nodes, cfg_.network, &fabric_telemetry_) {
   if (cfg_.nodes < 1) throw std::invalid_argument("cluster needs at least one node");
   if (!matching::valid(cfg_.semantics)) {
     throw std::invalid_argument("inconsistent semantics: " +
@@ -14,15 +14,30 @@ Cluster::Cluster(ClusterConfig cfg)
   const auto& device = simt::device(cfg_.device);
   engines_.reserve(static_cast<std::size_t>(cfg_.nodes));
   posted_.resize(static_cast<std::size_t>(cfg_.nodes));
-  for (int n = 0; n < cfg_.nodes; ++n) engines_.emplace_back(device, cfg_.semantics);
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    engines_.emplace_back(device, cfg_.semantics, cfg_.policy, n, cfg_.reliability,
+                          &fabric_telemetry_);
+  }
+}
+
+void Cluster::inject(Packet&& p) {
+  // A negative arrival means the wire dropped the packet; the reliability
+  // timers recover (or report) it.
+  (void)gas_.inject(std::move(p), now_us_);
 }
 
 void Cluster::send(int from, int to, matching::Tag tag, std::uint64_t payload,
                    matching::CommId comm, std::size_t bytes) {
   if (from < 0 || from >= cfg_.nodes) throw std::out_of_range("sender out of range");
+  if (to < 0 || to >= cfg_.nodes) throw std::out_of_range("destination node out of range");
   if (tag < 0) throw std::invalid_argument("send tag must be concrete");
   matching::Envelope env{.src = from, .tag = tag, .comm = comm};
-  (void)gas_.remote_enqueue(from, to, env, payload, bytes, now_us_);
+  if (cfg_.reliability.enabled) {
+    inject(engines_[static_cast<std::size_t>(from)].reliability().make_data(
+        to, env, payload, bytes, now_us_));
+  } else {
+    (void)gas_.remote_enqueue(from, to, env, payload, bytes, now_us_);
+  }
   ++sends_;
 }
 
@@ -50,10 +65,38 @@ std::optional<RecvResult> Cluster::result(const RecvHandle& h) const {
 }
 
 std::size_t Cluster::progress() {
-  // Advance the clock to the next arrival (if any) and deliver.
-  const double next = gas_.next_arrival();
-  if (next >= 0.0) {
-    now_us_ = std::max(now_us_, next);
+  // Advance the clock to the next event: the earliest in-flight arrival or
+  // (with reliability) the earliest retransmit deadline.
+  double next = gas_.next_arrival();
+  if (cfg_.reliability.enabled) {
+    for (const auto& e : engines_) {
+      const double d = e.reliability().next_deadline();
+      if (d >= 0.0 && (next < 0.0 || d < next)) next = d;
+    }
+  }
+  if (next >= 0.0) now_us_ = std::max(now_us_, next);
+
+  if (cfg_.reliability.enabled) {
+    // Raw wire packets go through each destination's reliability channel:
+    // verify, dedup, ack, and release accepted messages (in order when the
+    // semantics demand it) into the node's incoming queue.
+    std::vector<Packet> raw;
+    (void)gas_.deliver_raw_until(now_us_, raw);
+    std::vector<Packet> replies;
+    std::vector<matching::Message> accepted;
+    for (const Packet& p : raw) {
+      accepted.clear();
+      engines_[static_cast<std::size_t>(p.to)].reliability().on_packet(
+          p, now_us_, accepted, replies);
+      for (const auto& m : accepted) gas_.incoming(p.to).push(m);
+    }
+    for (Packet& r : replies) inject(std::move(r));
+
+    // Fire expired retransmit timers (and report exhausted sends).
+    std::vector<Packet> resend;
+    for (auto& e : engines_) e.reliability().expire(now_us_, resend, failures_);
+    for (Packet& r : resend) inject(std::move(r));
+  } else {
     (void)gas_.deliver_until(now_us_);
   }
 
@@ -71,10 +114,23 @@ std::size_t Cluster::progress() {
   return matched;
 }
 
+bool Cluster::quiesced() {
+  if (!gas_.idle()) return false;
+  if (cfg_.reliability.enabled) {
+    for (const auto& e : engines_) {
+      if (!e.reliability().idle()) return false;
+    }
+    // Nothing in flight, every sender done: messages still held for
+    // in-order release are permanently stuck behind a failed sequence.
+    for (auto& e : engines_) e.reliability().sweep_stranded(now_us_, failures_);
+  }
+  return true;
+}
+
 void Cluster::run_until_quiescent() {
   for (;;) {
     const std::size_t matched = progress();
-    if (matched == 0 && gas_.idle()) return;
+    if (matched == 0 && quiesced()) return;
   }
 }
 
@@ -94,9 +150,14 @@ RecvResult Cluster::wait(const RecvHandle& h) {
   for (;;) {
     if (const auto r = result(h)) return *r;
     const std::size_t matched = progress();
-    if (matched == 0 && gas_.idle()) {
+    if (matched == 0 && quiesced()) {
       if (const auto r = result(h)) return *r;
-      throw std::runtime_error("wait(): cluster quiescent, receive cannot complete");
+      std::string why = "wait(): cluster quiescent, receive cannot complete";
+      if (!failures_.empty()) {
+        why += " (" + std::to_string(failures_.size()) +
+               " delivery failure(s) recorded; see delivery_failures())";
+      }
+      throw std::runtime_error(why);
     }
   }
 }
@@ -105,6 +166,7 @@ ClusterStats Cluster::stats() const {
   ClusterStats s;
   s.messages_sent = sends_;
   s.receives_posted = posts_;
+  s.delivery_failures = failures_.size();
   s.virtual_time_us = now_us_;
   for (const auto& e : engines_) {
     const auto r = e.snapshot();
@@ -117,6 +179,7 @@ ClusterStats Cluster::stats() const {
 telemetry::TelemetryReport Cluster::snapshot() const {
   telemetry::TelemetryReport total;
   for (const auto& e : engines_) total.merge(e.snapshot());
+  total.absorb(fabric_telemetry_);
   return total;
 }
 

@@ -18,7 +18,9 @@
 #include "matching/semantics.hpp"
 #include "runtime/gas.hpp"
 #include "runtime/progress_engine.hpp"
+#include "runtime/reliability.hpp"
 #include "simt/device_spec.hpp"
+#include "simt/launcher.hpp"
 
 namespace simtmsg::runtime {
 
@@ -40,12 +42,19 @@ struct ClusterConfig {
   matching::SemanticsConfig semantics;  ///< Default: fully MPI-compliant.
   simt::Generation device = simt::Generation::kPascal;
   NetworkConfig network;
+  /// Ack/retransmit protocol over the (possibly faulted) fabric
+  /// (docs/faults.md).  Off by default: the ideal lossless wire.
+  ReliabilityConfig reliability;
+  /// Host threads for the per-node matchers.  Purely a wall-clock knob:
+  /// results and telemetry are bit-identical for every thread count.
+  simt::ExecutionPolicy policy = simt::ExecutionPolicy::serial();
 };
 
 struct ClusterStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t receives_posted = 0;
   std::uint64_t matches = 0;
+  std::uint64_t delivery_failures = 0;  ///< Messages the fabric gave up on.
   double matching_seconds = 0.0;  ///< Modelled device time in the matchers.
   double virtual_time_us = 0.0;   ///< Simulated cluster clock.
 };
@@ -93,18 +102,34 @@ class Cluster {
 
   [[nodiscard]] ClusterStats stats() const;
 
-  /// Cluster-wide telemetry: every node engine's snapshot() merged.
+  /// Cluster-wide telemetry: every node engine's snapshot() merged, plus
+  /// the runtime.fault.* / runtime.reliability.* instruments.
   [[nodiscard]] telemetry::TelemetryReport snapshot() const;
 
   /// Per-node modelled matching time (seconds on the configured device).
   [[nodiscard]] double node_matching_seconds(int node) const;
 
+  /// Every message the reliability layer gave up on (retry cap exhausted,
+  /// or stranded behind a failed sequence at quiescence), in the order the
+  /// failures were detected.  Empty on an ideal fabric.
+  [[nodiscard]] const std::vector<DeliveryFailure>& delivery_failures() const noexcept {
+    return failures_;
+  }
+
  private:
+  /// True when nothing is in flight and no reliability timer is pending;
+  /// on the transition to quiescence, sweeps stranded held messages into
+  /// failures_.
+  [[nodiscard]] bool quiesced();
+  void inject(Packet&& p);
+
   ClusterConfig cfg_;
+  telemetry::Registry fabric_telemetry_;  ///< runtime.fault.* / runtime.reliability.*.
   GlobalAddressSpace gas_;
   std::vector<ProgressEngine> engines_;
   std::vector<matching::RecvQueue> posted_;
   std::unordered_map<std::uint64_t, RecvResult> completed_;
+  std::vector<DeliveryFailure> failures_;
   std::uint64_t next_handle_ = 1;
   std::uint64_t sends_ = 0;
   std::uint64_t posts_ = 0;

@@ -6,21 +6,29 @@
 //
 // Each node owns an incoming message queue in its (simulated) device
 // memory; remote_enqueue models the one-sided write a send performs.
-// In-flight packets are delivered in arrival-time order (per-pair FIFO is
-// preserved by construction when jitter is zero).
+// In-flight packets are delivered in arrival-time order.  Per-pair FIFO is
+// enforced with a monotone clamp on planned arrivals — the NVLink-class
+// guarantee — unless the FaultModel's pair-order-violation mode is on.
+// The wire applies the NetworkConfig's FaultModel at injection time: a
+// packet may be dropped, duplicated, bit-flipped, or delay-spiked, each
+// event tallied into the optional telemetry sink as runtime.fault.*.
 #pragma once
 
+#include <map>
 #include <queue>
 #include <vector>
 
 #include "matching/queue.hpp"
 #include "runtime/network.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace simtmsg::runtime {
 
 class GlobalAddressSpace {
  public:
-  GlobalAddressSpace(int nodes, NetworkConfig net_cfg);
+  /// `fault_sink` (may be null) receives the runtime.fault.* wire counters.
+  GlobalAddressSpace(int nodes, NetworkConfig net_cfg,
+                     telemetry::Registry* fault_sink = nullptr);
 
   [[nodiscard]] int nodes() const noexcept { return static_cast<int>(incoming_.size()); }
 
@@ -29,9 +37,22 @@ class GlobalAddressSpace {
   double remote_enqueue(int from, int to, const matching::Envelope& env,
                         std::uint64_t payload, std::size_t bytes, double now_us);
 
+  /// Inject a fully-formed packet (reliability path: data, ack, or
+  /// retransmission).  Stamps the wire sequence, applies the fault plan,
+  /// and returns the planned arrival time — or a negative value when the
+  /// wire dropped the packet.
+  double inject(Packet p, double now_us);
+
   /// Move every packet with arrival <= `until_us` into its destination's
-  /// incoming queue (arrival order).  Returns the number delivered.
+  /// incoming queue (arrival order).  Returns the number delivered.  This
+  /// is the raw-fabric path; with a reliability layer the Cluster uses
+  /// deliver_raw_until instead.
   std::size_t deliver_until(double until_us);
+
+  /// As deliver_until, but hands the raw packets (in arrival order) to the
+  /// caller instead of the incoming queues — the reliability layer decides
+  /// what is accepted.
+  std::size_t deliver_raw_until(double until_us, std::vector<Packet>& out);
 
   /// Earliest in-flight arrival, or a negative value when nothing is in
   /// flight.
@@ -55,9 +76,14 @@ class GlobalAddressSpace {
     }
   };
 
+  void bump(std::string_view name);
+
   Network network_;
   std::priority_queue<Packet, std::vector<Packet>, Later> in_flight_;
   std::vector<matching::MessageQueue> incoming_;
+  /// Latest planned arrival per (from, to) — the per-pair FIFO clamp.
+  std::map<std::pair<int, int>, double> last_arrival_;
+  telemetry::Registry* fault_sink_ = nullptr;
   std::uint64_t sequence_ = 0;
 };
 

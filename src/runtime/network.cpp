@@ -1,9 +1,50 @@
 #include "runtime/network.hpp"
 
-// Network is header-only (hot path); this TU anchors it into the library.
-
 namespace simtmsg::runtime {
+namespace {
 
-static_assert(sizeof(Packet) > 0);
+/// Independent derived seed for one (config seed, wire_seq, salt) tuple.
+[[nodiscard]] std::uint64_t derive(std::uint64_t seed, std::uint64_t wire_seq,
+                                   std::uint64_t salt) noexcept {
+  std::uint64_t s = seed ^ (wire_seq * 0x9E3779B97F4A7C15ull) ^ salt;
+  return util::splitmix64(s);
+}
+
+}  // namespace
+
+double Network::jitter(std::uint64_t wire_seq) const noexcept {
+  if (cfg_.jitter_us <= 0.0) return 0.0;
+  util::Rng rng(derive(cfg_.seed, wire_seq, 0x6A177E12ull));
+  return rng.uniform() * cfg_.jitter_us;
+}
+
+WirePlan Network::plan(const Packet& p, double now_us) const {
+  WirePlan out;
+  out.arrival_us = arrival_time(now_us, p.bytes, p.sequence);
+
+  const FaultModel& f = cfg_.faults;
+  if (f.script) {
+    out.fault = f.script(p);
+  } else if (f.active()) {
+    util::Rng rng(derive(cfg_.seed, p.sequence, 0xFA017ull));
+    out.fault.drop = f.drop_prob > 0.0 && rng.chance(f.drop_prob);
+    out.fault.duplicate = f.dup_prob > 0.0 && rng.chance(f.dup_prob);
+    out.fault.corrupt = f.corrupt_prob > 0.0 && rng.chance(f.corrupt_prob);
+    if (f.delay_spike_prob > 0.0 && rng.chance(f.delay_spike_prob)) {
+      out.fault.extra_delay_us = rng.uniform() * f.delay_spike_us;
+    }
+  }
+
+  util::Rng shape(derive(cfg_.seed, p.sequence, 0x5AAFE2ull));
+  out.corrupt_bit = static_cast<int>(shape.below(64));
+  out.arrival_us += out.fault.extra_delay_us;
+  // The duplicate trails the original by an independent extra delay in
+  // (0, latency + jitter]: close enough to stress duplicate suppression,
+  // far enough to interleave with later traffic.
+  out.dup_arrival_us =
+      out.arrival_us + shape.uniform() * (cfg_.latency_us + cfg_.jitter_us) +
+      1e-6;
+  return out;
+}
 
 }  // namespace simtmsg::runtime

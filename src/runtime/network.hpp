@@ -1,23 +1,28 @@
 // Network model for the simulated GPU cluster: NVLink-class links with a
-// fixed per-message latency, a bandwidth term, and optional jitter (which
-// produces out-of-order delivery between different pairs, like a real
-// multi-path fabric; per-pair ordering is preserved, as NVLink and
-// lossless HPC fabrics guarantee and MPI's ordering rule presumes).
+// fixed per-message latency, a bandwidth term, optional jitter, and an
+// optional adversarial FaultModel (per-packet drop, duplication, payload
+// corruption, delay spikes, and an opt-in pair-order-violation mode).
+//
+// Everything the wire does to a packet is derived *statelessly* from
+// (config seed, wire sequence number) via splitmix64 — there is no shared
+// mutable RNG, so planning is const, thread-safe, and bit-identical for a
+// fixed seed regardless of host thread count (the PR 2 invariant).  The
+// fault-free default reproduces the ideal lossless fabric NVLink-class
+// hardware provides and the paper's relaxations presume; docs/faults.md
+// describes the adversarial modes and the reliability protocol built on
+// top of them.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "matching/envelope.hpp"
 #include "util/rng.hpp"
 
 namespace simtmsg::runtime {
 
-struct NetworkConfig {
-  double latency_us = 1.3;       ///< Per-message one-way latency.
-  double bandwidth_gbs = 40.0;   ///< Link bandwidth, GB/s (NVLink-class).
-  double jitter_us = 0.0;        ///< Uniform extra delay in [0, jitter].
-  std::uint64_t seed = 1;
-};
+/// What a packet is carrying: user data, or a reliability-layer ack.
+enum class PacketKind : std::uint8_t { kData = 0, kAck = 1 };
 
 /// A message in flight between two endpoints.
 struct Packet {
@@ -27,25 +32,90 @@ struct Packet {
   std::uint64_t payload = 0;
   std::size_t bytes = 8;
   double arrival_us = 0.0;
-  std::uint64_t sequence = 0;  ///< Global injection order (tie-break).
+  std::uint64_t sequence = 0;   ///< Global wire injection order (tie-break).
+  PacketKind kind = PacketKind::kData;
+  std::uint64_t pair_seq = 0;   ///< Per-(from,to) sequence (reliability layer).
+  std::uint64_t checksum = 0;   ///< packet_checksum() over the fields above.
+  int attempt = 1;              ///< Delivery attempt (1 = first transmission).
+};
+
+/// What the wire decided to do with one injected packet.  Scripted tests
+/// build these directly; the probabilistic FaultModel derives them per
+/// wire-sequence number.
+struct WireFault {
+  bool drop = false;        ///< Packet never arrives.
+  bool duplicate = false;   ///< A second copy arrives (later).
+  bool corrupt = false;     ///< One payload bit is flipped in flight.
+  double extra_delay_us = 0.0;  ///< Delay spike on top of latency + jitter.
+};
+
+/// Deterministic, seeded fault injection.  With `script` set, the script
+/// decides every packet's fate (exact scenario tests); otherwise each knob
+/// is an independent per-packet Bernoulli draw keyed on the wire sequence.
+struct FaultModel {
+  double drop_prob = 0.0;         ///< P(packet lost).
+  double dup_prob = 0.0;          ///< P(packet duplicated).
+  double corrupt_prob = 0.0;      ///< P(one payload bit flipped).
+  double delay_spike_prob = 0.0;  ///< P(delay spike).
+  double delay_spike_us = 0.0;    ///< Spike magnitude (uniform in [0, this]).
+  /// Permit same-pair packets to overtake each other on the wire.  Off, the
+  /// fabric clamps arrivals so per-pair FIFO holds (the NVLink guarantee);
+  /// on, jitter and spikes may reorder a pair's packets — exactly where the
+  /// compliant matrix path and the "no ordering" hash path diverge.
+  bool allow_pair_reorder = false;
+  /// Scripted override: when set, called once per injected packet (with the
+  /// wire sequence already stamped) and its verdict replaces the
+  /// probabilistic draws.  Deterministic as long as the script is.
+  std::function<WireFault(const Packet&)> script;
+
+  /// True when any fault can occur (a script counts: it may do anything).
+  [[nodiscard]] bool active() const noexcept {
+    return drop_prob > 0.0 || dup_prob > 0.0 || corrupt_prob > 0.0 ||
+           delay_spike_prob > 0.0 || allow_pair_reorder || script != nullptr;
+  }
+};
+
+struct NetworkConfig {
+  double latency_us = 1.3;       ///< Per-message one-way latency.
+  double bandwidth_gbs = 40.0;   ///< Link bandwidth, GB/s (NVLink-class).
+  double jitter_us = 0.0;        ///< Uniform extra delay in [0, jitter].
+  std::uint64_t seed = 1;
+  FaultModel faults;             ///< Default: ideal lossless fabric.
+};
+
+/// Full wire plan for one injected packet: fault verdict plus the planned
+/// arrival times (dup_arrival_us is meaningful only when duplicate is set).
+struct WirePlan {
+  WireFault fault;
+  int corrupt_bit = 0;       ///< Payload bit to flip when fault.corrupt.
+  double arrival_us = 0.0;
+  double dup_arrival_us = 0.0;
 };
 
 class Network {
  public:
-  explicit Network(NetworkConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+  explicit Network(NetworkConfig cfg) : cfg_(std::move(cfg)) {}
 
-  /// Arrival time for `bytes` injected at `now_us`.
-  [[nodiscard]] double arrival_time(double now_us, std::size_t bytes) noexcept {
+  /// Arrival time for `bytes` injected at `now_us` as wire packet
+  /// `wire_seq`.  Jitter is derived from (seed, wire_seq) — const and
+  /// thread-safe; two networks with the same config agree exactly.
+  [[nodiscard]] double arrival_time(double now_us, std::size_t bytes,
+                                    std::uint64_t wire_seq) const noexcept {
     const double wire = static_cast<double>(bytes) / (cfg_.bandwidth_gbs * 1e3);  // us.
-    const double jitter = cfg_.jitter_us > 0.0 ? rng_.uniform() * cfg_.jitter_us : 0.0;
-    return now_us + cfg_.latency_us + wire + jitter;
+    return now_us + cfg_.latency_us + wire + jitter(wire_seq);
   }
+
+  /// Everything the wire will do to `p` (whose sequence must already be
+  /// stamped), injected at `now_us`.  Pure function of (config, packet).
+  [[nodiscard]] WirePlan plan(const Packet& p, double now_us) const;
 
   [[nodiscard]] const NetworkConfig& config() const noexcept { return cfg_; }
 
  private:
+  /// Derived jitter for one wire packet (0 when jitter is disabled).
+  [[nodiscard]] double jitter(std::uint64_t wire_seq) const noexcept;
+
   NetworkConfig cfg_;
-  util::Rng rng_;
 };
 
 }  // namespace simtmsg::runtime

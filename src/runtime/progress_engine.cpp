@@ -8,6 +8,26 @@ ProgressEngine::ProgressEngine(const simt::DeviceSpec& device,
                                matching::SemanticsConfig semantics)
     : engine_(device, semantics), semantics_(semantics) {}
 
+ProgressEngine::ProgressEngine(const simt::DeviceSpec& device,
+                               matching::SemanticsConfig semantics,
+                               const simt::ExecutionPolicy& policy, int node,
+                               const ReliabilityConfig& reliability,
+                               telemetry::Registry* sink)
+    : engine_(device, semantics, policy), semantics_(semantics) {
+  if (reliability.enabled) {
+    if (reliability.max_attempts < 1) {
+      throw std::invalid_argument("reliability needs max_attempts >= 1");
+    }
+    if (reliability.timeout_us <= 0.0 || reliability.backoff < 1.0) {
+      throw std::invalid_argument("reliability needs timeout_us > 0 and backoff >= 1");
+    }
+    // The hold-back buffer restores the per-pair delivery order the MPI
+    // ordering guarantee needs; relaxed "no ordering" semantics release on
+    // arrival (the paper's divergence point under faults).
+    reliability_.emplace(node, reliability, /*restore_order=*/semantics.ordering, sink);
+  }
+}
+
 telemetry::TelemetryReport ProgressEngine::snapshot() const {
   telemetry::TelemetryReport r = engine_.snapshot();
   // A progress step that found an empty queue pair never reaches the match

@@ -11,10 +11,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "matching/engine.hpp"
 #include "matching/queue.hpp"
+#include "runtime/reliability.hpp"
 #include "telemetry/report.hpp"
 
 namespace simtmsg::runtime {
@@ -28,6 +30,15 @@ struct Completion {
 class ProgressEngine {
  public:
   ProgressEngine(const simt::DeviceSpec& device, matching::SemanticsConfig semantics);
+
+  /// Full constructor: host execution policy for the node's matcher, the
+  /// node id, and the reliability protocol config.  When
+  /// `reliability.enabled`, the engine owns this node's ReliabilityChannel
+  /// (the per-node half of the ack/retransmit protocol the communication
+  /// kernel runs in the background); `sink` receives its telemetry.
+  ProgressEngine(const simt::DeviceSpec& device, matching::SemanticsConfig semantics,
+                 const simt::ExecutionPolicy& policy, int node,
+                 const ReliabilityConfig& reliability, telemetry::Registry* sink);
 
   /// One matching pass over (incoming, posted).  Matched elements are
   /// removed from both queues; completions are appended to `out`.
@@ -57,9 +68,16 @@ class ProgressEngine {
 
   [[nodiscard]] const matching::MatchEngine& engine() const noexcept { return engine_; }
 
+  /// This node's reliability protocol state (only with a full-constructor
+  /// engine whose ReliabilityConfig was enabled).
+  [[nodiscard]] bool has_reliability() const noexcept { return reliability_.has_value(); }
+  [[nodiscard]] ReliabilityChannel& reliability() { return *reliability_; }
+  [[nodiscard]] const ReliabilityChannel& reliability() const { return *reliability_; }
+
  private:
   matching::MatchEngine engine_;
   matching::SemanticsConfig semantics_;
+  std::optional<ReliabilityChannel> reliability_;
   double seconds_ = 0.0;
   double cycles_ = 0.0;
   std::uint64_t matches_ = 0;

@@ -1,0 +1,211 @@
+#include "runtime/reliability.hpp"
+
+#include <algorithm>
+
+namespace simtmsg::runtime {
+
+std::string to_string(const DeliveryFailure& f) {
+  std::string s = f.kind == FailureKind::kRetriesExhausted
+                      ? "retries exhausted"
+                      : "stranded behind a failed sequence";
+  s += ": " + std::to_string(f.from) + " -> " + std::to_string(f.to) +
+       " tag=" + std::to_string(f.env.tag) +
+       " pair_seq=" + std::to_string(f.pair_seq) +
+       " attempts=" + std::to_string(f.attempts);
+  return s;
+}
+
+std::uint64_t packet_checksum(const matching::Envelope& env, std::uint64_t payload,
+                              std::uint64_t pair_seq, PacketKind kind) noexcept {
+  std::uint64_t h = 0xC4EC5D0C0DE5EEDull;
+  const auto mix = [&h](std::uint64_t v) noexcept {
+    std::uint64_t s = h ^ v;
+    h = util::splitmix64(s);
+  };
+  mix(static_cast<std::uint32_t>(env.src));
+  mix(static_cast<std::uint32_t>(env.tag));
+  mix(static_cast<std::uint32_t>(env.comm));
+  mix(payload);
+  mix(pair_seq);
+  mix(static_cast<std::uint64_t>(kind));
+  return h;
+}
+
+ReliabilityChannel::ReliabilityChannel(int node, const ReliabilityConfig& cfg,
+                                       bool restore_order, telemetry::Registry* sink)
+    : node_(node), cfg_(cfg), restore_order_(restore_order), sink_(sink) {}
+
+void ReliabilityChannel::bump(std::string_view name, std::uint64_t n) {
+  if constexpr (telemetry::kEnabled) {
+    if (sink_ != nullptr) sink_->counter(name).add(n);
+  }
+}
+
+void ReliabilityChannel::observe_attempts(std::uint64_t attempts) {
+  if constexpr (telemetry::kEnabled) {
+    if (sink_ != nullptr) {
+      sink_->histogram("runtime.reliability.delivery_attempts").record(attempts);
+    }
+  }
+}
+
+Packet ReliabilityChannel::make_data(int to, const matching::Envelope& env,
+                                     std::uint64_t payload, std::size_t bytes,
+                                     double now_us) {
+  Packet p;
+  p.from = node_;
+  p.to = to;
+  p.env = env;
+  p.payload = payload;
+  p.bytes = bytes;
+  p.kind = PacketKind::kData;
+  p.pair_seq = next_send_seq_[to]++;
+  p.checksum = packet_checksum(env, payload, p.pair_seq, PacketKind::kData);
+  p.attempt = 1;
+  outstanding_[{to, p.pair_seq}] =
+      Outstanding{p, now_us + cfg_.timeout_us, now_us};
+  bump("runtime.reliability.data_sent");
+  return p;
+}
+
+void ReliabilityChannel::accept(int src, RxState& rx, const Packet& p,
+                                std::vector<matching::Message>& accepted) {
+  matching::Message m;
+  m.env = p.env;
+  m.payload = p.payload;
+  rx.accepted_above.insert(p.pair_seq);
+  if (restore_order_) {
+    rx.held[p.pair_seq] = Held{m, p.attempt};
+    for (auto it = rx.held.find(rx.next_release); it != rx.held.end();
+         it = rx.held.find(rx.next_release)) {
+      accepted.push_back(it->second.msg);
+      rx.accepted_above.erase(rx.next_release);
+      rx.held.erase(it);
+      ++rx.next_release;
+    }
+  } else {
+    accepted.push_back(m);
+    while (rx.accepted_above.erase(rx.next_release) > 0) ++rx.next_release;
+  }
+  (void)src;
+}
+
+void ReliabilityChannel::on_packet(const Packet& p, double now_us,
+                                   std::vector<matching::Message>& accepted,
+                                   std::vector<Packet>& replies) {
+  (void)now_us;
+  if (p.checksum != packet_checksum(p.env, p.payload, p.pair_seq, p.kind)) {
+    // Corrupted in flight: treat as lost; a retransmission recovers it.
+    bump("runtime.reliability.corruptions_detected");
+    return;
+  }
+
+  if (p.kind == PacketKind::kAck) {
+    const auto it = outstanding_.find({p.from, p.pair_seq});
+    if (it == outstanding_.end()) {
+      bump("runtime.reliability.stale_acks");
+      return;
+    }
+    bump("runtime.reliability.acks_received");
+    observe_attempts(static_cast<std::uint64_t>(it->second.pkt.attempt));
+    outstanding_.erase(it);
+    return;
+  }
+
+  RxState& rx = rx_[p.from];
+  const bool duplicate =
+      p.pair_seq < rx.next_release || rx.accepted_above.contains(p.pair_seq);
+  if (duplicate) {
+    bump("runtime.reliability.duplicates_suppressed");
+  } else {
+    accept(p.from, rx, p, accepted);
+  }
+
+  // Always (re-)ack — the copy we saw first may have been acked on a wire
+  // packet that was itself dropped.
+  Packet ack;
+  ack.from = node_;
+  ack.to = p.from;
+  ack.env = p.env;
+  ack.payload = p.pair_seq;
+  ack.bytes = 8;
+  ack.kind = PacketKind::kAck;
+  ack.pair_seq = p.pair_seq;
+  ack.checksum = packet_checksum(ack.env, ack.payload, ack.pair_seq, PacketKind::kAck);
+  ack.attempt = p.attempt;
+  replies.push_back(ack);
+  bump("runtime.reliability.acks_sent");
+}
+
+void ReliabilityChannel::expire(double now_us, std::vector<Packet>& resend,
+                                std::vector<DeliveryFailure>& failed) {
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    Outstanding& o = it->second;
+    if (o.deadline > now_us) {
+      ++it;
+      continue;
+    }
+    if (o.pkt.attempt >= cfg_.max_attempts) {
+      DeliveryFailure f;
+      f.kind = FailureKind::kRetriesExhausted;
+      f.from = o.pkt.from;
+      f.to = o.pkt.to;
+      f.env = o.pkt.env;
+      f.payload = o.pkt.payload;
+      f.pair_seq = o.pkt.pair_seq;
+      f.attempts = o.pkt.attempt;
+      f.first_send_us = o.first_send_us;
+      f.failed_us = now_us;
+      failed.push_back(f);
+      bump("runtime.reliability.delivery_failures");
+      observe_attempts(static_cast<std::uint64_t>(o.pkt.attempt));
+      it = outstanding_.erase(it);
+      continue;
+    }
+    ++o.pkt.attempt;
+    double rto = cfg_.timeout_us;
+    for (int a = 1; a < o.pkt.attempt; ++a) rto *= cfg_.backoff;
+    o.deadline = now_us + rto;
+    resend.push_back(o.pkt);
+    bump("runtime.reliability.retransmits");
+    ++it;
+  }
+}
+
+double ReliabilityChannel::next_deadline() const noexcept {
+  double next = -1.0;
+  for (const auto& [key, o] : outstanding_) {
+    if (next < 0.0 || o.deadline < next) next = o.deadline;
+  }
+  return next;
+}
+
+void ReliabilityChannel::sweep_stranded(double now_us,
+                                        std::vector<DeliveryFailure>& failed) {
+  for (auto& [src, rx] : rx_) {
+    for (const auto& [seq, held] : rx.held) {
+      DeliveryFailure f;
+      f.kind = FailureKind::kStranded;
+      f.from = src;
+      f.to = node_;
+      f.env = held.msg.env;
+      f.payload = held.msg.payload;
+      f.pair_seq = seq;
+      f.attempts = held.attempt;
+      f.failed_us = now_us;
+      failed.push_back(f);
+      bump("runtime.reliability.stranded");
+    }
+    // Advance the watermark past everything seen so post-quiescence traffic
+    // on this pair is not parked behind the abandoned gap.  No copies of
+    // the gap's packets can still arrive: the cluster is quiescent and the
+    // sender exhausted its retries.
+    if (!rx.accepted_above.empty()) {
+      rx.next_release = std::max(rx.next_release, *rx.accepted_above.rbegin() + 1);
+    }
+    rx.accepted_above.clear();
+    rx.held.clear();
+  }
+}
+
+}  // namespace simtmsg::runtime

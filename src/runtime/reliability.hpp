@@ -1,0 +1,154 @@
+// Reliability protocol over the faulted fabric (docs/faults.md).
+//
+// The paper's relaxations presume a lossless, per-pair-ordered NVLink-class
+// network.  Once the FaultModel makes the wire adversarial, each node's
+// communication kernel runs this protocol so the matchers above still see
+// the fabric they were designed for:
+//
+//   * per-(sender, receiver) sequence numbers on every data packet,
+//   * positive acks from the receiver, retransmission on timeout with
+//     exponential backoff and a retry cap,
+//   * duplicate suppression (watermark + sparse set above it),
+//   * end-to-end checksum verification (corrupted packets are treated as
+//     lost and recovered by retransmission), and
+//   * per-pair in-order release when the cluster semantics keep the MPI
+//     ordering guarantee (a hold-back buffer, TCP-style); under relaxed
+//     "no ordering" semantics packets are released on arrival.
+//
+// When the retry cap is exhausted the message is surfaced as a typed
+// DeliveryFailure — never a hang, crash, or silent loss.  Messages held
+// behind a failed sequence number can no longer be released in order; at
+// cluster quiescence they are swept into DeliveryFailure{kStranded}.
+//
+// All decisions are made on the (single-threaded) cluster progress path
+// and all randomness lives in the Network's counter-derived streams, so a
+// fixed seed gives bit-identical behavior — including every telemetry
+// counter — for every ExecutionPolicy thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runtime/network.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace simtmsg::runtime {
+
+struct ReliabilityConfig {
+  bool enabled = false;    ///< Off: raw wire (the seed's ideal-fabric path).
+  double timeout_us = 25.0;  ///< Initial retransmit timeout (RTO).
+  double backoff = 2.0;      ///< RTO multiplier per retransmission.
+  int max_attempts = 8;      ///< Total transmissions before giving up (>= 1).
+};
+
+/// Why a message was reported undeliverable.
+enum class FailureKind : std::uint8_t {
+  kRetriesExhausted,  ///< The sender hit the retry cap without an ack.
+  kStranded,          ///< Held behind a failed sequence number at quiescence.
+};
+
+/// A message the reliability layer gave up on, reported via
+/// Cluster::delivery_failures().
+struct DeliveryFailure {
+  FailureKind kind = FailureKind::kRetriesExhausted;
+  int from = 0;
+  int to = 0;
+  matching::Envelope env;
+  std::uint64_t payload = 0;
+  std::uint64_t pair_seq = 0;
+  int attempts = 0;        ///< Transmissions performed (kStranded: of the copy held).
+  double first_send_us = 0.0;
+  double failed_us = 0.0;
+};
+
+[[nodiscard]] std::string to_string(const DeliveryFailure& f);
+
+/// End-to-end checksum over the fields corruption may touch.  Mixing the
+/// sequence and kind in keeps a stale duplicate from masquerading as a
+/// different packet.
+[[nodiscard]] std::uint64_t packet_checksum(const matching::Envelope& env,
+                                            std::uint64_t payload,
+                                            std::uint64_t pair_seq,
+                                            PacketKind kind) noexcept;
+
+/// Per-node protocol state: the tx window of unacked sends and the rx
+/// dedup/reorder state per peer.  One instance lives in each node's
+/// ProgressEngine; the Cluster drives it from the progress loop.
+class ReliabilityChannel {
+ public:
+  /// `sink` (may be null) receives the runtime.reliability.* counters and
+  /// the delivery-attempts histogram; `restore_order` selects the TCP-style
+  /// hold-back buffer (on for ordering-preserving cluster semantics).
+  ReliabilityChannel(int node, const ReliabilityConfig& cfg, bool restore_order,
+                     telemetry::Registry* sink);
+
+  /// Wrap a user send into a sequenced, checksummed data packet and track
+  /// it for ack/retransmit.  The caller injects the packet into the wire.
+  [[nodiscard]] Packet make_data(int to, const matching::Envelope& env,
+                                 std::uint64_t payload, std::size_t bytes,
+                                 double now_us);
+
+  /// Handle one wire arrival addressed to this node.  Accepted user
+  /// messages (in release order) go to `accepted`; packets to inject in
+  /// response (acks) go to `replies`.
+  void on_packet(const Packet& p, double now_us,
+                 std::vector<matching::Message>& accepted,
+                 std::vector<Packet>& replies);
+
+  /// Retransmit or fail every send whose deadline has passed.  Packets to
+  /// re-inject go to `resend`; exhausted sends go to `failed`.
+  void expire(double now_us, std::vector<Packet>& resend,
+              std::vector<DeliveryFailure>& failed);
+
+  /// Earliest retransmit deadline, or a negative value when none pending.
+  [[nodiscard]] double next_deadline() const noexcept;
+
+  /// True when no sends are awaiting acks.
+  [[nodiscard]] bool idle() const noexcept { return outstanding_.empty(); }
+
+  /// Quiescence sweep: messages still held for in-order release can never
+  /// be released (their gap's sender gave up) — convert them to
+  /// DeliveryFailure{kStranded} and clear the hold buffers.
+  void sweep_stranded(double now_us, std::vector<DeliveryFailure>& failed);
+
+ private:
+  struct Outstanding {
+    Packet pkt;               ///< As last transmitted (attempt up to date).
+    double deadline = 0.0;
+    double first_send_us = 0.0;
+  };
+
+  /// A message parked until its pair-sequence gap fills.
+  struct Held {
+    matching::Message msg;
+    int attempt = 1;  ///< Attempt of the copy that was accepted.
+  };
+
+  /// Receive state for one sending peer.
+  struct RxState {
+    std::uint64_t next_release = 0;          ///< All pair_seq below are done.
+    std::set<std::uint64_t> accepted_above;  ///< Accepted >= watermark.
+    /// Held for in-order release (restore_order only): pair_seq -> message.
+    std::map<std::uint64_t, Held> held;
+  };
+
+  void bump(std::string_view name, std::uint64_t n = 1);
+  void observe_attempts(std::uint64_t attempts);
+  void accept(int src, RxState& rx, const Packet& p,
+              std::vector<matching::Message>& accepted);
+
+  int node_;
+  ReliabilityConfig cfg_;
+  bool restore_order_;
+  telemetry::Registry* sink_;
+  /// Unacked sends keyed (destination, pair_seq) — ordered so expiry and
+  /// quiescence sweeps iterate deterministically.
+  std::map<std::pair<int, std::uint64_t>, Outstanding> outstanding_;
+  std::map<int, std::uint64_t> next_send_seq_;  ///< Per destination.
+  std::map<int, RxState> rx_;                   ///< Per sending peer.
+};
+
+}  // namespace simtmsg::runtime

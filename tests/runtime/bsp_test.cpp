@@ -82,5 +82,87 @@ TEST(Bsp, ManyMessagesPerSuperstep) {
   for (const auto& h : handles) EXPECT_TRUE(c.test(h));
 }
 
+ClusterConfig lossy_relaxed(int nodes) {
+  ClusterConfig cfg = relaxed(nodes);
+  cfg.network.seed = 0xB5B;
+  cfg.network.jitter_us = 0.3;
+  cfg.network.faults.drop_prob = 0.15;
+  cfg.network.faults.dup_prob = 0.1;
+  cfg.network.faults.corrupt_prob = 0.05;
+  cfg.reliability.enabled = true;
+  cfg.reliability.timeout_us = 10.0;
+  cfg.reliability.max_attempts = 12;
+  return cfg;
+}
+
+TEST(BspLossy, SuperstepsMatchTheLosslessRun) {
+  Cluster ideal(relaxed(4));
+  Cluster lossy(lossy_relaxed(4));
+  BspSession ideal_bsp(ideal, 256);
+  BspSession lossy_bsp(lossy, 256);
+
+  for (int step = 0; step < 3; ++step) {
+    std::vector<std::pair<RecvHandle, RecvHandle>> handles;
+    for (int t = 0; t < 16; ++t) {
+      for (int n = 1; n < 4; ++n) {
+        handles.push_back({ideal_bsp.irecv(0, n, t), lossy_bsp.irecv(0, n, t)});
+      }
+    }
+    for (int t = 0; t < 16; ++t) {
+      for (int n = 1; n < 4; ++n) {
+        const auto payload = static_cast<std::uint64_t>(step * 10000 + n * 100 + t);
+        ideal_bsp.send(n, 0, t, payload);
+        lossy_bsp.send(n, 0, t, payload);
+      }
+    }
+    ideal_bsp.sync();
+    lossy_bsp.sync();
+    EXPECT_EQ(lossy_bsp.losses_last_sync(), 0u) << "step " << step;
+    for (const auto& [hi, hl] : handles) {
+      const auto ri = ideal.result(hi);
+      const auto rl = lossy.result(hl);
+      ASSERT_TRUE(ri.has_value());
+      ASSERT_TRUE(rl.has_value());
+      EXPECT_EQ(rl->payload, ri->payload);
+      EXPECT_EQ(rl->src, ri->src);
+    }
+  }
+}
+
+TEST(BspLossy, FailOnLossTurnsDroppedMessagesIntoASuperstepError) {
+  ClusterConfig cfg = relaxed(2);
+  cfg.reliability.enabled = true;
+  cfg.reliability.timeout_us = 5.0;
+  cfg.reliability.max_attempts = 2;
+  cfg.network.faults.script = [](const Packet& p) {
+    return WireFault{.drop = p.kind == PacketKind::kData};
+  };
+  Cluster c(cfg);
+  BspSession bsp(c);
+  bsp.fail_on_loss(true);
+  const auto h = bsp.irecv(1, 0, 3);
+  bsp.send(0, 1, 3, 42);
+  EXPECT_THROW(bsp.sync(), std::runtime_error);
+  EXPECT_EQ(bsp.losses_last_sync(), 1u);
+  EXPECT_FALSE(c.result(h).has_value());
+}
+
+TEST(BspLossy, WithoutFailOnLossTheLossIsReportedNotThrown) {
+  ClusterConfig cfg = relaxed(2);
+  cfg.reliability.enabled = true;
+  cfg.reliability.timeout_us = 5.0;
+  cfg.reliability.max_attempts = 2;
+  cfg.network.faults.script = [](const Packet& p) {
+    return WireFault{.drop = p.kind == PacketKind::kData};
+  };
+  Cluster c(cfg);
+  BspSession bsp(c);
+  (void)bsp.irecv(1, 0, 3);
+  bsp.send(0, 1, 3, 42);
+  EXPECT_NO_THROW(bsp.sync());
+  EXPECT_EQ(bsp.losses_last_sync(), 1u);
+  EXPECT_EQ(c.delivery_failures().size(), 1u);
+}
+
 }  // namespace
 }  // namespace simtmsg::runtime

@@ -1,0 +1,249 @@
+// Chaos differential-fuzz wall: random {fault schedule x semantics row x
+// thread count x traffic pattern} configurations run on a faulted cluster
+// and are checked against a fault-free oracle cluster running the same
+// traffic.  The invariant (docs/faults.md):
+//
+//   every receive either completes with exactly the oracle's payload, or
+//   its message appears in delivery_failures() — never a hang, crash, or
+//   silent loss or corruption.
+//
+// Note the protocol is at-least-once: a message can be delivered AND
+// reported failed (every ack lost until the sender gave up), so a completed
+// receive with a recorded failure is legal; an incomplete receive without a
+// recorded failure is not.
+//
+// Every iteration derives its own seed, printed on failure with a replay
+// recipe:
+//
+//   SIMTMSG_FUZZ_SEED=<seed> SIMTMSG_CHAOS_ITERS=1 ./test_chaos
+//
+// SIMTMSG_CHAOS_ITERS (default 200) scales the sweep — CI nightlies crank
+// it up; the default keeps the suite in tier-1 budget.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "matching/semantics.hpp"
+#include "runtime/endpoint.hpp"
+#include "runtime/reliability.hpp"
+
+namespace simtmsg::runtime {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(v, &end, 10);
+  return end == v ? fallback : parsed;
+}
+
+std::uint64_t chaos_base_seed() { return env_u64("SIMTMSG_FUZZ_SEED", 0xC4A05u); }
+std::uint64_t chaos_iterations() { return env_u64("SIMTMSG_CHAOS_ITERS", 200); }
+
+std::string replay_hint(std::uint64_t seed) {
+  return "replay: SIMTMSG_FUZZ_SEED=" + std::to_string(seed) +
+         " SIMTMSG_CHAOS_ITERS=1 ./test_chaos";
+}
+
+template <typename Rng, typename T>
+T pick(Rng& rng, std::initializer_list<T> choices) {
+  std::uniform_int_distribution<std::size_t> d(0, choices.size() - 1);
+  return *(choices.begin() + static_cast<std::ptrdiff_t>(d(rng)));
+}
+
+/// One message of the random traffic pattern.  Tags are globally unique, so
+/// each receive pairs with exactly one send no matter how faults and jitter
+/// reorder arrivals — the pairing (and thus the oracle comparison) is
+/// deterministic across matchers, semantics rows, and thread counts.
+struct Flow {
+  int from;
+  int to;
+  matching::Tag tag;
+  std::uint64_t payload;
+};
+
+struct ChaosShape {
+  int nodes;
+  int threads;
+  matching::SemanticsConfig semantics;
+  NetworkConfig network;
+  ReliabilityConfig reliability;
+  std::vector<Flow> flows;
+};
+
+template <typename Rng>
+ChaosShape random_shape(Rng& rng, std::uint64_t seed) {
+  ChaosShape s;
+  s.nodes = pick(rng, {2, 3, 4});
+  s.threads = pick(rng, {1, 2, 8});
+
+  const auto rows = matching::table2_rows();
+  s.semantics = rows[std::uniform_int_distribution<std::size_t>(
+      0, rows.size() - 1)(rng)];
+
+  s.network.seed = seed ^ 0xFAB51Cull;
+  s.network.latency_us = 1.3;
+  s.network.jitter_us = pick(rng, {0.0, 0.3});
+  s.network.faults.drop_prob = pick(rng, {0.0, 0.05, 0.2});
+  s.network.faults.dup_prob = pick(rng, {0.0, 0.05, 0.2});
+  s.network.faults.corrupt_prob = pick(rng, {0.0, 0.05, 0.1});
+  s.network.faults.delay_spike_prob = pick(rng, {0.0, 0.1});
+  s.network.faults.delay_spike_us = 25.0;
+  // Pair reorder only when the semantics dropped the ordering guarantee —
+  // with it on, the reliability layer is what restores order, and that path
+  // is exercised by jitter + retransmission races anyway.
+  s.network.faults.allow_pair_reorder = !s.semantics.ordering && pick(rng, {true, false});
+
+  s.reliability.enabled = true;
+  s.reliability.timeout_us = 10.0;
+  s.reliability.backoff = 2.0;
+  // Mostly generous caps (recovery must succeed); sometimes tight ones to
+  // exercise the typed-failure path.
+  s.reliability.max_attempts = pick(rng, {12, 12, 12, 2});
+
+  const int messages = 1 + static_cast<int>(
+      std::uniform_int_distribution<std::uint32_t>(0, 39)(rng));
+  std::uniform_int_distribution<int> node_pick(0, s.nodes - 1);
+  for (int j = 0; j < messages; ++j) {
+    Flow f;
+    f.from = node_pick(rng);
+    do {
+      f.to = node_pick(rng);
+    } while (f.to == f.from);
+    f.tag = static_cast<matching::Tag>(j);  // Globally unique.
+    f.payload = std::uniform_int_distribution<std::uint64_t>()(rng);
+    s.flows.push_back(f);
+  }
+  return s;
+}
+
+/// Run the traffic on one cluster: pre-post every receive, fire every send,
+/// drain to quiescence, and collect each flow's completion (if any).
+std::vector<std::optional<RecvResult>> run_traffic(Cluster& cluster,
+                                                   const std::vector<Flow>& flows) {
+  std::vector<RecvHandle> handles;
+  handles.reserve(flows.size());
+  for (const Flow& f : flows) handles.push_back(cluster.irecv(f.to, f.from, f.tag));
+  for (const Flow& f : flows) cluster.send(f.from, f.to, f.tag, f.payload);
+  cluster.run_until_quiescent();
+  std::vector<std::optional<RecvResult>> out;
+  out.reserve(flows.size());
+  for (const RecvHandle& h : handles) out.push_back(cluster.result(h));
+  return out;
+}
+
+ClusterConfig config_for(const ChaosShape& s, bool faulted) {
+  ClusterConfig cfg;
+  cfg.nodes = s.nodes;
+  cfg.semantics = s.semantics;
+  cfg.policy = simt::ExecutionPolicy{s.threads};
+  cfg.network = s.network;
+  if (!faulted) {
+    cfg.network.faults = FaultModel{};  // The ideal lossless wire.
+  }
+  cfg.reliability = s.reliability;
+  return cfg;
+}
+
+std::string describe(const ChaosShape& s, std::uint64_t seed) {
+  return matching::describe(s.semantics) + " nodes=" + std::to_string(s.nodes) +
+         " threads=" + std::to_string(s.threads) +
+         " flows=" + std::to_string(s.flows.size()) +
+         " drop=" + std::to_string(s.network.faults.drop_prob) +
+         " dup=" + std::to_string(s.network.faults.dup_prob) +
+         " corrupt=" + std::to_string(s.network.faults.corrupt_prob) +
+         " spike=" + std::to_string(s.network.faults.delay_spike_prob) +
+         " max_attempts=" + std::to_string(s.reliability.max_attempts) + "\n" +
+         replay_hint(seed);
+}
+
+TEST(ChaosFuzz, FaultedClusterMatchesFaultFreeOracleOrReportsTheLoss) {
+  const std::uint64_t base = chaos_base_seed();
+  const std::uint64_t iters = chaos_iterations();
+
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = base + i;
+    std::mt19937_64 rng(seed);
+    const ChaosShape shape = random_shape(rng, seed);
+    const std::string where = describe(shape, seed);
+
+    Cluster oracle(config_for(shape, /*faulted=*/false));
+    const auto expected = run_traffic(oracle, shape.flows);
+    ASSERT_TRUE(oracle.delivery_failures().empty()) << where;
+
+    Cluster faulted(config_for(shape, /*faulted=*/true));
+    const auto got = run_traffic(faulted, shape.flows);
+
+    // Index delivery failures by (from, to, tag) — tags are unique, so this
+    // identifies the flow.
+    std::map<std::pair<std::pair<int, int>, matching::Tag>, int> failed;
+    for (const DeliveryFailure& f : faulted.delivery_failures()) {
+      ++failed[{{f.from, f.to}, f.env.tag}];
+    }
+
+    for (std::size_t j = 0; j < shape.flows.size(); ++j) {
+      const Flow& f = shape.flows[j];
+      ASSERT_TRUE(expected[j].has_value()) << where;
+      if (got[j].has_value()) {
+        // Delivered: must be bit-exact against the oracle (checksums keep
+        // corrupted copies out; unique tags pin the pairing).
+        EXPECT_EQ(got[j]->payload, expected[j]->payload) << where;
+        EXPECT_EQ(got[j]->src, expected[j]->src) << where;
+        EXPECT_EQ(got[j]->tag, expected[j]->tag) << where;
+      } else {
+        // Undelivered: never silent — the flow must be in the failure list.
+        const auto key = std::pair{std::pair{f.from, f.to}, f.tag};
+        EXPECT_GT(failed[key], 0) << "silent loss of flow " << j << " " << where;
+      }
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+
+    // A generous retry cap over this fault mix must always recover: any
+    // failure then indicates a protocol bug, not bad luck.
+    if (shape.reliability.max_attempts >= 12 &&
+        shape.network.faults.drop_prob <= 0.2 &&
+        shape.network.faults.corrupt_prob <= 0.1) {
+      EXPECT_TRUE(faulted.delivery_failures().empty())
+          << faulted.delivery_failures().size() << " failures under a 12-attempt cap "
+          << where;
+    }
+  }
+}
+
+TEST(ChaosFuzz, FaultScheduleAndTelemetryAreThreadCountInvariant) {
+  const std::uint64_t base = chaos_base_seed();
+  // A slice of the sweep re-run across thread counts: the full snapshot
+  // (fault counters, retransmit counters, histograms, matcher totals) must
+  // serialize byte-identically — the PR 2 invariant extended to chaos.
+  const std::uint64_t iters = std::max<std::uint64_t>(1, chaos_iterations() / 10);
+
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = base + 0x7E1Eu + i;
+    std::mt19937_64 rng(seed);
+    ChaosShape shape = random_shape(rng, seed);
+    const std::string where = describe(shape, seed);
+
+    std::string baseline;
+    for (const int threads : {1, 2, 8}) {
+      shape.threads = threads;
+      Cluster cluster(config_for(shape, /*faulted=*/true));
+      (void)run_traffic(cluster, shape.flows);
+      const std::string json = cluster.snapshot().to_json().dump();
+      if (threads == 1) {
+        baseline = json;
+      } else {
+        EXPECT_EQ(json, baseline) << "threads=" << threads << " " << where;
+      }
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simtmsg::runtime

@@ -133,6 +133,71 @@ TEST(Collectives, SingleNodeDegenerates) {
   EXPECT_EQ(coll.messages_used(), 0u);
 }
 
+/// A fabric that drops, duplicates, corrupts, and delays — with a retry cap
+/// generous enough that the reliability layer always recovers.
+ClusterConfig lossy_cfg(int n, std::uint64_t seed) {
+  ClusterConfig cfg = nodes_cfg(n);
+  cfg.network.seed = seed;
+  cfg.network.jitter_us = 0.3;
+  cfg.network.faults.drop_prob = 0.15;
+  cfg.network.faults.dup_prob = 0.1;
+  cfg.network.faults.corrupt_prob = 0.05;
+  cfg.network.faults.delay_spike_prob = 0.05;
+  cfg.network.faults.delay_spike_us = 20.0;
+  cfg.reliability.enabled = true;
+  cfg.reliability.timeout_us = 10.0;
+  cfg.reliability.max_attempts = 12;
+  return cfg;
+}
+
+TEST(CollectivesLossy, ResultsMatchTheLosslessRun) {
+  for (const int p : {2, 3, 8}) {
+    Cluster ideal(nodes_cfg(p));
+    Collectives ideal_coll(ideal);
+    Cluster lossy(lossy_cfg(p, /*seed=*/0xC0FFEE));
+    Collectives lossy_coll(lossy);
+
+    const auto contrib = iota_contributions(p);
+    EXPECT_EQ(lossy_coll.broadcast(0, 0xABCD), ideal_coll.broadcast(0, 0xABCD));
+    EXPECT_EQ(lossy_coll.reduce_sum(0, contrib), ideal_coll.reduce_sum(0, contrib));
+    EXPECT_EQ(lossy_coll.allreduce_sum(contrib), ideal_coll.allreduce_sum(contrib));
+    EXPECT_EQ(lossy_coll.allgather(contrib), ideal_coll.allgather(contrib));
+    EXPECT_TRUE(lossy.delivery_failures().empty()) << "p=" << p;
+  }
+}
+
+TEST(CollectivesLossy, RecoveryCostShowsUpInTelemetryNotInResults) {
+  Cluster lossy(lossy_cfg(8, /*seed=*/0xC0FFEE));
+  Collectives coll(lossy);
+  const auto out = coll.allreduce_sum(iota_contributions(8));
+  for (const auto v : out) EXPECT_EQ(v, 36u);
+  // Same message complexity at the collective layer: retransmissions are
+  // the reliability layer's business, not extra collective rounds.
+  EXPECT_EQ(coll.messages_used(), 8u * 3u);
+}
+
+TEST(CollectivesLossy, DeadLinkFailsTheOperationWithTheFailureAttached) {
+  // One direction of one link eats every data packet: the round cannot
+  // complete, and the error names the delivery failures instead of hanging.
+  ClusterConfig cfg = nodes_cfg(4);
+  cfg.reliability.enabled = true;
+  cfg.reliability.timeout_us = 5.0;
+  cfg.reliability.max_attempts = 2;
+  cfg.network.faults.script = [](const Packet& p) {
+    return WireFault{.drop = p.kind == PacketKind::kData && p.from == 1 && p.to == 0};
+  };
+  Cluster c(cfg);
+  Collectives coll(c);
+  try {
+    (void)coll.allreduce_sum(iota_contributions(4));
+    FAIL() << "allreduce over a dead link must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("delivery failure"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(c.delivery_failures().empty());
+}
+
 TEST(Collectives, BackToBackOperationsDoNotInterfere) {
   Cluster c(nodes_cfg(4));
   Collectives coll(c);

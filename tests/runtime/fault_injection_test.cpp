@@ -1,0 +1,380 @@
+// Deterministic fault-scenario tests: each scenario scripts the wire's
+// behavior exactly (FaultModel::script) and asserts the precise telemetry
+// the fault/recovery machinery must emit — not just "it recovered" but
+// exactly how many drops, retransmits, suppressed duplicates, and acks.
+//
+// Counter-exactness assertions are gated on telemetry::kEnabled so the
+// suite still passes a -DSIMTMSG_TELEMETRY=OFF build (behavioral
+// assertions — payloads, failures, termination — run unconditionally).
+#include "runtime/endpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/reliability.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace simtmsg::runtime {
+namespace {
+
+constexpr matching::Tag kTag = 7;
+
+std::uint64_t counter(const telemetry::TelemetryReport& r, const std::string& name) {
+  const auto it = r.counters.find(name);
+  return it == r.counters.end() ? 0 : it->second;
+}
+
+ClusterConfig lossy_base() {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.network.latency_us = 1.3;
+  cfg.network.seed = 11;
+  cfg.reliability.enabled = true;
+  cfg.reliability.timeout_us = 25.0;
+  cfg.reliability.backoff = 2.0;
+  cfg.reliability.max_attempts = 8;
+  return cfg;
+}
+
+TEST(FaultInjection, DropFirstTransmissionOfEveryDataPacket) {
+  ClusterConfig cfg = lossy_base();
+  cfg.network.faults.script = [](const Packet& p) {
+    return WireFault{.drop = p.kind == PacketKind::kData && p.attempt == 1};
+  };
+  Cluster cluster(cfg);
+
+  RecvHandle h[3];
+  for (int i = 0; i < 3; ++i) h[i] = cluster.irecv(1, 0, kTag + i);
+  for (int i = 0; i < 3; ++i) {
+    cluster.send(0, 1, kTag + i, 0x100u + static_cast<std::uint64_t>(i));
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(cluster.wait(h[i]).payload, 0x100u + static_cast<std::uint64_t>(i));
+  }
+  cluster.run_until_quiescent();
+  EXPECT_TRUE(cluster.delivery_failures().empty());
+
+  if constexpr (telemetry::kEnabled) {
+    const auto r = cluster.snapshot();
+    EXPECT_EQ(counter(r, "runtime.fault.drops"), 3u);
+    EXPECT_EQ(counter(r, "runtime.reliability.data_sent"), 3u);
+    EXPECT_EQ(counter(r, "runtime.reliability.retransmits"), 3u);
+    EXPECT_EQ(counter(r, "runtime.reliability.acks_sent"), 3u);
+    EXPECT_EQ(counter(r, "runtime.reliability.acks_received"), 3u);
+    EXPECT_EQ(counter(r, "runtime.reliability.duplicates_suppressed"), 0u);
+    EXPECT_EQ(counter(r, "runtime.reliability.delivery_failures"), 0u);
+    const auto& attempts = r.histograms.at("runtime.reliability.delivery_attempts");
+    EXPECT_EQ(attempts.count, 3u);  // Every message took exactly 2 attempts.
+    EXPECT_EQ(attempts.sum, 6u);
+    EXPECT_EQ(attempts.min, 2u);
+    EXPECT_EQ(attempts.max, 2u);
+  }
+}
+
+TEST(FaultInjection, DuplicateEveryAckIsSuppressedAsStale) {
+  ClusterConfig cfg = lossy_base();
+  cfg.network.faults.script = [](const Packet& p) {
+    return WireFault{.duplicate = p.kind == PacketKind::kAck};
+  };
+  Cluster cluster(cfg);
+
+  const auto h0 = cluster.irecv(1, 0, kTag);
+  const auto h1 = cluster.irecv(1, 0, kTag + 1);
+  cluster.send(0, 1, kTag, 0xAA);
+  cluster.send(0, 1, kTag + 1, 0xBB);
+  EXPECT_EQ(cluster.wait(h0).payload, 0xAAu);
+  EXPECT_EQ(cluster.wait(h1).payload, 0xBBu);
+  cluster.run_until_quiescent();
+  EXPECT_TRUE(cluster.delivery_failures().empty());
+
+  if constexpr (telemetry::kEnabled) {
+    const auto r = cluster.snapshot();
+    EXPECT_EQ(counter(r, "runtime.fault.duplicates"), 2u);
+    EXPECT_EQ(counter(r, "runtime.reliability.acks_sent"), 2u);
+    // One copy of each ack retires the send; its twin finds nothing
+    // outstanding and is counted stale, never re-delivered upward.
+    EXPECT_EQ(counter(r, "runtime.reliability.acks_received"), 2u);
+    EXPECT_EQ(counter(r, "runtime.reliability.stale_acks"), 2u);
+    EXPECT_EQ(counter(r, "runtime.reliability.retransmits"), 0u);
+  }
+}
+
+TEST(FaultInjection, CorruptedPacketIsDetectedAndRetransmitted) {
+  ClusterConfig cfg = lossy_base();
+  cfg.network.faults.script = [](const Packet& p) {
+    return WireFault{.corrupt = p.kind == PacketKind::kData && p.attempt == 1};
+  };
+  Cluster cluster(cfg);
+
+  const auto h = cluster.irecv(1, 0, kTag);
+  cluster.send(0, 1, kTag, 0xDEADBEEFCAFEull);
+  // The checksum catches the flipped bit; the clean retransmission delivers
+  // the original payload, not the corrupted one.
+  EXPECT_EQ(cluster.wait(h).payload, 0xDEADBEEFCAFEull);
+  cluster.run_until_quiescent();
+  EXPECT_TRUE(cluster.delivery_failures().empty());
+
+  if constexpr (telemetry::kEnabled) {
+    const auto r = cluster.snapshot();
+    EXPECT_EQ(counter(r, "runtime.fault.corruptions"), 1u);
+    EXPECT_EQ(counter(r, "runtime.reliability.corruptions_detected"), 1u);
+    EXPECT_EQ(counter(r, "runtime.reliability.retransmits"), 1u);
+    EXPECT_EQ(counter(r, "runtime.reliability.acks_received"), 1u);
+    const auto& attempts = r.histograms.at("runtime.reliability.delivery_attempts");
+    EXPECT_EQ(attempts.count, 1u);
+    EXPECT_EQ(attempts.sum, 2u);
+  }
+}
+
+TEST(FaultInjection, DelaySpikePastTimeoutRecoversAndSuppressesTheLateCopy) {
+  ClusterConfig cfg = lossy_base();
+  // First transmission is delayed well past the 25 us RTO: the sender
+  // retransmits, the fresh copy wins, and the delayed original must be
+  // recognized as a duplicate when it finally lands.  Pair reorder is on so
+  // the retransmission can actually overtake the spiked original.
+  cfg.network.faults.allow_pair_reorder = true;
+  cfg.network.faults.script = [](const Packet& p) {
+    WireFault f;
+    if (p.kind == PacketKind::kData && p.attempt == 1) f.extra_delay_us = 100.0;
+    return f;
+  };
+  Cluster cluster(cfg);
+
+  const auto h = cluster.irecv(1, 0, kTag);
+  cluster.send(0, 1, kTag, 0x5157);
+  EXPECT_EQ(cluster.wait(h).payload, 0x5157u);
+  cluster.run_until_quiescent();
+  EXPECT_TRUE(cluster.delivery_failures().empty());
+
+  if constexpr (telemetry::kEnabled) {
+    const auto r = cluster.snapshot();
+    EXPECT_EQ(counter(r, "runtime.fault.delay_spikes"), 1u);
+    EXPECT_EQ(counter(r, "runtime.reliability.retransmits"), 1u);
+    EXPECT_EQ(counter(r, "runtime.reliability.duplicates_suppressed"), 1u);
+    // Both copies were acked (the duplicate re-acks defensively); only the
+    // first ack finds the send outstanding.
+    EXPECT_EQ(counter(r, "runtime.reliability.acks_sent"), 2u);
+    EXPECT_EQ(counter(r, "runtime.reliability.acks_received"), 1u);
+    EXPECT_EQ(counter(r, "runtime.reliability.stale_acks"), 1u);
+  }
+}
+
+TEST(FaultInjection, RetryCapExhaustionIsATypedFailureNotAHang) {
+  ClusterConfig cfg = lossy_base();
+  cfg.reliability.max_attempts = 3;
+  cfg.network.faults.script = [](const Packet& p) {
+    return WireFault{.drop = p.kind == PacketKind::kData};
+  };
+  Cluster cluster(cfg);
+
+  const auto h = cluster.irecv(1, 0, kTag);
+  cluster.send(0, 1, kTag, 0xF00D);
+  // Termination guarantee: quiescence is reached (no hang), the receive is
+  // simply incomplete and the loss is reported as a typed failure.
+  cluster.run_until_quiescent();
+  EXPECT_FALSE(cluster.result(h).has_value());
+  ASSERT_EQ(cluster.delivery_failures().size(), 1u);
+  const DeliveryFailure& f = cluster.delivery_failures().front();
+  EXPECT_EQ(f.kind, FailureKind::kRetriesExhausted);
+  EXPECT_EQ(f.from, 0);
+  EXPECT_EQ(f.to, 1);
+  EXPECT_EQ(f.env.tag, kTag);
+  EXPECT_EQ(f.payload, 0xF00Du);
+  EXPECT_EQ(f.attempts, 3);
+  EXPECT_EQ(cluster.stats().delivery_failures, 1u);
+
+  // wait() on the dead handle reports the failure instead of spinning.
+  EXPECT_THROW(
+      {
+        try {
+          (void)cluster.wait(h);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("delivery failure"), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+
+  if constexpr (telemetry::kEnabled) {
+    const auto r = cluster.snapshot();
+    EXPECT_EQ(counter(r, "runtime.fault.drops"), 3u);
+    EXPECT_EQ(counter(r, "runtime.reliability.retransmits"), 2u);
+    EXPECT_EQ(counter(r, "runtime.reliability.delivery_failures"), 1u);
+    const auto& attempts = r.histograms.at("runtime.reliability.delivery_attempts");
+    EXPECT_EQ(attempts.count, 1u);
+    EXPECT_EQ(attempts.sum, 3u);
+  }
+}
+
+TEST(FaultInjection, MessageHeldBehindAFailedSequenceIsSweptAsStranded) {
+  ClusterConfig cfg = lossy_base();  // Default semantics keep ordering on.
+  cfg.reliability.max_attempts = 2;
+  // pair_seq 0 never gets through; pair_seq 1 arrives fine but (under
+  // ordered semantics) must be held for in-order release behind the gap.
+  cfg.network.faults.script = [](const Packet& p) {
+    return WireFault{.drop = p.kind == PacketKind::kData && p.pair_seq == 0};
+  };
+  Cluster cluster(cfg);
+
+  const auto h0 = cluster.irecv(1, 0, kTag);
+  const auto h1 = cluster.irecv(1, 0, kTag + 1);
+  cluster.send(0, 1, kTag, 0xAAA);
+  cluster.send(0, 1, kTag + 1, 0xBBB);
+  cluster.run_until_quiescent();
+
+  EXPECT_FALSE(cluster.result(h0).has_value());
+  EXPECT_FALSE(cluster.result(h1).has_value());
+  ASSERT_EQ(cluster.delivery_failures().size(), 2u);
+  EXPECT_EQ(cluster.delivery_failures()[0].kind, FailureKind::kRetriesExhausted);
+  EXPECT_EQ(cluster.delivery_failures()[0].pair_seq, 0u);
+  EXPECT_EQ(cluster.delivery_failures()[1].kind, FailureKind::kStranded);
+  EXPECT_EQ(cluster.delivery_failures()[1].pair_seq, 1u);
+  EXPECT_EQ(cluster.delivery_failures()[1].payload, 0xBBBu);
+
+  if constexpr (telemetry::kEnabled) {
+    const auto r = cluster.snapshot();
+    EXPECT_EQ(counter(r, "runtime.reliability.delivery_failures"), 1u);
+    EXPECT_EQ(counter(r, "runtime.reliability.stranded"), 1u);
+  }
+}
+
+TEST(FaultInjection, RelaxedOrderingReleasesAroundTheGapInsteadOfStranding) {
+  ClusterConfig cfg = lossy_base();
+  cfg.semantics.ordering = false;  // "no ordering" relaxation: release on arrival.
+  cfg.reliability.max_attempts = 2;
+  cfg.network.faults.script = [](const Packet& p) {
+    return WireFault{.drop = p.kind == PacketKind::kData && p.pair_seq == 0};
+  };
+  Cluster cluster(cfg);
+
+  const auto h0 = cluster.irecv(1, 0, kTag);
+  const auto h1 = cluster.irecv(1, 0, kTag + 1);
+  cluster.send(0, 1, kTag, 0xAAA);
+  cluster.send(0, 1, kTag + 1, 0xBBB);
+  cluster.run_until_quiescent();
+
+  // The gap costs only its own message: seq 1 is delivered immediately.
+  EXPECT_FALSE(cluster.result(h0).has_value());
+  ASSERT_TRUE(cluster.result(h1).has_value());
+  EXPECT_EQ(cluster.result(h1)->payload, 0xBBBu);
+  ASSERT_EQ(cluster.delivery_failures().size(), 1u);
+  EXPECT_EQ(cluster.delivery_failures()[0].kind, FailureKind::kRetriesExhausted);
+
+  if constexpr (telemetry::kEnabled) {
+    EXPECT_EQ(counter(cluster.snapshot(), "runtime.reliability.stranded"), 0u);
+  }
+}
+
+TEST(FaultInjection, ExponentialBackoffSpacesTheRetransmissions) {
+  ClusterConfig cfg = lossy_base();
+  cfg.reliability.timeout_us = 10.0;
+  cfg.reliability.backoff = 2.0;
+  cfg.reliability.max_attempts = 4;
+  cfg.network.faults.script = [](const Packet& p) {
+    return WireFault{.drop = p.kind == PacketKind::kData};
+  };
+  Cluster cluster(cfg);
+  cluster.send(0, 1, kTag, 1);
+  cluster.run_until_quiescent();
+  ASSERT_EQ(cluster.delivery_failures().size(), 1u);
+  const DeliveryFailure& f = cluster.delivery_failures().front();
+  EXPECT_EQ(f.attempts, 4);
+  // RTO doubles per attempt: 10 + 20 + 40 + 80 us from first send to the
+  // final give-up deadline.
+  EXPECT_DOUBLE_EQ(f.first_send_us, 0.0);
+  EXPECT_DOUBLE_EQ(f.failed_us, 150.0);
+}
+
+TEST(FaultInjection, ProbabilisticScheduleIsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    ClusterConfig cfg = lossy_base();
+    cfg.network.seed = seed;
+    cfg.network.jitter_us = 0.4;
+    cfg.network.faults.drop_prob = 0.3;
+    cfg.network.faults.dup_prob = 0.2;
+    cfg.network.faults.corrupt_prob = 0.1;
+    cfg.network.faults.delay_spike_prob = 0.1;
+    cfg.network.faults.delay_spike_us = 40.0;
+    Cluster cluster(cfg);
+    std::vector<RecvHandle> handles;
+    for (int i = 0; i < 24; ++i) handles.push_back(cluster.irecv(1, 0, i));
+    for (int i = 0; i < 24; ++i) {
+      cluster.send(0, 1, i, 0x9000u + static_cast<std::uint64_t>(i));
+    }
+    cluster.run_until_quiescent();
+    return cluster.snapshot().to_json().dump();
+  };
+  EXPECT_EQ(run(1234), run(1234));
+  EXPECT_NE(run(1234), run(99));  // The seed actually steers the schedule.
+}
+
+TEST(FaultInjection, SnapshotJsonIsByteIdenticalAcrossThreadCounts) {
+  const auto run = [](int threads) {
+    ClusterConfig cfg = lossy_base();
+    cfg.nodes = 4;
+    cfg.policy = simt::ExecutionPolicy{threads};
+    cfg.network.seed = 77;
+    cfg.network.jitter_us = 0.4;
+    cfg.network.faults.drop_prob = 0.25;
+    cfg.network.faults.dup_prob = 0.15;
+    cfg.network.faults.corrupt_prob = 0.1;
+    cfg.network.faults.delay_spike_prob = 0.1;
+    cfg.network.faults.delay_spike_us = 30.0;
+    Cluster cluster(cfg);
+    std::vector<RecvHandle> handles;
+    int tag = 0;
+    for (int from = 0; from < 4; ++from) {
+      for (int to = 0; to < 4; ++to) {
+        if (from == to) continue;
+        handles.push_back(cluster.irecv(to, from, tag));
+        cluster.send(from, to, tag, static_cast<std::uint64_t>(tag) * 3 + 1);
+        ++tag;
+      }
+    }
+    cluster.run_until_quiescent();
+    return cluster.snapshot().to_json().dump();
+  };
+  const std::string serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(FaultInjection, ReliabilityConfigIsValidated) {
+  ClusterConfig cfg = lossy_base();
+  cfg.reliability.max_attempts = 0;
+  EXPECT_THROW(Cluster{cfg}, std::invalid_argument);
+  cfg = lossy_base();
+  cfg.reliability.timeout_us = 0.0;
+  EXPECT_THROW(Cluster{cfg}, std::invalid_argument);
+  cfg = lossy_base();
+  cfg.reliability.backoff = 0.5;
+  EXPECT_THROW(Cluster{cfg}, std::invalid_argument);
+}
+
+TEST(FaultInjection, FaultFreeReliabilityMatchesTheIdealFabricResults) {
+  // Reliability on over a clean wire must be invisible to the user: same
+  // completions as the raw path, zero recovery traffic beyond the acks.
+  ClusterConfig raw;
+  raw.nodes = 2;
+  ClusterConfig rel = raw;
+  rel.reliability.enabled = true;
+  Cluster a(raw);
+  Cluster b(rel);
+  for (Cluster* c : {&a, &b}) {
+    const auto h = c->irecv(1, 0, kTag);
+    c->send(0, 1, kTag, 0x77);
+    EXPECT_EQ(c->wait(h).payload, 0x77u);
+    c->run_until_quiescent();
+    EXPECT_TRUE(c->delivery_failures().empty());
+  }
+  if constexpr (telemetry::kEnabled) {
+    const auto r = b.snapshot();
+    EXPECT_EQ(counter(r, "runtime.reliability.retransmits"), 0u);
+    EXPECT_EQ(counter(r, "runtime.fault.drops"), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace simtmsg::runtime
