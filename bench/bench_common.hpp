@@ -5,10 +5,12 @@
 // scripts/run_benches.sh merges into BENCH_matching.json.
 #pragma once
 
+#include <charconv>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -33,6 +35,24 @@ inline void print_csv(const std::vector<std::vector<std::string>>& rows) {
   std::cout << "--- end csv ---\n";
 }
 
+/// Strict whole-string integer parse: no leading/trailing garbage, no empty
+/// string.  std::atoi's silent-0 fallback turned a typo'd `--threads 4x`
+/// into a run with the default thread count and no diagnostic.
+[[nodiscard]] inline bool parse_int(std::string_view s, int& out) {
+  const char* const first = s.data();
+  const char* const last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last && !s.empty();
+}
+
+/// Strict whole-string floating-point parse (same contract as parse_int).
+[[nodiscard]] inline bool parse_double(std::string_view s, double& out) {
+  const char* const first = s.data();
+  const char* const last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last && !s.empty();
+}
+
 /// Command line shared by every bench binary.  Unknown flags abort with
 /// usage so a typo'd `--jsno` cannot silently drop the report.
 struct Options {
@@ -47,29 +67,49 @@ struct Options {
   /// scaled from it (docs/faults.md).  Ignored by the pure-matching benches.
   double faults = 0.0;
 
-  static Options parse(int argc, char** argv) {
-    Options opt;
+  /// Testable core of parse(): fills `opt`, returning std::nullopt on
+  /// success or the message parse() prints before exiting 2.  Every
+  /// malformed value — trailing garbage, empty string, missing value,
+  /// out-of-range — is a hard error; nothing falls back to a default.
+  [[nodiscard]] static std::optional<std::string> try_parse(int argc,
+                                                            const char* const* argv,
+                                                            Options& opt) {
+    const auto usage = [&]() -> std::string {
+      return std::string("usage: ") + argv[0] +
+             " [--json <path>] [--threads <n>] [--faults <rate>]";
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string_view arg = argv[i];
-      if (arg == "--json" && i + 1 < argc) {
+      if (arg == "--json") {
+        if (i + 1 >= argc) return "--json requires a value\n" + usage();
         opt.json_path = argv[++i];
-      } else if (arg == "--threads" && i + 1 < argc) {
-        opt.threads = std::atoi(argv[++i]);
-        if (opt.threads < 0) {
-          std::cerr << "--threads must be >= 0\n";
-          std::exit(2);
+      } else if (arg == "--threads") {
+        if (i + 1 >= argc) return "--threads requires a value\n" + usage();
+        const std::string_view value = argv[++i];
+        if (!parse_int(value, opt.threads)) {
+          return "--threads: not an integer: '" + std::string(value) + "'";
         }
-      } else if (arg == "--faults" && i + 1 < argc) {
-        opt.faults = std::atof(argv[++i]);
-        if (opt.faults < 0.0 || opt.faults > 1.0) {
-          std::cerr << "--faults must be in [0, 1]\n";
-          std::exit(2);
+        if (opt.threads < 0) return "--threads must be >= 0";
+      } else if (arg == "--faults") {
+        if (i + 1 >= argc) return "--faults requires a value\n" + usage();
+        const std::string_view value = argv[++i];
+        if (!parse_double(value, opt.faults)) {
+          return "--faults: not a number: '" + std::string(value) + "'";
         }
+        // Negated form so NaN (accepted by from_chars) is also rejected.
+        if (!(opt.faults >= 0.0 && opt.faults <= 1.0)) return "--faults must be in [0, 1]";
       } else {
-        std::cerr << "usage: " << argv[0]
-                  << " [--json <path>] [--threads <n>] [--faults <rate>]\n";
-        std::exit(2);
+        return usage();
       }
+    }
+    return std::nullopt;
+  }
+
+  static Options parse(int argc, char** argv) {
+    Options opt;
+    if (const auto error = try_parse(argc, argv, opt)) {
+      std::cerr << *error << "\n";
+      std::exit(2);
     }
     return opt;
   }
@@ -78,6 +118,15 @@ struct Options {
     return simt::ExecutionPolicy{threads};
   }
 };
+
+/// True when SIMTMSG_BENCH_FAST is set to a non-empty, non-"0" value: the
+/// sweep benches then run a reduced subset of their configurations (for CI's
+/// bench-regression gate).  The subset rows are value-identical to the same
+/// rows of a full run — only coverage shrinks, never the numbers.
+[[nodiscard]] inline bool fast_mode() {
+  const char* v = std::getenv("SIMTMSG_BENCH_FAST");
+  return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+}
 
 /// Wall-clock stopwatch for the host-side emulation cost.  Printed to
 /// stdout only — never written into the JSON report, which must stay

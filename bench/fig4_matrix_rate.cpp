@@ -21,7 +21,13 @@ int run(const bench::Options& opt) {
   bench::JsonReport report("fig4_matrix_rate", "Figure 4 (Section V-B)");
   const bench::WallTimer timer;
 
-  const std::vector<std::size_t> lengths = {64, 128, 256, 384, 512, 640, 768, 896, 1024};
+  // Fast mode keeps 1024 so the headline row is still measured; every
+  // subset row is value-identical to the same row of a full run (the
+  // workload seed depends only on the row's own length).
+  const std::vector<std::size_t> lengths =
+      bench::fast_mode()
+          ? std::vector<std::size_t>{64, 256, 1024}
+          : std::vector<std::size_t>{64, 128, 256, 384, 512, 640, 768, 896, 1024};
 
   util::AsciiTable table({"queue length", "Tesla K80 (M/s)", "Tesla M40 (M/s)",
                           "GTX 1080 (M/s)"});

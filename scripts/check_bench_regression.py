@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_matching.json against the committed baseline.
+
+Every row of every bench is keyed by its non-rate fields (device, length,
+queues, ctas, ...) and the fresh ``matches_per_second`` must not fall more
+than ``--tolerance`` (default 15%) below the baseline's.  The modelled rates
+are deterministic, so the tolerance only absorbs deliberate model retunes —
+an accidental slowdown of the modelled pipeline trips the gate.
+
+Rows present in the baseline but absent from the fresh run are reported and
+skipped, not failed: the CI job runs the benches with SIMTMSG_BENCH_FAST=1,
+which sweeps a subset of configurations.  Headlines are derived from rows
+and are ignored here.
+
+Exit codes: 0 ok, 1 regression found, 2 malformed input/usage.
+
+``--selftest`` verifies the gate itself: the baseline must pass against an
+identical copy and must FAIL against a copy with every rate degraded 20%.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+
+RATE_FIELD = "matches_per_second"
+
+
+def row_key(row: dict) -> tuple:
+    """Identity of a row: every field except the measured rate."""
+    return tuple(sorted((k, v) for k, v in row.items() if k != RATE_FIELD))
+
+
+def index_rows(report: dict, bench: str) -> dict:
+    indexed = {}
+    for row in report.get("rows", []):
+        if RATE_FIELD not in row:
+            raise ValueError(f"{bench}: row without {RATE_FIELD}: {row}")
+        key = row_key(row)
+        if key in indexed:
+            raise ValueError(f"{bench}: duplicate row key {key}")
+        indexed[key] = float(row[RATE_FIELD])
+    return indexed
+
+
+def describe(key: tuple) -> str:
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float, out=sys.stdout) -> bool:
+    """Print the per-row delta table; return True when no row regressed."""
+    if baseline.get("schema_version") != 1 or fresh.get("schema_version") != 1:
+        raise ValueError("expected schema_version 1 in both reports")
+
+    ok = True
+    compared = skipped = 0
+    header = f"{'status':<8} {'baseline':>14} {'fresh':>14} {'delta':>8}  row"
+    for bench, base_report in sorted(baseline["benches"].items()):
+        fresh_report = fresh.get("benches", {}).get(bench)
+        if fresh_report is None:
+            print(f"-- {bench}: missing from fresh run (skipped)", file=out)
+            continue
+        base_rows = index_rows(base_report, bench)
+        fresh_rows = index_rows(fresh_report, bench)
+
+        print(f"-- {bench}", file=out)
+        print(header, file=out)
+        for key, base_rate in base_rows.items():
+            if key not in fresh_rows:
+                skipped += 1
+                print(f"{'skip':<8} {base_rate:>14.3e} {'—':>14} {'—':>8}  "
+                      f"{describe(key)} (not in fresh run)", file=out)
+                continue
+            compared += 1
+            fresh_rate = fresh_rows[key]
+            delta = (fresh_rate - base_rate) / base_rate if base_rate != 0.0 else 0.0
+            regressed = delta < -tolerance
+            ok &= not regressed
+            status = "FAIL" if regressed else "ok"
+            print(f"{status:<8} {base_rate:>14.3e} {fresh_rate:>14.3e} "
+                  f"{delta:>+7.1%}  {describe(key)}", file=out)
+        for key in fresh_rows:
+            if key not in base_rows:
+                print(f"{'new':<8} {'—':>14} {fresh_rows[key]:>14.3e} {'—':>8}  "
+                      f"{describe(key)} (not in baseline)", file=out)
+
+    print(f"\ncompared {compared} rows, skipped {skipped}; "
+          f"tolerance {tolerance:.0%} -> {'OK' if ok else 'REGRESSION'}", file=out)
+    if compared == 0:
+        raise ValueError("no rows compared — fresh report shares no rows with baseline")
+    return ok
+
+
+def selftest(baseline: dict, tolerance: float) -> int:
+    import io
+
+    if not compare(baseline, copy.deepcopy(baseline), tolerance, out=io.StringIO()):
+        print("selftest FAILED: baseline does not pass against itself")
+        return 1
+
+    degraded = copy.deepcopy(baseline)
+    for report in degraded["benches"].values():
+        for row in report.get("rows", []):
+            row[RATE_FIELD] = float(row[RATE_FIELD]) * 0.8
+    if compare(baseline, degraded, tolerance, out=io.StringIO()):
+        print("selftest FAILED: 20% degradation not caught")
+        return 1
+
+    print("selftest ok: identical report passes, 20% degradation is caught")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_matching.json")
+    parser.add_argument("--fresh", help="freshly generated report to check")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="max fractional rate drop per row (default 0.15)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="verify the gate catches a synthetic 20%% regression")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        if args.selftest:
+            return selftest(baseline, args.tolerance)
+        if args.fresh is None:
+            parser.error("--fresh is required unless --selftest")
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+        return 0 if compare(baseline, fresh, args.tolerance) else 1
+    except (OSError, ValueError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,11 +7,17 @@
 # cores).  This only changes host wall-clock time, reported in each bench's
 # log: the modelled numbers, and therefore BENCH_matching.json, are
 # bit-identical for every thread count.
+#
+# OUT_JSON=<path> writes the merged report somewhere other than the repo
+# root (used by the CI bench-regression job, which compares a fresh run
+# against the committed baseline).  SIMTMSG_BENCH_FAST=1 makes the sweep
+# benches run a reduced subset of configurations whose rows are
+# value-identical to the same rows of a full run.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-${repo_root}/build-release}"
-out_json="${repo_root}/BENCH_matching.json"
+out_json="${OUT_JSON:-${repo_root}/BENCH_matching.json}"
 threads="${THREADS:-1}"
 if [[ "${1:-}" == "--threads" && -n "${2:-}" ]]; then
   threads="$2"

@@ -7,8 +7,13 @@
 namespace simtmsg::matching {
 
 DeviceHashTable::DeviceHashTable(std::size_t expected_elements, double table_ratio,
-                                 util::HashKind hash)
-    : hash_(hash) {
+                                 util::HashKind hash) {
+  prepare(expected_elements, table_ratio, hash);
+}
+
+void DeviceHashTable::prepare(std::size_t expected_elements, double table_ratio,
+                              util::HashKind hash) {
+  hash_ = hash;
   // Secondary sized to half the expected batch (it only absorbs primary
   // collisions); primary = ratio x secondary, giving ~2.5x headroom over
   // the batch for the paper's ratio of 5.
@@ -16,6 +21,7 @@ DeviceHashTable::DeviceHashTable(std::size_t expected_elements, double table_rat
       util::next_pow2(std::max<std::size_t>(16, expected_elements / 2));
   const auto primary = static_cast<std::size_t>(
       static_cast<double>(secondary) * std::max(1.0, table_ratio));
+  // assign() reuses capacity, so recycled tables stay allocation-free.
   primary_.assign(primary, 0);
   secondary_.assign(secondary, 0);
 }
@@ -105,7 +111,7 @@ void DeviceHashTable::insert(simt::WarpContext& warp, const simt::LaneU32& keys,
 
 DeviceHashTable::ProbeOutcome DeviceHashTable::probe_resolve(const simt::LaneU32& keys,
                                                              simt::LaneMask active,
-                                                             const Verifier& verify) {
+                                                             Verifier verify) {
   ProbeOutcome o;
   o.attempted = active;
 
@@ -201,7 +207,7 @@ void DeviceHashTable::probe_charge(simt::WarpContext& warp, const simt::LaneU32&
 
 void DeviceHashTable::probe_claim(simt::WarpContext& warp, const simt::LaneU32& keys,
                                   simt::LaneU32& values, simt::LaneBool& found,
-                                  const Verifier& verify) {
+                                  Verifier verify) {
   const ProbeOutcome o = probe_resolve(keys, warp.active(), verify);
   probe_charge(warp, keys, o);
   for (int lane = 0; lane < simt::kWarpSize; ++lane) {

@@ -15,20 +15,29 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "simt/warp.hpp"
+#include "util/function_ref.hpp"
 #include "util/hash.hpp"
 
 namespace simtmsg::matching {
 
 class DeviceHashTable {
  public:
+  /// An empty table; size it with prepare() before use.
+  DeviceHashTable() = default;
+
   /// A table able to hold about `expected_elements` entries. `table_ratio`
   /// is the primary:secondary size ratio (paper: 5).
   DeviceHashTable(std::size_t expected_elements, double table_ratio = 5.0,
                   util::HashKind hash = util::HashKind::kJenkins);
+
+  /// (Re)size and zero the table for a batch of about `expected_elements`.
+  /// Grow-only storage: repreparing a recycled table at or below its
+  /// high-water size performs no allocation.
+  void prepare(std::size_t expected_elements, double table_ratio = 5.0,
+               util::HashKind hash = util::HashKind::kJenkins);
 
   /// Warp-cooperative insert of (key, value) per active lane.
   /// inserted[lane] = false means both levels collided and the lane must
@@ -41,14 +50,15 @@ class DeviceHashTable {
   /// Guards against 32-bit key aliasing *before* the claim, so an aliased
   /// entry is never removed (removing and re-inserting would starve the
   /// genuine owner).  Charged as one extra global load per verified group.
-  using Verifier = std::function<bool(int lane, std::uint32_t value)>;
+  /// Non-owning: the callable only needs to outlive the probe call.
+  using Verifier = util::FunctionRef<bool(int lane, std::uint32_t value)>;
 
   /// Warp-cooperative probe-and-claim per active lane.  When found[lane],
   /// values[lane] holds the claimed entry's value and the entry has been
   /// removed from the table.  Entries failing `verify` are left in place.
   void probe_claim(simt::WarpContext& warp, const simt::LaneU32& keys,
                    simt::LaneU32& values, simt::LaneBool& found,
-                   const Verifier& verify = nullptr);
+                   Verifier verify = nullptr);
 
   // --- Resolve / charge split --------------------------------------------
   //
@@ -98,7 +108,7 @@ class DeviceHashTable {
   /// Resolve a warp-wide probe-and-claim in lane order.  Mutates the table
   /// (claims); performs no event counting.
   [[nodiscard]] ProbeOutcome probe_resolve(const simt::LaneU32& keys, simt::LaneMask active,
-                                           const Verifier& verify = nullptr);
+                                           Verifier verify = nullptr);
 
   /// Charge the modelled cost of a probe with outcome `o`.  Const: safe to
   /// call concurrently from multiple warps/CTAs.
@@ -131,7 +141,7 @@ class DeviceHashTable {
 
   std::vector<std::uint64_t> primary_;
   std::vector<std::uint64_t> secondary_;
-  util::HashKind hash_;
+  util::HashKind hash_ = util::HashKind::kJenkins;
 };
 
 }  // namespace simtmsg::matching

@@ -9,6 +9,8 @@
 #include "matching/matrix_matcher.hpp"
 #include "matching/partitioned_matcher.hpp"
 #include "matching/queue.hpp"
+#include "matching/workspace.hpp"
+#include "util/bits.hpp"
 
 namespace simtmsg::matching {
 
@@ -24,6 +26,10 @@ std::string_view to_string(Algorithm a) noexcept {
 struct MatchEngine::Impl {
   std::unique_ptr<Matcher> matcher;
   Algorithm algorithm = Algorithm::kMatrix;
+
+  /// Steady-state scratch for every match()/match_queues() call on this
+  /// engine (engines are per-thread; the workspace is not locked).
+  MatchWorkspace ws;
 
   // Totals behind snapshot() — accumulated once per public call.
   std::uint64_t calls = 0;
@@ -105,30 +111,92 @@ telemetry::TelemetryReport MatchEngine::snapshot() const {
 
 namespace {
 
-/// Distinct communicators in first-appearance order.
-std::vector<CommId> comms_of(std::span<const Message> msgs,
-                             std::span<const RecvRequest> reqs) {
-  std::vector<CommId> comms;
-  const auto note = [&comms](CommId c) {
-    for (const auto seen : comms) {
-      if (seen == c) return;
+/// Index the distinct communicators of both spans in first-appearance
+/// order: fills ew.comms and the per-element dense bucket arrays.  One pass
+/// over each span against an open-addressed table sized O(M + R), so the
+/// whole operation is O(M + R) — the old per-comm rescan was O(C * (M + R)).
+void index_comms(EngineWorkspace& ew, std::span<const Message> msgs,
+                 std::span<const RecvRequest> reqs) {
+  const std::size_t slots =
+      util::next_pow2(std::max<std::size_t>(16, 2 * (msgs.size() + reqs.size())));
+  ew.slot_comm.assign(slots, CommId{0});
+  ew.slot_index.assign(slots, -1);
+  ew.comms.clear();
+
+  const std::size_t mask = slots - 1;
+  const auto index_of = [&](CommId c) -> std::uint32_t {
+    std::uint64_t x = static_cast<std::uint32_t>(c);
+    x *= 0x9E3779B97F4A7C15ull;
+    x ^= x >> 32;
+    std::size_t s = static_cast<std::size_t>(x) & mask;
+    while (true) {
+      if (ew.slot_index[s] < 0) {
+        ew.slot_comm[s] = c;
+        ew.slot_index[s] = static_cast<std::int32_t>(ew.comms.size());
+        ew.comms.push_back(c);
+        return static_cast<std::uint32_t>(ew.slot_index[s]);
+      }
+      if (ew.slot_comm[s] == c) return static_cast<std::uint32_t>(ew.slot_index[s]);
+      s = (s + 1) & mask;
     }
-    comms.push_back(c);
   };
-  for (const auto& m : msgs) note(m.env.comm);
-  for (const auto& r : reqs) note(r.env.comm);
-  return comms;
+
+  ew.msg_bucket.resize(msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    ew.msg_bucket[i] = index_of(msgs[i].env.comm);
+  }
+  ew.req_bucket.resize(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    ew.req_bucket[i] = index_of(reqs[i].env.comm);
+  }
+}
+
+/// Stable counting-sort scatter of both spans into comm-contiguous order
+/// (requires index_comms first).  Afterwards bucket b of the messages is
+/// sub_msgs[start .. msg_offset[b]) with start = (b == 0 ? 0 :
+/// msg_offset[b - 1]); msg_map carries the original indices in the same
+/// layout.  Likewise for the requests.
+void scatter_comms(EngineWorkspace& ew, std::span<const Message> msgs,
+                   std::span<const RecvRequest> reqs) {
+  const std::size_t n_comms = ew.comms.size();
+
+  // Counts at [b + 1], then prefix-summed so msg_offset[b] = start of b.
+  ew.msg_offset.assign(n_comms + 1, 0);
+  for (const auto b : ew.msg_bucket) ++ew.msg_offset[b + 1];
+  for (std::size_t b = 1; b <= n_comms; ++b) ew.msg_offset[b] += ew.msg_offset[b - 1];
+  ew.req_offset.assign(n_comms + 1, 0);
+  for (const auto b : ew.req_bucket) ++ew.req_offset[b + 1];
+  for (std::size_t b = 1; b <= n_comms; ++b) ew.req_offset[b] += ew.req_offset[b - 1];
+
+  // Scatter, bumping each bucket's cursor: afterwards msg_offset[b] has
+  // moved from start-of-b to end-of-b.
+  ew.sub_msgs.resize(msgs.size());
+  ew.msg_map.resize(msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    const auto pos = ew.msg_offset[ew.msg_bucket[i]]++;
+    ew.sub_msgs[pos] = msgs[i];
+    ew.msg_map[pos] = static_cast<std::uint32_t>(i);
+  }
+  ew.sub_reqs.resize(reqs.size());
+  ew.req_map.resize(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto pos = ew.req_offset[ew.req_bucket[i]]++;
+    ew.sub_reqs[pos] = reqs[i];
+    ew.req_map[pos] = static_cast<std::uint32_t>(i);
+  }
 }
 
 }  // namespace
 
-SimtMatchStats MatchEngine::match_single_comm(std::span<const Message> msgs,
-                                              std::span<const RecvRequest> reqs) const {
-  return impl_->matcher->match(msgs, reqs);
+void MatchEngine::match_single_comm_into(std::span<const Message> msgs,
+                                         std::span<const RecvRequest> reqs,
+                                         SimtMatchStats& out) const {
+  impl_->matcher->match_into(msgs, reqs, impl_->ws, out);
 }
 
-SimtMatchStats MatchEngine::match_impl(std::span<const Message> msgs,
-                                       std::span<const RecvRequest> reqs) const {
+void MatchEngine::match_impl_into(std::span<const Message> msgs,
+                                  std::span<const RecvRequest> reqs,
+                                  SimtMatchStats& out) const {
   if (!cfg_.wildcards) {
     for (const auto& r : reqs) {
       if (has_wildcard(r.env)) {
@@ -142,63 +210,71 @@ SimtMatchStats MatchEngine::match_impl(std::span<const Message> msgs,
   // Multi-comm batches are split exactly; the per-comm engines would run
   // concurrently on distinct SMs, but we charge them serialized on one SM
   // (conservative).
-  const auto comms = comms_of(msgs, reqs);
-  SimtMatchStats stats;
-  if (comms.size() <= 1) {
-    stats = match_single_comm(msgs, reqs);
+  auto& ew = impl_->ws.engine;
+  index_comms(ew, msgs, reqs);
+  if (ew.comms.size() <= 1) {
+    match_single_comm_into(msgs, reqs, out);
   } else {
-    stats.result.request_match.assign(reqs.size(), kNoMatch);
-    for (const auto comm : comms) {
-      std::vector<Message> sub_msgs;
-      std::vector<std::uint32_t> msg_map;
-      for (std::size_t i = 0; i < msgs.size(); ++i) {
-        if (msgs[i].env.comm == comm) {
-          sub_msgs.push_back(msgs[i]);
-          msg_map.push_back(static_cast<std::uint32_t>(i));
-        }
-      }
-      std::vector<RecvRequest> sub_reqs;
-      std::vector<std::uint32_t> req_map;
-      for (std::size_t i = 0; i < reqs.size(); ++i) {
-        if (reqs[i].env.comm == comm) {
-          sub_reqs.push_back(reqs[i]);
-          req_map.push_back(static_cast<std::uint32_t>(i));
-        }
-      }
-      const auto sub = match_single_comm(sub_msgs, sub_reqs);
+    scatter_comms(ew, msgs, reqs);
+    out.reset(reqs.size());
+    std::size_t m_begin = 0;
+    std::size_t r_begin = 0;
+    for (std::size_t b = 0; b < ew.comms.size(); ++b) {
+      const std::size_t m_end = ew.msg_offset[b];
+      const std::size_t r_end = ew.req_offset[b];
+      const auto sub_msgs =
+          std::span<const Message>(ew.sub_msgs).subspan(m_begin, m_end - m_begin);
+      const auto sub_reqs =
+          std::span<const RecvRequest>(ew.sub_reqs).subspan(r_begin, r_end - r_begin);
+
+      SimtMatchStats& sub = ew.sub;
+      match_single_comm_into(sub_msgs, sub_reqs, sub);
       for (std::size_t r = 0; r < sub.result.request_match.size(); ++r) {
         const auto m = sub.result.request_match[r];
         if (m == kNoMatch) continue;
-        stats.result.request_match[req_map[r]] =
-            static_cast<std::int32_t>(msg_map[static_cast<std::size_t>(m)]);
+        out.result.request_match[ew.req_map[r_begin + r]] = static_cast<std::int32_t>(
+            ew.msg_map[m_begin + static_cast<std::size_t>(m)]);
       }
-      stats.scan_events += sub.scan_events;
-      stats.reduce_events += sub.reduce_events;
-      stats.compact_events += sub.compact_events;
-      stats.cycles += sub.cycles;
-      stats.seconds += sub.seconds;
-      stats.iterations += sub.iterations;
-      stats.warps_used = std::max(stats.warps_used, sub.warps_used);
-      stats.ctas_used = std::max(stats.ctas_used, sub.ctas_used);
+      out.scan_events += sub.scan_events;
+      out.reduce_events += sub.reduce_events;
+      out.compact_events += sub.compact_events;
+      out.cycles += sub.cycles;
+      out.seconds += sub.seconds;
+      out.iterations += sub.iterations;
+      out.warps_used = std::max(out.warps_used, sub.warps_used);
+      out.ctas_used = std::max(out.ctas_used, sub.ctas_used);
+      m_begin = m_end;
+      r_begin = r_end;
     }
   }
 
-  if (!cfg_.unexpected && stats.result.matched() != msgs.size()) {
+  if (!cfg_.unexpected && out.result.matched() != msgs.size()) {
     throw std::runtime_error(
         "unexpected message encountered, but the configured semantics prohibit "
         "unexpected messages (pre-post all receives or enable `unexpected`)");
   }
-  return stats;
 }
 
 SimtMatchStats MatchEngine::match(std::span<const Message> msgs,
                                   std::span<const RecvRequest> reqs) const {
-  SimtMatchStats stats = match_impl(msgs, reqs);
-  impl_->accumulate(stats);
+  SimtMatchStats stats;
+  match(msgs, reqs, stats);
   return stats;
 }
 
+void MatchEngine::match(std::span<const Message> msgs, std::span<const RecvRequest> reqs,
+                        SimtMatchStats& out) const {
+  match_impl_into(msgs, reqs, out);
+  impl_->accumulate(out);
+}
+
 SimtMatchStats MatchEngine::match_queues(MessageQueue& mq, RecvQueue& rq) const {
+  SimtMatchStats stats;
+  match_queues(mq, rq, stats);
+  return stats;
+}
+
+void MatchEngine::match_queues(MessageQueue& mq, RecvQueue& rq, SimtMatchStats& out) const {
   if (!cfg_.wildcards) {
     for (const auto& r : rq.view()) {
       if (has_wildcard(r.env)) {
@@ -207,31 +283,31 @@ SimtMatchStats MatchEngine::match_queues(MessageQueue& mq, RecvQueue& rq) const 
     }
   }
 
-  const auto comms = comms_of(mq.view(), rq.view());
+  auto& ws = impl_->ws;
+  index_comms(ws.engine, mq.view(), rq.view());
 
-  if (comms.size() <= 1) {
+  if (ws.engine.comms.size() <= 1) {
     // Single communicator: every matcher drains live queues natively (or
     // through the interface's default match-and-compact).
-    SimtMatchStats stats = impl_->matcher->match_queues(mq, rq);
-    impl_->accumulate(stats);
-    return stats;
+    impl_->matcher->match_queues_into(mq, rq, ws, out);
+    impl_->accumulate(out);
+    return;
   }
 
-  // Multi-comm: batch-match (match_impl splits communicators), then compact
-  // both queues.
-  SimtMatchStats stats = match_impl(mq.view(), rq.view());
-  std::vector<std::uint8_t> msg_flags(mq.size(), 0);
-  std::vector<std::uint8_t> req_flags(rq.size(), 0);
-  for (std::size_t r = 0; r < stats.result.request_match.size(); ++r) {
-    const auto m = stats.result.request_match[r];
+  // Multi-comm: batch-match (match_impl_into splits communicators), then
+  // compact both queues through the workspace flag vectors.
+  match_impl_into(mq.view(), rq.view(), out);
+  ws.msg_flags.assign(mq.size(), 0);
+  ws.req_flags.assign(rq.size(), 0);
+  for (std::size_t r = 0; r < out.result.request_match.size(); ++r) {
+    const auto m = out.result.request_match[r];
     if (m == kNoMatch) continue;
-    req_flags[r] = 1;
-    msg_flags[static_cast<std::size_t>(m)] = 1;
+    ws.req_flags[r] = 1;
+    ws.msg_flags[static_cast<std::size_t>(m)] = 1;
   }
-  (void)mq.compact(msg_flags);
-  (void)rq.compact(req_flags);
-  impl_->accumulate(stats);
-  return stats;
+  (void)mq.compact(ws.msg_flags);
+  (void)rq.compact(ws.req_flags);
+  impl_->accumulate(out);
 }
 
 }  // namespace simtmsg::matching

@@ -56,11 +56,23 @@ class MatchEngine {
   [[nodiscard]] SimtMatchStats match(std::span<const Message> msgs,
                                      std::span<const RecvRequest> reqs) const;
 
+  /// Out-parameter form of match(): the result lands in `out` (fully
+  /// re-initialized).  This is the steady-state entry point — all scratch
+  /// comes from the engine's internal workspace, so repeated calls with a
+  /// stable workload shape perform zero heap allocations.  Engines are
+  /// per-thread (the workspace is not locked).
+  void match(std::span<const Message> msgs, std::span<const RecvRequest> reqs,
+             SimtMatchStats& out) const;
+
   /// Drain two live queues: match as much as possible and remove matched
   /// elements.  Result indices refer to the queues' contents *before* the
   /// call.  Unlike match(), leftovers are not an error — the caller (the
   /// runtime's progress engine) decides how to treat unexpected messages.
   [[nodiscard]] SimtMatchStats match_queues(MessageQueue& mq, RecvQueue& rq) const;
+
+  /// Out-parameter form of match_queues(); allocation-free in steady state
+  /// like match() above.
+  void match_queues(MessageQueue& mq, RecvQueue& rq, SimtMatchStats& out) const;
 
   [[nodiscard]] const SemanticsConfig& semantics() const noexcept { return cfg_; }
 
@@ -77,10 +89,11 @@ class MatchEngine {
   [[nodiscard]] telemetry::TelemetryReport snapshot() const;
 
  private:
-  SimtMatchStats match_impl(std::span<const Message> msgs,
-                            std::span<const RecvRequest> reqs) const;
-  SimtMatchStats match_single_comm(std::span<const Message> msgs,
-                                   std::span<const RecvRequest> reqs) const;
+  void match_impl_into(std::span<const Message> msgs, std::span<const RecvRequest> reqs,
+                       SimtMatchStats& out) const;
+  void match_single_comm_into(std::span<const Message> msgs,
+                              std::span<const RecvRequest> reqs,
+                              SimtMatchStats& out) const;
 
   struct Impl;
   const simt::DeviceSpec* spec_;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "matching/device_hash_table.hpp"
+#include "matching/workspace.hpp"
 #include "simt/cta.hpp"
 #include "simt/launcher.hpp"
 #include "simt/timing_model.hpp"
@@ -19,19 +20,6 @@ namespace {
          static_cast<std::uint32_t>(e.tag);
 }
 
-/// One warp-wide hash-table operation recorded by the plan pass: enough to
-/// replay the exact counter stream of the fused operation without touching
-/// the table.
-struct GroupPlan {
-  bool is_insert = false;
-  int warp = 0;  ///< Warp slot within the CTA.
-  int live = 0;  ///< Active lanes (low mask).
-  simt::LaneSize idx;  ///< Per-lane global element indices (load coalescing).
-  simt::LaneU32 keys;
-  DeviceHashTable::InsertOutcome ins;
-  DeviceHashTable::ProbeOutcome probe;
-};
-
 }  // namespace
 
 HashMatcher::HashMatcher(const simt::DeviceSpec& spec, Options opt)
@@ -43,29 +31,42 @@ HashMatcher::HashMatcher(const simt::DeviceSpec& spec, Options opt)
 
 SimtMatchStats HashMatcher::match(std::span<const Message> msgs,
                                   std::span<const RecvRequest> reqs) const {
+  MatchWorkspace ws;
+  SimtMatchStats stats;
+  match_into(msgs, reqs, ws, stats);
+  return stats;
+}
+
+void HashMatcher::match_into(std::span<const Message> msgs,
+                             std::span<const RecvRequest> reqs, MatchWorkspace& ws,
+                             SimtMatchStats& out) const {
   for (const auto& r : reqs) {
     if (has_wildcard(r.env)) {
       throw std::invalid_argument("HashMatcher requires wildcard-free receives");
     }
   }
 
-  SimtMatchStats stats;
-  stats.result.request_match.assign(reqs.size(), kNoMatch);
-  stats.ctas_used = opt_.ctas;
-  if (msgs.empty() || reqs.empty()) return stats;
+  out.reset(reqs.size());
+  out.ctas_used = opt_.ctas;
+  if (msgs.empty() || reqs.empty()) return;
+
+  auto& hw = ws.hash;
 
   // Device-resident words (only src and tag are read, as in the matrix
   // matcher; the communicator is implicit).
-  std::vector<std::uint64_t> msg_words(msgs.size());
-  for (std::size_t i = 0; i < msgs.size(); ++i) msg_words[i] = raw_word(msgs[i].env);
-  std::vector<std::uint64_t> req_words(reqs.size());
-  for (std::size_t i = 0; i < reqs.size(); ++i) req_words[i] = raw_word(reqs[i].env);
+  hw.msg_words.resize(msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) hw.msg_words[i] = raw_word(msgs[i].env);
+  hw.req_words.resize(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) hw.req_words[i] = raw_word(reqs[i].env);
 
-  DeviceHashTable table(std::max(msgs.size(), reqs.size()), opt_.table_ratio, opt_.hash);
+  DeviceHashTable& table = hw.table;
+  table.prepare(std::max(msgs.size(), reqs.size()), opt_.table_ratio, opt_.hash);
 
-  std::vector<std::uint32_t> pending_reqs(reqs.size());
+  auto& pending_reqs = hw.pending_reqs;
+  pending_reqs.resize(reqs.size());
   for (std::size_t i = 0; i < reqs.size(); ++i) pending_reqs[i] = static_cast<std::uint32_t>(i);
-  std::vector<std::uint32_t> pending_msgs(msgs.size());
+  auto& pending_msgs = hw.pending_msgs;
+  pending_msgs.resize(msgs.size());
   for (std::size_t i = 0; i < msgs.size(); ++i) pending_msgs[i] = static_cast<std::uint32_t>(i);
 
   const simt::TimingModel model(*spec_);
@@ -73,7 +74,7 @@ SimtMatchStats HashMatcher::match(std::span<const Message> msgs,
 
   for (int iter = 0; iter < opt_.max_iterations; ++iter) {
     if (pending_msgs.empty() || (pending_reqs.empty() && table.occupancy() == 0)) break;
-    stats.iterations = iter + 1;
+    out.iterations = iter + 1;
 
     // Slice the pending work across CTAs.
     const std::size_t work = std::max(pending_reqs.size(), pending_msgs.size());
@@ -82,8 +83,10 @@ SimtMatchStats HashMatcher::match(std::span<const Message> msgs,
     const int warps_per_cta = static_cast<int>(std::clamp<std::size_t>(
         util::ceil_div(per_cta, simt::kWarpSize), 1, static_cast<std::size_t>(opt_.max_warps)));
 
-    std::vector<std::uint32_t> deferred_reqs;
-    std::vector<std::uint32_t> deferred_msgs;
+    auto& deferred_reqs = hw.deferred_reqs;
+    auto& deferred_msgs = hw.deferred_msgs;
+    deferred_reqs.clear();
+    deferred_msgs.clear();
     std::size_t inserted_total = 0;
     std::size_t matched_total = 0;
 
@@ -92,7 +95,9 @@ SimtMatchStats HashMatcher::match(std::span<const Message> msgs,
     // CAS priority rule, so resolving serially is what keeps the functional
     // outcome (and the table state it leaves behind) identical for every
     // execution policy.  The recorded outcomes drive the replay below.
-    std::vector<std::vector<GroupPlan>> plan(ctas);
+    auto& plan = hw.plan;
+    if (plan.size() < ctas) plan.resize(ctas);
+    for (std::size_t cta_id = 0; cta_id < ctas; ++cta_id) plan[cta_id].clear();
     for (std::size_t cta_id = 0; cta_id < ctas; ++cta_id) {
       // ---- Phase 1: insert this CTA's slice of pending receive requests.
       const std::size_t rq_begin = std::min(cta_id * per_cta, pending_reqs.size());
@@ -100,7 +105,7 @@ SimtMatchStats HashMatcher::match(std::span<const Message> msgs,
       for (std::size_t g = rq_begin; g < rq_end; g += simt::kWarpSize) {
         const int live = static_cast<int>(
             std::min<std::size_t>(simt::kWarpSize, rq_end - g));
-        GroupPlan gp;
+        HashGroupPlan gp;
         gp.is_insert = true;
         gp.live = live;
         gp.warp = static_cast<int>((g / simt::kWarpSize) %
@@ -113,7 +118,7 @@ SimtMatchStats HashMatcher::match(std::span<const Message> msgs,
         // claim guards the general case.
         simt::LaneU32 values;
         for (int lane = 0; lane < live; ++lane) {
-          const std::uint64_t w = req_words[gp.idx[lane]];
+          const std::uint64_t w = hw.req_words[gp.idx[lane]];
           gp.keys[lane] = (static_cast<std::uint32_t>(w >> 32) << 16) ^
                           static_cast<std::uint32_t>(w & 0xFFFF'FFFFu);
           values[lane] = static_cast<std::uint32_t>(gp.idx[lane]);
@@ -136,14 +141,14 @@ SimtMatchStats HashMatcher::match(std::span<const Message> msgs,
       for (std::size_t g = mq_begin; g < mq_end; g += simt::kWarpSize) {
         const int live = static_cast<int>(
             std::min<std::size_t>(simt::kWarpSize, mq_end - g));
-        GroupPlan gp;
+        HashGroupPlan gp;
         gp.is_insert = false;
         gp.live = live;
         gp.warp = static_cast<int>((g / simt::kWarpSize) %
                                    static_cast<std::size_t>(warps_per_cta));
         for (int lane = 0; lane < live; ++lane) gp.idx[lane] = pending_msgs[g + lane];
         for (int lane = 0; lane < live; ++lane) {
-          const std::uint64_t w = msg_words[gp.idx[lane]];
+          const std::uint64_t w = hw.msg_words[gp.idx[lane]];
           gp.keys[lane] = (static_cast<std::uint32_t>(w >> 32) << 16) ^
                           static_cast<std::uint32_t>(w & 0xFFFF'FFFFu);
         }
@@ -162,7 +167,7 @@ SimtMatchStats HashMatcher::match(std::span<const Message> msgs,
             continue;
           }
           const std::uint32_t req_idx = gp.probe.values[lane];
-          stats.result.request_match[req_idx] = static_cast<std::int32_t>(msg_idx);
+          out.result.request_match[req_idx] = static_cast<std::int32_t>(msg_idx);
           ++matched_total;
         }
         plan[cta_id].push_back(gp);
@@ -178,27 +183,26 @@ SimtMatchStats HashMatcher::match(std::span<const Message> msgs,
     launch.ctas = opt_.ctas;
     launch.warps_per_cta = warps_per_cta;
     launch.mlp_per_warp = opt_.kernel_mlp;
-    const simt::KernelRun run = simt::launch(
-        *spec_, launch,
-        [&](simt::CtaContext& cta) {
-          for (const GroupPlan& gp : plan[static_cast<std::size_t>(cta.cta_id())]) {
-            auto& warp = cta.warp(gp.warp);
-            warp.set_active(util::low_mask(gp.live));
-            warp.count_global_load<std::uint64_t>(gp.idx);
-            if (gp.is_insert) {
-              warp.lanes([](int) {}, 3);  // Key fold + value materialisation.
-              table.insert_charge(warp, gp.keys, gp.ins);
-            } else {
-              warp.lanes([](int) {}, 2);  // Key fold.
-              table.probe_charge(warp, gp.keys, gp.probe);
-            }
-          }
-        },
-        opt_.policy);
+    const auto kernel = [&](simt::CtaContext& cta) {
+      for (const HashGroupPlan& gp : plan[static_cast<std::size_t>(cta.cta_id())]) {
+        auto& warp = cta.warp(gp.warp);
+        warp.set_active(util::low_mask(gp.live));
+        warp.count_global_load<std::uint64_t>(gp.idx);
+        if (gp.is_insert) {
+          warp.lanes([](int) {}, 3);  // Key fold + value materialisation.
+          table.insert_charge(warp, gp.keys, gp.ins);
+        } else {
+          warp.lanes([](int) {}, 2);  // Key fold.
+          table.probe_charge(warp, gp.keys, gp.probe);
+        }
+      }
+    };
+    const simt::KernelRun run =
+        simt::launch(*spec_, launch, simt::KernelRef(kernel), opt_.policy, hw.launch);
 
-    stats.scan_events += run.counters;
+    out.scan_events += run.counters;
     total_cycles += run.timing.cycles + opt_.iteration_overhead_cycles;
-    stats.warps_used = std::max(stats.warps_used, warps_per_cta);
+    out.warps_used = std::max(out.warps_used, warps_per_cta);
 
     pending_reqs.swap(deferred_reqs);
     pending_msgs.swap(deferred_msgs);
@@ -206,15 +210,14 @@ SimtMatchStats HashMatcher::match(std::span<const Message> msgs,
     if (inserted_total == 0 && matched_total == 0) break;  // No progress.
   }
 
-  stats.cycles = total_cycles;
-  stats.seconds = model.seconds_from_cycles(total_cycles);
-  record_attempt(stats, msgs.size(), reqs.size());
+  out.cycles = total_cycles;
+  out.seconds = model.seconds_from_cycles(total_cycles);
+  record_attempt(out, msgs.size(), reqs.size());
   // Probe traffic is the hash matcher's defining cost (collisions defer
   // work); expose it alongside the generic per-attempt instruments.
   telemetry::observe("matcher.hash-table.probes",
-                     stats.scan_events.global_load_requests +
-                         stats.reduce_events.global_load_requests);
-  return stats;
+                     out.scan_events.global_load_requests +
+                         out.reduce_events.global_load_requests);
 }
 
 }  // namespace simtmsg::matching

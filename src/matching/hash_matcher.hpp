@@ -50,6 +50,11 @@ class HashMatcher : public Matcher {
   [[nodiscard]] SimtMatchStats match(std::span<const Message> msgs,
                                      std::span<const RecvRequest> reqs) const override;
 
+  /// Workspace form: element words, worklists, the operation plans, the
+  /// device hash table, and the launch scratch all come from `ws.hash`.
+  void match_into(std::span<const Message> msgs, std::span<const RecvRequest> reqs,
+                  MatchWorkspace& ws, SimtMatchStats& out) const override;
+
   [[nodiscard]] std::string_view name() const noexcept override { return "hash-table"; }
 
   [[nodiscard]] Traits traits() const noexcept override {

@@ -1,44 +1,65 @@
 #include "matching/matcher.hpp"
 
 #include <algorithm>
-#include <string>
 
+#include "matching/workspace.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace simtmsg::matching {
 
 Matcher::~Matcher() = default;
 
+void Matcher::match_into(std::span<const Message> msgs, std::span<const RecvRequest> reqs,
+                         MatchWorkspace& ws, SimtMatchStats& out) const {
+  (void)ws;
+  out = match(msgs, reqs);
+}
+
 SimtMatchStats Matcher::match_queues(MessageQueue& mq, RecvQueue& rq) const {
-  SimtMatchStats stats = match(mq.view(), rq.view());
-  std::vector<std::uint8_t> msg_flags(mq.size(), 0);
-  std::vector<std::uint8_t> req_flags(rq.size(), 0);
-  for (std::size_t r = 0; r < stats.result.request_match.size(); ++r) {
-    const auto m = stats.result.request_match[r];
-    if (m == kNoMatch) continue;
-    req_flags[r] = 1;
-    msg_flags[static_cast<std::size_t>(m)] = 1;
-  }
-  (void)mq.compact(msg_flags);
-  (void)rq.compact(req_flags);
+  MatchWorkspace ws;
+  SimtMatchStats stats;
+  match_queues_into(mq, rq, ws, stats);
   return stats;
+}
+
+void Matcher::match_queues_into(MessageQueue& mq, RecvQueue& rq, MatchWorkspace& ws,
+                                SimtMatchStats& out) const {
+  match_into(mq.view(), rq.view(), ws, out);
+  ws.msg_flags.assign(mq.size(), 0);
+  ws.req_flags.assign(rq.size(), 0);
+  for (std::size_t r = 0; r < out.result.request_match.size(); ++r) {
+    const auto m = out.result.request_match[r];
+    if (m == kNoMatch) continue;
+    ws.req_flags[r] = 1;
+    ws.msg_flags[static_cast<std::size_t>(m)] = 1;
+  }
+  (void)mq.compact(ws.msg_flags);
+  (void)rq.compact(ws.req_flags);
 }
 
 void Matcher::record_attempt(const SimtMatchStats& stats, std::size_t msgs,
                              std::size_t reqs) const {
   if constexpr (telemetry::kEnabled) {
-    const std::string prefix = "matcher." + std::string(name());
+    std::call_once(keys_once_, [this] {
+      const std::string prefix = "matcher." + std::string(name());
+      keys_.phase = prefix;
+      keys_.calls = prefix + ".calls";
+      keys_.matches = prefix + ".matches";
+      keys_.queue_depth = prefix + ".queue_depth";
+      keys_.iterations = prefix + ".iterations";
+      keys_.divergent_branches = prefix + ".divergent_branches";
+    });
     auto& reg = telemetry::sink();
-    reg.counter(prefix + ".calls").add(1);
-    reg.counter(prefix + ".matches").add(stats.result.matched());
-    reg.histogram(prefix + ".queue_depth").record(std::max(msgs, reqs));
-    reg.histogram(prefix + ".iterations")
+    reg.counter(keys_.calls).add(1);
+    reg.counter(keys_.matches).add(stats.result.matched());
+    reg.histogram(keys_.queue_depth).record(std::max(msgs, reqs));
+    reg.histogram(keys_.iterations)
         .record(static_cast<std::uint64_t>(stats.iterations));
-    reg.histogram(prefix + ".divergent_branches")
+    reg.histogram(keys_.divergent_branches)
         .record(stats.scan_events.divergent_branches +
                 stats.reduce_events.divergent_branches +
                 stats.compact_events.divergent_branches);
-    auto& phase = reg.phase(prefix);
+    auto& phase = reg.phase(keys_.phase);
     ++phase.calls;
     phase.device_cycles += stats.cycles;
   } else {

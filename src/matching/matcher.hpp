@@ -5,9 +5,25 @@
 // lists, hashed bins).  MatchEngine::Impl, the benches, and the conformance
 // tests program against this interface instead of special-casing each
 // concrete type.
+//
+// Two call styles per operation:
+//
+//  * `match()` / `match_queues()` — by-value convenience API.  Allocates a
+//    transient MatchWorkspace per call; fine for tests and one-shot use.
+//  * `match_into()` / `match_queues_into()` — workspace API.  The caller
+//    owns a MatchWorkspace and a stats slot, both recycled across calls;
+//    this is the steady-state path (MatchEngine) and it performs zero heap
+//    allocations once the workspace is warm (see workspace.hpp).
+//
+// A concrete matcher overrides whichever side is its primary: the SIMT
+// matchers implement the `_into` virtuals (their scratch lives in the
+// workspace) and inherit the wrappers; the CPU baselines implement `match()`
+// and inherit `match_into`'s fallback, which simply forwards.
 #pragma once
 
+#include <mutex>
 #include <span>
+#include <string>
 #include <string_view>
 
 #include "matching/envelope.hpp"
@@ -15,6 +31,8 @@
 #include "matching/simt_stats.hpp"
 
 namespace simtmsg::matching {
+
+class MatchWorkspace;
 
 class Matcher {
  public:
@@ -33,6 +51,13 @@ class Matcher {
   [[nodiscard]] virtual SimtMatchStats match(std::span<const Message> msgs,
                                              std::span<const RecvRequest> reqs) const = 0;
 
+  /// Workspace form of match(): scratch comes from `ws`, the result lands
+  /// in `out` (fully re-initialized; no stale state survives).  The default
+  /// forwards to match() — correct for the CPU baselines, whose per-call
+  /// allocations are not part of the steady-state guarantee.
+  virtual void match_into(std::span<const Message> msgs, std::span<const RecvRequest> reqs,
+                          MatchWorkspace& ws, SimtMatchStats& out) const;
+
   /// Stable identifier ("matrix", "hash-table", "list", ...), used as the
   /// telemetry key prefix `matcher.<name>.*`.
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
@@ -41,10 +66,16 @@ class Matcher {
 
   /// Drain two live queues: match as much as possible and remove matched
   /// elements from both.  Result indices refer to the queues' contents
-  /// *before* the call.  The default implementation batch-matches the queue
-  /// views and compacts; matchers with a native incremental drain (matrix,
-  /// hash table) override it.
-  [[nodiscard]] virtual SimtMatchStats match_queues(MessageQueue& mq, RecvQueue& rq) const;
+  /// *before* the call.  Convenience wrapper over match_queues_into() with a
+  /// transient workspace.
+  [[nodiscard]] SimtMatchStats match_queues(MessageQueue& mq, RecvQueue& rq) const;
+
+  /// Workspace form of match_queues().  The default implementation
+  /// batch-matches the queue views via match_into() and compacts through the
+  /// workspace's flag vectors; matchers with a native incremental drain
+  /// (matrix) override it.
+  virtual void match_queues_into(MessageQueue& mq, RecvQueue& rq, MatchWorkspace& ws,
+                                 SimtMatchStats& out) const;
 
  protected:
   /// Record the per-attempt telemetry every matcher emits:
@@ -55,6 +86,23 @@ class Matcher {
   /// Compiles to nothing when telemetry is off.
   void record_attempt(const SimtMatchStats& stats, std::size_t msgs,
                       std::size_t reqs) const;
+
+ private:
+  /// The telemetry key strings above, built once per matcher instance on the
+  /// first record_attempt (lazily, because name() is virtual and not callable
+  /// from the base constructor).  call_once because record_attempt runs
+  /// concurrently when a matcher instance is shared across partition
+  /// fan-out threads.  Caching them keeps steady-state calls allocation-free.
+  struct TelemetryKeys {
+    std::string phase;
+    std::string calls;
+    std::string matches;
+    std::string queue_depth;
+    std::string iterations;
+    std::string divergent_branches;
+  };
+  mutable TelemetryKeys keys_;
+  mutable std::once_flag keys_once_;
 };
 
 }  // namespace simtmsg::matching

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "matching/compaction.hpp"
+#include "matching/workspace.hpp"
 #include "simt/cta.hpp"
 #include "simt/timing_model.hpp"
 #include "util/bits.hpp"
@@ -69,21 +70,31 @@ MatrixMatcher::MatrixMatcher(const simt::DeviceSpec& spec, Options opt)
 
 SimtMatchStats MatrixMatcher::match_window(std::span<const Message> msgs,
                                            std::span<const RecvRequest> reqs) const {
+  MatrixWorkspace mws;
   SimtMatchStats stats;
-  stats.result.request_match.assign(reqs.size(), kNoMatch);
-  stats.iterations = 1;
+  match_window_into(msgs, reqs, mws, stats);
+  return stats;
+}
+
+void MatrixMatcher::match_window_into(std::span<const Message> msgs,
+                                      std::span<const RecvRequest> reqs,
+                                      MatrixWorkspace& mws, SimtMatchStats& out) const {
+  out.reset(reqs.size());
+  out.iterations = 1;
 
   const std::size_t n_msgs = std::min(msgs.size(), static_cast<std::size_t>(capacity()));
   const std::size_t n_reqs =
       std::min(reqs.size(), static_cast<std::size_t>(opt_.request_window));
-  if (n_msgs == 0 || n_reqs == 0) return stats;
+  if (n_msgs == 0 || n_reqs == 0) return;
 
   // Device-resident element words (global memory).
-  std::vector<std::uint64_t> msg_words(n_msgs);
+  auto& msg_words = mws.msg_words;
+  msg_words.resize(n_msgs);
   for (std::size_t i = 0; i < n_msgs; ++i) {
     msg_words[i] = raw_word(msgs[i].env.src, msgs[i].env.tag);
   }
-  std::vector<std::uint64_t> req_words(n_reqs);
+  auto& req_words = mws.req_words;
+  req_words.resize(n_reqs);
   for (std::size_t i = 0; i < n_reqs; ++i) {
     req_words[i] = raw_word(reqs[i].env.src, reqs[i].env.tag);
   }
@@ -94,7 +105,7 @@ SimtMatchStats MatrixMatcher::match_window(std::span<const Message> msgs,
   if (n_msgs <= width) {
     // ----- Single-warp fast path: no vote matrix ("queues with less than
     // 64 elements are scanned by a single warp and no matrix is generated").
-    simt::CtaContext cta(0, 1, spec_->shared_mem_per_sm);
+    simt::CtaContext& cta = detail::reuse_cta(mws.scan_cta, 0, 1, spec_->shared_mem_per_sm);
     auto& warp = cta.warp(0);
     warp.set_active(util::low_mask(static_cast<int>(n_msgs)));
 
@@ -119,15 +130,15 @@ SimtMatchStats MatrixMatcher::match_window(std::span<const Message> msgs,
         warp.count_alu(2);
         warp.counters().global_store_requests += 1;
         warp.counters().global_transactions += 1;
-        stats.result.request_match[col] = pos;
+        out.result.request_match[col] = pos;
       }
     }
-    stats.scan_events = cta.counters();
-    stats.warps_used = 1;
-    stats.cycles = model.cycles(stats.scan_events, /*resident_warps=*/1) +
-                   opt_.iteration_overhead_cycles;
-    stats.seconds = model.seconds_from_cycles(stats.cycles);
-    return stats;
+    out.scan_events = cta.counters();
+    out.warps_used = 1;
+    out.cycles = model.cycles(out.scan_events, /*resident_warps=*/1) +
+                 opt_.iteration_overhead_cycles;
+    out.seconds = model.seconds_from_cycles(out.cycles);
+    return;
   }
 
   // ----- General path: multi-warp scan (Algorithm 1) + single-warp reduce
@@ -136,14 +147,18 @@ SimtMatchStats MatrixMatcher::match_window(std::span<const Message> msgs,
   const int warps_used = static_cast<int>(util::ceil_div(n_msgs, width));
   const std::size_t chunk_cols = static_cast<std::size_t>(opt_.column_chunk);
 
-  simt::CtaContext scan_cta(0, warps_used, spec_->shared_mem_per_sm);
-  simt::CtaContext reduce_cta(1, 1, spec_->shared_mem_per_sm);
+  simt::CtaContext& scan_cta =
+      detail::reuse_cta(mws.scan_cta, 0, warps_used, spec_->shared_mem_per_sm);
+  simt::CtaContext& reduce_cta =
+      detail::reuse_cta(mws.reduce_cta, 1, 1, spec_->shared_mem_per_sm);
   auto vote_chunk = scan_cta.alloc_shared<std::uint32_t>(
       static_cast<std::size_t>(warps_used) * chunk_cols);
 
   // Per-warp message registers, loaded once per iteration.
-  std::vector<simt::LaneU64> msg_regs(static_cast<std::size_t>(warps_used));
-  std::vector<simt::LaneMask> warp_active(static_cast<std::size_t>(warps_used));
+  auto& msg_regs = mws.msg_regs;
+  msg_regs.resize(static_cast<std::size_t>(warps_used));
+  auto& warp_active = mws.warp_active;
+  warp_active.resize(static_cast<std::size_t>(warps_used));
   for (int w = 0; w < warps_used; ++w) {
     auto& warp = scan_cta.warp(w);
     const std::size_t base = static_cast<std::size_t>(w) * width;
@@ -244,7 +259,7 @@ SimtMatchStats MatrixMatcher::match_window(std::span<const Message> msgs,
         rwarp.count_alu(3);
         rwarp.counters().global_store_requests += 1;
         rwarp.counters().global_transactions += 1;
-        stats.result.request_match[chunk_begin + c] =
+        out.result.request_match[chunk_begin + c] =
             static_cast<std::int32_t>(winner * static_cast<int>(width) + match_bit);
       }
     }
@@ -261,34 +276,46 @@ SimtMatchStats MatrixMatcher::match_window(std::span<const Message> msgs,
     total_reduce_cycles += reduce_cycles;
   }
 
-  stats.scan_events = scan_cta.counters();
-  stats.reduce_events = reduce_cta.counters();
-  stats.warps_used = warps_used;
-  stats.cycles = (pipelined ? reduce_finish : total_scan_cycles + total_reduce_cycles) +
-                 opt_.iteration_overhead_cycles;
-  stats.seconds = model.seconds_from_cycles(stats.cycles);
-  return stats;
+  out.scan_events = scan_cta.counters();
+  out.reduce_events = reduce_cta.counters();
+  out.warps_used = warps_used;
+  out.cycles = (pipelined ? reduce_finish : total_scan_cycles + total_reduce_cycles) +
+               opt_.iteration_overhead_cycles;
+  out.seconds = model.seconds_from_cycles(out.cycles);
 }
 
 SimtMatchStats MatrixMatcher::match(std::span<const Message> msgs,
                                     std::span<const RecvRequest> reqs) const {
-  MessageQueue mq;
-  RecvQueue rq;
-  for (const auto& m : msgs) mq.push_raw(m);
-  for (const auto& r : reqs) rq.push_raw(r);
-  return match_queues(mq, rq);
+  MatchWorkspace ws;
+  SimtMatchStats stats;
+  match_into(msgs, reqs, ws, stats);
+  return stats;
 }
 
-SimtMatchStats MatrixMatcher::match_queues(MessageQueue& mq, RecvQueue& rq) const {
+void MatrixMatcher::match_into(std::span<const Message> msgs,
+                               std::span<const RecvRequest> reqs, MatchWorkspace& ws,
+                               SimtMatchStats& out) const {
+  auto& mq = ws.matrix.batch_msgs;
+  auto& rq = ws.matrix.batch_reqs;
+  mq.clear();
+  rq.clear();
+  for (const auto& m : msgs) mq.push_raw(m);
+  for (const auto& r : reqs) rq.push_raw(r);
+  match_queues_into(mq, rq, ws, out);
+}
+
+void MatrixMatcher::match_queues_into(MessageQueue& mq, RecvQueue& rq, MatchWorkspace& ws,
+                                      SimtMatchStats& out) const {
   const std::size_t in_msgs = mq.size();
   const std::size_t in_reqs = rq.size();
-  SimtMatchStats total;
-  total.result.request_match.assign(rq.size(), kNoMatch);
+  out.reset(rq.size());
 
   // Track original positions through compactions.
-  std::vector<std::uint32_t> msg_orig(mq.size());
+  auto& msg_orig = ws.matrix.msg_orig;
+  msg_orig.resize(mq.size());
   for (std::size_t i = 0; i < msg_orig.size(); ++i) msg_orig[i] = static_cast<std::uint32_t>(i);
-  std::vector<std::uint32_t> req_orig(rq.size());
+  auto& req_orig = ws.matrix.req_orig;
+  req_orig.resize(rq.size());
   for (std::size_t i = 0; i < req_orig.size(); ++i) req_orig[i] = static_cast<std::uint32_t>(i);
 
   const Compactor compactor(*spec_);
@@ -308,12 +335,13 @@ SimtMatchStats MatrixMatcher::match_queues(MessageQueue& mq, RecvQueue& rq) cons
       const auto msgs = std::span<const Message>(mq.view()).subspan(mc, msg_take);
       const auto reqs = std::span<const RecvRequest>(rq.view()).subspan(rw, req_take);
 
-      SimtMatchStats pass = match_window(msgs, reqs);
-      total.scan_events += pass.scan_events;
-      total.reduce_events += pass.reduce_events;
-      total.cycles += pass.cycles;
-      total.iterations += 1;
-      total.warps_used = std::max(total.warps_used, pass.warps_used);
+      SimtMatchStats& pass = ws.matrix.window;
+      match_window_into(msgs, reqs, ws.matrix, pass);
+      out.scan_events += pass.scan_events;
+      out.reduce_events += pass.reduce_events;
+      out.cycles += pass.cycles;
+      out.iterations += 1;
+      out.warps_used = std::max(out.warps_used, pass.warps_used);
 
       const std::size_t matched = pass.result.matched();
       if (matched == 0) {
@@ -321,14 +349,16 @@ SimtMatchStats MatrixMatcher::match_queues(MessageQueue& mq, RecvQueue& rq) cons
         continue;
       }
 
-      std::vector<std::uint8_t> msg_flags(mq.size(), 0);
-      std::vector<std::uint8_t> req_flags(rq.size(), 0);
+      auto& msg_flags = ws.matrix.msg_flags;
+      auto& req_flags = ws.matrix.req_flags;
+      msg_flags.assign(mq.size(), 0);
+      req_flags.assign(rq.size(), 0);
       for (std::size_t j = 0; j < pass.result.request_match.size(); ++j) {
         const auto m = pass.result.request_match[j];
         if (m == kNoMatch) continue;
         const std::size_t msg_at = mc + static_cast<std::size_t>(m);
         const std::size_t req_at = rw + j;
-        total.result.request_match[req_orig[req_at]] =
+        out.result.request_match[req_orig[req_at]] =
             static_cast<std::int32_t>(msg_orig[msg_at]);
         msg_flags[msg_at] = 1;
         req_flags[req_at] = 1;
@@ -337,9 +367,9 @@ SimtMatchStats MatrixMatcher::match_queues(MessageQueue& mq, RecvQueue& rq) cons
       const auto mstat = compactor.compact(mq, msg_flags);
       const auto rstat = compactor.compact(rq, req_flags);
       if (opt_.compact) {
-        total.compact_events += mstat.events;
-        total.compact_events += rstat.events;
-        total.cycles += mstat.cycles + rstat.cycles;
+        out.compact_events += mstat.events;
+        out.compact_events += rstat.events;
+        out.cycles += mstat.cycles + rstat.cycles;
       }
       const auto drop_flagged = [](std::vector<std::uint32_t>& v,
                                    const std::vector<std::uint8_t>& flags) {
@@ -356,9 +386,8 @@ SimtMatchStats MatrixMatcher::match_queues(MessageQueue& mq, RecvQueue& rq) cons
     rw += std::min(req_win, rq.size() - rw);
   }
 
-  total.seconds = model.seconds_from_cycles(total.cycles);
-  record_attempt(total, in_msgs, in_reqs);
-  return total;
+  out.seconds = model.seconds_from_cycles(out.cycles);
+  record_attempt(out, in_msgs, in_reqs);
 }
 
 }  // namespace simtmsg::matching

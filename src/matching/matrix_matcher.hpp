@@ -35,6 +35,8 @@
 
 namespace simtmsg::matching {
 
+struct MatrixWorkspace;
+
 class MatrixMatcher : public Matcher {
  public:
   struct Options {
@@ -73,19 +75,28 @@ class MatrixMatcher : public Matcher {
   [[nodiscard]] SimtMatchStats match_window(std::span<const Message> msgs,
                                             std::span<const RecvRequest> reqs) const;
 
+  /// Workspace form of match_window: words, per-warp registers, and the two
+  /// CTA contexts come from `mws`; the result lands in `out`.
+  void match_window_into(std::span<const Message> msgs, std::span<const RecvRequest> reqs,
+                         MatrixWorkspace& mws, SimtMatchStats& out) const;
+
   /// Batch interface (Matcher): drains copies of the inputs through
-  /// match_queues.
+  /// match_queues_into (the copies live in the workspace).
   [[nodiscard]] SimtMatchStats match(std::span<const Message> msgs,
                                      std::span<const RecvRequest> reqs) const override;
+
+  void match_into(std::span<const Message> msgs, std::span<const RecvRequest> reqs,
+                  MatchWorkspace& ws, SimtMatchStats& out) const override;
 
   [[nodiscard]] std::string_view name() const noexcept override { return "matrix"; }
 
   /// Drain two queues: iterate match_window over message chunks and request
   /// windows (in order, preserving MPI semantics), compacting after each
   /// pass, until no further progress.  Matched elements are removed from
-  /// the queues.  The returned result maps every *original* request index
-  /// to its *original* message index.
-  [[nodiscard]] SimtMatchStats match_queues(MessageQueue& mq, RecvQueue& rq) const override;
+  /// the queues.  The result maps every *original* request index to its
+  /// *original* message index.
+  void match_queues_into(MessageQueue& mq, RecvQueue& rq, MatchWorkspace& ws,
+                         SimtMatchStats& out) const override;
 
   [[nodiscard]] const Options& options() const noexcept { return opt_; }
   [[nodiscard]] const simt::DeviceSpec& device() const noexcept { return *spec_; }

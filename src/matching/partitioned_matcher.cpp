@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "matching/queue.hpp"
+#include "matching/workspace.hpp"
 #include "simt/timing_model.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/bits.hpp"
@@ -13,7 +14,7 @@
 namespace simtmsg::matching {
 
 PartitionedMatcher::PartitionedMatcher(const simt::DeviceSpec& spec, Options opt)
-    : spec_(&spec), opt_(opt) {
+    : spec_(&spec), opt_(opt), inner_(spec, opt.matrix) {
   if (opt_.partitions < 1) throw std::invalid_argument("partitions must be >= 1");
   if (opt_.sms < 1 || opt_.sms > spec.sm_count) {
     throw std::invalid_argument("sms must be in [1, device SM count]");
@@ -22,6 +23,15 @@ PartitionedMatcher::PartitionedMatcher(const simt::DeviceSpec& spec, Options opt
 
 SimtMatchStats PartitionedMatcher::match(std::span<const Message> msgs,
                                          std::span<const RecvRequest> reqs) const {
+  MatchWorkspace ws;
+  SimtMatchStats stats;
+  match_into(msgs, reqs, ws, stats);
+  return stats;
+}
+
+void PartitionedMatcher::match_into(std::span<const Message> msgs,
+                                    std::span<const RecvRequest> reqs, MatchWorkspace& ws,
+                                    SimtMatchStats& out) const {
   for (const auto& r : reqs) {
     if (r.env.src == kAnySource) {
       throw std::invalid_argument(
@@ -29,34 +39,34 @@ SimtMatchStats PartitionedMatcher::match(std::span<const Message> msgs,
     }
   }
 
-  SimtMatchStats total;
-  total.result.request_match.assign(reqs.size(), kNoMatch);
+  out.reset(reqs.size());
 
   const auto p_count = static_cast<std::size_t>(opt_.partitions);
-  std::vector<MessageQueue> part_msgs(p_count);
-  std::vector<RecvQueue> part_reqs(p_count);
-  std::vector<std::vector<std::uint32_t>> msg_map(p_count);
-  std::vector<std::vector<std::uint32_t>> req_map(p_count);
+  auto& pw = ws.partition;
+  pw.part_msgs.resize(p_count);
+  pw.part_reqs.resize(p_count);
+  pw.msg_map.resize(p_count);
+  pw.req_map.resize(p_count);
+  for (std::size_t p = 0; p < p_count; ++p) {
+    pw.part_msgs[p].clear();
+    pw.part_reqs[p].clear();
+    pw.msg_map[p].clear();
+    pw.req_map[p].clear();
+  }
 
   for (std::size_t i = 0; i < msgs.size(); ++i) {
     const auto p = static_cast<std::size_t>(partition_of(msgs[i].env.src));
-    part_msgs[p].push_raw(msgs[i]);
-    msg_map[p].push_back(static_cast<std::uint32_t>(i));
+    pw.part_msgs[p].push_raw(msgs[i]);
+    pw.msg_map[p].push_back(static_cast<std::uint32_t>(i));
   }
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     const auto p = static_cast<std::size_t>(partition_of(reqs[i].env.src));
-    part_reqs[p].push_raw(reqs[i]);
-    req_map[p].push_back(static_cast<std::uint32_t>(i));
+    pw.part_reqs[p].push_raw(reqs[i]);
+    pw.req_map[p].push_back(static_cast<std::uint32_t>(i));
   }
 
-  const MatrixMatcher matcher(*spec_, opt_.matrix);
   const simt::TimingModel model(*spec_);
 
-  struct PartitionCost {
-    double cycles = 0.0;
-    int warps = 1;
-  };
-  std::vector<PartitionCost> costs;
   int max_iterations = 0;
   int busy_partitions = 0;
 
@@ -65,87 +75,98 @@ SimtMatchStats PartitionedMatcher::match(std::span<const Message> msgs,
   // each partition's stats and telemetry in isolation.  The serial merge in
   // partition order below is what keeps results bit-identical for every
   // thread count.
-  struct PartitionRun {
-    bool busy = false;
-    SimtMatchStats stats;
-  };
-  std::vector<PartitionRun> runs(p_count);
-  std::vector<telemetry::Registry> stages(telemetry::kEnabled ? p_count : 0);
+  pw.runs.resize(p_count);
+  for (auto& run : pw.runs) run.busy = false;
+  if constexpr (telemetry::kEnabled) {
+    if (pw.stages.size() < p_count) pw.stages.resize(p_count);
+    for (std::size_t p = 0; p < p_count; ++p) pw.stages[p].reset_values();
+  }
+  // Nested workspaces are created serially up front: partition_workspace()
+  // grows a vector and must not run concurrently with the fan-out.
+  for (std::size_t p = 0; p < p_count; ++p) (void)pw.partition_workspace(p);
+
   util::ThreadPool::shared().run_indexed(
       p_count, opt_.policy.resolved_threads(), [&](std::size_t p) {
-        if (part_msgs[p].empty() || part_reqs[p].empty()) return;
-        runs[p].busy = true;
+        if (pw.part_msgs[p].empty() || pw.part_reqs[p].empty()) return;
+        pw.runs[p].busy = true;
         if constexpr (telemetry::kEnabled) {
-          const telemetry::ScopedStage stage(stages[p]);
-          runs[p].stats = matcher.match_queues(part_msgs[p], part_reqs[p]);
+          const telemetry::ScopedStage stage(pw.stages[p]);
+          inner_.match_queues_into(pw.part_msgs[p], pw.part_reqs[p],
+                                   pw.partition_workspace(p), pw.runs[p].stats);
         } else {
-          runs[p].stats = matcher.match_queues(part_msgs[p], part_reqs[p]);
+          inner_.match_queues_into(pw.part_msgs[p], pw.part_reqs[p],
+                                   pw.partition_workspace(p), pw.runs[p].stats);
         }
       });
   if constexpr (telemetry::kEnabled) {
     auto& sink = telemetry::sink();
-    for (const auto& stage : stages) sink.merge_from(stage);
+    // Idle partitions never touched their stage (empty when fresh, all-zero
+    // when recycled), so merging only the busy ones is equivalent and keeps
+    // recycled stages from materializing zero-valued keys in the sink.
+    for (std::size_t p = 0; p < p_count; ++p) {
+      if (pw.runs[p].busy) sink.merge_from(pw.stages[p]);
+    }
   }
 
+  pw.costs.clear();
   for (std::size_t p = 0; p < p_count; ++p) {
-    if (!runs[p].busy) continue;
+    if (!pw.runs[p].busy) continue;
     ++busy_partitions;
 
-    const SimtMatchStats& part = runs[p].stats;
+    const SimtMatchStats& part = pw.runs[p].stats;
     for (std::size_t r = 0; r < part.result.request_match.size(); ++r) {
       const auto m = part.result.request_match[r];
       if (m == kNoMatch) continue;
-      total.result.request_match[req_map[p][r]] =
-          static_cast<std::int32_t>(msg_map[p][static_cast<std::size_t>(m)]);
+      out.result.request_match[pw.req_map[p][r]] =
+          static_cast<std::int32_t>(pw.msg_map[p][static_cast<std::size_t>(m)]);
     }
 
-    total.scan_events += part.scan_events;
-    total.reduce_events += part.reduce_events;
-    total.compact_events += part.compact_events;
-    total.iterations += part.iterations;
-    total.warps_used = std::max(total.warps_used, part.warps_used);
+    out.scan_events += part.scan_events;
+    out.reduce_events += part.reduce_events;
+    out.compact_events += part.compact_events;
+    out.iterations += part.iterations;
+    out.warps_used = std::max(out.warps_used, part.warps_used);
     max_iterations = std::max(max_iterations, part.iterations);
-    costs.push_back({part.cycles, std::max(1, part.warps_used)});
+    pw.costs.push_back({part.cycles, std::max(1, part.warps_used)});
   }
 
   // Wave scheduling: partitions run concurrently while they fit an SM's
   // residency limits (resident warps and CTA slots); the rest serialize
   // into further waves.  With several SMs, waves spread round-robin and
   // the SMs run in parallel (the paper's linear multi-SM scaling remark).
-  std::vector<double> sm_cycles(static_cast<std::size_t>(opt_.sms), 0.0);
+  pw.sm_cycles.assign(static_cast<std::size_t>(opt_.sms), 0.0);
   std::size_t wave_index = 0;
   std::size_t i = 0;
-  while (i < costs.size()) {
+  while (i < pw.costs.size()) {
     int warps_in_wave = 0;
     int ctas_in_wave = 0;
     double wave_max = 0.0;
-    while (i < costs.size() && ctas_in_wave < spec_->max_resident_ctas &&
-           warps_in_wave + costs[i].warps <= spec_->max_resident_warps) {
-      warps_in_wave += costs[i].warps;
+    while (i < pw.costs.size() && ctas_in_wave < spec_->max_resident_ctas &&
+           warps_in_wave + pw.costs[i].warps <= spec_->max_resident_warps) {
+      warps_in_wave += pw.costs[i].warps;
       ctas_in_wave += 1;
-      wave_max = std::max(wave_max, costs[i].cycles);
+      wave_max = std::max(wave_max, pw.costs[i].cycles);
       ++i;
     }
     if (ctas_in_wave == 0) {  // A single partition larger than the SM.
-      wave_max = costs[i].cycles;
+      wave_max = pw.costs[i].cycles;
       ++i;
     }
-    sm_cycles[wave_index % sm_cycles.size()] += wave_max;
+    pw.sm_cycles[wave_index % pw.sm_cycles.size()] += wave_max;
     ++wave_index;
   }
   double cycles = 0.0;
-  for (const auto c : sm_cycles) cycles = std::max(cycles, c);
+  for (const auto c : pw.sm_cycles) cycles = std::max(cycles, c);
 
   // Cross-queue pipelining synchronization (charged once per iteration per
   // extra active queue).
   cycles += opt_.partition_sync_cycles * static_cast<double>(max_iterations) *
             static_cast<double>(std::max(0, busy_partitions - 1));
 
-  total.ctas_used = busy_partitions;
-  total.cycles = cycles;
-  total.seconds = model.seconds_from_cycles(cycles);
-  record_attempt(total, msgs.size(), reqs.size());
-  return total;
+  out.ctas_used = busy_partitions;
+  out.cycles = cycles;
+  out.seconds = model.seconds_from_cycles(cycles);
+  record_attempt(out, msgs.size(), reqs.size());
 }
 
 }  // namespace simtmsg::matching

@@ -54,6 +54,11 @@ class PartitionedMatcher : public Matcher {
   [[nodiscard]] SimtMatchStats match(std::span<const Message> msgs,
                                      std::span<const RecvRequest> reqs) const override;
 
+  /// Workspace form: partition queues, index maps, run slots, and the
+  /// per-partition nested workspaces all come from `ws.partition`.
+  void match_into(std::span<const Message> msgs, std::span<const RecvRequest> reqs,
+                  MatchWorkspace& ws, SimtMatchStats& out) const override;
+
   [[nodiscard]] std::string_view name() const noexcept override {
     return "partitioned-matrix";
   }
@@ -73,6 +78,11 @@ class PartitionedMatcher : public Matcher {
  private:
   const simt::DeviceSpec* spec_;
   Options opt_;
+  /// The matrix matcher every partition runs.  A member (not a per-call
+  /// local) so its cached telemetry keys are built once per matcher
+  /// instance, keeping the steady-state path allocation-free.  It holds no
+  /// mutable scratch — concurrent partitions each bring their own workspace.
+  MatrixMatcher inner_;
 };
 
 }  // namespace simtmsg::matching

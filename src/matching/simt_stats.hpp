@@ -23,6 +23,21 @@ struct SimtMatchStats {
     const auto matched = static_cast<double>(result.matched());
     return seconds > 0.0 ? matched / seconds : 0.0;
   }
+
+  /// Reinitialize in place for a batch of `n_reqs` requests, reusing the
+  /// request_match capacity (the workspace path calls this instead of
+  /// constructing a fresh object).
+  void reset(std::size_t n_reqs) {
+    result.request_match.assign(n_reqs, kNoMatch);
+    scan_events = {};
+    reduce_events = {};
+    compact_events = {};
+    cycles = 0.0;
+    seconds = 0.0;
+    iterations = 0;
+    warps_used = 0;
+    ctas_used = 1;
+  }
 };
 
 }  // namespace simtmsg::matching

@@ -1,0 +1,19 @@
+#include "matching/workspace.hpp"
+
+namespace simtmsg::matching {
+
+// Out of line so workspace.hpp can hold vector<unique_ptr<MatchWorkspace>>
+// members while MatchWorkspace is still incomplete at that point.
+PartitionWorkspace::PartitionWorkspace() = default;
+PartitionWorkspace::~PartitionWorkspace() = default;
+
+MatchWorkspace& PartitionWorkspace::partition_workspace(std::size_t p) {
+  if (p >= per_partition.size()) per_partition.resize(p + 1);
+  if (!per_partition[p]) per_partition[p] = std::make_unique<MatchWorkspace>();
+  return *per_partition[p];
+}
+
+MatchWorkspace::MatchWorkspace() = default;
+MatchWorkspace::~MatchWorkspace() = default;
+
+}  // namespace simtmsg::matching

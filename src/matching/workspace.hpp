@@ -1,0 +1,180 @@
+// MatchWorkspace: the reusable scratch arena behind the allocation-free
+// steady-state matching path.
+//
+// Every per-call buffer the matchers and the MatchEngine used to heap-
+// allocate — per-comm sub-batches and index maps, compaction flag vectors,
+// the vote-matrix CTA contexts, the hash matcher's plan/table storage, the
+// partition fan-out queues — lives here instead and is recycled across
+// calls: buffers are re-initialized with assign()/resize(), which reuse
+// capacity, so once a workspace has seen a workload shape, repeating that
+// shape allocates nothing (tests/matching/workspace_alloc_test.cpp proves
+// it with a counting operator new).
+//
+// Ownership and thread-safety contract (docs/perf.md):
+//   * A workspace belongs to exactly one caller at a time.  MatchEngine
+//     owns one for its own steady-state path; the matchers' by-value
+//     convenience wrappers (match()/match_queues()) create a transient one
+//     per call.
+//   * Workspaces are NOT thread-safe; engines are per-thread.  The only
+//     internal concurrency is the partition fan-out, which hands each
+//     partition its own nested workspace (PartitionWorkspace::per_partition).
+//   * Every buffer is fully re-initialized before use, so workspace reuse
+//     never changes modelled results: stats, telemetry, and BENCH numbers
+//     are bit-identical with a fresh or a recycled workspace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "matching/device_hash_table.hpp"
+#include "matching/envelope.hpp"
+#include "matching/queue.hpp"
+#include "matching/simt_stats.hpp"
+#include "simt/cta.hpp"
+#include "simt/lane_array.hpp"
+#include "simt/launcher.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace simtmsg::matching {
+
+class MatchWorkspace;
+
+/// One warp-wide hash-table operation recorded by the HashMatcher's plan
+/// pass: enough to replay the exact counter stream of the fused operation
+/// without touching the table.  (Lives here so HashWorkspace can recycle
+/// the plan storage across calls.)
+struct HashGroupPlan {
+  bool is_insert = false;
+  int warp = 0;        ///< Warp slot within the CTA.
+  int live = 0;        ///< Active lanes (low mask).
+  simt::LaneSize idx;  ///< Per-lane global element indices (load coalescing).
+  simt::LaneU32 keys;
+  DeviceHashTable::InsertOutcome ins;
+  DeviceHashTable::ProbeOutcome probe;
+};
+
+/// Scratch for MatrixMatcher: element words, per-warp registers, original-
+/// index maps, per-pass flags, and the two CTA contexts (scan + reduce)
+/// whose warp vectors and shared-memory arenas persist across windows.
+struct MatrixWorkspace {
+  std::vector<std::uint64_t> msg_words;
+  std::vector<std::uint64_t> req_words;
+  std::vector<simt::LaneU64> msg_regs;
+  std::vector<simt::LaneMask> warp_active;
+  std::vector<std::uint32_t> msg_orig;
+  std::vector<std::uint32_t> req_orig;
+  std::vector<std::uint8_t> msg_flags;
+  std::vector<std::uint8_t> req_flags;
+  /// Queue copies backing the batch interface (match() over spans).
+  MessageQueue batch_msgs;
+  RecvQueue batch_reqs;
+  /// Per-window stats slot reused by the drain loop.
+  SimtMatchStats window;
+  /// CTA contexts are address-pinned (warps point at their counters), so
+  /// they sit in optionals: emplaced on first use, reset() afterwards.
+  std::optional<simt::CtaContext> scan_cta;
+  std::optional<simt::CtaContext> reduce_cta;
+};
+
+/// Scratch for HashMatcher: element words, pending/deferred worklists, the
+/// per-CTA operation plans, the device hash table itself (grow-only), and
+/// the launch scratch for the cost-replay kernel.
+struct HashWorkspace {
+  std::vector<std::uint64_t> msg_words;
+  std::vector<std::uint64_t> req_words;
+  std::vector<std::uint32_t> pending_reqs;
+  std::vector<std::uint32_t> pending_msgs;
+  std::vector<std::uint32_t> deferred_reqs;
+  std::vector<std::uint32_t> deferred_msgs;
+  std::vector<std::vector<HashGroupPlan>> plan;  ///< One vector per CTA.
+  DeviceHashTable table;
+  simt::LaunchScratch launch;
+};
+
+/// Scratch for PartitionedMatcher: the per-partition queue pairs and index
+/// maps, per-partition run results and telemetry stages, the wave-schedule
+/// accumulators, and one nested MatchWorkspace per partition (partitions
+/// run concurrently, so they cannot share scratch).
+struct PartitionWorkspace {
+  PartitionWorkspace();
+  ~PartitionWorkspace();
+  PartitionWorkspace(const PartitionWorkspace&) = delete;
+  PartitionWorkspace& operator=(const PartitionWorkspace&) = delete;
+
+  struct Run {
+    bool busy = false;
+    SimtMatchStats stats;
+  };
+  struct Cost {
+    double cycles = 0.0;
+    int warps = 1;
+  };
+
+  std::vector<MessageQueue> part_msgs;
+  std::vector<RecvQueue> part_reqs;
+  std::vector<std::vector<std::uint32_t>> msg_map;
+  std::vector<std::vector<std::uint32_t>> req_map;
+  std::vector<Run> runs;
+  std::vector<telemetry::Registry> stages;
+  std::vector<Cost> costs;
+  std::vector<double> sm_cycles;
+  std::vector<std::unique_ptr<MatchWorkspace>> per_partition;
+
+  /// The nested workspace for partition `p`, created on first use.
+  [[nodiscard]] MatchWorkspace& partition_workspace(std::size_t p);
+};
+
+/// Scratch for the MatchEngine's multi-communicator split: an open-addressed
+/// comm -> dense-index table plus counting-sort storage that scatters both
+/// spans into comm-contiguous order in a single pass each (O(M + R + C)).
+struct EngineWorkspace {
+  std::vector<CommId> comms;  ///< Distinct comms, first-appearance order.
+  /// Open-addressed table mapping a comm id to its dense index in `comms`
+  /// (power-of-two sized, linear probing, -1 = empty slot).
+  std::vector<CommId> slot_comm;
+  std::vector<std::int32_t> slot_index;
+  std::vector<std::uint32_t> msg_bucket;  ///< Per-message comm index.
+  std::vector<std::uint32_t> req_bucket;  ///< Per-request comm index.
+  std::vector<std::uint32_t> msg_offset;  ///< Per-comm begin offsets (C + 1).
+  std::vector<std::uint32_t> req_offset;
+  std::vector<Message> sub_msgs;          ///< Comm-contiguous scatter.
+  std::vector<RecvRequest> sub_reqs;
+  std::vector<std::uint32_t> msg_map;     ///< Original indices, same order.
+  std::vector<std::uint32_t> req_map;
+  SimtMatchStats sub;                     ///< Per-comm stats slot.
+};
+
+class MatchWorkspace {
+ public:
+  MatchWorkspace();
+  ~MatchWorkspace();
+  MatchWorkspace(const MatchWorkspace&) = delete;
+  MatchWorkspace& operator=(const MatchWorkspace&) = delete;
+
+  /// Generic compaction flags (the base Matcher queue drain and the
+  /// engine's multi-comm compaction; the matrix drain has its own pair).
+  std::vector<std::uint8_t> msg_flags;
+  std::vector<std::uint8_t> req_flags;
+
+  MatrixWorkspace matrix;
+  PartitionWorkspace partition;
+  HashWorkspace hash;
+  EngineWorkspace engine;
+};
+
+namespace detail {
+/// Emplace-or-reset helper for the pinned CTA context slots.
+inline simt::CtaContext& reuse_cta(std::optional<simt::CtaContext>& slot, int cta_id,
+                                   int num_warps, std::size_t shared_mem_limit) {
+  if (!slot.has_value()) {
+    slot.emplace(cta_id, num_warps, shared_mem_limit);
+  } else {
+    slot->reset(cta_id, num_warps, shared_mem_limit);
+  }
+  return *slot;
+}
+}  // namespace detail
+
+}  // namespace simtmsg::matching

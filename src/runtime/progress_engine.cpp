@@ -21,6 +21,9 @@ ProgressEngine::ProgressEngine(const simt::DeviceSpec& device,
     if (reliability.timeout_us <= 0.0 || reliability.backoff < 1.0) {
       throw std::invalid_argument("reliability needs timeout_us > 0 and backoff >= 1");
     }
+    if (reliability.max_timeout_us < reliability.timeout_us) {
+      throw std::invalid_argument("reliability needs max_timeout_us >= timeout_us");
+    }
     // The hold-back buffer restores the per-pair delivery order the MPI
     // ordering guarantee needs; relaxed "no ordering" semantics release on
     // arrival (the paper's divergence point under faults).
@@ -48,11 +51,15 @@ std::size_t ProgressEngine::step(matching::MessageQueue& incoming,
     return 0;
   }
 
-  // Snapshot: result indices refer to pre-compaction queue contents.
-  std::vector<matching::Message> msgs(incoming.view().begin(), incoming.view().end());
-  std::vector<matching::RecvRequest> reqs(posted.view().begin(), posted.view().end());
+  // Snapshot: result indices refer to pre-compaction queue contents.  The
+  // snapshot vectors and the stats slot are members, refilled per step.
+  snap_msgs_.assign(incoming.view().begin(), incoming.view().end());
+  snap_reqs_.assign(posted.view().begin(), posted.view().end());
+  const auto& msgs = snap_msgs_;
+  const auto& reqs = snap_reqs_;
 
-  const auto stats = engine_.match_queues(incoming, posted);
+  engine_.match_queues(incoming, posted, step_stats_);
+  const auto& stats = step_stats_;
   seconds_ += stats.seconds;
   cycles_ += stats.cycles;
 

@@ -82,6 +82,12 @@ class ProgressEngine {
   double cycles_ = 0.0;
   std::uint64_t matches_ = 0;
   std::uint64_t steps_ = 0;
+  // Per-step scratch, reused so the steady-state progress loop stays
+  // allocation-free (the queue snapshots and the match stats are refilled
+  // every step).
+  std::vector<matching::Message> snap_msgs_;
+  std::vector<matching::RecvRequest> snap_reqs_;
+  matching::SimtMatchStats step_stats_;
 };
 
 }  // namespace simtmsg::runtime

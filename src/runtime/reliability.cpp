@@ -63,7 +63,8 @@ Packet ReliabilityChannel::make_data(int to, const matching::Envelope& env,
   p.checksum = packet_checksum(env, payload, p.pair_seq, PacketKind::kData);
   p.attempt = 1;
   outstanding_[{to, p.pair_seq}] =
-      Outstanding{p, now_us + cfg_.timeout_us, now_us};
+      Outstanding{p, now_us + cfg_.timeout_us, now_us, cfg_.timeout_us};
+  deadlines_.insert(now_us + cfg_.timeout_us);
   bump("runtime.reliability.data_sent");
   return p;
 }
@@ -108,6 +109,7 @@ void ReliabilityChannel::on_packet(const Packet& p, double now_us,
     }
     bump("runtime.reliability.acks_received");
     observe_attempts(static_cast<std::uint64_t>(it->second.pkt.attempt));
+    deadlines_.erase(deadlines_.find(it->second.deadline));
     outstanding_.erase(it);
     return;
   }
@@ -159,13 +161,18 @@ void ReliabilityChannel::expire(double now_us, std::vector<Packet>& resend,
       failed.push_back(f);
       bump("runtime.reliability.delivery_failures");
       observe_attempts(static_cast<std::uint64_t>(o.pkt.attempt));
+      deadlines_.erase(deadlines_.find(o.deadline));
       it = outstanding_.erase(it);
       continue;
     }
     ++o.pkt.attempt;
-    double rto = cfg_.timeout_us;
-    for (int a = 1; a < o.pkt.attempt; ++a) rto *= cfg_.backoff;
-    o.deadline = now_us + rto;
+    // One multiply per retransmit (same floating-point sequence as the old
+    // backoff^(attempt-1) recomputation when the cap never binds), clamped
+    // so a large retry budget cannot push the deadline out without bound.
+    o.rto = std::min(o.rto * cfg_.backoff, cfg_.max_timeout_us);
+    deadlines_.erase(deadlines_.find(o.deadline));
+    o.deadline = now_us + o.rto;
+    deadlines_.insert(o.deadline);
     resend.push_back(o.pkt);
     bump("runtime.reliability.retransmits");
     ++it;
@@ -173,11 +180,7 @@ void ReliabilityChannel::expire(double now_us, std::vector<Packet>& resend,
 }
 
 double ReliabilityChannel::next_deadline() const noexcept {
-  double next = -1.0;
-  for (const auto& [key, o] : outstanding_) {
-    if (next < 0.0 || o.deadline < next) next = o.deadline;
-  }
-  return next;
+  return deadlines_.empty() ? -1.0 : *deadlines_.begin();
 }
 
 void ReliabilityChannel::sweep_stranded(double now_us,

@@ -42,6 +42,11 @@ struct ReliabilityConfig {
   double timeout_us = 25.0;  ///< Initial retransmit timeout (RTO).
   double backoff = 2.0;      ///< RTO multiplier per retransmission.
   int max_attempts = 8;      ///< Total transmissions before giving up (>= 1).
+  /// Upper bound on the backed-off RTO (must be >= timeout_us).  Without a
+  /// cap, a large max_attempts lets backoff^attempts grow without bound and
+  /// a single lossy pair can push its next retransmit past the end of the
+  /// run — the classic unbounded-exponential-backoff bug.
+  double max_timeout_us = 1e6;
 };
 
 /// Why a message was reported undeliverable.
@@ -119,6 +124,10 @@ class ReliabilityChannel {
     Packet pkt;               ///< As last transmitted (attempt up to date).
     double deadline = 0.0;
     double first_send_us = 0.0;
+    /// Current retransmit timeout, advanced incrementally (one multiply per
+    /// retransmit, clamped to cfg.max_timeout_us) instead of recomputing
+    /// backoff^attempts from scratch on every expiry.
+    double rto = 0.0;
   };
 
   /// A message parked until its pair-sequence gap fills.
@@ -147,6 +156,10 @@ class ReliabilityChannel {
   /// Unacked sends keyed (destination, pair_seq) — ordered so expiry and
   /// quiescence sweeps iterate deterministically.
   std::map<std::pair<int, std::uint64_t>, Outstanding> outstanding_;
+  /// Mirror of every Outstanding's deadline, kept in step by
+  /// make_data/on_packet/expire, so next_deadline() is O(1) instead of a
+  /// linear scan of the tx window on every cluster tick.
+  std::multiset<double> deadlines_;
   std::map<int, std::uint64_t> next_send_seq_;  ///< Per destination.
   std::map<int, RxState> rx_;                   ///< Per sending peer.
 };

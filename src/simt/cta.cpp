@@ -13,15 +13,31 @@ CtaContext::CtaContext(int cta_id, int num_warps, std::size_t shared_mem_limit)
   for (int w = 0; w < num_warps; ++w) warps_.emplace_back(w, counters_);
 }
 
+void CtaContext::reset(int cta_id, int num_warps, std::size_t shared_mem_limit) {
+  if (num_warps < 1 || num_warps > 32) {
+    throw std::invalid_argument("CTA must have 1..32 warps");
+  }
+  cta_id_ = cta_id;
+  num_warps_ = num_warps;
+  shared_limit_ = shared_mem_limit;
+  shared_used_ = 0;
+  next_arena_ = 0;
+  counters_ = EventCounters{};
+  for (int w = static_cast<int>(warps_.size()); w < num_warps; ++w) {
+    warps_.emplace_back(w, counters_);
+  }
+  for (auto& w : warps_) w.set_active(kFullMask);
+}
+
 WarpContext& CtaContext::warp(int w) {
   if (w < 0 || w >= num_warps_) throw std::out_of_range("warp id out of range");
   return warps_[static_cast<std::size_t>(w)];
 }
 
 void CtaContext::for_each_warp(const std::function<void(WarpContext&)>& fn) {
-  for (auto& w : warps_) {
-    w.set_active(kFullMask);
-    fn(w);
+  for (int w = 0; w < num_warps_; ++w) {
+    warps_[static_cast<std::size_t>(w)].set_active(kFullMask);
+    fn(warps_[static_cast<std::size_t>(w)]);
   }
 }
 

@@ -14,6 +14,7 @@
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 #include "simt/event_counters.hpp"
@@ -25,6 +26,16 @@ class CtaContext {
  public:
   /// A CTA with `num_warps` warps (1..32) and a shared-memory budget.
   CtaContext(int cta_id, int num_warps, std::size_t shared_mem_limit = 48 * 1024);
+
+  // The warps hold a pointer to this CTA's counters, so the object must
+  // stay put.  Reuse across launches goes through reset(), not moves.
+  CtaContext(const CtaContext&) = delete;
+  CtaContext& operator=(const CtaContext&) = delete;
+
+  /// Re-arm this CTA for a new launch without releasing its storage: warp
+  /// contexts, the warp vector, and the shared-memory arenas all keep their
+  /// capacity, so a CTA recycled with the same shape allocates nothing.
+  void reset(int cta_id, int num_warps, std::size_t shared_mem_limit = 48 * 1024);
 
   [[nodiscard]] int cta_id() const noexcept { return cta_id_; }
   [[nodiscard]] int num_warps() const noexcept { return num_warps_; }
@@ -45,15 +56,22 @@ class CtaContext {
   /// multiple CTAs is serialized").
   template <typename T>
   [[nodiscard]] std::span<T> alloc_shared(std::size_t n) {
+    // Arenas are recycled by reset() without running destructors; the
+    // zero-initializing placement-new below is the only (re)initialization.
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "shared memory holds trivially destructible types only");
     const std::size_t bytes = n * sizeof(T);
     if (shared_used_ + bytes > shared_limit_) {
       throw std::runtime_error("CTA shared memory budget exceeded");
     }
     shared_used_ += bytes;
-    auto storage = std::make_unique<std::vector<std::byte>>(bytes);
-    T* base = reinterpret_cast<T*>(storage->data());
+    if (next_arena_ == shared_arenas_.size()) {
+      shared_arenas_.push_back(std::make_unique<std::vector<std::byte>>());
+    }
+    std::vector<std::byte>& storage = *shared_arenas_[next_arena_++];
+    if (storage.size() < bytes) storage.resize(bytes);
+    T* base = reinterpret_cast<T*>(storage.data());
     for (std::size_t i = 0; i < n; ++i) new (base + i) T{};
-    shared_arenas_.push_back(std::move(storage));
     return {base, n};
   }
 
@@ -67,7 +85,10 @@ class CtaContext {
   int num_warps_;
   std::size_t shared_limit_;
   std::size_t shared_used_ = 0;
+  std::size_t next_arena_ = 0;  ///< Next arena slot alloc_shared hands out.
   EventCounters counters_;
+  /// May hold more warps than num_warps_ after a narrowing reset();
+  /// num_warps_ bounds every access.
   std::vector<WarpContext> warps_;
   std::vector<std::unique_ptr<std::vector<std::byte>>> shared_arenas_;
 };

@@ -14,43 +14,61 @@ int ExecutionPolicy::resolved_threads() const noexcept {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-KernelRun launch(const DeviceSpec& spec, const LaunchConfig& cfg, const KernelFn& kernel) {
+KernelRun launch(const DeviceSpec& spec, const LaunchConfig& cfg, KernelRef kernel) {
   return launch(spec, cfg, kernel, ExecutionPolicy::serial());
 }
 
-KernelRun launch(const DeviceSpec& spec, const LaunchConfig& cfg, const KernelFn& kernel,
+KernelRun launch(const DeviceSpec& spec, const LaunchConfig& cfg, KernelRef kernel,
                  const ExecutionPolicy& policy) {
+  LaunchScratch scratch;
+  return launch(spec, cfg, kernel, policy, scratch);
+}
+
+KernelRun launch(const DeviceSpec& spec, const LaunchConfig& cfg, KernelRef kernel,
+                 const ExecutionPolicy& policy, LaunchScratch& scratch) {
   KernelRun run;
   const auto n_ctas = static_cast<std::size_t>(cfg.ctas);
-  std::vector<EventCounters> per_cta(n_ctas);
+  scratch.per_cta.assign(n_ctas, EventCounters{});
 
   // Telemetry emitted inside the kernel is staged per CTA and merged in CTA
   // order below, so the accumulation order — including floating-point phase
   // sums — is the same for every thread count.  The stages also make
   // concurrent kernel execution race-free without locking the registry.
-  std::vector<telemetry::Registry> stages(telemetry::kEnabled ? n_ctas : 0);
+  // Recycled stages keep their map nodes; reset_values() zeroes them.
+  if constexpr (telemetry::kEnabled) {
+    if (scratch.stages.size() < n_ctas) scratch.stages.resize(n_ctas);
+    for (std::size_t i = 0; i < n_ctas; ++i) scratch.stages[i].reset_values();
+  }
+  if (scratch.ctas.size() < n_ctas) scratch.ctas.resize(n_ctas);
 
   const auto run_cta = [&](std::size_t cta) {
-    CtaContext ctx(static_cast<int>(cta), cfg.warps_per_cta, spec.shared_mem_per_sm);
+    auto& slot = scratch.ctas[cta];
+    if (slot == nullptr) {
+      slot = std::make_unique<CtaContext>(static_cast<int>(cta), cfg.warps_per_cta,
+                                          spec.shared_mem_per_sm);
+    } else {
+      slot->reset(static_cast<int>(cta), cfg.warps_per_cta, spec.shared_mem_per_sm);
+    }
+    CtaContext& ctx = *slot;
     if constexpr (telemetry::kEnabled) {
-      const telemetry::ScopedStage stage(stages[cta]);
+      const telemetry::ScopedStage stage(scratch.stages[cta]);
       kernel(ctx);
     } else {
       kernel(ctx);
     }
-    per_cta[cta] = ctx.counters();
+    scratch.per_cta[cta] = ctx.counters();
   };
 
   util::ThreadPool::shared().run_indexed(n_ctas, policy.resolved_threads(), run_cta);
 
   if constexpr (telemetry::kEnabled) {
     auto& sink = telemetry::sink();
-    for (const auto& stage : stages) sink.merge_from(stage);
+    for (std::size_t i = 0; i < n_ctas; ++i) sink.merge_from(scratch.stages[i]);
   }
-  for (const auto& counters : per_cta) run.counters += counters;
+  for (const auto& counters : scratch.per_cta) run.counters += counters;
 
   const TimingModel model(spec);
-  run.timing = model.estimate(per_cta, cfg);
+  run.timing = model.estimate(scratch.per_cta, cfg);
 
   // Launch-level span keyed to the modelled cycles the timing model just
   // produced, plus structural histograms (compiled out with telemetry off).

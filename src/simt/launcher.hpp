@@ -15,14 +15,23 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "simt/cta.hpp"
 #include "simt/device_spec.hpp"
 #include "simt/timing_model.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/function_ref.hpp"
 
 namespace simtmsg::simt {
 
+/// Owning kernel type, kept for call sites that store a kernel.
 using KernelFn = std::function<void(CtaContext&)>;
+/// Non-owning kernel parameter: launch() runs the kernel to completion
+/// before returning, so binding the caller's callable by reference is safe
+/// and skips the per-launch std::function allocation.
+using KernelRef = util::FunctionRef<void(CtaContext&)>;
 
 /// How the functional engine schedules the CTAs of a launch onto host
 /// threads.  Purely a host-side wall-clock knob; modelled results are
@@ -48,16 +57,35 @@ struct KernelRun {
   TimingEstimate timing;
 };
 
+/// Reusable launch storage: per-CTA counters, telemetry stages, and the CTA
+/// contexts themselves.  A caller that launches repeatedly with a persistent
+/// scratch pays the allocations once — steady-state launches with a stable
+/// grid shape allocate nothing.  One scratch serves one launch at a time
+/// (launches into the same scratch must not overlap).
+struct LaunchScratch {
+  std::vector<EventCounters> per_cta;
+  std::vector<telemetry::Registry> stages;
+  /// unique_ptr slots because CtaContext pins its address (warps point at
+  /// the CTA's counters); slots are created on first use and then reset().
+  std::vector<std::unique_ptr<CtaContext>> ctas;
+};
+
 /// Execute `kernel` once per CTA and estimate its execution time on `spec`.
 /// CTAs run serially on the calling thread.
 [[nodiscard]] KernelRun launch(const DeviceSpec& spec, const LaunchConfig& cfg,
-                               const KernelFn& kernel);
+                               KernelRef kernel);
 
 /// Execute `kernel` once per CTA under `policy`.  The kernel must treat its
 /// CtaContext as the only mutable state it owns (shared captures must be
 /// read-only or per-CTA-indexed) — the same data-race rule CUDA imposes on
 /// a grid.  Results are bit-identical for every policy.
 [[nodiscard]] KernelRun launch(const DeviceSpec& spec, const LaunchConfig& cfg,
-                               const KernelFn& kernel, const ExecutionPolicy& policy);
+                               KernelRef kernel, const ExecutionPolicy& policy);
+
+/// As above, drawing every per-launch buffer from `scratch` instead of the
+/// heap.  Results are identical to the scratch-less overloads.
+[[nodiscard]] KernelRun launch(const DeviceSpec& spec, const LaunchConfig& cfg,
+                               KernelRef kernel, const ExecutionPolicy& policy,
+                               LaunchScratch& scratch);
 
 }  // namespace simtmsg::simt

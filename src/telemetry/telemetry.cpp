@@ -73,6 +73,13 @@ void Registry::reset() {
   phases_.clear();
 }
 
+void Registry::reset_values() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+  for (auto& [name, p] : phases_) p = PhaseStats{};
+  gauges_.clear();
+}
+
 void Registry::merge_from(const Registry& o) {
   for (const auto& [name, c] : o.counters_) counter(name).add(c.value());
   for (const auto& [name, g] : o.gauges_) gauge(name).set(g.value());

@@ -144,6 +144,14 @@ class Registry {
 
   void reset();
 
+  /// Zero every metric while keeping the name -> slot map nodes alive, so a
+  /// recycled staging registry reaches an allocation-free steady state (the
+  /// next lookups hit existing nodes instead of re-inserting).  Merging a
+  /// reset stage is a no-op for counters/histograms/phases; gauges are
+  /// erased outright because merge_from overwrites the target's gauge with
+  /// the stage's value, and a stale zero must not clobber it.
+  void reset_values();
+
   /// Merge another registry into this one: counters and histograms add,
   /// phase stats add, gauges take the other registry's (later) value.
   /// Callers merging parallel stages must do so in work-item index order so

@@ -1,0 +1,56 @@
+// FunctionRef: a non-owning, trivially copyable reference to a callable —
+// two pointers, no allocation, no virtual dispatch.
+//
+// std::function's type erasure heap-allocates whenever the captured state
+// exceeds its small-buffer slot, which is exactly what happens for the
+// capture-heavy lambdas on the matching hot path (kernel bodies, per-index
+// pool work, hash-table verifiers).  Those call sites never store the
+// callable beyond the call that receives it, so owning semantics buy
+// nothing; FunctionRef gives them an allocation-free parameter type.
+//
+// Lifetime rule: a FunctionRef is valid only while the callable it refers
+// to is alive.  Use it as a function parameter (the argument outlives the
+// call by construction); never store one in a longer-lived object.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace simtmsg::util {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() noexcept = default;
+  FunctionRef(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  /// Bind any callable invocable as R(Args...).  Intentionally implicit so
+  /// lambdas can be passed straight to FunctionRef parameters.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace simtmsg::util

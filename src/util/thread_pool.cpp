@@ -44,12 +44,12 @@ void ThreadPool::worker_loop() {
 void ThreadPool::drain_job(std::unique_lock<std::mutex>& lock) {
   while (job_.active && job_.next < job_.count) {
     const std::size_t i = job_.next++;
-    const auto* fn = job_.fn;
+    const IndexedFn fn = job_.fn;
     lock.unlock();
     std::exception_ptr error;
     tls_in_pool_task = true;
     try {
-      (*fn)(i);
+      fn(i);
     } catch (...) {
       error = std::current_exception();
     }
@@ -60,8 +60,7 @@ void ThreadPool::drain_job(std::unique_lock<std::mutex>& lock) {
   }
 }
 
-void ThreadPool::run_indexed(std::size_t count, int parallelism,
-                             const std::function<void(std::size_t)>& fn) {
+void ThreadPool::run_indexed(std::size_t count, int parallelism, IndexedFn fn) {
   if (count == 0) return;
   if (parallelism <= 1 || count == 1 || threads_.empty() || tls_in_pool_task) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
@@ -73,7 +72,7 @@ void ThreadPool::run_indexed(std::size_t count, int parallelism,
   const std::lock_guard<std::mutex> submit(submit_mutex_);
   std::unique_lock<std::mutex> lock(mutex_);
   job_ = Job{};
-  job_.fn = &fn;
+  job_.fn = fn;
   job_.count = count;
   job_.active = true;
   // Wake enough workers to reach `parallelism` including the caller.

@@ -18,10 +18,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/function_ref.hpp"
 
 namespace simtmsg::util {
 
@@ -43,18 +44,22 @@ class ThreadPool {
 
   [[nodiscard]] int workers() const noexcept { return static_cast<int>(threads_.size()); }
 
+  /// Per-index work callback.  A non-owning reference: run_indexed blocks
+  /// until every index completed, so the callable the caller passed always
+  /// outlives the job (and no std::function is materialized per call).
+  using IndexedFn = FunctionRef<void(std::size_t)>;
+
   /// Execute fn(i) once for every i in [0, count), using at most
   /// `parallelism` concurrent threads (the caller plus up to parallelism-1
   /// workers).  parallelism <= 1 runs serially on the calling thread in
   /// index order.  Blocks until every index completed.  If any fn throws,
   /// the first exception (in completion order) is rethrown on the caller
   /// after all indices finished or were abandoned.
-  void run_indexed(std::size_t count, int parallelism,
-                   const std::function<void(std::size_t)>& fn);
+  void run_indexed(std::size_t count, int parallelism, IndexedFn fn);
 
  private:
   struct Job {
-    const std::function<void(std::size_t)>* fn = nullptr;
+    IndexedFn fn;
     std::size_t count = 0;
     std::size_t next = 0;      ///< Next index to claim (under mutex_).
     std::size_t done = 0;      ///< Indices finished (under mutex_).

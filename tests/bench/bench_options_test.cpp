@@ -1,0 +1,133 @@
+// The bench harness's flag parsing (bench/bench_common.hpp).  The seed's
+// std::atoi/std::atof silently turned garbage like `--threads 4x` into a
+// default-looking run; Options now parses with std::from_chars, rejects any
+// partial consumption, and parse() exits 2 with a message naming the flag
+// and the bad value.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace simtmsg::bench {
+namespace {
+
+std::optional<std::string> run(std::vector<const char*> args, Options& opt) {
+  args.insert(args.begin(), "bench_binary");
+  return Options::try_parse(static_cast<int>(args.size()), args.data(), opt);
+}
+
+std::optional<std::string> run(std::vector<const char*> args) {
+  Options opt;
+  return run(std::move(args), opt);
+}
+
+TEST(BenchOptions, ParsesValidFlagsInAnyOrder) {
+  Options opt;
+  EXPECT_EQ(run({"--faults", "0.25", "--json", "out.json", "--threads", "4"}, opt),
+            std::nullopt);
+  EXPECT_EQ(opt.json_path, "out.json");
+  EXPECT_EQ(opt.threads, 4);
+  EXPECT_DOUBLE_EQ(opt.faults, 0.25);
+}
+
+TEST(BenchOptions, DefaultsWhenNoFlagsGiven) {
+  Options opt;
+  EXPECT_EQ(run({}, opt), std::nullopt);
+  EXPECT_TRUE(opt.json_path.empty());
+  EXPECT_EQ(opt.threads, 1);
+  EXPECT_DOUBLE_EQ(opt.faults, 0.0);
+}
+
+TEST(BenchOptions, ThreadsZeroMeansAllCoresAndIsValid) {
+  Options opt;
+  EXPECT_EQ(run({"--threads", "0"}, opt), std::nullopt);
+  EXPECT_EQ(opt.threads, 0);
+}
+
+TEST(BenchOptions, RejectsThreadsTrailingGarbage) {
+  const auto err = run({"--threads", "4x"});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("--threads"), std::string::npos);
+  EXPECT_NE(err->find("4x"), std::string::npos);
+}
+
+TEST(BenchOptions, RejectsThreadsNonNumeric) {
+  EXPECT_TRUE(run({"--threads", "abc"}).has_value());
+  EXPECT_TRUE(run({"--threads", ""}).has_value());
+  EXPECT_TRUE(run({"--threads", "0x10"}).has_value());
+  EXPECT_TRUE(run({"--threads", "-1"}).has_value());  // range, not format
+}
+
+TEST(BenchOptions, RejectsFaultsGarbageAndRange) {
+  const auto err = run({"--faults", "0.5oops"});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("--faults"), std::string::npos);
+  EXPECT_NE(err->find("0.5oops"), std::string::npos);
+  EXPECT_TRUE(run({"--faults", ""}).has_value());
+  EXPECT_TRUE(run({"--faults", "1.5"}).has_value());
+  EXPECT_TRUE(run({"--faults", "-0.1"}).has_value());
+  EXPECT_TRUE(run({"--faults", "nan"}).has_value());
+}
+
+TEST(BenchOptions, AcceptsFaultsBoundaries) {
+  Options opt;
+  EXPECT_EQ(run({"--faults", "0"}, opt), std::nullopt);
+  EXPECT_DOUBLE_EQ(opt.faults, 0.0);
+  EXPECT_EQ(run({"--faults", "1"}, opt), std::nullopt);
+  EXPECT_DOUBLE_EQ(opt.faults, 1.0);
+  EXPECT_EQ(run({"--faults", "1e-3"}, opt), std::nullopt);
+  EXPECT_DOUBLE_EQ(opt.faults, 1e-3);
+}
+
+TEST(BenchOptions, RejectsMissingValues) {
+  for (const char* flag : {"--json", "--threads", "--faults"}) {
+    const auto err = run({flag});
+    ASSERT_TRUE(err.has_value()) << flag;
+    EXPECT_NE(err->find("requires a value"), std::string::npos) << flag;
+  }
+}
+
+TEST(BenchOptions, RejectsUnknownFlagWithUsage) {
+  const auto err = run({"--jsno", "out.json"});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("usage:"), std::string::npos);
+}
+
+TEST(BenchOptions, StrictParseHelpers) {
+  int i = 0;
+  EXPECT_TRUE(parse_int("42", i));
+  EXPECT_EQ(i, 42);
+  EXPECT_TRUE(parse_int("-7", i));
+  EXPECT_EQ(i, -7);
+  EXPECT_FALSE(parse_int("", i));
+  EXPECT_FALSE(parse_int(" 1", i));
+  EXPECT_FALSE(parse_int("1 ", i));
+  EXPECT_FALSE(parse_int("99999999999999999999", i));  // overflow
+  double d = 0.0;
+  EXPECT_TRUE(parse_double("2.5e-1", d));
+  EXPECT_DOUBLE_EQ(d, 0.25);
+  EXPECT_FALSE(parse_double("", d));
+  EXPECT_FALSE(parse_double("1.0.0", d));
+}
+
+TEST(BenchOptionsDeathTest, GarbageThreadsExitsTwo) {
+  std::vector<std::string> store = {"bench_binary", "--threads", "8x"};
+  std::vector<char*> argv;
+  for (auto& s : store) argv.push_back(s.data());
+  EXPECT_EXIT((void)Options::parse(static_cast<int>(argv.size()), argv.data()),
+              ::testing::ExitedWithCode(2), "--threads: not an integer: '8x'");
+}
+
+TEST(BenchOptionsDeathTest, GarbageFaultsExitsTwo) {
+  std::vector<std::string> store = {"bench_binary", "--faults", "abc"};
+  std::vector<char*> argv;
+  for (auto& s : store) argv.push_back(s.data());
+  EXPECT_EXIT((void)Options::parse(static_cast<int>(argv.size()), argv.data()),
+              ::testing::ExitedWithCode(2), "--faults: not a number: 'abc'");
+}
+
+}  // namespace
+}  // namespace simtmsg::bench

@@ -1,0 +1,186 @@
+// Allocation gate for the steady-state matching path (docs/perf.md): after a
+// few warm-up calls, MatchEngine::match / match_queues through the engine's
+// recycled MatchWorkspace must perform ZERO heap allocations — for all three
+// SIMT algorithms and for the multi-communicator split.
+//
+// This binary overrides the global operator new/delete with a counting shim
+// (which is why it is its own executable, see tests/CMakeLists.txt); the
+// counter is armed only around the steady-state calls, so gtest's and the
+// warm-up's allocations are not charged.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "matching/engine.hpp"
+#include "matching/workload.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t n) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(n > 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc(std::size_t n, std::align_val_t al) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::size_t align =
+      std::max(static_cast<std::size_t>(al), sizeof(void*));
+  void* p = nullptr;
+  if (posix_memalign(&p, align, n > 0 ? n : align) != 0) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t al) { return counted_alloc(n, al); }
+void* operator new[](std::size_t n, std::align_val_t al) { return counted_alloc(n, al); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace simtmsg::matching {
+namespace {
+
+constexpr int kWarmup = 3;
+constexpr int kSteady = 5;
+
+/// Arms the allocation counter for one steady-state region.
+class CountingRegion {
+ public:
+  CountingRegion() {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+  }
+  ~CountingRegion() { g_counting.store(false, std::memory_order_relaxed); }
+  CountingRegion(const CountingRegion&) = delete;
+  CountingRegion& operator=(const CountingRegion&) = delete;
+
+  [[nodiscard]] static std::uint64_t stop() {
+    g_counting.store(false, std::memory_order_relaxed);
+    return g_allocations.load(std::memory_order_relaxed);
+  }
+};
+
+/// Warm up the engine on the workload, then assert that further identical
+/// calls through the span entry point allocate nothing.
+void expect_steady_state_alloc_free(const SemanticsConfig& sem, const WorkloadSpec& spec) {
+  const MatchEngine engine(simt::pascal_gtx1080(), sem);
+  const auto w = make_workload(spec);
+  SimtMatchStats stats;
+  for (int i = 0; i < kWarmup; ++i) engine.match(w.messages, w.requests, stats);
+  const auto matched = stats.result.matched();
+  ASSERT_GT(matched, 0u);
+  for (int i = 0; i < kSteady; ++i) {
+    CountingRegion region;
+    engine.match(w.messages, w.requests, stats);
+    const auto allocations = CountingRegion::stop();
+    EXPECT_EQ(allocations, 0u) << "steady-state iteration " << i;
+    EXPECT_EQ(stats.result.matched(), matched);
+  }
+}
+
+TEST(ZeroAllocSteadyState, MatrixWithWildcards) {
+  WorkloadSpec spec;
+  spec.pairs = 192;
+  spec.sources = 8;
+  spec.tags = 8;
+  spec.src_wildcard_prob = 0.25;
+  spec.tag_wildcard_prob = 0.25;
+  spec.seed = 41;
+  expect_steady_state_alloc_free(SemanticsConfig{}, spec);
+}
+
+TEST(ZeroAllocSteadyState, PartitionedMatrix) {
+  WorkloadSpec spec;
+  spec.pairs = 256;
+  spec.sources = 32;
+  spec.tags = 16;
+  spec.seed = 42;
+  expect_steady_state_alloc_free(
+      SemanticsConfig{.wildcards = false, .ordering = true, .unexpected = true,
+                      .partitions = 4},
+      spec);
+}
+
+TEST(ZeroAllocSteadyState, HashTable) {
+  WorkloadSpec spec;
+  spec.pairs = 256;
+  spec.sources = 512;
+  spec.tags = 512;
+  spec.unique_tuples = true;
+  spec.seed = 43;
+  expect_steady_state_alloc_free(
+      SemanticsConfig{.wildcards = false, .ordering = false, .unexpected = true,
+                      .partitions = 4},
+      spec);
+}
+
+TEST(ZeroAllocSteadyState, MultiCommQueueDrain) {
+  // The engine's O(M+R+C) split plus queue compaction, across three
+  // communicators, repeatedly refilled: the refills happen outside the
+  // counting region (the queues keep their capacity), the match itself must
+  // not allocate.
+  const MatchEngine engine(simt::pascal_gtx1080(), SemanticsConfig{});
+  MessageQueue mq;
+  RecvQueue rq;
+  SimtMatchStats stats;
+  const auto refill = [&mq, &rq] {
+    Workload all;
+    for (int c = 0; c < 3; ++c) {
+      WorkloadSpec spec;
+      spec.pairs = 64;
+      spec.sources = 4;
+      spec.tags = 4;
+      spec.comm = c;
+      spec.seed = 17;  // Same tuples in every comm: crossing would mismatch.
+      const auto w = make_workload(spec);
+      all.messages.insert(all.messages.end(), w.messages.begin(), w.messages.end());
+      all.requests.insert(all.requests.end(), w.requests.begin(), w.requests.end());
+    }
+    util::Rng rng(99);
+    rng.shuffle(all.messages);
+    rng.shuffle(all.requests);
+    for (const auto& m : all.messages) mq.push(m);
+    for (const auto& r : all.requests) rq.push(r);
+  };
+
+  for (int i = 0; i < kWarmup; ++i) {
+    refill();
+    engine.match_queues(mq, rq, stats);
+    ASSERT_TRUE(mq.empty());
+    ASSERT_TRUE(rq.empty());
+  }
+  for (int i = 0; i < kSteady; ++i) {
+    refill();
+    CountingRegion region;
+    engine.match_queues(mq, rq, stats);
+    const auto allocations = CountingRegion::stop();
+    EXPECT_EQ(allocations, 0u) << "steady-state iteration " << i;
+    EXPECT_TRUE(mq.empty());
+    EXPECT_TRUE(rq.empty());
+  }
+}
+
+}  // namespace
+}  // namespace simtmsg::matching

@@ -1,0 +1,127 @@
+// Retransmit-timeout arithmetic: the RTO advances by one multiply per
+// retransmission, clamped to ReliabilityConfig::max_timeout_us.  Before the
+// clamp existed, backoff^attempts grew without bound and a single lossy
+// pair could push its next retransmit past the end of the run; before the
+// incremental advance, every expiry recomputed the whole power from
+// scratch.  These tests pin the exact deadline sequence in both regimes and
+// the O(1) next_deadline() bookkeeping.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/progress_engine.hpp"
+#include "runtime/reliability.hpp"
+
+namespace simtmsg::runtime {
+namespace {
+
+ReliabilityConfig capped_config() {
+  ReliabilityConfig cfg;
+  cfg.enabled = true;
+  cfg.timeout_us = 100.0;
+  cfg.backoff = 2.0;
+  cfg.max_attempts = 10;
+  cfg.max_timeout_us = 400.0;
+  return cfg;
+}
+
+matching::Envelope env_for(int src, int tag) {
+  matching::Envelope env;
+  env.src = src;
+  env.tag = tag;
+  return env;
+}
+
+TEST(ReliabilityRto, ExactDeadlinesWithBindingCap) {
+  // RTO per retransmit: 200, 400, then pinned at the 400 us cap.  All values
+  // are exact in binary, so the comparisons below are exact.
+  ReliabilityChannel ch(0, capped_config(), /*restore_order=*/true, nullptr);
+  (void)ch.make_data(1, env_for(0, 7), 0, 8, /*now_us=*/0.0);
+  EXPECT_EQ(ch.next_deadline(), 100.0);
+
+  std::vector<Packet> resend;
+  std::vector<DeliveryFailure> failed;
+  double now = 100.0;
+  for (const double want : {300.0, 700.0, 1100.0, 1500.0, 1900.0}) {
+    resend.clear();
+    ch.expire(now, resend, failed);
+    ASSERT_EQ(resend.size(), 1u);
+    EXPECT_EQ(ch.next_deadline(), want);
+    now = want;
+  }
+  EXPECT_TRUE(failed.empty());
+}
+
+TEST(ReliabilityRto, DefaultCapNeverBindsWithinRetryBudget) {
+  // Defaults: 25 us initial RTO, backoff 2, 8 attempts -> final RTO
+  // 25 * 2^7 = 3200 us, far below the 1e6 us cap; the deadline sequence is
+  // the pure exponential, i.e. the pre-cap behavior is unchanged.
+  ReliabilityConfig cfg;
+  cfg.enabled = true;
+  ReliabilityChannel ch(0, cfg, /*restore_order=*/true, nullptr);
+  (void)ch.make_data(1, env_for(2, 3), 0, 8, 0.0);
+  EXPECT_EQ(ch.next_deadline(), 25.0);
+
+  std::vector<Packet> resend;
+  std::vector<DeliveryFailure> failed;
+  double now = 25.0;
+  double rto = 25.0;
+  for (int attempt = 2; attempt <= cfg.max_attempts; ++attempt) {
+    resend.clear();
+    ch.expire(now, resend, failed);
+    ASSERT_EQ(resend.size(), 1u) << "attempt " << attempt;
+    rto *= cfg.backoff;
+    EXPECT_EQ(ch.next_deadline(), now + rto) << "attempt " << attempt;
+    now += rto;
+  }
+  EXPECT_TRUE(failed.empty());
+
+  // The retry budget is spent; the next expiry fails the delivery and
+  // clears the deadline index.
+  resend.clear();
+  ch.expire(now, resend, failed);
+  EXPECT_TRUE(resend.empty());
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0].kind, FailureKind::kRetriesExhausted);
+  EXPECT_EQ(failed[0].attempts, cfg.max_attempts);
+  EXPECT_LT(ch.next_deadline(), 0.0);
+  EXPECT_TRUE(ch.idle());
+}
+
+TEST(ReliabilityRto, NextDeadlineTracksMinimumAcrossAcks) {
+  const ReliabilityConfig cfg = capped_config();
+  ReliabilityChannel sender(0, cfg, true, nullptr);
+  ReliabilityChannel receiver(1, cfg, true, nullptr);
+
+  const Packet p0 = sender.make_data(1, env_for(0, 1), 10, 8, /*now_us=*/0.0);
+  const Packet p1 = sender.make_data(1, env_for(0, 2), 11, 8, /*now_us=*/30.0);
+  EXPECT_EQ(sender.next_deadline(), 100.0);  // min(100, 130)
+
+  std::vector<matching::Message> accepted;
+  std::vector<Packet> replies;
+  receiver.on_packet(p0, 40.0, accepted, replies);
+  ASSERT_EQ(replies.size(), 1u);
+  sender.on_packet(replies[0], 41.0, accepted, replies);
+  EXPECT_EQ(sender.next_deadline(), 130.0);  // p0 acked, p1 remains
+
+  replies.clear();
+  receiver.on_packet(p1, 50.0, accepted, replies);
+  ASSERT_EQ(replies.size(), 1u);
+  sender.on_packet(replies[0], 51.0, accepted, replies);
+  EXPECT_LT(sender.next_deadline(), 0.0);
+  EXPECT_TRUE(sender.idle());
+  EXPECT_EQ(accepted.size(), 2u);
+}
+
+TEST(ReliabilityRto, ProgressEngineRejectsCapBelowInitialTimeout) {
+  ReliabilityConfig cfg;
+  cfg.enabled = true;
+  cfg.timeout_us = 50.0;
+  cfg.max_timeout_us = 10.0;
+  EXPECT_THROW(ProgressEngine(simt::pascal_gtx1080(), matching::SemanticsConfig{},
+                              simt::ExecutionPolicy{1}, /*node=*/0, cfg, nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace simtmsg::runtime
