@@ -92,10 +92,6 @@ MatchEngine& MatchEngine::operator=(MatchEngine&&) noexcept = default;
 
 Algorithm MatchEngine::algorithm_kind() const noexcept { return impl_->algorithm; }
 
-std::string_view MatchEngine::algorithm() const noexcept {
-  return to_string(impl_->algorithm);
-}
-
 telemetry::TelemetryReport MatchEngine::snapshot() const {
   telemetry::TelemetryReport r;
   r.calls = impl_->calls;

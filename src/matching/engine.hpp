@@ -78,11 +78,6 @@ class MatchEngine {
 
   [[nodiscard]] Algorithm algorithm_kind() const noexcept;
 
-  /// Deprecated string form of algorithm_kind(); kept as a shim for one
-  /// release.  Compare against to_string(Algorithm::...) instead.
-  [[deprecated("use algorithm_kind() and to_string(Algorithm)")]]
-  [[nodiscard]] std::string_view algorithm() const noexcept;
-
   /// Telemetry totals accumulated over every match()/match_queues() call on
   /// this engine: calls, matches, modelled cycles/seconds, iterations, and
   /// the per-phase event counters.  Replaces per-metric accessors.

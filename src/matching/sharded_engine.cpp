@@ -1,0 +1,262 @@
+#include "matching/sharded_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+#include "util/hash.hpp"
+#include "util/thread_pool.hpp"
+
+namespace simtmsg::matching {
+namespace {
+
+[[nodiscard]] bool any_source_wildcard(std::span<const RecvRequest> reqs) noexcept {
+  for (const auto& r : reqs) {
+    if (r.env.src == kAnySource) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+struct ShardedMatchEngine::Impl {
+  Options opt;
+  std::vector<MatchEngine> shards;
+
+  // Route scratch, recycled across calls (the engine is per-thread, like
+  // MatchEngine: none of this is locked).  Every buffer is re-initialized
+  // with clear()/assign()/resize() so capacity survives and the steady
+  // state allocates nothing.
+  std::vector<MessageQueue> shard_msgs;
+  std::vector<RecvQueue> shard_reqs;
+  std::vector<std::vector<std::uint32_t>> msg_map;
+  std::vector<std::vector<std::uint32_t>> req_map;
+  std::vector<SimtMatchStats> shard_stats;
+  std::vector<std::uint8_t> shard_busy;  ///< Not vector<bool>: written in parallel.
+  std::vector<telemetry::Registry> stages;
+  std::vector<std::uint8_t> msg_flags;
+  std::vector<std::uint8_t> req_flags;
+
+  std::uint64_t serialized_passes = 0;
+  std::uint64_t sharded_passes = 0;
+};
+
+ShardedMatchEngine::ShardedMatchEngine(const simt::DeviceSpec& spec, SemanticsConfig cfg,
+                                       Options opt)
+    : cfg_(cfg), impl_(std::make_unique<Impl>()) {
+  if (opt.shards < 1) throw std::invalid_argument("sharded engine needs shards >= 1");
+  impl_->opt = opt;
+  const auto n = static_cast<std::size_t>(opt.shards);
+  impl_->shards.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    // Each shard models an independent communication SM; the shard's own
+    // matcher fan-out (CTAs, partitions) still honors the host policy.
+    impl_->shards.emplace_back(spec, cfg, opt.policy);
+  }
+  impl_->shard_msgs.resize(n);
+  impl_->shard_reqs.resize(n);
+  impl_->msg_map.resize(n);
+  impl_->req_map.resize(n);
+  impl_->shard_stats.resize(n);
+  impl_->shard_busy.resize(n, 0);
+  impl_->stages.resize(n);
+}
+
+ShardedMatchEngine::~ShardedMatchEngine() = default;
+ShardedMatchEngine::ShardedMatchEngine(ShardedMatchEngine&&) noexcept = default;
+ShardedMatchEngine& ShardedMatchEngine::operator=(ShardedMatchEngine&&) noexcept = default;
+
+Algorithm ShardedMatchEngine::algorithm_kind() const noexcept {
+  return impl_->shards.front().algorithm_kind();
+}
+
+int ShardedMatchEngine::shard_count() const noexcept {
+  return static_cast<int>(impl_->shards.size());
+}
+
+int ShardedMatchEngine::shard_of(CommId comm, Rank src) const noexcept {
+  // Static partition map over the (comm, source-rank) stream space.  Mixing
+  // both halves keeps skewed rank or communicator patterns from piling onto
+  // one shard; the map must only be stable, not order-preserving, because
+  // every (comm, src) stream is confined to a single shard either way.
+  const std::uint64_t word =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(comm)) << 32) |
+      static_cast<std::uint32_t>(src);
+  return static_cast<int>(util::mix64to32(word) % impl_->shards.size());
+}
+
+std::uint64_t ShardedMatchEngine::serialized_passes() const noexcept {
+  return impl_->serialized_passes;
+}
+
+std::uint64_t ShardedMatchEngine::sharded_passes() const noexcept {
+  return impl_->sharded_passes;
+}
+
+telemetry::TelemetryReport ShardedMatchEngine::snapshot() const {
+  telemetry::TelemetryReport total;
+  for (const auto& shard : impl_->shards) total.merge(shard.snapshot());
+  return total;
+}
+
+telemetry::TelemetryReport ShardedMatchEngine::shard_snapshot(int shard) const {
+  if (shard < 0 || shard >= shard_count()) {
+    throw std::out_of_range("shard index out of range");
+  }
+  return impl_->shards[static_cast<std::size_t>(shard)].snapshot();
+}
+
+void ShardedMatchEngine::match_shards_into(std::span<const Message> msgs,
+                                           std::span<const RecvRequest> reqs,
+                                           SimtMatchStats& out) const {
+  Impl& im = *impl_;
+  const std::size_t n = im.shards.size();
+  out.reset(reqs.size());
+
+  for (std::size_t s = 0; s < n; ++s) {
+    im.shard_msgs[s].clear();
+    im.shard_reqs[s].clear();
+    im.msg_map[s].clear();
+    im.req_map[s].clear();
+    im.shard_busy[s] = 0;
+  }
+  // Stable routing: within a shard, elements keep their global relative
+  // order (and their sequence numbers, via push_raw), so every (comm, src)
+  // stream reaches its shard exactly as an unsharded engine would see it.
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    const auto s = static_cast<std::size_t>(shard_of(msgs[i].env.comm, msgs[i].env.src));
+    im.shard_msgs[s].push_raw(msgs[i]);
+    im.msg_map[s].push_back(static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto s = static_cast<std::size_t>(shard_of(reqs[i].env.comm, reqs[i].env.src));
+    im.shard_reqs[s].push_raw(reqs[i]);
+    im.req_map[s].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  if constexpr (telemetry::kEnabled) {
+    for (std::size_t s = 0; s < n; ++s) im.stages[s].reset_values();
+  }
+
+  // Fan the shards out across host threads.  Each shard touches only its
+  // own queues, stats slot, engine (and workspace), and telemetry stage;
+  // the merges below run serially in shard-index order, which is what
+  // keeps results and snapshots bit-identical for every thread count.
+  util::ThreadPool::shared().run_indexed(
+      n, im.opt.policy.resolved_threads(), [&](std::size_t s) {
+        if (im.shard_msgs[s].empty() || im.shard_reqs[s].empty()) return;
+        im.shard_busy[s] = 1;
+        if constexpr (telemetry::kEnabled) {
+          const telemetry::ScopedStage stage(im.stages[s]);
+          im.shards[s].match_queues(im.shard_msgs[s], im.shard_reqs[s],
+                                    im.shard_stats[s]);
+        } else {
+          im.shards[s].match_queues(im.shard_msgs[s], im.shard_reqs[s],
+                                    im.shard_stats[s]);
+        }
+      });
+  if constexpr (telemetry::kEnabled) {
+    auto& sink = telemetry::sink();
+    for (std::size_t s = 0; s < n; ++s) {
+      if (im.shard_busy[s] != 0) sink.merge_from(im.stages[s]);
+    }
+  }
+
+  // Merge in shard-index order.  Shards model concurrent communication
+  // SMs, so the modelled time of the pass is the slowest shard's, while
+  // matches and per-phase event counters sum.
+  double max_cycles = 0.0;
+  double max_seconds = 0.0;
+  int ctas = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (im.shard_busy[s] == 0) continue;
+    const SimtMatchStats& shard = im.shard_stats[s];
+    for (std::size_t r = 0; r < shard.result.request_match.size(); ++r) {
+      const auto m = shard.result.request_match[r];
+      if (m == kNoMatch) continue;
+      out.result.request_match[im.req_map[s][r]] =
+          static_cast<std::int32_t>(im.msg_map[s][static_cast<std::size_t>(m)]);
+    }
+    out.scan_events += shard.scan_events;
+    out.reduce_events += shard.reduce_events;
+    out.compact_events += shard.compact_events;
+    out.iterations += shard.iterations;
+    out.warps_used = std::max(out.warps_used, shard.warps_used);
+    ctas += shard.ctas_used;
+    max_cycles = std::max(max_cycles, shard.cycles);
+    max_seconds = std::max(max_seconds, shard.seconds);
+  }
+  out.ctas_used = std::max(1, ctas);
+  out.cycles = max_cycles;
+  out.seconds = max_seconds;
+  ++im.sharded_passes;
+}
+
+SimtMatchStats ShardedMatchEngine::match(std::span<const Message> msgs,
+                                         std::span<const RecvRequest> reqs) const {
+  SimtMatchStats stats;
+  match(msgs, reqs, stats);
+  return stats;
+}
+
+void ShardedMatchEngine::match(std::span<const Message> msgs,
+                               std::span<const RecvRequest> reqs,
+                               SimtMatchStats& out) const {
+  Impl& im = *impl_;
+  if (im.shards.size() == 1) {
+    im.shards.front().match(msgs, reqs, out);
+    return;
+  }
+  if (any_source_wildcard(reqs)) {
+    // The serialized all-shard pass: one MatchEngine call over the whole
+    // batch, exactly as an unsharded engine would run it.  (Rejection of
+    // wildcards under wildcard-prohibiting semantics happens inside.)
+    im.shards.front().match(msgs, reqs, out);
+    ++im.serialized_passes;
+    return;
+  }
+  match_shards_into(msgs, reqs, out);
+  if (!cfg_.unexpected && out.result.matched() != msgs.size()) {
+    throw std::runtime_error(
+        "unexpected message encountered, but the configured semantics prohibit "
+        "unexpected messages (pre-post all receives or enable `unexpected`)");
+  }
+}
+
+SimtMatchStats ShardedMatchEngine::match_queues(MessageQueue& mq, RecvQueue& rq) const {
+  SimtMatchStats stats;
+  match_queues(mq, rq, stats);
+  return stats;
+}
+
+void ShardedMatchEngine::match_queues(MessageQueue& mq, RecvQueue& rq,
+                                      SimtMatchStats& out) const {
+  Impl& im = *impl_;
+  if (im.shards.size() == 1) {
+    im.shards.front().match_queues(mq, rq, out);
+    return;
+  }
+  if (any_source_wildcard(rq.view())) {
+    im.shards.front().match_queues(mq, rq, out);
+    ++im.serialized_passes;
+    return;
+  }
+
+  // Sharded drain: batch-match the queue views (indices refer to the
+  // pre-compaction contents), then compact both queues through the flag
+  // vectors — the same shape as the engine's multi-comm drain.
+  match_shards_into(mq.view(), rq.view(), out);
+  im.msg_flags.assign(mq.size(), 0);
+  im.req_flags.assign(rq.size(), 0);
+  for (std::size_t r = 0; r < out.result.request_match.size(); ++r) {
+    const auto m = out.result.request_match[r];
+    if (m == kNoMatch) continue;
+    im.req_flags[r] = 1;
+    im.msg_flags[static_cast<std::size_t>(m)] = 1;
+  }
+  (void)mq.compact(im.msg_flags);
+  (void)rq.compact(im.req_flags);
+}
+
+}  // namespace simtmsg::matching

@@ -7,6 +7,9 @@ namespace simtmsg::runtime {
 Cluster::Cluster(ClusterConfig cfg)
     : cfg_(std::move(cfg)), gas_(cfg_.nodes, cfg_.network, &fabric_telemetry_) {
   if (cfg_.nodes < 1) throw std::invalid_argument("cluster needs at least one node");
+  if (cfg_.shards_per_node < 1) {
+    throw std::invalid_argument("cluster needs shards_per_node >= 1");
+  }
   if (!matching::valid(cfg_.semantics)) {
     throw std::invalid_argument("inconsistent semantics: " +
                                 matching::describe(cfg_.semantics));
@@ -15,8 +18,8 @@ Cluster::Cluster(ClusterConfig cfg)
   engines_.reserve(static_cast<std::size_t>(cfg_.nodes));
   posted_.resize(static_cast<std::size_t>(cfg_.nodes));
   for (int n = 0; n < cfg_.nodes; ++n) {
-    engines_.emplace_back(device, cfg_.semantics, cfg_.policy, n, cfg_.reliability,
-                          &fabric_telemetry_);
+    engines_.emplace_back(device, cfg_.semantics, cfg_.policy, cfg_.shards_per_node, n,
+                          cfg_.reliability, &fabric_telemetry_);
   }
 }
 
@@ -152,7 +155,26 @@ RecvResult Cluster::wait(const RecvHandle& h) {
     const std::size_t matched = progress();
     if (matched == 0 && quiesced()) {
       if (const auto r = result(h)) return *r;
-      std::string why = "wait(): cluster quiescent, receive cannot complete";
+      // Name the stuck handle so a chaos-test failure is diagnosable: which
+      // node's queue it sits in, and the posted (src, tag, comm) that never
+      // found a message.
+      std::string why = "wait(): cluster quiescent, receive cannot complete (node " +
+                        std::to_string(h.node) + ", handle " + std::to_string(h.id);
+      const matching::RecvRequest* stuck = nullptr;
+      if (h.node >= 0 && h.node < cfg_.nodes) {
+        for (const auto& r : posted_[static_cast<std::size_t>(h.node)].view()) {
+          if (r.user_data == h.id) {
+            stuck = &r;
+            break;
+          }
+        }
+      }
+      if (stuck != nullptr) {
+        why += ", posted " + matching::to_string(stuck->env);
+      } else {
+        why += ", not in the posted queue";
+      }
+      why += ")";
       if (!failures_.empty()) {
         why += " (" + std::to_string(failures_.size()) +
                " delivery failure(s) recorded; see delivery_failures())";
@@ -163,28 +185,42 @@ RecvResult Cluster::wait(const RecvHandle& h) {
 }
 
 ClusterStats Cluster::stats() const {
+  const telemetry::TelemetryReport r = snapshot();
+  const auto counter = [&r](const char* name) -> std::uint64_t {
+    const auto it = r.counters.find(name);
+    return it != r.counters.end() ? it->second : 0;
+  };
+  const auto gauge = [&r](const char* name) -> double {
+    const auto it = r.gauges.find(name);
+    return it != r.gauges.end() ? it->second : 0.0;
+  };
   ClusterStats s;
-  s.messages_sent = sends_;
-  s.receives_posted = posts_;
-  s.delivery_failures = failures_.size();
-  s.virtual_time_us = now_us_;
-  for (const auto& e : engines_) {
-    const auto r = e.snapshot();
-    s.matches += r.matches;
-    s.matching_seconds += r.seconds;
-  }
+  s.messages_sent = counter("runtime.cluster.messages_sent");
+  s.receives_posted = counter("runtime.cluster.receives_posted");
+  s.matches = r.matches;
+  s.delivery_failures = counter("runtime.cluster.delivery_failures");
+  s.matching_seconds = r.seconds;
+  s.virtual_time_us = gauge("runtime.cluster.virtual_time_us");
   return s;
 }
 
 telemetry::TelemetryReport Cluster::snapshot() const {
   telemetry::TelemetryReport total;
-  for (const auto& e : engines_) total.merge(e.snapshot());
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    const auto node_report = engines_[static_cast<std::size_t>(n)].snapshot();
+    // Fold the per-node modelled matching time in as a named gauge (the
+    // former node_matching_seconds(int) accessor).
+    total.gauges["runtime.node." + std::to_string(n) + ".matching_seconds"] =
+        node_report.seconds;
+    total.merge(node_report);
+  }
   total.absorb(fabric_telemetry_);
+  // Headline cluster counters: the single source of truth stats() reads.
+  total.counters["runtime.cluster.messages_sent"] = sends_;
+  total.counters["runtime.cluster.receives_posted"] = posts_;
+  total.counters["runtime.cluster.delivery_failures"] = failures_.size();
+  total.gauges["runtime.cluster.virtual_time_us"] = now_us_;
   return total;
-}
-
-double Cluster::node_matching_seconds(int node) const {
-  return engines_[static_cast<std::size_t>(node)].snapshot().seconds;
 }
 
 }  // namespace simtmsg::runtime

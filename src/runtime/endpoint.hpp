@@ -48,8 +48,16 @@ struct ClusterConfig {
   /// Host threads for the per-node matchers.  Purely a wall-clock knob:
   /// results and telemetry are bit-identical for every thread count.
   simt::ExecutionPolicy policy = simt::ExecutionPolicy::serial();
+  /// Matcher shards (communication SMs) per node (docs/sharding.md).  The
+  /// default of 1 is bit-identical to the original single-engine kernel;
+  /// higher counts partition each node's matching by (comm, source rank)
+  /// and model the shards as concurrent SMs.  Match results and payload
+  /// routing are bit-identical for every shard count.
+  int shards_per_node = 1;
 };
 
+/// Typed view over the headline entries of Cluster::snapshot() (which is
+/// the single source of truth; see Cluster::stats()).
 struct ClusterStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t receives_posted = 0;
@@ -100,14 +108,17 @@ class Cluster {
   /// verification that nothing unexpected remains.
   void barrier();
 
+  /// Thin typed view over snapshot(): every field is read back out of the
+  /// telemetry report (the single source of truth), so stats() can never
+  /// drift from what snapshot() exports.
   [[nodiscard]] ClusterStats stats() const;
 
-  /// Cluster-wide telemetry: every node engine's snapshot() merged, plus
-  /// the runtime.fault.* / runtime.reliability.* instruments.
+  /// Cluster-wide telemetry: every node engine's snapshot() merged, the
+  /// runtime.fault.* / runtime.reliability.* instruments, the
+  /// runtime.cluster.* headline counters/gauges backing stats(), and one
+  /// runtime.node.<n>.matching_seconds gauge per node (the former
+  /// node_matching_seconds(int) accessor, folded in).
   [[nodiscard]] telemetry::TelemetryReport snapshot() const;
-
-  /// Per-node modelled matching time (seconds on the configured device).
-  [[nodiscard]] double node_matching_seconds(int node) const;
 
   /// Every message the reliability layer gave up on (retry cap exhausted,
   /// or stranded behind a failed sequence at quiescence), in the order the

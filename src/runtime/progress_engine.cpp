@@ -6,14 +6,16 @@ namespace simtmsg::runtime {
 
 ProgressEngine::ProgressEngine(const simt::DeviceSpec& device,
                                matching::SemanticsConfig semantics)
-    : engine_(device, semantics), semantics_(semantics) {}
+    : engine_(device, semantics, {}), semantics_(semantics) {}
 
 ProgressEngine::ProgressEngine(const simt::DeviceSpec& device,
                                matching::SemanticsConfig semantics,
-                               const simt::ExecutionPolicy& policy, int node,
+                               const simt::ExecutionPolicy& policy, int shards, int node,
                                const ReliabilityConfig& reliability,
                                telemetry::Registry* sink)
-    : engine_(device, semantics, policy), semantics_(semantics) {
+    : engine_(device, semantics,
+              matching::ShardedMatchEngine::Options{.shards = shards, .policy = policy}),
+      semantics_(semantics) {
   if (reliability.enabled) {
     if (reliability.max_attempts < 1) {
       throw std::invalid_argument("reliability needs max_attempts >= 1");
@@ -60,8 +62,6 @@ std::size_t ProgressEngine::step(matching::MessageQueue& incoming,
 
   engine_.match_queues(incoming, posted, step_stats_);
   const auto& stats = step_stats_;
-  seconds_ += stats.seconds;
-  cycles_ += stats.cycles;
 
   std::size_t matched = 0;
   for (std::size_t r = 0; r < stats.result.request_match.size(); ++r) {
@@ -74,7 +74,6 @@ std::size_t ProgressEngine::step(matching::MessageQueue& incoming,
     c.payload = msgs[static_cast<std::size_t>(m)].payload;
     out.push_back(c);
   }
-  matches_ += matched;
 
   if (enforce_expected && !semantics_.unexpected && !incoming.empty()) {
     throw std::runtime_error(

@@ -5,8 +5,11 @@
 // background by the communication kernel."
 //
 // Each step drains the node's incoming GAS queue against its posted
-// receive queue through a MatchEngine configured with the cluster's
-// semantics, and reports completions.
+// receive queue through a ShardedMatchEngine configured with the cluster's
+// semantics, and reports completions.  With shards_per_node > 1 the node
+// dedicates several communication SMs to matching (docs/sharding.md); the
+// default of one shard is bit-identical to the original single-engine
+// kernel.
 #pragma once
 
 #include <cstdint>
@@ -14,8 +17,8 @@
 #include <optional>
 #include <vector>
 
-#include "matching/engine.hpp"
 #include "matching/queue.hpp"
+#include "matching/sharded_engine.hpp"
 #include "runtime/reliability.hpp"
 #include "telemetry/report.hpp"
 
@@ -32,12 +35,13 @@ class ProgressEngine {
   ProgressEngine(const simt::DeviceSpec& device, matching::SemanticsConfig semantics);
 
   /// Full constructor: host execution policy for the node's matcher, the
-  /// node id, and the reliability protocol config.  When
-  /// `reliability.enabled`, the engine owns this node's ReliabilityChannel
-  /// (the per-node half of the ack/retransmit protocol the communication
-  /// kernel runs in the background); `sink` receives its telemetry.
+  /// number of matcher shards (communication SMs) for this node, the node
+  /// id, and the reliability protocol config.  When `reliability.enabled`,
+  /// the engine owns this node's ReliabilityChannel (the per-node half of
+  /// the ack/retransmit protocol the communication kernel runs in the
+  /// background); `sink` receives its telemetry.
   ProgressEngine(const simt::DeviceSpec& device, matching::SemanticsConfig semantics,
-                 const simt::ExecutionPolicy& policy, int node,
+                 const simt::ExecutionPolicy& policy, int shards, int node,
                  const ReliabilityConfig& reliability, telemetry::Registry* sink);
 
   /// One matching pass over (incoming, posted).  Matched elements are
@@ -52,21 +56,12 @@ class ProgressEngine {
 
   /// Telemetry totals for this engine: `calls` counts progress steps,
   /// `matches`/`cycles`/`seconds`/`iterations` and the event-counter phases
-  /// come from the underlying MatchEngine.  Replaces the deprecated
-  /// per-metric accessors below.
+  /// come from the underlying matcher shards (merged in shard order).
   [[nodiscard]] telemetry::TelemetryReport snapshot() const;
 
-  /// Deprecated shims over snapshot(); kept for one release.
-  [[deprecated("use snapshot().seconds")]]
-  [[nodiscard]] double matching_seconds() const noexcept { return seconds_; }
-  [[deprecated("use snapshot().cycles")]]
-  [[nodiscard]] double matching_cycles() const noexcept { return cycles_; }
-  [[deprecated("use snapshot().matches")]]
-  [[nodiscard]] std::uint64_t matches() const noexcept { return matches_; }
-  [[deprecated("use snapshot().calls")]]
-  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
-
-  [[nodiscard]] const matching::MatchEngine& engine() const noexcept { return engine_; }
+  [[nodiscard]] const matching::ShardedMatchEngine& engine() const noexcept {
+    return engine_;
+  }
 
   /// This node's reliability protocol state (only with a full-constructor
   /// engine whose ReliabilityConfig was enabled).
@@ -75,12 +70,9 @@ class ProgressEngine {
   [[nodiscard]] const ReliabilityChannel& reliability() const { return *reliability_; }
 
  private:
-  matching::MatchEngine engine_;
+  matching::ShardedMatchEngine engine_;
   matching::SemanticsConfig semantics_;
   std::optional<ReliabilityChannel> reliability_;
-  double seconds_ = 0.0;
-  double cycles_ = 0.0;
-  std::uint64_t matches_ = 0;
   std::uint64_t steps_ = 0;
   // Per-step scratch, reused so the steady-state progress loop stays
   // allocation-free (the queue snapshots and the match stats are refilled

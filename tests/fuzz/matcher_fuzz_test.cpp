@@ -30,6 +30,7 @@
 #include "matching/partitioned_list_matcher.hpp"
 #include "matching/partitioned_matcher.hpp"
 #include "matching/reference_matcher.hpp"
+#include "matching/sharded_engine.hpp"
 #include "matching/workload.hpp"
 
 namespace simtmsg::matching {
@@ -68,6 +69,7 @@ struct FuzzShape {
   double tag_wildcard_prob;
   double match_fraction;
   int threads;
+  int shards;
 };
 
 template <typename Rng>
@@ -82,6 +84,7 @@ FuzzShape random_shape(Rng& rng) {
   s.tag_wildcard_prob = pick(rng, {0.0, 0.05, 0.2, 0.5});
   s.match_fraction = pick(rng, {1.0, 0.9, 0.6, 0.3});
   s.threads = pick(rng, {1, 2, 4, 8});
+  s.shards = pick(rng, {1, 2, 8});
   return s;
 }
 
@@ -249,6 +252,64 @@ TEST(MatcherFuzz, EngineAgreesWithReferenceAcrossSemanticsRows) {
     } else {
       const auto ref = ReferenceMatcher::match(w.messages, w.requests);
       EXPECT_EQ(s.result.request_match, ref.request_match) << where;
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(MatcherFuzz, ShardedEngineIsBitIdenticalToUnshardedAcrossSemanticsRows) {
+  // The sharded determinism contract (docs/sharding.md): for every Table II
+  // row, shard counts {1, 2, 8} and random thread counts must reproduce the
+  // single-engine pairing exactly.  The hash-table rows carry the same
+  // safety-valve exception as above — at partial match fractions the two
+  // engines see different table occupancies, so the sharded result is held
+  // to the validity + never-over-match oracle instead of byte equality.
+  const std::uint64_t base = fuzz_base_seed();
+  const std::uint64_t iters = fuzz_iterations();
+  const auto rows = table2_rows();
+
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = base + i;
+    std::mt19937_64 rng(seed ^ 0xA1B2C3D4E5F60718ULL);
+    const FuzzShape shape = random_shape(rng);
+    const SemanticsConfig cfg = rows[std::uniform_int_distribution<std::size_t>(
+        0, rows.size() - 1)(rng)];
+
+    WorkloadSpec spec;
+    spec.pairs = shape.pairs;
+    spec.sources = shape.sources;
+    spec.tags = shape.tags;
+    const bool must_drain = !cfg.unexpected;
+    spec.src_wildcard_prob =
+        (cfg.wildcards && !must_drain) ? shape.src_wildcard_prob : 0.0;
+    spec.tag_wildcard_prob =
+        (cfg.wildcards && !must_drain) ? shape.tag_wildcard_prob : 0.0;
+    spec.match_fraction = must_drain ? 1.0 : shape.match_fraction;
+    spec.unique_tuples = hashable(cfg);
+    if (spec.unique_tuples) {
+      spec.sources = std::max(spec.sources, 32);
+      spec.tags = std::max(spec.tags, 32);
+    }
+    spec.seed = seed;
+    const auto w = make_workload(spec);
+
+    const MatchEngine baseline(simt::pascal_gtx1080(), cfg);
+    const auto expected = baseline.match(w.messages, w.requests);
+    const ShardedMatchEngine sharded(
+        simt::pascal_gtx1080(), cfg,
+        {.shards = shape.shards, .policy = simt::ExecutionPolicy{shape.threads}});
+    const std::string where = describe(cfg) + " pairs=" + std::to_string(spec.pairs) +
+                              " shards=" + std::to_string(shape.shards) +
+                              " threads=" + std::to_string(shape.threads) + "\n" +
+                              replay_hint(seed);
+
+    const auto s = sharded.match(w.messages, w.requests);
+    if (sharded.algorithm_kind() == Algorithm::kHashTable &&
+        spec.match_fraction < 1.0) {
+      expect_max_cardinality(s.result, w, false, where);
+      expect_valid_pairing(s.result, w, where);
+    } else {
+      EXPECT_EQ(s.result.request_match, expected.result.request_match) << where;
     }
     if (::testing::Test::HasFatalFailure()) return;
   }

@@ -32,12 +32,9 @@ TEST(MatchEngine, AlgorithmToString) {
   EXPECT_EQ(to_string(Algorithm::kHashTable), "hash-table");
 }
 
-TEST(MatchEngine, DeprecatedAlgorithmShimStillWorks) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(MatchEngine, AlgorithmKindRoundTripsThroughToString) {
   const MatchEngine engine(pascal(), SemanticsConfig{});
-  EXPECT_EQ(engine.algorithm(), to_string(engine.algorithm_kind()));
-#pragma GCC diagnostic pop
+  EXPECT_EQ(to_string(engine.algorithm_kind()), "matrix");
 }
 
 TEST(MatchEngine, RejectsInconsistentSemantics) {

@@ -1,0 +1,254 @@
+// ShardedMatchEngine determinism contract (docs/sharding.md): match results
+// are bit-identical across shard counts and host thread counts, telemetry
+// snapshots are bit-identical across thread counts for a fixed shard count,
+// and an MPI_ANY_SOURCE receive pins the pass into serialized all-shard
+// mode.  The hash-table rows are exercised on fully matchable unique-tuple
+// workloads, where exact equality holds (the safety-valve exception only
+// applies to partial-match workloads — covered by the fuzz oracle).
+#include "matching/sharded_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "matching/engine.hpp"
+#include "matching/workload.hpp"
+
+namespace simtmsg::matching {
+namespace {
+
+const simt::DeviceSpec& pascal() { return simt::pascal_gtx1080(); }
+
+/// A workload every Table II row can match fully (unique tuples, no
+/// wildcards), shuffled across a reasonable rank/tag space.
+Workload full_match_workload(std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.pairs = 256;
+  spec.sources = 64;
+  spec.tags = 64;
+  spec.unique_tuples = true;
+  spec.seed = seed;
+  return make_workload(spec);
+}
+
+TEST(ShardedMatchEngine, ResultsBitIdenticalAcrossShardsAndThreadsPerRow) {
+  const auto w = full_match_workload(101);
+  for (const auto& row : table2_rows()) {
+    const MatchEngine baseline(pascal(), row);
+    const auto expected = baseline.match(w.messages, w.requests);
+    ASSERT_EQ(expected.result.matched(), w.requests.size()) << describe(row);
+
+    for (const int shards : {1, 2, 8}) {
+      for (const int threads : {1, 8}) {
+        const ShardedMatchEngine engine(
+            pascal(), row,
+            {.shards = shards, .policy = simt::ExecutionPolicy{threads}});
+        const auto s = engine.match(w.messages, w.requests);
+        EXPECT_EQ(s.result.request_match, expected.result.request_match)
+            << describe(row) << " shards=" << shards << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ShardedMatchEngine, OrderedRowsBitIdenticalOnPartialMatchWorkloads) {
+  // Ordered (matrix-family) rows must reproduce the unsharded pairing even
+  // when messages/requests go unmatched and tag wildcards are present.
+  WorkloadSpec spec;
+  spec.pairs = 200;
+  spec.sources = 8;
+  spec.tags = 8;
+  spec.tag_wildcard_prob = 0.2;
+  spec.match_fraction = 0.6;
+  spec.seed = 102;
+  const auto w = make_workload(spec);
+
+  const MatchEngine baseline(pascal(), SemanticsConfig{});
+  const auto expected = baseline.match(w.messages, w.requests);
+  for (const int shards : {1, 2, 8}) {
+    for (const int threads : {1, 8}) {
+      const ShardedMatchEngine engine(
+          pascal(), SemanticsConfig{},
+          {.shards = shards, .policy = simt::ExecutionPolicy{threads}});
+      const auto s = engine.match(w.messages, w.requests);
+      EXPECT_EQ(s.result.request_match, expected.result.request_match)
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ShardedMatchEngine, SnapshotBitIdenticalAcrossThreadCounts) {
+  const auto w = full_match_workload(103);
+  for (const int shards : {1, 2, 8}) {
+    const auto run = [&](int threads) {
+      const ShardedMatchEngine engine(
+          pascal(), SemanticsConfig{},
+          {.shards = shards, .policy = simt::ExecutionPolicy{threads}});
+      SimtMatchStats stats;
+      for (int i = 0; i < 3; ++i) engine.match(w.messages, w.requests, stats);
+      return engine.snapshot().to_json().dump();
+    };
+    const std::string serial = run(1);
+    EXPECT_EQ(run(8), serial) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedMatchEngine, SingleShardSnapshotMatchesPlainEngine) {
+  const auto w = full_match_workload(104);
+  const MatchEngine plain(pascal(), SemanticsConfig{});
+  const ShardedMatchEngine sharded(pascal(), SemanticsConfig{}, {.shards = 1});
+  SimtMatchStats stats;
+  for (int i = 0; i < 2; ++i) {
+    plain.match(w.messages, w.requests, stats);
+    sharded.match(w.messages, w.requests, stats);
+  }
+  EXPECT_EQ(sharded.snapshot().to_json().dump(), plain.snapshot().to_json().dump());
+  EXPECT_EQ(sharded.serialized_passes(), 0u);
+  EXPECT_EQ(sharded.sharded_passes(), 0u);  // Single shard: plain delegation.
+}
+
+TEST(ShardedMatchEngine, AnySourcePinsSerializedPass) {
+  const ShardedMatchEngine engine(pascal(), SemanticsConfig{}, {.shards = 4});
+
+  // Batch with an MPI_ANY_SOURCE receive: serialized all-shard pass.
+  Message m;
+  m.env = {.src = 3, .tag = 7, .comm = 0};
+  m.payload = 99;
+  RecvRequest r;
+  r.env = {.src = kAnySource, .tag = 7, .comm = 0};
+  const std::vector<Message> msgs = {m};
+  const std::vector<RecvRequest> wild = {r};
+  const auto s1 = engine.match(msgs, wild);
+  EXPECT_EQ(s1.result.matched(), 1u);
+  EXPECT_EQ(engine.serialized_passes(), 1u);
+  EXPECT_EQ(engine.sharded_passes(), 0u);
+
+  // Concrete sources fan out across the shards.
+  r.env.src = 3;
+  const std::vector<RecvRequest> concrete = {r};
+  const auto s2 = engine.match(msgs, concrete);
+  EXPECT_EQ(s2.result.matched(), 1u);
+  EXPECT_EQ(engine.serialized_passes(), 1u);
+  EXPECT_EQ(engine.sharded_passes(), 1u);
+}
+
+TEST(ShardedMatchEngine, QueueDrainRemovesMatchedKeepsLeftovers) {
+  const ShardedMatchEngine engine(pascal(), SemanticsConfig{}, {.shards = 4});
+  MessageQueue mq;
+  RecvQueue rq;
+  Message m;
+  m.env = {.src = 0, .tag = 5, .comm = 0};
+  mq.push(m);
+  m.env = {.src = 1, .tag = 6, .comm = 0};  // No receive for this one.
+  mq.push(m);
+  RecvRequest r;
+  r.env = {.src = 0, .tag = 5, .comm = 0};
+  rq.push(r);
+  r.env = {.src = 2, .tag = 9, .comm = 0};  // No message for this one.
+  rq.push(r);
+
+  const auto s = engine.match_queues(mq, rq);
+  EXPECT_EQ(s.result.matched(), 1u);
+  ASSERT_EQ(mq.size(), 1u);
+  EXPECT_EQ(mq[0].env.src, 1);
+  ASSERT_EQ(rq.size(), 1u);
+  EXPECT_EQ(rq[0].env.src, 2);
+}
+
+TEST(ShardedMatchEngine, QueueDrainBitIdenticalToUnsharded) {
+  WorkloadSpec spec;
+  spec.pairs = 128;
+  spec.sources = 16;
+  spec.tags = 8;
+  spec.match_fraction = 0.7;
+  spec.seed = 105;
+  const auto w = make_workload(spec);
+  const auto fill = [&w](MessageQueue& mq, RecvQueue& rq) {
+    for (const auto& m : w.messages) mq.push(m);
+    for (const auto& r : w.requests) rq.push(r);
+  };
+
+  MessageQueue mq1, mq8;
+  RecvQueue rq1, rq8;
+  fill(mq1, rq1);
+  fill(mq8, rq8);
+  const MatchEngine plain(pascal(), SemanticsConfig{});
+  const ShardedMatchEngine sharded(pascal(), SemanticsConfig{}, {.shards = 8});
+  const auto a = plain.match_queues(mq1, rq1);
+  const auto b = sharded.match_queues(mq8, rq8);
+  EXPECT_EQ(a.result.request_match, b.result.request_match);
+  ASSERT_EQ(mq1.size(), mq8.size());
+  for (std::size_t i = 0; i < mq1.size(); ++i) {
+    EXPECT_EQ(mq1[i].env, mq8[i].env) << i;
+    EXPECT_EQ(mq1[i].seq, mq8[i].seq) << i;
+  }
+  ASSERT_EQ(rq1.size(), rq8.size());
+  for (std::size_t i = 0; i < rq1.size(); ++i) EXPECT_EQ(rq1[i].env, rq8[i].env) << i;
+}
+
+TEST(ShardedMatchEngine, ModelledTimeIsMaxOverShardsNotSum) {
+  // Shards model concurrent communication SMs: the pass costs as much as
+  // its slowest shard, so sharding a big batch must not cost more than the
+  // unsharded matrix pass over the full queues.
+  const auto w = full_match_workload(106);
+  const MatchEngine plain(pascal(), SemanticsConfig{});
+  const ShardedMatchEngine sharded(pascal(), SemanticsConfig{}, {.shards = 8});
+  const auto a = plain.match(w.messages, w.requests);
+  const auto b = sharded.match(w.messages, w.requests);
+  EXPECT_GT(b.seconds, 0.0);
+  EXPECT_LE(b.cycles, a.cycles);
+  EXPECT_LE(b.seconds, a.seconds);
+}
+
+TEST(ShardedMatchEngine, ShardOfIsStableAndInRange) {
+  const ShardedMatchEngine engine(pascal(), SemanticsConfig{}, {.shards = 8});
+  EXPECT_EQ(engine.shard_count(), 8);
+  for (int comm = 0; comm < 4; ++comm) {
+    for (int src = 0; src < 64; ++src) {
+      const int s = engine.shard_of(comm, src);
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, 8);
+      EXPECT_EQ(engine.shard_of(comm, src), s);  // Stable.
+    }
+  }
+}
+
+TEST(ShardedMatchEngine, RejectsInvalidConfig) {
+  EXPECT_THROW(ShardedMatchEngine(pascal(), SemanticsConfig{}, {.shards = 0}),
+               std::invalid_argument);
+  const ShardedMatchEngine engine(pascal(), SemanticsConfig{}, {.shards = 2});
+  EXPECT_THROW((void)engine.shard_snapshot(2), std::out_of_range);
+  EXPECT_THROW((void)engine.shard_snapshot(-1), std::out_of_range);
+}
+
+TEST(ShardedMatchEngine, EnforcesSemanticsLikePlainEngine) {
+  // Wildcard receives rejected when prohibited (via the serialized path's
+  // MatchEngine), unmatched messages rejected under no-unexpected.
+  SemanticsConfig no_wild;
+  no_wild.wildcards = false;
+  const ShardedMatchEngine strict(pascal(), no_wild, {.shards = 4});
+  RecvRequest r;
+  r.env = {.src = kAnySource, .tag = 0, .comm = 0};
+  const std::vector<RecvRequest> reqs = {r};
+  const std::vector<Message> msgs = {Message{}};
+  EXPECT_THROW((void)strict.match(msgs, reqs), std::invalid_argument);
+
+  SemanticsConfig no_unexpected;
+  no_unexpected.unexpected = false;
+  const ShardedMatchEngine drain(pascal(), no_unexpected, {.shards = 4});
+  Message m;
+  m.env = {.src = 0, .tag = 0, .comm = 0};
+  const std::vector<Message> orphan = {m};
+  EXPECT_THROW((void)drain.match(orphan, {}), std::runtime_error);
+}
+
+TEST(ShardedMatchEngine, MoveSemantics) {
+  ShardedMatchEngine a(pascal(), SemanticsConfig{}, {.shards = 4});
+  ShardedMatchEngine b = std::move(a);
+  EXPECT_EQ(b.shard_count(), 4);
+  EXPECT_EQ(b.algorithm_kind(), Algorithm::kMatrix);
+}
+
+}  // namespace
+}  // namespace simtmsg::matching

@@ -16,6 +16,7 @@
 #include <new>
 
 #include "matching/engine.hpp"
+#include "matching/sharded_engine.hpp"
 #include "matching/workload.hpp"
 #include "util/rng.hpp"
 
@@ -134,6 +135,96 @@ TEST(ZeroAllocSteadyState, HashTable) {
       SemanticsConfig{.wildcards = false, .ordering = false, .unexpected = true,
                       .partitions = 4},
       spec);
+}
+
+/// Sharded twin of expect_steady_state_alloc_free: the route scratch, the
+/// per-shard workspaces, and the telemetry stages must all be recycled.
+void expect_sharded_steady_state_alloc_free(const SemanticsConfig& sem,
+                                            const WorkloadSpec& spec,
+                                            const ShardedMatchEngine::Options& opt) {
+  const ShardedMatchEngine engine(simt::pascal_gtx1080(), sem, opt);
+  const auto w = make_workload(spec);
+  SimtMatchStats stats;
+  for (int i = 0; i < kWarmup; ++i) engine.match(w.messages, w.requests, stats);
+  const auto matched = stats.result.matched();
+  ASSERT_GT(matched, 0u);
+  for (int i = 0; i < kSteady; ++i) {
+    CountingRegion region;
+    engine.match(w.messages, w.requests, stats);
+    const auto allocations = CountingRegion::stop();
+    EXPECT_EQ(allocations, 0u) << "steady-state iteration " << i;
+    EXPECT_EQ(stats.result.matched(), matched);
+  }
+}
+
+TEST(ZeroAllocSteadyState, ShardedMatrix) {
+  WorkloadSpec spec;
+  spec.pairs = 192;
+  spec.sources = 16;
+  spec.tags = 8;
+  spec.seed = 44;
+  expect_sharded_steady_state_alloc_free(SemanticsConfig{}, spec, {.shards = 4});
+}
+
+TEST(ZeroAllocSteadyState, ShardedMatrixThreaded) {
+  WorkloadSpec spec;
+  spec.pairs = 192;
+  spec.sources = 16;
+  spec.tags = 8;
+  spec.seed = 45;
+  expect_sharded_steady_state_alloc_free(
+      SemanticsConfig{}, spec,
+      {.shards = 4, .policy = simt::ExecutionPolicy{4}});
+}
+
+TEST(ZeroAllocSteadyState, ShardedHashTable) {
+  WorkloadSpec spec;
+  spec.pairs = 256;
+  spec.sources = 512;
+  spec.tags = 512;
+  spec.unique_tuples = true;
+  spec.seed = 46;
+  expect_sharded_steady_state_alloc_free(
+      SemanticsConfig{.wildcards = false, .ordering = false, .unexpected = true,
+                      .partitions = 4},
+      spec, {.shards = 4});
+}
+
+TEST(ZeroAllocSteadyState, ShardedQueueDrain) {
+  // The sharded drain path: route, fan out, merge, and compact both queues
+  // through the recycled flag vectors — refills happen outside the counting
+  // region, the drain itself must not allocate.
+  const ShardedMatchEngine engine(simt::pascal_gtx1080(), SemanticsConfig{},
+                                  {.shards = 4});
+  MessageQueue mq;
+  RecvQueue rq;
+  SimtMatchStats stats;
+  const auto refill = [&mq, &rq] {
+    WorkloadSpec spec;
+    spec.pairs = 128;
+    spec.sources = 16;
+    spec.tags = 4;
+    spec.seed = 18;
+    const auto w = make_workload(spec);
+    for (const auto& m : w.messages) mq.push(m);
+    for (const auto& r : w.requests) rq.push(r);
+  };
+
+  for (int i = 0; i < kWarmup; ++i) {
+    refill();
+    engine.match_queues(mq, rq, stats);
+    ASSERT_TRUE(mq.empty());
+    ASSERT_TRUE(rq.empty());
+  }
+  for (int i = 0; i < kSteady; ++i) {
+    refill();
+    CountingRegion region;
+    engine.match_queues(mq, rq, stats);
+    const auto allocations = CountingRegion::stop();
+    EXPECT_EQ(allocations, 0u) << "steady-state iteration " << i;
+    EXPECT_TRUE(mq.empty());
+    EXPECT_TRUE(rq.empty());
+  }
 }
 
 TEST(ZeroAllocSteadyState, MultiCommQueueDrain) {

@@ -228,5 +228,98 @@ TEST(Cluster, WaitReturnsImmediatelyWhenAlreadyComplete) {
   c.run_until_quiescent();
   EXPECT_EQ(c.wait(h).payload, 9u);  // No further progress needed.
 }
+
+TEST(Cluster, DeadlockErrorNamesTheStuckHandle) {
+  Cluster c(two_nodes());
+  const auto h = c.irecv(1, 0, 5, /*comm=*/3);
+  try {
+    (void)c.wait(h);
+    FAIL() << "wait() should have thrown";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("node 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("handle " + std::to_string(h.id)), std::string::npos) << what;
+    EXPECT_NE(what.find("src=0"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag=5"), std::string::npos) << what;
+    EXPECT_NE(what.find("comm=3"), std::string::npos) << what;
+  }
+}
+
+TEST(Cluster, ShardsPerNodeZeroRejected) {
+  ClusterConfig bad = two_nodes();
+  bad.shards_per_node = 0;
+  EXPECT_THROW(Cluster{bad}, std::invalid_argument);
+}
+
+TEST(Cluster, ShardedNodesDeliverIdenticalResultsAndHeadlineStats) {
+  // shards_per_node partitions each node's matching by (comm, src); every
+  // receive must resolve to the same payload, and the headline counters
+  // must agree with the single-shard run (matching_seconds may differ: the
+  // modelled time is the slowest shard's, not the sum).
+  const auto run = [](int shards) {
+    ClusterConfig cfg;
+    cfg.nodes = 4;
+    cfg.shards_per_node = shards;
+    Cluster c(cfg);
+    std::vector<RecvHandle> handles;
+    for (int src = 1; src < 4; ++src) {
+      for (int tag = 0; tag < 12; ++tag) handles.push_back(c.irecv(0, src, tag));
+    }
+    for (int src = 1; src < 4; ++src) {
+      for (int tag = 0; tag < 12; ++tag) {
+        c.send(src, 0, tag, static_cast<std::uint64_t>(src * 100 + tag));
+      }
+    }
+    c.run_until_quiescent();
+    std::vector<std::uint64_t> payloads;
+    for (const auto& h : handles) {
+      const auto r = c.result(h);
+      EXPECT_TRUE(r.has_value()) << "shards=" << shards;
+      payloads.push_back(r ? r->payload : 0);
+    }
+    const auto s = c.stats();
+    return std::make_tuple(payloads, s.messages_sent, s.receives_posted, s.matches);
+  };
+  const auto base = run(1);
+  EXPECT_EQ(run(2), base);
+  EXPECT_EQ(run(8), base);
+}
+
+TEST(Cluster, ShardedWildcardRecvStillResolves) {
+  // An MPI_ANY_SOURCE receive on a sharded node takes the serialized
+  // all-shard path; delivery must be unaffected.
+  ClusterConfig cfg = two_nodes();
+  cfg.shards_per_node = 4;
+  Cluster c(cfg);
+  const auto h = c.irecv(1, matching::kAnySource, matching::kAnyTag);
+  c.send(0, 1, 9, 1);
+  const auto r = c.wait(h);
+  EXPECT_EQ(r.src, 0);
+  EXPECT_EQ(r.tag, 9);
+}
+
+TEST(Cluster, SnapshotExportsHeadlineAndPerNodeEntries) {
+  Cluster c(two_nodes());
+  const auto h = c.irecv(1, 0, 0);
+  c.send(0, 1, 0, 1);
+  (void)c.wait(h);
+  const auto r = c.snapshot();
+  EXPECT_EQ(r.counters.at("runtime.cluster.messages_sent"), 1u);
+  EXPECT_EQ(r.counters.at("runtime.cluster.receives_posted"), 1u);
+  EXPECT_EQ(r.counters.at("runtime.cluster.delivery_failures"), 0u);
+  EXPECT_GT(r.gauges.at("runtime.cluster.virtual_time_us"), 0.0);
+  ASSERT_TRUE(r.gauges.contains("runtime.node.0.matching_seconds"));
+  ASSERT_TRUE(r.gauges.contains("runtime.node.1.matching_seconds"));
+  // Node 1 did the matching; node 0 only sent.
+  EXPECT_GT(r.gauges.at("runtime.node.1.matching_seconds"), 0.0);
+  EXPECT_EQ(r.gauges.at("runtime.node.0.matching_seconds"), 0.0);
+
+  // stats() is a thin view over the same report: the fields must agree.
+  const auto s = c.stats();
+  EXPECT_EQ(s.messages_sent, r.counters.at("runtime.cluster.messages_sent"));
+  EXPECT_EQ(s.matches, r.matches);
+  EXPECT_EQ(s.matching_seconds, r.seconds);
+  EXPECT_EQ(s.virtual_time_us, r.gauges.at("runtime.cluster.virtual_time_us"));
+}
 }  // namespace
 }  // namespace simtmsg::runtime

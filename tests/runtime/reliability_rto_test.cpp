@@ -119,7 +119,8 @@ TEST(ReliabilityRto, ProgressEngineRejectsCapBelowInitialTimeout) {
   cfg.timeout_us = 50.0;
   cfg.max_timeout_us = 10.0;
   EXPECT_THROW(ProgressEngine(simt::pascal_gtx1080(), matching::SemanticsConfig{},
-                              simt::ExecutionPolicy{1}, /*node=*/0, cfg, nullptr),
+                              simt::ExecutionPolicy{1}, /*shards=*/1, /*node=*/0, cfg,
+                              nullptr),
                std::invalid_argument);
 }
 
