@@ -1,0 +1,227 @@
+// Cluster-scale sweep for the event-driven scheduler (docs/runtime.md).
+//
+// The paper's Figure 1(b) fleet is "many" accelerators autonomously
+// sourcing and sinking traffic; this bench checks that the runtime holds
+// its per-node matching rate as the fleet grows from 1 node to 10k nodes
+// with over a million messages in flight.
+//
+// Scenario "ring":   every node sends K tagged messages to its successor
+//                    (uniform load, N*K messages in flight at once; at
+//                    N=10000, K=128 that is 1.28M).  The reported rate is
+//                    total matches over total modelled device time — a
+//                    per-device-time figure that is N-invariant when the
+//                    runtime scales, so the headline scale_efficiency_10k
+//                    (rate at 10k nodes / rate at 1 node) should sit at
+//                    ~1.0.
+// Scenario "hotset": a fixed 64-node hot set exchanges over a jittered,
+//                    lossy fabric with the reliability layer on, inside
+//                    fleets of growing size.  The modelled figures are
+//                    fleet-size-invariant by construction; what the fleet
+//                    sweep shows (host wall time, stdout only) is that the
+//                    event scheduler's tick cost follows the active set,
+//                    not the fleet.
+//
+// All modelled figures are deterministic — independent of host threads,
+// wall clock, and scheduler policy — so the rows are safe under the
+// regression gate (scripts/check_bench_regression.py).  Host wall time is
+// never written to the JSON.
+//
+// Usage: fig_cluster_scale [--json <path>] [--threads <n>]
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runtime/endpoint.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace simtmsg;
+
+struct Point {
+  std::string scenario;
+  int nodes = 0;
+  int msgs_per_node = 0;
+  std::uint64_t matches = 0;
+  double modelled_seconds = 0.0;
+  double virtual_us = 0.0;
+  double wall_ms = 0.0;  ///< Host cost; stdout only, never in the JSON.
+
+  [[nodiscard]] double rate() const {
+    return modelled_seconds > 0.0 ? static_cast<double>(matches) / modelled_seconds
+                                  : 0.0;
+  }
+};
+
+// Uniform ring: node i posts K receives from its predecessor and sends K
+// messages to its successor, then the cluster runs to quiescence.  Hash
+// semantics (no wildcards, no ordering) — the Table II row built for this
+// kind of bulk traffic.
+Point run_ring(int nodes, int msgs_per_node, const bench::Options& opt) {
+  runtime::ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.policy = opt.policy();
+  cfg.scheduler = runtime::SchedulerPolicy::kEventDriven;
+  cfg.semantics.wildcards = false;
+  cfg.semantics.ordering = false;
+  const bench::WallTimer timer;
+  runtime::Cluster cluster(cfg);
+  for (int n = 0; n < nodes; ++n) {
+    const int prev = (n + nodes - 1) % nodes;
+    for (int t = 0; t < msgs_per_node; ++t) {
+      (void)cluster.irecv(n, prev, t);
+    }
+  }
+  for (int n = 0; n < nodes; ++n) {
+    const int next = (n + 1) % nodes;
+    for (int t = 0; t < msgs_per_node; ++t) {
+      cluster.send(n, next, t, static_cast<std::uint64_t>(n) * 131u + t);
+    }
+  }
+  cluster.run_until_quiescent();
+
+  const auto s = cluster.stats();
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(nodes) * static_cast<std::uint64_t>(msgs_per_node);
+  if (s.matches != expected) {
+    std::cerr << "FATAL: ring N=" << nodes << " matched " << s.matches << " of "
+              << expected << "\n";
+    std::exit(1);
+  }
+  Point p;
+  p.scenario = "ring";
+  p.nodes = nodes;
+  p.msgs_per_node = msgs_per_node;
+  p.matches = s.matches;
+  p.modelled_seconds = s.matching_seconds;
+  p.virtual_us = s.virtual_time_us;
+  p.wall_ms = timer.seconds() * 1e3;
+  return p;
+}
+
+constexpr int kHotNodes = 64;
+constexpr int kHotRounds = 8;
+
+// Hot set: the first 64 nodes run an all-pairs-lite exchange over a lossy
+// jittered fabric with the reliability protocol on; the rest of the fleet
+// is idle.  Modelled results are identical for every fleet size — only the
+// host cost of carrying the cold nodes varies.
+Point run_hotset(int nodes, const bench::Options& opt) {
+  runtime::ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.policy = opt.policy();
+  cfg.scheduler = runtime::SchedulerPolicy::kEventDriven;
+  cfg.network.seed = 0x5CA1E;
+  cfg.network.jitter_us = 0.5;
+  cfg.network.faults.drop_prob = 0.02;
+  cfg.reliability.enabled = true;
+  cfg.reliability.timeout_us = 10.0;
+  cfg.reliability.max_attempts = 16;
+  const bench::WallTimer timer;
+  runtime::Cluster cluster(cfg);
+  std::vector<runtime::RecvHandle> handles;
+  matching::Tag tag = 0;
+  for (int round = 0; round < kHotRounds; ++round) {
+    for (int from = 0; from < kHotNodes; ++from) {
+      const int to = (from + round + 1) % kHotNodes;
+      handles.push_back(cluster.irecv(to, from, tag));
+      cluster.send(from, to, tag, static_cast<std::uint64_t>(tag) * 2654435761u);
+      tag = static_cast<matching::Tag>((tag + 1) % 1024);
+    }
+  }
+  cluster.run_until_quiescent();
+
+  std::uint64_t completed = 0;
+  for (const auto& h : handles) completed += cluster.test(h) ? 1 : 0;
+  if (completed != handles.size()) {
+    std::cerr << "FATAL: hotset fleet=" << nodes << " completed " << completed
+              << " of " << handles.size() << "\n";
+    std::exit(1);
+  }
+  const auto s = cluster.stats();
+  Point p;
+  p.scenario = "hotset";
+  p.nodes = nodes;
+  p.msgs_per_node = kHotRounds;
+  p.matches = s.matches;
+  p.modelled_seconds = s.matching_seconds;
+  p.virtual_us = s.virtual_time_us;
+  p.wall_ms = timer.seconds() * 1e3;
+  return p;
+}
+
+int run(const bench::Options& opt) {
+  bench::print_header("fig_cluster_scale",
+                      "event-driven scheduler: matching rate vs fleet size "
+                      "(docs/runtime.md)");
+
+  const std::vector<int> ring_nodes = bench::fast_mode()
+                                          ? std::vector<int>{1, 64, 256}
+                                          : std::vector<int>{1, 64, 256, 1024, 10000};
+  const std::vector<int> ring_load =
+      bench::fast_mode() ? std::vector<int>{16} : std::vector<int>{16, 128};
+  const std::vector<int> hot_fleets = bench::fast_mode()
+                                          ? std::vector<int>{64, 1024}
+                                          : std::vector<int>{64, 1024, 10000};
+
+  bench::WallTimer timer;
+  bench::JsonReport report("fig_cluster_scale",
+                           "cluster-scale sweep for the event-driven scheduler");
+  util::AsciiTable table({"scenario", "nodes", "msgs/node", "matches",
+                          "matches/s", "virtual us", "host ms"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"scenario", "nodes", "msgs_per_node", "matches", "mps",
+                 "virtual_us", "wall_ms"});
+
+  std::vector<Point> points;
+  for (const int k : ring_load) {
+    for (const int n : ring_nodes) points.push_back(run_ring(n, k, opt));
+  }
+  for (const int n : hot_fleets) points.push_back(run_hotset(n, opt));
+
+  double rate_1 = 0.0, rate_10k = 0.0;
+  for (const Point& p : points) {
+    table.add_row({p.scenario, std::to_string(p.nodes),
+                   std::to_string(p.msgs_per_node),
+                   util::AsciiTable::num(p.matches),
+                   util::AsciiTable::rate_mps(p.rate()),
+                   util::AsciiTable::num(p.virtual_us, 2),
+                   util::AsciiTable::num(p.wall_ms, 1)});
+    csv.push_back({p.scenario, std::to_string(p.nodes),
+                   std::to_string(p.msgs_per_node), std::to_string(p.matches),
+                   util::AsciiTable::num(p.rate() / 1e6, 2),
+                   util::AsciiTable::num(p.virtual_us, 2),
+                   util::AsciiTable::num(p.wall_ms, 1)});
+    report.add_row()
+        .set("scenario", p.scenario)
+        .set("nodes", p.nodes)
+        .set("msgs_per_node", p.msgs_per_node)
+        .set("matches_per_second", p.rate());
+    if (p.scenario == "ring" && p.msgs_per_node == 128) {
+      if (p.nodes == 1) rate_1 = p.rate();
+      if (p.nodes == 10000) rate_10k = p.rate();
+    }
+  }
+
+  table.print(std::cout);
+  timer.report(opt);
+  bench::print_csv(csv);
+
+  report.headline().set("metric", "cluster_scale_matches_per_second");
+  if (rate_1 > 0.0 && rate_10k > 0.0) {
+    const double efficiency = rate_10k / rate_1;
+    std::cout << "scale_efficiency_10k: " << efficiency << "\n";
+    report.headline().set("scale_efficiency_10k", efficiency);
+    if (efficiency < 0.95 || efficiency > 1.05) {
+      std::cerr << "FATAL: 10k-node per-device rate drifted " << efficiency
+                << "x from the 1-node rate (acceptance band is 5%)\n";
+      return 1;
+    }
+  }
+  return report.emit(opt) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(bench::Options::parse(argc, argv)); }

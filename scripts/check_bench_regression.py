@@ -9,8 +9,10 @@ an accidental slowdown of the modelled pipeline trips the gate.
 
 Rows present in the baseline but absent from the fresh run are reported and
 skipped, not failed: the CI job runs the benches with SIMTMSG_BENCH_FAST=1,
-which sweeps a subset of configurations.  Headlines are derived from rows
-and are ignored here.
+which sweeps a subset of configurations (fig_cluster_scale, for example,
+drops its 1k/10k-node fleets and the 128-messages-per-node load in fast
+mode, keeping the small-fleet rows value-identical to a full run).
+Headlines are derived from rows and are ignored here.
 
 Exit codes: 0 ok, 1 regression found, 2 malformed input/usage.
 

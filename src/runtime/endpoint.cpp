@@ -1,19 +1,43 @@
 #include "runtime/endpoint.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace simtmsg::runtime {
 
+namespace {
+
+/// Validate before any member is constructed (gas_ sizes vectors off
+/// cfg.nodes; a negative count must fail with a typed error, not a
+/// bad_alloc from a huge size_t cast).
+ClusterConfig validated(ClusterConfig cfg) {
+  if (cfg.nodes < 1) {
+    throw std::invalid_argument("ClusterConfig.nodes must be >= 1 (got " +
+                                std::to_string(cfg.nodes) + ")");
+  }
+  if (cfg.shards_per_node < 1) {
+    throw std::invalid_argument("ClusterConfig.shards_per_node must be >= 1 (got " +
+                                std::to_string(cfg.shards_per_node) + ")");
+  }
+  if (cfg.scheduler != SchedulerPolicy::kLegacyLockstep &&
+      cfg.scheduler != SchedulerPolicy::kEventDriven) {
+    throw std::invalid_argument(
+        "ClusterConfig.scheduler is not a valid SchedulerPolicy (got " +
+        std::to_string(static_cast<int>(cfg.scheduler)) + ")");
+  }
+  if (!matching::valid(cfg.semantics)) {
+    throw std::invalid_argument("ClusterConfig.semantics inconsistent: " +
+                                matching::describe(cfg.semantics));
+  }
+  return cfg;
+}
+
+}  // namespace
+
 Cluster::Cluster(ClusterConfig cfg)
-    : cfg_(std::move(cfg)), gas_(cfg_.nodes, cfg_.network, &fabric_telemetry_) {
-  if (cfg_.nodes < 1) throw std::invalid_argument("cluster needs at least one node");
-  if (cfg_.shards_per_node < 1) {
-    throw std::invalid_argument("cluster needs shards_per_node >= 1");
-  }
-  if (!matching::valid(cfg_.semantics)) {
-    throw std::invalid_argument("inconsistent semantics: " +
-                                matching::describe(cfg_.semantics));
-  }
+    : cfg_(validated(std::move(cfg))),
+      gas_(cfg_.nodes, cfg_.network, &fabric_telemetry_) {
   const auto& device = simt::device(cfg_.device);
   engines_.reserve(static_cast<std::size_t>(cfg_.nodes));
   posted_.resize(static_cast<std::size_t>(cfg_.nodes));
@@ -21,12 +45,34 @@ Cluster::Cluster(ClusterConfig cfg)
     engines_.emplace_back(device, cfg_.semantics, cfg_.policy, cfg_.shards_per_node, n,
                           cfg_.reliability, &fabric_telemetry_);
   }
+  scheduler_ = Scheduler::make(
+      cfg_.scheduler, cfg_.nodes,
+      Scheduler::Probe{
+          .runnable =
+              [this](int n) {
+                return !gas_.incoming(n).empty() &&
+                       !posted_[static_cast<std::size_t>(n)].empty();
+              },
+          .rto_deadline =
+              [this](int n) {
+                return cfg_.reliability.enabled
+                           ? engines_[static_cast<std::size_t>(n)]
+                                 .reliability()
+                                 .next_deadline()
+                           : -1.0;
+              },
+      });
 }
 
 void Cluster::inject(Packet&& p) {
   // A negative arrival means the wire dropped the packet; the reliability
   // timers recover (or report) it.
   (void)gas_.inject(std::move(p), now_us_);
+}
+
+void Cluster::wake(int node) {
+  ++wakes_;
+  scheduler_->wake(node);
 }
 
 void Cluster::send(int from, int to, matching::Tag tag, std::uint64_t payload,
@@ -38,6 +84,8 @@ void Cluster::send(int from, int to, matching::Tag tag, std::uint64_t payload,
   if (cfg_.reliability.enabled) {
     inject(engines_[static_cast<std::size_t>(from)].reliability().make_data(
         to, env, payload, bytes, now_us_));
+    // make_data armed (or re-armed) the sender's retransmit timer.
+    scheduler_->rto_touched(from);
   } else {
     (void)gas_.remote_enqueue(from, to, env, payload, bytes, now_us_);
   }
@@ -55,64 +103,89 @@ RecvHandle Cluster::irecv(int node, matching::Rank src, matching::Tag tag,
   req.env = env;
   req.user_data = next_handle_;
   posted_[static_cast<std::size_t>(node)].push(req);
+  pending_.emplace(next_handle_, PendingRecv{node, env});
   ++posts_;
+  wake(node);
   return {node, next_handle_++};
 }
 
-bool Cluster::test(const RecvHandle& h) const { return completed_.contains(h.id); }
+bool Cluster::test(RecvHandle h) const { return completed_.contains(h.id); }
 
-std::optional<RecvResult> Cluster::result(const RecvHandle& h) const {
+std::optional<RecvResult> Cluster::result(RecvHandle h) const {
   const auto it = completed_.find(h.id);
   if (it == completed_.end()) return std::nullopt;
   return it->second;
 }
 
 std::size_t Cluster::progress() {
+  ++ticks_;
+
   // Advance the clock to the next event: the earliest in-flight arrival or
-  // (with reliability) the earliest retransmit deadline.
+  // the earliest retransmit deadline.
   double next = gas_.next_arrival();
-  if (cfg_.reliability.enabled) {
-    for (const auto& e : engines_) {
-      const double d = e.reliability().next_deadline();
-      if (d >= 0.0 && (next < 0.0 || d < next)) next = d;
-    }
-  }
+  const double rto = scheduler_->next_rto_deadline();
+  if (rto >= 0.0 && (next < 0.0 || rto < next)) next = rto;
   if (next >= 0.0) now_us_ = std::max(now_us_, next);
 
+  raw_.clear();
+  (void)gas_.deliver_raw_until(now_us_, raw_);
   if (cfg_.reliability.enabled) {
     // Raw wire packets go through each destination's reliability channel:
     // verify, dedup, ack, and release accepted messages (in order when the
     // semantics demand it) into the node's incoming queue.
-    std::vector<Packet> raw;
-    (void)gas_.deliver_raw_until(now_us_, raw);
-    std::vector<Packet> replies;
-    std::vector<matching::Message> accepted;
-    for (const Packet& p : raw) {
-      accepted.clear();
+    replies_.clear();
+    for (const Packet& p : raw_) {
+      accepted_.clear();
       engines_[static_cast<std::size_t>(p.to)].reliability().on_packet(
-          p, now_us_, accepted, replies);
-      for (const auto& m : accepted) gas_.incoming(p.to).push(m);
+          p, now_us_, accepted_, replies_);
+      for (const auto& m : accepted_) gas_.incoming(p.to).push(m);
+      if (!accepted_.empty()) wake(p.to);
+      // Data changed the receiver's dedup state; an ack cleared a pending
+      // send.  Either way p.to's earliest deadline may differ now.
+      scheduler_->rto_touched(p.to);
     }
-    for (Packet& r : replies) inject(std::move(r));
+    for (Packet& r : replies_) inject(std::move(r));
 
-    // Fire expired retransmit timers (and report exhausted sends).
-    std::vector<Packet> resend;
-    for (auto& e : engines_) e.reliability().expire(now_us_, resend, failures_);
-    for (Packet& r : resend) inject(std::move(r));
+    // Fire expired retransmit timers (and report exhausted sends),
+    // ascending by node id: retransmit injection order stamps wire
+    // sequences, which the fault draws are keyed on.
+    scheduler_->collect_due(now_us_, due_);
+    rto_expiries_ += due_.size();
+    resend_.clear();
+    for (const int n : due_) {
+      engines_[static_cast<std::size_t>(n)].reliability().expire(now_us_, resend_,
+                                                                 failures_);
+      scheduler_->rto_touched(n);
+    }
+    for (Packet& r : resend_) inject(std::move(r));
   } else {
-    (void)gas_.deliver_until(now_us_);
+    for (const Packet& p : raw_) {
+      matching::Message m;
+      m.env = p.env;
+      m.payload = p.payload;
+      gas_.incoming(p.to).push(m);
+      wake(p.to);
+    }
   }
 
-  // Run every node's communication kernel once.
-  std::vector<Completion> completions;
+  // Step every node whose communication kernel has matching work — and
+  // only those (both policies agree on the set; they differ in how much
+  // the *query* cost: scan vs incremental).
+  scheduler_->collect_active(active_);
+  nodes_stepped_ += active_.size();
+  idle_steps_skipped_ += static_cast<std::uint64_t>(cfg_.nodes) - active_.size();
+  active_set_peak_ = std::max(active_set_peak_, active_.size());
+  completions_.clear();
   std::size_t matched = 0;
-  for (int n = 0; n < cfg_.nodes; ++n) {
-    matched += engines_[static_cast<std::size_t>(n)].step(
-        gas_.incoming(n), posted_[static_cast<std::size_t>(n)], completions);
+  for (const int n : active_) {
+    const StepResult r = engines_[static_cast<std::size_t>(n)].step(
+        gas_.incoming(n), posted_[static_cast<std::size_t>(n)], completions_);
+    matched += r.matched;
+    scheduler_->stepped(n, r.runnable);
   }
-  for (const auto& c : completions) {
-    completed_[c.handle] =
-        RecvResult{c.msg_env.src, c.msg_env.tag, c.payload};
+  for (const auto& c : completions_) {
+    completed_[c.handle] = RecvResult{c.msg_env.src, c.msg_env.tag, c.payload};
+    pending_.erase(c.handle);
   }
   return matched;
 }
@@ -120,9 +193,9 @@ std::size_t Cluster::progress() {
 bool Cluster::quiesced() {
   if (!gas_.idle()) return false;
   if (cfg_.reliability.enabled) {
-    for (const auto& e : engines_) {
-      if (!e.reliability().idle()) return false;
-    }
+    // A channel is idle exactly when it has no armed deadline, so the
+    // scheduler's wheel answers fleet-wide reliability quiescence.
+    if (!scheduler_->rto_idle()) return false;
     // Nothing in flight, every sender done: messages still held for
     // in-order release are permanently stuck behind a failed sequence.
     for (auto& e : engines_) e.reliability().sweep_stranded(now_us_, failures_);
@@ -140,16 +213,33 @@ void Cluster::run_until_quiescent() {
 void Cluster::barrier() {
   run_until_quiescent();
   if (!cfg_.semantics.unexpected) {
+    // Enforcement sweep: every node, not just the active set — a node with
+    // leftover unexpected messages and no posted receives is exactly what
+    // this is here to catch.
     std::vector<Completion> sink;
     for (int n = 0; n < cfg_.nodes; ++n) {
-      (void)engines_[static_cast<std::size_t>(n)].step(
+      const StepResult r = engines_[static_cast<std::size_t>(n)].step(
           gas_.incoming(n), posted_[static_cast<std::size_t>(n)], sink,
           /*enforce_expected=*/true);
+      scheduler_->stepped(n, r.runnable);
     }
   }
 }
 
-RecvResult Cluster::wait(const RecvHandle& h) {
+NodeActivity Cluster::node_activity(int node) const {
+  if (node < 0 || node >= cfg_.nodes) throw std::out_of_range("node out of range");
+  if (cfg_.reliability.enabled &&
+      engines_[static_cast<std::size_t>(node)].reliability().next_deadline() >= 0.0) {
+    return NodeActivity::kAwaitingRetransmit;
+  }
+  const bool has_msgs = !gas_.incoming(node).empty();
+  const bool has_recvs = !posted_[static_cast<std::size_t>(node)].empty();
+  if (has_msgs && has_recvs) return NodeActivity::kRunnable;
+  if (has_recvs) return NodeActivity::kStarved;
+  return NodeActivity::kIdle;
+}
+
+RecvResult Cluster::wait(RecvHandle h) {
   for (;;) {
     if (const auto r = result(h)) return *r;
     const std::size_t matched = progress();
@@ -157,24 +247,20 @@ RecvResult Cluster::wait(const RecvHandle& h) {
       if (const auto r = result(h)) return *r;
       // Name the stuck handle so a chaos-test failure is diagnosable: which
       // node's queue it sits in, and the posted (src, tag, comm) that never
-      // found a message.
+      // found a message.  The pending index makes both lookups O(1).
       std::string why = "wait(): cluster quiescent, receive cannot complete (node " +
                         std::to_string(h.node) + ", handle " + std::to_string(h.id);
-      const matching::RecvRequest* stuck = nullptr;
-      if (h.node >= 0 && h.node < cfg_.nodes) {
-        for (const auto& r : posted_[static_cast<std::size_t>(h.node)].view()) {
-          if (r.user_data == h.id) {
-            stuck = &r;
-            break;
-          }
-        }
-      }
-      if (stuck != nullptr) {
-        why += ", posted " + matching::to_string(stuck->env);
+      const auto it = pending_.find(h.id);
+      if (it != pending_.end()) {
+        why += ", posted " + matching::to_string(it->second.env);
       } else {
         why += ", not in the posted queue";
       }
       why += ")";
+      if (h.node >= 0 && h.node < cfg_.nodes) {
+        why += " (scheduler view: " + std::string(to_string(node_activity(h.node))) +
+               ")";
+      }
       if (!failures_.empty()) {
         why += " (" + std::to_string(failures_.size()) +
                " delivery failure(s) recorded; see delivery_failures())";
@@ -220,6 +306,16 @@ telemetry::TelemetryReport Cluster::snapshot() const {
   total.counters["runtime.cluster.receives_posted"] = posts_;
   total.counters["runtime.cluster.delivery_failures"] = failures_.size();
   total.gauges["runtime.cluster.virtual_time_us"] = now_us_;
+  // Scheduler instruments: identical for every host thread count AND every
+  // scheduler policy (the policy itself is deliberately not exported — the
+  // snapshot is the byte-identity oracle between the two).
+  total.counters["runtime.scheduler.ticks"] = ticks_;
+  total.counters["runtime.scheduler.nodes_stepped"] = nodes_stepped_;
+  total.counters["runtime.scheduler.idle_steps_skipped"] = idle_steps_skipped_;
+  total.counters["runtime.scheduler.wakes"] = wakes_;
+  total.counters["runtime.scheduler.rto_expiries"] = rto_expiries_;
+  total.gauges["runtime.scheduler.active_set_peak"] =
+      static_cast<double>(active_set_peak_);
   return total;
 }
 

@@ -8,9 +8,20 @@
 //   cluster.send(0, 1, kTag, 0xBEEF);              // Send from node 0.
 //   const auto c = cluster.wait(h);                // Drive progress.
 //   // c.payload == 0xBEEF
+//
+// Progress is driven by a Scheduler (docs/runtime.md): each progress()
+// tick advances the virtual clock to the next event, delivers the due
+// packets, fires the due retransmit timers, and steps only the nodes whose
+// communication kernels have matching work.  The default kLegacyLockstep
+// policy finds those nodes by scanning the whole fleet (the seed's cost
+// model); kEventDriven maintains the active set and a retransmit-deadline
+// wheel incrementally, so a tick costs O(active nodes) and the fleet
+// scales to O(10k) nodes.  Both policies produce bit-identical results and
+// telemetry.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +30,7 @@
 #include "runtime/gas.hpp"
 #include "runtime/progress_engine.hpp"
 #include "runtime/reliability.hpp"
+#include "runtime/scheduler.hpp"
 #include "simt/device_spec.hpp"
 #include "simt/launcher.hpp"
 
@@ -54,6 +66,14 @@ struct ClusterConfig {
   /// and model the shards as concurrent SMs.  Match results and payload
   /// routing are bit-identical for every shard count.
   int shards_per_node = 1;
+  /// How progress() decides which nodes to schedule (docs/runtime.md).
+  /// kLegacyLockstep scans the fleet every tick; kEventDriven tracks the
+  /// active set incrementally so a tick costs O(active nodes).  Results
+  /// and telemetry are bit-identical between the two.  The default
+  /// follows the SIMTMSG_SCHEDULER environment variable (unset =
+  /// kLegacyLockstep) so the whole test suite doubles as an equivalence
+  /// wall.
+  SchedulerPolicy scheduler = default_scheduler_policy();
 };
 
 /// Typed view over the headline entries of Cluster::snapshot() (which is
@@ -69,12 +89,22 @@ struct ClusterStats {
 
 class Cluster {
  public:
+  /// Throws std::invalid_argument (naming the offending field and value)
+  /// when the configuration is inconsistent: nodes < 1, shards_per_node
+  /// < 1, a scheduler policy outside the enum, or invalid semantics.
   explicit Cluster(ClusterConfig cfg);
+
+  // The Scheduler probes capture `this`; the cluster must not move.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
 
   [[nodiscard]] int nodes() const noexcept { return cfg_.nodes; }
   [[nodiscard]] double now_us() const noexcept { return now_us_; }
   [[nodiscard]] const matching::SemanticsConfig& semantics() const noexcept {
     return cfg_.semantics;
+  }
+  [[nodiscard]] SchedulerPolicy scheduler_policy() const noexcept {
+    return cfg_.scheduler;
   }
 
   /// Non-blocking send from node `from` to node `to`.
@@ -87,18 +117,24 @@ class Cluster {
   [[nodiscard]] RecvHandle irecv(int node, matching::Rank src, matching::Tag tag,
                                  matching::CommId comm = 0);
 
-  /// True once the receive completed; non-blocking.
-  [[nodiscard]] bool test(const RecvHandle& h) const;
+  /// True once the receive completed; non-blocking.  (Handles are 12 bytes
+  /// — passed by value.)
+  [[nodiscard]] bool test(RecvHandle h) const;
 
   /// Completed result, if any.
-  [[nodiscard]] std::optional<RecvResult> result(const RecvHandle& h) const;
+  [[nodiscard]] std::optional<RecvResult> result(RecvHandle h) const;
 
   /// Drive progress until `h` completes.  Throws std::runtime_error when
-  /// the cluster goes quiescent without completing it (deadlock).
-  RecvResult wait(const RecvHandle& h);
+  /// the cluster goes quiescent without completing it (deadlock); the
+  /// error names the stuck handle, its posted envelope, and the
+  /// scheduler's view of the node (idle / starved / runnable / awaiting
+  /// retransmit) — all O(1) lookups, not queue scans.
+  RecvResult wait(RecvHandle h);
 
-  /// One progress round: advance the clock to the next arrival, deliver,
-  /// and run every node's communication kernel.  Returns new completions.
+  /// One scheduler tick: advance the clock to the next event (earliest
+  /// arrival or retransmit deadline), deliver the due packets, fire the
+  /// due timers, and step every node with matching work.  Returns the
+  /// number of new matches.
   std::size_t progress();
 
   /// Run until no packets are in flight and no further matches are made.
@@ -108,6 +144,10 @@ class Cluster {
   /// verification that nothing unexpected remains.
   void barrier();
 
+  /// The scheduler's view of one node — the vocabulary wait() uses for
+  /// deadlock diagnostics.
+  [[nodiscard]] NodeActivity node_activity(int node) const;
+
   /// Thin typed view over snapshot(): every field is read back out of the
   /// telemetry report (the single source of truth), so stats() can never
   /// drift from what snapshot() exports.
@@ -115,9 +155,11 @@ class Cluster {
 
   /// Cluster-wide telemetry: every node engine's snapshot() merged, the
   /// runtime.fault.* / runtime.reliability.* instruments, the
-  /// runtime.cluster.* headline counters/gauges backing stats(), and one
-  /// runtime.node.<n>.matching_seconds gauge per node (the former
-  /// node_matching_seconds(int) accessor, folded in).
+  /// runtime.cluster.* headline counters/gauges backing stats(), one
+  /// runtime.node.<n>.matching_seconds gauge per node, and the
+  /// runtime.scheduler.* instruments (ticks, nodes stepped, idle steps
+  /// skipped, wakes, RTO expiries, active-set peak).  Bit-identical for
+  /// every host thread count AND every scheduler policy.
   [[nodiscard]] telemetry::TelemetryReport snapshot() const;
 
   /// Every message the reliability layer gave up on (retry cap exhausted,
@@ -128,23 +170,53 @@ class Cluster {
   }
 
  private:
+  /// A receive posted but not yet completed: the O(1) index wait() and the
+  /// deadlock diagnostics use instead of scanning the posted queues.
+  struct PendingRecv {
+    int node = -1;
+    matching::Envelope env;
+  };
+
   /// True when nothing is in flight and no reliability timer is pending;
   /// on the transition to quiescence, sweeps stranded held messages into
   /// failures_.
   [[nodiscard]] bool quiesced();
   void inject(Packet&& p);
+  /// A queue push may have made `node` runnable.
+  void wake(int node);
 
   ClusterConfig cfg_;
   telemetry::Registry fabric_telemetry_;  ///< runtime.fault.* / runtime.reliability.*.
   GlobalAddressSpace gas_;
   std::vector<ProgressEngine> engines_;
   std::vector<matching::RecvQueue> posted_;
-  std::unordered_map<std::uint64_t, RecvResult> completed_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unordered_map<std::uint64_t, RecvResult> completed_;  ///< By handle id.
+  std::unordered_map<std::uint64_t, PendingRecv> pending_;   ///< By handle id.
   std::vector<DeliveryFailure> failures_;
   std::uint64_t next_handle_ = 1;
   std::uint64_t sends_ = 0;
   std::uint64_t posts_ = 0;
   double now_us_ = 0.0;
+
+  // runtime.scheduler.* instruments (identical across policies and host
+  // thread counts — maintained on the single-threaded progress path).
+  std::uint64_t ticks_ = 0;
+  std::uint64_t nodes_stepped_ = 0;
+  std::uint64_t idle_steps_skipped_ = 0;
+  std::uint64_t wakes_ = 0;
+  std::uint64_t rto_expiries_ = 0;
+  std::size_t active_set_peak_ = 0;
+
+  // Per-tick scratch, reused so the steady-state progress loop stays
+  // allocation-free once the fleet's working set is warm.
+  std::vector<Packet> raw_;
+  std::vector<Packet> replies_;
+  std::vector<Packet> resend_;
+  std::vector<matching::Message> accepted_;
+  std::vector<Completion> completions_;
+  std::vector<int> active_;
+  std::vector<int> due_;
 };
 
 }  // namespace simtmsg::runtime

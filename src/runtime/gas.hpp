@@ -65,6 +65,9 @@ class GlobalAddressSpace {
   [[nodiscard]] matching::MessageQueue& incoming(int node) {
     return incoming_[static_cast<std::size_t>(node)];
   }
+  [[nodiscard]] const matching::MessageQueue& incoming(int node) const {
+    return incoming_[static_cast<std::size_t>(node)];
+  }
 
   [[nodiscard]] std::uint64_t total_injected() const noexcept { return sequence_; }
 

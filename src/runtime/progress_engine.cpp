@@ -41,16 +41,17 @@ telemetry::TelemetryReport ProgressEngine::snapshot() const {
   return r;
 }
 
-std::size_t ProgressEngine::step(matching::MessageQueue& incoming,
-                                 matching::RecvQueue& posted,
-                                 std::vector<Completion>& out, bool enforce_expected) {
+StepResult ProgressEngine::step(matching::MessageQueue& incoming,
+                                matching::RecvQueue& posted,
+                                std::vector<Completion>& out, bool enforce_expected) {
   ++steps_;
   if (incoming.empty() || posted.empty()) {
     if (enforce_expected && !semantics_.unexpected && !incoming.empty()) {
       throw std::runtime_error(
           "unexpected message at quiescence under no-unexpected semantics");
     }
-    return 0;
+    // One queue is empty: nothing can match until a wake event refills it.
+    return {.matched = 0, .runnable = false};
   }
 
   // Snapshot: result indices refer to pre-compaction queue contents.  The
@@ -79,7 +80,7 @@ std::size_t ProgressEngine::step(matching::MessageQueue& incoming,
     throw std::runtime_error(
         "unexpected message at quiescence under no-unexpected semantics");
   }
-  return matched;
+  return {.matched = matched, .runnable = !incoming.empty() && !posted.empty()};
 }
 
 }  // namespace simtmsg::runtime

@@ -30,6 +30,19 @@ struct Completion {
   std::uint64_t payload = 0;
 };
 
+/// What one progress step did and whether the node needs rescheduling —
+/// the runnable/idle contract the cluster Scheduler is built on
+/// (docs/runtime.md).
+struct StepResult {
+  std::size_t matched = 0;  ///< New matches this step.
+  /// True when the node still has both pending messages and posted
+  /// receives after the step: the scheduler must keep it in the active set
+  /// (the queues hold a pair the semantics could not match this pass, or a
+  /// matcher safety valve deferred work).  False means the node is idle
+  /// until a new message arrives or a new receive is posted.
+  bool runnable = false;
+};
+
 class ProgressEngine {
  public:
   ProgressEngine(const simt::DeviceSpec& device, matching::SemanticsConfig semantics);
@@ -46,13 +59,14 @@ class ProgressEngine {
 
   /// One matching pass over (incoming, posted).  Matched elements are
   /// removed from both queues; completions are appended to `out`.
-  /// Returns the number of new matches.  Throws std::runtime_error when a
-  /// message remains unmatched although the semantics prohibit unexpected
-  /// messages and `enforce_expected` is set (used at quiescence points —
-  /// mid-flight a message may legitimately precede its receive's arrival
-  /// into the queue by one progress step).
-  std::size_t step(matching::MessageQueue& incoming, matching::RecvQueue& posted,
-                   std::vector<Completion>& out, bool enforce_expected = false);
+  /// Returns the number of new matches plus whether the node remains
+  /// runnable (needs rescheduling — see StepResult).  Throws
+  /// std::runtime_error when a message remains unmatched although the
+  /// semantics prohibit unexpected messages and `enforce_expected` is set
+  /// (used at quiescence points — mid-flight a message may legitimately
+  /// precede its receive's arrival into the queue by one progress step).
+  StepResult step(matching::MessageQueue& incoming, matching::RecvQueue& posted,
+                  std::vector<Completion>& out, bool enforce_expected = false);
 
   /// Telemetry totals for this engine: `calls` counts progress steps,
   /// `matches`/`cycles`/`seconds`/`iterations` and the event-counter phases

@@ -5,13 +5,29 @@
 namespace simtmsg::runtime {
 namespace {
 
-ClusterConfig two_nodes() {
-  ClusterConfig cfg;
-  cfg.nodes = 2;
-  return cfg;
-}
+// Every cluster test runs under both scheduler policies (the equivalence
+// wall: kEventDriven must be observationally identical to the seed's
+// lockstep loop).  Tests asserting *scheduler-specific* behavior live in
+// scheduler_test.cpp.
+class ClusterPolicyTest : public ::testing::TestWithParam<SchedulerPolicy> {
+ protected:
+  ClusterConfig nodes_cfg(int n) const {
+    ClusterConfig cfg;
+    cfg.nodes = n;
+    cfg.scheduler = GetParam();
+    return cfg;
+  }
+  ClusterConfig two_nodes() const { return nodes_cfg(2); }
+};
 
-TEST(Cluster, SendThenRecvCompletes) {
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ClusterPolicyTest,
+    ::testing::Values(SchedulerPolicy::kLegacyLockstep, SchedulerPolicy::kEventDriven),
+    [](const auto& info) {
+      return info.param == SchedulerPolicy::kLegacyLockstep ? "Lockstep" : "EventDriven";
+    });
+
+TEST_P(ClusterPolicyTest, SendThenRecvCompletes) {
   Cluster c(two_nodes());
   const auto h = c.irecv(1, 0, 7);
   c.send(0, 1, 7, 0xBEEF);
@@ -21,14 +37,14 @@ TEST(Cluster, SendThenRecvCompletes) {
   EXPECT_EQ(r.tag, 7);
 }
 
-TEST(Cluster, RecvBeforeSendAlsoCompletes) {
+TEST_P(ClusterPolicyTest, RecvBeforeSendAlsoCompletes) {
   Cluster c(two_nodes());
   c.send(0, 1, 3, 42);
   const auto h = c.irecv(1, 0, 3);
   EXPECT_EQ(c.wait(h).payload, 42u);
 }
 
-TEST(Cluster, TestIsNonBlocking) {
+TEST_P(ClusterPolicyTest, TestIsNonBlocking) {
   Cluster c(two_nodes());
   const auto h = c.irecv(1, 0, 1);
   EXPECT_FALSE(c.test(h));
@@ -38,7 +54,7 @@ TEST(Cluster, TestIsNonBlocking) {
   EXPECT_EQ(c.result(h)->payload, 5u);
 }
 
-TEST(Cluster, WildcardRecvResolvesConcreteSource) {
+TEST_P(ClusterPolicyTest, WildcardRecvResolvesConcreteSource) {
   Cluster c(two_nodes());
   const auto h = c.irecv(1, matching::kAnySource, matching::kAnyTag);
   c.send(0, 1, 9, 1);
@@ -47,7 +63,7 @@ TEST(Cluster, WildcardRecvResolvesConcreteSource) {
   EXPECT_EQ(r.tag, 9);
 }
 
-TEST(Cluster, OrderingBetweenSamePair) {
+TEST_P(ClusterPolicyTest, OrderingBetweenSamePair) {
   // MPI guarantee: same-pair same-tag messages match posted receives in
   // send order.
   Cluster c(two_nodes());
@@ -59,21 +75,21 @@ TEST(Cluster, OrderingBetweenSamePair) {
   EXPECT_EQ(c.wait(h2).payload, 222u);
 }
 
-TEST(Cluster, DeadlockIsDetected) {
+TEST_P(ClusterPolicyTest, DeadlockIsDetected) {
   Cluster c(two_nodes());
   const auto h = c.irecv(1, 0, 5);
   // No send: the wait must fail rather than spin forever.
   EXPECT_THROW((void)c.wait(h), std::runtime_error);
 }
 
-TEST(Cluster, WrongTagDoesNotMatch) {
+TEST_P(ClusterPolicyTest, WrongTagDoesNotMatch) {
   Cluster c(two_nodes());
   const auto h = c.irecv(1, 0, 5);
   c.send(0, 1, 6, 1);
   EXPECT_THROW((void)c.wait(h), std::runtime_error);
 }
 
-TEST(Cluster, WildcardsRejectedWhenProhibited) {
+TEST_P(ClusterPolicyTest, WildcardsRejectedWhenProhibited) {
   ClusterConfig cfg = two_nodes();
   cfg.semantics.wildcards = false;
   cfg.semantics.partitions = 4;
@@ -82,7 +98,7 @@ TEST(Cluster, WildcardsRejectedWhenProhibited) {
   EXPECT_NO_THROW((void)c.irecv(1, 0, 0));
 }
 
-TEST(Cluster, InvalidConfigRejected) {
+TEST_P(ClusterPolicyTest, InvalidConfigRejected) {
   ClusterConfig bad = two_nodes();
   bad.semantics.partitions = 4;  // Partitioning with wildcards: invalid.
   EXPECT_THROW(Cluster{bad}, std::invalid_argument);
@@ -91,7 +107,7 @@ TEST(Cluster, InvalidConfigRejected) {
   EXPECT_THROW(Cluster{none}, std::invalid_argument);
 }
 
-TEST(Cluster, BarrierDetectsUnexpectedUnderStrictSemantics) {
+TEST_P(ClusterPolicyTest, BarrierDetectsUnexpectedUnderStrictSemantics) {
   ClusterConfig cfg = two_nodes();
   cfg.semantics.wildcards = false;
   cfg.semantics.ordering = false;
@@ -102,7 +118,7 @@ TEST(Cluster, BarrierDetectsUnexpectedUnderStrictSemantics) {
   EXPECT_THROW(c.barrier(), std::runtime_error);
 }
 
-TEST(Cluster, BarrierPassesWhenAllPrePosted) {
+TEST_P(ClusterPolicyTest, BarrierPassesWhenAllPrePosted) {
   ClusterConfig cfg = two_nodes();
   cfg.semantics.wildcards = false;
   cfg.semantics.ordering = false;
@@ -115,9 +131,8 @@ TEST(Cluster, BarrierPassesWhenAllPrePosted) {
   EXPECT_EQ(c.result(h)->payload, 77u);
 }
 
-TEST(Cluster, HashSemanticsDeliverAllPayloads) {
-  ClusterConfig cfg;
-  cfg.nodes = 4;
+TEST_P(ClusterPolicyTest, HashSemanticsDeliverAllPayloads) {
+  ClusterConfig cfg = nodes_cfg(4);
   cfg.semantics.wildcards = false;
   cfg.semantics.ordering = false;
   cfg.semantics.partitions = 4;
@@ -140,7 +155,7 @@ TEST(Cluster, HashSemanticsDeliverAllPayloads) {
   }
 }
 
-TEST(Cluster, StatsAccumulate) {
+TEST_P(ClusterPolicyTest, StatsAccumulate) {
   Cluster c(two_nodes());
   const auto h = c.irecv(1, 0, 0);
   c.send(0, 1, 0, 1);
@@ -153,10 +168,8 @@ TEST(Cluster, StatsAccumulate) {
   EXPECT_GT(s.virtual_time_us, 0.0);
 }
 
-TEST(Cluster, ManyToOneFanIn) {
-  ClusterConfig cfg;
-  cfg.nodes = 8;
-  Cluster c(cfg);
+TEST_P(ClusterPolicyTest, ManyToOneFanIn) {
+  Cluster c(nodes_cfg(8));
   std::vector<RecvHandle> handles;
   for (int src = 1; src < 8; ++src) handles.push_back(c.irecv(0, src, 1));
   for (int src = 1; src < 8; ++src) c.send(src, 0, 1, static_cast<std::uint64_t>(src));
@@ -167,7 +180,7 @@ TEST(Cluster, ManyToOneFanIn) {
   }
 }
 
-TEST(Cluster, VirtualTimeAdvancesWithTraffic) {
+TEST_P(ClusterPolicyTest, VirtualTimeAdvancesWithTraffic) {
   Cluster c(two_nodes());
   EXPECT_EQ(c.now_us(), 0.0);
   const auto h = c.irecv(1, 0, 0);
@@ -178,7 +191,7 @@ TEST(Cluster, VirtualTimeAdvancesWithTraffic) {
 }
 
 
-TEST(Cluster, CommunicatorsIsolateTraffic) {
+TEST_P(ClusterPolicyTest, CommunicatorsIsolateTraffic) {
   // Same {src, tag} on two communicators: each receive must take the
   // message from its own communicator (the progress engine's MatchEngine
   // splits per comm).
@@ -192,9 +205,8 @@ TEST(Cluster, CommunicatorsIsolateTraffic) {
   EXPECT_EQ(c.result(h_b)->payload, 222u);
 }
 
-TEST(Cluster, JitteredNetworkStillDeliversEverything) {
-  ClusterConfig cfg;
-  cfg.nodes = 4;
+TEST_P(ClusterPolicyTest, JitteredNetworkStillDeliversEverything) {
+  ClusterConfig cfg = nodes_cfg(4);
   cfg.network.jitter_us = 2.0;  // Cross-pair reordering.
   Cluster c(cfg);
   std::vector<RecvHandle> handles;
@@ -214,14 +226,14 @@ TEST(Cluster, JitteredNetworkStillDeliversEverything) {
   }
 }
 
-TEST(Cluster, SendRejectsBadArguments) {
+TEST_P(ClusterPolicyTest, SendRejectsBadArguments) {
   Cluster c(two_nodes());
   EXPECT_THROW(c.send(-1, 1, 0, 0), std::out_of_range);
   EXPECT_THROW(c.send(0, 5, 0, 0), std::out_of_range);
   EXPECT_THROW(c.send(0, 1, matching::kAnyTag, 0), std::invalid_argument);
 }
 
-TEST(Cluster, WaitReturnsImmediatelyWhenAlreadyComplete) {
+TEST_P(ClusterPolicyTest, WaitReturnsImmediatelyWhenAlreadyComplete) {
   Cluster c(two_nodes());
   const auto h = c.irecv(1, 0, 2);
   c.send(0, 1, 2, 9);
@@ -229,7 +241,7 @@ TEST(Cluster, WaitReturnsImmediatelyWhenAlreadyComplete) {
   EXPECT_EQ(c.wait(h).payload, 9u);  // No further progress needed.
 }
 
-TEST(Cluster, DeadlockErrorNamesTheStuckHandle) {
+TEST_P(ClusterPolicyTest, DeadlockErrorNamesTheStuckHandle) {
   Cluster c(two_nodes());
   const auto h = c.irecv(1, 0, 5, /*comm=*/3);
   try {
@@ -242,23 +254,24 @@ TEST(Cluster, DeadlockErrorNamesTheStuckHandle) {
     EXPECT_NE(what.find("src=0"), std::string::npos) << what;
     EXPECT_NE(what.find("tag=5"), std::string::npos) << what;
     EXPECT_NE(what.find("comm=3"), std::string::npos) << what;
+    // The scheduler's view: receives posted, nothing inbound.
+    EXPECT_NE(what.find("scheduler view: starved"), std::string::npos) << what;
   }
 }
 
-TEST(Cluster, ShardsPerNodeZeroRejected) {
+TEST_P(ClusterPolicyTest, ShardsPerNodeZeroRejected) {
   ClusterConfig bad = two_nodes();
   bad.shards_per_node = 0;
   EXPECT_THROW(Cluster{bad}, std::invalid_argument);
 }
 
-TEST(Cluster, ShardedNodesDeliverIdenticalResultsAndHeadlineStats) {
+TEST_P(ClusterPolicyTest, ShardedNodesDeliverIdenticalResultsAndHeadlineStats) {
   // shards_per_node partitions each node's matching by (comm, src); every
   // receive must resolve to the same payload, and the headline counters
   // must agree with the single-shard run (matching_seconds may differ: the
   // modelled time is the slowest shard's, not the sum).
-  const auto run = [](int shards) {
-    ClusterConfig cfg;
-    cfg.nodes = 4;
+  const auto run = [this](int shards) {
+    ClusterConfig cfg = nodes_cfg(4);
     cfg.shards_per_node = shards;
     Cluster c(cfg);
     std::vector<RecvHandle> handles;
@@ -285,7 +298,7 @@ TEST(Cluster, ShardedNodesDeliverIdenticalResultsAndHeadlineStats) {
   EXPECT_EQ(run(8), base);
 }
 
-TEST(Cluster, ShardedWildcardRecvStillResolves) {
+TEST_P(ClusterPolicyTest, ShardedWildcardRecvStillResolves) {
   // An MPI_ANY_SOURCE receive on a sharded node takes the serialized
   // all-shard path; delivery must be unaffected.
   ClusterConfig cfg = two_nodes();
@@ -298,7 +311,7 @@ TEST(Cluster, ShardedWildcardRecvStillResolves) {
   EXPECT_EQ(r.tag, 9);
 }
 
-TEST(Cluster, SnapshotExportsHeadlineAndPerNodeEntries) {
+TEST_P(ClusterPolicyTest, SnapshotExportsHeadlineAndPerNodeEntries) {
   Cluster c(two_nodes());
   const auto h = c.irecv(1, 0, 0);
   c.send(0, 1, 0, 1);
@@ -321,5 +334,21 @@ TEST(Cluster, SnapshotExportsHeadlineAndPerNodeEntries) {
   EXPECT_EQ(s.matching_seconds, r.seconds);
   EXPECT_EQ(s.virtual_time_us, r.gauges.at("runtime.cluster.virtual_time_us"));
 }
+
+TEST_P(ClusterPolicyTest, SnapshotExportsSchedulerInstruments) {
+  Cluster c(two_nodes());
+  const auto h = c.irecv(1, 0, 0);
+  c.send(0, 1, 0, 1);
+  (void)c.wait(h);
+  const auto r = c.snapshot();
+  EXPECT_GT(r.counters.at("runtime.scheduler.ticks"), 0u);
+  EXPECT_GT(r.counters.at("runtime.scheduler.nodes_stepped"), 0u);
+  EXPECT_GT(r.counters.at("runtime.scheduler.wakes"), 0u);
+  EXPECT_EQ(r.counters.at("runtime.scheduler.rto_expiries"), 0u);  // Ideal wire.
+  EXPECT_GE(r.gauges.at("runtime.scheduler.active_set_peak"), 1.0);
+  // Only node 1 ever has matching work: the idle sender is never stepped.
+  EXPECT_GT(r.counters.at("runtime.scheduler.idle_steps_skipped"), 0u);
+}
+
 }  // namespace
 }  // namespace simtmsg::runtime

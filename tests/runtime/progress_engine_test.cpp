@@ -28,7 +28,9 @@ class ProgressEngineTest : public ::testing::Test {
 };
 
 TEST_F(ProgressEngineTest, EmptyQueuesNoMatch) {
-  EXPECT_EQ(engine_.step(incoming_, posted_, out_), 0u);
+  const StepResult r = engine_.step(incoming_, posted_, out_);
+  EXPECT_EQ(r.matched, 0u);
+  EXPECT_FALSE(r.runnable);
   EXPECT_TRUE(out_.empty());
   EXPECT_EQ(engine_.snapshot().calls, 1u);
 }
@@ -36,7 +38,9 @@ TEST_F(ProgressEngineTest, EmptyQueuesNoMatch) {
 TEST_F(ProgressEngineTest, MatchProducesCompletion) {
   incoming_.push(msg(0, 5, 123));
   posted_.push(req(0, 5, 42));
-  EXPECT_EQ(engine_.step(incoming_, posted_, out_), 1u);
+  const StepResult r = engine_.step(incoming_, posted_, out_);
+  EXPECT_EQ(r.matched, 1u);
+  EXPECT_FALSE(r.runnable);  // Both queues drained: node goes idle.
   ASSERT_EQ(out_.size(), 1u);
   EXPECT_EQ(out_[0].handle, 42u);
   EXPECT_EQ(out_[0].payload, 123u);
@@ -49,7 +53,11 @@ TEST_F(ProgressEngineTest, LeftoversStayQueued) {
   incoming_.push(msg(0, 5));
   incoming_.push(msg(0, 6));
   posted_.push(req(0, 5, 1));
-  EXPECT_EQ(engine_.step(incoming_, posted_, out_), 1u);
+  const StepResult r = engine_.step(incoming_, posted_, out_);
+  EXPECT_EQ(r.matched, 1u);
+  // A message remains but the posted queue drained: not runnable until a
+  // new receive arrives.
+  EXPECT_FALSE(r.runnable);
   EXPECT_EQ(incoming_.size(), 1u);
   EXPECT_EQ(incoming_[0].env.tag, 6);
 }
