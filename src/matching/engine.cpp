@@ -8,6 +8,7 @@
 #include "matching/matcher.hpp"
 #include "matching/matrix_matcher.hpp"
 #include "matching/partitioned_matcher.hpp"
+#include "matching/pattern_table_matcher.hpp"
 #include "matching/queue.hpp"
 #include "matching/workspace.hpp"
 #include "util/bits.hpp"
@@ -19,6 +20,7 @@ std::string_view to_string(Algorithm a) noexcept {
     case Algorithm::kMatrix: return "matrix";
     case Algorithm::kPartitionedMatrix: return "partitioned-matrix";
     case Algorithm::kHashTable: return "hash-table";
+    case Algorithm::kPatternTable: return "pattern-table";
   }
   return "unknown";
 }
@@ -62,7 +64,16 @@ MatchEngine::MatchEngine(const simt::DeviceSpec& spec, SemanticsConfig cfg,
   if (!valid(cfg_)) {
     throw std::invalid_argument("inconsistent semantics: " + describe(cfg_));
   }
-  if (hashable(cfg_)) {
+  if (cfg_.pattern_table) {
+    // The pattern-table matcher provides full MPI semantics (posted order,
+    // both wildcards) at exact-probe cost, so it serves every ordering /
+    // wildcard combination the config requests; wildcard rejection under
+    // !wildcards still happens in match_impl_into.
+    PatternTableMatcher::Options opt;
+    opt.policy = policy;
+    impl_->matcher = std::make_unique<PatternTableMatcher>(spec, opt);
+    impl_->algorithm = Algorithm::kPatternTable;
+  } else if (hashable(cfg_)) {
     HashMatcher::Options opt;
     // Partitioning the rank space across CTAs is the hash analogue of the
     // multi-queue layout.

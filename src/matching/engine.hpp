@@ -25,11 +25,13 @@
 
 namespace simtmsg::matching {
 
-/// The three data-structure regimes of Table II.
+/// The three data-structure regimes of Table II, plus the wildcard-capable
+/// pattern-table matcher (beyond the paper; SemanticsConfig::pattern_table).
 enum class Algorithm {
   kMatrix,             ///< Fully compliant vote-matrix matcher (rows 1-2).
   kPartitionedMatrix,  ///< Rank-partitioned matrix queues (rows 3-4).
   kHashTable,          ///< Two-level device hash table (rows 5-6).
+  kPatternTable,       ///< Wildcard-class exact-probe tables (docs/wildcards.md).
 };
 
 [[nodiscard]] std::string_view to_string(Algorithm a) noexcept;

@@ -1,0 +1,227 @@
+#include "matching/pattern_table_matcher.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "matching/workspace.hpp"
+#include "simt/timing_model.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/bits.hpp"
+#include "util/hash.hpp"
+
+namespace simtmsg::matching {
+namespace {
+
+// The four wildcard classes: bit 0 = source wildcarded, bit 1 = tag
+// wildcarded.  A receive lands in exactly one class; a message probes all
+// four with its envelope projected onto each class's concrete fields.
+[[nodiscard]] int class_of(const Envelope& e) noexcept {
+  return (e.src == kAnySource ? 1 : 0) | (e.tag == kAnyTag ? 2 : 0);
+}
+
+[[nodiscard]] constexpr bool class_has_src(int cls) noexcept { return (cls & 1) == 0; }
+[[nodiscard]] constexpr bool class_has_tag(int cls) noexcept { return (cls & 2) == 0; }
+
+/// Slot hash over the class's concrete fields (wildcarded fields zeroed so
+/// a message's projection and a receive's stored key hash identically).
+[[nodiscard]] std::uint32_t slot_hash(int cls, const Envelope& e) noexcept {
+  const std::uint32_t src = class_has_src(cls) ? static_cast<std::uint32_t>(e.src) : 0u;
+  const std::uint32_t tag = class_has_tag(cls) ? static_cast<std::uint32_t>(e.tag) : 0u;
+  std::uint32_t h = util::mix64to32((static_cast<std::uint64_t>(src) << 32) | tag);
+  h ^= util::mix64to32((static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.comm)) << 32) |
+                       (0x9E3779B9u + static_cast<std::uint32_t>(cls)));
+  return h;
+}
+
+/// Do two envelopes agree on the class's concrete fields?  For inserts both
+/// sides are receives of the same class; for probes `a` is the bucket's
+/// representative receive and `b` the incoming message.
+[[nodiscard]] bool class_key_equal(const Envelope& a, const Envelope& b, int cls) noexcept {
+  return a.comm == b.comm && (!class_has_src(cls) || a.src == b.src) &&
+         (!class_has_tag(cls) || a.tag == b.tag);
+}
+
+}  // namespace
+
+PatternTableMatcher::PatternTableMatcher(const simt::DeviceSpec& spec, Options opt)
+    : spec_(&spec), opt_(opt) {
+  opt_.ctas = std::max(1, opt_.ctas);
+  opt_.max_warps = std::clamp(opt_.max_warps, 1, spec.max_warps_per_cta);
+  opt_.table_load = std::max(1.25, opt_.table_load);
+}
+
+SimtMatchStats PatternTableMatcher::match(std::span<const Message> msgs,
+                                          std::span<const RecvRequest> reqs) const {
+  MatchWorkspace ws;
+  SimtMatchStats stats;
+  match_into(msgs, reqs, ws, stats);
+  return stats;
+}
+
+void PatternTableMatcher::match_into(std::span<const Message> msgs,
+                                     std::span<const RecvRequest> reqs, MatchWorkspace& ws,
+                                     SimtMatchStats& out) const {
+  out.reset(reqs.size());
+  out.ctas_used = opt_.ctas;
+  out.iterations = 1;
+
+  PatternWorkspace& pw = ws.pattern;
+  std::uint64_t insert_slots = 0;  ///< Slot inspections while building tables.
+  std::uint64_t probe_slots = 0;   ///< Slot inspections while resolving messages.
+  std::uint64_t wildcard_posts = 0;
+  std::uint64_t hits = 0;
+
+  if (!msgs.empty() && !reqs.empty()) {
+    // ---- Classify the posted receives and size one table per class.
+    std::size_t class_count[4] = {0, 0, 0, 0};
+    pw.req_class.resize(reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const int cls = class_of(reqs[i].env);
+      pw.req_class[i] = static_cast<std::uint8_t>(cls);
+      ++class_count[cls];
+    }
+    wildcard_posts = static_cast<std::uint64_t>(reqs.size() - class_count[0]);
+
+    for (int cls = 0; cls < 4; ++cls) {
+      PatternWorkspace::Table& t = pw.tables[cls];
+      t.live = 0;
+      if (class_count[cls] == 0) {
+        // Never probed (the live check below short-circuits), so the slot
+        // arrays can stay at whatever capacity they had.
+        t.mask = 0;
+        continue;
+      }
+      const std::size_t slots = util::next_pow2(std::max<std::size_t>(
+          16, static_cast<std::size_t>(opt_.table_load *
+                                       static_cast<double>(class_count[cls]))));
+      t.rep.assign(slots, -1);
+      t.head.assign(slots, -1);
+      t.tail.assign(slots, -1);
+      t.mask = slots - 1;
+    }
+
+    // ---- Insert pass: append each receive to its class bucket's FIFO.
+    // Posted order in, so every bucket head is the class's oldest candidate.
+    pw.next.assign(reqs.size(), -1);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const int cls = pw.req_class[i];
+      PatternWorkspace::Table& t = pw.tables[cls];
+      std::size_t s = slot_hash(cls, reqs[i].env) & t.mask;
+      while (true) {
+        ++insert_slots;
+        const std::int32_t rep = t.rep[s];
+        if (rep < 0) {
+          t.rep[s] = static_cast<std::int32_t>(i);
+          t.head[s] = static_cast<std::int32_t>(i);
+          t.tail[s] = static_cast<std::int32_t>(i);
+          break;
+        }
+        if (class_key_equal(reqs[static_cast<std::size_t>(rep)].env, reqs[i].env, cls)) {
+          pw.next[static_cast<std::size_t>(t.tail[s])] = static_cast<std::int32_t>(i);
+          t.tail[s] = static_cast<std::int32_t>(i);
+          break;
+        }
+        s = (s + 1) & t.mask;
+      }
+      ++t.live;
+    }
+
+    // ---- Probe pass, message-driven greedy: each message (arrival order)
+    // probes at most the four non-empty class tables and takes the bucket
+    // head with the lowest posting index — the global-sequence tiebreak.
+    // docs/wildcards.md proves this reproduces the request-driven oracle.
+    for (std::size_t m = 0; m < msgs.size(); ++m) {
+      const Envelope& env = msgs[m].env;
+      std::int32_t best = -1;
+      int best_cls = 0;
+      std::size_t best_slot = 0;
+      for (int cls = 0; cls < 4; ++cls) {
+        PatternWorkspace::Table& t = pw.tables[cls];
+        if (t.live == 0) continue;
+        std::size_t s = slot_hash(cls, env) & t.mask;
+        std::int32_t cand = -1;
+        while (true) {
+          ++probe_slots;
+          const std::int32_t rep = t.rep[s];
+          if (rep < 0) break;  // Empty slot: this key was never inserted.
+          if (class_key_equal(reqs[static_cast<std::size_t>(rep)].env, env, cls)) {
+            cand = t.head[s];  // -1 when the bucket has drained.
+            break;
+          }
+          s = (s + 1) & t.mask;
+        }
+        if (cand >= 0 && (best < 0 || cand < best)) {
+          best = cand;
+          best_cls = cls;
+          best_slot = s;
+        }
+      }
+      if (best < 0) continue;
+      PatternWorkspace::Table& t = pw.tables[best_cls];
+      const std::int32_t nxt = pw.next[static_cast<std::size_t>(best)];
+      t.head[best_slot] = nxt;
+      if (nxt < 0) t.tail[best_slot] = -1;
+      --t.live;
+      out.result.request_match[static_cast<std::size_t>(best)] =
+          static_cast<std::int32_t>(m);
+      ++hits;
+    }
+  }
+
+  // ---- Cost model: the functional resolution above is host-serial; the
+  // modelled device kernel is an insert phase then a probe phase, split
+  // across CTAs.  Table reads are independent per-lane gathers (hash-probe
+  // style MLP); the FIFO append and the head claim are global atomics.
+  const simt::TimingModel model(*spec_);
+  const auto ctas = static_cast<std::size_t>(opt_.ctas);
+  const std::size_t per_cta_elems =
+      util::ceil_div(std::max(msgs.size(), reqs.size()), ctas);
+  const int warps_per_cta = static_cast<int>(std::clamp<std::size_t>(
+      util::ceil_div(per_cta_elems, 32), 1, static_cast<std::size_t>(opt_.max_warps)));
+
+  const auto per_cta = [&](std::uint64_t v) { return util::ceil_div(v, ctas); };
+  const std::uint64_t req_groups = util::ceil_div(reqs.size(), std::size_t{32});
+  const std::uint64_t msg_groups = util::ceil_div(msgs.size(), std::size_t{32});
+
+  simt::EventCounters insert_ev;  // Phase 1: build the class tables.
+  insert_ev.global_load_requests = per_cta(req_groups) + per_cta(insert_slots);
+  insert_ev.global_transactions = 2 * per_cta(req_groups) + per_cta(insert_slots);
+  insert_ev.global_store_requests = per_cta(req_groups);
+  insert_ev.atomic_operations = per_cta(reqs.size());  // FIFO tail append.
+  insert_ev.alu_instructions = 6 * per_cta(req_groups);
+  insert_ev.branch_instructions = 2 * per_cta(req_groups);
+
+  simt::EventCounters probe_ev;  // Phase 2: resolve the messages.
+  probe_ev.global_load_requests = per_cta(msg_groups) + per_cta(probe_slots);
+  probe_ev.global_transactions = 2 * per_cta(msg_groups) + per_cta(probe_slots);
+  probe_ev.atomic_operations = per_cta(hits);  // Winner's bucket-head claim.
+  probe_ev.alu_instructions = 10 * per_cta(msg_groups);
+  probe_ev.branch_instructions = 4 * per_cta(msg_groups);
+
+  simt::LaunchConfig launch;
+  launch.ctas = opt_.ctas;
+  launch.warps_per_cta = warps_per_cta;
+  launch.mlp_per_warp = opt_.kernel_mlp;
+  // Vector overload with workspace scratch: the scalar estimate() would
+  // heap-allocate its per-CTA expansion on every call.
+  pw.cta_events.assign(ctas, insert_ev);
+  const auto insert_est = model.estimate(pw.cta_events, launch);
+  pw.cta_events.assign(ctas, probe_ev);
+  const auto probe_est = model.estimate(pw.cta_events, launch);
+
+  out.scan_events = insert_ev;
+  out.reduce_events = probe_ev;
+  out.warps_used = warps_per_cta;
+  out.cycles = insert_est.cycles + probe_est.cycles + opt_.launch_overhead_cycles;
+  out.seconds = model.seconds_from_cycles(out.cycles);
+
+  record_attempt(out, msgs.size(), reqs.size());
+  // The per-table instruments the sharded replication path merges: probe
+  // traffic (both phases' slot inspections), resolved messages, and how
+  // many posts took a wildcard table.
+  telemetry::count("matching.pattern.probes", insert_slots + probe_slots);
+  telemetry::count("matching.pattern.hits", hits);
+  telemetry::count("matching.pattern.wildcard_posts", wildcard_posts);
+}
+
+}  // namespace simtmsg::matching

@@ -1,0 +1,82 @@
+// PatternTableMatcher: wildcard-capable exact-probe matching — the
+// ROADMAP's "automaton/pattern-table" matcher (hybrid CUDA+MPI
+// Aho-Corasick direction from PAPERS.md, specialised to the 3-field MPI
+// envelope alphabet).
+//
+// The paper's hash relaxation (Section VI-C) forbids wildcards, so
+// MiniFE/MiniDFT-style MPI_ANY_SOURCE traffic falls back to the O(M*R)
+// compliant matrix path.  But a receive envelope can only wildcard two of
+// its three fields, so the posted-receive set compiles into exactly four
+// exact-probe tables keyed by wildcard class:
+//
+//   class 0  (src, tag, comm)   fully concrete
+//   class 1  (ANY, tag, comm)   MPI_ANY_SOURCE
+//   class 2  (src, ANY, comm)   MPI_ANY_TAG
+//   class 3  (ANY, ANY, comm)   both wildcards
+//
+// Each receive is inserted into the one table matching its class, appended
+// to a per-key FIFO list (so a bucket's head is always the class's
+// oldest-posted candidate).  An incoming message projects its envelope
+// onto each class's key and probes at most four buckets; the candidates'
+// global posting sequence breaks the tie, and the oldest hit wins —
+// exactly MPI's "first matching posted receive" rule, wildcards included.
+// docs/wildcards.md has the layout diagram and the proof sketch that this
+// message-driven greedy reproduces ReferenceMatcher bit-for-bit.
+#pragma once
+
+#include <span>
+
+#include "matching/envelope.hpp"
+#include "matching/matcher.hpp"
+#include "matching/queue.hpp"
+#include "matching/simt_stats.hpp"
+#include "simt/device_spec.hpp"
+#include "simt/launcher.hpp"
+
+namespace simtmsg::matching {
+
+class PatternTableMatcher : public Matcher {
+ public:
+  struct Options {
+    int ctas = 1;       ///< Elements are split across CTAs, as in the hash matcher.
+    int max_warps = 32;
+    /// Slots per live entry in each class table (open addressing headroom).
+    double table_load = 2.0;
+    /// Table probes are independent per-lane accesses: one warp keeps many
+    /// bucket reads in flight, like the hash matcher's probe phase.
+    double kernel_mlp = 8.0;
+    /// Fixed per-call launch/teardown charge.
+    double launch_overhead_cycles = 400.0;
+    /// Host scheduling knob (cost replay only; functional resolution is
+    /// serial, so results are bit-identical for every thread count).
+    simt::ExecutionPolicy policy = simt::ExecutionPolicy::serial();
+  };
+
+  explicit PatternTableMatcher(const simt::DeviceSpec& spec)
+      : PatternTableMatcher(spec, Options{}) {}
+  PatternTableMatcher(const simt::DeviceSpec& spec, Options opt);
+
+  /// Batch-match with full MPI semantics: posted order, both wildcards.
+  /// Produces exactly ReferenceMatcher's pairing.
+  [[nodiscard]] SimtMatchStats match(std::span<const Message> msgs,
+                                     std::span<const RecvRequest> reqs) const override;
+
+  /// Workspace form: the four class tables, FIFO links, and classification
+  /// scratch all come from `ws.pattern` — zero allocations in steady state.
+  void match_into(std::span<const Message> msgs, std::span<const RecvRequest> reqs,
+                  MatchWorkspace& ws, SimtMatchStats& out) const override;
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "pattern-table"; }
+
+  [[nodiscard]] Traits traits() const noexcept override {
+    return Traits{.ordered = true, .tag_wildcards = true, .source_wildcards = true};
+  }
+
+  [[nodiscard]] const Options& options() const noexcept { return opt_; }
+
+ private:
+  const simt::DeviceSpec* spec_;
+  Options opt_;
+};
+
+}  // namespace simtmsg::matching

@@ -11,6 +11,9 @@ bool valid(const SemanticsConfig& cfg) noexcept {
   // (Section VI: "The next level could partition among ranks, but this is
   // impossible due to wildcards").
   if (cfg.partitions > 1 && cfg.wildcards) return false;
+  // The pattern-table matcher's class tables subsume rank partitioning;
+  // combining the two would leave the partition count meaningless.
+  if (cfg.pattern_table && cfg.partitions > 1) return false;
   return true;
 }
 
@@ -39,6 +42,8 @@ std::string describe(const SemanticsConfig& cfg) {
      << " ordering=" << (cfg.ordering ? "yes" : "no")
      << " unexpected=" << (cfg.unexpected ? "yes" : "no")
      << " partitions=" << cfg.partitions;
+  // Appended only when set so the Table II row labels stay stable.
+  if (cfg.pattern_table) ss << " pattern-table=yes";
   return ss.str();
 }
 

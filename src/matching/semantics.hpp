@@ -18,6 +18,12 @@ struct SemanticsConfig {
   /// wildcard; 1 = single queue).  Section VI-A.
   int partitions = 1;
 
+  /// Select the pattern-table matcher (beyond the paper): exact-probe class
+  /// tables that keep full MPI semantics — wildcards AND posted order —
+  /// at hash-style probe cost.  Incompatible with rank partitioning (the
+  /// class tables are already the partition structure).  docs/wildcards.md.
+  bool pattern_table = false;
+
   friend bool operator==(const SemanticsConfig&, const SemanticsConfig&) = default;
 };
 

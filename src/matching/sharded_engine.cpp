@@ -11,12 +11,26 @@
 namespace simtmsg::matching {
 namespace {
 
-[[nodiscard]] bool any_source_wildcard(std::span<const RecvRequest> reqs) noexcept {
+[[nodiscard]] std::uint64_t count_any_source(std::span<const RecvRequest> reqs) noexcept {
+  std::uint64_t n = 0;
   for (const auto& r : reqs) {
-    if (r.env.src == kAnySource) return true;
+    if (r.env.src == kAnySource) ++n;
   }
-  return false;
+  return n;
 }
+
+// Pass-accounting counters (always written at the top level, never inside a
+// shard stage, so a mid-pass snapshot can't observe a half-staged value —
+// the drift the serialized pass used to exhibit).
+constexpr std::string_view kShardSerialized = "matching.shard.serialized_passes";
+constexpr std::string_view kShardSharded = "matching.shard.sharded_passes";
+constexpr std::string_view kShardReplicated = "matching.shard.replicated_passes";
+constexpr std::string_view kShardWildcardPosts = "matching.shard.wildcard_posts";
+constexpr std::string_view kShardRounds = "matching.shard.replication_rounds";
+
+/// Stub-claim reconciliation cap; beyond it the pass falls back to the
+/// serialized path (still exact, never reached by non-adversarial traffic).
+constexpr int kMaxReplicationRounds = 64;
 
 }  // namespace
 
@@ -38,8 +52,25 @@ struct ShardedMatchEngine::Impl {
   std::vector<std::uint8_t> msg_flags;
   std::vector<std::uint8_t> req_flags;
 
+  // Replicated-stub wildcard path scratch (pattern-table algorithm only).
+  struct Claim {
+    std::uint32_t msg = 0;    ///< Global message index (arrival order).
+    std::uint32_t req = 0;    ///< Global index of the wildcard receive.
+    std::uint32_t shard = 0;  ///< Shard whose run produced the claim.
+  };
+  std::vector<std::vector<std::uint32_t>> rep_msg_idx;  ///< Pristine routing.
+  std::vector<std::vector<std::uint32_t>> rep_req_idx;  ///< Concrete + stubs, posted order.
+  std::vector<std::vector<std::uint8_t>> lost;  ///< Per shard, per global req: stub dropped.
+  std::vector<std::uint8_t> shard_dirty;        ///< Needs a (re-)run this round.
+  std::vector<Claim> claims;
+  std::vector<std::int32_t> req_owner;   ///< Scan scratch: stub -> claiming shard.
+  std::vector<std::uint8_t> req_proven;  ///< Scan scratch: owner claim is final.
+  std::vector<std::uint8_t> scan_suspect;  ///< Shard hit a conflict this scan.
+  std::vector<std::uint8_t> scan_shaky;    ///< Shard holds a threatened claim.
+
   std::uint64_t serialized_passes = 0;
   std::uint64_t sharded_passes = 0;
+  std::uint64_t replicated_passes = 0;
 };
 
 ShardedMatchEngine::ShardedMatchEngine(const simt::DeviceSpec& spec, SemanticsConfig cfg,
@@ -61,6 +92,10 @@ ShardedMatchEngine::ShardedMatchEngine(const simt::DeviceSpec& spec, SemanticsCo
   impl_->shard_stats.resize(n);
   impl_->shard_busy.resize(n, 0);
   impl_->stages.resize(n);
+  impl_->rep_msg_idx.resize(n);
+  impl_->rep_req_idx.resize(n);
+  impl_->lost.resize(n);
+  impl_->shard_dirty.resize(n, 0);
 }
 
 ShardedMatchEngine::~ShardedMatchEngine() = default;
@@ -92,6 +127,10 @@ std::uint64_t ShardedMatchEngine::serialized_passes() const noexcept {
 
 std::uint64_t ShardedMatchEngine::sharded_passes() const noexcept {
   return impl_->sharded_passes;
+}
+
+std::uint64_t ShardedMatchEngine::replicated_passes() const noexcept {
+  return impl_->replicated_passes;
 }
 
 telemetry::TelemetryReport ShardedMatchEngine::snapshot() const {
@@ -191,6 +230,237 @@ void ShardedMatchEngine::match_shards_into(std::span<const Message> msgs,
   out.cycles = max_cycles;
   out.seconds = max_seconds;
   ++im.sharded_passes;
+  telemetry::count(kShardSharded);
+}
+
+void ShardedMatchEngine::match_serialized_into(std::span<const Message> msgs,
+                                               std::span<const RecvRequest> reqs,
+                                               SimtMatchStats& out) const {
+  Impl& im = *impl_;
+  // The whole batch through shard 0, with the shard's matcher telemetry
+  // staged and merged exactly like a sharded pass would stage it.  Before
+  // this fix the serialized pass wrote shard 0's counters straight into the
+  // ambient sink, so the first ANY_SOURCE post of a fresh engine produced a
+  // different staging order than every other pass (counter drift vs the
+  // unsharded engine under stage-scoped collection).
+  if constexpr (telemetry::kEnabled) {
+    im.stages[0].reset_values();
+    {
+      const telemetry::ScopedStage stage(im.stages[0]);
+      im.shards.front().match(msgs, reqs, out);
+    }
+    telemetry::sink().merge_from(im.stages[0]);
+  } else {
+    im.shards.front().match(msgs, reqs, out);
+  }
+  ++im.serialized_passes;
+  telemetry::count(kShardSerialized);
+}
+
+void ShardedMatchEngine::match_replicated_into(std::span<const Message> msgs,
+                                               std::span<const RecvRequest> reqs,
+                                               SimtMatchStats& out) const {
+  Impl& im = *impl_;
+  const std::size_t n = im.shards.size();
+  out.reset(reqs.size());
+
+  // Pristine routing as index lists: messages and concrete receives go to
+  // their (comm, src) shard; every ANY_SOURCE receive is stubbed into all
+  // shards, in its global posted position, so each shard sees exactly the
+  // receive stream an unsharded engine would show it.
+  for (std::size_t s = 0; s < n; ++s) {
+    im.rep_msg_idx[s].clear();
+    im.rep_req_idx[s].clear();
+    im.lost[s].assign(reqs.size(), 0);
+    im.shard_dirty[s] = 1;
+    im.shard_busy[s] = 0;
+    im.shard_stats[s].reset(0);
+    im.req_map[s].clear();
+  }
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    const auto s = static_cast<std::size_t>(shard_of(msgs[i].env.comm, msgs[i].env.src));
+    im.rep_msg_idx[s].push_back(static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i].env.src == kAnySource) {
+      for (std::size_t s = 0; s < n; ++s) {
+        im.rep_req_idx[s].push_back(static_cast<std::uint32_t>(i));
+      }
+    } else {
+      const auto s = static_cast<std::size_t>(shard_of(reqs[i].env.comm, reqs[i].env.src));
+      im.rep_req_idx[s].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // Fixpoint: run dirty shards, scan stub claims in global message-arrival
+  // order, finalize everything before the first cross-shard conflict, drop
+  // the loser's stub and re-run it.  Each round with a conflict removes one
+  // stub permanently (sound: the winning claim is in the finalized prefix),
+  // so the loop terminates; docs/wildcards.md has the argument.
+  double total_cycles = 0.0;
+  double total_seconds = 0.0;
+  int rounds = 0;
+  while (true) {
+    if (++rounds > kMaxReplicationRounds) {
+      // Safety valve: exact, just not parallel — the whole batch through
+      // shard 0, leftover-tolerant (the caller applies any unexpected-
+      // message policy).  Unreachable without an adversarial claim-chain;
+      // counted so regressions would show up.
+      auto& mq0 = im.shard_msgs[0];
+      auto& rq0 = im.shard_reqs[0];
+      mq0.clear();
+      rq0.clear();
+      for (const auto& m : msgs) mq0.push_raw(m);
+      for (const auto& r : reqs) rq0.push_raw(r);
+      if constexpr (telemetry::kEnabled) {
+        im.stages[0].reset_values();
+        {
+          const telemetry::ScopedStage stage(im.stages[0]);
+          im.shards.front().match_queues(mq0, rq0, out);
+        }
+        telemetry::sink().merge_from(im.stages[0]);
+      } else {
+        im.shards.front().match_queues(mq0, rq0, out);
+      }
+      ++im.serialized_passes;
+      telemetry::count(kShardSerialized);
+      return;
+    }
+    if constexpr (telemetry::kEnabled) {
+      for (std::size_t s = 0; s < n; ++s) {
+        if (im.shard_dirty[s] != 0) im.stages[s].reset_values();
+      }
+    }
+    util::ThreadPool::shared().run_indexed(
+        n, im.opt.policy.resolved_threads(), [&](std::size_t s) {
+          if (im.shard_dirty[s] == 0) return;
+          im.shard_busy[s] = 0;
+          auto& mq = im.shard_msgs[s];
+          auto& rq = im.shard_reqs[s];
+          mq.clear();
+          rq.clear();
+          im.req_map[s].clear();
+          for (const auto gi : im.rep_msg_idx[s]) mq.push_raw(msgs[gi]);
+          for (const auto gi : im.rep_req_idx[s]) {
+            if (im.lost[s][gi] != 0) continue;
+            rq.push_raw(reqs[gi]);
+            im.req_map[s].push_back(gi);
+          }
+          im.shard_stats[s].reset(0);
+          if (mq.empty() || rq.empty()) return;
+          im.shard_busy[s] = 1;
+          if constexpr (telemetry::kEnabled) {
+            const telemetry::ScopedStage stage(im.stages[s]);
+            im.shards[s].match_queues(mq, rq, im.shard_stats[s]);
+          } else {
+            im.shards[s].match_queues(mq, rq, im.shard_stats[s]);
+          }
+        });
+    if constexpr (telemetry::kEnabled) {
+      auto& sink = telemetry::sink();
+      for (std::size_t s = 0; s < n; ++s) {
+        if (im.shard_dirty[s] != 0 && im.shard_busy[s] != 0) sink.merge_from(im.stages[s]);
+      }
+    }
+
+    // Modelled cost of the round: shards run concurrently, so the round
+    // costs its slowest re-run shard; rounds serialize.  Event counters sum
+    // over every run (discarded runs were real modelled work).
+    double round_cycles = 0.0;
+    double round_seconds = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (im.shard_dirty[s] == 0 || im.shard_busy[s] == 0) continue;
+      const SimtMatchStats& shard = im.shard_stats[s];
+      out.scan_events += shard.scan_events;
+      out.reduce_events += shard.reduce_events;
+      out.compact_events += shard.compact_events;
+      out.iterations += shard.iterations;
+      out.warps_used = std::max(out.warps_used, shard.warps_used);
+      round_cycles = std::max(round_cycles, shard.cycles);
+      round_seconds = std::max(round_seconds, shard.seconds);
+    }
+    total_cycles += round_cycles;
+    total_seconds += round_seconds;
+    for (std::size_t s = 0; s < n; ++s) im.shard_dirty[s] = 0;
+
+    // Collect every shard's live stub claims (latest runs) and scan them in
+    // global arrival order.  Message indices are unique across shards, so
+    // the order is total and the scan is deterministic.
+    im.claims.clear();
+    for (std::size_t s = 0; s < n; ++s) {
+      const SimtMatchStats& shard = im.shard_stats[s];
+      for (std::size_t r = 0; r < shard.result.request_match.size(); ++r) {
+        const auto m = shard.result.request_match[r];
+        if (m == kNoMatch) continue;
+        const std::uint32_t g = im.req_map[s][r];
+        if (reqs[g].env.src != kAnySource) continue;
+        im.claims.push_back(Impl::Claim{
+            .msg = im.rep_msg_idx[s][static_cast<std::size_t>(m)],
+            .req = g,
+            .shard = static_cast<std::uint32_t>(s)});
+      }
+    }
+    std::sort(im.claims.begin(), im.claims.end(),
+              [](const Impl::Claim& a, const Impl::Claim& b) { return a.msg < b.msg; });
+
+    // A claim is a PROVEN owner when nothing with unknown behavior can get
+    // at its stub first: the claiming shard has had no conflict earlier in
+    // the scan, holds no earlier threatened claim (scan_shaky), and no
+    // shard already marked for a re-run still stubs the wildcard.  Losses
+    // are charged (and stubs dropped, permanently) only against proven
+    // owners; a conflict with a tentative owner merely suspends the loser's
+    // remaining claims until the threat has re-run.  The first conflict of
+    // any scan is always against a proven owner, so every round with a
+    // conflict drops at least one stub and the fixpoint terminates.
+    im.req_owner.assign(reqs.size(), -1);
+    im.req_proven.assign(reqs.size(), 0);
+    im.scan_suspect.assign(n, 0);
+    im.scan_shaky.assign(n, 0);
+    bool any_loss = false;
+    for (const Impl::Claim& c : im.claims) {
+      const std::size_t s = c.shard;
+      if (im.scan_suspect[s] != 0) continue;  // Behind its own first conflict.
+      if (im.req_owner[c.req] >= 0) {
+        im.scan_suspect[s] = 1;
+        if (im.req_proven[c.req] != 0) {
+          im.lost[s][c.req] = 1;
+          im.shard_dirty[s] = 1;
+          any_loss = true;
+        }
+        continue;
+      }
+      bool threatened = im.scan_shaky[s] != 0;
+      for (std::size_t t = 0; !threatened && t < n; ++t) {
+        threatened = im.shard_dirty[t] != 0 && im.lost[t][c.req] == 0;
+      }
+      im.req_owner[c.req] = static_cast<std::int32_t>(s);
+      im.req_proven[c.req] = threatened ? 0 : 1;
+      if (threatened) im.scan_shaky[s] = 1;
+    }
+    // No permanent loss implies no re-runs were pending (threats require an
+    // earlier loss), hence every owner was proven and no conflict occurred.
+    if (!any_loss) break;
+  }
+
+  // Compose the final pairing from each shard's latest run.  At the
+  // fixpoint no stub is claimed twice, so the writes are disjoint.
+  int ctas = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const SimtMatchStats& shard = im.shard_stats[s];
+    for (std::size_t r = 0; r < shard.result.request_match.size(); ++r) {
+      const auto m = shard.result.request_match[r];
+      if (m == kNoMatch) continue;
+      out.result.request_match[im.req_map[s][r]] =
+          static_cast<std::int32_t>(im.rep_msg_idx[s][static_cast<std::size_t>(m)]);
+    }
+    if (im.shard_busy[s] != 0) ctas += shard.ctas_used;
+  }
+  out.ctas_used = std::max(1, ctas);
+  out.cycles = total_cycles;
+  out.seconds = total_seconds;
+  ++im.replicated_passes;
+  telemetry::count(kShardReplicated);
+  telemetry::count(kShardRounds, static_cast<std::uint64_t>(rounds));
 }
 
 SimtMatchStats ShardedMatchEngine::match(std::span<const Message> msgs,
@@ -208,12 +478,24 @@ void ShardedMatchEngine::match(std::span<const Message> msgs,
     im.shards.front().match(msgs, reqs, out);
     return;
   }
-  if (any_source_wildcard(reqs)) {
+  if (const std::uint64_t wc = count_any_source(reqs); wc > 0) {
+    telemetry::count(kShardWildcardPosts, wc);
+    if (algorithm_kind() == Algorithm::kPatternTable && cfg_.wildcards) {
+      // Pattern-table algorithm: replicate the wildcard stubs instead of
+      // serializing; the reconciliation fixpoint keeps results bit-identical
+      // to an unsharded engine.
+      match_replicated_into(msgs, reqs, out);
+      if (!cfg_.unexpected && out.result.matched() != msgs.size()) {
+        throw std::runtime_error(
+            "unexpected message encountered, but the configured semantics prohibit "
+            "unexpected messages (pre-post all receives or enable `unexpected`)");
+      }
+      return;
+    }
     // The serialized all-shard pass: one MatchEngine call over the whole
     // batch, exactly as an unsharded engine would run it.  (Rejection of
     // wildcards under wildcard-prohibiting semantics happens inside.)
-    im.shards.front().match(msgs, reqs, out);
-    ++im.serialized_passes;
+    match_serialized_into(msgs, reqs, out);
     return;
   }
   match_shards_into(msgs, reqs, out);
@@ -237,16 +519,35 @@ void ShardedMatchEngine::match_queues(MessageQueue& mq, RecvQueue& rq,
     im.shards.front().match_queues(mq, rq, out);
     return;
   }
-  if (any_source_wildcard(rq.view())) {
-    im.shards.front().match_queues(mq, rq, out);
-    ++im.serialized_passes;
-    return;
+  if (const std::uint64_t wc = count_any_source(rq.view()); wc > 0) {
+    telemetry::count(kShardWildcardPosts, wc);
+    if (algorithm_kind() == Algorithm::kPatternTable && cfg_.wildcards) {
+      // Replicated drain: batch-match the views through the stub fixpoint,
+      // then compact both queues — same shape as the sharded drain below.
+      match_replicated_into(mq.view(), rq.view(), out);
+    } else {
+      // Serialized drain through shard 0, telemetry staged like any other
+      // pass (shard 0's matcher drains and compacts the queues itself).
+      if constexpr (telemetry::kEnabled) {
+        im.stages[0].reset_values();
+        {
+          const telemetry::ScopedStage stage(im.stages[0]);
+          im.shards.front().match_queues(mq, rq, out);
+        }
+        telemetry::sink().merge_from(im.stages[0]);
+      } else {
+        im.shards.front().match_queues(mq, rq, out);
+      }
+      ++im.serialized_passes;
+      telemetry::count(kShardSerialized);
+      return;
+    }
+  } else {
+    // Sharded drain: batch-match the queue views (indices refer to the
+    // pre-compaction contents), then compact both queues through the flag
+    // vectors — the same shape as the engine's multi-comm drain.
+    match_shards_into(mq.view(), rq.view(), out);
   }
-
-  // Sharded drain: batch-match the queue views (indices refer to the
-  // pre-compaction contents), then compact both queues through the flag
-  // vectors — the same shape as the engine's multi-comm drain.
-  match_shards_into(mq.view(), rq.view(), out);
   im.msg_flags.assign(mq.size(), 0);
   im.req_flags.assign(rq.size(), 0);
   for (std::size_t r = 0; r < out.result.request_match.size(); ++r) {

@@ -15,11 +15,21 @@
 //
 // MPI_ANY_SOURCE is the one receive that spans shards (it is legal only
 // when the semantics permit wildcards — the fully compliant rows of
-// Table II).  A batch or queue state containing one pins the engine into a
-// serialized all-shard pass: the entire batch runs through shard 0 as a
-// single MatchEngine call, exactly as an unsharded engine would.  This
-// mirrors the paper's observation that rank partitioning is unlocked by
-// prohibiting the source wildcard.
+// Table II).  Under the matrix algorithm a batch or queue state containing
+// one pins the engine into a serialized all-shard pass: the entire batch
+// runs through shard 0 as a single MatchEngine call, exactly as an
+// unsharded engine would.  This mirrors the paper's observation that rank
+// partitioning is unlocked by prohibiting the source wildcard.
+//
+// Under the pattern-table algorithm (SemanticsConfig::pattern_table) the
+// wildcard no longer serializes: every ANY_SOURCE receive is replicated as
+// a stub into each shard's wildcard tables (in its global posted
+// position), the shards run in parallel, and the rare cross-shard races —
+// two shards claiming the same stub — are reconciled by a deterministic
+// fixpoint: claims are scanned in global message-arrival order, everything
+// before the first conflict is final (the earliest-claim theorem,
+// docs/wildcards.md), the loser drops the stub and re-runs.  Results stay
+// bit-identical to an unsharded engine for every shard and thread count.
 //
 // Determinism contract (docs/sharding.md):
 //   * match results / completions: bit-identical across shard counts and
@@ -104,10 +114,13 @@ class ShardedMatchEngine {
   [[nodiscard]] telemetry::TelemetryReport shard_snapshot(int shard) const;
 
   /// How many match calls ran serialized because an MPI_ANY_SOURCE receive
-  /// was present, vs. fanned out across the shards.  Always zero for a
-  /// single-shard engine (nothing to serialize or fan out).
+  /// was present, vs. fanned out across the shards, vs. fanned out with
+  /// replicated wildcard stubs (pattern-table algorithm).  Always zero for
+  /// a single-shard engine (nothing to serialize or fan out).  The same
+  /// tallies are staged as `matching.shard.*` telemetry counters.
   [[nodiscard]] std::uint64_t serialized_passes() const noexcept;
   [[nodiscard]] std::uint64_t sharded_passes() const noexcept;
+  [[nodiscard]] std::uint64_t replicated_passes() const noexcept;
 
  private:
   struct Impl;
@@ -116,6 +129,16 @@ class ShardedMatchEngine {
   /// the policy, and merge results/telemetry in shard-index order.
   void match_shards_into(std::span<const Message> msgs,
                          std::span<const RecvRequest> reqs, SimtMatchStats& out) const;
+
+  /// The pattern-table wildcard path: replicate ANY_SOURCE stubs into every
+  /// shard, fan out, reconcile cross-shard stub claims to a fixpoint.
+  void match_replicated_into(std::span<const Message> msgs,
+                             std::span<const RecvRequest> reqs, SimtMatchStats& out) const;
+
+  /// The matrix-era fallback: the whole batch through shard 0, with the
+  /// shard's telemetry staged and merged exactly like a sharded pass.
+  void match_serialized_into(std::span<const Message> msgs,
+                             std::span<const RecvRequest> reqs, SimtMatchStats& out) const;
 
   SemanticsConfig cfg_;
   std::unique_ptr<Impl> impl_;

@@ -33,6 +33,7 @@
 #include "matching/queue.hpp"
 #include "matching/simt_stats.hpp"
 #include "simt/cta.hpp"
+#include "simt/event_counters.hpp"
 #include "simt/lane_array.hpp"
 #include "simt/launcher.hpp"
 #include "telemetry/telemetry.hpp"
@@ -126,6 +127,28 @@ struct PartitionWorkspace {
   [[nodiscard]] MatchWorkspace& partition_workspace(std::size_t p);
 };
 
+/// Scratch for PatternTableMatcher: four open-addressed class tables (one
+/// per wildcard class of the posted receives), the FIFO bucket links
+/// threaded through the request indices, and the classification scratch.
+/// Slots identify their key through a representative request index (`rep`),
+/// which stays valid as a tombstone after the bucket drains, keeping linear
+/// probing correct without storing envelopes twice.
+struct PatternWorkspace {
+  struct Table {
+    std::vector<std::int32_t> rep;   ///< Slot -> first request ever inserted, -1 empty.
+    std::vector<std::int32_t> head;  ///< Slot -> oldest live request, -1 drained.
+    std::vector<std::int32_t> tail;  ///< Slot -> newest live request.
+    std::size_t mask = 0;            ///< Slot count - 1 (power of two).
+    std::size_t live = 0;            ///< Live (unconsumed) requests in this class.
+  };
+  Table tables[4];
+  std::vector<std::int32_t> next;      ///< Request -> next request in its bucket.
+  std::vector<std::uint8_t> req_class; ///< Request -> wildcard class (0..3).
+  /// Per-CTA counter scratch for the timing-model calls (the scalar
+  /// estimate() overload would heap-allocate this per call).
+  std::vector<simt::EventCounters> cta_events;
+};
+
 /// Scratch for the MatchEngine's multi-communicator split: an open-addressed
 /// comm -> dense-index table plus counting-sort storage that scatters both
 /// spans into comm-contiguous order in a single pass each (O(M + R + C)).
@@ -161,6 +184,7 @@ class MatchWorkspace {
   MatrixWorkspace matrix;
   PartitionWorkspace partition;
   HashWorkspace hash;
+  PatternWorkspace pattern;
   EngineWorkspace engine;
 };
 

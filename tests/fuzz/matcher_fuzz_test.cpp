@@ -29,6 +29,7 @@
 #include "matching/matrix_matcher.hpp"
 #include "matching/partitioned_list_matcher.hpp"
 #include "matching/partitioned_matcher.hpp"
+#include "matching/pattern_table_matcher.hpp"
 #include "matching/reference_matcher.hpp"
 #include "matching/sharded_engine.hpp"
 #include "matching/workload.hpp"
@@ -80,8 +81,10 @@ FuzzShape random_shape(Rng& rng) {
   // long per-bin chains); large ones spread them thin.
   s.sources = pick(rng, {1, 2, 4, 8, 16, 64, 256});
   s.tags = pick(rng, {1, 2, 4, 8, 16, 64, 256});
-  s.src_wildcard_prob = pick(rng, {0.0, 0.05, 0.2, 0.5});
-  s.tag_wildcard_prob = pick(rng, {0.0, 0.05, 0.2, 0.5});
+  // The wildcard-fraction axis runs all the way to 1.0: the pattern-table
+  // matcher must stay exact when *every* receive is a wildcard.
+  s.src_wildcard_prob = pick(rng, {0.0, 0.15, 0.5, 1.0});
+  s.tag_wildcard_prob = pick(rng, {0.0, 0.15, 0.5, 1.0});
   s.match_fraction = pick(rng, {1.0, 0.9, 0.6, 0.3});
   s.threads = pick(rng, {1, 2, 4, 8});
   s.shards = pick(rng, {1, 2, 8});
@@ -174,6 +177,11 @@ std::vector<std::unique_ptr<Matcher>> matchers_for(const FuzzShape& s) {
   hopt.ctas = 4;
   hopt.policy = policy;
   out.push_back(std::make_unique<HashMatcher>(dev, hopt));
+
+  PatternTableMatcher::Options topt;
+  topt.ctas = 2;
+  topt.policy = policy;
+  out.push_back(std::make_unique<PatternTableMatcher>(dev, topt));
 
   out.push_back(std::make_unique<ListMatcher>());
   out.push_back(std::make_unique<PartitionedListMatcher>(8));
@@ -312,6 +320,56 @@ TEST(MatcherFuzz, ShardedEngineIsBitIdenticalToUnshardedAcrossSemanticsRows) {
       EXPECT_EQ(s.result.request_match, expected.result.request_match) << where;
     }
     if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(MatcherFuzz, PatternTableShardedWallAcrossWildcardFractions) {
+  // The wildcard-fraction wall for the pattern-table rows: every fraction in
+  // {0, 0.15, 0.5, 1.0} (the bench sweep's anchor points), across shard
+  // counts {1, 2, 8} and host thread counts {1, 8}, must reproduce the
+  // ReferenceMatcher pairing bit-for-bit — both through the unsharded engine
+  // and through the replicated-stub sharded path.  Each grid is 24 engine
+  // runs, so the sweep runs a slice of the configured iteration budget.
+  const std::uint64_t base = fuzz_base_seed();
+  const std::uint64_t iters = std::max<std::uint64_t>(1, fuzz_iterations() / 8);
+
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = base + i;
+    std::mt19937_64 rng(seed ^ 0x7D0C9B4E2F81A635ULL);
+
+    WorkloadSpec spec;
+    spec.pairs = 1 + std::uniform_int_distribution<std::size_t>(0, 127)(rng);
+    spec.sources = pick(rng, {1, 2, 8, 64});
+    spec.tags = pick(rng, {1, 4, 32});
+    spec.match_fraction = pick(rng, {1.0, 0.7, 0.3});
+    spec.tag_wildcard_prob = pick(rng, {0.0, 0.15, 0.5, 1.0});
+    spec.seed = seed;
+
+    SemanticsConfig cfg;
+    cfg.pattern_table = true;
+
+    for (const double wf : {0.0, 0.15, 0.5, 1.0}) {
+      spec.src_wildcard_prob = wf;
+      const auto w = make_workload(spec);
+      const auto ref = ReferenceMatcher::match(w.messages, w.requests);
+
+      for (const int shards : {1, 2, 8}) {
+        for (const int threads : {1, 8}) {
+          const ShardedMatchEngine engine(
+              simt::pascal_gtx1080(), cfg,
+              {.shards = shards, .policy = simt::ExecutionPolicy{threads}});
+          const std::string where =
+              "pattern-table sharded pairs=" + std::to_string(spec.pairs) +
+              " src_wf=" + std::to_string(wf) +
+              " tag_wf=" + std::to_string(spec.tag_wildcard_prob) +
+              " shards=" + std::to_string(shards) +
+              " threads=" + std::to_string(threads) + "\n" + replay_hint(seed);
+          const auto s = engine.match(w.messages, w.requests);
+          EXPECT_EQ(s.result.request_match, ref.request_match) << where;
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
+    }
   }
 }
 

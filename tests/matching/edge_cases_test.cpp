@@ -4,6 +4,7 @@
 #include "matching/engine.hpp"
 #include "matching/hash_matcher.hpp"
 #include "matching/matrix_matcher.hpp"
+#include "matching/pattern_table_matcher.hpp"
 #include "matching/reference_matcher.hpp"
 #include "matching/workload.hpp"
 
@@ -164,6 +165,92 @@ TEST(EngineQueues, HashRowDrainsQueues) {
   (void)engine.match_queues(mq, rq);
   EXPECT_TRUE(mq.empty());
   EXPECT_TRUE(rq.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Pattern-table FIFO tiebreaks: candidates from different wildcard-class
+// tables compete on global posting order alone — never on "specificity".
+
+TEST(PatternFifo, SameKeyRaceResolvesInPostedOrder) {
+  // Three receives on one bucket, three identical messages: the per-key FIFO
+  // must hand them out head-first.
+  const PatternTableMatcher matcher(pascal());
+  const std::vector<Message> msgs = {msg(1, 1), msg(1, 1), msg(1, 1)};
+  const std::vector<RecvRequest> reqs = {req(1, 1), req(1, 1), req(1, 1)};
+  const auto s = matcher.match(msgs, reqs);
+  EXPECT_EQ(s.result.request_match, (std::vector<std::int32_t>{0, 1, 2}));
+}
+
+TEST(PatternFifo, AnyTagVsAnySourcePriorityIsPostingOrder) {
+  // One message acceptable to both wildcard classes: whichever receive was
+  // posted first wins, in either posting order.
+  const PatternTableMatcher matcher(pascal());
+  const std::vector<Message> msgs = {msg(2, 9)};
+
+  const std::vector<RecvRequest> src_first = {req(kAnySource, 9), req(2, kAnyTag)};
+  const auto a = matcher.match(msgs, src_first);
+  EXPECT_EQ(a.result.request_match, (std::vector<std::int32_t>{0, kNoMatch}));
+
+  const std::vector<RecvRequest> tag_first = {req(2, kAnyTag), req(kAnySource, 9)};
+  const auto b = matcher.match(msgs, tag_first);
+  EXPECT_EQ(b.result.request_match, (std::vector<std::int32_t>{0, kNoMatch}));
+}
+
+TEST(PatternFifo, DoubleWildcardBeatsLaterConcreteReceive) {
+  // MPI has no best-match rule: an (ANY, ANY) receive posted before an exact
+  // one takes the message, even though the exact receive is more specific.
+  const PatternTableMatcher matcher(pascal());
+  const std::vector<Message> msgs = {msg(2, 9)};
+  const std::vector<RecvRequest> reqs = {req(kAnySource, kAnyTag), req(2, 9)};
+  const auto s = matcher.match(msgs, reqs);
+  EXPECT_EQ(s.result.request_match, (std::vector<std::int32_t>{0, kNoMatch}));
+}
+
+TEST(PatternFifo, AllFourClassesCompeteOnPostingOrder) {
+  // One receive per wildcard class, all acceptable to every message: four
+  // identical messages must drain the classes in global posting order, and
+  // the pairing must equal the oracle's.
+  const PatternTableMatcher matcher(pascal());
+  const std::vector<Message> msgs = {msg(2, 9), msg(2, 9), msg(2, 9), msg(2, 9)};
+  const std::vector<RecvRequest> reqs = {req(2, 9), req(kAnySource, 9),
+                                         req(2, kAnyTag), req(kAnySource, kAnyTag)};
+  const auto s = matcher.match(msgs, reqs);
+  const auto ref = ReferenceMatcher::match(msgs, reqs);
+  EXPECT_EQ(s.result.request_match, ref.request_match);
+  EXPECT_EQ(s.result.request_match, (std::vector<std::int32_t>{0, 1, 2, 3}));
+}
+
+TEST(PatternFifo, WildcardsStayInsideTheirCommunicator) {
+  // Class keys include the communicator: an ANY_SOURCE receive on comm 1
+  // must not see the identical-looking comm-0 message.
+  const PatternTableMatcher matcher(pascal());
+  Message m0, m1;
+  m0.env = {.src = 1, .tag = 5, .comm = 0};
+  m1.env = {.src = 1, .tag = 5, .comm = 1};
+  RecvRequest r0, r1;
+  r0.env = {.src = kAnySource, .tag = 5, .comm = 1};  // Posted first.
+  r1.env = {.src = 1, .tag = 5, .comm = 0};
+  const std::vector<Message> msgs = {m0, m1};
+  const std::vector<RecvRequest> reqs = {r0, r1};
+  const auto s = matcher.match(msgs, reqs);
+  EXPECT_EQ(s.result.request_match, (std::vector<std::int32_t>{1, 0}));
+}
+
+TEST(PatternFifo, DenseWildcardMixAgreesWithReference) {
+  // Small key spaces + both wildcard axes: every table sees long FIFO
+  // chains and every message probes several classes.
+  WorkloadSpec spec;
+  spec.pairs = 300;
+  spec.sources = 3;
+  spec.tags = 3;
+  spec.src_wildcard_prob = 0.5;
+  spec.tag_wildcard_prob = 0.5;
+  spec.match_fraction = 0.7;
+  spec.seed = 65;
+  const auto w = make_workload(spec);
+  const auto ref = ReferenceMatcher::match(w.messages, w.requests);
+  const auto s = PatternTableMatcher(pascal()).match(w.messages, w.requests);
+  EXPECT_EQ(s.result.request_match, ref.request_match);
 }
 
 // ---------------------------------------------------------------------------

@@ -14,11 +14,18 @@
 
 #include "matching/engine.hpp"
 #include "matching/workload.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace simtmsg::matching {
 namespace {
 
 const simt::DeviceSpec& pascal() { return simt::pascal_gtx1080(); }
+
+/// Value of a named counter in a captured stage; 0 when never written.
+std::uint64_t counter_of(const telemetry::Registry& reg, std::string_view name) {
+  const auto it = reg.counters().find(std::string(name));
+  return it == reg.counters().end() ? 0 : it->second.value();
+}
 
 /// A workload every Table II row can match fully (unique tuples, no
 /// wildcards), shuffled across a reasonable rank/tag space.
@@ -131,6 +138,133 @@ TEST(ShardedMatchEngine, AnySourcePinsSerializedPass) {
   EXPECT_EQ(s2.result.matched(), 1u);
   EXPECT_EQ(engine.serialized_passes(), 1u);
   EXPECT_EQ(engine.sharded_passes(), 1u);
+}
+
+TEST(ShardedMatchEngine, AnySourceFirstPassStagesShardTelemetry) {
+  // Regression: a fresh engine whose FIRST pass carries an MPI_ANY_SOURCE
+  // receive (posted before any concrete receive) runs serialized through
+  // shard 0.  The serialized pass used to write shard 0's matcher telemetry
+  // straight into the ambient sink instead of staging it, so a stage-scoped
+  // caller saw different counters than for any other pass.  Pin the exact
+  // values a capture stage must observe.
+  const ShardedMatchEngine engine(pascal(), SemanticsConfig{}, {.shards = 4});
+
+  Message m;
+  m.env = {.src = 3, .tag = 7, .comm = 0};
+  RecvRequest wild;
+  wild.env = {.src = kAnySource, .tag = 7, .comm = 0};
+  RecvRequest concrete;
+  concrete.env = {.src = 3, .tag = 8, .comm = 0};
+  Message m2;
+  m2.env = {.src = 3, .tag = 8, .comm = 0};
+  const std::vector<Message> msgs = {m, m2};
+  const std::vector<RecvRequest> reqs = {wild, concrete};  // Wildcard posted first.
+
+  telemetry::Registry captured;
+  {
+    const telemetry::ScopedStage stage(captured);
+    const auto s = engine.match(msgs, reqs);
+    EXPECT_EQ(s.result.matched(), 2u);
+  }
+  EXPECT_EQ(counter_of(captured, "matching.shard.serialized_passes"), 1u);
+  EXPECT_EQ(counter_of(captured, "matching.shard.wildcard_posts"), 1u);
+  EXPECT_EQ(counter_of(captured, "matching.shard.sharded_passes"), 0u);
+  EXPECT_EQ(counter_of(captured, "matching.shard.replicated_passes"), 0u);
+
+  // A concrete-only follow-up fans out and counts as a sharded pass.
+  telemetry::Registry captured2;
+  {
+    const telemetry::ScopedStage stage(captured2);
+    const auto s = engine.match(msgs, {&reqs[1], 1});
+    EXPECT_EQ(s.result.matched(), 1u);
+  }
+  EXPECT_EQ(counter_of(captured2, "matching.shard.serialized_passes"), 0u);
+  EXPECT_EQ(counter_of(captured2, "matching.shard.sharded_passes"), 1u);
+  EXPECT_EQ(counter_of(captured2, "matching.shard.wildcard_posts"), 0u);
+}
+
+TEST(ShardedMatchEngine, ReplicatedPassTelemetryMatchesUnsharded) {
+  // Pattern-table wildcard pass: an ANY_SOURCE receive posted before any
+  // concrete receive takes the replicated-stub path.  With single-source
+  // traffic exactly one shard does all the work on exactly the unsharded
+  // queues, so the matcher-level counters must equal the plain engine's,
+  // plus pinned pass accounting: one replicated pass, one reconciliation
+  // round, nothing serialized.
+  SemanticsConfig cfg;
+  cfg.pattern_table = true;
+
+  Message a, b, c;
+  a.env = {.src = 3, .tag = 7, .comm = 0};
+  b.env = {.src = 3, .tag = 8, .comm = 0};
+  c.env = {.src = 3, .tag = 9, .comm = 0};
+  RecvRequest r0, r1, r2;
+  r0.env = {.src = kAnySource, .tag = 7, .comm = 0};  // Wildcard posted first.
+  r1.env = {.src = 3, .tag = 8, .comm = 0};
+  r2.env = {.src = kAnySource, .tag = 9, .comm = 0};
+  const std::vector<Message> msgs = {a, b, c};
+  const std::vector<RecvRequest> reqs = {r0, r1, r2};
+
+  const MatchEngine plain(pascal(), cfg);
+  telemetry::Registry plain_stage;
+  {
+    const telemetry::ScopedStage stage(plain_stage);
+    const auto s = plain.match(msgs, reqs);
+    ASSERT_EQ(s.result.matched(), 3u);
+  }
+
+  const ShardedMatchEngine sharded(pascal(), cfg, {.shards = 4});
+  telemetry::Registry shard_stage;
+  {
+    const telemetry::ScopedStage stage(shard_stage);
+    const auto s = sharded.match(msgs, reqs);
+    ASSERT_EQ(s.result.matched(), 3u);
+  }
+
+  for (const auto name : {"matching.pattern.probes", "matching.pattern.hits",
+                          "matching.pattern.wildcard_posts"}) {
+    EXPECT_EQ(counter_of(shard_stage, name), counter_of(plain_stage, name)) << name;
+    EXPECT_GT(counter_of(plain_stage, name), 0u) << name;
+  }
+  EXPECT_EQ(counter_of(shard_stage, "matching.pattern.hits"), 3u);
+  EXPECT_EQ(counter_of(shard_stage, "matching.shard.wildcard_posts"), 2u);
+  EXPECT_EQ(counter_of(shard_stage, "matching.shard.replicated_passes"), 1u);
+  EXPECT_EQ(counter_of(shard_stage, "matching.shard.replication_rounds"), 1u);
+  EXPECT_EQ(counter_of(shard_stage, "matching.shard.serialized_passes"), 0u);
+  EXPECT_EQ(counter_of(shard_stage, "matching.shard.sharded_passes"), 0u);
+  EXPECT_EQ(sharded.replicated_passes(), 1u);
+  EXPECT_EQ(sharded.serialized_passes(), 0u);
+}
+
+TEST(ShardedMatchEngine, ReplicatedWildcardPassBitIdenticalToUnsharded) {
+  // Multi-source wildcard traffic through the pattern-table rows: the
+  // replicated-stub fixpoint must reproduce the unsharded pairing exactly
+  // (including cross-shard stub races), without ever serializing.
+  SemanticsConfig cfg;
+  cfg.pattern_table = true;
+  WorkloadSpec spec;
+  spec.pairs = 220;
+  spec.sources = 12;
+  spec.tags = 6;
+  spec.src_wildcard_prob = 0.3;
+  spec.tag_wildcard_prob = 0.2;
+  spec.match_fraction = 0.8;
+  spec.seed = 107;
+  const auto w = make_workload(spec);
+
+  const MatchEngine plain(pascal(), cfg);
+  const auto expected = plain.match(w.messages, w.requests);
+  for (const int shards : {2, 8}) {
+    for (const int threads : {1, 8}) {
+      const ShardedMatchEngine engine(
+          pascal(), cfg,
+          {.shards = shards, .policy = simt::ExecutionPolicy{threads}});
+      const auto s = engine.match(w.messages, w.requests);
+      EXPECT_EQ(s.result.request_match, expected.result.request_match)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(engine.replicated_passes(), 1u);
+      EXPECT_EQ(engine.serialized_passes(), 0u);
+    }
+  }
 }
 
 TEST(ShardedMatchEngine, QueueDrainRemovesMatchedKeepsLeftovers) {

@@ -124,6 +124,22 @@ TEST(ZeroAllocSteadyState, PartitionedMatrix) {
       spec);
 }
 
+TEST(ZeroAllocSteadyState, PatternTableWithWildcards) {
+  // The four class tables, FIFO links, and classification scratch all live
+  // in MatchWorkspace::pattern; a stable wildcard-heavy shape must reuse
+  // them without touching the heap.
+  WorkloadSpec spec;
+  spec.pairs = 224;
+  spec.sources = 12;
+  spec.tags = 8;
+  spec.src_wildcard_prob = 0.3;
+  spec.tag_wildcard_prob = 0.3;
+  spec.seed = 47;
+  SemanticsConfig cfg;
+  cfg.pattern_table = true;
+  expect_steady_state_alloc_free(cfg, spec);
+}
+
 TEST(ZeroAllocSteadyState, HashTable) {
   WorkloadSpec spec;
   spec.pairs = 256;
@@ -188,6 +204,37 @@ TEST(ZeroAllocSteadyState, ShardedHashTable) {
       SemanticsConfig{.wildcards = false, .ordering = false, .unexpected = true,
                       .partitions = 4},
       spec, {.shards = 4});
+}
+
+TEST(ZeroAllocSteadyState, ShardedPatternReplicatedWildcards) {
+  // The replicated-stub wildcard path: routing index lists, per-shard stub
+  // masks, the claim scratch, and the reconciliation scan vectors must all
+  // recycle once warm — rounds are deterministic for a fixed workload, so
+  // the warm-up sizes every buffer the steady state touches.
+  WorkloadSpec spec;
+  spec.pairs = 200;
+  spec.sources = 12;
+  spec.tags = 8;
+  spec.src_wildcard_prob = 0.3;
+  spec.tag_wildcard_prob = 0.2;
+  spec.match_fraction = 0.8;
+  spec.seed = 48;
+  SemanticsConfig cfg;
+  cfg.pattern_table = true;
+  expect_sharded_steady_state_alloc_free(cfg, spec, {.shards = 4});
+}
+
+TEST(ZeroAllocSteadyState, ShardedPatternReplicatedThreaded) {
+  WorkloadSpec spec;
+  spec.pairs = 200;
+  spec.sources = 12;
+  spec.tags = 8;
+  spec.src_wildcard_prob = 0.3;
+  spec.seed = 49;
+  SemanticsConfig cfg;
+  cfg.pattern_table = true;
+  expect_sharded_steady_state_alloc_free(
+      cfg, spec, {.shards = 4, .policy = simt::ExecutionPolicy{4}});
 }
 
 TEST(ZeroAllocSteadyState, ShardedQueueDrain) {
