@@ -1,0 +1,169 @@
+// Neighborhood-degree sweep for the StarForest sparse collectives
+// (docs/collectives.md).
+//
+// The paper's Table I puts real applications' neighborhood sizes at 4-79
+// peer ranks (AMG 4-6, LULESH ~13, NEKBONE ~23, CESM up to 79) out of
+// fleets of thousands.  This bench fixes the fleet at 96 nodes and sweeps
+// the per-node root degree across that range: each configuration builds a
+// star forest where every node roots `degree` edges to a strided neighbor
+// set (wrapping into parallel edges at the top of the range), then drives
+// one bcast, one reduce, and one fetch_and_op through the matching engine.
+//
+// Reported rate is total matches over total modelled device matching time
+// — deterministic (independent of host threads, wall clock, and scheduler
+// policy), so the rows are safe under the regression gate
+// (scripts/check_bench_regression.py).  The sparse-vs-dense message ratio
+// per degree is printed alongside: the point of the forest is that traffic
+// scales with edges, not with the fleet.
+//
+// Usage: fig_neighborhood [--json <path>] [--threads <n>]
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runtime/endpoint.hpp"
+#include "runtime/star_forest.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace simtmsg;
+
+constexpr int kNodes = 96;
+
+struct Point {
+  int degree = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t matches = 0;
+  double modelled_seconds = 0.0;
+  double virtual_us = 0.0;
+  double wall_ms = 0.0;  ///< Host cost; stdout only, never in the JSON.
+
+  [[nodiscard]] double rate() const {
+    return modelled_seconds > 0.0 ? static_cast<double>(matches) / modelled_seconds
+                                  : 0.0;
+  }
+};
+
+/// Node n's k-th neighbor: stride-3 ring offsets.  Never self (3k+1 is
+/// never a multiple of 96); k and k+32 alias to the same peer, so the
+/// degree-79 sweep point exercises parallel edges.
+int neighbor_of(int n, int k) { return (n + 1 + 3 * k) % kNodes; }
+
+Point run_degree(int degree, const bench::Options& opt) {
+  runtime::ClusterConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.policy = opt.policy();
+  cfg.scheduler = runtime::SchedulerPolicy::kEventDriven;
+  cfg.semantics.wildcards = false;  // Hash semantics: the bulk-traffic row.
+  cfg.semantics.ordering = false;
+  const bench::WallTimer timer;
+  runtime::Cluster cluster(cfg);
+
+  std::vector<runtime::SfEdge> edges;
+  for (int n = 0; n < kNodes; ++n) {
+    for (int k = 0; k < degree; ++k) {
+      edges.push_back({.root = n, .root_slot = k, .leaf = neighbor_of(n, k),
+                       .leaf_slot = static_cast<std::int32_t>(n * degree + k)});
+    }
+  }
+  runtime::StarForest forest(cluster, edges);
+
+  // One round of each operation; values are read/written through flat
+  // deterministic functions so nothing depends on host state.
+  std::uint64_t sink = 0;
+  const auto value = [](int node, std::int32_t slot) {
+    return static_cast<std::uint64_t>(node) * 7919u + static_cast<std::uint64_t>(slot);
+  };
+  const auto store = [&sink](int, std::int32_t, std::uint64_t v) { sink ^= v; };
+  const auto add = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+
+  forest.bcast(value, store);
+  forest.reduce(value, value, store, add);
+  forest.fetch_and_op(value, value, store, store, add);
+
+  const auto s = cluster.stats();
+  const std::uint64_t expected = 4 * static_cast<std::uint64_t>(kNodes) *
+                                 static_cast<std::uint64_t>(degree);
+  if (s.matches != expected || s.delivery_failures != 0 ||
+      !forest.last_failures().empty()) {
+    std::cerr << "FATAL: degree " << degree << " matched " << s.matches << " of "
+              << expected << " (failures " << s.delivery_failures << ")\n";
+    std::exit(1);
+  }
+  (void)sink;
+
+  Point p;
+  p.degree = degree;
+  p.edges = static_cast<std::uint64_t>(forest.nedges());
+  p.messages = forest.messages_used();
+  p.matches = s.matches;
+  p.modelled_seconds = s.matching_seconds;
+  p.virtual_us = s.virtual_time_us;
+  p.wall_ms = timer.seconds() * 1e3;
+  return p;
+}
+
+int run(const bench::Options& opt) {
+  bench::print_header("fig_neighborhood",
+                      "Table I neighborhood sizes: StarForest sparse "
+                      "collectives, degree sweep 4..79 (docs/collectives.md)");
+
+  const std::vector<int> degrees = bench::fast_mode()
+                                       ? std::vector<int>{4, 16}
+                                       : std::vector<int>{4, 8, 16, 32, 79};
+
+  bench::WallTimer timer;
+  bench::JsonReport report("fig_neighborhood",
+                           "StarForest sparse-neighborhood degree sweep");
+  util::AsciiTable table({"degree", "edges", "messages", "dense msgs", "matches",
+                          "matches/s", "virtual us", "host ms"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"degree", "edges", "messages", "dense_messages", "matches", "mps",
+                 "virtual_us", "wall_ms"});
+
+  // What the same four data movements would cost as dense whole-fleet
+  // collectives: every op visits all N-1 peers per node.
+  const std::uint64_t dense_messages =
+      4ull * kNodes * (kNodes - 1);
+
+  double rate_79 = 0.0;
+  for (const int d : degrees) {
+    const Point p = run_degree(d, opt);
+    table.add_row({std::to_string(p.degree), util::AsciiTable::num(p.edges),
+                   util::AsciiTable::num(p.messages),
+                   util::AsciiTable::num(dense_messages),
+                   util::AsciiTable::num(p.matches),
+                   util::AsciiTable::rate_mps(p.rate()),
+                   util::AsciiTable::num(p.virtual_us, 2),
+                   util::AsciiTable::num(p.wall_ms, 1)});
+    csv.push_back({std::to_string(p.degree), std::to_string(p.edges),
+                   std::to_string(p.messages), std::to_string(dense_messages),
+                   std::to_string(p.matches),
+                   util::AsciiTable::num(p.rate() / 1e6, 2),
+                   util::AsciiTable::num(p.virtual_us, 2),
+                   util::AsciiTable::num(p.wall_ms, 1)});
+    report.add_row()
+        .set("nodes", kNodes)
+        .set("degree", p.degree)
+        .set("matches", static_cast<double>(p.matches))
+        .set("matches_per_second", p.rate());
+    if (p.degree == 79) rate_79 = p.rate();
+  }
+
+  table.print(std::cout);
+  timer.report(opt);
+  bench::print_csv(csv);
+
+  report.headline().set("metric", "neighborhood_matches_per_second");
+  if (rate_79 > 0.0) {
+    report.headline().set("degree79_matches_per_second", rate_79);
+  }
+  return report.emit(opt) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(bench::Options::parse(argc, argv)); }

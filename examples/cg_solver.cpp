@@ -2,16 +2,18 @@
 //
 // The communication mix of a real implicit solver (the workload class of
 // MiniFE and NEKBONE in the paper's Table I): per iteration, a
-// nearest-neighbour halo exchange for the sparse matvec plus two allreduce
-// dot products — point-to-point matching *and* the collectives layer,
-// running under the paper's first relaxation (no source wildcard,
-// rank-partitioned queues).
+// nearest-neighbour halo exchange for the sparse matvec — expressed once
+// as a runtime::StarForest over the chain's boundary entries
+// (docs/collectives.md) — plus two allreduce dot products through the
+// dense collectives layer, running under the paper's first relaxation (no
+// source wildcard, rank-partitioned queues).
 //
 // Solves the 1D Poisson system  A x = b  (tridiagonal [-1, 2, -1]) with the
 // domain split across nodes, and verifies the residual and agreement with a
 // single-node reference CG.
 //
 // Build & run:  ./build/examples/cg_solver
+#include <array>
 #include <cmath>
 #include <cstring>
 #include <iostream>
@@ -19,6 +21,7 @@
 
 #include "runtime/collectives.hpp"
 #include "runtime/endpoint.hpp"
+#include "runtime/star_forest.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -31,7 +34,10 @@ constexpr int kN = kNodes * kLocal;        // Global problem size.
 constexpr int kMaxIters = 200;
 constexpr double kTol = 1e-10;
 
-constexpr int kTagLeft = 1, kTagRight = 2;
+// StarForest slots per node: 0..kLocal-1 are the local vector entries;
+// the two ghosts sit just above.
+constexpr std::int32_t kLeftGhost = kLocal;
+constexpr std::int32_t kRightGhost = kLocal + 1;
 
 std::uint64_t pack(double v) {
   std::uint64_t b;
@@ -45,28 +51,38 @@ double unpack(std::uint64_t b) {
   return v;
 }
 
+/// The halo graph of the 1D chain: each node's ghost slots are fed by its
+/// neighbours' boundary entries — 2(kNodes-1) edges total, degree <= 2.
+std::vector<runtime::SfEdge> chain_halo_forest() {
+  std::vector<runtime::SfEdge> edges;
+  for (int n = 1; n < kNodes; ++n) {
+    // Node n-1's right ghost mirrors node n's first entry, and node n's
+    // left ghost mirrors node n-1's last entry.
+    edges.push_back({.root = n, .root_slot = 0, .leaf = n - 1, .leaf_slot = kRightGhost});
+    edges.push_back({.root = n - 1, .root_slot = kLocal - 1, .leaf = n, .leaf_slot = kLeftGhost});
+  }
+  return edges;
+}
+
 /// y = A p for the global tridiagonal [-1, 2, -1] (Dirichlet boundaries),
-/// distributed: each node needs its neighbours' boundary entries.
-void distributed_matvec(runtime::Cluster& cluster,
+/// distributed: one StarForest broadcast fills every ghost.
+void distributed_matvec(runtime::StarForest& halo,
                         const std::vector<std::vector<double>>& p,
                         std::vector<std::vector<double>>& y) {
-  // Pre-post halo receives (LULESH discipline), then send boundaries.
-  std::vector<runtime::RecvHandle> from_left(kNodes), from_right(kNodes);
-  for (int n = 0; n < kNodes; ++n) {
-    if (n > 0) from_left[n] = cluster.irecv(n, n - 1, kTagRight);
-    if (n < kNodes - 1) from_right[n] = cluster.irecv(n, n + 1, kTagLeft);
-  }
-  for (int n = 0; n < kNodes; ++n) {
-    if (n > 0) cluster.send(n, n - 1, kTagLeft, pack(p[n].front()));
-    if (n < kNodes - 1) cluster.send(n, n + 1, kTagRight, pack(p[n].back()));
-  }
-  cluster.run_until_quiescent();
+  // Dirichlet boundaries: the outermost ghosts stay zero (no edges feed
+  // them, so the broadcast leaves them untouched).
+  std::vector<std::array<double, 2>> ghosts(kNodes, {0.0, 0.0});
+  halo.bcast(
+      [&](int node, std::int32_t slot) {
+        return pack(p[static_cast<std::size_t>(node)][static_cast<std::size_t>(slot)]);
+      },
+      [&](int node, std::int32_t slot, std::uint64_t v) {
+        ghosts[static_cast<std::size_t>(node)][slot == kLeftGhost ? 0 : 1] = unpack(v);
+      });
 
   for (int n = 0; n < kNodes; ++n) {
-    const double left_ghost =
-        n > 0 ? unpack(cluster.result(from_left[n])->payload) : 0.0;
-    const double right_ghost =
-        n < kNodes - 1 ? unpack(cluster.result(from_right[n])->payload) : 0.0;
+    const double left_ghost = ghosts[static_cast<std::size_t>(n)][0];
+    const double right_ghost = ghosts[static_cast<std::size_t>(n)][1];
     for (int i = 0; i < kLocal; ++i) {
       const double lo = i > 0 ? p[n][i - 1] : left_ghost;
       const double hi = i < kLocal - 1 ? p[n][i + 1] : right_ghost;
@@ -101,6 +117,7 @@ int main() {
   cfg.semantics.partitions = kNodes;
   runtime::Cluster cluster(cfg);
   runtime::Collectives coll(cluster);
+  runtime::StarForest halo(cluster, chain_halo_forest());
 
   // b = A * x_true with a deterministic full-spectrum x_true (a random
   // vector excites every eigenmode, so CG needs a realistic number of
@@ -124,7 +141,7 @@ int main() {
   double rr = distributed_dot(coll, r, r);
   int iters = 0;
   while (iters < kMaxIters && rr > kTol * kTol) {
-    distributed_matvec(cluster, p, Ap);
+    distributed_matvec(halo, p, Ap);
     const double pAp = distributed_dot(coll, p, Ap);
     const double alpha = rr / pAp;
     for (int n = 0; n < kNodes; ++n) {
@@ -154,10 +171,15 @@ int main() {
             << "converged in " << iters << " iterations, ||r|| = " << std::sqrt(rr)
             << "\nmax |x - x_true| = " << max_err << "\n\n"
             << "communication: " << s.messages_sent << " messages ("
-            << coll.messages_used() << " collective), " << s.matches
+            << coll.messages_used() << " collective, " << halo.messages_used()
+            << " halo), " << s.matches
             << " matches, modelled matching time " << s.matching_seconds * 1e6
             << " us\n";
 
+  if (s.delivery_failures != 0 || !halo.last_failures().empty()) {
+    std::cerr << "FAIL: delivery failures on an ideal fabric\n";
+    return 1;
+  }
   if (max_err > 1e-8) {
     std::cerr << "FAIL: CG did not converge to the true solution\n";
     return 1;

@@ -4,13 +4,20 @@
 // messages with about 10-30 peer ranks ... nearest neighbor communication
 // pattern").
 //
+// The sparse communication graph is named once as a runtime::StarForest
+// (docs/collectives.md): one edge per ghost cell, from the neighbour's
+// boundary slot to this node's ghost slot.  Every iteration is then a
+// single sf.bcast() — the forest pre-posts all receives before any send
+// (the LULESH discipline, Section VII-B) and the full 64-bit double
+// travels as the payload, since slots identify cells on both ends and
+// never ride the wire.
+//
 // The cluster runs with the paper's first relaxation (no source wildcard,
 // Section VI-A), so the matching engine uses rank-partitioned queues.
-// Each node owns an interior tile; per iteration it pre-posts receives for
-// its four halo strips, sends its boundary rows/columns, and relaxes.
 //
 // The example verifies physics (heat conserves, field converges toward the
-// mean) and prints the communication-kernel statistics.
+// mean), asserts zero delivery failures, and prints the
+// communication-kernel statistics.
 //
 // Build & run:  ./build/examples/halo_exchange
 #include <cmath>
@@ -19,6 +26,7 @@
 #include <vector>
 
 #include "runtime/endpoint.hpp"
+#include "runtime/star_forest.hpp"
 
 namespace {
 
@@ -27,8 +35,6 @@ using namespace simtmsg;
 constexpr int kGrid = 3;        // 3x3 simulated GPUs.
 constexpr int kTile = 8;        // Interior cells per side and node.
 constexpr int kIterations = 40;
-
-constexpr int kTagUp = 0, kTagDown = 1, kTagLeft = 2, kTagRight = 3;
 
 struct Tile {
   // (kTile+2)^2 cells with a one-cell ghost ring.
@@ -44,22 +50,47 @@ int node_of(int gx, int gy) {
   return ((gy + kGrid) % kGrid) * kGrid + (gx + kGrid) % kGrid;
 }
 
-// Payload packing: the simulated messages carry a 64-bit payload, so a halo
-// strip is sent as kTile separate cell messages tagged by direction; the
-// cell index rides in the upper payload bits.
-std::uint64_t pack_cell(int index, double value) {
-  std::uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(value));
-  std::memcpy(&bits, &value, sizeof(bits));
-  // Round-trip-safe: doubles here are bounded and their low mantissa bits
-  // are unused by the 8-bit index tagging scheme below.
-  return (bits & ~0xFFull) | static_cast<std::uint64_t>(index & 0xFF);
+/// Flat index of a tile cell — the StarForest slot for that cell.
+std::int32_t slot_of(int x, int y) {
+  return static_cast<std::int32_t>(y * (kTile + 2) + x);
 }
 
-void unpack_cell(std::uint64_t payload, int& index, double& value) {
-  index = static_cast<int>(payload & 0xFF);
-  const std::uint64_t bits = payload & ~0xFFull;
-  std::memcpy(&value, &bits, sizeof(value));
+std::uint64_t pack(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+double unpack(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+/// The halo graph: for every node, each ghost cell is fed by the matching
+/// boundary cell of the torus neighbour on that side.
+std::vector<runtime::SfEdge> halo_forest() {
+  std::vector<runtime::SfEdge> edges;
+  for (int gy = 0; gy < kGrid; ++gy) {
+    for (int gx = 0; gx < kGrid; ++gx) {
+      const int n = node_of(gx, gy);
+      for (int i = 1; i <= kTile; ++i) {
+        // Ghost row y=0 mirrors the neighbour above's bottom interior row.
+        edges.push_back({.root = node_of(gx, gy - 1), .root_slot = slot_of(i, kTile),
+                         .leaf = n, .leaf_slot = slot_of(i, 0)});
+        // Ghost row y=kTile+1 mirrors the neighbour below's top row.
+        edges.push_back({.root = node_of(gx, gy + 1), .root_slot = slot_of(i, 1),
+                         .leaf = n, .leaf_slot = slot_of(i, kTile + 1)});
+        // Ghost column x=0 mirrors the left neighbour's right column.
+        edges.push_back({.root = node_of(gx - 1, gy), .root_slot = slot_of(kTile, i),
+                         .leaf = n, .leaf_slot = slot_of(0, i)});
+        // Ghost column x=kTile+1 mirrors the right neighbour's left column.
+        edges.push_back({.root = node_of(gx + 1, gy), .root_slot = slot_of(1, i),
+                         .leaf = n, .leaf_slot = slot_of(kTile + 1, i)});
+      }
+    }
+  }
+  return edges;
 }
 
 }  // namespace
@@ -70,6 +101,7 @@ int main() {
   cfg.semantics.wildcards = false;   // Relaxation 1: no source wildcard...
   cfg.semantics.partitions = 4;      // ...enables rank-partitioned queues.
   runtime::Cluster cluster(cfg);
+  runtime::StarForest halo(cluster, halo_forest());
 
   // Initial condition: a hot spot on node 0.
   std::vector<Tile> tiles(static_cast<std::size_t>(cfg.nodes));
@@ -89,61 +121,17 @@ int main() {
   const double heat0 = total_heat();
 
   for (int iter = 0; iter < kIterations; ++iter) {
-    // Pre-post all halo receives (the LULESH discipline, Section VII-B).
-    std::vector<std::vector<runtime::RecvHandle>> handles(
-        static_cast<std::size_t>(cfg.nodes));
-    for (int gy = 0; gy < kGrid; ++gy) {
-      for (int gx = 0; gx < kGrid; ++gx) {
-        const int n = node_of(gx, gy);
-        auto& h = handles[static_cast<std::size_t>(n)];
-        for (int i = 0; i < kTile; ++i) {
-          h.push_back(cluster.irecv(n, node_of(gx, gy - 1), kTagDown));   // From above.
-          h.push_back(cluster.irecv(n, node_of(gx, gy + 1), kTagUp));     // From below.
-          h.push_back(cluster.irecv(n, node_of(gx - 1, gy), kTagRight));  // From left.
-          h.push_back(cluster.irecv(n, node_of(gx + 1, gy), kTagLeft));   // From right.
-        }
-      }
-    }
-
-    // Send boundary strips.
-    for (int gy = 0; gy < kGrid; ++gy) {
-      for (int gx = 0; gx < kGrid; ++gx) {
-        const int n = node_of(gx, gy);
-        const auto& t = tiles[static_cast<std::size_t>(n)];
-        for (int i = 1; i <= kTile; ++i) {
-          cluster.send(n, node_of(gx, gy - 1), kTagUp, pack_cell(i, t.at(i, 1)));
-          cluster.send(n, node_of(gx, gy + 1), kTagDown, pack_cell(i, t.at(i, kTile)));
-          cluster.send(n, node_of(gx - 1, gy), kTagLeft, pack_cell(i, t.at(1, i)));
-          cluster.send(n, node_of(gx + 1, gy), kTagRight, pack_cell(i, t.at(kTile, i)));
-        }
-      }
-    }
-
-    cluster.run_until_quiescent();
-
-    // Fill ghost rings from completions.
-    for (int gy = 0; gy < kGrid; ++gy) {
-      for (int gx = 0; gx < kGrid; ++gx) {
-        const int n = node_of(gx, gy);
-        auto& t = tiles[static_cast<std::size_t>(n)];
-        for (const auto& h : handles[static_cast<std::size_t>(n)]) {
-          const auto r = cluster.result(h);
-          if (!r) {
-            std::cerr << "halo receive did not complete\n";
-            return 1;
-          }
-          int idx = 0;
-          double value = 0.0;
-          unpack_cell(r->payload, idx, value);
-          switch (r->tag) {
-            case kTagDown: t.at(idx, 0) = value; break;          // Above neighbour's bottom row.
-            case kTagUp: t.at(idx, kTile + 1) = value; break;    // Below neighbour's top row.
-            case kTagRight: t.at(0, idx) = value; break;         // Left neighbour's right column.
-            case kTagLeft: t.at(kTile + 1, idx) = value; break;  // Right neighbour's left column.
-            default: break;
-          }
-        }
-      }
+    // One sparse broadcast fills every ghost ring from its neighbours.
+    halo.bcast(
+        [&](int node, std::int32_t slot) {
+          return pack(tiles[static_cast<std::size_t>(node)].cells[static_cast<std::size_t>(slot)]);
+        },
+        [&](int node, std::int32_t slot, std::uint64_t v) {
+          tiles[static_cast<std::size_t>(node)].cells[static_cast<std::size_t>(slot)] = unpack(v);
+        });
+    if (!halo.last_failures().empty() || !cluster.delivery_failures().empty()) {
+      std::cerr << "FAIL: halo exchange reported delivery failures\n";
+      return 1;
     }
 
     // Jacobi relaxation.
@@ -174,6 +162,9 @@ int main() {
   std::cout << "2D Jacobi heat diffusion on a " << kGrid << "x" << kGrid
             << " simulated GPU cluster (" << kTile << "x" << kTile
             << " cells per node, " << kIterations << " iterations)\n"
+            << "halo star forest: " << halo.nedges() << " edges, root degree "
+            << halo.degree(0) << " per node, " << halo.messages_used()
+            << " messages total\n"
             << "heat conservation: initial " << heat0 << ", final " << heat1
             << " (drift " << 100.0 * std::abs(heat1 - heat0) / heat0 << " %)\n"
             << "max deviation from equilibrium: " << max_dev << "\n";
@@ -187,6 +178,10 @@ int main() {
             << " M matches/s)\n"
             << "  virtual cluster time: " << s.virtual_time_us << " us\n";
 
+  if (s.delivery_failures != 0) {
+    std::cerr << "FAIL: delivery failures on an ideal fabric\n";
+    return 1;
+  }
   const bool heat_ok = std::abs(heat1 - heat0) / heat0 < 1e-9;
   if (!heat_ok) {
     std::cerr << "FAIL: heat not conserved\n";

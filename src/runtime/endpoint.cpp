@@ -111,6 +111,24 @@ RecvHandle Cluster::irecv(int node, matching::Rank src, matching::Tag tag,
 
 bool Cluster::test(RecvHandle h) const { return completed_.contains(h.id); }
 
+bool Cluster::cancel(RecvHandle h) {
+  const auto it = pending_.find(h.id);
+  if (it == pending_.end()) return false;
+  auto& queue = posted_[static_cast<std::size_t>(it->second.node)];
+  std::vector<std::uint8_t> matched(queue.size(), 0);
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (queue[i].user_data == h.id) matched[i] = 1;
+  }
+  (void)queue.compact(matched);
+  const int node = it->second.node;
+  pending_.erase(it);
+  ++cancels_;
+  // The node may have just gone idle; both policies agree because the
+  // lockstep scheduler re-probes every tick and stepped() is its no-op.
+  scheduler_->stepped(node, !gas_.incoming(node).empty() && !queue.empty());
+  return true;
+}
+
 std::optional<RecvResult> Cluster::result(RecvHandle h) const {
   const auto it = completed_.find(h.id);
   if (it == completed_.end()) return std::nullopt;
@@ -304,6 +322,7 @@ telemetry::TelemetryReport Cluster::snapshot() const {
   // Headline cluster counters: the single source of truth stats() reads.
   total.counters["runtime.cluster.messages_sent"] = sends_;
   total.counters["runtime.cluster.receives_posted"] = posts_;
+  total.counters["runtime.cluster.receives_cancelled"] = cancels_;
   total.counters["runtime.cluster.delivery_failures"] = failures_.size();
   total.gauges["runtime.cluster.virtual_time_us"] = now_us_;
   // Scheduler instruments: identical for every host thread count AND every

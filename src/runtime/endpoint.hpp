@@ -121,6 +121,15 @@ class Cluster {
   /// — passed by value.)
   [[nodiscard]] bool test(RecvHandle h) const;
 
+  /// Cancel a posted receive that has not completed: removes it from the
+  /// node's posted queue and the pending index, and tells the scheduler in
+  /// case the node just went idle.  Returns true when the handle was
+  /// pending and is now cancelled; false when it already completed (the
+  /// result stays readable) or was never posted.  O(posted queue) — a cold
+  /// path for retiring receives whose messages the fabric gave up on
+  /// (StarForest partial mode, docs/collectives.md).
+  bool cancel(RecvHandle h);
+
   /// Completed result, if any.
   [[nodiscard]] std::optional<RecvResult> result(RecvHandle h) const;
 
@@ -169,6 +178,14 @@ class Cluster {
     return failures_;
   }
 
+  /// Registry absorbed into snapshot() alongside the per-node engine
+  /// reports: runtime layers built on the cluster (StarForest, ...) put
+  /// their runtime.* instruments here so cluster snapshots stay the single
+  /// source of truth.  Single-threaded like the progress path itself.
+  [[nodiscard]] telemetry::Registry& layer_telemetry() noexcept {
+    return fabric_telemetry_;
+  }
+
  private:
   /// A receive posted but not yet completed: the O(1) index wait() and the
   /// deadlock diagnostics use instead of scanning the posted queues.
@@ -197,6 +214,7 @@ class Cluster {
   std::uint64_t next_handle_ = 1;
   std::uint64_t sends_ = 0;
   std::uint64_t posts_ = 0;
+  std::uint64_t cancels_ = 0;
   double now_us_ = 0.0;
 
   // runtime.scheduler.* instruments (identical across policies and host

@@ -1,0 +1,268 @@
+#include "runtime/star_forest.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace simtmsg::runtime {
+namespace {
+
+/// Phases per operation sharing one tag epoch (fetch_and_op uses two:
+/// gather then scatter).
+constexpr int kPhases = 2;
+
+/// An edge that cannot complete under kThrow is fatal for the operation;
+/// on a faulted fabric, say why (the reliability layer reports every
+/// message it gave up on).
+[[noreturn]] void throw_incomplete(const Cluster& cluster, const char* op, int edge) {
+  std::string why = std::string(op) + " incomplete at edge " + std::to_string(edge);
+  const auto& failures = cluster.delivery_failures();
+  if (!failures.empty()) {
+    why += ": " + std::to_string(failures.size()) +
+           " delivery failure(s), first: " + to_string(failures.front());
+  }
+  throw std::runtime_error(why);
+}
+
+}  // namespace
+
+StarForest::StarForest(Cluster& cluster, std::vector<SfEdge> edges,
+                       StarForestConfig cfg)
+    : cluster_(&cluster), edges_(std::move(edges)), cfg_(cfg) {
+  const int p = cluster_->nodes();
+  occurrence_.reserve(edges_.size());
+  std::map<std::pair<int, int>, int> multiplicity;
+  std::map<int, int> degree_of;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const SfEdge& e = edges_[i];
+    if (e.root < 0 || e.root >= p || e.leaf < 0 || e.leaf >= p) {
+      throw std::invalid_argument(
+          "StarForest edge " + std::to_string(i) + " endpoint out of range: root " +
+          std::to_string(e.root) + ", leaf " + std::to_string(e.leaf) + " (nodes " +
+          std::to_string(p) + ")");
+    }
+    int& occ = multiplicity[{e.root, e.leaf}];
+    if (occ >= kMaxPairMultiplicity) {
+      throw std::invalid_argument(
+          "StarForest edge " + std::to_string(i) + " exceeds " +
+          std::to_string(kMaxPairMultiplicity) + " parallel edges for node pair (" +
+          std::to_string(e.root) + ", " + std::to_string(e.leaf) + ")");
+    }
+    occurrence_.push_back(occ++);
+    ++degree_of[e.root];
+  }
+
+  auto& telemetry = cluster_->layer_telemetry();
+  telemetry.counter("runtime.sf.forests").add(1);
+  telemetry.counter("runtime.sf.edges_built").add(edges_.size());
+  for (const auto& [root, degree] : degree_of) {
+    telemetry.histogram("runtime.sf.root_degree").record(
+        static_cast<std::uint64_t>(degree));
+  }
+}
+
+int StarForest::degree(int node) const {
+  int d = 0;
+  for (const SfEdge& e : edges_) d += e.root == node ? 1 : 0;
+  return d;
+}
+
+int StarForest::leaf_degree(int node) const {
+  int d = 0;
+  for (const SfEdge& e : edges_) d += e.leaf == node ? 1 : 0;
+  return d;
+}
+
+matching::Tag StarForest::tag(int phase, int occurrence) const {
+  // Two alternating epochs suffice: every operation quiesces before it
+  // returns, and incomplete edges are cancelled, so no receive or message
+  // from epoch e can survive into epoch e + 2.
+  return static_cast<matching::Tag>(
+      ((epoch_ % 2) * kPhases + phase) * kMaxPairMultiplicity + occurrence);
+}
+
+void StarForest::next_epoch() { ++epoch_; }
+
+void StarForest::send(int from, int to, int phase, int occurrence,
+                      std::uint64_t payload) {
+  cluster_->send(from, to, tag(phase, occurrence), payload, cfg_.comm);
+  ++messages_;
+  count("runtime.sf.messages");
+}
+
+RecvHandle StarForest::irecv(int at, int src, int phase, int occurrence) {
+  return cluster_->irecv(at, src, tag(phase, occurrence), cfg_.comm);
+}
+
+void StarForest::count(const char* name, std::uint64_t n) const {
+  cluster_->layer_telemetry().counter(name).add(n);
+}
+
+std::vector<char> StarForest::complete(const char* op,
+                                       const std::vector<PendingEdge>& pending,
+                                       std::vector<std::uint64_t>& out) {
+  cluster_->run_until_quiescent();
+  std::vector<char> delivered(edges_.size(), 0);
+  for (const PendingEdge& p : pending) {
+    if (const auto res = cluster_->result(p.handle)) {
+      out[static_cast<std::size_t>(p.edge)] = res->payload;
+      delivered[static_cast<std::size_t>(p.edge)] = 1;
+      continue;
+    }
+    if (cfg_.on_incomplete == StarForestConfig::OnIncomplete::kThrow) {
+      throw_incomplete(*cluster_, op, p.edge);
+    }
+    // Partial mode: record the edge and retire its posted receive, so the
+    // next epoch's identically-tagged traffic cannot be captured by a
+    // stale post.
+    failed_edges_.push_back(p.edge);
+    (void)cluster_->cancel(p.handle);
+    count("runtime.sf.incomplete_edges");
+  }
+  return delivered;
+}
+
+void StarForest::bcast(ValueFn root_value, StoreFn leaf_store) {
+  count("runtime.sf.bcasts");
+  failed_edges_.clear();
+  std::vector<std::uint64_t> values(edges_.size(), 0);
+  std::vector<char> local(edges_.size(), 0);
+
+  // Leaves pre-post every remote edge, then roots fire (the LULESH
+  // discipline: receives first, one quiescence drive after).
+  std::vector<PendingEdge> pending;
+  for (int i = 0; i < nedges(); ++i) {
+    const SfEdge& e = edges_[static_cast<std::size_t>(i)];
+    if (e.root == e.leaf) continue;
+    pending.push_back({irecv(e.leaf, e.root, 0, occurrence_[static_cast<std::size_t>(i)]), i});
+  }
+  for (int i = 0; i < nedges(); ++i) {
+    const SfEdge& e = edges_[static_cast<std::size_t>(i)];
+    const std::uint64_t v = root_value(e.root, e.root_slot);
+    if (e.root == e.leaf) {
+      // Local edge: data moves without touching the wire.
+      values[static_cast<std::size_t>(i)] = v;
+      local[static_cast<std::size_t>(i)] = 1;
+      count("runtime.sf.local_hops");
+      continue;
+    }
+    send(e.root, e.leaf, 0, occurrence_[static_cast<std::size_t>(i)], v);
+  }
+  const std::vector<char> delivered = complete("StarForest::bcast", pending, values);
+
+  for (int i = 0; i < nedges(); ++i) {
+    if (delivered[static_cast<std::size_t>(i)] == 0 && local[static_cast<std::size_t>(i)] == 0) continue;
+    const SfEdge& e = edges_[static_cast<std::size_t>(i)];
+    leaf_store(e.leaf, e.leaf_slot, values[static_cast<std::size_t>(i)]);
+  }
+  next_epoch();
+}
+
+void StarForest::reduce(ValueFn leaf_value, ValueFn root_value, StoreFn root_store,
+                        const Op& op) {
+  count("runtime.sf.reduces");
+  failed_edges_.clear();
+  std::vector<std::uint64_t> values(edges_.size(), 0);
+  std::vector<char> local(edges_.size(), 0);
+
+  std::vector<PendingEdge> pending;
+  for (int i = 0; i < nedges(); ++i) {
+    const SfEdge& e = edges_[static_cast<std::size_t>(i)];
+    if (e.root == e.leaf) continue;
+    pending.push_back({irecv(e.root, e.leaf, 0, occurrence_[static_cast<std::size_t>(i)]), i});
+  }
+  for (int i = 0; i < nedges(); ++i) {
+    const SfEdge& e = edges_[static_cast<std::size_t>(i)];
+    const std::uint64_t v = leaf_value(e.leaf, e.leaf_slot);
+    if (e.root == e.leaf) {
+      values[static_cast<std::size_t>(i)] = v;
+      local[static_cast<std::size_t>(i)] = 1;
+      count("runtime.sf.local_hops");
+      continue;
+    }
+    send(e.leaf, e.root, 0, occurrence_[static_cast<std::size_t>(i)], v);
+  }
+  const std::vector<char> delivered = complete("StarForest::reduce", pending, values);
+
+  // Apply contributions in edge order through the accessors, so several
+  // edges landing in one root slot chain deterministically.
+  for (int i = 0; i < nedges(); ++i) {
+    if (delivered[static_cast<std::size_t>(i)] == 0 && local[static_cast<std::size_t>(i)] == 0) continue;
+    const SfEdge& e = edges_[static_cast<std::size_t>(i)];
+    root_store(e.root, e.root_slot,
+               op(root_value(e.root, e.root_slot), values[static_cast<std::size_t>(i)]));
+  }
+  next_epoch();
+}
+
+void StarForest::fetch_and_op(ValueFn leaf_operand, ValueFn root_value,
+                              StoreFn root_store, StoreFn leaf_store, const Op& op) {
+  count("runtime.sf.fetch_ops");
+  failed_edges_.clear();
+  std::vector<std::uint64_t> operands(edges_.size(), 0);
+  std::vector<char> local(edges_.size(), 0);
+
+  // Phase 0: gather operands to the roots.
+  std::vector<PendingEdge> pending;
+  for (int i = 0; i < nedges(); ++i) {
+    const SfEdge& e = edges_[static_cast<std::size_t>(i)];
+    if (e.root == e.leaf) continue;
+    pending.push_back({irecv(e.root, e.leaf, 0, occurrence_[static_cast<std::size_t>(i)]), i});
+  }
+  for (int i = 0; i < nedges(); ++i) {
+    const SfEdge& e = edges_[static_cast<std::size_t>(i)];
+    const std::uint64_t v = leaf_operand(e.leaf, e.leaf_slot);
+    if (e.root == e.leaf) {
+      operands[static_cast<std::size_t>(i)] = v;
+      local[static_cast<std::size_t>(i)] = 1;
+      count("runtime.sf.local_hops");
+      continue;
+    }
+    send(e.leaf, e.root, 0, occurrence_[static_cast<std::size_t>(i)], v);
+  }
+  const std::vector<char> arrived =
+      complete("StarForest::fetch_and_op (gather)", pending, operands);
+
+  // Apply in edge order; each edge's fetched value is the root slot
+  // *before* its own operand — the one-sided fetch-and-op contract.
+  std::vector<std::uint64_t> fetched(edges_.size(), 0);
+  for (int i = 0; i < nedges(); ++i) {
+    if (arrived[static_cast<std::size_t>(i)] == 0 && local[static_cast<std::size_t>(i)] == 0) continue;
+    const SfEdge& e = edges_[static_cast<std::size_t>(i)];
+    fetched[static_cast<std::size_t>(i)] = root_value(e.root, e.root_slot);
+    root_store(e.root, e.root_slot,
+               op(fetched[static_cast<std::size_t>(i)], operands[static_cast<std::size_t>(i)]));
+  }
+
+  // Phase 1: scatter each fetched value back to its leaf.  An operand that
+  // arrived is applied even when this reply cannot be delivered — the
+  // atomic happened; only the fetch was lost (recorded as a failure).
+  pending.clear();
+  for (int i = 0; i < nedges(); ++i) {
+    const SfEdge& e = edges_[static_cast<std::size_t>(i)];
+    if (e.root == e.leaf || arrived[static_cast<std::size_t>(i)] == 0) continue;
+    pending.push_back({irecv(e.leaf, e.root, 1, occurrence_[static_cast<std::size_t>(i)]), i});
+  }
+  for (int i = 0; i < nedges(); ++i) {
+    const SfEdge& e = edges_[static_cast<std::size_t>(i)];
+    if (e.root == e.leaf || arrived[static_cast<std::size_t>(i)] == 0) continue;
+    send(e.root, e.leaf, 1, occurrence_[static_cast<std::size_t>(i)],
+         fetched[static_cast<std::size_t>(i)]);
+  }
+  std::vector<std::uint64_t> replies(edges_.size(), 0);
+  const std::vector<char> delivered =
+      complete("StarForest::fetch_and_op (scatter)", pending, replies);
+
+  for (int i = 0; i < nedges(); ++i) {
+    const SfEdge& e = edges_[static_cast<std::size_t>(i)];
+    if (local[static_cast<std::size_t>(i)] != 0) {
+      leaf_store(e.leaf, e.leaf_slot, fetched[static_cast<std::size_t>(i)]);
+    } else if (delivered[static_cast<std::size_t>(i)] != 0) {
+      leaf_store(e.leaf, e.leaf_slot, replies[static_cast<std::size_t>(i)]);
+    }
+  }
+  next_epoch();
+}
+
+}  // namespace simtmsg::runtime

@@ -1,0 +1,159 @@
+// StarForest: sparse-neighborhood collectives on a star-forest graph
+// (the PetscSF model; docs/collectives.md).
+//
+// The paper's Table I shows real MPI applications talk to only 4-79 peer
+// ranks out of thousands — dense collectives (runtime/collectives.hpp)
+// span the whole communicator, which is the wrong shape for halo
+// exchange, AMR, and unstructured-mesh traffic.  A StarForest names the
+// sparse communication graph once — directed edges from (root node, root
+// slot) to (leaf node, leaf slot), where slots are caller-defined data
+// indices — and then moves data along exactly those edges:
+//
+//   bcast         root slot values  -> every attached leaf slot,
+//   reduce        leaf slot values  -> combined into the root slot
+//                 (pluggable op, applied in edge order),
+//   fetch_and_op  leaf operands     -> read-modify-write at the root slot;
+//                 each leaf gets the root value from *before* its own
+//                 operand was applied (the one-sided atomic).
+//
+// Everything rides the existing point-to-point path through Cluster:
+// the per-node matching engines (every Table II semantics row and
+// matcher algorithm), the reliability channel, and both scheduler
+// policies see StarForest traffic as ordinary tagged sends — no new
+// wire primitives.  Each operation advances a tag epoch, so back-to-back
+// ops compose with unordered (hash) matching semantics exactly like the
+// dense collectives.
+//
+// Partial failure (the fault-model composition): with
+// OnIncomplete::kPartial an edge whose message the fabric gave up on is
+// recorded in last_failures() while every other edge — in particular,
+// every disjoint neighborhood — completes with the fault-free values.
+// The default kThrow mirrors the Collectives contract: any incomplete
+// edge fails the whole operation with the delivery failures attached.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "runtime/endpoint.hpp"
+#include "util/function_ref.hpp"
+
+namespace simtmsg::runtime {
+
+/// One directed edge of the forest.  Slots are opaque caller-defined data
+/// indices (array offsets, cell ids, ...): both endpoints know the edge
+/// list, so slots never travel on the wire — only the 64-bit value does.
+struct SfEdge {
+  int root = 0;                 ///< Node owning the authoritative value.
+  std::int32_t root_slot = 0;   ///< Data index on the root node.
+  int leaf = 0;                 ///< Node mirroring / contributing.
+  std::int32_t leaf_slot = 0;   ///< Data index on the leaf node.
+
+  friend bool operator==(const SfEdge&, const SfEdge&) = default;
+};
+
+struct StarForestConfig {
+  /// Dedicated communicator; must not collide with application
+  /// communicators or the dense Collectives comm (default 0x7F).
+  matching::CommId comm = 0x7E;
+
+  enum class OnIncomplete {
+    kThrow,    ///< Any edge that cannot complete fails the whole op.
+    kPartial,  ///< Complete what the fabric delivered; failed edges go to
+               ///< last_failures() and their target slots stay untouched.
+  };
+  OnIncomplete on_incomplete = OnIncomplete::kThrow;
+};
+
+class StarForest {
+ public:
+  /// Combiner for reduce / fetch_and_op, applied in edge order (so
+  /// non-commutative ops are deterministic).
+  using Op = std::function<std::uint64_t(std::uint64_t, std::uint64_t)>;
+  /// Read a caller-owned data slot.  Only invoked during the call that
+  /// received it (never stored), hence the non-owning reference type.
+  using ValueFn = util::FunctionRef<std::uint64_t(int node, std::int32_t slot)>;
+  /// Write a caller-owned data slot.
+  using StoreFn = util::FunctionRef<void(int node, std::int32_t slot, std::uint64_t value)>;
+
+  /// Validates the edge list against the cluster: every endpoint in
+  /// [0, nodes), and at most kMaxPairMultiplicity edges per (root, leaf)
+  /// node pair (parallel edges are disambiguated by tag).  Throws
+  /// std::invalid_argument naming the offending edge otherwise.
+  StarForest(Cluster& cluster, std::vector<SfEdge> edges, StarForestConfig cfg = {});
+
+  /// Parallel (root, leaf) edges a single forest can carry — the tag space
+  /// reserved per node pair and phase.
+  static constexpr int kMaxPairMultiplicity = 4096;
+
+  [[nodiscard]] const std::vector<SfEdge>& edges() const noexcept { return edges_; }
+  [[nodiscard]] int nedges() const noexcept { return static_cast<int>(edges_.size()); }
+  [[nodiscard]] matching::CommId comm() const noexcept { return cfg_.comm; }
+  /// Out-degree of `node` as a root (number of edges rooted there).
+  [[nodiscard]] int degree(int node) const;
+  /// In-degree of `node` as a leaf.
+  [[nodiscard]] int leaf_degree(int node) const;
+
+  /// Root -> leaves: every edge's leaf slot receives the root slot's value
+  /// via leaf_store(leaf, leaf_slot, value).  Local (root == leaf) edges
+  /// never touch the wire.
+  void bcast(ValueFn root_value, StoreFn leaf_store);
+
+  /// Leaves -> roots: each edge contributes leaf_value(leaf, leaf_slot)
+  /// into its root slot, applied in edge order as
+  ///   root_store(root, root_slot, op(current root value, contribution)).
+  void reduce(ValueFn leaf_value, ValueFn root_value, StoreFn root_store, const Op& op);
+
+  /// One-sided atomic read-modify-write at the root slot.  Phase 1
+  /// gathers each edge's operand to its root; the root applies operands
+  /// in edge order, and each edge's *fetched* value (the root slot
+  /// immediately before that edge's operand) travels back in phase 2 as
+  /// leaf_store(leaf, leaf_slot, fetched).  Operands that arrived are
+  /// applied to the root even when the reply cannot be delivered (the
+  /// atomic happened; only the fetch was lost) — such edges are recorded
+  /// as failures.
+  void fetch_and_op(ValueFn leaf_operand, ValueFn root_value, StoreFn root_store,
+                    StoreFn leaf_store, const Op& op);
+
+  /// Edge indices (into edges()) that did not complete during the most
+  /// recent operation, in edge order.  Always empty under kThrow (the op
+  /// throws instead) and on a healthy fabric.
+  [[nodiscard]] std::span<const int> last_failures() const noexcept {
+    return failed_edges_;
+  }
+
+  /// Wire messages injected by this forest so far (complexity checks);
+  /// local edges move data without messages.
+  [[nodiscard]] std::uint64_t messages_used() const noexcept { return messages_; }
+
+ private:
+  struct PendingEdge {
+    RecvHandle handle;
+    int edge = 0;  ///< Index into edges_.
+  };
+
+  /// Fresh per-(epoch, phase, pair-occurrence) tag; epochs alternate
+  /// because everything quiesces between operations.
+  [[nodiscard]] matching::Tag tag(int phase, int occurrence) const;
+  void next_epoch();
+  void send(int from, int to, int phase, int occurrence, std::uint64_t payload);
+  [[nodiscard]] RecvHandle irecv(int at, int src, int phase, int occurrence);
+  /// Drive the cluster and collect each pending edge's payload into
+  /// `out` (indexed by edge); missing edges go to failed_edges_ (kPartial)
+  /// or abort the op (kThrow).  Returns a per-edge delivered mask.
+  std::vector<char> complete(const char* op, const std::vector<PendingEdge>& pending,
+                             std::vector<std::uint64_t>& out);
+  void count(const char* name, std::uint64_t n = 1) const;
+
+  Cluster* cluster_;
+  std::vector<SfEdge> edges_;
+  StarForestConfig cfg_;
+  std::vector<int> occurrence_;  ///< Per-edge index among same (root, leaf) pair.
+  std::vector<int> failed_edges_;
+  int epoch_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace simtmsg::runtime

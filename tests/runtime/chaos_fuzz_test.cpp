@@ -25,12 +25,14 @@
 #include <cstdlib>
 #include <map>
 #include <random>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "matching/semantics.hpp"
 #include "runtime/endpoint.hpp"
 #include "runtime/reliability.hpp"
+#include "runtime/star_forest.hpp"
 
 namespace simtmsg::runtime {
 namespace {
@@ -212,6 +214,166 @@ TEST(ChaosFuzz, FaultedClusterMatchesFaultFreeOracleOrReportsTheLoss) {
       EXPECT_TRUE(faulted.delivery_failures().empty())
           << faulted.delivery_failures().size() << " failures under a 12-attempt cap "
           << where;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse-traffic leg: random star forests (docs/collectives.md) with
+// Table I degrees, driven in partial-failure mode on a faulted cluster and
+// compared edge-by-edge against a fault-free StarForest oracle.
+
+struct SfShape {
+  int nodes;
+  int threads;
+  int degree;
+  matching::SemanticsConfig semantics;
+  NetworkConfig network;
+  ReliabilityConfig reliability;
+  std::vector<SfEdge> edges;
+};
+
+template <typename Rng>
+SfShape random_sf_shape(Rng& rng, std::uint64_t seed) {
+  SfShape s;
+  s.nodes = pick(rng, {6, 9, 12});
+  s.threads = pick(rng, {1, 8});
+  s.degree = pick(rng, {4, 13, 23, 79});  // Table I neighborhood sizes.
+
+  const auto rows = matching::table2_rows();
+  s.semantics = rows[std::uniform_int_distribution<std::size_t>(
+      0, rows.size() - 1)(rng)];
+
+  s.network.seed = seed ^ 0x5FA57ull;
+  s.network.latency_us = 1.3;
+  s.network.jitter_us = pick(rng, {0.0, 0.3});
+  s.network.faults.drop_prob = pick(rng, {0.0, 0.05, 0.2});
+  s.network.faults.dup_prob = pick(rng, {0.0, 0.1});
+  s.network.faults.corrupt_prob = pick(rng, {0.0, 0.05});
+  s.network.faults.allow_pair_reorder = !s.semantics.ordering && pick(rng, {true, false});
+
+  s.reliability.enabled = true;
+  s.reliability.timeout_us = 10.0;
+  s.reliability.backoff = 2.0;
+  s.reliability.max_attempts = pick(rng, {12, 12, 12, 2});
+
+  // Every node roots `degree` edges to random peers; self edges (local
+  // data movement) are allowed.  Slots are globally unique per edge, so
+  // each edge's outcome is independently checkable under partial failure.
+  std::uniform_int_distribution<int> node_pick(0, s.nodes - 1);
+  std::int32_t slot = 0;
+  for (int n = 0; n < s.nodes; ++n) {
+    for (int k = 0; k < s.degree; ++k) {
+      s.edges.push_back({.root = n, .root_slot = slot, .leaf = node_pick(rng),
+                         .leaf_slot = slot});
+      ++slot;
+    }
+  }
+  return s;
+}
+
+ClusterConfig sf_config_for(const SfShape& s, bool faulted) {
+  ClusterConfig cfg;
+  cfg.nodes = s.nodes;
+  cfg.semantics = s.semantics;
+  cfg.policy = simt::ExecutionPolicy{s.threads};
+  cfg.network = s.network;
+  if (!faulted) cfg.network.faults = FaultModel{};
+  cfg.reliability = s.reliability;
+  return cfg;
+}
+
+std::string describe_sf(const SfShape& s, std::uint64_t seed) {
+  return matching::describe(s.semantics) + " nodes=" + std::to_string(s.nodes) +
+         " degree=" + std::to_string(s.degree) +
+         " threads=" + std::to_string(s.threads) +
+         " drop=" + std::to_string(s.network.faults.drop_prob) +
+         " dup=" + std::to_string(s.network.faults.dup_prob) +
+         " corrupt=" + std::to_string(s.network.faults.corrupt_prob) +
+         " max_attempts=" + std::to_string(s.reliability.max_attempts) + "\n" +
+         replay_hint(seed);
+}
+
+/// Deterministic slot data shared by both clusters.
+std::uint64_t sf_value(int node, std::int32_t slot) {
+  return 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(node + 1) ^
+         static_cast<std::uint64_t>(slot);
+}
+
+/// One bcast + one reduce; returns the per-(node, slot) stores and the
+/// failed edge set of each op.
+struct SfOutcome {
+  std::map<std::pair<int, std::int32_t>, std::uint64_t> bcast;
+  std::map<std::pair<int, std::int32_t>, std::uint64_t> reduce;
+  std::vector<int> bcast_failed;
+  std::vector<int> reduce_failed;
+};
+
+SfOutcome run_sf(Cluster& cluster, const std::vector<SfEdge>& edges) {
+  StarForestConfig sf_cfg;
+  sf_cfg.on_incomplete = StarForestConfig::OnIncomplete::kPartial;
+  StarForest sf(cluster, edges, sf_cfg);
+  SfOutcome out;
+  sf.bcast([](int n, std::int32_t s) { return sf_value(n, s); },
+           [&](int n, std::int32_t s, std::uint64_t v) { out.bcast[{n, s}] = v; });
+  out.bcast_failed.assign(sf.last_failures().begin(), sf.last_failures().end());
+  sf.reduce([](int n, std::int32_t s) { return sf_value(n, s); },
+            [](int n, std::int32_t s) { return sf_value(n, s); },
+            [&](int n, std::int32_t s, std::uint64_t v) { out.reduce[{n, s}] = v; },
+            [](std::uint64_t a, std::uint64_t b) { return a * 1000003ull + b; });
+  out.reduce_failed.assign(sf.last_failures().begin(), sf.last_failures().end());
+  return out;
+}
+
+TEST(ChaosFuzz, SparseForestMatchesOracleOrRecordsFailedEdges) {
+  const std::uint64_t base = chaos_base_seed();
+  // Forests are much denser than the point-to-point flows above (up to 12
+  // nodes x degree 79), so a slice of the iteration budget covers them.
+  const std::uint64_t iters = std::max<std::uint64_t>(1, chaos_iterations() / 10);
+
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = base + 0x5F0Fu + i;
+    std::mt19937_64 rng(seed);
+    const SfShape shape = random_sf_shape(rng, seed);
+    const std::string where = describe_sf(shape, seed);
+
+    Cluster oracle_cluster(sf_config_for(shape, /*faulted=*/false));
+    const SfOutcome oracle = run_sf(oracle_cluster, shape.edges);
+    ASSERT_TRUE(oracle.bcast_failed.empty() && oracle.reduce_failed.empty()) << where;
+    ASSERT_TRUE(oracle_cluster.delivery_failures().empty()) << where;
+
+    Cluster faulted_cluster(sf_config_for(shape, /*faulted=*/true));
+    const SfOutcome got = run_sf(faulted_cluster, shape.edges);
+
+    const auto check_op = [&](const char* op, const auto& oracle_stores,
+                              const auto& got_stores, const std::vector<int>& failed,
+                              const auto key_of) {
+      std::set<int> failed_set(failed.begin(), failed.end());
+      for (std::size_t e = 0; e < shape.edges.size(); ++e) {
+        const auto key = key_of(shape.edges[e]);
+        const auto it = got_stores.find(key);
+        if (it != got_stores.end()) {
+          // Stored: must be bit-exact against the fault-free oracle.
+          EXPECT_EQ(it->second, oracle_stores.at(key))
+              << op << " edge " << e << " " << where;
+        } else {
+          // Untouched: never silent — the edge must be recorded as failed.
+          EXPECT_TRUE(failed_set.contains(static_cast<int>(e)))
+              << op << " silently skipped edge " << e << " " << where;
+        }
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    };
+    check_op("bcast", oracle.bcast, got.bcast, got.bcast_failed,
+             [](const SfEdge& e) { return std::pair{e.leaf, e.leaf_slot}; });
+    check_op("reduce", oracle.reduce, got.reduce, got.reduce_failed,
+             [](const SfEdge& e) { return std::pair{e.root, e.root_slot}; });
+
+    // A generous retry cap over this fault mix must always recover.
+    if (shape.reliability.max_attempts >= 12) {
+      EXPECT_TRUE(got.bcast_failed.empty() && got.reduce_failed.empty())
+          << got.bcast_failed.size() << "+" << got.reduce_failed.size()
+          << " failed edges under a 12-attempt cap " << where;
     }
   }
 }

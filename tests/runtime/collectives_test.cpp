@@ -19,26 +19,47 @@ std::vector<std::uint64_t> iota_contributions(int n) {
   return v;
 }
 
-class CollectivesParam : public ::testing::TestWithParam<int> {};
+/// Axes: node count x pattern-table matching x scheduler policy.  Every
+/// dense collective must be value-identical across the whole grid.
+class CollectivesParam
+    : public ::testing::TestWithParam<std::tuple<int, bool, SchedulerPolicy>> {
+ protected:
+  [[nodiscard]] static int nodes() { return std::get<0>(GetParam()); }
+
+  [[nodiscard]] static ClusterConfig cfg() {
+    ClusterConfig c = nodes_cfg(nodes());
+    c.semantics.pattern_table = std::get<1>(GetParam());
+    c.scheduler = std::get<2>(GetParam());
+    return c;
+  }
+};
+
+std::string collectives_param_name(
+    const ::testing::TestParamInfo<std::tuple<int, bool, SchedulerPolicy>>& info) {
+  return "p" + std::to_string(std::get<0>(info.param)) +
+         (std::get<1>(info.param) ? "_pattern" : "_baseline") +
+         (std::get<2>(info.param) == SchedulerPolicy::kEventDriven ? "_event"
+                                                                   : "_lockstep");
+}
 
 TEST_P(CollectivesParam, BroadcastReachesEveryNode) {
-  Cluster c(nodes_cfg(GetParam()));
+  Cluster c(cfg());
   Collectives coll(c);
   const auto values = coll.broadcast(/*root=*/0, 0xABCD);
   for (const auto v : values) EXPECT_EQ(v, 0xABCDu);
 }
 
 TEST_P(CollectivesParam, BroadcastFromNonZeroRoot) {
-  const int p = GetParam();
-  Cluster c(nodes_cfg(p));
+  const int p = nodes();
+  Cluster c(cfg());
   Collectives coll(c);
   const auto values = coll.broadcast(p - 1, 77);
   for (const auto v : values) EXPECT_EQ(v, 77u);
 }
 
 TEST_P(CollectivesParam, ReduceSumsEverything) {
-  const int p = GetParam();
-  Cluster c(nodes_cfg(p));
+  const int p = nodes();
+  Cluster c(cfg());
   Collectives coll(c);
   const auto contrib = iota_contributions(p);
   const auto total = coll.reduce_sum(0, contrib);
@@ -46,8 +67,8 @@ TEST_P(CollectivesParam, ReduceSumsEverything) {
 }
 
 TEST_P(CollectivesParam, AllreduceGivesEveryoneTheSum) {
-  const int p = GetParam();
-  Cluster c(nodes_cfg(p));
+  const int p = nodes();
+  Cluster c(cfg());
   Collectives coll(c);
   const auto out = coll.allreduce_sum(iota_contributions(p));
   ASSERT_EQ(out.size(), static_cast<std::size_t>(p));
@@ -55,8 +76,8 @@ TEST_P(CollectivesParam, AllreduceGivesEveryoneTheSum) {
 }
 
 TEST_P(CollectivesParam, AllgatherCollectsAllBlocks) {
-  const int p = GetParam();
-  Cluster c(nodes_cfg(p));
+  const int p = nodes();
+  Cluster c(cfg());
   Collectives coll(c);
   const auto out = coll.allgather(iota_contributions(p));
   ASSERT_EQ(out.size(), static_cast<std::size_t>(p));
@@ -69,9 +90,14 @@ TEST_P(CollectivesParam, AllgatherCollectsAllBlocks) {
   }
 }
 
-// Power-of-two and odd node counts (recursive doubling vs reduce+bcast).
-INSTANTIATE_TEST_SUITE_P(NodeCounts, CollectivesParam,
-                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+// Power-of-two and odd node counts (recursive doubling vs reduce+bcast),
+// list vs pattern-table matching, both scheduler policies.
+INSTANTIATE_TEST_SUITE_P(
+    NodeCountsByMatcherBySchedulers, CollectivesParam,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 7, 8, 16), ::testing::Bool(),
+                       ::testing::Values(SchedulerPolicy::kLegacyLockstep,
+                                         SchedulerPolicy::kEventDriven)),
+    collectives_param_name);
 
 TEST(Collectives, AllreduceWithMaxOperator) {
   Cluster c(nodes_cfg(8));
