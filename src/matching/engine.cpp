@@ -118,14 +118,18 @@ telemetry::TelemetryReport MatchEngine::snapshot() const {
 
 namespace {
 
-/// Index the distinct communicators of both spans in first-appearance
+/// Index the distinct communicators of both inputs in first-appearance
 /// order: fills ew.comms and the per-element dense bucket arrays.  One pass
-/// over each span against an open-addressed table sized O(M + R), so the
+/// over each input against an open-addressed table sized O(M + R), so the
 /// whole operation is O(M + R) — the old per-comm rescan was O(C * (M + R)).
-void index_comms(EngineWorkspace& ew, std::span<const Message> msgs,
-                 std::span<const RecvRequest> reqs) {
+/// The comm getters abstract the element layout: the span-based overload
+/// strides over AoS elements, the queue path feeds the contiguous comm
+/// lanes (one int per element, no payload-adjacent bytes).
+template <typename MsgComm, typename ReqComm>
+void index_comms_impl(EngineWorkspace& ew, std::size_t n_msgs, std::size_t n_reqs,
+                      MsgComm msg_comm, ReqComm req_comm) {
   const std::size_t slots =
-      util::next_pow2(std::max<std::size_t>(16, 2 * (msgs.size() + reqs.size())));
+      util::next_pow2(std::max<std::size_t>(16, 2 * (n_msgs + n_reqs)));
   ew.slot_comm.assign(slots, CommId{0});
   ew.slot_index.assign(slots, -1);
   ew.comms.clear();
@@ -148,14 +152,29 @@ void index_comms(EngineWorkspace& ew, std::span<const Message> msgs,
     }
   };
 
-  ew.msg_bucket.resize(msgs.size());
-  for (std::size_t i = 0; i < msgs.size(); ++i) {
-    ew.msg_bucket[i] = index_of(msgs[i].env.comm);
+  ew.msg_bucket.resize(n_msgs);
+  for (std::size_t i = 0; i < n_msgs; ++i) {
+    ew.msg_bucket[i] = index_of(msg_comm(i));
   }
-  ew.req_bucket.resize(reqs.size());
-  for (std::size_t i = 0; i < reqs.size(); ++i) {
-    ew.req_bucket[i] = index_of(reqs[i].env.comm);
+  ew.req_bucket.resize(n_reqs);
+  for (std::size_t i = 0; i < n_reqs; ++i) {
+    ew.req_bucket[i] = index_of(req_comm(i));
   }
+}
+
+void index_comms(EngineWorkspace& ew, std::span<const Message> msgs,
+                 std::span<const RecvRequest> reqs) {
+  index_comms_impl(
+      ew, msgs.size(), reqs.size(), [&](std::size_t i) { return msgs[i].env.comm; },
+      [&](std::size_t i) { return reqs[i].env.comm; });
+}
+
+void index_comms(EngineWorkspace& ew, std::span<const CommId> msg_comms,
+                 std::span<const CommId> req_comms) {
+  index_comms_impl(
+      ew, msg_comms.size(), req_comms.size(),
+      [&](std::size_t i) { return msg_comms[i]; },
+      [&](std::size_t i) { return req_comms[i]; });
 }
 
 /// Stable counting-sort scatter of both spans into comm-contiguous order
@@ -283,15 +302,17 @@ SimtMatchStats MatchEngine::match_queues(MessageQueue& mq, RecvQueue& rq) const 
 
 void MatchEngine::match_queues(MessageQueue& mq, RecvQueue& rq, SimtMatchStats& out) const {
   if (!cfg_.wildcards) {
-    for (const auto& r : rq.view()) {
-      if (has_wildcard(r.env)) {
+    // Lane scan: two contiguous int arrays instead of striding AoS structs.
+    const EnvelopeLanes lanes = rq.lanes();
+    for (std::size_t i = 0; i < lanes.src.size(); ++i) {
+      if (lanes.src[i] == kAnySource || lanes.tag[i] == kAnyTag) {
         throw std::invalid_argument("wildcards are prohibited by the configured semantics");
       }
     }
   }
 
   auto& ws = impl_->ws;
-  index_comms(ws.engine, mq.view(), rq.view());
+  index_comms(ws.engine, mq.lanes().comm, rq.lanes().comm);
 
   if (ws.engine.comms.size() <= 1) {
     // Single communicator: every matcher drains live queues natively (or
@@ -315,6 +336,22 @@ void MatchEngine::match_queues(MessageQueue& mq, RecvQueue& rq, SimtMatchStats& 
   (void)mq.compact(ws.msg_flags);
   (void)rq.compact(ws.req_flags);
   impl_->accumulate(out);
+}
+
+void MatchEngine::match_batch(std::span<const Message> msg_arrivals,
+                              std::span<const RecvRequest> req_arrivals, MessageQueue& mq,
+                              RecvQueue& rq, SimtMatchStats& out) const {
+  mq.push_n(msg_arrivals);
+  rq.push_n(req_arrivals);
+  match_queues(mq, rq, out);
+}
+
+SimtMatchStats MatchEngine::match_batch(std::span<const Message> msg_arrivals,
+                                        std::span<const RecvRequest> req_arrivals,
+                                        MessageQueue& mq, RecvQueue& rq) const {
+  SimtMatchStats stats;
+  match_batch(msg_arrivals, req_arrivals, mq, rq, stats);
+  return stats;
 }
 
 }  // namespace simtmsg::matching

@@ -76,6 +76,22 @@ class MatchEngine {
   /// like match() above.
   void match_queues(MessageQueue& mq, RecvQueue& rq, SimtMatchStats& out) const;
 
+  /// Batched ingestion: append `msg_arrivals` / `req_arrivals` to the live
+  /// queues (bulk sequence stamping, identical to pushing them one at a
+  /// time), then run ONE match_queues pass.  Engine dispatch, the wildcard
+  /// scan, comm bucketing, and telemetry accumulation are paid once per
+  /// batch instead of once per message — the amortization lever behind the
+  /// fig5 batch-size axis (docs/perf.md).  Either span may be empty; with
+  /// both empty this is exactly match_queues on the current queue contents.
+  /// Result indices refer to the queues *after* the appends.
+  void match_batch(std::span<const Message> msg_arrivals,
+                   std::span<const RecvRequest> req_arrivals, MessageQueue& mq,
+                   RecvQueue& rq, SimtMatchStats& out) const;
+
+  [[nodiscard]] SimtMatchStats match_batch(std::span<const Message> msg_arrivals,
+                                           std::span<const RecvRequest> req_arrivals,
+                                           MessageQueue& mq, RecvQueue& rq) const;
+
   [[nodiscard]] const SemanticsConfig& semantics() const noexcept { return cfg_; }
 
   [[nodiscard]] Algorithm algorithm_kind() const noexcept;

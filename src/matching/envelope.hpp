@@ -53,6 +53,21 @@ struct Envelope {
 /// is implicit — "we presume one matching engine per communicator", §V-A).
 [[nodiscard]] std::uint32_t match_key(const Envelope& e) noexcept;
 
+/// Packed (src << 32 | tag) scan word — the single 64-bit load per element
+/// the warp ballot scan performs ("Instead of reading the entire message or
+/// receive request, only src and tag are being read", Algorithm 1).  Sign
+/// bits are preserved, so wildcards (-1) remain representable; the
+/// communicator is compared separately by the engine's comm bucketing.
+/// MatchQueue maintains a contiguous lane of these words per queue.
+[[nodiscard]] constexpr std::uint64_t scan_word(Rank src, Tag tag) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+}
+
+[[nodiscard]] constexpr std::uint64_t scan_word(const Envelope& e) noexcept {
+  return scan_word(e.src, e.tag);
+}
+
 [[nodiscard]] std::string to_string(const Envelope& e);
 
 /// A message sitting in the (unified) message queue.  `seq` is the arrival

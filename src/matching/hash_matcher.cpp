@@ -13,14 +13,6 @@
 #include "util/bits.hpp"
 
 namespace simtmsg::matching {
-namespace {
-
-[[nodiscard]] std::uint64_t raw_word(const Envelope& e) noexcept {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.src)) << 32) |
-         static_cast<std::uint32_t>(e.tag);
-}
-
-}  // namespace
 
 HashMatcher::HashMatcher(const simt::DeviceSpec& spec, Options opt)
     : spec_(&spec), opt_(opt) {
@@ -55,9 +47,9 @@ void HashMatcher::match_into(std::span<const Message> msgs,
   // Device-resident words (only src and tag are read, as in the matrix
   // matcher; the communicator is implicit).
   hw.msg_words.resize(msgs.size());
-  for (std::size_t i = 0; i < msgs.size(); ++i) hw.msg_words[i] = raw_word(msgs[i].env);
+  for (std::size_t i = 0; i < msgs.size(); ++i) hw.msg_words[i] = scan_word(msgs[i].env);
   hw.req_words.resize(reqs.size());
-  for (std::size_t i = 0; i < reqs.size(); ++i) hw.req_words[i] = raw_word(reqs[i].env);
+  for (std::size_t i = 0; i < reqs.size(); ++i) hw.req_words[i] = scan_word(reqs[i].env);
 
   DeviceHashTable& table = hw.table;
   table.prepare(std::max(msgs.size(), reqs.size()), opt_.table_ratio, opt_.hash);

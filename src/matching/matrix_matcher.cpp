@@ -15,13 +15,8 @@ namespace {
 
 // The kernels read only src and tag of each element ("Instead of reading
 // the entire message or receive request, only src and tag are being read",
-// Algorithm 1): one 64-bit word per element, wildcards representable as
-// 0xFFFFFFFF halves.
-[[nodiscard]] std::uint64_t raw_word(Rank src, Tag tag) noexcept {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
-         static_cast<std::uint32_t>(tag);
-}
-
+// Algorithm 1): one 64-bit scan_word() per element (envelope.hpp),
+// wildcards representable as 0xFFFFFFFF halves.
 [[nodiscard]] Rank word_src(std::uint64_t w) noexcept {
   return static_cast<Rank>(static_cast<std::uint32_t>(w >> 32));
 }
@@ -79,25 +74,40 @@ SimtMatchStats MatrixMatcher::match_window(std::span<const Message> msgs,
 void MatrixMatcher::match_window_into(std::span<const Message> msgs,
                                       std::span<const RecvRequest> reqs,
                                       MatrixWorkspace& mws, SimtMatchStats& out) const {
-  out.reset(reqs.size());
-  out.iterations = 1;
-
-  const std::size_t n_msgs = std::min(msgs.size(), static_cast<std::size_t>(capacity()));
-  const std::size_t n_reqs =
-      std::min(reqs.size(), static_cast<std::size_t>(opt_.request_window));
-  if (n_msgs == 0 || n_reqs == 0) return;
-
-  // Device-resident element words (global memory).
+  // AoS entry point: gather the scan words once, then run the lane-fed
+  // kernel.  The queue-drain path skips this gather entirely by feeding
+  // MatchQueue's word lane into match_words_into directly.  The kernel
+  // clamps to capacity()/request_window itself, so gathering beyond the
+  // clamp only happens for the transient span-based callers.
   auto& msg_words = mws.msg_words;
-  msg_words.resize(n_msgs);
-  for (std::size_t i = 0; i < n_msgs; ++i) {
-    msg_words[i] = raw_word(msgs[i].env.src, msgs[i].env.tag);
+  msg_words.resize(msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    msg_words[i] = scan_word(msgs[i].env);
   }
   auto& req_words = mws.req_words;
-  req_words.resize(n_reqs);
-  for (std::size_t i = 0; i < n_reqs; ++i) {
-    req_words[i] = raw_word(reqs[i].env.src, reqs[i].env.tag);
+  req_words.resize(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    req_words[i] = scan_word(reqs[i].env);
   }
+  match_words_into(msg_words, req_words, mws, out);
+}
+
+void MatrixMatcher::match_words_into(std::span<const std::uint64_t> all_msg_words,
+                                     std::span<const std::uint64_t> all_req_words,
+                                     MatrixWorkspace& mws, SimtMatchStats& out) const {
+  out.reset(all_req_words.size());
+  out.iterations = 1;
+
+  const std::size_t n_msgs =
+      std::min(all_msg_words.size(), static_cast<std::size_t>(capacity()));
+  const std::size_t n_reqs =
+      std::min(all_req_words.size(), static_cast<std::size_t>(opt_.request_window));
+  if (n_msgs == 0 || n_reqs == 0) return;
+
+  // Device-resident element words (global memory) — the queue's SoA lane or
+  // the gather wrapper's scratch, either way one contiguous 64-bit array.
+  const auto msg_words = all_msg_words.subspan(0, n_msgs);
+  const auto req_words = all_req_words.subspan(0, n_reqs);
 
   const simt::TimingModel model(*spec_);
 
@@ -299,8 +309,8 @@ void MatrixMatcher::match_into(std::span<const Message> msgs,
   auto& rq = ws.matrix.batch_reqs;
   mq.clear();
   rq.clear();
-  for (const auto& m : msgs) mq.push_raw(m);
-  for (const auto& r : reqs) rq.push_raw(r);
+  mq.push_raw_n(msgs);
+  rq.push_raw_n(reqs);
   match_queues_into(mq, rq, ws, out);
 }
 
@@ -332,11 +342,14 @@ void MatrixMatcher::match_queues_into(MessageQueue& mq, RecvQueue& rq, MatchWork
     while (mc < mq.size() && rw < rq.size()) {
       const std::size_t msg_take = std::min(cap, mq.size() - mc);
       const std::size_t req_take = std::min(req_win, rq.size() - rw);
-      const auto msgs = std::span<const Message>(mq.view()).subspan(mc, msg_take);
-      const auto reqs = std::span<const RecvRequest>(rq.view()).subspan(rw, req_take);
+      // Feed the queues' SoA word lanes straight into the kernel: no
+      // per-window AoS gather, and the lanes stay valid across compactions
+      // because MatchQueue compacts them together with the element store.
+      const auto msg_words = mq.words().subspan(mc, msg_take);
+      const auto req_words = rq.words().subspan(rw, req_take);
 
       SimtMatchStats& pass = ws.matrix.window;
-      match_window_into(msgs, reqs, ws.matrix, pass);
+      match_words_into(msg_words, req_words, ws.matrix, pass);
       out.scan_events += pass.scan_events;
       out.reduce_events += pass.reduce_events;
       out.cycles += pass.cycles;

@@ -80,6 +80,14 @@ class MatrixMatcher : public Matcher {
   void match_window_into(std::span<const Message> msgs, std::span<const RecvRequest> reqs,
                          MatrixWorkspace& mws, SimtMatchStats& out) const;
 
+  /// Lane-fed form: the window kernel over pre-packed scan words (what the
+  /// queue-drain path feeds straight from MatchQueue's word lane, skipping
+  /// the per-window AoS gather).  Word i must be scan_word(src_i, tag_i);
+  /// identical words give bit-identical stats to match_window_into.
+  void match_words_into(std::span<const std::uint64_t> msg_words,
+                        std::span<const std::uint64_t> req_words, MatrixWorkspace& mws,
+                        SimtMatchStats& out) const;
+
   /// Batch interface (Matcher): drains copies of the inputs through
   /// match_queues_into (the copies live in the workspace).
   [[nodiscard]] SimtMatchStats match(std::span<const Message> msgs,

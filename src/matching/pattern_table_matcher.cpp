@@ -24,10 +24,12 @@ namespace {
 
 /// Slot hash over the class's concrete fields (wildcarded fields zeroed so
 /// a message's projection and a receive's stored key hash identically).
+/// The projected key is the same packed (src, tag) word the queue lanes
+/// carry (envelope.hpp scan_word), masked down to the class's fields.
 [[nodiscard]] std::uint32_t slot_hash(int cls, const Envelope& e) noexcept {
-  const std::uint32_t src = class_has_src(cls) ? static_cast<std::uint32_t>(e.src) : 0u;
-  const std::uint32_t tag = class_has_tag(cls) ? static_cast<std::uint32_t>(e.tag) : 0u;
-  std::uint32_t h = util::mix64to32((static_cast<std::uint64_t>(src) << 32) | tag);
+  const Rank src = class_has_src(cls) ? e.src : 0;
+  const Tag tag = class_has_tag(cls) ? e.tag : 0;
+  std::uint32_t h = util::mix64to32(scan_word(src, tag));
   h ^= util::mix64to32((static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.comm)) << 32) |
                        (0x9E3779B9u + static_cast<std::uint32_t>(cls)));
   return h;

@@ -6,10 +6,24 @@
 // receive request queue."  MatchQueue implements that unified layout: a
 // contiguous buffer in (simulated) global memory whose head region holds
 // the not-yet-matched elements, with new arrivals appended at the tail.
+//
+// Envelope lanes (struct-of-arrays).  The scan kernels read only (source,
+// tag, comm) of each element ("Instead of reading the entire message or
+// receive request, only src and tag are being read", Algorithm 1), so the
+// queue keeps those fields mirrored in contiguous per-field lanes next to
+// the element (payload) store: source[], tag[], comm[], seq[], and the
+// packed (src << 32 | tag) scan word[] the warp ballot scan consumes.  A
+// probe over the lanes streams 8-byte words instead of striding over
+// whole Message/RecvRequest structs, which is exactly the coalesced
+// lane-wise layout the SIMT literature prescribes (docs/perf.md).  The
+// lanes are maintained by every mutation (push, push_n, push_raw,
+// compact, clear) and are therefore always in sync with the element
+// store; accessors are const-only so no caller can desynchronize them.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -17,33 +31,87 @@
 
 namespace simtmsg::matching {
 
+/// Const view over a queue's envelope lanes: one contiguous array per
+/// envelope field, index-aligned with the element store (element i's
+/// envelope is {src[i], tag[i], comm[i]} with sequence seq[i] and packed
+/// scan word word[i] == scan_word(src[i], tag[i])).
+struct EnvelopeLanes {
+  std::span<const Rank> src;
+  std::span<const Tag> tag;
+  std::span<const CommId> comm;
+  std::span<const std::uint64_t> seq;
+  std::span<const std::uint64_t> word;  ///< What the ballot scan reads.
+};
+
 template <typename T>
 class MatchQueue {
  public:
   MatchQueue() = default;
-  explicit MatchQueue(std::vector<T> initial) : items_(std::move(initial)) {}
+  explicit MatchQueue(std::vector<T> initial) : items_(std::move(initial)) {
+    rebuild_lanes();
+  }
 
   /// Append a new arrival at the tail, stamping its sequence number.
   void push(T item) {
-    item.seq = next_seq_++;
+    item.seq = bump_seq();
+    append_lanes(item);
     items_.push_back(std::move(item));
   }
 
-  /// Append preserving the item's existing sequence number.
+  /// Bulk append: one reserve + lane-wise sequence stamping for the whole
+  /// batch.  Element and sequence-wise identical to pushing the items one
+  /// at a time (tests/matching/batched_ingest_test.cpp pins this), but the
+  /// per-call overhead is paid once per batch.
+  void push_n(std::span<const T> items) {
+    reserve_more(items.size());
+    for (const T& it : items) {
+      T copy = it;
+      copy.seq = bump_seq();
+      append_lanes(copy);
+      items_.push_back(std::move(copy));
+    }
+  }
+
+  /// Append preserving the item's existing sequence number.  The stamping
+  /// cursor saturates at the maximum sequence instead of wrapping: a raw
+  /// item carrying seq == 2^64-1 must not silently reset the sequence
+  /// space (seq + 1 would wrap to 0).
   void push_raw(T item) {
-    next_seq_ = std::max(next_seq_, item.seq + 1);
+    next_seq_ = std::max(next_seq_, saturating_next(item.seq));
+    append_lanes(item);
     items_.push_back(std::move(item));
+  }
+
+  /// Bulk form of push_raw(): existing sequence numbers preserved, one
+  /// reserve for the whole batch.
+  void push_raw_n(std::span<const T> items) {
+    reserve_more(items.size());
+    for (const T& it : items) {
+      next_seq_ = std::max(next_seq_, saturating_next(it.seq));
+      append_lanes(it);
+      items_.push_back(it);
+    }
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
   [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
 
   [[nodiscard]] const T& operator[](std::size_t i) const { return items_[i]; }
-  [[nodiscard]] T& operator[](std::size_t i) { return items_[i]; }
 
-  /// Raw storage — this is what the SIMT kernels read as "global memory".
+  /// Raw element storage — what the SIMT kernels see as "global memory".
+  /// Const-only: mutating an element in place would desynchronize the
+  /// envelope lanes (all mutation goes through push*/compact/clear).
   [[nodiscard]] std::span<const T> view() const noexcept { return items_; }
-  [[nodiscard]] std::span<T> view() noexcept { return items_; }
+
+  /// The envelope lanes (struct-of-arrays mirror of view(), see above).
+  [[nodiscard]] EnvelopeLanes lanes() const noexcept {
+    return EnvelopeLanes{.src = src_, .tag = tag_, .comm = comm_, .seq = seq_,
+                         .word = word_};
+  }
+
+  /// The packed (src << 32 | tag) scan-word lane — the exact array the
+  /// matrix/hash scan kernels load.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept { return word_; }
 
   /// First `n` elements (the window an iteration works on).
   [[nodiscard]] std::span<const T> window(std::size_t n) const noexcept {
@@ -52,8 +120,9 @@ class MatchQueue {
 
   /// Remove the elements whose indices have `matched[i] != 0`, preserving
   /// the relative order of survivors (the paper's compaction step:
-  /// "compact the queues to advance the head pointer").  Returns the number
-  /// of removed elements.
+  /// "compact the queues to advance the head pointer").  Lane-wise: the
+  /// element store and every envelope lane compact in one pass, so the
+  /// lanes stay index-aligned.  Returns the number of removed elements.
   std::size_t compact(std::span<const std::uint8_t> matched) {
     std::size_t kept = 0;
     std::size_t removed = 0;
@@ -62,18 +131,86 @@ class MatchQueue {
       if (remove) {
         ++removed;
       } else {
-        if (kept != i) items_[kept] = std::move(items_[i]);
+        if (kept != i) {
+          items_[kept] = std::move(items_[i]);
+          src_[kept] = src_[i];
+          tag_[kept] = tag_[i];
+          comm_[kept] = comm_[i];
+          seq_[kept] = seq_[i];
+          word_[kept] = word_[i];
+        }
         ++kept;
       }
     }
     items_.resize(kept);
+    src_.resize(kept);
+    tag_.resize(kept);
+    comm_.resize(kept);
+    seq_.resize(kept);
+    word_.resize(kept);
     return removed;
   }
 
-  void clear() noexcept { items_.clear(); }
+  void clear() noexcept {
+    items_.clear();
+    src_.clear();
+    tag_.clear();
+    comm_.clear();
+    seq_.clear();
+    word_.clear();
+  }
 
  private:
-  std::vector<T> items_;
+  static constexpr std::uint64_t kMaxSeq = std::numeric_limits<std::uint64_t>::max();
+
+  /// The cursor value that follows a raw element's sequence, saturating at
+  /// kMaxSeq so the sequence space never wraps back to 0.
+  [[nodiscard]] static constexpr std::uint64_t saturating_next(std::uint64_t seq) noexcept {
+    return seq == kMaxSeq ? kMaxSeq : seq + 1;
+  }
+
+  /// Stamp-and-advance, saturating at kMaxSeq (further stamps repeat it
+  /// rather than wrapping — by then the ordering contract is void anyway).
+  [[nodiscard]] std::uint64_t bump_seq() noexcept {
+    const std::uint64_t s = next_seq_;
+    next_seq_ = saturating_next(next_seq_);
+    return s;
+  }
+
+  void append_lanes(const T& item) {
+    src_.push_back(item.env.src);
+    tag_.push_back(item.env.tag);
+    comm_.push_back(item.env.comm);
+    seq_.push_back(item.seq);
+    word_.push_back(scan_word(item.env.src, item.env.tag));
+  }
+
+  void reserve_more(std::size_t n) {
+    const std::size_t total = items_.size() + n;
+    items_.reserve(total);
+    src_.reserve(total);
+    tag_.reserve(total);
+    comm_.reserve(total);
+    seq_.reserve(total);
+    word_.reserve(total);
+  }
+
+  void rebuild_lanes() {
+    src_.clear();
+    tag_.clear();
+    comm_.clear();
+    seq_.clear();
+    word_.clear();
+    reserve_more(0);
+    for (const T& item : items_) append_lanes(item);
+  }
+
+  std::vector<T> items_;  ///< Element (payload) store; lanes mirror its envelopes.
+  std::vector<Rank> src_;
+  std::vector<Tag> tag_;
+  std::vector<CommId> comm_;
+  std::vector<std::uint64_t> seq_;
+  std::vector<std::uint64_t> word_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -19,6 +19,16 @@ namespace {
   return n;
 }
 
+/// Lane form: the queue-drain path scans the queue's contiguous src lane
+/// instead of striding over whole RecvRequest structs.
+[[nodiscard]] std::uint64_t count_any_source(std::span<const Rank> srcs) noexcept {
+  std::uint64_t n = 0;
+  for (const Rank s : srcs) {
+    if (s == kAnySource) ++n;
+  }
+  return n;
+}
+
 // Pass-accounting counters (always written at the top level, never inside a
 // shard stage, so a mid-pass snapshot can't observe a half-staged value —
 // the drift the serialized pass used to exhibit).
@@ -310,8 +320,8 @@ void ShardedMatchEngine::match_replicated_into(std::span<const Message> msgs,
       auto& rq0 = im.shard_reqs[0];
       mq0.clear();
       rq0.clear();
-      for (const auto& m : msgs) mq0.push_raw(m);
-      for (const auto& r : reqs) rq0.push_raw(r);
+      mq0.push_raw_n(msgs);
+      rq0.push_raw_n(reqs);
       if constexpr (telemetry::kEnabled) {
         im.stages[0].reset_values();
         {
@@ -519,7 +529,7 @@ void ShardedMatchEngine::match_queues(MessageQueue& mq, RecvQueue& rq,
     im.shards.front().match_queues(mq, rq, out);
     return;
   }
-  if (const std::uint64_t wc = count_any_source(rq.view()); wc > 0) {
+  if (const std::uint64_t wc = count_any_source(rq.lanes().src); wc > 0) {
     telemetry::count(kShardWildcardPosts, wc);
     if (algorithm_kind() == Algorithm::kPatternTable && cfg_.wildcards) {
       // Replicated drain: batch-match the views through the stub fixpoint,
@@ -558,6 +568,23 @@ void ShardedMatchEngine::match_queues(MessageQueue& mq, RecvQueue& rq,
   }
   (void)mq.compact(im.msg_flags);
   (void)rq.compact(im.req_flags);
+}
+
+void ShardedMatchEngine::match_batch(std::span<const Message> msg_arrivals,
+                                     std::span<const RecvRequest> req_arrivals,
+                                     MessageQueue& mq, RecvQueue& rq,
+                                     SimtMatchStats& out) const {
+  mq.push_n(msg_arrivals);
+  rq.push_n(req_arrivals);
+  match_queues(mq, rq, out);
+}
+
+SimtMatchStats ShardedMatchEngine::match_batch(std::span<const Message> msg_arrivals,
+                                               std::span<const RecvRequest> req_arrivals,
+                                               MessageQueue& mq, RecvQueue& rq) const {
+  SimtMatchStats stats;
+  match_batch(msg_arrivals, req_arrivals, mq, rq, stats);
+  return stats;
 }
 
 }  // namespace simtmsg::matching

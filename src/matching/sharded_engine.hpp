@@ -98,6 +98,19 @@ class ShardedMatchEngine {
   /// Out-parameter form of match_queues(); allocation-free in steady state.
   void match_queues(MessageQueue& mq, RecvQueue& rq, SimtMatchStats& out) const;
 
+  /// Batched ingestion (mirrors MatchEngine::match_batch): append the
+  /// arrivals to the live queues with bulk sequence stamping, then run ONE
+  /// match_queues pass, paying routing, the wildcard scan, and telemetry
+  /// staging once per batch.  Result indices refer to the queues after the
+  /// appends; allocation-free in steady state.
+  void match_batch(std::span<const Message> msg_arrivals,
+                   std::span<const RecvRequest> req_arrivals, MessageQueue& mq,
+                   RecvQueue& rq, SimtMatchStats& out) const;
+
+  [[nodiscard]] SimtMatchStats match_batch(std::span<const Message> msg_arrivals,
+                                           std::span<const RecvRequest> req_arrivals,
+                                           MessageQueue& mq, RecvQueue& rq) const;
+
   [[nodiscard]] const SemanticsConfig& semantics() const noexcept { return cfg_; }
   [[nodiscard]] Algorithm algorithm_kind() const noexcept;
   [[nodiscard]] int shard_count() const noexcept;

@@ -144,8 +144,9 @@ struct PatternWorkspace {
   Table tables[4];
   std::vector<std::int32_t> next;      ///< Request -> next request in its bucket.
   std::vector<std::uint8_t> req_class; ///< Request -> wildcard class (0..3).
-  /// Per-CTA counter scratch for the timing-model calls (the scalar
-  /// estimate() overload would heap-allocate this per call).
+  /// Per-CTA counter scratch for the vector-overload timing-model calls
+  /// whose CTAs carry distinct counters.  (The scalar estimate() overload
+  /// is allocation-free on its own and needs no scratch.)
   std::vector<simt::EventCounters> cta_events;
 };
 

@@ -156,7 +156,7 @@ std::size_t Cluster::progress() {
       accepted_.clear();
       engines_[static_cast<std::size_t>(p.to)].reliability().on_packet(
           p, now_us_, accepted_, replies_);
-      for (const auto& m : accepted_) gas_.incoming(p.to).push(m);
+      gas_.incoming(p.to).push_n(accepted_);  // Bulk append, one seq-stamp run.
       if (!accepted_.empty()) wake(p.to);
       // Data changed the receiver's dedup state; an ack cleared a pending
       // send.  Either way p.to's earliest deadline may differ now.
@@ -177,12 +177,23 @@ std::size_t Cluster::progress() {
     }
     for (Packet& r : resend_) inject(std::move(r));
   } else {
-    for (const Packet& p : raw_) {
-      matching::Message m;
-      m.env = p.env;
-      m.payload = p.payload;
-      gas_.incoming(p.to).push(m);
-      wake(p.to);
+    // Batched ingestion: raw_ is arrival-ordered, so contiguous packets to
+    // the same destination form a run the queue can absorb with one bulk
+    // push_n.  Per-queue arrival order — and therefore sequence stamping —
+    // is identical to pushing per packet; wake() is level-triggered, so one
+    // wake per run is equivalent to one per packet.
+    std::size_t i = 0;
+    while (i < raw_.size()) {
+      const int to = raw_[i].to;
+      ingest_batch_.clear();
+      for (; i < raw_.size() && raw_[i].to == to; ++i) {
+        matching::Message m;
+        m.env = raw_[i].env;
+        m.payload = raw_[i].payload;
+        ingest_batch_.push_back(m);
+      }
+      gas_.incoming(to).push_n(ingest_batch_);
+      wake(to);
     }
   }
 

@@ -12,12 +12,12 @@
 // Progress is driven by a Scheduler (docs/runtime.md): each progress()
 // tick advances the virtual clock to the next event, delivers the due
 // packets, fires the due retransmit timers, and steps only the nodes whose
-// communication kernels have matching work.  The default kLegacyLockstep
-// policy finds those nodes by scanning the whole fleet (the seed's cost
-// model); kEventDriven maintains the active set and a retransmit-deadline
-// wheel incrementally, so a tick costs O(active nodes) and the fleet
-// scales to O(10k) nodes.  Both policies produce bit-identical results and
-// telemetry.
+// communication kernels have matching work.  The default kEventDriven
+// policy maintains the active set and a retransmit-deadline wheel
+// incrementally, so a tick costs O(active nodes) and the fleet scales to
+// O(10k) nodes; kLegacyLockstep finds those nodes by scanning the whole
+// fleet (the seed's cost model).  Both policies produce bit-identical
+// results and telemetry.
 #pragma once
 
 #include <cstdint>
@@ -67,12 +67,12 @@ struct ClusterConfig {
   /// routing are bit-identical for every shard count.
   int shards_per_node = 1;
   /// How progress() decides which nodes to schedule (docs/runtime.md).
-  /// kLegacyLockstep scans the fleet every tick; kEventDriven tracks the
-  /// active set incrementally so a tick costs O(active nodes).  Results
-  /// and telemetry are bit-identical between the two.  The default
-  /// follows the SIMTMSG_SCHEDULER environment variable (unset =
-  /// kLegacyLockstep) so the whole test suite doubles as an equivalence
-  /// wall.
+  /// kEventDriven tracks the active set incrementally so a tick costs
+  /// O(active nodes); kLegacyLockstep scans the fleet every tick (the seed
+  /// behaviour, kept selectable).  Results and telemetry are bit-identical
+  /// between the two.  The default follows the SIMTMSG_SCHEDULER
+  /// environment variable (unset = kEventDriven) so the whole test suite
+  /// doubles as an equivalence wall.
   SchedulerPolicy scheduler = default_scheduler_policy();
 };
 
@@ -232,6 +232,7 @@ class Cluster {
   std::vector<Packet> replies_;
   std::vector<Packet> resend_;
   std::vector<matching::Message> accepted_;
+  std::vector<matching::Message> ingest_batch_;  ///< Same-destination run staging.
   std::vector<Completion> completions_;
   std::vector<int> active_;
   std::vector<int> due_;

@@ -8,9 +8,10 @@
 // per tick even when three nodes were talking.  This interface splits that
 // decision out of Cluster::progress():
 //
-//   * LockstepScheduler (SchedulerPolicy::kLegacyLockstep, the default)
-//     keeps the seed's cost model: every query is a scan over all nodes.
-//   * EventScheduler (SchedulerPolicy::kEventDriven) maintains the answers
+//   * LockstepScheduler (SchedulerPolicy::kLegacyLockstep) keeps the
+//     seed's cost model: every query is a scan over all nodes.
+//   * EventScheduler (SchedulerPolicy::kEventDriven, the default) maintains
+//     the answers
 //     incrementally — a runnable set (nodes whose incoming-message and
 //     posted-receive queues are both non-empty) fed by wake() events, and a
 //     retransmit-deadline wheel (one entry per node at that node's earliest
@@ -43,12 +44,12 @@ enum class SchedulerPolicy : int {
 
 [[nodiscard]] std::string_view to_string(SchedulerPolicy policy) noexcept;
 
-/// Policy a default-constructed ClusterConfig uses.  kLegacyLockstep unless
+/// Policy a default-constructed ClusterConfig uses.  kEventDriven unless
 /// the SIMTMSG_SCHEDULER environment variable says otherwise ("lockstep" /
 /// "legacy" or "event" / "event-driven"; anything else throws).  The env
 /// override is the equivalence wall's lever: CI re-runs the whole runtime
-/// and chaos suites with SIMTMSG_SCHEDULER=event, so every test that does
-/// not pin a policy exercises both schedulers.
+/// and chaos suites with SIMTMSG_SCHEDULER=lockstep, so every test that
+/// does not pin a policy exercises both schedulers.
 [[nodiscard]] SchedulerPolicy default_scheduler_policy();
 
 /// What a node is doing from the scheduler's point of view — the

@@ -6,6 +6,29 @@
 #include "telemetry/telemetry.hpp"
 
 namespace simtmsg::simt {
+namespace {
+
+/// `e` summed `k` times.  All counter fields are integers, so the product
+/// is exactly what k repeated += applications produce.
+[[nodiscard]] EventCounters scaled(const EventCounters& e, std::uint64_t k) noexcept {
+  EventCounters r;
+  r.alu_instructions = e.alu_instructions * k;
+  r.ballot_instructions = e.ballot_instructions * k;
+  r.shuffle_instructions = e.shuffle_instructions * k;
+  r.branch_instructions = e.branch_instructions * k;
+  r.divergent_branches = e.divergent_branches * k;
+  r.shared_transactions = e.shared_transactions * k;
+  r.global_transactions = e.global_transactions * k;
+  r.global_load_requests = e.global_load_requests * k;
+  r.global_store_requests = e.global_store_requests * k;
+  r.atomic_operations = e.atomic_operations * k;
+  r.stall_cycles = e.stall_cycles * k;
+  r.warp_syncs = e.warp_syncs * k;
+  r.cta_barriers = e.cta_barriers * k;
+  return r;
+}
+
+}  // namespace
 
 int TimingModel::concurrent_ctas(const LaunchConfig& cfg) const noexcept {
   int limit = spec_->max_resident_ctas;
@@ -40,8 +63,40 @@ double TimingModel::cycles(const EventCounters& e, int resident_warps,
 
 TimingEstimate TimingModel::estimate(const EventCounters& per_cta,
                                      const LaunchConfig& cfg) const noexcept {
-  std::vector<EventCounters> all(static_cast<std::size_t>(std::max(1, cfg.ctas)), per_cta);
-  return estimate(all, cfg);
+  // Allocation-free twin of the vector overload for the uniform-CTA case:
+  // every wave's counters are per_cta summed wave-size times (exact for the
+  // integer counters), and the per-wave cycle costs accumulate with the
+  // same repeated += the vector loop performs, so the result is
+  // bit-identical to materializing an n-element vector — without the
+  // per-call heap allocation this overload used to pay.
+  TimingEstimate out;
+  out.concurrent_ctas = concurrent_ctas(cfg);
+  const auto n = static_cast<std::size_t>(std::max(1, cfg.ctas));
+  const auto per_wave = static_cast<std::size_t>(out.concurrent_ctas);
+  out.waves = static_cast<int>((n + per_wave - 1) / per_wave);
+
+  double total = 0.0;
+  const std::size_t full_waves = n / per_wave;
+  const std::size_t tail = n % per_wave;
+  if (full_waves > 0) {
+    const EventCounters wave = scaled(per_cta, per_wave);
+    const int resident = static_cast<int>(per_wave) * cfg.warps_per_cta;
+    const double wave_cycles = cycles(wave, resident, cfg.mlp_per_warp);
+    for (std::size_t w = 0; w < full_waves; ++w) total += wave_cycles;
+  }
+  if (tail > 0) {
+    const EventCounters wave = scaled(per_cta, tail);
+    const int resident = static_cast<int>(tail) * cfg.warps_per_cta;
+    total += cycles(wave, resident, cfg.mlp_per_warp);
+  }
+  out.cycles = total;
+  out.seconds = seconds_from_cycles(total);
+
+  if constexpr (telemetry::kEnabled) {
+    telemetry::charge_phase("simt.timing.estimate", out.cycles);
+    telemetry::observe("simt.timing.stall_cycles", scaled(per_cta, n).stall_cycles);
+  }
+  return out;
 }
 
 TimingEstimate TimingModel::estimate(const std::vector<EventCounters>& per_cta,

@@ -1,0 +1,193 @@
+// Batched-ingestion contract (docs/perf.md): match_batch(msgs, reqs, mq, rq)
+// is bit-identical to pushing the same arrivals one message at a time and
+// then running one match_queues pass — same sequence stamping, same pairing,
+// same queue remnants — for every Table II row, shard count, thread count,
+// and batch size.  The batch boundary is purely an amortization lever; it
+// must never be observable in results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "matching/engine.hpp"
+#include "matching/queue.hpp"
+#include "matching/sharded_engine.hpp"
+#include "matching/workload.hpp"
+
+namespace simtmsg::matching {
+namespace {
+
+const simt::DeviceSpec& pascal() { return simt::pascal_gtx1080(); }
+
+/// Push every element of `chunk` individually — the per-message baseline a
+/// batched append must be indistinguishable from.
+template <typename Q, typename T>
+void push_each(Q& q, std::span<const T> chunk) {
+  for (const T& item : chunk) q.push(item);
+}
+
+/// Queues must agree element-wise in envelope, payload/user_data carrier,
+/// and stamped sequence — and the SoA lanes must mirror the AoS items.
+void expect_queues_equal(const MessageQueue& a, const MessageQueue& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].env, b[i].env) << i;
+    EXPECT_EQ(a[i].seq, b[i].seq) << i;
+    EXPECT_EQ(a[i].payload, b[i].payload) << i;
+    EXPECT_EQ(a.lanes().word[i], b.lanes().word[i]) << i;
+  }
+}
+
+void expect_queues_equal(const RecvQueue& a, const RecvQueue& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].env, b[i].env) << i;
+    EXPECT_EQ(a[i].seq, b[i].seq) << i;
+  }
+}
+
+TEST(BatchedIngest, EmptyBatchIsPlainMatchQueuesPass) {
+  WorkloadSpec spec;
+  spec.pairs = 64;
+  spec.match_fraction = 0.5;
+  spec.seed = 11;
+  const auto w = make_workload(spec);
+
+  const MatchEngine engine(pascal(), SemanticsConfig{});
+  MessageQueue mq_a, mq_b;
+  RecvQueue rq_a, rq_b;
+  fill_queues(w, mq_a, rq_a);
+  fill_queues(w, mq_b, rq_b);
+
+  SimtMatchStats batched;
+  engine.match_batch({}, {}, mq_a, rq_a, batched);
+  SimtMatchStats plain;
+  engine.match_queues(mq_b, rq_b, plain);
+
+  EXPECT_EQ(batched.result.request_match, plain.result.request_match);
+  EXPECT_EQ(batched.cycles, plain.cycles);
+  expect_queues_equal(mq_a, mq_b);
+  expect_queues_equal(rq_a, rq_b);
+}
+
+TEST(BatchedIngest, EmptyBatchOnEmptyQueuesMatchesNothing) {
+  const MatchEngine engine(pascal(), SemanticsConfig{});
+  MessageQueue mq;
+  RecvQueue rq;
+  const auto s = engine.match_batch({}, {}, mq, rq);
+  EXPECT_EQ(s.result.matched(), 0u);
+  EXPECT_TRUE(mq.empty());
+  EXPECT_TRUE(rq.empty());
+}
+
+TEST(BatchedIngest, BatchSpanningMultipleCommsBucketsLikePerMessagePush) {
+  // One batch carrying traffic on three communicators: the comm-bucketing
+  // pass inside match_queues must see the same per-comm sub-queues as if
+  // every message had been pushed individually.
+  std::vector<Message> msgs;
+  std::vector<RecvRequest> reqs;
+  for (int i = 0; i < 24; ++i) {
+    Message m;
+    m.env = {.src = i % 4, .tag = i, .comm = i % 3};
+    m.payload = static_cast<std::uint64_t>(1000 + i);
+    msgs.push_back(m);
+    RecvRequest r;
+    r.env = {.src = i % 4, .tag = i, .comm = i % 3};
+    r.user_data = static_cast<std::uint64_t>(i);
+    reqs.push_back(r);
+  }
+
+  const MatchEngine engine(pascal(), SemanticsConfig{});
+  MessageQueue mq_a, mq_b;
+  RecvQueue rq_a, rq_b;
+
+  SimtMatchStats batched;
+  engine.match_batch(msgs, reqs, mq_a, rq_a, batched);
+
+  push_each(mq_b, std::span<const Message>(msgs));
+  push_each(rq_b, std::span<const RecvRequest>(reqs));
+  SimtMatchStats plain;
+  engine.match_queues(mq_b, rq_b, plain);
+
+  EXPECT_EQ(batched.result.request_match, plain.result.request_match);
+  EXPECT_EQ(batched.result.matched(), reqs.size());
+  expect_queues_equal(mq_a, mq_b);
+  expect_queues_equal(rq_a, rq_b);
+}
+
+TEST(BatchedIngest, BatchInterleavedWithSinglePushStampsIdentically) {
+  // Mixing push_n batches with single-message push calls must produce the
+  // exact sequence numbering of an all-singles ingest of the same stream.
+  WorkloadSpec spec;
+  spec.pairs = 40;
+  spec.seed = 12;
+  const auto w = make_workload(spec);
+
+  MessageQueue mixed, singles;
+  const std::span<const Message> stream(w.messages);
+  // Schedule: 1 single, batch of 5, 2 singles, batch of 0, rest as a batch.
+  mixed.push(stream[0]);
+  mixed.push_n(stream.subspan(1, 5));
+  mixed.push(stream[6]);
+  mixed.push(stream[7]);
+  mixed.push_n(stream.subspan(8, 0));
+  mixed.push_n(stream.subspan(8));
+  push_each(singles, stream);
+  expect_queues_equal(mixed, singles);
+}
+
+TEST(BatchedIngest, FuzzBatchSizesBitIdenticalAcrossRowsAndShards) {
+  // The fuzz axis: chunk one arrival stream into batches of B ∈ {1, 7, 64}
+  // and feed each chunk through match_batch; the twin ingests the same
+  // chunks per-message and runs match_queues at the same boundaries.  Every
+  // pass's pairing and both final queue remnants must be bit-identical for
+  // every Table II row and shard count (the batch boundary schedule is the
+  // SAME on both sides — only the ingestion granularity differs).
+  WorkloadSpec spec;
+  spec.pairs = 160;
+  spec.sources = 12;
+  spec.tags = 10;
+  spec.match_fraction = 0.7;
+  spec.seed = 13;
+  const auto w = make_workload(spec);
+
+  for (const auto& row : table2_rows()) {
+    for (const int shards : {1, 2, 8}) {
+      const int threads = shards == 8 ? 8 : 1;
+      const ShardedMatchEngine engine(
+          pascal(), row, {.shards = shards, .policy = simt::ExecutionPolicy{threads}});
+      for (const std::size_t batch : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+        MessageQueue mq_a, mq_b;
+        RecvQueue rq_a, rq_b;
+        SimtMatchStats batched, plain;
+        std::uint64_t matched_a = 0;
+        std::uint64_t matched_b = 0;
+        for (std::size_t off = 0; off < w.messages.size(); off += batch) {
+          const std::size_t n = std::min(batch, w.messages.size() - off);
+          const std::span<const Message> mchunk(&w.messages[off], n);
+          const std::span<const RecvRequest> rchunk(&w.requests[off], n);
+          engine.match_batch(mchunk, rchunk, mq_a, rq_a, batched);
+          matched_a += batched.result.matched();
+
+          push_each(mq_b, mchunk);
+          push_each(rq_b, rchunk);
+          engine.match_queues(mq_b, rq_b, plain);
+          matched_b += plain.result.matched();
+
+          ASSERT_EQ(batched.result.request_match, plain.result.request_match)
+              << describe(row) << " shards=" << shards << " batch=" << batch
+              << " off=" << off;
+        }
+        EXPECT_EQ(matched_a, matched_b)
+            << describe(row) << " shards=" << shards << " batch=" << batch;
+        expect_queues_equal(mq_a, mq_b);
+        expect_queues_equal(rq_a, rq_b);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simtmsg::matching

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <vector>
+
 namespace simtmsg::matching {
 namespace {
 
@@ -84,6 +88,70 @@ TEST(MatchQueue, ViewExposesContiguousStorage) {
   const auto v = q.view();
   EXPECT_EQ(v.size(), 3u);
   EXPECT_EQ(&v[0], &q[0]);
+}
+
+// Regression: push_raw of seq == UINT64_MAX used to compute UINT64_MAX + 1
+// for the stamping cursor, wrapping it to 0 so the next push re-issued
+// sequence numbers already present in the queue (breaking the posted-order
+// tiebreak).  The cursor must saturate instead.
+TEST(MatchQueue, PushRawSaturatesAtMaxSequence) {
+  MessageQueue q;
+  Message m;
+  m.seq = std::numeric_limits<std::uint64_t>::max();
+  q.push_raw(m);
+  EXPECT_EQ(q[0].seq, std::numeric_limits<std::uint64_t>::max());
+  Message next;
+  q.push(next);  // Must not wrap to 0.
+  EXPECT_EQ(q[1].seq, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(q.lanes().seq[1], std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(MatchQueue, PushNStampsIdenticallyToSequentialPush) {
+  MessageQueue a;
+  MessageQueue b;
+  std::vector<Message> batch(5);
+  for (int i = 0; i < 5; ++i) {
+    batch[static_cast<std::size_t>(i)].env = {.src = i, .tag = i * 7, .comm = i % 2};
+  }
+  a.push_n(batch);
+  for (const Message& m : batch) b.push(m);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seq, b[i].seq);
+    EXPECT_EQ(a.lanes().word[i], b.lanes().word[i]);
+  }
+}
+
+TEST(MatchQueue, LanesMirrorEnvelopesThroughPushAndCompact) {
+  MessageQueue q;
+  for (int i = 0; i < 6; ++i) {
+    Message m;
+    m.env = {.src = 10 + i, .tag = 20 + i, .comm = i % 3};
+    q.push(m);
+  }
+  const std::vector<std::uint8_t> flags = {1, 0, 1, 0, 0, 1};
+  q.compact(flags);
+  ASSERT_EQ(q.size(), 3u);
+  const auto lanes = q.lanes();
+  ASSERT_EQ(lanes.src.size(), 3u);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_EQ(lanes.src[i], q[i].env.src);
+    EXPECT_EQ(lanes.tag[i], q[i].env.tag);
+    EXPECT_EQ(lanes.comm[i], q[i].env.comm);
+    EXPECT_EQ(lanes.seq[i], q[i].seq);
+    EXPECT_EQ(lanes.word[i], scan_word(q[i].env));
+  }
+}
+
+TEST(MatchQueue, WordLaneEncodesWildcardHalves) {
+  RecvQueue q;
+  RecvRequest r;
+  r.env = {.src = kAnySource, .tag = kAnyTag, .comm = 0};
+  q.push(r);
+  // Both halves saturate to all-ones: the value the SIMT scan kernels
+  // compare wildcard-free windows against never collides with a concrete
+  // (src, tag) pair because ranks and tags are non-negative.
+  EXPECT_EQ(q.words()[0], ~std::uint64_t{0});
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "matching/engine.hpp"
 #include "matching/sharded_engine.hpp"
 #include "matching/workload.hpp"
+#include "simt/timing_model.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -313,6 +314,67 @@ TEST(ZeroAllocSteadyState, MultiCommQueueDrain) {
     refill();
     CountingRegion region;
     engine.match_queues(mq, rq, stats);
+    const auto allocations = CountingRegion::stop();
+    EXPECT_EQ(allocations, 0u) << "steady-state iteration " << i;
+    EXPECT_TRUE(mq.empty());
+    EXPECT_TRUE(rq.empty());
+  }
+}
+
+TEST(ZeroAllocSteadyState, ScalarTimingEstimate) {
+  // Regression: the scalar TimingModel::estimate() used to expand its
+  // homogeneous per-CTA counters into a heap vector on EVERY call (the cost
+  // the pattern matcher dodged with workspace scratch).  It must be
+  // allocation-free outright — multi-wave launches included.
+  const simt::TimingModel model(simt::pascal_gtx1080());
+  simt::EventCounters ev;
+  ev.global_load_requests = 1024;
+  ev.global_transactions = 2048;
+  ev.alu_instructions = 4096;
+  ev.branch_instructions = 512;
+  simt::LaunchConfig launch;
+  launch.ctas = 96;  // Several serialized waves on the Pascal spec.
+  launch.warps_per_cta = 8;
+  launch.mlp_per_warp = 2.0;
+
+  simt::TimingEstimate warm;
+  for (int i = 0; i < kWarmup; ++i) warm = model.estimate(ev, launch);
+  ASSERT_GT(warm.cycles, 0.0);
+  ASSERT_GT(warm.waves, 1);
+  for (int i = 0; i < kSteady; ++i) {
+    CountingRegion region;
+    const auto est = model.estimate(ev, launch);
+    const auto allocations = CountingRegion::stop();
+    EXPECT_EQ(allocations, 0u) << "steady-state iteration " << i;
+    EXPECT_EQ(est.cycles, warm.cycles);
+    EXPECT_EQ(est.waves, warm.waves);
+  }
+}
+
+TEST(ZeroAllocSteadyState, BatchedIngestDrain) {
+  // match_batch in steady state: the bulk append must reuse queue and lane
+  // capacity (the counting-new wall extends to the batch entry point).  The
+  // arrival vectors are refilled outside the counting region; the fully
+  // matchable workload drains both queues every pass.
+  const MatchEngine engine(simt::pascal_gtx1080(), SemanticsConfig{});
+  WorkloadSpec spec;
+  spec.pairs = 128;
+  spec.sources = 16;
+  spec.tags = 8;
+  spec.seed = 19;
+  const auto w = make_workload(spec);
+  MessageQueue mq;
+  RecvQueue rq;
+  SimtMatchStats stats;
+
+  for (int i = 0; i < kWarmup; ++i) {
+    engine.match_batch(w.messages, w.requests, mq, rq, stats);
+    ASSERT_TRUE(mq.empty());
+    ASSERT_TRUE(rq.empty());
+  }
+  for (int i = 0; i < kSteady; ++i) {
+    CountingRegion region;
+    engine.match_batch(w.messages, w.requests, mq, rq, stats);
     const auto allocations = CountingRegion::stop();
     EXPECT_EQ(allocations, 0u) << "steady-state iteration " << i;
     EXPECT_TRUE(mq.empty());

@@ -244,9 +244,9 @@ class SchedulerEnvTest : public ::testing::Test {
   std::optional<std::string> saved_;
 };
 
-TEST_F(SchedulerEnvTest, DefaultIsLockstepWhenUnset) {
+TEST_F(SchedulerEnvTest, DefaultIsEventDrivenWhenUnset) {
   ::unsetenv("SIMTMSG_SCHEDULER");
-  EXPECT_EQ(default_scheduler_policy(), SchedulerPolicy::kLegacyLockstep);
+  EXPECT_EQ(default_scheduler_policy(), SchedulerPolicy::kEventDriven);
 }
 
 TEST_F(SchedulerEnvTest, RecognizesBothSpellingsOfEachPolicy) {
