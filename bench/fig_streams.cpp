@@ -1,0 +1,125 @@
+// Stream-sliced injection sweep (docs/streams.md): one producer endpoint
+// fans its traffic across P ordering domains, P = 1..64.  Each stream's
+// messages must stay FIFO only among themselves, so the per-node matcher
+// can route streams to distinct shards (communication SMs) by the
+// (comm, src, stream) map and match them concurrently — stream slicing
+// turns the serialized single-producer queue into min(P, shards)
+// independent queues.  The matrix algorithm's cost is quadratic in queue
+// length, so the modelled rate scales superlinearly until the shards are
+// saturated, then flattens: the paper's multi-SM remark (Section VI-A)
+// unlocked by a relaxation instead of by hardware.
+//
+// Hard gate: 8 concurrent producer streams must model >= 4x the
+// single-stream serialized injection rate (exit 1 otherwise).
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "matching/sharded_engine.hpp"
+
+namespace {
+
+using namespace simtmsg;
+
+/// Single-producer traffic fanned over `streams` ordering domains:
+/// message i rides stream i % streams; its receive names the same
+/// concrete (src, tag, stream) tuple, so every row fully matches.
+double measure(const simt::DeviceSpec& dev, int streams, std::size_t total_len,
+               int shards, const simt::ExecutionPolicy& policy) {
+  std::vector<matching::Message> msgs;
+  std::vector<matching::RecvRequest> reqs;
+  msgs.reserve(total_len);
+  reqs.reserve(total_len);
+  for (std::size_t i = 0; i < total_len; ++i) {
+    const auto stream = static_cast<matching::StreamId>(
+        i % static_cast<std::size_t>(streams));
+    matching::Message m;
+    m.env = {.src = 0,
+             .tag = static_cast<matching::Tag>(i),
+             .comm = 0,
+             .stream = stream};
+    m.payload = 0xB5Eu + i;
+    msgs.push_back(m);
+    matching::RecvRequest r;
+    r.env = m.env;
+    reqs.push_back(r);
+  }
+
+  matching::ShardedMatchEngine::Options opt;
+  opt.shards = shards;
+  opt.policy = policy;
+  const matching::ShardedMatchEngine engine(
+      dev, matching::SemanticsConfig::compliant(), opt);
+  const auto s = engine.match(msgs, reqs);
+  return s.matches_per_second();
+}
+
+int run(const bench::Options& opt) {
+  bench::print_header("fig_streams", "stream-sliced producer sweep");
+  bench::JsonReport report("fig_streams", "stream-sliced producer sweep");
+  const bench::WallTimer timer;
+
+  constexpr int kShards = 8;
+  const std::vector<int> producer_streams = {1, 2, 4, 8, 16, 32, 64};
+  const std::vector<std::size_t> total_lengths =
+      bench::fast_mode() ? std::vector<std::size_t>{1024}
+                         : std::vector<std::size_t>{1024, 4096};
+
+  util::AsciiTable table({"total length", "streams", "Mmatches/s", "speedup"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"total_length", "streams", "pascal_mps", "speedup"});
+
+  double gate_speedup = 0.0;
+  for (const auto len : total_lengths) {
+    double base = 0.0;
+    for (const int p : producer_streams) {
+      const double raw = measure(simt::pascal_gtx1080(), p, len, kShards, opt.policy());
+      if (p == 1) base = raw;
+      const double speedup = raw / base;
+      if (p == 8) gate_speedup = speedup;  // Last length wins; all must pass.
+      table.add_row({std::to_string(len), std::to_string(p),
+                     util::AsciiTable::num(raw / 1e6, 1),
+                     util::AsciiTable::num(speedup, 2)});
+      csv.push_back({std::to_string(len), std::to_string(p),
+                     util::AsciiTable::num(raw / 1e6, 2),
+                     util::AsciiTable::num(speedup, 2)});
+      report.add_row()
+          .set("device", "GTX 1080")
+          .set("total_length", len)
+          .set("streams", p)
+          .set("shards", kShards)
+          .set("matches_per_second", raw)
+          .set("speedup_over_serialized", speedup);
+      if (p == 8 && speedup < 4.0) {
+        std::cerr << "FAIL: " << len << "-element sweep models only "
+                  << util::AsciiTable::num(speedup, 2)
+                  << "x at 8 producer streams (gate: >= 4x over single-stream "
+                     "serialized injection)\n";
+        return 1;
+      }
+    }
+  }
+  std::cout << "GTX 1080, one producer endpoint, " << kShards
+            << " matcher shards, streams routed by (comm, src, stream):\n";
+  table.print(std::cout);
+  std::cout << "\n8-stream speedup over serialized single-stream injection: "
+            << util::AsciiTable::num(gate_speedup, 2)
+            << "x (gate: >= 4x)\nper-stream FIFO lets the shards match "
+               "concurrently; within one stream the\nfull ordering contract "
+               "still holds (docs/streams.md).\n";
+  timer.report(opt);
+  bench::print_csv(csv);
+
+  report.headline()
+      .set("metric", "stream8_speedup_over_serialized")
+      .set("speedup", gate_speedup)
+      .set("paper_reference",
+           "Section VI-A multi-SM scaling, reached via per-stream ordering "
+           "domains");
+  return report.emit(opt) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(bench::Options::parse(argc, argv)); }

@@ -34,9 +34,8 @@ int run(const bench::Options& opt) {
       bench::fast_mode() ? std::vector<int>{0, 15, 100}
                          : std::vector<int>{0, 5, 15, 30, 50, 75, 100};
 
-  matching::SemanticsConfig compliant;  // Table II row 1: the matrix fallback.
-  matching::SemanticsConfig pattern_cfg;
-  pattern_cfg.pattern_table = true;
+  const auto compliant = matching::SemanticsConfig::compliant();  // Row 1: matrix fallback.
+  const auto pattern_cfg = matching::SemanticsConfig::pattern_tables();
 
   std::vector<std::vector<std::string>> csv;
   csv.push_back({"device", "elements", "wildcard_pct", "algorithm", "mps"});

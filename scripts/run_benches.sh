@@ -26,7 +26,7 @@ fi
 json_dir="$(mktemp -d)"
 trap 'rm -rf "${json_dir}"' EXIT
 
-benches=(fig4_matrix_rate fig5_partitioned fig5_runtime_shards fig6b_hash_rate table2_summary fig_cluster_scale fig_wildcard_mix fig_neighborhood)
+benches=(fig4_matrix_rate fig5_partitioned fig5_runtime_shards fig_streams fig6b_hash_rate table2_summary fig_cluster_scale fig_wildcard_mix fig_neighborhood)
 
 echo "== configuring ${build_dir} (Release)"
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release > /dev/null

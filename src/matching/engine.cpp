@@ -118,73 +118,86 @@ telemetry::TelemetryReport MatchEngine::snapshot() const {
 
 namespace {
 
-/// Index the distinct communicators of both inputs in first-appearance
-/// order: fills ew.comms and the per-element dense bucket arrays.  One pass
-/// over each input against an open-addressed table sized O(M + R), so the
-/// whole operation is O(M + R) — the old per-comm rescan was O(C * (M + R)).
-/// The comm getters abstract the element layout: the span-based overload
-/// strides over AoS elements, the queue path feeds the contiguous comm
-/// lanes (one int per element, no payload-adjacent bytes).
-template <typename MsgComm, typename ReqComm>
+/// The engine's bucket key: stream id in the high 32 bits, communicator in
+/// the low 32.  Default-stream traffic keys as the bare 32-bit comm, so the
+/// hash and first-appearance order below reproduce the pre-stream comm
+/// split exactly — bucketing is observably unchanged until a non-default
+/// stream shows up in a batch.
+[[nodiscard]] constexpr std::uint64_t bucket_key(CommId comm, StreamId stream) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(stream)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(comm));
+}
+
+/// Index the distinct (comm, stream) buckets of both inputs in first-
+/// appearance order: fills ew.keys and the per-element dense bucket arrays.
+/// One pass over each input against an open-addressed table sized O(M + R),
+/// so the whole operation is O(M + R) — the old per-comm rescan was
+/// O(C * (M + R)).  The key getters abstract the element layout: the
+/// span-based overload strides over AoS elements, the queue path feeds the
+/// contiguous comm/stream lanes (two ints per element, no payload-adjacent
+/// bytes).
+template <typename MsgKey, typename ReqKey>
 void index_comms_impl(EngineWorkspace& ew, std::size_t n_msgs, std::size_t n_reqs,
-                      MsgComm msg_comm, ReqComm req_comm) {
+                      MsgKey msg_key, ReqKey req_key) {
   const std::size_t slots =
       util::next_pow2(std::max<std::size_t>(16, 2 * (n_msgs + n_reqs)));
-  ew.slot_comm.assign(slots, CommId{0});
+  ew.slot_key.assign(slots, 0);
   ew.slot_index.assign(slots, -1);
-  ew.comms.clear();
+  ew.keys.clear();
 
   const std::size_t mask = slots - 1;
-  const auto index_of = [&](CommId c) -> std::uint32_t {
-    std::uint64_t x = static_cast<std::uint32_t>(c);
+  const auto index_of = [&](std::uint64_t k) -> std::uint32_t {
+    std::uint64_t x = k;
     x *= 0x9E3779B97F4A7C15ull;
     x ^= x >> 32;
     std::size_t s = static_cast<std::size_t>(x) & mask;
     while (true) {
       if (ew.slot_index[s] < 0) {
-        ew.slot_comm[s] = c;
-        ew.slot_index[s] = static_cast<std::int32_t>(ew.comms.size());
-        ew.comms.push_back(c);
+        ew.slot_key[s] = k;
+        ew.slot_index[s] = static_cast<std::int32_t>(ew.keys.size());
+        ew.keys.push_back(k);
         return static_cast<std::uint32_t>(ew.slot_index[s]);
       }
-      if (ew.slot_comm[s] == c) return static_cast<std::uint32_t>(ew.slot_index[s]);
+      if (ew.slot_key[s] == k) return static_cast<std::uint32_t>(ew.slot_index[s]);
       s = (s + 1) & mask;
     }
   };
 
   ew.msg_bucket.resize(n_msgs);
   for (std::size_t i = 0; i < n_msgs; ++i) {
-    ew.msg_bucket[i] = index_of(msg_comm(i));
+    ew.msg_bucket[i] = index_of(msg_key(i));
   }
   ew.req_bucket.resize(n_reqs);
   for (std::size_t i = 0; i < n_reqs; ++i) {
-    ew.req_bucket[i] = index_of(req_comm(i));
+    ew.req_bucket[i] = index_of(req_key(i));
   }
 }
 
 void index_comms(EngineWorkspace& ew, std::span<const Message> msgs,
                  std::span<const RecvRequest> reqs) {
   index_comms_impl(
-      ew, msgs.size(), reqs.size(), [&](std::size_t i) { return msgs[i].env.comm; },
-      [&](std::size_t i) { return reqs[i].env.comm; });
+      ew, msgs.size(), reqs.size(),
+      [&](std::size_t i) { return bucket_key(msgs[i].env.comm, msgs[i].env.stream); },
+      [&](std::size_t i) { return bucket_key(reqs[i].env.comm, reqs[i].env.stream); });
 }
 
 void index_comms(EngineWorkspace& ew, std::span<const CommId> msg_comms,
-                 std::span<const CommId> req_comms) {
+                 std::span<const StreamId> msg_streams, std::span<const CommId> req_comms,
+                 std::span<const StreamId> req_streams) {
   index_comms_impl(
       ew, msg_comms.size(), req_comms.size(),
-      [&](std::size_t i) { return msg_comms[i]; },
-      [&](std::size_t i) { return req_comms[i]; });
+      [&](std::size_t i) { return bucket_key(msg_comms[i], msg_streams[i]); },
+      [&](std::size_t i) { return bucket_key(req_comms[i], req_streams[i]); });
 }
 
-/// Stable counting-sort scatter of both spans into comm-contiguous order
+/// Stable counting-sort scatter of both spans into bucket-contiguous order
 /// (requires index_comms first).  Afterwards bucket b of the messages is
 /// sub_msgs[start .. msg_offset[b]) with start = (b == 0 ? 0 :
 /// msg_offset[b - 1]); msg_map carries the original indices in the same
 /// layout.  Likewise for the requests.
 void scatter_comms(EngineWorkspace& ew, std::span<const Message> msgs,
                    std::span<const RecvRequest> reqs) {
-  const std::size_t n_comms = ew.comms.size();
+  const std::size_t n_comms = ew.keys.size();
 
   // Counts at [b + 1], then prefix-summed so msg_offset[b] = start of b.
   ew.msg_offset.assign(n_comms + 1, 0);
@@ -233,19 +246,21 @@ void MatchEngine::match_impl_into(std::span<const Message> msgs,
 
   // "The top level partitions among communicators, as there exist no
   // dependencies" (Section VI): one matching engine per communicator.
-  // Multi-comm batches are split exactly; the per-comm engines would run
+  // Streams extend the same argument — matches never cross an ordering
+  // domain — so the split is per (comm, stream) bucket.  Multi-bucket
+  // batches are split exactly; the per-bucket engines would run
   // concurrently on distinct SMs, but we charge them serialized on one SM
   // (conservative).
   auto& ew = impl_->ws.engine;
   index_comms(ew, msgs, reqs);
-  if (ew.comms.size() <= 1) {
+  if (ew.keys.size() <= 1) {
     match_single_comm_into(msgs, reqs, out);
   } else {
     scatter_comms(ew, msgs, reqs);
     out.reset(reqs.size());
     std::size_t m_begin = 0;
     std::size_t r_begin = 0;
-    for (std::size_t b = 0; b < ew.comms.size(); ++b) {
+    for (std::size_t b = 0; b < ew.keys.size(); ++b) {
       const std::size_t m_end = ew.msg_offset[b];
       const std::size_t r_end = ew.req_offset[b];
       const auto sub_msgs =
@@ -312,17 +327,18 @@ void MatchEngine::match_queues(MessageQueue& mq, RecvQueue& rq, SimtMatchStats& 
   }
 
   auto& ws = impl_->ws;
-  index_comms(ws.engine, mq.lanes().comm, rq.lanes().comm);
+  index_comms(ws.engine, mq.lanes().comm, mq.lanes().stream, rq.lanes().comm,
+              rq.lanes().stream);
 
-  if (ws.engine.comms.size() <= 1) {
-    // Single communicator: every matcher drains live queues natively (or
-    // through the interface's default match-and-compact).
+  if (ws.engine.keys.size() <= 1) {
+    // Single (comm, stream) bucket: every matcher drains live queues
+    // natively (or through the interface's default match-and-compact).
     impl_->matcher->match_queues_into(mq, rq, ws, out);
     impl_->accumulate(out);
     return;
   }
 
-  // Multi-comm: batch-match (match_impl_into splits communicators), then
+  // Multi-bucket: batch-match (match_impl_into splits buckets), then
   // compact both queues through the workspace flag vectors.
   match_impl_into(mq.view(), rq.view(), out);
   ws.msg_flags.assign(mq.size(), 0);

@@ -8,7 +8,8 @@
 namespace simtmsg::matching {
 
 std::uint64_t pack(const Envelope& e) {
-  if (e.src < 0 || e.tag < 0 || e.tag > 0xFFFF || e.comm < 0 || e.comm > 0xFFFF) {
+  if (e.src < 0 || e.tag < 0 || e.tag > 0xFFFF || e.comm < 0 || e.comm > 0xFFFF ||
+      e.stream != kDefaultStream) {
     throw std::invalid_argument("envelope not packable: " + to_string(e));
   }
   return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(e.comm)) << 48) |
@@ -43,7 +44,11 @@ std::string to_string(const Envelope& e) {
   } else {
     ss << e.tag;
   }
-  ss << ", comm=" << e.comm << "}";
+  ss << ", comm=" << e.comm;
+  // Appended only off the default stream so default-domain labels (and the
+  // diagnostics built on them) read exactly as they did before streams.
+  if (e.stream != kDefaultStream) ss << ", stream=" << e.stream;
+  ss << "}";
   return ss.str();
 }
 

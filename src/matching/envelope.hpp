@@ -17,16 +17,28 @@ namespace simtmsg::matching {
 using Rank = std::int32_t;
 using Tag = std::int32_t;
 using CommId = std::int32_t;
+/// Ordering-domain id (MPIX Streams, docs/streams.md).  Stream 0 is the
+/// default domain and reproduces the pre-stream behaviour bit-for-bit;
+/// distinct streams carry independent sequence spaces and may be matched
+/// and delivered relative to each other in any order.
+using StreamId = std::int32_t;
 
 /// MPI_ANY_SOURCE analogue.
 inline constexpr Rank kAnySource = -1;
 /// MPI_ANY_TAG analogue.
 inline constexpr Tag kAnyTag = -1;
+/// The default ordering domain (today's single-sequence-space behaviour).
+inline constexpr StreamId kDefaultStream = 0;
 
 struct Envelope {
   Rank src = 0;
   Tag tag = 0;
   CommId comm = 0;
+  /// Ordering domain the element belongs to.  Part of the match tuple: a
+  /// receive posted on stream s accepts only messages sent on stream s, so
+  /// per-stream FIFO survives stream-affinity shard routing.  Not
+  /// wildcardable.
+  StreamId stream = kDefaultStream;
 
   friend auto operator<=>(const Envelope&, const Envelope&) = default;
 };
@@ -36,16 +48,22 @@ struct Envelope {
   return e.src == kAnySource || e.tag == kAnyTag;
 }
 
-/// The MPI matching rule: does receive request `recv` accept message `msg`?
+/// The MPI matching rule, extended with the stream (ordering-domain) axis:
+/// does receive request `recv` accept message `msg`?  Streams compare by
+/// equality only — there is no stream wildcard — so stream-0-only traffic
+/// matches exactly as it did before streams existed.
 [[nodiscard]] constexpr bool matches(const Envelope& recv, const Envelope& msg) noexcept {
-  return recv.comm == msg.comm &&
+  return recv.comm == msg.comm && recv.stream == msg.stream &&
          (recv.src == kAnySource || recv.src == msg.src) &&
          (recv.tag == kAnyTag || recv.tag == msg.tag);
 }
 
 /// 64-bit packed header: [63:48] comm (16 bits) | [47:16] src (32 bits) |
 /// [15:0] tag (16 bits).  Wildcards are not packable (headers describe
-/// messages on the wire, which never carry wildcards).
+/// messages on the wire, which never carry wildcards).  The stream id has
+/// no room in this layout; packed headers describe default-stream traffic
+/// only (pack() rejects anything else), matching Section IV's observation
+/// that the compact header targets the common case.
 [[nodiscard]] std::uint64_t pack(const Envelope& e);
 [[nodiscard]] Envelope unpack(std::uint64_t word) noexcept;
 

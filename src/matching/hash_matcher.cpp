@@ -38,19 +38,54 @@ void HashMatcher::match_into(std::span<const Message> msgs,
     }
   }
 
-  out.reset(reqs.size());
-  out.ctas_used = opt_.ctas;
-  if (msgs.empty() || reqs.empty()) return;
-
   auto& hw = ws.hash;
-
-  // Device-resident words (only src and tag are read, as in the matrix
-  // matcher; the communicator is implicit).
+  // AoS entry point: gather the scan words once into workspace scratch.
+  // The queue-drain path (match_queues_into) skips this gather by feeding
+  // MatchQueue's contiguous word lanes directly.
   hw.msg_words.resize(msgs.size());
   for (std::size_t i = 0; i < msgs.size(); ++i) hw.msg_words[i] = scan_word(msgs[i].env);
   hw.req_words.resize(reqs.size());
   for (std::size_t i = 0; i < reqs.size(); ++i) hw.req_words[i] = scan_word(reqs[i].env);
 
+  match_words_into(msgs, reqs, hw.msg_words, hw.req_words, ws, out);
+}
+
+void HashMatcher::match_queues_into(MessageQueue& mq, RecvQueue& rq, MatchWorkspace& ws,
+                                    SimtMatchStats& out) const {
+  // Lane scan: two contiguous int arrays instead of striding AoS structs.
+  const EnvelopeLanes lanes = rq.lanes();
+  for (std::size_t i = 0; i < lanes.src.size(); ++i) {
+    if (lanes.src[i] == kAnySource || lanes.tag[i] == kAnyTag) {
+      throw std::invalid_argument("HashMatcher requires wildcard-free receives");
+    }
+  }
+
+  // Borrow the queues' SoA word lanes (valid for the whole call: the queues
+  // are not mutated until the compaction below), then compact both queues —
+  // the same shape as the inherited default drain.
+  match_words_into(mq.view(), rq.view(), mq.words(), rq.words(), ws, out);
+  ws.msg_flags.assign(mq.size(), 0);
+  ws.req_flags.assign(rq.size(), 0);
+  for (std::size_t r = 0; r < out.result.request_match.size(); ++r) {
+    const auto m = out.result.request_match[r];
+    if (m == kNoMatch) continue;
+    ws.req_flags[r] = 1;
+    ws.msg_flags[static_cast<std::size_t>(m)] = 1;
+  }
+  (void)mq.compact(ws.msg_flags);
+  (void)rq.compact(ws.req_flags);
+}
+
+void HashMatcher::match_words_into(std::span<const Message> msgs,
+                                   std::span<const RecvRequest> reqs,
+                                   std::span<const std::uint64_t> msg_words,
+                                   std::span<const std::uint64_t> req_words,
+                                   MatchWorkspace& ws, SimtMatchStats& out) const {
+  out.reset(reqs.size());
+  out.ctas_used = opt_.ctas;
+  if (msgs.empty() || reqs.empty()) return;
+
+  auto& hw = ws.hash;
   DeviceHashTable& table = hw.table;
   table.prepare(std::max(msgs.size(), reqs.size()), opt_.table_ratio, opt_.hash);
 
@@ -110,7 +145,7 @@ void HashMatcher::match_into(std::span<const Message> msgs,
         // claim guards the general case.
         simt::LaneU32 values;
         for (int lane = 0; lane < live; ++lane) {
-          const std::uint64_t w = hw.req_words[gp.idx[lane]];
+          const std::uint64_t w = req_words[gp.idx[lane]];
           gp.keys[lane] = (static_cast<std::uint32_t>(w >> 32) << 16) ^
                           static_cast<std::uint32_t>(w & 0xFFFF'FFFFu);
           values[lane] = static_cast<std::uint32_t>(gp.idx[lane]);
@@ -140,7 +175,7 @@ void HashMatcher::match_into(std::span<const Message> msgs,
                                    static_cast<std::size_t>(warps_per_cta));
         for (int lane = 0; lane < live; ++lane) gp.idx[lane] = pending_msgs[g + lane];
         for (int lane = 0; lane < live; ++lane) {
-          const std::uint64_t w = hw.msg_words[gp.idx[lane]];
+          const std::uint64_t w = msg_words[gp.idx[lane]];
           gp.keys[lane] = (static_cast<std::uint32_t>(w >> 32) << 16) ^
                           static_cast<std::uint32_t>(w & 0xFFFF'FFFFu);
         }

@@ -55,6 +55,13 @@ class HashMatcher : public Matcher {
   void match_into(std::span<const Message> msgs, std::span<const RecvRequest> reqs,
                   MatchWorkspace& ws, SimtMatchStats& out) const override;
 
+  /// Queue drain fed straight from the queues' SoA word lanes: the AoS
+  /// gather of match_into() is skipped entirely — the key folds read the
+  /// contiguous word[] arrays MatchQueue maintains (same lanes the matrix
+  /// scan consumes).  Functionally identical to the inherited default.
+  void match_queues_into(MessageQueue& mq, RecvQueue& rq, MatchWorkspace& ws,
+                         SimtMatchStats& out) const override;
+
   [[nodiscard]] std::string_view name() const noexcept override { return "hash-table"; }
 
   [[nodiscard]] Traits traits() const noexcept override {
@@ -64,6 +71,15 @@ class HashMatcher : public Matcher {
   [[nodiscard]] const Options& options() const noexcept { return opt_; }
 
  private:
+  /// Shared core: the iterate/insert/probe/replay loop over pre-gathered
+  /// (or lane-borrowed) scan words.  `msg_words`/`req_words` are index-
+  /// aligned with the element spans; only claim verification touches the
+  /// AoS elements (rare — one envelope compare per claimed match).
+  void match_words_into(std::span<const Message> msgs, std::span<const RecvRequest> reqs,
+                        std::span<const std::uint64_t> msg_words,
+                        std::span<const std::uint64_t> req_words, MatchWorkspace& ws,
+                        SimtMatchStats& out) const;
+
   const simt::DeviceSpec* spec_;
   Options opt_;
 };

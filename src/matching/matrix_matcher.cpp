@@ -34,6 +34,24 @@ namespace {
          (rtag == kAnyTag || rtag == word_tag(msg));
 }
 
+/// Host-side prefetch distance (elements) for the streaming reads over the
+/// queues' contiguous 64-bit word lanes.  The scan loops walk the lane
+/// strictly forward in column-chunked blocks, so pulling the line a few
+/// iterations ahead hides the miss latency of the next block.  Purely a
+/// host cache hint: the modelled EventCounters never change, so stats,
+/// telemetry, and BENCH rows stay bit-identical (ROADMAP follow-on from
+/// the SoA-lane PR).
+constexpr std::size_t kWordPrefetchDistance = 16;
+
+inline void prefetch_word(std::span<const std::uint64_t> words, std::size_t at) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  if (at < words.size()) __builtin_prefetch(words.data() + at, /*rw=*/0, /*locality=*/1);
+#else
+  (void)words;
+  (void)at;
+#endif
+}
+
 [[nodiscard]] simt::EventCounters delta(const simt::EventCounters& now,
                                         const simt::EventCounters& before) noexcept {
   simt::EventCounters d = now;
@@ -124,6 +142,7 @@ void MatrixMatcher::match_words_into(std::span<const std::uint64_t> all_msg_word
                                         simt::LaneSize::iota());
     std::uint32_t consumed = 0;
     for (std::size_t col = 0; col < n_reqs; ++col) {
+      prefetch_word(req_words, col + kWordPrefetchDistance);
       const std::uint64_t req_w =
           warp.load_global_broadcast(std::span<const std::uint64_t>(req_words), col);
       simt::LaneBool pred;
@@ -212,6 +231,10 @@ void MatrixMatcher::match_words_into(std::span<const std::uint64_t> all_msg_word
       const auto& msg_w = msg_regs[static_cast<std::size_t>(w)];
       const bool leading_slice = (w % std::max(1, slices_per_physical)) == 0;
       for (std::size_t c = 0; c < cols; ++c) {
+        // The chunk loop already cache-blocks the req lane into
+        // column_chunk-sized strips; prefetch within the strip keeps the
+        // next lines of the word[] lane in flight ahead of the scan.
+        prefetch_word(req_words, chunk_begin + c + kWordPrefetchDistance);
         std::uint64_t req_w;
         if (leading_slice) {
           req_w = warp.load_global_broadcast(std::span<const std::uint64_t>(req_words),

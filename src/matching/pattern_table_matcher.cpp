@@ -32,14 +32,23 @@ namespace {
   std::uint32_t h = util::mix64to32(scan_word(src, tag));
   h ^= util::mix64to32((static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.comm)) << 32) |
                        (0x9E3779B9u + static_cast<std::uint32_t>(cls)));
+  // Streams are part of the class key (never wildcarded).  Mixed only off
+  // the default stream so default-domain tables hash bit-identically to the
+  // pre-stream layout.
+  if (e.stream != kDefaultStream) {
+    h ^= util::mix64to32(0xA5A5'0000'0000'0000ull |
+                         static_cast<std::uint32_t>(e.stream));
+  }
   return h;
 }
 
 /// Do two envelopes agree on the class's concrete fields?  For inserts both
 /// sides are receives of the same class; for probes `a` is the bucket's
-/// representative receive and `b` the incoming message.
+/// representative receive and `b` the incoming message.  The stream is a
+/// concrete field of every class (no stream wildcard exists).
 [[nodiscard]] bool class_key_equal(const Envelope& a, const Envelope& b, int cls) noexcept {
-  return a.comm == b.comm && (!class_has_src(cls) || a.src == b.src) &&
+  return a.comm == b.comm && a.stream == b.stream &&
+         (!class_has_src(cls) || a.src == b.src) &&
          (!class_has_tag(cls) || a.tag == b.tag);
 }
 

@@ -11,8 +11,11 @@
 // tag, comm) of each element ("Instead of reading the entire message or
 // receive request, only src and tag are being read", Algorithm 1), so the
 // queue keeps those fields mirrored in contiguous per-field lanes next to
-// the element (payload) store: source[], tag[], comm[], seq[], and the
-// packed (src << 32 | tag) scan word[] the warp ballot scan consumes.  A
+// the element (payload) store: source[], tag[], comm[], stream[], seq[],
+// and the packed (src << 32 | tag) scan word[] the warp ballot scan
+// consumes.  Sequence numbers are stamped per ordering domain — each
+// stream owns an independent cursor (docs/streams.md) — so in-order
+// release and posted-order tiebreaks hold within a stream only.  A
 // probe over the lanes streams 8-byte words instead of striding over
 // whole Message/RecvRequest structs, which is exactly the coalesced
 // lane-wise layout the SIMT literature prescribes (docs/perf.md).  The
@@ -24,6 +27,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <span>
 #include <vector>
 
@@ -33,12 +37,13 @@ namespace simtmsg::matching {
 
 /// Const view over a queue's envelope lanes: one contiguous array per
 /// envelope field, index-aligned with the element store (element i's
-/// envelope is {src[i], tag[i], comm[i]} with sequence seq[i] and packed
-/// scan word word[i] == scan_word(src[i], tag[i])).
+/// envelope is {src[i], tag[i], comm[i], stream[i]} with sequence seq[i]
+/// and packed scan word word[i] == scan_word(src[i], tag[i])).
 struct EnvelopeLanes {
   std::span<const Rank> src;
   std::span<const Tag> tag;
   std::span<const CommId> comm;
+  std::span<const StreamId> stream;  ///< Ordering domain (docs/streams.md).
   std::span<const std::uint64_t> seq;
   std::span<const std::uint64_t> word;  ///< What the ballot scan reads.
 };
@@ -51,9 +56,13 @@ class MatchQueue {
     rebuild_lanes();
   }
 
-  /// Append a new arrival at the tail, stamping its sequence number.
+  /// Append a new arrival at the tail, stamping its sequence number from
+  /// its stream's cursor.  Each ordering domain owns an independent
+  /// sequence space (docs/streams.md): the default stream keeps the
+  /// original scalar cursor, so stream-0-only traffic is stamped exactly
+  /// as before streams existed.
   void push(T item) {
-    item.seq = bump_seq();
+    item.seq = bump_seq(item.env.stream);
     append_lanes(item);
     items_.push_back(std::move(item));
   }
@@ -66,18 +75,18 @@ class MatchQueue {
     reserve_more(items.size());
     for (const T& it : items) {
       T copy = it;
-      copy.seq = bump_seq();
+      copy.seq = bump_seq(copy.env.stream);
       append_lanes(copy);
       items_.push_back(std::move(copy));
     }
   }
 
   /// Append preserving the item's existing sequence number.  The stamping
-  /// cursor saturates at the maximum sequence instead of wrapping: a raw
-  /// item carrying seq == 2^64-1 must not silently reset the sequence
-  /// space (seq + 1 would wrap to 0).
+  /// cursor of the item's stream saturates at the maximum sequence instead
+  /// of wrapping: a raw item carrying seq == 2^64-1 must not silently
+  /// reset that stream's sequence space (seq + 1 would wrap to 0).
   void push_raw(T item) {
-    next_seq_ = std::max(next_seq_, saturating_next(item.seq));
+    advance_cursor(item.env.stream, item.seq);
     append_lanes(item);
     items_.push_back(std::move(item));
   }
@@ -87,7 +96,7 @@ class MatchQueue {
   void push_raw_n(std::span<const T> items) {
     reserve_more(items.size());
     for (const T& it : items) {
-      next_seq_ = std::max(next_seq_, saturating_next(it.seq));
+      advance_cursor(it.env.stream, it.seq);
       append_lanes(it);
       items_.push_back(it);
     }
@@ -105,8 +114,8 @@ class MatchQueue {
 
   /// The envelope lanes (struct-of-arrays mirror of view(), see above).
   [[nodiscard]] EnvelopeLanes lanes() const noexcept {
-    return EnvelopeLanes{.src = src_, .tag = tag_, .comm = comm_, .seq = seq_,
-                         .word = word_};
+    return EnvelopeLanes{.src = src_, .tag = tag_, .comm = comm_, .stream = stream_,
+                         .seq = seq_, .word = word_};
   }
 
   /// The packed (src << 32 | tag) scan-word lane — the exact array the
@@ -136,6 +145,7 @@ class MatchQueue {
           src_[kept] = src_[i];
           tag_[kept] = tag_[i];
           comm_[kept] = comm_[i];
+          stream_[kept] = stream_[i];
           seq_[kept] = seq_[i];
           word_[kept] = word_[i];
         }
@@ -146,6 +156,7 @@ class MatchQueue {
     src_.resize(kept);
     tag_.resize(kept);
     comm_.resize(kept);
+    stream_.resize(kept);
     seq_.resize(kept);
     word_.resize(kept);
     return removed;
@@ -156,6 +167,7 @@ class MatchQueue {
     src_.clear();
     tag_.clear();
     comm_.clear();
+    stream_.clear();
     seq_.clear();
     word_.clear();
   }
@@ -169,18 +181,34 @@ class MatchQueue {
     return seq == kMaxSeq ? kMaxSeq : seq + 1;
   }
 
-  /// Stamp-and-advance, saturating at kMaxSeq (further stamps repeat it
-  /// rather than wrapping — by then the ordering contract is void anyway).
-  [[nodiscard]] std::uint64_t bump_seq() noexcept {
-    const std::uint64_t s = next_seq_;
-    next_seq_ = saturating_next(next_seq_);
+  /// The stamping cursor for one ordering domain.  The default stream uses
+  /// the original scalar member (zero lookups, bit-identical stamping);
+  /// other streams live in an ordered map keyed by stream id.
+  [[nodiscard]] std::uint64_t& cursor(StreamId stream) {
+    return stream == kDefaultStream ? next_seq_ : stream_seq_[stream];
+  }
+
+  /// Stamp-and-advance the stream's cursor, saturating at kMaxSeq (further
+  /// stamps repeat it rather than wrapping — by then the ordering contract
+  /// is void anyway).
+  [[nodiscard]] std::uint64_t bump_seq(StreamId stream) {
+    std::uint64_t& c = cursor(stream);
+    const std::uint64_t s = c;
+    c = saturating_next(c);
     return s;
+  }
+
+  /// Keep the stream's cursor ahead of a raw element's existing sequence.
+  void advance_cursor(StreamId stream, std::uint64_t seq) {
+    std::uint64_t& c = cursor(stream);
+    c = std::max(c, saturating_next(seq));
   }
 
   void append_lanes(const T& item) {
     src_.push_back(item.env.src);
     tag_.push_back(item.env.tag);
     comm_.push_back(item.env.comm);
+    stream_.push_back(item.env.stream);
     seq_.push_back(item.seq);
     word_.push_back(scan_word(item.env.src, item.env.tag));
   }
@@ -191,6 +219,7 @@ class MatchQueue {
     src_.reserve(total);
     tag_.reserve(total);
     comm_.reserve(total);
+    stream_.reserve(total);
     seq_.reserve(total);
     word_.reserve(total);
   }
@@ -199,6 +228,7 @@ class MatchQueue {
     src_.clear();
     tag_.clear();
     comm_.clear();
+    stream_.clear();
     seq_.clear();
     word_.clear();
     reserve_more(0);
@@ -209,9 +239,13 @@ class MatchQueue {
   std::vector<Rank> src_;
   std::vector<Tag> tag_;
   std::vector<CommId> comm_;
+  std::vector<StreamId> stream_;
   std::vector<std::uint64_t> seq_;
   std::vector<std::uint64_t> word_;
-  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_seq_ = 0;  ///< Default-stream cursor (the hot path).
+  /// Non-default stream cursors; empty until a stream is first seen, so
+  /// stream-0-only queues never touch the map.
+  std::map<StreamId, std::uint64_t> stream_seq_;
 };
 
 using MessageQueue = MatchQueue<Message>;

@@ -22,16 +22,17 @@ bool hashable(const SemanticsConfig& cfg) noexcept {
 }
 
 std::span<const SemanticsConfig> table2_rows() noexcept {
-  // Table II: {wildcards, ordering, unexpected, partitions}.  Partitioned
+  // Table II in paper order, built from the named presets so each row's
+  // definition lives in exactly one place (semantics.hpp).  Partitioned
   // rows use 16 queues as a representative configuration (the paper's
   // feasibility analysis allows "roughly 20 queues" for most applications).
   static constexpr std::array<SemanticsConfig, 6> kRows = {{
-      {.wildcards = true, .ordering = true, .unexpected = true, .partitions = 1},
-      {.wildcards = true, .ordering = true, .unexpected = false, .partitions = 1},
-      {.wildcards = false, .ordering = true, .unexpected = true, .partitions = 16},
-      {.wildcards = false, .ordering = true, .unexpected = false, .partitions = 16},
-      {.wildcards = false, .ordering = false, .unexpected = true, .partitions = 16},
-      {.wildcards = false, .ordering = false, .unexpected = false, .partitions = 16},
+      SemanticsConfig::compliant(),
+      SemanticsConfig::compliant_preposted(),
+      SemanticsConfig::partitioned(),
+      SemanticsConfig::partitioned_preposted(),
+      SemanticsConfig::relaxed_unordered(),
+      SemanticsConfig::relaxed_unordered_preposted(),
   }};
   return kRows;
 }

@@ -25,6 +25,41 @@ struct SemanticsConfig {
   bool pattern_table = false;
 
   friend bool operator==(const SemanticsConfig&, const SemanticsConfig&) = default;
+
+  // ---- Named presets: the Table II rows (and the pattern-table extension)
+  // spelled once, instead of field-twiddled at every call site.  Each is a
+  // plain value — tweak fields after the call if a variant is needed.
+
+  /// Row 1: fully MPI-compliant (wildcards, ordering, unexpected; matrix).
+  [[nodiscard]] static constexpr SemanticsConfig compliant() noexcept {
+    return SemanticsConfig{};
+  }
+  /// Row 2: compliant minus unexpected messages (receives pre-posted).
+  [[nodiscard]] static constexpr SemanticsConfig compliant_preposted() noexcept {
+    return SemanticsConfig{.unexpected = false};
+  }
+  /// Row 3: no wildcards -> rank-partitioned matrix (16 queues).
+  [[nodiscard]] static constexpr SemanticsConfig partitioned() noexcept {
+    return SemanticsConfig{.wildcards = false, .partitions = 16};
+  }
+  /// Row 4: partitioned AND pre-posted.
+  [[nodiscard]] static constexpr SemanticsConfig partitioned_preposted() noexcept {
+    return SemanticsConfig{.wildcards = false, .unexpected = false, .partitions = 16};
+  }
+  /// Row 5: no wildcards, no ordering -> two-level hash table.
+  [[nodiscard]] static constexpr SemanticsConfig relaxed_unordered() noexcept {
+    return SemanticsConfig{.wildcards = false, .ordering = false, .partitions = 16};
+  }
+  /// Row 6: the most aggressive row — unordered AND pre-posted.
+  [[nodiscard]] static constexpr SemanticsConfig relaxed_unordered_preposted() noexcept {
+    return SemanticsConfig{
+        .wildcards = false, .ordering = false, .unexpected = false, .partitions = 16};
+  }
+  /// Beyond the paper: full MPI semantics at exact-probe cost via the
+  /// pattern-table matcher (docs/wildcards.md).
+  [[nodiscard]] static constexpr SemanticsConfig pattern_tables() noexcept {
+    return SemanticsConfig{.pattern_table = true};
+  }
 };
 
 /// Whether the configuration is internally consistent (e.g. partitioning

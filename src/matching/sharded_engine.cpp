@@ -120,15 +120,25 @@ int ShardedMatchEngine::shard_count() const noexcept {
   return static_cast<int>(impl_->shards.size());
 }
 
-int ShardedMatchEngine::shard_of(CommId comm, Rank src) const noexcept {
-  // Static partition map over the (comm, source-rank) stream space.  Mixing
-  // both halves keeps skewed rank or communicator patterns from piling onto
-  // one shard; the map must only be stable, not order-preserving, because
-  // every (comm, src) stream is confined to a single shard either way.
+int ShardedMatchEngine::shard_of(CommId comm, Rank src, StreamId stream) const noexcept {
+  // Static partition map over the (comm, source-rank, stream) class space.
+  // Mixing the comm/src halves keeps skewed rank or communicator patterns
+  // from piling onto one shard; the map must only be stable, not
+  // order-preserving, because every (comm, src, stream) class is confined
+  // to a single shard either way.  The stream id is added AFTER the mix:
+  // stream 0 therefore reproduces the pre-stream map bit-for-bit, and the
+  // streams of one (comm, src) pair walk consecutive shards — the
+  // stream-affinity spread bench/fig_streams sweeps.
   const std::uint64_t word =
       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(comm)) << 32) |
       static_cast<std::uint32_t>(src);
-  return static_cast<int>(util::mix64to32(word) % impl_->shards.size());
+  const std::uint32_t mixed =
+      util::mix64to32(word) + static_cast<std::uint32_t>(stream);
+  return static_cast<int>(mixed % impl_->shards.size());
+}
+
+int ShardedMatchEngine::shard_of(CommId comm, Rank src) const noexcept {
+  return shard_of(comm, src, kDefaultStream);
 }
 
 std::uint64_t ShardedMatchEngine::serialized_passes() const noexcept {
@@ -171,15 +181,18 @@ void ShardedMatchEngine::match_shards_into(std::span<const Message> msgs,
     im.shard_busy[s] = 0;
   }
   // Stable routing: within a shard, elements keep their global relative
-  // order (and their sequence numbers, via push_raw), so every (comm, src)
-  // stream reaches its shard exactly as an unsharded engine would see it.
+  // order (and their sequence numbers, via push_raw), so every
+  // (comm, src, stream) class reaches its shard exactly as an unsharded
+  // engine would see it.
   for (std::size_t i = 0; i < msgs.size(); ++i) {
-    const auto s = static_cast<std::size_t>(shard_of(msgs[i].env.comm, msgs[i].env.src));
+    const auto s = static_cast<std::size_t>(
+        shard_of(msgs[i].env.comm, msgs[i].env.src, msgs[i].env.stream));
     im.shard_msgs[s].push_raw(msgs[i]);
     im.msg_map[s].push_back(static_cast<std::uint32_t>(i));
   }
   for (std::size_t i = 0; i < reqs.size(); ++i) {
-    const auto s = static_cast<std::size_t>(shard_of(reqs[i].env.comm, reqs[i].env.src));
+    const auto s = static_cast<std::size_t>(
+        shard_of(reqs[i].env.comm, reqs[i].env.src, reqs[i].env.stream));
     im.shard_reqs[s].push_raw(reqs[i]);
     im.req_map[s].push_back(static_cast<std::uint32_t>(i));
   }
@@ -288,7 +301,8 @@ void ShardedMatchEngine::match_replicated_into(std::span<const Message> msgs,
     im.req_map[s].clear();
   }
   for (std::size_t i = 0; i < msgs.size(); ++i) {
-    const auto s = static_cast<std::size_t>(shard_of(msgs[i].env.comm, msgs[i].env.src));
+    const auto s = static_cast<std::size_t>(
+        shard_of(msgs[i].env.comm, msgs[i].env.src, msgs[i].env.stream));
     im.rep_msg_idx[s].push_back(static_cast<std::uint32_t>(i));
   }
   for (std::size_t i = 0; i < reqs.size(); ++i) {
@@ -297,7 +311,8 @@ void ShardedMatchEngine::match_replicated_into(std::span<const Message> msgs,
         im.rep_req_idx[s].push_back(static_cast<std::uint32_t>(i));
       }
     } else {
-      const auto s = static_cast<std::size_t>(shard_of(reqs[i].env.comm, reqs[i].env.src));
+      const auto s = static_cast<std::size_t>(
+          shard_of(reqs[i].env.comm, reqs[i].env.src, reqs[i].env.stream));
       im.rep_req_idx[s].push_back(static_cast<std::uint32_t>(i));
     }
   }

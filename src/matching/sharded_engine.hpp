@@ -6,12 +6,18 @@
 // MatchEngine (and therefore its own workspace and telemetry totals).
 //
 // Routing: messages and concrete-source receives are assigned to shards by
-// a static (comm, source-rank) partition map — shard_of().  MPI's
-// per-(src, comm) ordering survives because a given (comm, src) stream
-// always lands on the same shard, and receives can only compete for a
-// message when they could both match it, which (absent MPI_ANY_SOURCE)
-// confines competition to a single (comm, src) stream.  Match results are
-// therefore bit-identical for every shard count.
+// a static (comm, source-rank, stream) partition map — shard_of().  MPI's
+// per-(src, comm) ordering survives because a given (comm, src, stream)
+// traffic class always lands on the same shard, and receives can only
+// compete for a message when they could both match it, which (absent
+// MPI_ANY_SOURCE) confines competition to a single (comm, src, stream)
+// class.  Match results are therefore bit-identical for every shard count.
+//
+// Stream affinity (docs/streams.md): the map adds the stream id AFTER the
+// (comm, src) mix, so default-stream routing is byte-identical to the
+// pre-stream map while distinct streams of one (comm, src) pair rotate
+// deterministically across consecutive shards — concurrent producer
+// streams spread over the shard pool and their matches run in parallel.
 //
 // MPI_ANY_SOURCE is the one receive that spans shards (it is legal only
 // when the semantics permit wildcards — the fully compliant rows of
@@ -115,8 +121,15 @@ class ShardedMatchEngine {
   [[nodiscard]] Algorithm algorithm_kind() const noexcept;
   [[nodiscard]] int shard_count() const noexcept;
 
-  /// The static partition map: which shard owns the (comm, src) stream.
-  /// Stable for the engine's lifetime (it depends only on the shard count).
+  /// The static partition map: which shard owns the (comm, src, stream)
+  /// traffic class.  Stable for the engine's lifetime (it depends only on
+  /// the shard count).  Stream 0 reproduces the historical two-argument
+  /// map exactly; distinct streams of one (comm, src) pair rotate across
+  /// consecutive shards.
+  [[nodiscard]] int shard_of(CommId comm, Rank src, StreamId stream) const noexcept;
+
+  /// Pre-stream partition map; forwards to the default ordering domain.
+  [[deprecated("use shard_of(comm, src, stream); this is the stream-0 map")]]
   [[nodiscard]] int shard_of(CommId comm, Rank src) const noexcept;
 
   /// Telemetry totals merged over every shard in shard-index order.  With

@@ -150,24 +150,27 @@ struct PatternWorkspace {
   std::vector<simt::EventCounters> cta_events;
 };
 
-/// Scratch for the MatchEngine's multi-communicator split: an open-addressed
-/// comm -> dense-index table plus counting-sort storage that scatters both
-/// spans into comm-contiguous order in a single pass each (O(M + R + C)).
+/// Scratch for the MatchEngine's multi-bucket split: an open-addressed
+/// (comm, stream) -> dense-index table plus counting-sort storage that
+/// scatters both spans into bucket-contiguous order in a single pass each
+/// (O(M + R + C)).  The bucket key packs stream into the high half and
+/// comm into the low half; default-stream traffic therefore keys as the
+/// bare 32-bit comm and hashes exactly as the pre-stream comm split did.
 struct EngineWorkspace {
-  std::vector<CommId> comms;  ///< Distinct comms, first-appearance order.
-  /// Open-addressed table mapping a comm id to its dense index in `comms`
-  /// (power-of-two sized, linear probing, -1 = empty slot).
-  std::vector<CommId> slot_comm;
+  std::vector<std::uint64_t> keys;  ///< Distinct (stream, comm) keys, first-appearance order.
+  /// Open-addressed table mapping a bucket key to its dense index in
+  /// `keys` (power-of-two sized, linear probing, -1 = empty slot).
+  std::vector<std::uint64_t> slot_key;
   std::vector<std::int32_t> slot_index;
-  std::vector<std::uint32_t> msg_bucket;  ///< Per-message comm index.
-  std::vector<std::uint32_t> req_bucket;  ///< Per-request comm index.
-  std::vector<std::uint32_t> msg_offset;  ///< Per-comm begin offsets (C + 1).
+  std::vector<std::uint32_t> msg_bucket;  ///< Per-message bucket index.
+  std::vector<std::uint32_t> req_bucket;  ///< Per-request bucket index.
+  std::vector<std::uint32_t> msg_offset;  ///< Per-bucket begin offsets (C + 1).
   std::vector<std::uint32_t> req_offset;
-  std::vector<Message> sub_msgs;          ///< Comm-contiguous scatter.
+  std::vector<Message> sub_msgs;          ///< Bucket-contiguous scatter.
   std::vector<RecvRequest> sub_reqs;
   std::vector<std::uint32_t> msg_map;     ///< Original indices, same order.
   std::vector<std::uint32_t> req_map;
-  SimtMatchStats sub;                     ///< Per-comm stats slot.
+  SimtMatchStats sub;                     ///< Per-bucket stats slot.
 };
 
 class MatchWorkspace {

@@ -1,10 +1,26 @@
 #include "runtime/endpoint.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <set>
 #include <stdexcept>
 #include <string>
 
 namespace simtmsg::runtime {
+
+int default_max_streams() {
+  // Mirrors default_scheduler_policy(): the environment picks the default
+  // so whole suites can be re-run with a different stream budget without
+  // code changes.  SIMTMSG_STREAMS=1 pins clusters to the default stream.
+  if (const char* env = std::getenv("SIMTMSG_STREAMS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1'000'000) {
+      return static_cast<int>(v);
+    }
+  }
+  return 64;
+}
 
 namespace {
 
@@ -29,6 +45,11 @@ ClusterConfig validated(ClusterConfig cfg) {
   if (!matching::valid(cfg.semantics)) {
     throw std::invalid_argument("ClusterConfig.semantics inconsistent: " +
                                 matching::describe(cfg.semantics));
+  }
+  if (cfg.max_streams < 1) {
+    throw std::invalid_argument(
+        "ClusterConfig.max_streams must be >= 1 (stream 0 always exists; got " +
+        std::to_string(cfg.max_streams) + ")");
   }
   return cfg;
 }
@@ -75,12 +96,22 @@ void Cluster::wake(int node) {
   scheduler_->wake(node);
 }
 
-void Cluster::send(int from, int to, matching::Tag tag, std::uint64_t payload,
-                   matching::CommId comm, std::size_t bytes) {
+void Cluster::validate_stream(Stream stream) const {
+  if (stream.id < 0 || stream.id >= cfg_.max_streams) {
+    throw std::invalid_argument(
+        "stream id " + std::to_string(stream.id) + " outside [0, " +
+        std::to_string(cfg_.max_streams) + ") (ClusterConfig.max_streams)");
+  }
+}
+
+SendHandle Cluster::send(Stream stream, int from, int to, matching::Tag tag,
+                         std::uint64_t payload, matching::CommId comm,
+                         std::size_t bytes) {
+  validate_stream(stream);
   if (from < 0 || from >= cfg_.nodes) throw std::out_of_range("sender out of range");
   if (to < 0 || to >= cfg_.nodes) throw std::out_of_range("destination node out of range");
   if (tag < 0) throw std::invalid_argument("send tag must be concrete");
-  matching::Envelope env{.src = from, .tag = tag, .comm = comm};
+  matching::Envelope env{.src = from, .tag = tag, .comm = comm, .stream = stream.id};
   if (cfg_.reliability.enabled) {
     inject(engines_[static_cast<std::size_t>(from)].reliability().make_data(
         to, env, payload, bytes, now_us_));
@@ -90,12 +121,20 @@ void Cluster::send(int from, int to, matching::Tag tag, std::uint64_t payload,
     (void)gas_.remote_enqueue(from, to, env, payload, bytes, now_us_);
   }
   ++sends_;
+  if (stream.id != matching::kDefaultStream) ++stream_sends_[stream.id];
+  return {from, to, next_send_id_++};
 }
 
-RecvHandle Cluster::irecv(int node, matching::Rank src, matching::Tag tag,
-                          matching::CommId comm) {
+SendHandle Cluster::send(int from, int to, matching::Tag tag, std::uint64_t payload,
+                         matching::CommId comm, std::size_t bytes) {
+  return send(Stream{}, from, to, tag, payload, comm, bytes);
+}
+
+RecvHandle Cluster::irecv(Stream stream, int node, matching::Rank src,
+                          matching::Tag tag, matching::CommId comm) {
+  validate_stream(stream);
   if (node < 0 || node >= cfg_.nodes) throw std::out_of_range("node out of range");
-  matching::Envelope env{.src = src, .tag = tag, .comm = comm};
+  matching::Envelope env{.src = src, .tag = tag, .comm = comm, .stream = stream.id};
   if (!cfg_.semantics.wildcards && matching::has_wildcard(env)) {
     throw std::invalid_argument("wildcards are prohibited by the cluster semantics");
   }
@@ -105,8 +144,14 @@ RecvHandle Cluster::irecv(int node, matching::Rank src, matching::Tag tag,
   posted_[static_cast<std::size_t>(node)].push(req);
   pending_.emplace(next_handle_, PendingRecv{node, env});
   ++posts_;
+  if (stream.id != matching::kDefaultStream) ++stream_posts_[stream.id];
   wake(node);
   return {node, next_handle_++};
+}
+
+RecvHandle Cluster::irecv(int node, matching::Rank src, matching::Tag tag,
+                          matching::CommId comm) {
+  return irecv(Stream{}, node, src, tag, comm);
 }
 
 bool Cluster::test(RecvHandle h) const { return completed_.contains(h.id); }
@@ -213,7 +258,8 @@ std::size_t Cluster::progress() {
     scheduler_->stepped(n, r.runnable);
   }
   for (const auto& c : completions_) {
-    completed_[c.handle] = RecvResult{c.msg_env.src, c.msg_env.tag, c.payload};
+    completed_[c.handle] =
+        RecvResult{c.msg_env.src, c.msg_env.tag, c.payload, c.msg_env.stream};
     pending_.erase(c.handle);
   }
   return matched;
@@ -346,6 +392,23 @@ telemetry::TelemetryReport Cluster::snapshot() const {
   total.counters["runtime.scheduler.rto_expiries"] = rto_expiries_;
   total.gauges["runtime.scheduler.active_set_peak"] =
       static_cast<double>(active_set_peak_);
+  // Per-stream traffic (docs/streams.md).  Only non-default streams export
+  // counters, so a default-stream-only run's snapshot stays byte-identical
+  // to the pre-stream runtime's.
+  if (!stream_sends_.empty() || !stream_posts_.empty()) {
+    std::set<matching::StreamId> domains;
+    for (const auto& [stream, n] : stream_sends_) {
+      domains.insert(stream);
+      total.counters["runtime.stream." + std::to_string(stream) + ".messages_sent"] = n;
+    }
+    for (const auto& [stream, n] : stream_posts_) {
+      domains.insert(stream);
+      total.counters["runtime.stream." + std::to_string(stream) +
+                     ".receives_posted"] = n;
+    }
+    // The default stream is always live even when its counters are elided.
+    total.counters["runtime.stream.domains"] = domains.size() + 1;
+  }
   return total;
 }
 

@@ -9,6 +9,15 @@
 //   const auto c = cluster.wait(h);                // Drive progress.
 //   // c.payload == 0xBEEF
 //
+// Communication is sliced into per-stream ordering domains (docs/
+// streams.md): send/irecv qualified with the same Stream keep the full
+// per-pair MPI ordering contract among themselves, while distinct streams
+// of the same endpoint pair are mutually unordered — independent sequence
+// spaces end to end (wire FIFO clamp, reliability seq/ack/watermark,
+// match-queue cursors), so one stream's retransmit stall never
+// head-of-line-blocks another.  Unqualified send/irecv are exact synonyms
+// for stream 0, bit-identical to the pre-stream runtime.
+//
 // Progress is driven by a Scheduler (docs/runtime.md): each progress()
 // tick advances the virtual clock to the next event, delivers the due
 // packets, fires the due retransmit timers, and steps only the nodes whose
@@ -21,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -36,10 +46,40 @@
 
 namespace simtmsg::runtime {
 
+/// A first-class ordering domain (docs/streams.md).  Traffic qualified
+/// with the same stream keeps today's per-pair MPI ordering guarantees
+/// among itself; distinct streams of the same endpoint pair are mutually
+/// unordered and never head-of-line-block each other.  Stream 0 (the
+/// default) is the pre-stream ordering domain: unqualified send/irecv are
+/// exact synonyms for `Stream{}` qualification.
+struct Stream {
+  matching::StreamId id = matching::kDefaultStream;
+
+  friend constexpr bool operator==(const Stream&, const Stream&) noexcept = default;
+};
+
 /// Handle to a posted receive.
 struct RecvHandle {
   int node = -1;
   std::uint64_t id = 0;
+
+  /// False for default-constructed (never-issued) handles.  A valid handle
+  /// may still refer to a receive that has since completed or been
+  /// cancelled — test()/result() answer that.
+  [[nodiscard]] constexpr bool valid() const noexcept { return node >= 0 && id != 0; }
+};
+
+/// Handle to an initiated send, symmetric with RecvHandle.  Sends complete
+/// locally (the wire and reliability layers own delivery), so the handle
+/// carries identity rather than a completion to poll; sends the fabric
+/// gave up on surface through Cluster::delivery_failures().
+struct SendHandle {
+  int from = -1;
+  int to = -1;
+  std::uint64_t id = 0;
+
+  /// False for default-constructed (never-issued) handles.
+  [[nodiscard]] constexpr bool valid() const noexcept { return from >= 0 && id != 0; }
 };
 
 /// Result of a completed receive.
@@ -47,7 +87,14 @@ struct RecvResult {
   matching::Rank src = 0;  ///< Concrete source (wildcards resolved).
   matching::Tag tag = 0;
   std::uint64_t payload = 0;
+  matching::StreamId stream = matching::kDefaultStream;  ///< Ordering domain.
 };
+
+/// Default for ClusterConfig::max_streams: the SIMTMSG_STREAMS environment
+/// variable when it holds a positive integer, else 64.  SIMTMSG_STREAMS=1
+/// pins a suite to the default stream without code changes — the
+/// streams-off equivalence leg.
+[[nodiscard]] int default_max_streams();
 
 struct ClusterConfig {
   int nodes = 2;
@@ -74,6 +121,12 @@ struct ClusterConfig {
   /// environment variable (unset = kEventDriven) so the whole test suite
   /// doubles as an equivalence wall.
   SchedulerPolicy scheduler = default_scheduler_policy();
+  /// Ordering domains per endpoint pair (docs/streams.md): stream ids in
+  /// [0, max_streams) are accepted by the stream-qualified send/irecv
+  /// overloads.  Stream 0 always exists (max_streams must be >= 1); the
+  /// default follows the SIMTMSG_STREAMS environment variable (unset = 64)
+  /// so existing suites can be re-run pinned to the default stream.
+  int max_streams = default_max_streams();
 };
 
 /// Typed view over the headline entries of Cluster::snapshot() (which is
@@ -107,13 +160,26 @@ class Cluster {
     return cfg_.scheduler;
   }
 
-  /// Non-blocking send from node `from` to node `to`.
-  void send(int from, int to, matching::Tag tag, std::uint64_t payload,
-            matching::CommId comm = 0, std::size_t bytes = 8);
+  /// Non-blocking send from node `from` to node `to` on `stream`'s
+  /// ordering domain.  Throws std::invalid_argument when stream.id is
+  /// outside [0, max_streams).
+  SendHandle send(Stream stream, int from, int to, matching::Tag tag,
+                  std::uint64_t payload, matching::CommId comm = 0,
+                  std::size_t bytes = 8);
 
-  /// Post a receive on `node`.  src may be matching::kAnySource and tag
-  /// matching::kAnyTag when the semantics allow wildcards (otherwise
-  /// std::invalid_argument).
+  /// Default-stream shim: identical to send(Stream{}, ...).
+  SendHandle send(int from, int to, matching::Tag tag, std::uint64_t payload,
+                  matching::CommId comm = 0, std::size_t bytes = 8);
+
+  /// Post a receive on `node` for `stream`'s ordering domain — it matches
+  /// only messages sent on the same stream (the stream joins the match
+  /// tuple; there is no stream wildcard).  src may be matching::kAnySource
+  /// and tag matching::kAnyTag when the semantics allow wildcards
+  /// (otherwise std::invalid_argument, as for an out-of-range stream id).
+  [[nodiscard]] RecvHandle irecv(Stream stream, int node, matching::Rank src,
+                                 matching::Tag tag, matching::CommId comm = 0);
+
+  /// Default-stream shim: identical to irecv(Stream{}, ...).
   [[nodiscard]] RecvHandle irecv(int node, matching::Rank src, matching::Tag tag,
                                  matching::CommId comm = 0);
 
@@ -201,6 +267,9 @@ class Cluster {
   void inject(Packet&& p);
   /// A queue push may have made `node` runnable.
   void wake(int node);
+  /// Throws std::invalid_argument when stream.id is outside
+  /// [0, cfg_.max_streams).
+  void validate_stream(Stream stream) const;
 
   ClusterConfig cfg_;
   telemetry::Registry fabric_telemetry_;  ///< runtime.fault.* / runtime.reliability.*.
@@ -212,9 +281,18 @@ class Cluster {
   std::unordered_map<std::uint64_t, PendingRecv> pending_;   ///< By handle id.
   std::vector<DeliveryFailure> failures_;
   std::uint64_t next_handle_ = 1;
+  /// Send handles draw from their own id space so receive handle ids are
+  /// unchanged from the pre-SendHandle runtime.
+  std::uint64_t next_send_id_ = 1;
   std::uint64_t sends_ = 0;
   std::uint64_t posts_ = 0;
   std::uint64_t cancels_ = 0;
+  /// Per-stream activity, non-default streams only; exported as the
+  /// runtime.stream.* counters.  Both maps stay empty — and the counters
+  /// absent — until a non-default stream is used, so a default-stream
+  /// cluster's snapshot is byte-identical to the pre-stream runtime's.
+  std::map<matching::StreamId, std::uint64_t> stream_sends_;
+  std::map<matching::StreamId, std::uint64_t> stream_posts_;
   double now_us_ = 0.0;
 
   // runtime.scheduler.* instruments (identical across policies and host

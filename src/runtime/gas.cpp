@@ -50,7 +50,7 @@ double GlobalAddressSpace::inject(Packet p, double now_us) {
   }
 
   const bool keep_fifo = !network_.config().faults.allow_pair_reorder;
-  double& last = last_arrival_[{p.from, p.to}];
+  double& last = last_arrival_[{p.from, p.to, p.env.stream}];
   if (keep_fifo) p.arrival_us = std::max(p.arrival_us, last);
   last = std::max(last, p.arrival_us);
 

@@ -6,9 +6,11 @@
 //
 // Each node owns an incoming message queue in its (simulated) device
 // memory; remote_enqueue models the one-sided write a send performs.
-// In-flight packets are delivered in arrival-time order.  Per-pair FIFO is
-// enforced with a monotone clamp on planned arrivals — the NVLink-class
-// guarantee — unless the FaultModel's pair-order-violation mode is on.
+// In-flight packets are delivered in arrival-time order.  FIFO is enforced
+// per (from, to, stream) with a monotone clamp on planned arrivals — the
+// NVLink-class guarantee, sliced per ordering domain (docs/streams.md) so
+// distinct streams of the same pair may overtake each other — unless the
+// FaultModel's pair-order-violation mode is on.
 // The wire applies the NetworkConfig's FaultModel at injection time: a
 // packet may be dropped, duplicated, bit-flipped, or delay-spiked, each
 // event tallied into the optional telemetry sink as runtime.fault.*.
@@ -16,6 +18,7 @@
 
 #include <map>
 #include <queue>
+#include <tuple>
 #include <vector>
 
 #include "matching/queue.hpp"
@@ -84,8 +87,11 @@ class GlobalAddressSpace {
   Network network_;
   std::priority_queue<Packet, std::vector<Packet>, Later> in_flight_;
   std::vector<matching::MessageQueue> incoming_;
-  /// Latest planned arrival per (from, to) — the per-pair FIFO clamp.
-  std::map<std::pair<int, int>, double> last_arrival_;
+  /// Latest planned arrival per (from, to, stream) — the FIFO clamp.  One
+  /// clamp per ordering domain: a delay spike on one stream never drags a
+  /// sibling stream's arrivals behind it.  With only the default stream the
+  /// map holds exactly the pre-stream (from, to) entries.
+  std::map<std::tuple<int, int, matching::StreamId>, double> last_arrival_;
   telemetry::Registry* fault_sink_ = nullptr;
   std::uint64_t sequence_ = 0;
 };

@@ -24,7 +24,9 @@ namespace simtmsg::runtime {
 /// What a packet is carrying: user data, or a reliability-layer ack.
 enum class PacketKind : std::uint8_t { kData = 0, kAck = 1 };
 
-/// A message in flight between two endpoints.
+/// A message in flight between two endpoints.  The packet's ordering
+/// domain rides in env.stream (docs/streams.md): the GAS FIFO clamp, the
+/// reliability sequence spaces, and pair_seq below are all sliced by it.
 struct Packet {
   int from = 0;
   int to = 0;
@@ -34,7 +36,7 @@ struct Packet {
   double arrival_us = 0.0;
   std::uint64_t sequence = 0;   ///< Global wire injection order (tie-break).
   PacketKind kind = PacketKind::kData;
-  std::uint64_t pair_seq = 0;   ///< Per-(from,to) sequence (reliability layer).
+  std::uint64_t pair_seq = 0;   ///< Per-(from,to,stream) sequence (reliability layer).
   std::uint64_t checksum = 0;   ///< packet_checksum() over the fields above.
   int attempt = 1;              ///< Delivery attempt (1 = first transmission).
 };

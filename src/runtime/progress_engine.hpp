@@ -9,7 +9,11 @@
 // semantics, and reports completions.  With shards_per_node > 1 the node
 // dedicates several communication SMs to matching (docs/sharding.md); the
 // default of one shard is bit-identical to the original single-engine
-// kernel.
+// kernel.  Stream-sliced ordering (docs/streams.md) needs no special
+// handling here: the stream rides in every envelope, the queues stamp
+// per-stream sequence cursors, and the sharded engine buckets by
+// (comm, stream) — the step sees a union of ordering domains and matches
+// each only against itself.
 #pragma once
 
 #include <cstdint>
@@ -26,7 +30,9 @@ namespace simtmsg::runtime {
 
 struct Completion {
   std::uint64_t handle = 0;    ///< The receive's user handle.
-  matching::Envelope msg_env;  ///< The concrete matched message envelope.
+  /// The concrete matched message envelope (carries the stream — the
+  /// matched message's ordering domain, always equal to the receive's).
+  matching::Envelope msg_env;
   std::uint64_t payload = 0;
 };
 

@@ -12,6 +12,10 @@ std::string to_string(const DeliveryFailure& f) {
        " tag=" + std::to_string(f.env.tag) +
        " pair_seq=" + std::to_string(f.pair_seq) +
        " attempts=" + std::to_string(f.attempts);
+  // Default-stream failure labels read exactly as before streams existed.
+  if (f.env.stream != matching::kDefaultStream) {
+    s += " stream=" + std::to_string(f.env.stream);
+  }
   return s;
 }
 
@@ -25,6 +29,10 @@ std::uint64_t packet_checksum(const matching::Envelope& env, std::uint64_t paylo
   mix(static_cast<std::uint32_t>(env.src));
   mix(static_cast<std::uint32_t>(env.tag));
   mix(static_cast<std::uint32_t>(env.comm));
+  // The stream is addressing state like the comm: a packet corrupted onto a
+  // different ordering domain must fail verification, or it would be deduped
+  // (and release-ordered) against the wrong (pair, stream) space.
+  mix(static_cast<std::uint32_t>(env.stream));
   mix(payload);
   mix(pair_seq);
   mix(static_cast<std::uint64_t>(kind));
@@ -59,10 +67,13 @@ Packet ReliabilityChannel::make_data(int to, const matching::Envelope& env,
   p.payload = payload;
   p.bytes = bytes;
   p.kind = PacketKind::kData;
-  p.pair_seq = next_send_seq_[to]++;
+  // Each (destination, stream) pair owns an independent sequence space:
+  // streams of one pair never share pair_seq values, watermarks, or
+  // hold-back gaps (docs/streams.md).
+  p.pair_seq = next_send_seq_[{to, env.stream}]++;
   p.checksum = packet_checksum(env, payload, p.pair_seq, PacketKind::kData);
   p.attempt = 1;
-  outstanding_[{to, p.pair_seq}] =
+  outstanding_[{to, env.stream, p.pair_seq}] =
       Outstanding{p, now_us + cfg_.timeout_us, now_us, cfg_.timeout_us};
   deadlines_.insert(now_us + cfg_.timeout_us);
   bump("runtime.reliability.data_sent");
@@ -102,7 +113,7 @@ void ReliabilityChannel::on_packet(const Packet& p, double now_us,
   }
 
   if (p.kind == PacketKind::kAck) {
-    const auto it = outstanding_.find({p.from, p.pair_seq});
+    const auto it = outstanding_.find({p.from, p.env.stream, p.pair_seq});
     if (it == outstanding_.end()) {
       bump("runtime.reliability.stale_acks");
       return;
@@ -114,7 +125,7 @@ void ReliabilityChannel::on_packet(const Packet& p, double now_us,
     return;
   }
 
-  RxState& rx = rx_[p.from];
+  RxState& rx = rx_[{p.from, p.env.stream}];
   const bool duplicate =
       p.pair_seq < rx.next_release || rx.accepted_above.contains(p.pair_seq);
   if (duplicate) {
@@ -185,11 +196,11 @@ double ReliabilityChannel::next_deadline() const noexcept {
 
 void ReliabilityChannel::sweep_stranded(double now_us,
                                         std::vector<DeliveryFailure>& failed) {
-  for (auto& [src, rx] : rx_) {
+  for (auto& [key, rx] : rx_) {
     for (const auto& [seq, held] : rx.held) {
       DeliveryFailure f;
       f.kind = FailureKind::kStranded;
-      f.from = src;
+      f.from = key.first;
       f.to = node_;
       f.env = held.msg.env;
       f.payload = held.msg.payload;

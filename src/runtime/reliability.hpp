@@ -5,15 +5,18 @@
 // communication kernel runs this protocol so the matchers above still see
 // the fabric they were designed for:
 //
-//   * per-(sender, receiver) sequence numbers on every data packet,
+//   * per-(sender, receiver, stream) sequence numbers on every data packet
+//     — each ordering domain (docs/streams.md) owns an independent
+//     seq/ack/watermark space, so one stream's retransmit stall never
+//     head-of-line-blocks another stream of the same pair,
 //   * positive acks from the receiver, retransmission on timeout with
 //     exponential backoff and a retry cap,
-//   * duplicate suppression (watermark + sparse set above it),
+//   * duplicate suppression (watermark + sparse set above it, per stream),
 //   * end-to-end checksum verification (corrupted packets are treated as
 //     lost and recovered by retransmission), and
-//   * per-pair in-order release when the cluster semantics keep the MPI
-//     ordering guarantee (a hold-back buffer, TCP-style); under relaxed
-//     "no ordering" semantics packets are released on arrival.
+//   * per-(pair, stream) in-order release when the cluster semantics keep
+//     the MPI ordering guarantee (a hold-back buffer, TCP-style); under
+//     relaxed "no ordering" semantics packets are released on arrival.
 //
 // When the retry cap is exhausted the message is surfaced as a typed
 // DeliveryFailure — never a hang, crash, or silent loss.  Messages held
@@ -30,6 +33,8 @@
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "runtime/network.hpp"
@@ -153,15 +158,21 @@ class ReliabilityChannel {
   ReliabilityConfig cfg_;
   bool restore_order_;
   telemetry::Registry* sink_;
-  /// Unacked sends keyed (destination, pair_seq) — ordered so expiry and
-  /// quiescence sweeps iterate deterministically.
-  std::map<std::pair<int, std::uint64_t>, Outstanding> outstanding_;
+  /// Unacked sends keyed (destination, stream, pair_seq) — ordered so
+  /// expiry and quiescence sweeps iterate deterministically; with only the
+  /// default stream present the iteration order is exactly the pre-stream
+  /// (destination, pair_seq) order.
+  std::map<std::tuple<int, matching::StreamId, std::uint64_t>, Outstanding> outstanding_;
   /// Mirror of every Outstanding's deadline, kept in step by
   /// make_data/on_packet/expire, so next_deadline() is O(1) instead of a
   /// linear scan of the tx window on every cluster tick.
   std::multiset<double> deadlines_;
-  std::map<int, std::uint64_t> next_send_seq_;  ///< Per destination.
-  std::map<int, RxState> rx_;                   ///< Per sending peer.
+  /// Per (destination, stream): independent sequence spaces per ordering
+  /// domain (docs/streams.md).
+  std::map<std::pair<int, matching::StreamId>, std::uint64_t> next_send_seq_;
+  /// Per (sending peer, stream): independent dedup/reorder state, so a gap
+  /// on one stream never parks another stream's messages.
+  std::map<std::pair<int, matching::StreamId>, RxState> rx_;
 };
 
 }  // namespace simtmsg::runtime

@@ -345,8 +345,7 @@ TEST(MatcherFuzz, PatternTableShardedWallAcrossWildcardFractions) {
     spec.tag_wildcard_prob = pick(rng, {0.0, 0.15, 0.5, 1.0});
     spec.seed = seed;
 
-    SemanticsConfig cfg;
-    cfg.pattern_table = true;
+    const SemanticsConfig cfg = SemanticsConfig::pattern_tables();
 
     for (const double wf : {0.0, 0.15, 0.5, 1.0}) {
       spec.src_wildcard_prob = wf;

@@ -60,8 +60,7 @@ std::vector<T> only_comm(const std::vector<T>& in, matching::CommId comm) {
 
 TEST(AppConformance, EveryAppAgreesWithReferenceAcrossWildcardCapableMatchers) {
   const auto& dev = simt::pascal_gtx1080();
-  matching::SemanticsConfig pattern_cfg;
-  pattern_cfg.pattern_table = true;
+  const auto pattern_cfg = matching::SemanticsConfig::pattern_tables();
 
   const matching::MatrixMatcher matrix(dev);
   const matching::ListMatcher list;
@@ -137,9 +136,8 @@ TEST(AppConformance, PatternRowDrainsWildcardAppsEveryOtherRowRejects) {
   const auto& reqs = b.reqs.at(0);  // Rank 0 posts the ANY_SOURCE receives.
   const auto& msgs = b.msgs.at(0);
 
-  matching::SemanticsConfig pattern_cfg;
-  pattern_cfg.pattern_table = true;
-  const matching::MatchEngine pattern_engine(simt::pascal_gtx1080(), pattern_cfg);
+  const matching::MatchEngine pattern_engine(simt::pascal_gtx1080(),
+                                             matching::SemanticsConfig::pattern_tables());
   const auto ref = matching::ReferenceMatcher::match(msgs, reqs);
   EXPECT_EQ(pattern_engine.match(msgs, reqs).result.request_match, ref.request_match);
 

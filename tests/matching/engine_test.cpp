@@ -11,19 +11,14 @@ namespace {
 const simt::DeviceSpec& pascal() { return simt::pascal_gtx1080(); }
 
 TEST(MatchEngine, AlgorithmSelectionFollowsTable2) {
-  SemanticsConfig full;  // Row 1.
-  EXPECT_EQ(MatchEngine(pascal(), full).algorithm_kind(), Algorithm::kMatrix);
-
-  SemanticsConfig part;  // Row 3.
-  part.wildcards = false;
-  part.partitions = 16;
-  EXPECT_EQ(MatchEngine(pascal(), part).algorithm_kind(), Algorithm::kPartitionedMatrix);
-
-  SemanticsConfig hash;  // Row 5.
-  hash.wildcards = false;
-  hash.ordering = false;
-  hash.partitions = 16;
-  EXPECT_EQ(MatchEngine(pascal(), hash).algorithm_kind(), Algorithm::kHashTable);
+  EXPECT_EQ(MatchEngine(pascal(), SemanticsConfig::compliant()).algorithm_kind(),
+            Algorithm::kMatrix);
+  EXPECT_EQ(MatchEngine(pascal(), SemanticsConfig::partitioned()).algorithm_kind(),
+            Algorithm::kPartitionedMatrix);
+  EXPECT_EQ(MatchEngine(pascal(), SemanticsConfig::relaxed_unordered()).algorithm_kind(),
+            Algorithm::kHashTable);
+  EXPECT_EQ(MatchEngine(pascal(), SemanticsConfig::pattern_tables()).algorithm_kind(),
+            Algorithm::kPatternTable);
 }
 
 TEST(MatchEngine, AlgorithmToString) {

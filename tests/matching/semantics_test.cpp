@@ -64,6 +64,33 @@ TEST(Semantics, TableTwoRowOrderMatchesPaper) {
   EXPECT_FALSE(rows[5].unexpected);
 }
 
+TEST(Semantics, PresetsAreValidAndNameTableTwoRows) {
+  // Every named preset must be internally consistent, and the Table II
+  // presets must reproduce the published rows in order — the factories are
+  // the single source of truth table2_rows() is built from.
+  EXPECT_TRUE(valid(SemanticsConfig::compliant()));
+  EXPECT_TRUE(valid(SemanticsConfig::compliant_preposted()));
+  EXPECT_TRUE(valid(SemanticsConfig::partitioned()));
+  EXPECT_TRUE(valid(SemanticsConfig::partitioned_preposted()));
+  EXPECT_TRUE(valid(SemanticsConfig::relaxed_unordered()));
+  EXPECT_TRUE(valid(SemanticsConfig::relaxed_unordered_preposted()));
+  EXPECT_TRUE(valid(SemanticsConfig::pattern_tables()));
+
+  EXPECT_EQ(SemanticsConfig::compliant(), SemanticsConfig{});
+  const auto rows = table2_rows();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0], SemanticsConfig::compliant());
+  EXPECT_EQ(rows[1], SemanticsConfig::compliant_preposted());
+  EXPECT_EQ(rows[2], SemanticsConfig::partitioned());
+  EXPECT_EQ(rows[3], SemanticsConfig::partitioned_preposted());
+  EXPECT_EQ(rows[4], SemanticsConfig::relaxed_unordered());
+  EXPECT_EQ(rows[5], SemanticsConfig::relaxed_unordered_preposted());
+
+  EXPECT_TRUE(hashable(SemanticsConfig::relaxed_unordered()));
+  EXPECT_TRUE(SemanticsConfig::pattern_tables().pattern_table);
+  EXPECT_FALSE(hashable(SemanticsConfig::pattern_tables()));
+}
+
 TEST(Semantics, DescribeIsHumanReadable) {
   SemanticsConfig cfg;
   cfg.wildcards = false;

@@ -190,8 +190,7 @@ TEST(ShardedMatchEngine, ReplicatedPassTelemetryMatchesUnsharded) {
   // queues, so the matcher-level counters must equal the plain engine's,
   // plus pinned pass accounting: one replicated pass, one reconciliation
   // round, nothing serialized.
-  SemanticsConfig cfg;
-  cfg.pattern_table = true;
+  const SemanticsConfig cfg = SemanticsConfig::pattern_tables();
 
   Message a, b, c;
   a.env = {.src = 3, .tag = 7, .comm = 0};
@@ -239,8 +238,7 @@ TEST(ShardedMatchEngine, ReplicatedWildcardPassBitIdenticalToUnsharded) {
   // Multi-source wildcard traffic through the pattern-table rows: the
   // replicated-stub fixpoint must reproduce the unsharded pairing exactly
   // (including cross-shard stub races), without ever serializing.
-  SemanticsConfig cfg;
-  cfg.pattern_table = true;
+  const SemanticsConfig cfg = SemanticsConfig::pattern_tables();
   WorkloadSpec spec;
   spec.pairs = 220;
   spec.sources = 12;
@@ -340,10 +338,25 @@ TEST(ShardedMatchEngine, ShardOfIsStableAndInRange) {
   EXPECT_EQ(engine.shard_count(), 8);
   for (int comm = 0; comm < 4; ++comm) {
     for (int src = 0; src < 64; ++src) {
-      const int s = engine.shard_of(comm, src);
+      const int s = engine.shard_of(comm, src, kDefaultStream);
       EXPECT_GE(s, 0);
       EXPECT_LT(s, 8);
-      EXPECT_EQ(engine.shard_of(comm, src), s);  // Stable.
+      EXPECT_EQ(engine.shard_of(comm, src, kDefaultStream), s);  // Stable.
+    }
+  }
+}
+
+TEST(ShardedMatchEngine, ShardOfRotatesStreamsAcrossShards) {
+  // Stream affinity: the stream id is added after the (comm, src) mix, so
+  // the streams of one pair walk consecutive shards — S distinct streams
+  // cover all S shards — while stream 0 keeps the historical map.
+  const ShardedMatchEngine engine(pascal(), SemanticsConfig{}, {.shards = 8});
+  for (int comm = 0; comm < 4; ++comm) {
+    for (int src = 0; src < 16; ++src) {
+      const int base = engine.shard_of(comm, src, kDefaultStream);
+      for (StreamId stream = 0; stream < 8; ++stream) {
+        EXPECT_EQ(engine.shard_of(comm, src, stream), (base + stream) % 8);
+      }
     }
   }
 }

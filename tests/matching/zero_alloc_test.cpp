@@ -136,9 +136,7 @@ TEST(ZeroAllocSteadyState, PatternTableWithWildcards) {
   spec.src_wildcard_prob = 0.3;
   spec.tag_wildcard_prob = 0.3;
   spec.seed = 47;
-  SemanticsConfig cfg;
-  cfg.pattern_table = true;
-  expect_steady_state_alloc_free(cfg, spec);
+  expect_steady_state_alloc_free(SemanticsConfig::pattern_tables(), spec);
 }
 
 TEST(ZeroAllocSteadyState, HashTable) {
@@ -220,9 +218,8 @@ TEST(ZeroAllocSteadyState, ShardedPatternReplicatedWildcards) {
   spec.tag_wildcard_prob = 0.2;
   spec.match_fraction = 0.8;
   spec.seed = 48;
-  SemanticsConfig cfg;
-  cfg.pattern_table = true;
-  expect_sharded_steady_state_alloc_free(cfg, spec, {.shards = 4});
+  expect_sharded_steady_state_alloc_free(SemanticsConfig::pattern_tables(), spec,
+                                         {.shards = 4});
 }
 
 TEST(ZeroAllocSteadyState, ShardedPatternReplicatedThreaded) {
@@ -232,10 +229,9 @@ TEST(ZeroAllocSteadyState, ShardedPatternReplicatedThreaded) {
   spec.tags = 8;
   spec.src_wildcard_prob = 0.3;
   spec.seed = 49;
-  SemanticsConfig cfg;
-  cfg.pattern_table = true;
   expect_sharded_steady_state_alloc_free(
-      cfg, spec, {.shards = 4, .policy = simt::ExecutionPolicy{4}});
+      SemanticsConfig::pattern_tables(), spec,
+      {.shards = 4, .policy = simt::ExecutionPolicy{4}});
 }
 
 TEST(ZeroAllocSteadyState, ShardedQueueDrain) {

@@ -98,10 +98,7 @@ TEST_F(ProgressEngineTest, WildcardCompletionReportsConcreteEnvelope) {
 }
 
 TEST(ProgressEngineStrict, EnforcesNoUnexpectedAtQuiescence) {
-  matching::SemanticsConfig strict;
-  strict.wildcards = false;
-  strict.ordering = false;
-  strict.unexpected = false;
+  auto strict = matching::SemanticsConfig::relaxed_unordered_preposted();
   strict.partitions = 2;
   ProgressEngine engine(simt::pascal_gtx1080(), strict);
   matching::MessageQueue incoming;

@@ -181,9 +181,7 @@ std::vector<std::pair<std::string, matching::SemanticsConfig>> semantics_axis() 
   for (const auto& row : matching::table2_rows()) {
     out.emplace_back(matching::describe(row), row);
   }
-  matching::SemanticsConfig pattern;
-  pattern.pattern_table = true;
-  out.emplace_back("pattern_table", pattern);
+  out.emplace_back("pattern_table", matching::SemanticsConfig::pattern_tables());
   return out;
 }
 
